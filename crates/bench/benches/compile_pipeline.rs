@@ -1,0 +1,57 @@
+//! Criterion wall-time of the CaRDS compiler pipeline itself (DSA + pool
+//! allocation + guard passes + versioning) on each workload — compiler
+//! throughput, the analog of the paper's note that DSA keeps compile times
+//! practical compared to shape analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cards_passes::{compile, CompileOptions};
+use cards_workloads::{bfs, fdtd, listing1, micro, taxi};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+
+    g.bench_function("listing1", |b| {
+        b.iter(|| {
+            let (m, _) = listing1::build(listing1::Listing1Params::test());
+            black_box(compile(m, CompileOptions::cards()).unwrap().ds_count())
+        });
+    });
+    g.bench_function("analytics", |b| {
+        b.iter(|| {
+            let (m, _) = taxi::build(taxi::TaxiParams::test());
+            black_box(compile(m, CompileOptions::cards()).unwrap().ds_count())
+        });
+    });
+    g.bench_function("bfs", |b| {
+        b.iter(|| {
+            let (m, _) = bfs::build(bfs::BfsParams::test());
+            black_box(compile(m, CompileOptions::cards()).unwrap().ds_count())
+        });
+    });
+    g.bench_function("fdtd_apml", |b| {
+        b.iter(|| {
+            let (m, _) = fdtd::build(fdtd::FdtdParams::test());
+            black_box(compile(m, CompileOptions::cards()).unwrap().ds_count())
+        });
+    });
+    g.bench_function("micro_list", |b| {
+        b.iter(|| {
+            let (m, _) = micro::build(micro::MicroKind::List, micro::MicroParams::test());
+            black_box(compile(m, CompileOptions::cards()).unwrap().ds_count())
+        });
+    });
+    // TrackFM configuration for comparison (no versioning, guard-all)
+    g.bench_function("analytics_trackfm_config", |b| {
+        b.iter(|| {
+            let (m, _) = taxi::build(taxi::TaxiParams::test());
+            black_box(compile(m, CompileOptions::trackfm()).unwrap().ds_count())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion wall-time micro-benchmarks of runtime internals: allocation,
+//! data access, eviction churn, and each prefetcher's prediction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cards_net::{NetworkModel, SimTransport};
+use cards_runtime::prefetch::{JumpPointer, Prefetcher, StridePrefetcher};
+use cards_runtime::{
+    Access, DsSpec, FarMemRuntime, PrefetchKind, RuntimeConfig, StaticHint,
+};
+
+fn rt(pinned: u64, remotable: u64) -> FarMemRuntime<SimTransport> {
+    FarMemRuntime::new(
+        RuntimeConfig::new(pinned, remotable),
+        SimTransport::new(NetworkModel::default()),
+    )
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(20);
+
+    g.bench_function("ds_alloc_4k", |b| {
+        let mut r = rt(1 << 30, 1 << 20);
+        let h = r.register_ds(DsSpec::simple("a"), StaticHint::Pinned);
+        b.iter(|| black_box(r.ds_alloc(black_box(h), 4096).unwrap()));
+    });
+
+    g.bench_function("read_u64_resident", |b| {
+        let mut r = rt(1 << 20, 1 << 20);
+        let h = r.register_ds(DsSpec::simple("a"), StaticHint::Pinned);
+        let (p, _) = r.ds_alloc(h, 4096).unwrap();
+        r.write_u64(p, 42).unwrap();
+        b.iter(|| black_box(r.read_u64(black_box(p)).unwrap()));
+    });
+
+    g.bench_function("write_u64_resident", |b| {
+        let mut r = rt(1 << 20, 1 << 20);
+        let h = r.register_ds(DsSpec::simple("a"), StaticHint::Pinned);
+        let (p, _) = r.ds_alloc(h, 4096).unwrap();
+        b.iter(|| black_box(r.write_u64(black_box(p), 7).unwrap()));
+    });
+
+    g.bench_function("evict_fetch_cycle_4k", |b| {
+        let mut r = rt(0, 1 << 20);
+        let h = r.register_ds(DsSpec::simple("a"), StaticHint::Remotable);
+        let (p, _) = r.ds_alloc(h, 4096).unwrap();
+        b.iter(|| {
+            r.evacuate(p).unwrap();
+            black_box(r.guard(p, Access::Read, 8).unwrap())
+        });
+    });
+
+    g.bench_function("scan_64_objects_with_stride_prefetch", |b| {
+        let spec = DsSpec::simple("arr").with_prefetch(PrefetchKind::Stride);
+        let mut r = rt(0, 16 * 4096);
+        let h = r.register_ds(spec, StaticHint::Remotable);
+        let (p, _) = r.ds_alloc(h, 64 * 4096).unwrap();
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..64u64 {
+                total += r.guard(p.add(i * 4096), Access::Read, 8).unwrap();
+            }
+            black_box(total)
+        });
+    });
+
+    g.bench_function("prefetcher/stride_predict", |b| {
+        let mut s = StridePrefetcher::new();
+        for i in 0..8 {
+            s.record(i * 2);
+        }
+        b.iter(|| black_box(s.predict(black_box(100), 8)));
+    });
+
+    g.bench_function("prefetcher/jump_pointer_predict", |b| {
+        let mut j = JumpPointer::new();
+        for i in 0..256u64 {
+            j.record((i * 17) % 251);
+        }
+        b.iter(|| black_box(j.predict(black_box(34), 8)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion wall-time measurement of the runtime primitives behind
+//! Table 1: the real CPU cost (on this machine) of the custody check +
+//! deref path, local and remote, for the CaRDS and TrackFM cost models.
+//! The *simulated* cycle figures are printed by `repro_table1`; this bench
+//! grounds the local path in measured wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cards_net::{NetworkModel, SimTransport};
+use cards_runtime::{
+    Access, CostModel, DsSpec, FarMemRuntime, FarPtr, RemotingPolicy, RuntimeConfig, StaticHint,
+};
+
+fn bench_guards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+
+    for (label, costs) in [("cards", CostModel::cards()), ("trackfm", CostModel::trackfm())] {
+        // local deref path
+        g.bench_function(format!("{label}/guard_local_read"), |b| {
+            let mut rt = FarMemRuntime::new(
+                RuntimeConfig::new(0, 1 << 20).with_costs(costs),
+                SimTransport::new(NetworkModel::default()),
+            );
+            let h = rt.register_ds(DsSpec::simple("p"), StaticHint::Remotable);
+            let (p, _) = rt.ds_alloc(h, 4096).unwrap();
+            rt.guard(p, Access::Read, 8).unwrap();
+            b.iter(|| black_box(rt.guard(black_box(p), Access::Read, 8).unwrap()));
+        });
+        // untagged custody check only
+        g.bench_function(format!("{label}/custody_check_untagged"), |b| {
+            let mut rt = FarMemRuntime::new(
+                RuntimeConfig::new(0, 1 << 20).with_costs(costs),
+                SimTransport::new(NetworkModel::default()),
+            );
+            b.iter(|| black_box(rt.guard(black_box(FarPtr(0x1234)), Access::Read, 8).unwrap()));
+        });
+        // remote path: evacuate + guard per iteration (dominated by the
+        // simulated server hash-map copy — i.e. the memcpy a real NIC DMA
+        // would do)
+        g.bench_function(format!("{label}/guard_remote_read"), |b| {
+            let mut rt = FarMemRuntime::new(
+                RuntimeConfig::new(0, 1 << 20).with_costs(costs),
+                SimTransport::new(NetworkModel::default()),
+            );
+            let h = rt.register_ds(DsSpec::simple("p"), StaticHint::Remotable);
+            let (p, _) = rt.ds_alloc(h, 4096).unwrap();
+            b.iter(|| {
+                rt.evacuate(p).unwrap();
+                black_box(rt.guard(black_box(p), Access::Read, 8).unwrap())
+            });
+        });
+    }
+
+    // far-pointer algebra
+    g.bench_function("farptr/encode_decode", |b| {
+        b.iter(|| {
+            let p = FarPtr::encode(black_box(7), black_box(123456));
+            black_box((p.is_tagged(), p.handle(), p.offset()))
+        });
+    });
+
+    // policy assignment over 100 structures
+    g.bench_function("policy/assign_hints_100", |b| {
+        let specs: Vec<DsSpec> = (0..100)
+            .map(|i| {
+                DsSpec::simple(format!("d{i}")).with_priority(cards_runtime::DsPriority {
+                    program_order: i,
+                    reach_depth: (i * 7) % 13,
+                    use_score: (i * 3) % 17,
+                })
+            })
+            .collect();
+        b.iter(|| {
+            black_box(cards_runtime::assign_hints(
+                black_box(&specs),
+                RemotingPolicy::MaxUse,
+                50,
+            ))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_guards);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablation study: each CaRDS mechanism switched off individually.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    cards_bench::figures::ablation(quick).print();
+}

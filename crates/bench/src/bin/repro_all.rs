@@ -1,0 +1,15 @@
+//! Run every table/figure reproduction and print the full summary
+//! (recorded in EXPERIMENTS.md). Pass --quick for test-sized workloads.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("CaRDS reproduction suite (quick={quick})");
+    cards_bench::figures::table1().print();
+    cards_bench::figures::fig4(quick).print();
+    cards_bench::figures::fig5(quick).print();
+    cards_bench::figures::fig6(quick).print();
+    cards_bench::figures::fig7(quick).print();
+    cards_bench::figures::fig8(quick).print();
+    cards_bench::figures::fig9(quick).print();
+    cards_bench::figures::ablation(quick).print();
+    println!("\nall exhibits completed; checksums verified against native references");
+}

@@ -1,0 +1,6 @@
+//! Reproduce the paper's fig4. Pass --quick for a test-sized run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _ = quick;
+    cards_bench::figures::fig4(quick).print();
+}

@@ -1,0 +1,4 @@
+//! Reproduce the paper's Table 1 (primitive overheads).
+fn main() {
+    cards_bench::figures::table1().print();
+}

@@ -1,0 +1,281 @@
+//! Subcommand implementations for the `cards` CLI.
+
+use std::fs;
+
+use cards_baselines::{run_system, MemoryBudget, System};
+use cards_dsa::ModuleDsa;
+use cards_ir::{parse_module, print_module, verify_module, Module};
+use cards_passes::{compile, CompileOptions};
+use cards_runtime::RemotingPolicy;
+
+use crate::args::Args;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  cards compile <in.ir> [--out file.ir] [--baseline trackfm]
+  cards dsa     <in.ir>
+  cards run     <in.ir> [--policy all-remotable|linear|random|max-reach|max-use]
+                [--k N] [--pinned BYTES] [--cache BYTES]
+                [--baseline trackfm|mira|local] [--fn NAME] [--verbose]
+  cards demo    listing1|analytics|bfs|fdtd|pagerank|kvstore|\n                micro-array|micro-vector|micro-list|micro-map
+";
+
+/// Dispatch a parsed command line.
+pub fn dispatch(a: &Args) -> Result<(), String> {
+    match a.command.as_str() {
+        "compile" => cmd_compile(a),
+        "dsa" => cmd_dsa(a),
+        "run" => cmd_run(a),
+        "demo" => cmd_demo(a),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+fn load_module(a: &Args) -> Result<Module, String> {
+    let path = a
+        .positional
+        .first()
+        .ok_or_else(|| "missing input file".to_string())?;
+    let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let m = parse_module(&src).map_err(|e| format!("{path}: {e}"))?;
+    let errs = verify_module(&m);
+    if !errs.is_empty() {
+        return Err(format!(
+            "{path}: verification failed:\n{}",
+            errs.iter()
+                .map(|e| format!("  {e}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        ));
+    }
+    Ok(m)
+}
+
+fn options_for(a: &Args) -> CompileOptions {
+    match a.opt_or("baseline", "cards").as_str() {
+        "trackfm" => CompileOptions::trackfm(),
+        _ => CompileOptions::cards(),
+    }
+}
+
+fn cmd_compile(a: &Args) -> Result<(), String> {
+    let m = load_module(a)?;
+    let c = compile(m, options_for(a)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "identified {} data structures: {:?}",
+        c.ds_count(),
+        c.ds_names()
+    );
+    eprintln!(
+        "guards: {} inserted, {} elided ({} non-heap accesses skipped); {} loops versioned",
+        c.guard_stats.inserted,
+        c.guard_stats.elided,
+        c.guard_stats.skipped_nonheap,
+        c.versioned_loops
+    );
+    let out = print_module(&c.module);
+    match a.options.get("out") {
+        Some(path) => fs::write(path, out).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+fn cmd_dsa(a: &Args) -> Result<(), String> {
+    let m = load_module(a)?;
+    let dsa = ModuleDsa::analyze(&m);
+    println!(
+        "{} disjoint data structure instance(s):",
+        dsa.instances.len()
+    );
+    println!(
+        "{:<20} {:<14} {:<10} {:>7} {:>7} {:>7} {:>9}",
+        "name", "owner", "recursive", "allocs", "use", "reach", "accesses"
+    );
+    for inst in &dsa.instances {
+        let u = &dsa.usage[inst.id as usize];
+        println!(
+            "{:<20} {:<14} {:<10} {:>7} {:>7} {:>7} {:>9}",
+            inst.name,
+            m.func(inst.owner).name,
+            inst.recursive,
+            inst.alloc_sites.len(),
+            u.use_score(),
+            u.reach_depth,
+            u.access_insts,
+        );
+    }
+    Ok(())
+}
+
+fn parse_policy(s: &str) -> Result<RemotingPolicy, String> {
+    Ok(match s {
+        "all-remotable" => RemotingPolicy::AllRemotable,
+        "linear" => RemotingPolicy::Linear,
+        "random" => RemotingPolicy::Random { seed: 42 },
+        "max-reach" => RemotingPolicy::MaxReach,
+        "max-use" => RemotingPolicy::MaxUse,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn cmd_run(a: &Args) -> Result<(), String> {
+    let m = load_module(a)?;
+    let k: u32 = a.opt_num("k", 100u32)?;
+    let pinned: u64 = a.opt_num("pinned", 64u64 << 20)?;
+    let cache: u64 = a.opt_num("cache", 16u64 << 20)?;
+    let policy = parse_policy(&a.opt_or("policy", "linear"))?;
+    let entry = a.opt_or("fn", "main");
+    if entry != "main" {
+        return Err("only --fn main is supported by the harness".into());
+    }
+    let budget = MemoryBudget {
+        local_bytes: pinned + cache,
+        remotable_reserve: cache,
+    };
+    let sys = match a.opt_or("baseline", "cards").as_str() {
+        "trackfm" => System::TrackFm,
+        "mira" => System::Mira,
+        "local" => System::LocalOnly,
+        _ => System::Cards { policy, k },
+    };
+    let build = move || {
+        let main_f = m.func_by_name("main").expect("verified earlier");
+        (m.clone(), main_f)
+    };
+    if build().0.func_by_name("main").is_none() {
+        return Err("program has no @main".into());
+    }
+    let r = run_system(&build, sys, budget).map_err(|e| e.to_string())?;
+    println!("system:    {}", r.system);
+    println!("result:    {}", r.checksum);
+    println!("cycles:    {}", r.cycles);
+    println!("structures:{}", r.ds_count);
+    if a.has_flag("verbose") {
+        println!("instructions: {}", r.metrics.instructions);
+        println!("guards:       {}", r.metrics.guards);
+        println!("fast paths:   {}", r.metrics.fast_path_taken);
+        println!("slow paths:   {}", r.metrics.slow_path_taken);
+        println!(
+            "network:      {} fetches / {} writebacks / {} B moved",
+            r.net.fetches,
+            r.net.writebacks,
+            r.net.total_bytes()
+        );
+        println!(
+            "compiler:     {} guards inserted, {} elided",
+            r.guards_inserted, r.guards_elided
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo(a: &Args) -> Result<(), String> {
+    use cards_workloads::*;
+    let which = a
+        .positional
+        .first()
+        .ok_or_else(|| "missing workload name".to_string())?;
+    let (m, _) = match which.as_str() {
+        "listing1" => listing1::build(listing1::Listing1Params::default()),
+        "analytics" => taxi::build(taxi::TaxiParams {
+            trips: a.opt_num("trips", 10_000i64)?,
+        }),
+        "bfs" => bfs::build(bfs::BfsParams {
+            nodes: a.opt_num("nodes", 5_000i64)?,
+            degree: a.opt_num("degree", 8i64)?,
+        }),
+        "fdtd" => fdtd::build(fdtd::FdtdParams {
+            size: a.opt_num("size", 48i64)?,
+            steps: a.opt_num("steps", 5i64)?,
+        }),
+        "pagerank" => pagerank::build(pagerank::PagerankParams {
+            nodes: a.opt_num("nodes", 5_000i64)?,
+            degree: a.opt_num("degree", 8i64)?,
+            iters: a.opt_num("iters", 5i64)?,
+        }),
+        "kvstore" => kvstore::build(kvstore::KvParams {
+            keys: a.opt_num("keys", 4_096i64)?,
+            ops: a.opt_num("ops", 20_000i64)?,
+        }),
+        "micro-array" => micro::build(micro::MicroKind::Array, micro::MicroParams::default()),
+        "micro-vector" => micro::build(micro::MicroKind::Vector, micro::MicroParams::default()),
+        "micro-list" => micro::build(micro::MicroKind::List, micro::MicroParams::default()),
+        "micro-map" => micro::build(micro::MicroKind::Map, micro::MicroParams::default()),
+        other => return Err(format!("unknown workload {other:?}")),
+    };
+    print!("{}", print_module(&m));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy("max-use").unwrap(), RemotingPolicy::MaxUse);
+        assert_eq!(parse_policy("linear").unwrap(), RemotingPolicy::Linear);
+        assert!(parse_policy("bogus").is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        assert!(dispatch(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn demo_then_run_round_trip() {
+        // demo -> file -> dsa -> compile -> run, all through the real CLI
+        // code paths.
+        let dir = std::env::temp_dir().join("cards_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("l1.ir");
+        // capture demo output by calling build+print directly (demo writes
+        // to stdout; here we exercise load/compile/run instead)
+        let (m, _) =
+            cards_workloads::listing1::build(cards_workloads::listing1::Listing1Params::test());
+        std::fs::write(&path, print_module(&m)).unwrap();
+        let p = path.to_string_lossy().to_string();
+
+        dispatch(&args(&format!("dsa {p}"))).expect("dsa");
+        let out = dir.join("out.ir");
+        let o = out.to_string_lossy().to_string();
+        dispatch(&args(&format!("compile {p} --out {o}"))).expect("compile");
+        let transformed = std::fs::read_to_string(&out).unwrap();
+        assert!(transformed.contains("dsinit"));
+        assert!(transformed.contains("guard"));
+        dispatch(&args(&format!(
+            "run {p} --policy max-use --k 50 --pinned 65536 --cache 16384 --verbose"
+        )))
+        .expect("run");
+        // baselines through the CLI too
+        dispatch(&args(&format!("run {p} --baseline trackfm"))).expect("trackfm");
+        dispatch(&args(&format!("run {p} --baseline local"))).expect("local");
+    }
+
+    #[test]
+    fn run_rejects_missing_file() {
+        assert!(dispatch(&args("run /nonexistent.ir")).is_err());
+    }
+
+    #[test]
+    fn compile_rejects_malformed_ir() {
+        let dir = std::env::temp_dir().join("cards_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ir");
+        std::fs::write(&path, "module x\nfn @main() -> void {\nbb0:\n  zorp\n}").unwrap();
+        let p = path.to_string_lossy().to_string();
+        let e = dispatch(&args(&format!("compile {p}"))).unwrap_err();
+        assert!(e.contains("unknown instruction"));
+    }
+}

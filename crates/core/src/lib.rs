@@ -1,0 +1,92 @@
+//! # cards-core — Compiler-aided Remote Data Structures
+//!
+//! Facade crate for the CaRDS reproduction (Tauro, Dougherty, Hale —
+//! SC Workshops '25). Re-exports the whole stack and offers a one-call
+//! entry point, [`run_far_memory`], that compiles an IR program with the
+//! CaRDS pipeline and executes it on the far-memory runtime.
+//!
+//! ## The stack
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`ir`] | typed SSA IR (LLVM stand-in), builder, verifier, printer/parser, analyses |
+//! | [`dsa`] | SeaDSA-style context-sensitive data structure analysis |
+//! | [`passes`] | pool allocation, guards, redundant-guard elimination, code versioning, prefetch analysis |
+//! | [`net`] | simulated RDMA-class interconnect with a calibrated cycle model |
+//! | [`runtime`] | AIFM-style object-granular far-memory runtime with per-DS policies |
+//! | [`vm`] | deterministic interpreter + cycle accounting |
+//! | [`workloads`] | the paper's benchmarks (analytics, BFS, fdtd-apml, Fig-9 micros) |
+//! | [`baselines`] | TrackFM / Mira / local-only comparators and the run harness |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cards_core::prelude::*;
+//!
+//! // Build the paper's Listing 1 and run it under the Max Use policy with
+//! // half of its working set available locally.
+//! let params = cards_core::workloads::listing1::Listing1Params::test();
+//! let ws = params.working_set_bytes();
+//! let report = cards_core::run_far_memory(
+//!     &move || cards_core::workloads::listing1::build(params),
+//!     RemotingPolicy::MaxUse,
+//!     50,
+//!     MemoryBudget::fraction_of(ws, 0.5, 0.1),
+//! )
+//! .unwrap();
+//! assert_eq!(report.checksum, cards_core::workloads::listing1::reference(params));
+//! assert!(report.ds_count >= 2);
+//! ```
+
+pub use cards_baselines as baselines;
+pub use cards_dsa as dsa;
+pub use cards_ir as ir;
+pub use cards_net as net;
+pub use cards_passes as passes;
+pub use cards_runtime as runtime;
+pub use cards_vm as vm;
+pub use cards_workloads as workloads;
+
+pub use cards_baselines::{run_system, HarnessError, MemoryBudget, RunResult, System};
+pub use cards_passes::{compile, CompileOptions, Compiled};
+pub use cards_runtime::RemotingPolicy;
+
+/// Common imports for applications embedding CaRDS.
+pub mod prelude {
+    pub use crate::{
+        run_far_memory, run_system, MemoryBudget, RemotingPolicy, RunResult, System,
+    };
+    pub use cards_ir::{FunctionBuilder, Module, Type, Value};
+    pub use cards_passes::{compile, CompileOptions};
+}
+
+/// Compile `build()`'s program with the full CaRDS pipeline and run it on
+/// the simulated far-memory setup under `policy`/`k` and `budget`.
+pub fn run_far_memory(
+    build: &dyn Fn() -> (cards_ir::Module, cards_ir::FuncId),
+    policy: RemotingPolicy,
+    k: u32,
+    budget: MemoryBudget,
+) -> Result<RunResult, HarnessError> {
+    run_system(build, System::Cards { policy, k }, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_runs_listing1() {
+        let p = workloads::listing1::Listing1Params::test();
+        let ws = p.working_set_bytes();
+        let r = run_far_memory(
+            &move || workloads::listing1::build(p),
+            RemotingPolicy::Linear,
+            100,
+            MemoryBudget::fraction_of(ws, 1.0, 0.2),
+        )
+        .unwrap();
+        assert_eq!(r.checksum, workloads::listing1::reference(p));
+        assert_eq!(r.ds_count, 2);
+    }
+}

@@ -1,0 +1,518 @@
+//! DSA graphs: abstract memory objects with typed field edges.
+//!
+//! One node represents a set of memory objects that the analysis cannot
+//! distinguish; unification (union-find) merges nodes as the analysis
+//! discovers aliasing. Field edges (`node × byte-offset → node`) give the
+//! analysis field sensitivity; a node whose offsets are no longer tracked
+//! is *collapsed* (all edges unified at offset 0), exactly as in
+//! Lattner-Adve DSA and SeaDSA.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cards_ir::{FuncId, GlobalId, InstId, Type};
+
+/// Node identifier within one [`Graph`]. Always resolve with
+/// [`Graph::find`] before comparing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Minimal bitflags implementation (avoids an extra dependency).
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident : $ty:ty {
+            $(
+                $(#[$fmeta:meta])*
+                const $flag:ident = $val:expr;
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $(
+                $(#[$fmeta])*
+                pub const $flag: $name = $name($val);
+            )*
+
+            /// No flags set.
+            pub fn empty() -> Self { $name(0) }
+            /// Whether all bits of `other` are set.
+            pub fn contains(self, other: $name) -> bool { self.0 & other.0 == other.0 }
+            /// Whether any bit of `other` is set.
+            pub fn intersects(self, other: $name) -> bool { self.0 & other.0 != 0 }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { $name(self.0 | rhs.0) }
+        }
+        impl std::ops::BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: $name) { self.0 |= rhs.0; }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// Properties of the memory objects a node stands for.
+    pub struct NodeFlags: u16 {
+        /// Allocated on the heap (malloc).
+        const HEAP = 1;
+        /// Allocated on the stack (alloca).
+        const STACK = 2;
+        /// A global variable's storage.
+        const GLOBAL = 4;
+        /// Escapes its function via return value.
+        const RETURNED = 8;
+        /// Reachable from a function argument.
+        const ARG = 16;
+        /// Stored into (or loaded from) a global.
+        const GLOBAL_ESCAPE = 32;
+        /// Came from an unknown source (inttoptr, undef).
+        const EXTERNAL = 64;
+        /// Passed to a call.
+        const PASSED = 128;
+    }
+}
+
+/// A heap allocation site (module-wide identity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocSite {
+    /// Function containing the `alloc`.
+    pub func: FuncId,
+    /// The `alloc` instruction.
+    pub inst: InstId,
+}
+
+/// Payload stored on union-find roots.
+#[derive(Clone, Debug, Default)]
+pub struct NodeData {
+    /// Accumulated property flags.
+    pub flags: NodeFlags,
+    /// Typed field edges: byte offset → pointee node.
+    pub edges: BTreeMap<u64, NodeId>,
+    /// Heap allocation sites folded into this node.
+    pub alloc_sites: BTreeSet<AllocSite>,
+    /// Element types observed for this node's objects.
+    pub tys: BTreeSet<Type>,
+    /// Globals folded into this node.
+    pub globals: BTreeSet<GlobalId>,
+    /// Offsets are no longer tracked (all edges live at 0).
+    pub collapsed: bool,
+}
+
+/// Byte offset of a cell within a node. `Unknown` offsets collapse nodes
+/// when used for field access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Offset {
+    /// A tracked constant offset.
+    Known(u64),
+    /// Untrackable (pointer arithmetic the analysis cannot follow).
+    Unknown,
+}
+
+impl Offset {
+    /// Add a constant displacement.
+    pub fn add(self, d: u64) -> Offset {
+        match self {
+            Offset::Known(o) => Offset::Known(o + d),
+            Offset::Unknown => Offset::Unknown,
+        }
+    }
+}
+
+/// A pointer's view into a node: the node plus a byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Target node (resolve via [`Graph::find`] before use).
+    pub node: NodeId,
+    /// Offset within the node.
+    pub offset: Offset,
+}
+
+impl Cell {
+    /// Cell at offset zero of `node`.
+    pub fn at(node: NodeId) -> Cell {
+        Cell {
+            node,
+            offset: Offset::Known(0),
+        }
+    }
+}
+
+/// A DSA points-to graph with union-find node merging.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    data: Vec<Option<NodeData>>, // Some(..) only on roots
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a fresh node with `flags`.
+    pub fn new_node(&mut self, flags: NodeFlags) -> NodeId {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.data.push(Some(NodeData {
+            flags,
+            ..Default::default()
+        }));
+        NodeId(id)
+    }
+
+    /// Number of node slots (including merged ones).
+    pub fn slots(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Union-find root of `n` (path-halving, no allocation).
+    pub fn find(&self, mut n: NodeId) -> NodeId {
+        let mut i = n.0 as usize;
+        while self.parent[i] != i as u32 {
+            i = self.parent[i] as usize;
+        }
+        // second pass: compress via interior mutability not available; this
+        // is a read-only find, so we simply return the root.
+        n = NodeId(i as u32);
+        n
+    }
+
+    fn find_compress(&mut self, n: NodeId) -> NodeId {
+        let mut i = n.0 as usize;
+        while self.parent[i] != i as u32 {
+            let gp = self.parent[self.parent[i] as usize];
+            self.parent[i] = gp;
+            i = gp as usize;
+        }
+        NodeId(i as u32)
+    }
+
+    /// Data of a node's root.
+    pub fn node(&self, n: NodeId) -> &NodeData {
+        let r = self.find(n);
+        self.data[r.0 as usize].as_ref().expect("root has data")
+    }
+
+    /// Mutable data of a node's root.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut NodeData {
+        let r = self.find_compress(n);
+        self.data[r.0 as usize].as_mut().expect("root has data")
+    }
+
+    /// Add flags to a node.
+    pub fn add_flags(&mut self, n: NodeId, flags: NodeFlags) {
+        self.node_mut(n).flags |= flags;
+    }
+
+    /// Unify two nodes (and, transitively, their matching field edges).
+    pub fn unify(&mut self, a: NodeId, b: NodeId) {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            let ra = self.find_compress(a);
+            let rb = self.find_compress(b);
+            if ra == rb {
+                continue;
+            }
+            // union by rank
+            let (win, lose) = if self.rank[ra.0 as usize] >= self.rank[rb.0 as usize] {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            if self.rank[win.0 as usize] == self.rank[lose.0 as usize] {
+                self.rank[win.0 as usize] += 1;
+            }
+            self.parent[lose.0 as usize] = win.0;
+            let lose_data = self.data[lose.0 as usize].take().expect("root");
+            let win_data = self.data[win.0 as usize].as_mut().expect("root");
+            win_data.flags |= lose_data.flags;
+            win_data.alloc_sites.extend(lose_data.alloc_sites);
+            win_data.tys.extend(lose_data.tys);
+            win_data.globals.extend(lose_data.globals);
+            let was_collapsed = win_data.collapsed || lose_data.collapsed;
+            win_data.collapsed = was_collapsed;
+            // merge edges: same-offset targets must unify
+            for (off, tgt) in lose_data.edges {
+                let off = if was_collapsed { 0 } else { off };
+                match win_data.edges.get(&off) {
+                    Some(&existing) => work.push((existing, tgt)),
+                    None => {
+                        win_data.edges.insert(off, tgt);
+                    }
+                }
+            }
+            if was_collapsed {
+                // fold all surviving edges into offset 0
+                let win_data = self.data[win.0 as usize].as_mut().expect("root");
+                let edges = std::mem::take(&mut win_data.edges);
+                let mut it = edges.into_values();
+                if let Some(first) = it.next() {
+                    for other in it {
+                        work.push((first, other));
+                    }
+                    self.data[win.0 as usize]
+                        .as_mut()
+                        .expect("root")
+                        .edges
+                        .insert(0, first);
+                }
+            }
+        }
+    }
+
+    /// Collapse a node: stop tracking offsets (all edges unify at 0).
+    pub fn collapse(&mut self, n: NodeId) {
+        let r = self.find_compress(n);
+        let data = self.data[r.0 as usize].as_mut().expect("root");
+        if data.collapsed {
+            return;
+        }
+        data.collapsed = true;
+        let edges = std::mem::take(&mut data.edges);
+        let mut it = edges.into_values();
+        if let Some(first) = it.next() {
+            for other in it {
+                self.unify(first, other);
+            }
+            // re-find r: unify above may have merged r itself
+            let r2 = self.find_compress(NodeId(r.0));
+            let first = self.find_compress(first);
+            self.data[r2.0 as usize]
+                .as_mut()
+                .expect("root")
+                .edges
+                .insert(0, first);
+        }
+    }
+
+    /// The node pointed to by the field of `cell` (created if missing).
+    /// An `Unknown` offset collapses the node first.
+    pub fn field_target(&mut self, cell: Cell) -> NodeId {
+        let node = self.find_compress(cell.node);
+        let off = match cell.offset {
+            Offset::Known(o) if !self.node(node).collapsed => o,
+            Offset::Known(_) => 0,
+            Offset::Unknown => {
+                self.collapse(node);
+                0
+            }
+        };
+        let node = self.find_compress(node);
+        if let Some(&t) = self.node(node).edges.get(&off) {
+            return self.find_compress(t);
+        }
+        let fresh = self.new_node(NodeFlags::empty());
+        // re-resolve: new_node cannot merge, node still root or findable
+        self.node_mut(node).edges.insert(off, fresh);
+        fresh
+    }
+
+    /// Iterate root nodes.
+    pub fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.parent.len() as u32)
+            .map(NodeId)
+            .filter(move |&n| self.parent[n.0 as usize] == n.0)
+    }
+
+    /// All nodes reachable from `starts` through field edges (roots only).
+    pub fn reachable(&self, starts: impl IntoIterator<Item = NodeId>) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<NodeId> = starts.into_iter().map(|n| self.find(n)).collect();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for &t in self.node(n).edges.values() {
+                stack.push(self.find(t));
+            }
+        }
+        seen
+    }
+
+    /// Whether a node (or anything it reaches) can reach itself — the
+    /// "recursive data structure" test used for DsMeta.
+    pub fn is_recursive(&self, n: NodeId) -> bool {
+        let start = self.find(n);
+        // DFS from each successor; recursive iff start is re-reached.
+        let mut stack: Vec<NodeId> = self
+            .node(start)
+            .edges
+            .values()
+            .map(|&t| self.find(t))
+            .collect();
+        let mut seen = BTreeSet::new();
+        while let Some(x) = stack.pop() {
+            if x == start {
+                return true;
+            }
+            if !seen.insert(x) {
+                continue;
+            }
+            for &t in self.node(x).edges.values() {
+                stack.push(self.find(t));
+            }
+        }
+        false
+    }
+
+    /// Clone the subgraph reachable from `roots` from `src` into `self`.
+    /// Returns the old→new node map (keyed by `src` roots).
+    pub fn clone_from(
+        &mut self,
+        src: &Graph,
+        roots: impl IntoIterator<Item = NodeId>,
+    ) -> BTreeMap<NodeId, NodeId> {
+        let reach = src.reachable(roots);
+        let mut map = BTreeMap::new();
+        for &old in &reach {
+            let data = src.node(old);
+            let new = self.new_node(data.flags);
+            {
+                let nd = self.node_mut(new);
+                nd.alloc_sites = data.alloc_sites.clone();
+                nd.tys = data.tys.clone();
+                nd.globals = data.globals.clone();
+                nd.collapsed = data.collapsed;
+            }
+            map.insert(old, new);
+        }
+        // wire edges
+        for &old in &reach {
+            let new = map[&old];
+            let edges: Vec<(u64, NodeId)> = src
+                .node(old)
+                .edges
+                .iter()
+                .map(|(&o, &t)| (o, src.find(t)))
+                .collect();
+            for (off, tgt) in edges {
+                let nt = map[&tgt];
+                self.node_mut(new).edges.insert(off, nt);
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_merges_flags_and_sites() {
+        let mut g = Graph::new();
+        let a = g.new_node(NodeFlags::HEAP);
+        let b = g.new_node(NodeFlags::RETURNED);
+        g.node_mut(a).alloc_sites.insert(AllocSite {
+            func: FuncId(0),
+            inst: InstId(1),
+        });
+        g.unify(a, b);
+        assert_eq!(g.find(a), g.find(b));
+        let d = g.node(a);
+        assert!(d.flags.contains(NodeFlags::HEAP));
+        assert!(d.flags.contains(NodeFlags::RETURNED));
+        assert_eq!(d.alloc_sites.len(), 1);
+    }
+
+    #[test]
+    fn unify_is_transitive_through_edges() {
+        let mut g = Graph::new();
+        let a = g.new_node(NodeFlags::empty());
+        let b = g.new_node(NodeFlags::empty());
+        let ta = g.field_target(Cell { node: a, offset: Offset::Known(8) });
+        let tb = g.field_target(Cell { node: b, offset: Offset::Known(8) });
+        assert_ne!(g.find(ta), g.find(tb));
+        g.unify(a, b);
+        assert_eq!(g.find(ta), g.find(tb), "same-offset targets must merge");
+    }
+
+    #[test]
+    fn collapse_folds_edges() {
+        let mut g = Graph::new();
+        let a = g.new_node(NodeFlags::empty());
+        let t0 = g.field_target(Cell { node: a, offset: Offset::Known(0) });
+        let t8 = g.field_target(Cell { node: a, offset: Offset::Known(8) });
+        g.collapse(a);
+        assert_eq!(g.find(t0), g.find(t8));
+        assert!(g.node(a).collapsed);
+        // post-collapse field access all goes to offset 0
+        let t = g.field_target(Cell { node: a, offset: Offset::Known(100) });
+        assert_eq!(g.find(t), g.find(t0));
+    }
+
+    #[test]
+    fn unknown_offset_collapses() {
+        let mut g = Graph::new();
+        let a = g.new_node(NodeFlags::empty());
+        let _ = g.field_target(Cell { node: a, offset: Offset::Known(16) });
+        let _ = g.field_target(Cell { node: a, offset: Offset::Unknown });
+        assert!(g.node(a).collapsed);
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let mut g = Graph::new();
+        // node -> (8) -> node  (a linked list)
+        let n = g.new_node(NodeFlags::HEAP);
+        let t = g.field_target(Cell { node: n, offset: Offset::Known(8) });
+        g.unify(t, n);
+        assert!(g.is_recursive(n));
+        // plain array node is not recursive
+        let m = g.new_node(NodeFlags::HEAP);
+        assert!(!g.is_recursive(m));
+        // two-level cycle: a -> b -> a
+        let a = g.new_node(NodeFlags::HEAP);
+        let b = g.field_target(Cell::at(a));
+        let back = g.field_target(Cell::at(b));
+        g.unify(back, a);
+        assert!(g.is_recursive(a));
+        assert!(g.is_recursive(b));
+    }
+
+    #[test]
+    fn clone_from_preserves_structure_and_separation() {
+        let mut src = Graph::new();
+        let a = src.new_node(NodeFlags::HEAP);
+        let child = src.field_target(Cell { node: a, offset: Offset::Known(8) });
+        src.add_flags(child, NodeFlags::HEAP);
+        let mut dst = Graph::new();
+        let m1 = dst.clone_from(&src, [a]);
+        let m2 = dst.clone_from(&src, [a]);
+        // two clones are disjoint (context sensitivity!)
+        assert_ne!(dst.find(m1[&a]), dst.find(m2[&a]));
+        let c1 = dst.node(m1[&a]).edges[&8];
+        let c2 = dst.node(m2[&a]).edges[&8];
+        assert_ne!(dst.find(c1), dst.find(c2));
+        assert!(dst.node(c1).flags.contains(NodeFlags::HEAP));
+    }
+
+    #[test]
+    fn reachable_walks_edges() {
+        let mut g = Graph::new();
+        let a = g.new_node(NodeFlags::empty());
+        let b = g.field_target(Cell::at(a));
+        let c = g.field_target(Cell::at(b));
+        let lone = g.new_node(NodeFlags::empty());
+        let r = g.reachable([a]);
+        assert!(r.contains(&g.find(a)) && r.contains(&g.find(b)) && r.contains(&g.find(c)));
+        assert!(!r.contains(&g.find(lone)));
+    }
+
+    #[test]
+    fn flags_ops() {
+        let f = NodeFlags::HEAP | NodeFlags::RETURNED;
+        assert!(f.contains(NodeFlags::HEAP));
+        assert!(f.intersects(NodeFlags::RETURNED));
+        assert!(!f.contains(NodeFlags::STACK));
+        assert!(!NodeFlags::empty().intersects(f));
+    }
+}

@@ -1,0 +1,565 @@
+//! Inter-procedural, context-sensitive DSA (the SeaDSA-style bottom-up
+//! phase), disjoint data-structure extraction, and per-DS usage metrics.
+//!
+//! Bottom-up over the call-graph SCC condensation: at every call site the
+//! callee's *summary subgraph* (nodes reachable from its pointer parameters,
+//! return value, and globals) is **cloned** into the caller and unified with
+//! the actual arguments. Cloning is what gives context sensitivity: two
+//! calls to the same allocating helper produce two distinct heap nodes in
+//! the caller — exactly how CaRDS distinguishes `ds1`/`ds2` in Listing 1.
+//!
+//! Recursive SCCs are iterated to a fixpoint; re-applied call sites unify
+//! their new clone with the previous one, so repeated application converges
+//! instead of duplicating nodes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use cards_ir::analysis::{CallGraph, CallGraphSccs, Cfg, DomTree, LoopForest};
+use cards_ir::{FuncId, InstId, Module, Type, Value};
+
+use crate::graph::{AllocSite, Cell, NodeFlags, NodeId};
+use crate::local::FunctionDsa;
+
+/// Node correspondence for one call site: callee summary node → caller node.
+#[derive(Clone, Debug, Default)]
+pub struct CallBinding {
+    /// Map keyed by callee node (resolve both sides with `find` at query
+    /// time; keys may have merged since recording).
+    pub node_map: BTreeMap<NodeId, NodeId>,
+}
+
+/// One compiler-identified disjoint data structure *instance*.
+#[derive(Clone, Debug)]
+pub struct DsInstance {
+    /// Dense instance id (== index in `ModuleDsa::instances`).
+    pub id: u32,
+    /// Function whose graph owns the instance (where `ds_init` will go).
+    pub owner: FuncId,
+    /// The owning node in `owner`'s graph.
+    pub node: NodeId,
+    /// All heap allocation sites folded into the instance.
+    pub alloc_sites: BTreeSet<AllocSite>,
+    /// Whether the structure is self-referential (linked/recursive).
+    pub recursive: bool,
+    /// Recovered element type, if any.
+    pub elem_ty: Option<Type>,
+    /// Diagnostic name (named after a global when the instance is stored
+    /// into one, as `ds1`/`ds2` in Listing 1).
+    pub name: String,
+}
+
+/// Usage metrics per instance (feeds the Max Reach / Max Use policies).
+#[derive(Clone, Debug, Default)]
+pub struct DsUsage {
+    /// Functions whose code may access the instance.
+    pub funcs: BTreeSet<FuncId>,
+    /// Distinct loops containing at least one access.
+    pub loops: u32,
+    /// Static count of access instructions.
+    pub access_insts: u64,
+    /// Max caller/callee chain length among accessing functions
+    /// (Max Reach policy input).
+    pub reach_depth: u32,
+}
+
+impl DsUsage {
+    /// Paper Eq. 1: `#loops + #functions`.
+    pub fn use_score(&self) -> u32 {
+        self.loops + self.funcs.len() as u32
+    }
+}
+
+/// Whole-module DSA result.
+pub struct ModuleDsa {
+    /// Per-function graphs (post bottom-up), indexed by `FuncId`.
+    pub funcs: Vec<FunctionDsa>,
+    /// Per call site: callee-node → caller-node correspondence.
+    pub bindings: HashMap<(FuncId, InstId), CallBinding>,
+    /// Disjoint data-structure instances.
+    pub instances: Vec<DsInstance>,
+    /// Per function: root node → instance ids it may represent.
+    pub node_instances: Vec<HashMap<NodeId, Vec<u32>>>,
+    /// Usage metrics per instance (index-aligned with `instances`).
+    pub usage: Vec<DsUsage>,
+    /// Functions with no callers (program entry points).
+    pub entries: Vec<FuncId>,
+}
+
+impl ModuleDsa {
+    /// Run the full analysis on `module`.
+    pub fn analyze(module: &Module) -> ModuleDsa {
+        let cg = CallGraph::compute(module);
+        let sccs = CallGraphSccs::compute(&cg);
+        let mut funcs: Vec<FunctionDsa> = module
+            .funcs()
+            .map(|(fid, _)| FunctionDsa::analyze(module, fid))
+            .collect();
+        let mut bindings: HashMap<(FuncId, InstId), CallBinding> = HashMap::new();
+
+        // Tarjan emits SCCs callees-first, which is the bottom-up order.
+        for scc in &sccs.members {
+            let recursive_scc = scc.len() > 1
+                || scc
+                    .iter()
+                    .any(|&f| cg.callees[f.0 as usize].contains(&f));
+            let iters = if recursive_scc { 6 } else { 1 };
+            for _ in 0..iters {
+                let mut changed = false;
+                for &f in scc {
+                    changed |= apply_callsites(module, &mut funcs, &mut bindings, f);
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        let entries: Vec<FuncId> = module
+            .funcs()
+            .map(|(fid, _)| fid)
+            .filter(|&fid| cg.callers[fid.0 as usize].is_empty())
+            .collect();
+
+        let (instances, node_instances) =
+            extract_instances(module, &funcs, &bindings, &cg, &entries);
+        let usage = compute_usage(module, &funcs, &instances, &node_instances, &cg, &sccs);
+
+        ModuleDsa {
+            funcs,
+            bindings,
+            instances,
+            node_instances,
+            usage,
+            entries,
+        }
+    }
+
+    /// Graph/analysis of one function.
+    pub fn func(&self, f: FuncId) -> &FunctionDsa {
+        &self.funcs[f.0 as usize]
+    }
+
+    /// Instance ids that node `n` of function `f` may represent.
+    pub fn instances_of_node(&self, f: FuncId, n: NodeId) -> &[u32] {
+        let root = self.funcs[f.0 as usize].graph.find(n);
+        self.node_instances[f.0 as usize]
+            .get(&root)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Apply all call sites of `f`, cloning callee summaries in. Returns
+/// whether the graph changed structurally (new unifications happened).
+fn apply_callsites(
+    module: &Module,
+    funcs: &mut [FunctionDsa],
+    bindings: &mut HashMap<(FuncId, InstId), CallBinding>,
+    f: FuncId,
+) -> bool {
+    let sig_before = signature(&funcs[f.0 as usize]);
+    let calls = funcs[f.0 as usize].calls.clone();
+    for (site, callee) in calls {
+        if callee == f {
+            // Direct self-recursion: parameters unify with arguments in the
+            // same graph; no cloning needed.
+            unify_self_call(module, &mut funcs[f.0 as usize], site);
+            continue;
+        }
+        // Clone the callee summary. split_at_mut to borrow both.
+        let (a, b) = if callee.0 < f.0 {
+            let (lo, hi) = funcs.split_at_mut(f.0 as usize);
+            (&mut hi[0], &lo[callee.0 as usize])
+        } else {
+            let (lo, hi) = funcs.split_at_mut(callee.0 as usize);
+            (&mut lo[f.0 as usize], &hi[0])
+        };
+        apply_one_call(module, a, b, site, bindings.entry((f, site)).or_default());
+    }
+    sig_before != signature(&funcs[f.0 as usize])
+}
+
+/// Structural signature used for SCC fixpoint detection.
+fn signature(fd: &FunctionDsa) -> (usize, usize, usize, u64) {
+    let mut classes = BTreeSet::new();
+    let mut edges = 0usize;
+    let mut sites = 0usize;
+    let mut flags = 0u64;
+    for r in fd.graph.roots() {
+        classes.insert(r);
+        let d = fd.graph.node(r);
+        edges += d.edges.len();
+        sites += d.alloc_sites.len();
+        flags += d.flags.0 as u64;
+    }
+    (classes.len(), edges, sites, flags)
+}
+
+/// Summary roots of a callee: pointer params, return cell, global storage.
+fn summary_roots(fd: &FunctionDsa) -> Vec<NodeId> {
+    let mut roots: Vec<NodeId> = fd.arg_cells.iter().flatten().map(|c| c.node).collect();
+    if let Some(rc) = fd.ret_cell {
+        roots.push(rc.node);
+    }
+    roots.extend(fd.global_nodes.values().copied());
+    roots
+}
+
+fn ensure_cell(fd: &mut FunctionDsa, v: Value) -> Cell {
+    if let Some(&c) = fd.cells.get(&v) {
+        return c;
+    }
+    let c = match v {
+        Value::Global(g) => {
+            let n = *fd
+                .global_nodes
+                .entry(g)
+                .or_insert_with(|| fd.graph.new_node(NodeFlags::GLOBAL));
+            Cell::at(n)
+        }
+        _ => Cell::at(fd.graph.new_node(NodeFlags::empty())),
+    };
+    fd.cells.insert(v, c);
+    c
+}
+
+fn apply_one_call(
+    module: &Module,
+    caller: &mut FunctionDsa,
+    callee: &FunctionDsa,
+    site: InstId,
+    binding: &mut CallBinding,
+) {
+    let roots = summary_roots(callee);
+    let clone_map = caller.graph.clone_from(&callee.graph, roots);
+    // Converge with any previous application of this call site.
+    for (&old, &new) in &clone_map {
+        if let Some(&prev) = binding.node_map.get(&old) {
+            caller.graph.unify(new, prev);
+        }
+        binding
+            .node_map
+            .insert(callee.graph.find(old), caller.graph.find(new));
+    }
+    // Bind pointer arguments.
+    let callee_fn = module.func(callee.func);
+    let args: Vec<Value> = match module.func(caller.func).inst(site) {
+        cards_ir::Inst::Call { args, .. } => args.clone(),
+        _ => return,
+    };
+    for (i, &arg) in args.iter().enumerate() {
+        if callee_fn.params.get(i) != Some(&Type::Ptr) {
+            continue;
+        }
+        let Some(ac) = callee.arg_cells.get(i).copied().flatten() else {
+            continue;
+        };
+        let Some(&cloned) = clone_map.get(&callee.graph.find(ac.node)) else {
+            continue;
+        };
+        let caller_cell = ensure_cell(caller, arg);
+        caller.graph.unify(cloned, caller_cell.node);
+        if caller_cell.offset != crate::graph::Offset::Known(0) {
+            let n = caller.graph.find(cloned);
+            caller.graph.collapse(n);
+        }
+    }
+    // Bind return value.
+    if let Some(rc) = callee.ret_cell {
+        if let Some(&cloned) = clone_map.get(&callee.graph.find(rc.node)) {
+            let res_cell = ensure_cell(caller, Value::Inst(site));
+            caller.graph.unify(cloned, res_cell.node);
+        }
+    }
+    // Bind globals.
+    let callee_globals: Vec<(cards_ir::GlobalId, NodeId)> = callee
+        .global_nodes
+        .iter()
+        .map(|(&g, &n)| (g, n))
+        .collect();
+    for (g, gnode) in callee_globals {
+        if let Some(&cloned) = clone_map.get(&callee.graph.find(gnode)) {
+            let mine = *caller
+                .global_nodes
+                .entry(g)
+                .or_insert_with(|| caller.graph.new_node(NodeFlags::GLOBAL));
+            caller.graph.unify(cloned, mine);
+        }
+    }
+    // Pointer escape through calls whose callee stores to globals is now
+    // visible: refresh escape flags on heap nodes reachable from globals.
+    let mut content_roots = Vec::new();
+    for &g in caller.global_nodes.values() {
+        for &t in caller.graph.node(g).edges.values() {
+            content_roots.push(t);
+        }
+    }
+    for n in caller.graph.reachable(content_roots) {
+        caller.graph.add_flags(n, NodeFlags::GLOBAL_ESCAPE);
+    }
+}
+
+/// Direct self-recursion: unify argument cells with parameter cells.
+fn unify_self_call(module: &Module, fd: &mut FunctionDsa, site: InstId) {
+    let args: Vec<Value> = match module.func(fd.func).inst(site) {
+        cards_ir::Inst::Call { args, .. } => args.clone(),
+        _ => return,
+    };
+    for (i, &arg) in args.iter().enumerate() {
+        if let Some(pc) = fd.arg_cells.get(i).copied().flatten() {
+            let ac = ensure_cell(fd, arg);
+            fd.graph.unify(pc.node, ac.node);
+        }
+    }
+    if let Some(rc) = fd.ret_cell {
+        let res = ensure_cell(fd, Value::Inst(site));
+        fd.graph.unify(rc.node, res.node);
+    }
+}
+
+/// Extract disjoint DS instances: heap nodes that are *complete* in some
+/// function — non-escaping anywhere, or any heap node in an entry function.
+fn extract_instances(
+    module: &Module,
+    funcs: &[FunctionDsa],
+    bindings: &HashMap<(FuncId, InstId), CallBinding>,
+    cg: &CallGraph,
+    entries: &[FuncId],
+) -> (Vec<DsInstance>, Vec<HashMap<NodeId, Vec<u32>>>) {
+    let mut instances: Vec<DsInstance> = Vec::new();
+    let mut node_instances: Vec<HashMap<NodeId, Vec<u32>>> =
+        vec![HashMap::new(); funcs.len()];
+
+    for fd in funcs {
+        let fid = fd.func;
+        let is_entry = entries.contains(&fid);
+        for n in fd.heap_nodes() {
+            let complete = is_entry || !fd.escapes(n);
+            if !complete {
+                continue;
+            }
+            let data = fd.graph.node(n);
+            let id = instances.len() as u32;
+            let elem_ty = pick_elem_ty(module, &data.tys);
+            let name = name_for(module, fd, n, id);
+            instances.push(DsInstance {
+                id,
+                owner: fid,
+                node: fd.graph.find(n),
+                alloc_sites: data.alloc_sites.clone(),
+                recursive: fd.graph.is_recursive(n),
+                elem_ty,
+                name,
+            });
+            node_instances[fid.0 as usize]
+                .entry(fd.graph.find(n))
+                .or_default()
+                .push(id);
+        }
+    }
+
+    // Top-down: propagate instance ids through call-site bindings so every
+    // function knows which instances each of its nodes may represent.
+    let mut work: Vec<(FuncId, NodeId, u32)> = Vec::new();
+    for inst in &instances {
+        work.push((inst.owner, inst.node, inst.id));
+    }
+    let mut seen: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+    while let Some((f, node, id)) = work.pop() {
+        let root = funcs[f.0 as usize].graph.find(node);
+        if !seen.insert((f.0, root.0, id)) {
+            continue;
+        }
+        let slot = node_instances[f.0 as usize].entry(root).or_default();
+        if !slot.contains(&id) {
+            slot.push(id);
+        }
+        // descend into callees whose summary nodes map to this node
+        for &(site, callee) in &funcs[f.0 as usize].calls {
+            let _ = cg; // (call graph retained for symmetry/debugging)
+            let Some(binding) = bindings.get(&(f, site)) else {
+                continue;
+            };
+            for (&callee_n, &caller_n) in &binding.node_map {
+                if funcs[f.0 as usize].graph.find(caller_n) == root {
+                    work.push((callee, funcs[callee.0 as usize].graph.find(callee_n), id));
+                }
+            }
+        }
+    }
+
+    (instances, node_instances)
+}
+
+fn pick_elem_ty(module: &Module, tys: &BTreeSet<Type>) -> Option<Type> {
+    // Prefer named structs, then arrays' elements, then scalars.
+    for t in tys {
+        if matches!(t, Type::Struct(_)) {
+            return Some(*t);
+        }
+    }
+    for t in tys {
+        if let Type::Array(a) = t {
+            return Some(module.types.array_ty(*a).elem);
+        }
+    }
+    tys.iter().find(|t| t.is_scalar() && **t != Type::Ptr).copied()
+}
+
+fn name_for(module: &Module, fd: &FunctionDsa, n: NodeId, id: u32) -> String {
+    let root = fd.graph.find(n);
+    // Named after a global it is stored into, if any.
+    for (&g, &gn) in &fd.global_nodes {
+        let stored: Vec<NodeId> = fd.graph.node(gn).edges.values().copied().collect();
+        if stored.iter().any(|&t| fd.graph.find(t) == root) {
+            return module.globals[g.0 as usize].name.clone();
+        }
+    }
+    // Otherwise after its element type.
+    let data = fd.graph.node(root);
+    for t in &data.tys {
+        if let Type::Struct(s) = t {
+            return format!("ds{}_{}", id, module.types.struct_ty(*s).name);
+        }
+    }
+    format!("ds{id}")
+}
+
+/// Top-down usage metrics per instance.
+///
+/// A function *uses* an instance if it accesses it directly or calls (maybe
+/// transitively) a function that does. Loops count when they contain either
+/// a direct access or a call site through which a used instance flows —
+/// this is what makes `ds2` score higher than `ds1` in Listing 1: main's
+/// `k`-loop contains `Set(ds2, k)`.
+fn compute_usage(
+    module: &Module,
+    funcs: &[FunctionDsa],
+    instances: &[DsInstance],
+    node_instances: &[HashMap<NodeId, Vec<u32>>],
+    cg: &CallGraph,
+    sccs: &CallGraphSccs,
+) -> Vec<DsUsage> {
+    let _ = cg;
+    let reach = sccs.reach_depth();
+    let nf = funcs.len();
+    let ni = instances.len();
+
+    // Direct accesses: ids per function, plus the access instructions.
+    let mut direct: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nf];
+    let mut access_count = vec![0u64; ni];
+    for fd in funcs {
+        for acc in &fd.accesses {
+            let root = fd.graph.find(acc.node);
+            if let Some(ids) = node_instances[fd.func.0 as usize].get(&root) {
+                for &id in ids {
+                    direct[fd.func.0 as usize].insert(id);
+                    access_count[id as usize] += 1;
+                }
+            }
+        }
+    }
+
+    // Call-site flows: for each call site, which instances flow into the
+    // callee (nodes on the caller side that represent the instance).
+    // flows[f] = Vec<(site, callee, ids)>
+    let mut flows: Vec<Vec<(InstId, FuncId, BTreeSet<u32>)>> = vec![Vec::new(); nf];
+    for fd in funcs {
+        for &(site, callee) in &fd.calls {
+            let mut ids = BTreeSet::new();
+            // All instances the caller-side nodes of this binding represent.
+            // (The binding was recorded during bottom-up.)
+            if let Some(map) = node_instances.get(fd.func.0 as usize) {
+                // Use the binding recorded for this site.
+                // Note: stored separately; reconstruct from caller arg cells.
+                let _ = map;
+            }
+            // Conservative and simple: instances of the pointer arguments.
+            if let cards_ir::Inst::Call { args, .. } = module.func(fd.func).inst(site) {
+                for &a in args {
+                    if let Some(c) = fd.cells.get(&a) {
+                        let root = fd.graph.find(c.node);
+                        if let Some(v) = node_instances[fd.func.0 as usize].get(&root) {
+                            ids.extend(v.iter().copied());
+                        }
+                    }
+                }
+            }
+            if !ids.is_empty() {
+                flows[fd.func.0 as usize].push((site, callee, ids));
+            }
+        }
+    }
+
+    // uses[f] = instances used by f directly or via callees (fixpoint).
+    let mut uses: Vec<BTreeSet<u32>> = direct.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in 0..nf {
+            let mut add: Vec<u32> = Vec::new();
+            for (_site, callee, ids) in &flows[f] {
+                for &id in ids {
+                    if uses[callee.0 as usize].contains(&id) && !uses[f].contains(&id) {
+                        add.push(id);
+                    }
+                }
+            }
+            if !add.is_empty() {
+                uses[f].extend(add);
+                changed = true;
+            }
+        }
+    }
+
+    let mut usage = vec![DsUsage::default(); ni];
+    for (id, count) in access_count.iter().enumerate() {
+        usage[id].access_insts = *count;
+    }
+    for f in 0..nf {
+        for &id in &uses[f] {
+            usage[id as usize].funcs.insert(FuncId(f as u32));
+            usage[id as usize].reach_depth =
+                usage[id as usize].reach_depth.max(reach[f]);
+        }
+    }
+
+    // Loop counting: distinct (function, loop) pairs containing a direct
+    // access or a flowing call site.
+    for fd in funcs {
+        let fid = fd.func;
+        let f = module.func(fid);
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        let loops = LoopForest::compute(f, &cfg, &dom);
+        if loops.loops.is_empty() {
+            continue;
+        }
+        let block_of = f.inst_block_map();
+        let mut per_inst_loops: HashMap<u32, BTreeSet<u32>> = HashMap::new();
+        for acc in &fd.accesses {
+            let root = fd.graph.find(acc.node);
+            let Some(ids) = node_instances[fid.0 as usize].get(&root) else {
+                continue;
+            };
+            if let Some(lp) = loops.loop_of(block_of[acc.inst.0 as usize]) {
+                for &id in ids {
+                    per_inst_loops.entry(id).or_default().insert(lp.0);
+                }
+            }
+        }
+        for (site, callee, ids) in &flows[fid.0 as usize] {
+            if let Some(lp) = loops.loop_of(block_of[site.0 as usize]) {
+                for &id in ids {
+                    if uses[callee.0 as usize].contains(&id) {
+                        per_inst_loops.entry(id).or_default().insert(lp.0);
+                    }
+                }
+            }
+        }
+        for (id, lps) in per_inst_loops {
+            usage[id as usize].loops += lps.len() as u32;
+        }
+    }
+    usage
+}

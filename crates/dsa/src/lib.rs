@@ -1,0 +1,29 @@
+//! # cards-dsa
+//!
+//! Data Structure Analysis for the CaRDS reproduction: a context-sensitive,
+//! inter-procedural, unification-based points-to analysis over `cards-ir`,
+//! in the style of Lattner-Adve DSA as refined by SeaDSA.
+//!
+//! The headline capability (paper §4.1, Figure 2): given a program where
+//! one helper allocates for several callers, DSA's per-call-site cloning
+//! distinguishes the resulting *data structure instances*, so CaRDS can give
+//! each its own remoting and prefetching policy.
+//!
+//! Pipeline:
+//! 1. [`local::FunctionDsa::analyze`] — per-function graphs (field-sensitive
+//!    edges, array folding, escape flags).
+//! 2. [`interproc::ModuleDsa::analyze`] — bottom-up over the call-graph SCC
+//!    condensation with per-call-site summary cloning; extracts
+//!    [`DsInstance`]s and per-instance [`DsUsage`] metrics (functions,
+//!    loops, reach depth) that feed the remoting policies.
+
+pub mod graph;
+pub mod interproc;
+pub mod local;
+
+pub use graph::{AllocSite, Cell, Graph, NodeData, NodeFlags, NodeId, Offset};
+pub use interproc::{CallBinding, DsInstance, DsUsage, ModuleDsa};
+pub use local::{AccessRecord, FunctionDsa};
+
+#[cfg(test)]
+mod tests;

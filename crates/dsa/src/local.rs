@@ -1,0 +1,622 @@
+//! Per-function (local) DSA: builds a points-to graph from one function's
+//! instructions, flow-insensitively with unification.
+//!
+//! Array indexing folds to element 0 (as in Lattner-Adve DSA), so an array
+//! data structure is one node regardless of index expressions, while struct
+//! fields keep distinct edges (field sensitivity). Interior pointers with
+//! statically-unknown offsets collapse their node.
+
+use std::collections::HashMap;
+
+use cards_ir::{
+    AccessKind, CastOp, Function, FuncId, GepIdx, GlobalId, Inst, InstId, Module, Type, Value,
+};
+
+use crate::graph::{AllocSite, Cell, Graph, NodeFlags, NodeId, Offset};
+
+/// A recorded memory access (for guard insertion and usage metrics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// The load/store instruction.
+    pub inst: InstId,
+    /// Node its pointer operand targets.
+    pub node: NodeId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Bytes accessed.
+    pub bytes: u64,
+}
+
+/// Result of local (and later, bottom-up-augmented) DSA for one function.
+#[derive(Clone, Debug)]
+pub struct FunctionDsa {
+    /// The function analyzed.
+    pub func: FuncId,
+    /// The points-to graph.
+    pub graph: Graph,
+    /// Cells of pointer-carrying SSA values.
+    pub cells: HashMap<Value, Cell>,
+    /// Cell per pointer-typed parameter (index-aligned with params).
+    pub arg_cells: Vec<Option<Cell>>,
+    /// Cell of the returned pointer, if the function returns one.
+    pub ret_cell: Option<Cell>,
+    /// Storage node per referenced global.
+    pub global_nodes: HashMap<GlobalId, NodeId>,
+    /// Memory accesses with their target nodes.
+    pub accesses: Vec<AccessRecord>,
+    /// Call sites: `(inst, callee)` for direct calls (indirect calls are
+    /// expanded to all candidates by the inter-procedural phase).
+    pub calls: Vec<(InstId, FuncId)>,
+}
+
+impl FunctionDsa {
+    /// Run the local analysis for function `fid` of `module`.
+    pub fn analyze(module: &Module, fid: FuncId) -> FunctionDsa {
+        let f = module.func(fid);
+        let mut a = Analyzer {
+            module,
+            fid,
+            graph: Graph::new(),
+            cells: HashMap::new(),
+            arg_cells: vec![None; f.params.len()],
+            ret_cell: None,
+            global_nodes: HashMap::new(),
+            accesses: Vec::new(),
+            calls: Vec::new(),
+        };
+        a.run(f);
+        a.finish()
+    }
+
+    /// Whether `node` escapes this function (visible to callers or other
+    /// functions): returned, reachable from arguments, stored in a global,
+    /// or of unknown origin.
+    pub fn escapes(&self, node: NodeId) -> bool {
+        self.graph.node(node).flags.intersects(
+            NodeFlags::RETURNED | NodeFlags::ARG | NodeFlags::GLOBAL_ESCAPE | NodeFlags::EXTERNAL,
+        )
+    }
+
+    /// Root nodes carrying heap allocation sites.
+    pub fn heap_nodes(&self) -> Vec<NodeId> {
+        self.graph
+            .roots()
+            .filter(|&n| !self.graph.node(n).alloc_sites.is_empty())
+            .collect()
+    }
+
+    /// Cell of a value, if it carries one (resolve node via `graph.find`).
+    pub fn cell_of(&self, v: Value) -> Option<Cell> {
+        self.cells.get(&v).map(|c| Cell {
+            node: self.graph.find(c.node),
+            offset: c.offset,
+        })
+    }
+}
+
+struct Analyzer<'m> {
+    module: &'m Module,
+    fid: FuncId,
+    graph: Graph,
+    cells: HashMap<Value, Cell>,
+    arg_cells: Vec<Option<Cell>>,
+    ret_cell: Option<Cell>,
+    global_nodes: HashMap<GlobalId, NodeId>,
+    accesses: Vec<AccessRecord>,
+    calls: Vec<(InstId, FuncId)>,
+}
+
+impl<'m> Analyzer<'m> {
+    fn finish(mut self) -> FunctionDsa {
+        self.propagate_escape_flags();
+        FunctionDsa {
+            func: self.fid,
+            graph: self.graph,
+            cells: self.cells,
+            arg_cells: self.arg_cells,
+            ret_cell: self.ret_cell,
+            global_nodes: self.global_nodes,
+            accesses: self.accesses,
+            calls: self.calls,
+        }
+    }
+
+    /// Mark everything reachable from args / return / globals with the
+    /// corresponding escape flag.
+    fn propagate_escape_flags(&mut self) {
+        let mark = |g: &mut Graph, starts: Vec<NodeId>, flag: NodeFlags| {
+            for n in g.reachable(starts) {
+                g.add_flags(n, flag);
+            }
+        };
+        let args: Vec<NodeId> = self.arg_cells.iter().flatten().map(|c| c.node).collect();
+        mark(&mut self.graph, args, NodeFlags::ARG);
+        if let Some(rc) = self.ret_cell {
+            mark(&mut self.graph, vec![rc.node], NodeFlags::RETURNED);
+        }
+        let globals: Vec<NodeId> = self.global_nodes.values().copied().collect();
+        // The global storage itself is GLOBAL; its contents escape.
+        let mut content_roots = Vec::new();
+        for g in globals {
+            for &t in self.graph.node(g).edges.values() {
+                content_roots.push(t);
+            }
+        }
+        mark(&mut self.graph, content_roots, NodeFlags::GLOBAL_ESCAPE);
+    }
+
+    /// Get (or create) the cell of a value.
+    fn cell(&mut self, v: Value) -> Cell {
+        if let Some(&c) = self.cells.get(&v) {
+            return c;
+        }
+        let c = match v {
+            Value::Arg(i) => {
+                let n = self.graph.new_node(NodeFlags::ARG);
+                let c = Cell::at(n);
+                if (i as usize) < self.arg_cells.len() {
+                    self.arg_cells[i as usize] = Some(c);
+                }
+                c
+            }
+            Value::Global(g) => {
+                let n = self.global_node(g);
+                Cell::at(n)
+            }
+            Value::Func(_) => Cell::at(self.graph.new_node(NodeFlags::EXTERNAL)),
+            Value::Null | Value::Undef | Value::ConstInt(_) | Value::ConstFloat(_) => {
+                // Constant "pointers" get a throwaway node so unification
+                // with them is harmless.
+                Cell::at(self.graph.new_node(NodeFlags::empty()))
+            }
+            Value::Inst(_) => Cell::at(self.graph.new_node(NodeFlags::empty())),
+        };
+        self.cells.insert(v, c);
+        c
+    }
+
+    fn global_node(&mut self, g: GlobalId) -> NodeId {
+        if let Some(&n) = self.global_nodes.get(&g) {
+            return n;
+        }
+        let n = self.graph.new_node(NodeFlags::GLOBAL);
+        self.graph.node_mut(n).globals.insert(g);
+        self.graph
+            .node_mut(n)
+            .tys
+            .insert(self.module.globals[g.0 as usize].ty);
+        self.global_nodes.insert(g, n);
+        n
+    }
+
+    /// Unify the cells of two values (offset mismatch degrades to Unknown).
+    fn unify_values(&mut self, a: Value, b: Value) {
+        let ca = self.cell(a);
+        let cb = self.cell(b);
+        self.graph.unify(ca.node, cb.node);
+        if ca.offset != cb.offset {
+            // Interior-pointer merge at differing offsets: stop tracking.
+            let node = self.graph.find(ca.node);
+            self.graph.collapse(node);
+        }
+    }
+
+    fn run(&mut self, f: &Function) {
+        for (_b, iid, inst) in f.iter_insts() {
+            self.visit(f, iid, inst);
+        }
+    }
+
+    fn visit(&mut self, f: &Function, iid: InstId, inst: &Inst) {
+        let me = Value::Inst(iid);
+        match inst {
+            Inst::Alloc { ty_hint, .. } => {
+                let n = self.graph.new_node(NodeFlags::HEAP);
+                self.graph.node_mut(n).alloc_sites.insert(AllocSite {
+                    func: self.fid,
+                    inst: iid,
+                });
+                self.graph.node_mut(n).tys.insert(*ty_hint);
+                self.overwrite_cell(me, Cell::at(n));
+            }
+            Inst::AllocStack { ty } => {
+                let n = self.graph.new_node(NodeFlags::STACK);
+                self.graph.node_mut(n).tys.insert(*ty);
+                self.overwrite_cell(me, Cell::at(n));
+            }
+            Inst::Gep {
+                base,
+                pointee,
+                indices,
+            } => {
+                let bc = self.cell(*base);
+                let disp = self.gep_displacement(*pointee, indices);
+                let cell = Cell {
+                    node: bc.node,
+                    offset: match disp {
+                        Some(d) => bc.offset.add(d),
+                        None => Offset::Unknown,
+                    },
+                };
+                self.overwrite_cell(me, cell);
+                // record the pointee type on the node (type recovery)
+                let node = self.graph.find(bc.node);
+                self.graph.node_mut(node).tys.insert(*pointee);
+            }
+            Inst::Load { ptr, ty } => {
+                let pc = self.cell(*ptr);
+                self.accesses.push(AccessRecord {
+                    inst: iid,
+                    node: self.graph.find(pc.node),
+                    kind: AccessKind::Read,
+                    bytes: self.module.types.size_of(*ty),
+                });
+                if *ty == Type::Ptr {
+                    let target = self.graph.field_target(pc);
+                    self.overwrite_cell(me, Cell::at(target));
+                }
+            }
+            Inst::Store { ptr, val, ty } => {
+                let pc = self.cell(*ptr);
+                self.accesses.push(AccessRecord {
+                    inst: iid,
+                    node: self.graph.find(pc.node),
+                    kind: AccessKind::Write,
+                    bytes: self.module.types.size_of(*ty),
+                });
+                if *ty == Type::Ptr {
+                    let target = self.graph.field_target(pc);
+                    let vc = self.cell(*val);
+                    self.graph.unify(target, vc.node);
+                    if vc.offset == Offset::Unknown {
+                        let n = self.graph.find(target);
+                        self.graph.collapse(n);
+                    }
+                }
+            }
+            Inst::Bin { lhs, rhs, ty, .. } => {
+                // Pointer arithmetic through integers: propagate with an
+                // unknown offset.
+                if *ty == Type::I64 {
+                    for op in [*lhs, *rhs] {
+                        if let Some(&c) = self.cells.get(&op) {
+                            self.overwrite_cell(
+                                me,
+                                Cell {
+                                    node: c.node,
+                                    offset: Offset::Unknown,
+                                },
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+            Inst::Cast { op, val, .. } => match op {
+                CastOp::PtrCast | CastOp::PtrToInt => {
+                    let c = self.cell(*val);
+                    self.overwrite_cell(me, c);
+                }
+                CastOp::IntToPtr => {
+                    if let Some(&c) = self.cells.get(val) {
+                        self.overwrite_cell(me, c);
+                    } else {
+                        let n = self.graph.new_node(NodeFlags::EXTERNAL);
+                        self.overwrite_cell(me, Cell::at(n));
+                    }
+                }
+                _ => {}
+            },
+            Inst::Select {
+                then_v, else_v, ty, ..
+            } => {
+                if *ty == Type::Ptr {
+                    let c = self.cell(*then_v);
+                    self.overwrite_cell(me, c);
+                    self.unify_values(me, *else_v);
+                }
+            }
+            Inst::Phi { ty, incoming } => {
+                if *ty == Type::Ptr {
+                    let mut iter = incoming.iter();
+                    if let Some(&(_, first)) = iter.next() {
+                        let c = self.cell(first);
+                        self.overwrite_cell(me, c);
+                        for &(_, v) in iter {
+                            self.unify_values(me, v);
+                        }
+                    }
+                }
+            }
+            Inst::Call { callee, args } => {
+                self.calls.push((iid, *callee));
+                for &a in args {
+                    if self.is_pointerish(f, a) {
+                        let c = self.cell(a);
+                        self.graph.add_flags(c.node, NodeFlags::PASSED);
+                    }
+                }
+                if self.module.func(*callee).ret == Type::Ptr {
+                    let n = self.graph.new_node(NodeFlags::empty());
+                    self.overwrite_cell(me, Cell::at(n));
+                }
+            }
+            Inst::CallIndirect { args, ret, .. } => {
+                // Conservative: indirect callees resolved inter-procedurally;
+                // all pointer args escape.
+                for &a in args {
+                    if self.is_pointerish(f, a) {
+                        let c = self.cell(a);
+                        self.graph
+                            .add_flags(c.node, NodeFlags::PASSED | NodeFlags::EXTERNAL);
+                    }
+                }
+                if *ret == Type::Ptr {
+                    let n = self.graph.new_node(NodeFlags::EXTERNAL);
+                    self.overwrite_cell(me, Cell::at(n));
+                }
+            }
+            Inst::Ret { val: Some(v) } => {
+                if self.is_pointerish(f, *v) {
+                    let c = self.cell(*v);
+                    match self.ret_cell {
+                        Some(rc) => {
+                            self.graph.unify(rc.node, c.node);
+                        }
+                        None => self.ret_cell = Some(c),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn overwrite_cell(&mut self, v: Value, c: Cell) {
+        if let Some(&old) = self.cells.get(&v) {
+            // A placeholder existed (forward reference through a phi);
+            // merge it with the real cell.
+            self.graph.unify(old.node, c.node);
+        }
+        self.cells.insert(v, c);
+    }
+
+    /// Whether a value may carry a pointer (typed Ptr, or an int we have a
+    /// cell for).
+    fn is_pointerish(&self, f: &Function, v: Value) -> bool {
+        match v {
+            Value::Inst(i) => {
+                matches!(
+                    cards_ir::result_type(self.module, f.inst(i)),
+                    Type::Ptr
+                ) || self.cells.contains_key(&v)
+            }
+            Value::Arg(i) => f.params.get(i as usize) == Some(&Type::Ptr),
+            Value::Global(_) | Value::Func(_) | Value::Null => true,
+            _ => false,
+        }
+    }
+
+    fn gep_displacement(&self, pointee: Type, indices: &[GepIdx]) -> Option<u64> {
+        let types = &self.module.types;
+        let mut disp = 0u64;
+        let mut cur = pointee;
+        for (i, idx) in indices.iter().enumerate() {
+            match idx {
+                // Array indexing folds to element 0 (DSA array folding);
+                // the *type* still advances for nested aggregates.
+                GepIdx::Index(_) => {
+                    if i > 0 {
+                        if let Type::Array(a) = cur {
+                            cur = types.array_ty(a).elem;
+                        }
+                    }
+                }
+                GepIdx::Field(k) => match cur {
+                    Type::Struct(sid) => {
+                        disp += types.field_offset(sid, *k);
+                        cur = types.struct_ty(sid).fields[*k as usize];
+                    }
+                    _ => return None, // ill-typed gep: give up on offsets
+                },
+            }
+        }
+        Some(disp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cards_ir::{FunctionBuilder, Module};
+
+    /// Two distinct local allocations must be distinct nodes.
+    #[test]
+    fn disjoint_allocs_get_disjoint_nodes() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], cards_ir::Type::Void);
+        let p = b.alloc(b.iconst(64), Type::I64);
+        let q = b.alloc(b.iconst(64), Type::I64);
+        b.store(p, b.iconst(1), Type::I64);
+        b.store(q, b.iconst(2), Type::I64);
+        b.ret_void();
+        let fid = m.add_function(b.finish());
+        let dsa = FunctionDsa::analyze(&m, fid);
+        let heap = dsa.heap_nodes();
+        assert_eq!(heap.len(), 2);
+        assert_ne!(dsa.graph.find(heap[0]), dsa.graph.find(heap[1]));
+        assert!(!dsa.escapes(heap[0]));
+        assert_eq!(dsa.accesses.len(), 2);
+    }
+
+    /// Storing one pointer into a phi/select with another merges them.
+    #[test]
+    fn phi_unifies_pointers() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![Type::I1], Type::Ptr);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(b.arg(0), t, e);
+        b.switch_to(t);
+        let p = b.alloc(b.iconst(8), Type::I64);
+        b.br(j);
+        b.switch_to(e);
+        let q = b.alloc(b.iconst(8), Type::I64);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(Type::Ptr, vec![(t, p), (e, q)]);
+        b.ret(phi);
+        let fid = m.add_function(b.finish());
+        let dsa = FunctionDsa::analyze(&m, fid);
+        let heap = dsa.heap_nodes();
+        assert_eq!(heap.len(), 1, "phi must unify the two allocs");
+        assert!(dsa.escapes(heap[0]), "returned pointer escapes");
+        assert_eq!(dsa.graph.node(heap[0]).alloc_sites.len(), 2);
+    }
+
+    /// Statically distinct linked nodes stay distinct (DSA links, it does
+    /// not unify through edges); a loop-built list aliases its nodes and
+    /// becomes a recursive class.
+    #[test]
+    fn linked_nodes_distinct_until_aliased() {
+        let mut m = Module::new("t");
+        let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+        // Two nodes, n1.next = n2: two classes joined by an edge.
+        let fid = {
+            let mut b = FunctionBuilder::new("pair", vec![], Type::Ptr);
+            let n1 = b.alloc(b.iconst(16), Type::Struct(node_ty));
+            let n2 = b.alloc(b.iconst(16), Type::Struct(node_ty));
+            let nf = b.gep_field(n1, Type::Struct(node_ty), 1);
+            b.store(nf, n2, Type::Ptr);
+            b.ret(n1);
+            m.add_function(b.finish())
+        };
+        let dsa = FunctionDsa::analyze(&m, fid);
+        assert_eq!(dsa.heap_nodes().len(), 2);
+        assert!(dsa.heap_nodes().iter().all(|&n| !dsa.graph.is_recursive(n)));
+
+        // Loop-built list: nodes alias through the phi'd head -> recursive.
+        let fid2 = {
+            let mut b = FunctionBuilder::new("list", vec![], Type::Ptr);
+            let slot = b.alloca(Type::Ptr);
+            b.store(slot, Value::Null, Type::Ptr);
+            let z = b.iconst(0);
+            let n = b.iconst(100);
+            let one = b.iconst(1);
+            b.counted_loop(z, n, one, |b, i| {
+                let node = b.alloc(b.iconst(16), Type::Struct(node_ty));
+                b.store(node, i, Type::I64);
+                let head = b.load(slot, Type::Ptr);
+                let nf = b.gep_field(node, Type::Struct(node_ty), 1);
+                b.store(nf, head, Type::Ptr);
+                b.store(slot, node, Type::Ptr);
+            });
+            let out = b.load(slot, Type::Ptr);
+            b.ret(out);
+            m.add_function(b.finish())
+        };
+        let dsa2 = FunctionDsa::analyze(&m, fid2);
+        let heap2 = dsa2.heap_nodes();
+        assert_eq!(heap2.len(), 1, "loop iterations alias into one class");
+        assert!(dsa2.graph.is_recursive(heap2[0]));
+    }
+
+    /// Struct fields keep separate edges (field sensitivity): two pointer
+    /// fields of a struct point to different nodes.
+    #[test]
+    fn field_sensitivity_keeps_edges_apart() {
+        let mut m = Module::new("t");
+        let pair = m.types.add_struct("Pair", vec![Type::Ptr, Type::Ptr]);
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let s = b.alloca(Type::Struct(pair));
+        let a = b.alloc(b.iconst(8), Type::I64);
+        let c = b.alloc(b.iconst(8), Type::I64);
+        let f0 = b.gep_field(s, Type::Struct(pair), 0);
+        let f1 = b.gep_field(s, Type::Struct(pair), 1);
+        b.store(f0, a, Type::Ptr);
+        b.store(f1, c, Type::Ptr);
+        b.ret_void();
+        let fid = m.add_function(b.finish());
+        let dsa = FunctionDsa::analyze(&m, fid);
+        let heap = dsa.heap_nodes();
+        assert_eq!(heap.len(), 2, "pointer fields at offsets 0/8 stay apart");
+    }
+
+    /// Array indexing folds: ds[i] accesses stay on the array's node.
+    #[test]
+    fn array_indexing_folds_to_one_node() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let arr = b.alloc(b.iconst(800), Type::I64);
+        let z = b.iconst(0);
+        let n = b.iconst(100);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, i| {
+            let p = b.gep_index(arr, Type::I64, i);
+            b.store(p, i, Type::I64);
+        });
+        b.ret_void();
+        let fid = m.add_function(b.finish());
+        let dsa = FunctionDsa::analyze(&m, fid);
+        let heap = dsa.heap_nodes();
+        assert_eq!(heap.len(), 1);
+        assert!(!dsa.graph.node(heap[0]).collapsed, "folding is not collapse");
+        // 100 stores map to the single array node
+        let arr_node = dsa.graph.find(heap[0]);
+        assert!(dsa
+            .accesses
+            .iter()
+            .all(|a| dsa.graph.find(a.node) == arr_node));
+    }
+
+    /// Globals: a heap pointer stored to a global escapes.
+    #[test]
+    fn global_store_escapes() {
+        let mut m = Module::new("t");
+        let g = m.add_global("ds1", Type::Ptr, None);
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p = b.alloc(b.iconst(64), Type::I32);
+        b.store(Value::Global(g), p, Type::Ptr);
+        b.ret_void();
+        let fid = m.add_function(b.finish());
+        let dsa = FunctionDsa::analyze(&m, fid);
+        let heap = dsa.heap_nodes();
+        assert_eq!(heap.len(), 1);
+        assert!(dsa.escapes(heap[0]));
+        assert!(dsa.graph.node(heap[0]).flags.contains(NodeFlags::GLOBAL_ESCAPE));
+    }
+
+    /// Pointers reachable from arguments are flagged ARG.
+    #[test]
+    fn arg_reachability_flags() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr], Type::Void);
+        let inner = b.load(b.arg(0), Type::Ptr);
+        b.store(inner, b.iconst(1), Type::I64);
+        b.ret_void();
+        let fid = m.add_function(b.finish());
+        let dsa = FunctionDsa::analyze(&m, fid);
+        let c = dsa.cell_of(Value::Inst(cards_ir::InstId(0))).unwrap();
+        assert!(dsa.graph.node(c.node).flags.contains(NodeFlags::ARG));
+    }
+
+    /// ptrtoint/arithmetic/inttoptr keeps the node but loses the offset.
+    #[test]
+    fn int_pointer_laundering_collapses_offsets() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let p = b.alloc(b.iconst(64), Type::I64);
+        let i = b.cast(CastOp::PtrToInt, p, Type::I64);
+        let j = b.add(i, b.iconst(24));
+        let q = b.cast(CastOp::IntToPtr, j, Type::Ptr);
+        b.store(q, b.iconst(0), Type::I64);
+        b.ret_void();
+        let fid = m.add_function(b.finish());
+        let dsa = FunctionDsa::analyze(&m, fid);
+        let heap = dsa.heap_nodes();
+        assert_eq!(heap.len(), 1, "laundered pointer still aliases the alloc");
+        let qc = dsa.cell_of(Value::Inst(cards_ir::InstId(3))).unwrap();
+        assert_eq!(dsa.graph.find(qc.node), dsa.graph.find(heap[0]));
+        assert_eq!(qc.offset, Offset::Unknown);
+    }
+}

@@ -1,0 +1,314 @@
+//! Module-level DSA tests, including the paper's Listing 1 scenario.
+
+use crate::interproc::ModuleDsa;
+use cards_ir::{FunctionBuilder, Module, Type, Value};
+
+/// The paper's Listing 1: two globals ds1/ds2 both filled through the
+/// same `alloc()` helper, then written through `Set`. DSA must find TWO
+/// disjoint data structures (Figure 2) despite the single malloc site.
+pub(crate) fn listing1() -> (Module, cards_ir::FuncId) {
+    let mut m = Module::new("listing1");
+    let g1 = m.add_global("ds1", Type::Ptr, None);
+    let g2 = m.add_global("ds2", Type::Ptr, None);
+
+    // fn alloc() -> ptr { return malloc(ARRAY_SIZE) }
+    let alloc_f = {
+        let mut b = FunctionBuilder::new("alloc", vec![], Type::Ptr);
+        let p = b.alloc(b.iconst(8 * 1024), Type::I32);
+        b.ret(p);
+        m.add_function(b.finish())
+    };
+    // fn Set(ds: ptr, val: i64) { for j in 0..N { ds[j] = val } }
+    let set_f = {
+        let mut b = FunctionBuilder::new("Set", vec![Type::Ptr, Type::I64], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(2048);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, j| {
+            let p = b.gep_index(b.arg(0), Type::I32, j);
+            b.store(p, b.arg(1), Type::I32);
+        });
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    // fn main() { ds1 = alloc(); ds2 = alloc(); Set(ds1,0); Set(ds2,1);
+    //             for k in 0..NTIMES { Set(ds2,k) } }
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p1 = b.call(alloc_f, vec![]);
+        b.store(Value::Global(g1), p1, Type::Ptr);
+        let p2 = b.call(alloc_f, vec![]);
+        b.store(Value::Global(g2), p2, Type::Ptr);
+        let d1 = b.load(Value::Global(g1), Type::Ptr);
+        b.call(set_f, vec![d1, b.iconst(0)]);
+        let d2 = b.load(Value::Global(g2), Type::Ptr);
+        b.call(set_f, vec![d2, b.iconst(1)]);
+        let z = b.iconst(0);
+        let n = b.iconst(10);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, k| {
+            let d2b = b.load(Value::Global(g2), Type::Ptr);
+            b.call(set_f, vec![d2b, k]);
+        });
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    (m, main_f)
+}
+
+#[test]
+fn listing1_finds_two_disjoint_structures() {
+    let (m, main_f) = listing1();
+    assert!(cards_ir::verify_module(&m).is_empty());
+    let dsa = ModuleDsa::analyze(&m);
+    assert_eq!(dsa.entries, vec![main_f]);
+    // Exactly the two instances of Figure 2.
+    assert_eq!(dsa.instances.len(), 2, "instances: {:?}", dsa.instances);
+    let names: Vec<&str> = dsa.instances.iter().map(|i| i.name.as_str()).collect();
+    assert!(names.contains(&"ds1"), "names: {names:?}");
+    assert!(names.contains(&"ds2"));
+    for inst in &dsa.instances {
+        assert_eq!(inst.owner, main_f);
+        assert!(!inst.recursive);
+        assert_eq!(inst.alloc_sites.len(), 1);
+    }
+    // They are distinct nodes in main's graph.
+    let g = &dsa.func(main_f).graph;
+    assert_ne!(
+        g.find(dsa.instances[0].node),
+        g.find(dsa.instances[1].node)
+    );
+}
+
+#[test]
+fn listing1_usage_prefers_ds2() {
+    let (m, _) = listing1();
+    let dsa = ModuleDsa::analyze(&m);
+    let ds1 = dsa.instances.iter().find(|i| i.name == "ds1").unwrap();
+    let ds2 = dsa.instances.iter().find(|i| i.name == "ds2").unwrap();
+    let u1 = &dsa.usage[ds1.id as usize];
+    let u2 = &dsa.usage[ds2.id as usize];
+    // ds2 is written in the k-loop as well: higher use score (Eq. 1).
+    assert!(
+        u2.use_score() > u1.use_score(),
+        "ds2 {:?} vs ds1 {:?}",
+        u2,
+        u1
+    );
+    // Both are accessed inside Set.
+    let set_f = m.func_by_name("Set").unwrap();
+    assert!(u1.funcs.contains(&set_f));
+    assert!(u2.funcs.contains(&set_f));
+}
+
+#[test]
+fn listing1_set_arg_node_maps_to_both_instances() {
+    let (m, _) = listing1();
+    let dsa = ModuleDsa::analyze(&m);
+    let set_f = m.func_by_name("Set").unwrap();
+    let fd = dsa.func(set_f);
+    let argn = fd.arg_cells[0].unwrap().node;
+    let ids = dsa.instances_of_node(set_f, argn);
+    assert_eq!(ids.len(), 2, "Set's pointer arg is context-dependent");
+}
+
+#[test]
+fn local_helper_allocation_is_owned_locally() {
+    // A helper with a scratch buffer that never escapes: the instance
+    // belongs to the helper, not to main.
+    let mut m = Module::new("t");
+    let helper = {
+        let mut b = FunctionBuilder::new("helper", vec![], Type::I64);
+        let buf = b.alloc(b.iconst(256), Type::I64);
+        b.store(buf, b.iconst(7), Type::I64);
+        let v = b.load(buf, Type::I64);
+        b.free(buf);
+        b.ret(v);
+        m.add_function(b.finish())
+    };
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        b.call(helper, vec![]);
+        b.call(helper, vec![]);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let dsa = ModuleDsa::analyze(&m);
+    assert_eq!(dsa.instances.len(), 1);
+    assert_eq!(dsa.instances[0].owner, helper);
+    assert_ne!(dsa.instances[0].owner, main_f);
+}
+
+#[test]
+fn recursive_list_builder_flags_recursive_instance() {
+    let mut m = Module::new("t");
+    let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+    // fn build(n: i64) -> ptr  (recursive list builder)
+    let build = m.add_function(cards_ir::Function::new(
+        "build",
+        vec![Type::I64],
+        Type::Ptr,
+    ));
+    {
+        let mut b = FunctionBuilder::new("build", vec![Type::I64], Type::Ptr);
+        let done = b.new_block();
+        let rec = b.new_block();
+        let c = b.cmp(cards_ir::CmpOp::Sle, b.arg(0), b.iconst(0));
+        b.cond_br(c, done, rec);
+        b.switch_to(done);
+        b.ret(Value::Null);
+        b.switch_to(rec);
+        let node = b.alloc(b.iconst(16), Type::Struct(node_ty));
+        b.store(node, b.arg(0), Type::I64);
+        let nm1 = b.sub(b.arg(0), b.iconst(1));
+        let tail = b.call(build, vec![nm1]);
+        let nf = b.gep_field(node, Type::Struct(node_ty), 1);
+        b.store(nf, tail, Type::Ptr);
+        b.ret(node);
+        *m.func_mut(build) = b.finish();
+    }
+    let _main = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let head = b.call(build, vec![b.iconst(100)]);
+        let _v = b.load(head, Type::I64);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    assert!(cards_ir::verify_module(&m).is_empty());
+    let dsa = ModuleDsa::analyze(&m);
+    assert_eq!(dsa.instances.len(), 1, "{:?}", dsa.instances);
+    let inst = &dsa.instances[0];
+    assert!(inst.recursive, "list must be flagged recursive");
+    assert_eq!(inst.elem_ty, Some(Type::Struct(node_ty)));
+}
+
+#[test]
+fn two_lists_from_same_builder_are_distinct() {
+    // Context sensitivity on recursive structures: two lists built by
+    // the same function are distinct instances.
+    let mut m = Module::new("t");
+    let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+    let build = {
+        // iterative builder: head = null; loop { n = alloc; n.next = head; head = n }
+        let mut b = FunctionBuilder::new("build", vec![Type::I64], Type::Ptr);
+        let slot = b.alloca(Type::Ptr);
+        b.store(slot, Value::Null, Type::Ptr);
+        let z = b.iconst(0);
+        let one = b.iconst(1);
+        b.counted_loop(z, b.arg(0), one, |b, i| {
+            let n = b.alloc(b.iconst(16), Type::Struct(node_ty));
+            b.store(n, i, Type::I64);
+            let head = b.load(slot, Type::Ptr);
+            let nf = b.gep_field(n, Type::Struct(node_ty), 1);
+            b.store(nf, head, Type::Ptr);
+            b.store(slot, n, Type::Ptr);
+        });
+        let out = b.load(slot, Type::Ptr);
+        b.ret(out);
+        m.add_function(b.finish())
+    };
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let l1 = b.call(build, vec![b.iconst(10)]);
+        let l2 = b.call(build, vec![b.iconst(20)]);
+        let _ = b.load(l1, Type::I64);
+        let _ = b.load(l2, Type::I64);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let dsa = ModuleDsa::analyze(&m);
+    assert_eq!(dsa.instances.len(), 2);
+    assert!(dsa.instances.iter().all(|i| i.recursive));
+    assert!(dsa.instances.iter().all(|i| i.owner == main_f));
+}
+
+#[test]
+fn aliased_arguments_merge_in_callee_binding() {
+    // f(p, p): callee's two arg nodes must unify in the caller.
+    let mut m = Module::new("t");
+    let callee = {
+        let mut b = FunctionBuilder::new("both", vec![Type::Ptr, Type::Ptr], Type::Void);
+        b.store(b.arg(0), b.iconst(1), Type::I64);
+        b.store(b.arg(1), b.iconst(2), Type::I64);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p = b.alloc(b.iconst(8), Type::I64);
+        b.call(callee, vec![p, p]);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let dsa = ModuleDsa::analyze(&m);
+    // only one instance (one alloc, both args alias it)
+    assert_eq!(dsa.instances.len(), 1);
+    assert_eq!(dsa.instances[0].owner, main_f);
+    // and the callee's arg nodes both map to that instance
+    let fd = dsa.func(callee);
+    let n0 = fd.arg_cells[0].unwrap().node;
+    let n1 = fd.arg_cells[1].unwrap().node;
+    assert_eq!(dsa.instances_of_node(callee, n0), &[0]);
+    assert_eq!(dsa.instances_of_node(callee, n1), &[0]);
+}
+
+#[test]
+fn mutual_recursion_converges() {
+    // even/odd mutual recursion passing a buffer down.
+    let mut m = Module::new("t");
+    let even = m.add_function(cards_ir::Function::new(
+        "even",
+        vec![Type::Ptr, Type::I64],
+        Type::Void,
+    ));
+    let odd = m.add_function(cards_ir::Function::new(
+        "odd",
+        vec![Type::Ptr, Type::I64],
+        Type::Void,
+    ));
+    {
+        let mut b = FunctionBuilder::new("even", vec![Type::Ptr, Type::I64], Type::Void);
+        let stop = b.new_block();
+        let go = b.new_block();
+        let c = b.cmp(cards_ir::CmpOp::Sle, b.arg(1), b.iconst(0));
+        b.cond_br(c, stop, go);
+        b.switch_to(stop);
+        b.ret_void();
+        b.switch_to(go);
+        b.store(b.arg(0), b.arg(1), Type::I64);
+        let nm1 = b.sub(b.arg(1), b.iconst(1));
+        b.call(odd, vec![b.arg(0), nm1]);
+        b.ret_void();
+        *m.func_mut(even) = b.finish();
+    }
+    {
+        let mut b = FunctionBuilder::new("odd", vec![Type::Ptr, Type::I64], Type::Void);
+        let stop = b.new_block();
+        let go = b.new_block();
+        let c = b.cmp(cards_ir::CmpOp::Sle, b.arg(1), b.iconst(0));
+        b.cond_br(c, stop, go);
+        b.switch_to(stop);
+        b.ret_void();
+        b.switch_to(go);
+        let nm1 = b.sub(b.arg(1), b.iconst(1));
+        b.call(even, vec![b.arg(0), nm1]);
+        b.ret_void();
+        *m.func_mut(odd) = b.finish();
+    }
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p = b.alloc(b.iconst(64), Type::I64);
+        b.call(even, vec![p, b.iconst(10)]);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    assert!(cards_ir::verify_module(&m).is_empty());
+    let dsa = ModuleDsa::analyze(&m);
+    assert_eq!(dsa.instances.len(), 1);
+    assert_eq!(dsa.instances[0].owner, main_f);
+    // both even and odd see the instance
+    let u = &dsa.usage[0];
+    assert!(u.funcs.contains(&even));
+    // `odd` only forwards the pointer (no access), so only `even` counts
+    assert!(u.access_insts >= 1);
+}

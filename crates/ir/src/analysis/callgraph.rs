@@ -1,0 +1,275 @@
+//! Call graph, Tarjan SCC condensation, and caller/callee reach depth.
+//!
+//! The Max Reach remoting policy (paper §4.2) prioritizes data structures
+//! used in functions with long caller/callee chains; it is computed from
+//! the longest path through the SCC condensation of the call graph.
+
+use std::collections::BTreeSet;
+
+use crate::function::Module;
+use crate::inst::{FuncId, Inst};
+
+/// Direct + conservative-indirect call graph of a module.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// Callees per function index (deduped).
+    pub callees: Vec<Vec<FuncId>>,
+    /// Callers per function index (deduped).
+    pub callers: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Build the call graph. Indirect calls conservatively target every
+    /// address-taken function whose signature arity matches.
+    pub fn compute(m: &Module) -> Self {
+        let n = m.functions.len();
+        let taken = m.address_taken_funcs();
+        let mut callees: Vec<BTreeSet<FuncId>> = vec![BTreeSet::new(); n];
+        for (fid, f) in m.funcs() {
+            for inst in &f.insts {
+                match inst {
+                    Inst::Call { callee, .. } => {
+                        callees[fid.0 as usize].insert(*callee);
+                    }
+                    Inst::CallIndirect { args, .. } => {
+                        for &t in &taken {
+                            if m.func(t).params.len() == args.len() {
+                                callees[fid.0 as usize].insert(t);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut callers: Vec<BTreeSet<FuncId>> = vec![BTreeSet::new(); n];
+        for (i, cs) in callees.iter().enumerate() {
+            for &c in cs {
+                callers[c.0 as usize].insert(FuncId(i as u32));
+            }
+        }
+        CallGraph {
+            callees: callees.into_iter().map(|s| s.into_iter().collect()).collect(),
+            callers: callers.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.callees.is_empty()
+    }
+}
+
+/// SCC condensation of a [`CallGraph`].
+#[derive(Clone, Debug)]
+pub struct CallGraphSccs {
+    /// SCC index per function.
+    pub scc_of: Vec<u32>,
+    /// Members of each SCC.
+    pub members: Vec<Vec<FuncId>>,
+    /// Condensation edges: SCC -> callee SCCs (deduped, acyclic).
+    pub scc_callees: Vec<Vec<u32>>,
+}
+
+impl CallGraphSccs {
+    /// Tarjan's algorithm (iterative) over the call graph.
+    pub fn compute(cg: &CallGraph) -> Self {
+        let n = cg.len();
+        let mut index = vec![u32::MAX; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut scc_of = vec![u32::MAX; n];
+        let mut members: Vec<Vec<FuncId>> = Vec::new();
+        let mut next = 0u32;
+
+        // Iterative Tarjan with an explicit work stack of (node, child-idx).
+        for start in 0..n as u32 {
+            if index[start as usize] != u32::MAX {
+                continue;
+            }
+            let mut work: Vec<(u32, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+                if *ci == 0 {
+                    index[v as usize] = next;
+                    low[v as usize] = next;
+                    next += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                }
+                let kids = &cg.callees[v as usize];
+                if *ci < kids.len() {
+                    let w = kids[*ci].0;
+                    *ci += 1;
+                    if index[w as usize] == u32::MAX {
+                        work.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    if low[v as usize] == index[v as usize] {
+                        let scc_id = members.len() as u32;
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            scc_of[w as usize] = scc_id;
+                            comp.push(FuncId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.push(comp);
+                    }
+                    work.pop();
+                    if let Some(&mut (p, _)) = work.last_mut() {
+                        low[p as usize] = low[p as usize].min(low[v as usize]);
+                    }
+                }
+            }
+        }
+
+        let mut scc_callees: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); members.len()];
+        for v in 0..n {
+            for &c in &cg.callees[v] {
+                let (a, b) = (scc_of[v], scc_of[c.0 as usize]);
+                if a != b {
+                    scc_callees[a as usize].insert(b);
+                }
+            }
+        }
+        CallGraphSccs {
+            scc_of,
+            members,
+            scc_callees: scc_callees
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+        }
+    }
+
+    /// Longest caller/callee chain length (in SCCs) passing through each
+    /// function: `depth_from_roots(f) + height_to_leaves(f)`. This is the
+    /// "reach" used by the Max Reach policy — functions deep in long chains
+    /// score highest.
+    pub fn reach_depth(&self) -> Vec<u32> {
+        let k = self.members.len();
+        // Tarjan emits SCCs in reverse topological order (callees first),
+        // so height (longest path to a leaf) is computed in emit order...
+        let mut height = vec![0u32; k];
+        for s in 0..k {
+            for &c in &self.scc_callees[s] {
+                height[s] = height[s].max(height[c as usize] + 1);
+            }
+        }
+        // ...and depth (longest path from any root) in reverse emit order.
+        let mut depth = vec![0u32; k];
+        for s in (0..k).rev() {
+            for &c in &self.scc_callees[s] {
+                depth[c as usize] = depth[c as usize].max(depth[s] + 1);
+            }
+        }
+        self.scc_of
+            .iter()
+            .map(|&s| depth[s as usize] + height[s as usize] + 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::{Function, Module};
+    use crate::types::Type;
+
+    /// main -> a -> b -> c ; main -> c ; plus mutual recursion d <-> e.
+    fn chain_module() -> Module {
+        let mut m = Module::new("m");
+        // Pre-declare so we have ids; fill bodies after.
+        for name in ["main", "a", "b", "c", "d", "e"] {
+            m.add_function(Function::new(name, vec![], Type::Void));
+        }
+        let ids: Vec<FuncId> = (0..6).map(FuncId).collect();
+        let mk = |calls: &[FuncId]| {
+            let mut b = FunctionBuilder::new("tmp", vec![], Type::Void);
+            for &c in calls {
+                b.call(c, vec![]);
+            }
+            b.ret_void();
+            b.finish()
+        };
+        let bodies = [
+            mk(&[ids[1], ids[3]]), // main -> a, c
+            mk(&[ids[2]]),         // a -> b
+            mk(&[ids[3]]),         // b -> c
+            mk(&[]),               // c
+            mk(&[ids[5]]),         // d -> e
+            mk(&[ids[4]]),         // e -> d
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let name = m.functions[i].name.clone();
+            m.functions[i] = body;
+            m.functions[i].name = name;
+        }
+        m
+    }
+
+    #[test]
+    fn callgraph_edges() {
+        let m = chain_module();
+        let cg = CallGraph::compute(&m);
+        assert_eq!(cg.callees[0], vec![FuncId(1), FuncId(3)]);
+        assert_eq!(cg.callers[3], vec![FuncId(0), FuncId(2)]);
+    }
+
+    #[test]
+    fn sccs_group_mutual_recursion() {
+        let m = chain_module();
+        let cg = CallGraph::compute(&m);
+        let sccs = CallGraphSccs::compute(&cg);
+        assert_eq!(sccs.scc_of[4], sccs.scc_of[5]); // d,e in one SCC
+        assert_ne!(sccs.scc_of[0], sccs.scc_of[1]);
+        // 5 SCCs total: {main},{a},{b},{c},{d,e}
+        assert_eq!(sccs.members.len(), 5);
+    }
+
+    #[test]
+    fn reach_depth_longest_chain() {
+        let m = chain_module();
+        let cg = CallGraph::compute(&m);
+        let sccs = CallGraphSccs::compute(&cg);
+        let reach = sccs.reach_depth();
+        // chain main->a->b->c has length 4; every member reports 4.
+        assert_eq!(reach[0], 4);
+        assert_eq!(reach[1], 4);
+        assert_eq!(reach[2], 4);
+        assert_eq!(reach[3], 4);
+        // d<->e chain is isolated: reach 1.
+        assert_eq!(reach[4], 1);
+        assert_eq!(reach[5], 1);
+    }
+
+    #[test]
+    fn indirect_calls_target_address_taken() {
+        let mut m = Module::new("m");
+        let sink = m.add_function(Function::new("sink", vec![Type::I64], Type::Void));
+        let other = m.add_function(Function::new("other", vec![], Type::Void));
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let slot = b.alloca(Type::Ptr);
+        b.store(slot, crate::inst::Value::Func(sink), Type::Ptr);
+        let fp = b.load(slot, Type::Ptr);
+        b.call_indirect(fp, vec![Type::I64], Type::Void, vec![b.iconst(1)]);
+        b.ret_void();
+        let main = m.add_function(b.finish());
+        let cg = CallGraph::compute(&m);
+        assert!(cg.callees[main.0 as usize].contains(&sink));
+        // `other` is not address-taken, so not a target.
+        assert!(!cg.callees[main.0 as usize].contains(&other));
+    }
+}

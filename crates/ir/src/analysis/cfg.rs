@@ -1,0 +1,145 @@
+//! Control-flow graph: predecessors, successors, reverse postorder.
+
+use crate::function::Function;
+use crate::inst::BlockId;
+
+/// Predecessor/successor sets and a reverse postorder over a function's
+/// blocks. Blocks unreachable from the entry are excluded from `rpo` but
+/// still get (possibly empty) pred/succ entries.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successors per block index.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block index.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reverse postorder of reachable blocks, starting at the entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Compute the CFG for `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            if let Some(term) = f.terminator(b) {
+                for s in term.successors() {
+                    succs[b.0 as usize].push(s);
+                    preds[s.0 as usize].push(b);
+                }
+            }
+        }
+        // Iterative DFS postorder from entry.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().0 as usize] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let nxt = ss[*i];
+                *i += 1;
+                if !visited[nxt.0 as usize] {
+                    visited[nxt.0 as usize] = true;
+                    stack.push((nxt, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in post.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_index,
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds_of(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Successors of `b`.
+    pub fn succs_of(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::types::Type;
+
+    /// entry -> (then|else) -> join -> ret
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", vec![Type::I64], Type::Void);
+        let then_b = b.new_block();
+        let else_b = b.new_block();
+        let join = b.new_block();
+        let c = b.cmp(CmpOp::Slt, b.arg(0), b.iconst(0));
+        b.cond_br(c, then_b, else_b);
+        b.switch_to(then_b);
+        b.br(join);
+        b.switch_to(else_b);
+        b.br(join);
+        b.switch_to(join);
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs_of(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds_of(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(*cfg.rpo.last().unwrap(), BlockId(3));
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut b = FunctionBuilder::new("u", vec![], Type::Void);
+        b.ret_void();
+        let dead = b.new_block();
+        b.switch_to(dead);
+        b.ret_void();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+
+    #[test]
+    fn loop_back_edge_appears() {
+        let mut b = FunctionBuilder::new("l", vec![], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(3);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |_b, _i| {});
+        b.ret_void();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        // header (bb1) has preds entry (bb0) and body (bb2)
+        assert_eq!(cfg.preds_of(BlockId(1)).len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy algorithm.
+
+use crate::analysis::cfg::Cfg;
+use crate::function::Function;
+use crate::inst::BlockId;
+
+/// Immediate-dominator tree over reachable blocks.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of block `b`; entry's idom is itself.
+    /// Unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Compute dominators for `f` given its CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = f.entry();
+        idom[entry.0 as usize] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while cfg.rpo_index[a.0 as usize] > cfg.rpo_index[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed");
+                }
+                while cfg.rpo_index[b.0 as usize] > cfg.rpo_index[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds_of(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            idom,
+            rpo_index: cfg.rpo_index.clone(),
+        }
+    }
+
+    /// Immediate dominator of `b` (entry maps to itself; unreachable to None).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[b.0 as usize] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let id = match self.idom[cur.0 as usize] {
+                Some(i) => i,
+                None => return false,
+            };
+            if id == cur {
+                return cur == a;
+            }
+            cur = id;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::types::Type;
+
+    #[test]
+    fn diamond_dominators() {
+        let mut b = FunctionBuilder::new("d", vec![Type::I64], Type::Void);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmp(CmpOp::Slt, b.arg(0), b.iconst(0));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret_void();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let entry = BlockId(0);
+        assert_eq!(dom.idom(j), Some(entry)); // join's idom is entry, not t/e
+        assert!(dom.dominates(entry, j));
+        assert!(dom.dominates(entry, t));
+        assert!(!dom.dominates(t, j));
+        assert!(dom.dominates(j, j));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = FunctionBuilder::new("l", vec![], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(3);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |_b, _i| {});
+        b.ret_void();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let header = BlockId(1);
+        let body = BlockId(2);
+        let exit = BlockId(3);
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+    }
+}

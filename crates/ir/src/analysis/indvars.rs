@@ -1,0 +1,201 @@
+//! Induction-variable analysis.
+//!
+//! Finds add-recurrence phis of the form `i = phi [init, i + step]` in loop
+//! headers. The prefetch-analysis pass uses these to recognize strided
+//! access patterns (GEPs indexed by an induction variable) and TrackFM's
+//! guard optimization is limited to exactly these variables.
+
+use crate::analysis::loops::{LoopForest, LoopId};
+use crate::function::Function;
+use crate::inst::{BinOp, BlockId, Inst, InstId, Value};
+
+/// One recognized induction variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndVar {
+    /// The phi instruction defining the variable.
+    pub phi: InstId,
+    /// The loop whose header holds the phi.
+    pub loop_id: LoopId,
+    /// Initial value (incoming from outside the loop).
+    pub init: Value,
+    /// Constant step per iteration, if the step is a compile-time constant.
+    pub step: Option<i64>,
+}
+
+/// All induction variables of a function.
+#[derive(Clone, Debug, Default)]
+pub struct IndVars {
+    /// Recognized variables.
+    pub vars: Vec<IndVar>,
+}
+
+impl IndVars {
+    /// Recognize induction variables in every loop header of `f`.
+    pub fn compute(f: &Function, loops: &LoopForest) -> Self {
+        let mut vars = Vec::new();
+        for (lid, l) in loops.iter() {
+            for &iid in &f.block(l.header).insts {
+                let Inst::Phi { incoming, .. } = f.inst(iid) else {
+                    continue;
+                };
+                let mut init: Option<Value> = None;
+                let mut recur: Option<Value> = None;
+                let mut ok = true;
+                for &(from, v) in incoming {
+                    if l.body.contains(&from) {
+                        // back edge value; must be unique
+                        if recur.replace(v).is_some() {
+                            ok = false;
+                        }
+                    } else if init.replace(v).is_some() {
+                        ok = false;
+                    }
+                }
+                let (Some(init), Some(recur), true) = (init, recur, ok) else {
+                    continue;
+                };
+                // recur must be `phi + c` or `phi - c` (or `c + phi`).
+                let Value::Inst(rid) = recur else { continue };
+                let Inst::Bin { op, lhs, rhs, .. } = f.inst(rid) else {
+                    continue;
+                };
+                let phi_v = Value::Inst(iid);
+                let step = match (op, *lhs, *rhs) {
+                    (BinOp::Add, l, Value::ConstInt(c)) if l == phi_v => Some(c),
+                    (BinOp::Add, Value::ConstInt(c), r) if r == phi_v => Some(c),
+                    (BinOp::Sub, l, Value::ConstInt(c)) if l == phi_v => Some(-c),
+                    // non-constant step still counts as an indvar, step unknown
+                    (BinOp::Add, l, _) | (BinOp::Sub, l, _) if l == phi_v => None,
+                    (BinOp::Add, _, r) if r == phi_v => None,
+                    _ => continue,
+                };
+                vars.push(IndVar {
+                    phi: iid,
+                    loop_id: lid,
+                    init,
+                    step,
+                });
+            }
+        }
+        IndVars { vars }
+    }
+
+    /// Whether `v` is an induction variable.
+    pub fn is_indvar(&self, v: Value) -> bool {
+        matches!(v, Value::Inst(id) if self.vars.iter().any(|iv| iv.phi == id))
+    }
+
+    /// Look up the indvar defined by phi `id`.
+    pub fn get(&self, id: InstId) -> Option<&IndVar> {
+        self.vars.iter().find(|iv| iv.phi == id)
+    }
+
+    /// Indvars of a particular loop.
+    pub fn of_loop(&self, l: LoopId) -> impl Iterator<Item = &IndVar> {
+        self.vars.iter().filter(move |iv| iv.loop_id == l)
+    }
+
+    /// Whether value `v` is an affine function of some induction variable
+    /// (the indvar itself, or indvar ± const, or indvar * const). Used by
+    /// stride detection to see through simple index arithmetic.
+    pub fn is_affine_of_indvar(&self, f: &Function, v: Value) -> bool {
+        if self.is_indvar(v) {
+            return true;
+        }
+        let Value::Inst(id) = v else { return false };
+        let Inst::Bin { op, lhs, rhs, .. } = f.inst(id) else {
+            return false;
+        };
+        let const_side =
+            |a: Value, b: Value| (self.is_indvar(a) && b.is_const()) || (self.is_indvar(b) && a.is_const());
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl => const_side(*lhs, *rhs),
+            _ => false,
+        }
+    }
+}
+
+/// Convenience: compute CFG, dominators, loops and indvars in one call.
+pub fn analyze_loops(f: &Function) -> (super::cfg::Cfg, super::dom::DomTree, LoopForest, IndVars) {
+    let cfg = super::cfg::Cfg::compute(f);
+    let dom = super::dom::DomTree::compute(f, &cfg);
+    let loops = LoopForest::compute(f, &cfg, &dom);
+    let iv = IndVars::compute(f, &loops);
+    (cfg, dom, loops, iv)
+}
+
+/// Blocks of `f` sorted so that a block appears after its loop header;
+/// helper re-exported for passes. Currently just RPO.
+pub fn rpo_blocks(f: &Function) -> Vec<BlockId> {
+    super::cfg::Cfg::compute(f).rpo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn counted_loop_indvar_recognized() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(100);
+        let four = b.iconst(4);
+        b.counted_loop(z, n, four, |_b, _i| {});
+        b.ret_void();
+        let f = b.finish();
+        let (_, _, loops, ivs) = analyze_loops(&f);
+        assert_eq!(loops.loops.len(), 1);
+        assert_eq!(ivs.vars.len(), 1);
+        let iv = &ivs.vars[0];
+        assert_eq!(iv.init, Value::ConstInt(0));
+        assert_eq!(iv.step, Some(4));
+        assert!(ivs.is_indvar(Value::Inst(iv.phi)));
+    }
+
+    #[test]
+    fn affine_expressions_detected() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(10);
+        let one = b.iconst(1);
+        let mut derived = Value::Undef;
+        b.counted_loop(z, n, one, |b, i| {
+            derived = b.mul(i, b.iconst(8)); // i * 8 — affine
+        });
+        b.ret_void();
+        let f = b.finish();
+        let (_, _, _, ivs) = analyze_loops(&f);
+        assert!(ivs.is_affine_of_indvar(&f, derived));
+        assert!(!ivs.is_affine_of_indvar(&f, Value::Arg(0)));
+    }
+
+    #[test]
+    fn pointer_chase_phi_is_not_indvar() {
+        use crate::inst::Inst;
+        // p = phi [head, load p->next] — a pointer-chasing recurrence.
+        let mut b = FunctionBuilder::new("f", vec![Type::Ptr], Type::Void);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let p = b.phi(Type::Ptr, vec![(entry, b.arg(0))]);
+        let isnull = b.cmp(crate::inst::CmpOp::Eq, p, Value::Null);
+        b.cond_br(isnull, exit, body);
+        b.switch_to(body);
+        let next = b.load(p, Type::Ptr);
+        b.br(header);
+        b.add_phi_incoming(p, body, next);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish();
+        let (_, _, loops, ivs) = analyze_loops(&f);
+        assert_eq!(loops.loops.len(), 1);
+        assert!(ivs.vars.is_empty());
+        // sanity: the phi exists
+        assert!(f.insts.iter().any(|i| matches!(i, Inst::Phi { .. })));
+    }
+}

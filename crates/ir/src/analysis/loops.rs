@@ -1,0 +1,223 @@
+//! Natural-loop detection and loop nesting.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dom::DomTree;
+use crate::function::Function;
+use crate::inst::BlockId;
+
+/// Identifier of a loop within a [`LoopForest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LoopId(pub u32);
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// Header block (target of the back edge(s), dominates the body).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// Blocks outside the loop that body blocks branch to.
+    pub exits: Vec<BlockId>,
+    /// Enclosing loop, if nested.
+    pub parent: Option<LoopId>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+}
+
+/// All natural loops of a function with their nesting relations.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    /// Loops, indexable by [`LoopId`]. Ordered outermost-first per nest.
+    pub loops: Vec<Loop>,
+    /// Innermost loop containing each block (by block index), if any.
+    pub innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detect natural loops (back edges `latch -> header` where `header`
+    /// dominates `latch`), merging loops that share a header.
+    pub fn compute(f: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        let n = f.blocks.len();
+        // Collect back edges grouped by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for &b in &cfg.rpo {
+            for &s in cfg.succs_of(b) {
+                if dom.dominates(s, b) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => by_header.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for (header, latches) in by_header {
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if body.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds_of(b) {
+                    if cfg.is_reachable(p) && body.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut exits = Vec::new();
+            for &b in &body {
+                for &s in cfg.succs_of(b) {
+                    if !body.contains(&s) && !exits.contains(&s) {
+                        exits.push(s);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                body,
+                latches,
+                exits,
+                parent: None,
+                depth: 1,
+            });
+        }
+
+        // Nesting: loop A is parent of B if A != B and A.body ⊇ B.body.
+        // Choose the smallest strict superset as the parent.
+        let snapshots: Vec<BTreeSet<BlockId>> = loops.iter().map(|l| l.body.clone()).collect();
+        for i in 0..loops.len() {
+            let mut best: Option<(usize, usize)> = None; // (idx, size)
+            for j in 0..loops.len() {
+                if i == j {
+                    continue;
+                }
+                if snapshots[j].is_superset(&snapshots[i]) && snapshots[j].len() > snapshots[i].len()
+                {
+                    let sz = snapshots[j].len();
+                    if best.map_or(true, |(_, bs)| sz < bs) {
+                        best = Some((j, sz));
+                    }
+                }
+            }
+            loops[i].parent = best.map(|(j, _)| LoopId(j as u32));
+        }
+        // Depths by walking parent chains.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut p = loops[i].parent;
+            while let Some(LoopId(j)) = p {
+                d += 1;
+                p = loops[j as usize].parent;
+            }
+            loops[i].depth = d;
+        }
+        // Innermost loop per block = containing loop with maximum depth.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; n];
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.body {
+                let slot = &mut innermost[b.0 as usize];
+                let better = match slot {
+                    None => true,
+                    Some(LoopId(j)) => loops[*j as usize].depth < l.depth,
+                };
+                if better {
+                    *slot = Some(LoopId(i as u32));
+                }
+            }
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// Loop by id.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.0 as usize]
+    }
+
+    /// Innermost loop containing `b`.
+    pub fn loop_of(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.0 as usize]
+    }
+
+    /// Nesting depth of block `b` (0 = not in a loop).
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.loop_of(b).map_or(0, |l| self.get(l).depth)
+    }
+
+    /// Iterate `(LoopId, &Loop)`.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopId, &Loop)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId(i as u32), l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    fn forest_of(f: &Function) -> LoopForest {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        LoopForest::compute(f, &cfg, &dom)
+    }
+
+    #[test]
+    fn single_loop() {
+        let mut b = FunctionBuilder::new("l", vec![], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(3);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |_b, _i| {});
+        b.ret_void();
+        let f = b.finish();
+        let lf = forest_of(&f);
+        assert_eq!(lf.loops.len(), 1);
+        let l = &lf.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.depth, 1);
+        assert!(l.body.contains(&BlockId(2)));
+        assert_eq!(l.exits, vec![BlockId(3)]);
+        assert_eq!(lf.depth_of(BlockId(2)), 1);
+        assert_eq!(lf.depth_of(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let mut b = FunctionBuilder::new("n", vec![], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(3);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, _i| {
+            b.counted_loop(z, n, one, |_b, _j| {});
+        });
+        b.ret_void();
+        let f = b.finish();
+        let lf = forest_of(&f);
+        assert_eq!(lf.loops.len(), 2);
+        let depths: Vec<u32> = lf.loops.iter().map(|l| l.depth).collect();
+        assert!(depths.contains(&1) && depths.contains(&2));
+        // inner loop's parent is the outer loop
+        let inner = lf.loops.iter().position(|l| l.depth == 2).unwrap();
+        let outer = lf.loops.iter().position(|l| l.depth == 1).unwrap();
+        assert_eq!(lf.loops[inner].parent, Some(LoopId(outer as u32)));
+        assert!(lf.loops[outer].body.is_superset(&lf.loops[inner].body));
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut b = FunctionBuilder::new("s", vec![], Type::Void);
+        b.ret_void();
+        let f = b.finish();
+        assert!(forest_of(&f).loops.is_empty());
+    }
+}

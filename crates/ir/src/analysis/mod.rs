@@ -1,0 +1,14 @@
+//! Program analyses over the IR: CFG, dominators, natural loops, call
+//! graph + SCC condensation, and induction variables.
+
+pub mod callgraph;
+pub mod cfg;
+pub mod dom;
+pub mod indvars;
+pub mod loops;
+
+pub use callgraph::{CallGraph, CallGraphSccs};
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use indvars::{analyze_loops, IndVar, IndVars};
+pub use loops::{Loop, LoopForest, LoopId};

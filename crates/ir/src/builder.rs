@@ -1,0 +1,390 @@
+//! Ergonomic construction of IR functions.
+//!
+//! `FunctionBuilder` tracks a current insertion block and offers one method
+//! per instruction, returning the produced [`Value`]. Loop phis are created
+//! with [`FunctionBuilder::phi`] and patched later with
+//! [`FunctionBuilder::add_phi_incoming`].
+
+use crate::function::Function;
+use crate::inst::{
+    AccessKind, BinOp, BlockId, CastOp, CmpOp, DsMetaId, FuncId, GepIdx, Inst, InstId, Intrinsic,
+    Value,
+};
+use crate::types::Type;
+
+/// Builder over an owned [`Function`]. Call [`FunctionBuilder::finish`] to
+/// take the function out.
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function; insertion point is the entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Type) -> Self {
+        let func = Function::new(name, params, ret);
+        let cur = func.entry();
+        FunctionBuilder { func, cur }
+    }
+
+    /// Take the completed function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Borrow the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// The `i`-th parameter as a value.
+    pub fn arg(&self, i: u16) -> Value {
+        assert!((i as usize) < self.func.params.len(), "arg out of range");
+        Value::Arg(i)
+    }
+
+    /// Create a new block (does not move the insertion point).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Create a new named block.
+    pub fn new_block_named(&mut self, name: impl Into<String>) -> BlockId {
+        let b = self.func.add_block();
+        self.func.blocks[b.0 as usize].name = Some(name.into());
+        b
+    }
+
+    /// Move the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// Current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    fn emit(&mut self, inst: Inst) -> InstId {
+        self.func.push_inst(self.cur, inst)
+    }
+
+    fn emitv(&mut self, inst: Inst) -> Value {
+        Value::Inst(self.emit(inst))
+    }
+
+    // ---- constants ----
+
+    /// i64 constant.
+    pub fn iconst(&self, v: i64) -> Value {
+        Value::ConstInt(v)
+    }
+
+    /// f64 constant.
+    pub fn fconst(&self, v: f64) -> Value {
+        Value::float(v)
+    }
+
+    // ---- memory ----
+
+    /// Heap allocation of `size` bytes that will hold values of `ty_hint`.
+    pub fn alloc(&mut self, size: Value, ty_hint: Type) -> Value {
+        self.emitv(Inst::Alloc { size, ty_hint })
+    }
+
+    /// Stack slot holding one `ty`.
+    pub fn alloca(&mut self, ty: Type) -> Value {
+        self.emitv(Inst::AllocStack { ty })
+    }
+
+    /// Free a heap pointer.
+    pub fn free(&mut self, ptr: Value) {
+        self.emit(Inst::Free { ptr });
+    }
+
+    /// Load a `ty` from `ptr`.
+    pub fn load(&mut self, ptr: Value, ty: Type) -> Value {
+        self.emitv(Inst::Load { ptr, ty })
+    }
+
+    /// Store `val : ty` to `ptr`.
+    pub fn store(&mut self, ptr: Value, val: Value, ty: Type) {
+        self.emit(Inst::Store { ptr, val, ty });
+    }
+
+    /// GEP: `&base[idx]` for an array of `pointee`.
+    pub fn gep_index(&mut self, base: Value, pointee: Type, idx: Value) -> Value {
+        self.emitv(Inst::Gep {
+            base,
+            pointee,
+            indices: vec![GepIdx::Index(idx)],
+        })
+    }
+
+    /// GEP: `&base->field` for a struct `pointee`.
+    pub fn gep_field(&mut self, base: Value, pointee: Type, field: u32) -> Value {
+        self.emitv(Inst::Gep {
+            base,
+            pointee,
+            indices: vec![GepIdx::Field(field)],
+        })
+    }
+
+    /// General GEP with explicit index list.
+    pub fn gep(&mut self, base: Value, pointee: Type, indices: Vec<GepIdx>) -> Value {
+        self.emitv(Inst::Gep {
+            base,
+            pointee,
+            indices,
+        })
+    }
+
+    // ---- compute ----
+
+    /// Binary op with explicit result type.
+    pub fn bin(&mut self, op: BinOp, lhs: Value, rhs: Value, ty: Type) -> Value {
+        self.emitv(Inst::Bin { op, lhs, rhs, ty })
+    }
+
+    /// i64 add.
+    pub fn add(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Add, a, b, Type::I64)
+    }
+
+    /// i64 sub.
+    pub fn sub(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Sub, a, b, Type::I64)
+    }
+
+    /// i64 mul.
+    pub fn mul(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::Mul, a, b, Type::I64)
+    }
+
+    /// f64 add.
+    pub fn fadd(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::FAdd, a, b, Type::F64)
+    }
+
+    /// f64 mul.
+    pub fn fmul(&mut self, a: Value, b: Value) -> Value {
+        self.bin(BinOp::FMul, a, b, Type::F64)
+    }
+
+    /// Comparison producing `i1`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Value, rhs: Value) -> Value {
+        self.emitv(Inst::Cmp { op, lhs, rhs })
+    }
+
+    /// Cast.
+    pub fn cast(&mut self, op: CastOp, val: Value, to: Type) -> Value {
+        self.emitv(Inst::Cast { op, val, to })
+    }
+
+    /// Select.
+    pub fn select(&mut self, cond: Value, then_v: Value, else_v: Value, ty: Type) -> Value {
+        self.emitv(Inst::Select {
+            cond,
+            then_v,
+            else_v,
+            ty,
+        })
+    }
+
+    /// Intrinsic call.
+    pub fn intrin(&mut self, which: Intrinsic, args: Vec<Value>) -> Value {
+        assert_eq!(args.len(), which.arity(), "intrinsic arity mismatch");
+        self.emitv(Inst::Intrin { which, args })
+    }
+
+    // ---- calls ----
+
+    /// Direct call.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>) -> Value {
+        self.emitv(Inst::Call { callee, args })
+    }
+
+    /// Indirect call through a function pointer.
+    pub fn call_indirect(
+        &mut self,
+        callee: Value,
+        params: Vec<Type>,
+        ret: Type,
+        args: Vec<Value>,
+    ) -> Value {
+        self.emitv(Inst::CallIndirect {
+            callee,
+            params,
+            ret,
+            args,
+        })
+    }
+
+    // ---- SSA ----
+
+    /// Create a phi (possibly with no incoming edges yet).
+    pub fn phi(&mut self, ty: Type, incoming: Vec<(BlockId, Value)>) -> Value {
+        self.emitv(Inst::Phi { ty, incoming })
+    }
+
+    /// Add an incoming edge to a previously created phi.
+    ///
+    /// # Panics
+    /// Panics if `phi` is not a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi: Value, block: BlockId, val: Value) {
+        let Value::Inst(id) = phi else {
+            panic!("add_phi_incoming on non-instruction value")
+        };
+        match self.func.inst_mut(id) {
+            Inst::Phi { incoming, .. } => incoming.push((block, val)),
+            other => panic!("add_phi_incoming on non-phi {other:?}"),
+        }
+    }
+
+    // ---- terminators ----
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.emit(Inst::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_b: BlockId, else_b: BlockId) {
+        self.emit(Inst::CondBr {
+            cond,
+            then_b,
+            else_b,
+        });
+    }
+
+    /// Return a value.
+    pub fn ret(&mut self, val: Value) {
+        self.emit(Inst::Ret { val: Some(val) });
+    }
+
+    /// Return void.
+    pub fn ret_void(&mut self) {
+        self.emit(Inst::Ret { val: None });
+    }
+
+    // ---- far-memory extension ----
+
+    /// Register DS metadata with the runtime; returns its handle value.
+    pub fn ds_init(&mut self, meta: DsMetaId) -> Value {
+        self.emitv(Inst::DsInit { meta })
+    }
+
+    /// Allocate from a DS pool.
+    pub fn ds_alloc(&mut self, size: Value, handle: Value) -> Value {
+        self.emitv(Inst::DsAlloc { size, handle })
+    }
+
+    /// Guard a pointer before an access of `bytes` bytes.
+    pub fn guard(&mut self, ptr: Value, access: AccessKind, bytes: u64) -> Value {
+        self.emitv(Inst::Guard { ptr, access, bytes })
+    }
+
+    /// Check whether any of the DS handles is remotable.
+    pub fn remotable_check(&mut self, handles: Vec<Value>) -> Value {
+        self.emitv(Inst::RemotableCheck { handles })
+    }
+
+    /// Build a canonical counted loop:
+    /// `for (i = start; i < end; i += step) body(i)`.
+    ///
+    /// Creates header/body/exit blocks, emits the induction phi and the
+    /// back-edge, invokes `body` with `(builder, i)` positioned in the loop
+    /// body, and leaves the insertion point in the exit block. Returns the
+    /// induction variable value.
+    pub fn counted_loop(
+        &mut self,
+        start: Value,
+        end: Value,
+        step: Value,
+        body: impl FnOnce(&mut Self, Value),
+    ) -> Value {
+        let header = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        let pre = self.current_block();
+        self.br(header);
+
+        self.switch_to(header);
+        let iv = self.phi(Type::I64, vec![(pre, start)]);
+        let cond = self.cmp(CmpOp::Slt, iv, end);
+        self.cond_br(cond, body_b, exit);
+
+        self.switch_to(body_b);
+        body(self, iv);
+        // The body may have moved the insertion point (nested control flow);
+        // the latch is wherever it ended up.
+        let latch = self.current_block();
+        let next = self.add(iv, step);
+        self.br(header);
+        self.add_phi_incoming(iv, latch, next);
+
+        self.switch_to(exit);
+        iv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn builds_counted_loop_shape() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let zero = b.iconst(0);
+        let ten = b.iconst(10);
+        let one = b.iconst(1);
+        let mut touched = false;
+        b.counted_loop(zero, ten, one, |_b, _i| {
+            touched = true;
+        });
+        b.ret_void();
+        assert!(touched);
+        let f = b.finish();
+        // entry + header + body + exit
+        assert_eq!(f.blocks.len(), 4);
+        // header has phi then cmp then condbr
+        let header = BlockId(1);
+        let insts: Vec<_> = f.block(header).insts.iter().map(|&i| f.inst(i)).collect();
+        assert!(matches!(insts[0], Inst::Phi { .. }));
+        assert!(matches!(insts[1], Inst::Cmp { .. }));
+        assert!(matches!(insts[2], Inst::CondBr { .. }));
+        // the phi has two incoming edges after patching
+        if let Inst::Phi { incoming, .. } = insts[0] {
+            assert_eq!(incoming.len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arg out of range")]
+    fn arg_bounds_checked() {
+        let b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+        let _ = b.arg(3);
+    }
+
+    #[test]
+    fn nested_loops_patch_correct_latch() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(4);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, _i| {
+            b.counted_loop(z, n, one, |_b, _j| {});
+        });
+        b.ret_void();
+        let f = b.finish();
+        // outer: entry,hdr,body,exit ; inner adds hdr,body,exit = 7 blocks
+        assert_eq!(f.blocks.len(), 7);
+        // every block with insts ends in a terminator
+        for blk in f.block_ids() {
+            if !f.block(blk).insts.is_empty() {
+                assert!(f.terminator(blk).is_some(), "block {blk:?} unterminated");
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Functions, basic blocks and modules.
+
+use crate::inst::{BlockId, DsMeta, DsMetaId, FuncId, GlobalId, Inst, InstId, Value};
+use crate::types::{Type, TypeTable};
+
+/// A basic block: an ordered list of instruction ids, the last of which must
+/// be a terminator once the function is complete.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// Optional label for printing (auto-named `bbN` otherwise).
+    pub name: Option<String>,
+    /// Instructions in execution order.
+    pub insts: Vec<InstId>,
+}
+
+/// A function: parameters, return type, and a CFG of basic blocks over an
+/// instruction arena.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Symbol name (unique within a module).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type (`Type::Void` for none).
+    pub ret: Type,
+    /// Instruction arena; `InstId` indexes into this.
+    pub insts: Vec<Inst>,
+    /// Basic blocks; `BlockId` indexes into this. Block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Create an empty function with a single (empty) entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Type) -> Self {
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            insts: Vec::new(),
+            blocks: vec![Block::default()],
+        }
+    }
+
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Append a new empty block, returning its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        id
+    }
+
+    /// Append `inst` to `block`, returning its id.
+    pub fn push_inst(&mut self, block: BlockId, inst: Inst) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        self.blocks[block.0 as usize].insts.push(id);
+        id
+    }
+
+    /// Access an instruction.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.0 as usize]
+    }
+
+    /// Mutable access to an instruction.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.0 as usize]
+    }
+
+    /// Access a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Iterate block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// The terminator of `block`, if it has one.
+    pub fn terminator(&self, block: BlockId) -> Option<&Inst> {
+        self.block(block)
+            .insts
+            .last()
+            .map(|&i| self.inst(i))
+            .filter(|i| i.is_terminator())
+    }
+
+    /// Iterate `(BlockId, InstId, &Inst)` over the whole function in block
+    /// order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, InstId, &Inst)> {
+        self.block_ids().flat_map(move |b| {
+            self.block(b)
+                .insts
+                .iter()
+                .map(move |&i| (b, i, self.inst(i)))
+        })
+    }
+
+    /// Which block contains instruction `id` (linear scan over blocks; use
+    /// a prebuilt map in hot analysis code).
+    pub fn block_of(&self, id: InstId) -> Option<BlockId> {
+        self.block_ids()
+            .find(|&b| self.block(b).insts.contains(&id))
+    }
+
+    /// Build a map from InstId index -> containing BlockId for O(1) lookup.
+    pub fn inst_block_map(&self) -> Vec<BlockId> {
+        let mut map = vec![BlockId(u32::MAX); self.insts.len()];
+        for b in self.block_ids() {
+            for &i in &self.block(b).insts {
+                map[i.0 as usize] = b;
+            }
+        }
+        map
+    }
+}
+
+/// A module-level global variable. Globals are plain local memory in the
+/// CaRDS model (only heap data structures are remotable, per the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Value type stored in the global.
+    pub ty: Type,
+    /// Optional scalar initializer (zero otherwise).
+    pub init: Option<Value>,
+}
+
+/// A whole program: types, globals, functions, and (after pool allocation)
+/// the data-structure descriptors the compiler hands to the runtime.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Module name (diagnostics only).
+    pub name: String,
+    /// Compound type intern table.
+    pub types: TypeTable,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Functions. `FuncId` indexes into this.
+    pub functions: Vec<Function>,
+    /// Data-structure descriptors referenced by `Inst::DsInit`.
+    pub ds_metas: Vec<DsMeta>,
+}
+
+impl Module {
+    /// Create an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Add a global, returning its id.
+    pub fn add_global(&mut self, name: impl Into<String>, ty: Type, init: Option<Value>) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            ty,
+            init,
+        });
+        id
+    }
+
+    /// Register a DS descriptor, returning its metadata id.
+    pub fn add_ds_meta(&mut self, meta: DsMeta) -> DsMetaId {
+        let id = DsMetaId(self.ds_metas.len() as u32);
+        self.ds_metas.push(meta);
+        id
+    }
+
+    /// Access a function by id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Mutable access to a function by id.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.0 as usize]
+    }
+
+    /// Find a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Iterate `(FuncId, &Function)`.
+    pub fn funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Access a DS descriptor.
+    pub fn ds_meta(&self, id: DsMetaId) -> &DsMeta {
+        &self.ds_metas[id.0 as usize]
+    }
+
+    /// Functions whose address is taken anywhere in the module (targets of
+    /// potential indirect calls).
+    pub fn address_taken_funcs(&self) -> Vec<FuncId> {
+        let mut taken = vec![false; self.functions.len()];
+        for f in &self.functions {
+            for inst in &f.insts {
+                inst.for_each_operand(|v| {
+                    if let Value::Func(fid) = v {
+                        taken[fid.0 as usize] = true;
+                    }
+                });
+            }
+        }
+        taken
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| FuncId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    fn tiny() -> Function {
+        let mut f = Function::new("f", vec![Type::I64], Type::I64);
+        let e = f.entry();
+        let a = f.push_inst(
+            e,
+            Inst::Bin {
+                op: BinOp::Add,
+                lhs: Value::Arg(0),
+                rhs: Value::ConstInt(1),
+                ty: Type::I64,
+            },
+        );
+        f.push_inst(
+            e,
+            Inst::Ret {
+                val: Some(Value::Inst(a)),
+            },
+        );
+        f
+    }
+
+    #[test]
+    fn entry_is_block_zero() {
+        let f = tiny();
+        assert_eq!(f.entry(), BlockId(0));
+        assert!(f.terminator(f.entry()).is_some());
+    }
+
+    #[test]
+    fn block_of_and_map_agree() {
+        let mut f = tiny();
+        let b1 = f.add_block();
+        let id = f.push_inst(b1, Inst::Ret { val: None });
+        assert_eq!(f.block_of(id), Some(b1));
+        let map = f.inst_block_map();
+        assert_eq!(map[id.0 as usize], b1);
+        assert_eq!(map[0], f.entry());
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("m");
+        let id = m.add_function(tiny());
+        assert_eq!(m.func_by_name("f"), Some(id));
+        assert_eq!(m.func(id).name, "f");
+        assert!(m.func_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn address_taken_detection() {
+        let mut m = Module::new("m");
+        let callee = m.add_function(Function::new("callee", vec![], Type::Void));
+        let mut f = Function::new("main", vec![], Type::Void);
+        let e = f.entry();
+        let slot = f.push_inst(e, Inst::AllocStack { ty: Type::Ptr });
+        f.push_inst(
+            e,
+            Inst::Store {
+                ptr: Value::Inst(slot),
+                val: Value::Func(callee),
+                ty: Type::Ptr,
+            },
+        );
+        f.push_inst(e, Inst::Ret { val: None });
+        m.add_function(f);
+        assert_eq!(m.address_taken_funcs(), vec![callee]);
+    }
+}

@@ -1,0 +1,63 @@
+//! # cards-ir
+//!
+//! A compact, typed SSA intermediate representation standing in for LLVM IR
+//! in the CaRDS reproduction. It provides exactly what the CaRDS compiler
+//! pipeline needs:
+//!
+//! - heap/stack allocations with element-type hints ([`inst::Inst::Alloc`]),
+//! - GEP-style typed pointer arithmetic preserving struct-field vs.
+//!   array-index distinction (field sensitivity for DSA, stride recovery
+//!   for prefetch analysis),
+//! - loops, calls (direct and indirect) and escaping pointers,
+//! - the far-memory extension instructions inserted by `cards-passes`
+//!   (`DsInit`, `DsAlloc`, `Guard`, `RemotableCheck`),
+//! - analyses: CFG, dominators, natural loops, call graph with SCC
+//!   condensation (for the Max Reach policy), induction variables,
+//! - a verifier, a textual printer and a parser (golden tests,
+//!   `print∘parse∘print` fixed point).
+//!
+//! ## Example
+//!
+//! ```
+//! use cards_ir::builder::FunctionBuilder;
+//! use cards_ir::function::Module;
+//! use cards_ir::types::Type;
+//! use cards_ir::verify::verify_module;
+//!
+//! let mut m = Module::new("demo");
+//! let mut b = FunctionBuilder::new("sum_to_n", vec![Type::I64], Type::I64);
+//! let acc = b.alloca(Type::I64);
+//! b.store(acc, b.iconst(0), Type::I64);
+//! let (zero, one) = (b.iconst(0), b.iconst(1));
+//! let n = b.arg(0);
+//! b.counted_loop(zero, n, one, |b, i| {
+//!     let cur = b.load(acc, Type::I64);
+//!     let nxt = b.add(cur, i);
+//!     b.store(acc, nxt, Type::I64);
+//! });
+//! let out = b.load(acc, Type::I64);
+//! b.ret(out);
+//! m.add_function(b.finish());
+//! assert!(verify_module(&m).is_empty());
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod function;
+pub mod inst;
+pub mod parser;
+pub mod printer;
+pub mod testgen;
+pub mod types;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use function::{Block, Function, Global, Module};
+pub use inst::{
+    AccessKind, BinOp, BlockId, CastOp, CmpOp, DsMeta, DsMetaId, DsPriority, FuncId, GepIdx,
+    GlobalId, Inst, InstId, Intrinsic, PrefetchKind, Value,
+};
+pub use parser::{parse_module, ParseError};
+pub use printer::print_module;
+pub use types::{ArrayId, ArrayTy, StructId, StructTy, Type, TypeTable};
+pub use verify::{result_type, verify_module, VerifyError};

@@ -1,0 +1,955 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! Instruction ids are assigned in textual order, so parsing renumbers an
+//! arena that had out-of-order insertions; `print(parse(print(m)))` is a
+//! fixed point.
+
+use std::collections::HashMap;
+
+use crate::function::{Function, Module};
+use crate::inst::{
+    AccessKind, BinOp, BlockId, CastOp, CmpOp, DsMeta, DsMetaId, DsPriority, FuncId, GepIdx, Inst,
+    InstId, Intrinsic, PrefetchKind, Value,
+};
+use crate::types::Type;
+
+/// A parse failure with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a module from its textual form.
+pub fn parse_module(src: &str) -> PResult<Module> {
+    Parser::new(src).run()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>, // (1-based line no, trimmed content)
+    module: Module,
+    func_ids: HashMap<String, FuncId>,
+    global_ids: HashMap<String, u32>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with("//") && !l.starts_with(';'))
+            .collect();
+        Parser {
+            lines,
+            module: Module::new(""),
+            func_ids: HashMap::new(),
+            global_ids: HashMap::new(),
+        }
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn run(mut self) -> PResult<Module> {
+        // Pass 1: headers (module name, structs, globals, dsmetas, fn sigs).
+        let mut i = 0;
+        let mut fn_spans: Vec<(usize, usize)> = Vec::new(); // line index ranges of fn bodies
+        while i < self.lines.len() {
+            let (lno, line) = self.lines[i];
+            if let Some(rest) = line.strip_prefix("module ") {
+                self.module.name = rest.trim().to_string();
+                i += 1;
+            } else if line.starts_with("struct %") {
+                self.parse_struct(lno, line)?;
+                i += 1;
+            } else if line.starts_with("global @") {
+                // defer initializer resolution? initializers are constants only
+                self.parse_global(lno, line)?;
+                i += 1;
+            } else if line.starts_with("dsmeta ") {
+                self.parse_dsmeta(lno, line)?;
+                i += 1;
+            } else if line.starts_with("fn @") {
+                let sig_idx = i;
+                // find closing brace at a line that is exactly "}"
+                let mut j = i + 1;
+                while j < self.lines.len() && self.lines[j].1 != "}" {
+                    j += 1;
+                }
+                if j == self.lines.len() {
+                    return self.err(lno, "unterminated function body");
+                }
+                let f = self.parse_fn_header(lno, self.lines[sig_idx].1)?;
+                let name = f.name.clone();
+                let id = self.module.add_function(f);
+                if self.func_ids.insert(name.clone(), id).is_some() {
+                    return self.err(lno, format!("duplicate function @{name}"));
+                }
+                fn_spans.push((sig_idx, j));
+                i = j + 1;
+            } else {
+                return self.err(lno, format!("unexpected line: {line}"));
+            }
+        }
+        // Pass 2: bodies.
+        for (start, end) in fn_spans {
+            self.parse_fn_body(start, end)?;
+        }
+        Ok(self.module)
+    }
+
+    // ---- types & values ----
+
+    fn parse_type(&mut self, lno: usize, s: &str) -> PResult<Type> {
+        let s = s.trim();
+        Ok(match s {
+            "void" => Type::Void,
+            "i1" => Type::I1,
+            "i8" => Type::I8,
+            "i16" => Type::I16,
+            "i32" => Type::I32,
+            "i64" => Type::I64,
+            "f64" => Type::F64,
+            "ptr" => Type::Ptr,
+            _ if s.starts_with('%') => {
+                let name = &s[1..];
+                match self.module.types.struct_by_name(name) {
+                    Some(id) => Type::Struct(id),
+                    None => return self.err(lno, format!("unknown struct type %{name}")),
+                }
+            }
+            _ if s.starts_with('[') && s.ends_with(']') => {
+                let inner = &s[1..s.len() - 1];
+                let Some((n, elem)) = inner.split_once(" x ") else {
+                    return self.err(lno, format!("bad array type {s}"));
+                };
+                let len: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError {
+                        line: lno,
+                        msg: format!("bad array length {n}"),
+                    })?;
+                let elem = self.parse_type(lno, elem)?;
+                Type::Array(self.module.types.array_of(elem, len))
+            }
+            _ => return self.err(lno, format!("unknown type {s}")),
+        })
+    }
+
+    /// Split a comma-separated list at top level (respects [] and () nesting).
+    fn split_top(s: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        let mut start = 0;
+        for (i, c) in s.char_indices() {
+            match c {
+                '[' | '(' => depth += 1,
+                ']' | ')' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(s[start..i].trim());
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        let last = s[start..].trim();
+        if !last.is_empty() {
+            out.push(last);
+        }
+        out
+    }
+
+    fn parse_value(
+        &self,
+        lno: usize,
+        s: &str,
+        names: Option<&HashMap<u32, InstId>>,
+    ) -> PResult<Value> {
+        let s = s.trim();
+        if s == "null" {
+            return Ok(Value::Null);
+        }
+        if s == "undef" {
+            return Ok(Value::Undef);
+        }
+        if let Some(rest) = s.strip_prefix('%') {
+            let n: u32 = rest.parse().map_err(|_| ParseError {
+                line: lno,
+                msg: format!("bad value ref {s}"),
+            })?;
+            let Some(names) = names else {
+                return self.err(lno, "instruction reference outside function body");
+            };
+            return match names.get(&n) {
+                Some(&id) => Ok(Value::Inst(id)),
+                None => self.err(lno, format!("reference to undefined %{n}")),
+            };
+        }
+        if let Some(rest) = s.strip_prefix("arg") {
+            if let Ok(n) = rest.parse::<u16>() {
+                return Ok(Value::Arg(n));
+            }
+        }
+        if let Some(rest) = s.strip_prefix('@') {
+            if let Some(&fid) = self.func_ids.get(rest) {
+                return Ok(Value::Func(fid));
+            }
+            if let Some(&gid) = self.global_ids.get(rest) {
+                return Ok(Value::Global(crate::inst::GlobalId(gid)));
+            }
+            return self.err(lno, format!("unknown symbol @{rest}"));
+        }
+        if let Some(num) = s.strip_suffix('f') {
+            // float constant printed via {:?} + 'f'
+            if let Ok(x) = num.parse::<f64>() {
+                return Ok(Value::float(x));
+            }
+            if num == "NaN" {
+                return Ok(Value::float(f64::NAN));
+            }
+            if num == "inf" {
+                return Ok(Value::float(f64::INFINITY));
+            }
+            if num == "-inf" {
+                return Ok(Value::float(f64::NEG_INFINITY));
+            }
+        }
+        if let Ok(x) = s.parse::<i64>() {
+            return Ok(Value::ConstInt(x));
+        }
+        self.err(lno, format!("bad value {s}"))
+    }
+
+    // ---- headers ----
+
+    fn parse_struct(&mut self, lno: usize, line: &str) -> PResult<()> {
+        // struct %Name { t1, t2 }
+        let rest = &line["struct %".len()..];
+        let Some((name, body)) = rest.split_once('{') else {
+            return self.err(lno, "bad struct syntax");
+        };
+        let name = name.trim().to_string();
+        let body = body.trim_end_matches('}').trim();
+        let mut fields = Vec::new();
+        if !body.is_empty() {
+            for part in Self::split_top(body) {
+                fields.push(self.parse_type(lno, part)?);
+            }
+        }
+        self.module.types.add_struct(name, fields);
+        Ok(())
+    }
+
+    fn parse_global(&mut self, lno: usize, line: &str) -> PResult<()> {
+        // global @name : ty [= value]
+        let rest = &line["global @".len()..];
+        let Some((name, tail)) = rest.split_once(':') else {
+            return self.err(lno, "bad global syntax");
+        };
+        let name = name.trim().to_string();
+        let (ty_s, init_s) = match tail.split_once('=') {
+            Some((t, v)) => (t, Some(v)),
+            None => (tail, None),
+        };
+        let ty = self.parse_type(lno, ty_s)?;
+        let init = match init_s {
+            Some(v) => Some(self.parse_value(lno, v, None)?),
+            None => None,
+        };
+        let id = self.module.add_global(name.clone(), ty, init);
+        self.global_ids.insert(name, id.0);
+        Ok(())
+    }
+
+    fn parse_dsmeta(&mut self, lno: usize, line: &str) -> PResult<()> {
+        // dsmeta dsN "name" elem=X recursive=B bytes=N prefetch=K order=N reach=N use=N
+        let Some(q1) = line.find('"') else {
+            return self.err(lno, "dsmeta missing name");
+        };
+        let Some(q2) = line[q1 + 1..].find('"').map(|i| i + q1 + 1) else {
+            return self.err(lno, "dsmeta unterminated name");
+        };
+        let name = line[q1 + 1..q2].to_string();
+        let mut meta = DsMeta {
+            name,
+            elem_ty: None,
+            elem_struct: None,
+            recursive: false,
+            object_bytes: 4096,
+            prefetch: PrefetchKind::None,
+            priority: DsPriority::default(),
+        };
+        for kv in line[q2 + 1..].split_whitespace() {
+            let Some((k, v)) = kv.split_once('=') else {
+                return self.err(lno, format!("bad dsmeta attribute {kv}"));
+            };
+            match k {
+                "elem" => {
+                    if v != "none" {
+                        let ty = self.parse_type(lno, v)?;
+                        meta.elem_ty = Some(ty);
+                        if let Type::Struct(sid) = ty {
+                            meta.elem_struct = Some(sid);
+                        }
+                    }
+                }
+                "recursive" => meta.recursive = v == "true",
+                "bytes" => {
+                    meta.object_bytes = v.parse().map_err(|_| ParseError {
+                        line: lno,
+                        msg: format!("bad bytes {v}"),
+                    })?
+                }
+                "prefetch" => {
+                    meta.prefetch = match v {
+                        "none" => PrefetchKind::None,
+                        "stride" => PrefetchKind::Stride,
+                        "greedy" => PrefetchKind::GreedyRecursive,
+                        "jump" => PrefetchKind::JumpPointer,
+                        _ => return self.err(lno, format!("bad prefetch {v}")),
+                    }
+                }
+                "order" => meta.priority.program_order = v.parse().unwrap_or(0),
+                "reach" => meta.priority.reach_depth = v.parse().unwrap_or(0),
+                "use" => meta.priority.use_score = v.parse().unwrap_or(0),
+                _ => return self.err(lno, format!("unknown dsmeta key {k}")),
+            }
+        }
+        self.module.add_ds_meta(meta);
+        Ok(())
+    }
+
+    fn parse_fn_header(&mut self, lno: usize, line: &str) -> PResult<Function> {
+        // fn @name(tys) -> ty {
+        let rest = &line["fn @".len()..];
+        let Some(open) = rest.find('(') else {
+            return self.err(lno, "bad fn header");
+        };
+        let name = rest[..open].to_string();
+        let Some(close) = rest.rfind(')') else {
+            return self.err(lno, "bad fn header");
+        };
+        let params_s = &rest[open + 1..close];
+        let mut params = Vec::new();
+        if !params_s.trim().is_empty() {
+            for p in Self::split_top(params_s) {
+                params.push(self.parse_type(lno, p)?);
+            }
+        }
+        let Some(arrow) = rest[close..].find("->") else {
+            return self.err(lno, "fn header missing ->");
+        };
+        let ret_s = rest[close + arrow + 2..].trim_end_matches('{').trim();
+        let ret = self.parse_type(lno, ret_s)?;
+        let mut f = Function::new(name, params, ret);
+        f.blocks.clear(); // blocks come from labels
+        Ok(f)
+    }
+
+    // ---- bodies ----
+
+    fn parse_fn_body(&mut self, start: usize, end: usize) -> PResult<()> {
+        let (hdr_lno, hdr_line) = self.lines[start];
+        let name = {
+            let rest = &hdr_line["fn @".len()..];
+            let open = rest.find('(').unwrap();
+            rest[..open].to_string()
+        };
+        let fid = *self
+            .func_ids
+            .get(&name)
+            .ok_or_else(|| ParseError {
+                line: hdr_lno,
+                msg: "internal: missing function".into(),
+            })?;
+
+        // First sweep: count blocks and assign ids to instruction lines.
+        let mut block_count = 0usize;
+        let mut names: HashMap<u32, InstId> = HashMap::new();
+        let mut next_inst = 0u32;
+        for idx in start + 1..end {
+            let (lno, line) = self.lines[idx];
+            if line.starts_with("bb") && line.ends_with(':') {
+                block_count += 1;
+            } else {
+                if block_count == 0 {
+                    return self.err(lno, "instruction before first block label");
+                }
+                let id = InstId(next_inst);
+                next_inst += 1;
+                if let Some(eq) = line.find('=') {
+                    let lhs = line[..eq].trim();
+                    if let Some(n) = lhs.strip_prefix('%') {
+                        if let Ok(n) = n.parse::<u32>() {
+                            if names.insert(n, id).is_some() {
+                                return self.err(lno, format!("redefinition of %{n}"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Second sweep: build instructions.
+        let mut cur_block: Option<BlockId> = None;
+        let mut func = Function::new(name, Vec::new(), Type::Void);
+        {
+            let proto = self.module.func(fid);
+            func.params = proto.params.clone();
+            func.ret = proto.ret;
+            func.name = proto.name.clone();
+        }
+        func.blocks.clear();
+        for _ in 0..block_count {
+            func.add_block();
+        }
+        // add_block starts after entry; fix: Function::new created one block,
+        // we cleared, so add_block created exactly block_count blocks: ids 0..n.
+        let mut expected_label = 0u32;
+        for idx in start + 1..end {
+            let (lno, line) = self.lines[idx];
+            if let Some(lbl) = line.strip_suffix(':') {
+                let Some(n) = lbl.strip_prefix("bb").and_then(|x| x.parse::<u32>().ok()) else {
+                    return self.err(lno, format!("bad block label {lbl}"));
+                };
+                if n != expected_label {
+                    return self.err(lno, format!("block labels must be sequential (got bb{n}, expected bb{expected_label})"));
+                }
+                cur_block = Some(BlockId(n));
+                expected_label += 1;
+                continue;
+            }
+            let b = cur_block.expect("checked in first sweep");
+            let body = match line.find('=') {
+                Some(eq) if line[..eq].trim().starts_with('%') => line[eq + 1..].trim(),
+                _ => line,
+            };
+            let inst = self.parse_inst(lno, body, &names, block_count as u32)?;
+            func.push_inst(b, inst);
+        }
+        *self.module.func_mut(fid) = func;
+        Ok(())
+    }
+
+    fn parse_block_ref(&self, lno: usize, s: &str, nblocks: u32) -> PResult<BlockId> {
+        let Some(n) = s.trim().strip_prefix("bb").and_then(|x| x.parse::<u32>().ok()) else {
+            return self.err(lno, format!("bad block ref {s}"));
+        };
+        if n >= nblocks {
+            return self.err(lno, format!("branch to nonexistent bb{n}"));
+        }
+        Ok(BlockId(n))
+    }
+
+    fn parse_inst(
+        &mut self,
+        lno: usize,
+        s: &str,
+        names: &HashMap<u32, InstId>,
+        nblocks: u32,
+    ) -> PResult<Inst> {
+        let (kw, rest) = match s.find(' ') {
+            Some(i) => (&s[..i], s[i + 1..].trim()),
+            None => (s, ""),
+        };
+        let val = |me: &Self, x: &str| me.parse_value(lno, x, Some(names));
+        Ok(match kw {
+            "alloc" => {
+                let Some((size, hint)) = rest.split_once(", hint ") else {
+                    return self.err(lno, "alloc missing hint");
+                };
+                Inst::Alloc {
+                    size: val(self, size)?,
+                    ty_hint: self.parse_type(lno, hint)?,
+                }
+            }
+            "allocstack" => Inst::AllocStack {
+                ty: self.parse_type(lno, rest)?,
+            },
+            "free" => Inst::Free {
+                ptr: val(self, rest)?,
+            },
+            "load" => {
+                let parts = Self::split_top(rest);
+                if parts.len() != 2 {
+                    return self.err(lno, "load wants `ty, ptr`");
+                }
+                Inst::Load {
+                    ty: self.parse_type(lno, parts[0])?,
+                    ptr: val(self, parts[1])?,
+                }
+            }
+            "store" => {
+                // store TY VAL -> PTR
+                let Some((lhs, ptr)) = rest.split_once("->") else {
+                    return self.err(lno, "store missing ->");
+                };
+                let lhs = lhs.trim();
+                let Some((ty_s, val_s)) = lhs.split_once(' ') else {
+                    return self.err(lno, "store wants `ty val -> ptr`");
+                };
+                Inst::Store {
+                    ty: self.parse_type(lno, ty_s)?,
+                    val: val(self, val_s)?,
+                    ptr: val(self, ptr)?,
+                }
+            }
+            "gep" => {
+                // gep BASE : TYPE [idx idx ...]
+                let Some((base_s, tail)) = rest.split_once(':') else {
+                    return self.err(lno, "gep missing :");
+                };
+                let Some(bstart) = tail.find('[') else {
+                    return self.err(lno, "gep missing [");
+                };
+                let ty = self.parse_type(lno, &tail[..bstart])?;
+                let idx_s = tail[bstart + 1..].trim_end_matches(']').trim();
+                let mut indices = Vec::new();
+                for part in idx_s.split_whitespace() {
+                    if let Some(fld) = part.strip_prefix('.') {
+                        indices.push(GepIdx::Field(fld.parse().map_err(|_| ParseError {
+                            line: lno,
+                            msg: format!("bad field index {part}"),
+                        })?));
+                    } else if let Some(v) = part.strip_prefix('#') {
+                        indices.push(GepIdx::Index(val(self, v)?));
+                    } else {
+                        return self.err(lno, format!("bad gep index {part}"));
+                    }
+                }
+                Inst::Gep {
+                    base: val(self, base_s)?,
+                    pointee: ty,
+                    indices,
+                }
+            }
+            "bin" => {
+                // bin OP TY A, B
+                let mut it = rest.splitn(3, ' ');
+                let (op_s, ty_s, ab) = (
+                    it.next().unwrap_or(""),
+                    it.next().unwrap_or(""),
+                    it.next().unwrap_or(""),
+                );
+                let parts = Self::split_top(ab);
+                if parts.len() != 2 {
+                    return self.err(lno, "bin wants two operands");
+                }
+                Inst::Bin {
+                    op: parse_binop(op_s).ok_or_else(|| ParseError {
+                        line: lno,
+                        msg: format!("bad binop {op_s}"),
+                    })?,
+                    ty: self.parse_type(lno, ty_s)?,
+                    lhs: val(self, parts[0])?,
+                    rhs: val(self, parts[1])?,
+                }
+            }
+            "cmp" => {
+                let mut it = rest.splitn(2, ' ');
+                let op_s = it.next().unwrap_or("");
+                let ab = it.next().unwrap_or("");
+                let parts = Self::split_top(ab);
+                if parts.len() != 2 {
+                    return self.err(lno, "cmp wants two operands");
+                }
+                Inst::Cmp {
+                    op: parse_cmpop(op_s).ok_or_else(|| ParseError {
+                        line: lno,
+                        msg: format!("bad cmpop {op_s}"),
+                    })?,
+                    lhs: val(self, parts[0])?,
+                    rhs: val(self, parts[1])?,
+                }
+            }
+            "cast" => {
+                // cast OP VAL -> TY
+                let mut it = rest.splitn(2, ' ');
+                let op_s = it.next().unwrap_or("");
+                let tail = it.next().unwrap_or("");
+                let Some((v, ty)) = tail.split_once("->") else {
+                    return self.err(lno, "cast missing ->");
+                };
+                Inst::Cast {
+                    op: parse_castop(op_s).ok_or_else(|| ParseError {
+                        line: lno,
+                        msg: format!("bad castop {op_s}"),
+                    })?,
+                    val: val(self, v)?,
+                    to: self.parse_type(lno, ty)?,
+                }
+            }
+            "select" => {
+                // select C, A, B : TY
+                let Some((vals, ty)) = rest.rsplit_once(':') else {
+                    return self.err(lno, "select missing :");
+                };
+                let parts = Self::split_top(vals);
+                if parts.len() != 3 {
+                    return self.err(lno, "select wants three operands");
+                }
+                Inst::Select {
+                    cond: val(self, parts[0])?,
+                    then_v: val(self, parts[1])?,
+                    else_v: val(self, parts[2])?,
+                    ty: self.parse_type(lno, ty)?,
+                }
+            }
+            "intrin" => {
+                let Some(open) = rest.find('(') else {
+                    return self.err(lno, "intrin missing (");
+                };
+                let which = match &rest[..open] {
+                    "hash64" => Intrinsic::Hash64,
+                    "sqrt" => Intrinsic::Sqrt,
+                    "abs" => Intrinsic::AbsI64,
+                    "min" => Intrinsic::MinI64,
+                    "max" => Intrinsic::MaxI64,
+                    other => return self.err(lno, format!("bad intrinsic {other}")),
+                };
+                let args_s = rest[open + 1..].trim_end_matches(')');
+                let mut args = Vec::new();
+                for a in Self::split_top(args_s) {
+                    args.push(val(self, a)?);
+                }
+                Inst::Intrin { which, args }
+            }
+            "call" => {
+                let Some(open) = rest.find('(') else {
+                    return self.err(lno, "call missing (");
+                };
+                let fname = rest[..open].trim().trim_start_matches('@');
+                let Some(&callee) = self.func_ids.get(fname) else {
+                    return self.err(lno, format!("call to unknown @{fname}"));
+                };
+                let args_s = rest[open + 1..].trim_end_matches(')');
+                let mut args = Vec::new();
+                for a in Self::split_top(args_s) {
+                    args.push(val(self, a)?);
+                }
+                Inst::Call { callee, args }
+            }
+            "callind" => {
+                // callind VAL : (tys) -> ty (args)
+                let Some((v_s, tail)) = rest.split_once(':') else {
+                    return self.err(lno, "callind missing :");
+                };
+                let Some(p_open) = tail.find('(') else {
+                    return self.err(lno, "callind missing params");
+                };
+                let Some(p_close) = tail[p_open..].find(')').map(|i| i + p_open) else {
+                    return self.err(lno, "callind missing )");
+                };
+                let mut params = Vec::new();
+                let ps = tail[p_open + 1..p_close].trim();
+                if !ps.is_empty() {
+                    for p in Self::split_top(ps) {
+                        params.push(self.parse_type(lno, p)?);
+                    }
+                }
+                let Some(arrow) = tail[p_close..].find("->").map(|i| i + p_close) else {
+                    return self.err(lno, "callind missing ->");
+                };
+                let Some(a_open) = tail[arrow..].find('(').map(|i| i + arrow) else {
+                    return self.err(lno, "callind missing args");
+                };
+                let ret = self.parse_type(lno, tail[arrow + 2..a_open].trim())?;
+                let args_s = tail[a_open + 1..].trim_end_matches(')');
+                let mut args = Vec::new();
+                if !args_s.trim().is_empty() {
+                    for a in Self::split_top(args_s) {
+                        args.push(val(self, a)?);
+                    }
+                }
+                Inst::CallIndirect {
+                    callee: val(self, v_s)?,
+                    params,
+                    ret,
+                    args,
+                }
+            }
+            "phi" => {
+                // phi TY [bbN: VAL, bbM: VAL]
+                let Some(open) = rest.find('[') else {
+                    return self.err(lno, "phi missing [");
+                };
+                let ty = self.parse_type(lno, &rest[..open])?;
+                let inc_s = rest[open + 1..].trim_end_matches(']');
+                let mut incoming = Vec::new();
+                if !inc_s.trim().is_empty() {
+                    for part in Self::split_top(inc_s) {
+                        let Some((b, v)) = part.split_once(':') else {
+                            return self.err(lno, format!("bad phi incoming {part}"));
+                        };
+                        incoming.push((
+                            self.parse_block_ref(lno, b, nblocks)?,
+                            val(self, v)?,
+                        ));
+                    }
+                }
+                Inst::Phi { ty, incoming }
+            }
+            "br" => Inst::Br {
+                target: self.parse_block_ref(lno, rest, nblocks)?,
+            },
+            "condbr" => {
+                let parts = Self::split_top(rest);
+                if parts.len() != 3 {
+                    return self.err(lno, "condbr wants cond, bbT, bbF");
+                }
+                Inst::CondBr {
+                    cond: val(self, parts[0])?,
+                    then_b: self.parse_block_ref(lno, parts[1], nblocks)?,
+                    else_b: self.parse_block_ref(lno, parts[2], nblocks)?,
+                }
+            }
+            "ret" => {
+                if rest.is_empty() {
+                    Inst::Ret { val: None }
+                } else {
+                    Inst::Ret {
+                        val: Some(val(self, rest)?),
+                    }
+                }
+            }
+            "dsinit" => {
+                let Some(n) = rest.strip_prefix("ds").and_then(|x| x.parse::<u32>().ok()) else {
+                    return self.err(lno, format!("bad dsinit {rest}"));
+                };
+                Inst::DsInit { meta: DsMetaId(n) }
+            }
+            "dsalloc" => {
+                let parts = Self::split_top(rest);
+                if parts.len() != 2 {
+                    return self.err(lno, "dsalloc wants size, handle");
+                }
+                Inst::DsAlloc {
+                    size: val(self, parts[0])?,
+                    handle: val(self, parts[1])?,
+                }
+            }
+            "guard" => {
+                let parts = Self::split_top(rest);
+                if parts.len() != 3 {
+                    return self.err(lno, "guard wants ptr, kind, bytes");
+                }
+                let access = match parts[1] {
+                    "read" => AccessKind::Read,
+                    "write" => AccessKind::Write,
+                    other => return self.err(lno, format!("bad access kind {other}")),
+                };
+                Inst::Guard {
+                    ptr: val(self, parts[0])?,
+                    access,
+                    bytes: parts[2].parse().map_err(|_| ParseError {
+                        line: lno,
+                        msg: format!("bad guard bytes {}", parts[2]),
+                    })?,
+                }
+            }
+            "remotable" => {
+                let mut handles = Vec::new();
+                for h in Self::split_top(rest) {
+                    handles.push(val(self, h)?);
+                }
+                Inst::RemotableCheck { handles }
+            }
+            other => return self.err(lno, format!("unknown instruction {other}")),
+        })
+    }
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "sdiv" => BinOp::SDiv,
+        "udiv" => BinOp::UDiv,
+        "srem" => BinOp::SRem,
+        "urem" => BinOp::URem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "lshr" => BinOp::LShr,
+        "ashr" => BinOp::AShr,
+        "fadd" => BinOp::FAdd,
+        "fsub" => BinOp::FSub,
+        "fmul" => BinOp::FMul,
+        "fdiv" => BinOp::FDiv,
+        _ => return None,
+    })
+}
+
+fn parse_cmpop(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "slt" => CmpOp::Slt,
+        "sle" => CmpOp::Sle,
+        "sgt" => CmpOp::Sgt,
+        "sge" => CmpOp::Sge,
+        "ult" => CmpOp::Ult,
+        "ule" => CmpOp::Ule,
+        "ugt" => CmpOp::Ugt,
+        "uge" => CmpOp::Uge,
+        "feq" => CmpOp::FEq,
+        "fne" => CmpOp::FNe,
+        "flt" => CmpOp::FLt,
+        "fle" => CmpOp::FLe,
+        "fgt" => CmpOp::FGt,
+        "fge" => CmpOp::FGe,
+        _ => return None,
+    })
+}
+
+fn parse_castop(s: &str) -> Option<CastOp> {
+    Some(match s {
+        "iresize" => CastOp::IntResize,
+        "zext" => CastOp::ZExt,
+        "sitofp" => CastOp::SiToFp,
+        "fptosi" => CastOp::FpToSi,
+        "ptrtoint" => CastOp::PtrToInt,
+        "inttoptr" => CastOp::IntToPtr,
+        "ptrcast" => CastOp::PtrCast,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::printer::print_module;
+    use crate::verify::verify_module;
+
+    fn round_trip(m: &Module) {
+        let p1 = print_module(m);
+        let parsed = parse_module(&p1).expect("parse");
+        assert!(verify_module(&parsed).is_empty(), "parsed module must verify");
+        let p2 = print_module(&parsed);
+        assert_eq!(p1, p2, "print(parse(print)) must be a fixed point");
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let mut m = Module::new("rt");
+        let mut b = FunctionBuilder::new("main", vec![Type::I64], Type::I64);
+        let x = b.add(b.arg(0), b.iconst(5));
+        b.ret(x);
+        m.add_function(b.finish());
+        round_trip(&m);
+    }
+
+    #[test]
+    fn round_trip_loop_with_memory() {
+        let mut m = Module::new("rt2");
+        let s = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+        m.add_global("head", Type::Ptr, Some(Value::Null));
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let sz = b.iconst(16);
+        let p = b.alloc(sz, Type::Struct(s));
+        let z = b.iconst(0);
+        let n = b.iconst(8);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, i| {
+            let fp = b.gep_field(p, Type::Struct(s), 0);
+            b.store(fp, i, Type::I64);
+        });
+        b.free(p);
+        b.ret_void();
+        m.add_function(b.finish());
+        round_trip(&m);
+    }
+
+    #[test]
+    fn round_trip_calls_and_floats() {
+        let mut m = Module::new("rt3");
+        let callee = m.add_function({
+            let mut b = FunctionBuilder::new("helper", vec![Type::F64], Type::F64);
+            let v = b.fmul(b.arg(0), b.fconst(2.5));
+            b.ret(v);
+            b.finish()
+        });
+        let mut b = FunctionBuilder::new("main", vec![], Type::F64);
+        let r = b.call(callee, vec![b.fconst(1.25)]);
+        b.ret(r);
+        m.add_function(b.finish());
+        round_trip(&m);
+    }
+
+    #[test]
+    fn round_trip_far_memory_ops() {
+        use crate::inst::{DsMeta, DsPriority};
+        let mut m = Module::new("rt4");
+        let meta = m.add_ds_meta(DsMeta {
+            name: "ds_a".into(),
+            elem_ty: Some(Type::F64),
+            elem_struct: None,
+            recursive: false,
+            object_bytes: 4096,
+            prefetch: PrefetchKind::Stride,
+            priority: DsPriority {
+                program_order: 0,
+                reach_depth: 2,
+                use_score: 5,
+            },
+        });
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let h = b.ds_init(meta);
+        let p = b.ds_alloc(b.iconst(4096), h);
+        let g = b.guard(p, AccessKind::Write, 8);
+        b.store(g, b.fconst(1.0), Type::F64);
+        let _c = b.remotable_check(vec![h]);
+        b.ret_void();
+        m.add_function(b.finish());
+        round_trip(&m);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_module("module x\nbogus line").is_err());
+        let e = parse_module("module x\nfn @f() -> void {\nbb0:\n  zorp\n}")
+            .unwrap_err();
+        assert!(e.msg.contains("unknown instruction"));
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn parse_rejects_branch_out_of_range() {
+        let src = "module x\nfn @f() -> void {\nbb0:\n  br bb7\n}";
+        let e = parse_module(src).unwrap_err();
+        assert!(e.msg.contains("nonexistent"));
+    }
+
+    #[test]
+    fn parse_rejects_undefined_value() {
+        let src = "module x\nfn @f() -> void {\nbb0:\n  free %9\n}";
+        assert!(parse_module(src).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "// header\nmodule x\n\nfn @f() -> void {\nbb0:\n  ret\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.functions.len(), 1);
+    }
+}

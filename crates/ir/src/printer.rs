@@ -1,0 +1,327 @@
+//! Textual form of the IR (printer half; see `parser` for the reader).
+//!
+//! The format is line-oriented and keyword-first so the parser stays a
+//! simple recursive-descent reader. `print(parse(print(m)))` is identical
+//! to `print(m)` (instruction ids are renumbered in textual order by the
+//! parser, which the printer then reproduces).
+
+use std::fmt::Write as _;
+
+use crate::function::{Function, Module};
+use crate::inst::{
+    AccessKind, BinOp, CastOp, CmpOp, GepIdx, Inst, Intrinsic, PrefetchKind, Value,
+};
+use crate::types::TypeTable;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {}", if m.name.is_empty() { "_" } else { &m.name });
+    for (_, st) in m.types.structs() {
+        let fields: Vec<String> = st.fields.iter().map(|&t| m.types.display(t).to_string()).collect();
+        let _ = writeln!(s, "struct %{} {{ {} }}", st.name, fields.join(", "));
+    }
+    for g in &m.globals {
+        let _ = write!(s, "global @{} : {}", g.name, m.types.display(g.ty));
+        if let Some(v) = g.init {
+            let _ = write!(s, " = {}", fmt_value(v, m));
+        }
+        s.push('\n');
+    }
+    for (i, d) in m.ds_metas.iter().enumerate() {
+        let elem = d
+            .elem_ty
+            .map(|t| m.types.display(t).to_string())
+            .unwrap_or_else(|| "none".into());
+        let _ = writeln!(
+            s,
+            "dsmeta ds{} \"{}\" elem={} recursive={} bytes={} prefetch={} order={} reach={} use={}",
+            i,
+            d.name,
+            elem,
+            d.recursive,
+            d.object_bytes,
+            prefetch_str(d.prefetch),
+            d.priority.program_order,
+            d.priority.reach_depth,
+            d.priority.use_score,
+        );
+    }
+    for (_, f) in m.funcs() {
+        s.push('\n');
+        print_function(&mut s, m, f);
+    }
+    s
+}
+
+fn prefetch_str(p: PrefetchKind) -> &'static str {
+    match p {
+        PrefetchKind::None => "none",
+        PrefetchKind::Stride => "stride",
+        PrefetchKind::GreedyRecursive => "greedy",
+        PrefetchKind::JumpPointer => "jump",
+    }
+}
+
+fn print_function(s: &mut String, m: &Module, f: &Function) {
+    let params: Vec<String> = f.params.iter().map(|&t| m.types.display(t).to_string()).collect();
+    let _ = writeln!(
+        s,
+        "fn @{}({}) -> {} {{",
+        f.name,
+        params.join(", "),
+        m.types.display(f.ret)
+    );
+    for b in f.block_ids() {
+        let _ = writeln!(s, "bb{}:", b.0);
+        for &iid in &f.block(b).insts {
+            let inst = f.inst(iid);
+            s.push_str("  ");
+            if inst.may_produce_value() {
+                let _ = write!(s, "%{} = ", iid.0);
+            }
+            print_inst(s, m, inst);
+            s.push('\n');
+        }
+    }
+    s.push_str("}\n");
+}
+
+/// Render a single value (module context for global/function names).
+pub fn fmt_value(v: Value, m: &Module) -> String {
+    match v {
+        Value::Arg(i) => format!("arg{i}"),
+        Value::Inst(i) => format!("%{}", i.0),
+        Value::ConstInt(c) => format!("{c}"),
+        Value::ConstFloat(b) => format!("{:?}f", f64::from_bits(b)),
+        Value::Global(g) => format!("@{}", m.globals[g.0 as usize].name),
+        Value::Func(fid) => format!("@{}", m.func(fid).name),
+        Value::Null => "null".into(),
+        Value::Undef => "undef".into(),
+    }
+}
+
+fn list(vals: &[Value], m: &Module) -> String {
+    vals.iter()
+        .map(|&v| fmt_value(v, m))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn print_inst(s: &mut String, m: &Module, inst: &Inst) {
+    let t = |ty| TypeTable::display(&m.types, ty).to_string();
+    let v = |val| fmt_value(val, m);
+    let _ = match inst {
+        Inst::Alloc { size, ty_hint } => write!(s, "alloc {}, hint {}", v(*size), t(*ty_hint)),
+        Inst::AllocStack { ty } => write!(s, "allocstack {}", t(*ty)),
+        Inst::Free { ptr } => write!(s, "free {}", v(*ptr)),
+        Inst::Load { ptr, ty } => write!(s, "load {}, {}", t(*ty), v(*ptr)),
+        Inst::Store { ptr, val, ty } => write!(s, "store {} {} -> {}", t(*ty), v(*val), v(*ptr)),
+        Inst::Gep {
+            base,
+            pointee,
+            indices,
+        } => {
+            let idx: Vec<String> = indices
+                .iter()
+                .map(|ix| match ix {
+                    GepIdx::Field(k) => format!(".{k}"),
+                    GepIdx::Index(val) => format!("#{}", v(*val)),
+                })
+                .collect();
+            write!(s, "gep {} : {} [{}]", v(*base), t(*pointee), idx.join(" "))
+        }
+        Inst::Bin { op, lhs, rhs, ty } => write!(
+            s,
+            "bin {} {} {}, {}",
+            binop_str(*op),
+            t(*ty),
+            v(*lhs),
+            v(*rhs)
+        ),
+        Inst::Cmp { op, lhs, rhs } => {
+            write!(s, "cmp {} {}, {}", cmpop_str(*op), v(*lhs), v(*rhs))
+        }
+        Inst::Cast { op, val, to } => {
+            write!(s, "cast {} {} -> {}", castop_str(*op), v(*val), t(*to))
+        }
+        Inst::Select {
+            cond,
+            then_v,
+            else_v,
+            ty,
+        } => write!(
+            s,
+            "select {}, {}, {} : {}",
+            v(*cond),
+            v(*then_v),
+            v(*else_v),
+            t(*ty)
+        ),
+        Inst::Intrin { which, args } => {
+            write!(s, "intrin {}({})", intrin_str(*which), list(args, m))
+        }
+        Inst::Call { callee, args } => {
+            write!(s, "call @{}({})", m.func(*callee).name, list(args, m))
+        }
+        Inst::CallIndirect {
+            callee,
+            params,
+            ret,
+            args,
+        } => {
+            let ps: Vec<String> = params.iter().map(|&p| t(p)).collect();
+            write!(
+                s,
+                "callind {} : ({}) -> {} ({})",
+                v(*callee),
+                ps.join(", "),
+                t(*ret),
+                list(args, m)
+            )
+        }
+        Inst::Phi { ty, incoming } => {
+            let inc: Vec<String> = incoming
+                .iter()
+                .map(|&(b, val)| format!("bb{}: {}", b.0, v(val)))
+                .collect();
+            write!(s, "phi {} [{}]", t(*ty), inc.join(", "))
+        }
+        Inst::Br { target } => write!(s, "br bb{}", target.0),
+        Inst::CondBr {
+            cond,
+            then_b,
+            else_b,
+        } => write!(s, "condbr {}, bb{}, bb{}", v(*cond), then_b.0, else_b.0),
+        Inst::Ret { val } => match val {
+            Some(x) => write!(s, "ret {}", v(*x)),
+            None => write!(s, "ret"),
+        },
+        Inst::DsInit { meta } => write!(s, "dsinit ds{}", meta.0),
+        Inst::DsAlloc { size, handle } => write!(s, "dsalloc {}, {}", v(*size), v(*handle)),
+        Inst::Guard { ptr, access, bytes } => write!(
+            s,
+            "guard {}, {}, {}",
+            v(*ptr),
+            match access {
+                AccessKind::Read => "read",
+                AccessKind::Write => "write",
+            },
+            bytes
+        ),
+        Inst::RemotableCheck { handles } => write!(s, "remotable {}", list(handles, m)),
+    };
+}
+
+pub(crate) fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::SDiv => "sdiv",
+        BinOp::UDiv => "udiv",
+        BinOp::SRem => "srem",
+        BinOp::URem => "urem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::LShr => "lshr",
+        BinOp::AShr => "ashr",
+        BinOp::FAdd => "fadd",
+        BinOp::FSub => "fsub",
+        BinOp::FMul => "fmul",
+        BinOp::FDiv => "fdiv",
+    }
+}
+
+pub(crate) fn cmpop_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Slt => "slt",
+        CmpOp::Sle => "sle",
+        CmpOp::Sgt => "sgt",
+        CmpOp::Sge => "sge",
+        CmpOp::Ult => "ult",
+        CmpOp::Ule => "ule",
+        CmpOp::Ugt => "ugt",
+        CmpOp::Uge => "uge",
+        CmpOp::FEq => "feq",
+        CmpOp::FNe => "fne",
+        CmpOp::FLt => "flt",
+        CmpOp::FLe => "fle",
+        CmpOp::FGt => "fgt",
+        CmpOp::FGe => "fge",
+    }
+}
+
+pub(crate) fn castop_str(op: CastOp) -> &'static str {
+    match op {
+        CastOp::IntResize => "iresize",
+        CastOp::ZExt => "zext",
+        CastOp::SiToFp => "sitofp",
+        CastOp::FpToSi => "fptosi",
+        CastOp::PtrToInt => "ptrtoint",
+        CastOp::IntToPtr => "inttoptr",
+        CastOp::PtrCast => "ptrcast",
+    }
+}
+
+pub(crate) fn intrin_str(i: Intrinsic) -> &'static str {
+    match i {
+        Intrinsic::Hash64 => "hash64",
+        Intrinsic::Sqrt => "sqrt",
+        Intrinsic::AbsI64 => "abs",
+        Intrinsic::MinI64 => "min",
+        Intrinsic::MaxI64 => "max",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_basic_function() {
+        let mut m = Module::new("demo");
+        let mut b = FunctionBuilder::new("main", vec![Type::I64], Type::I64);
+        let x = b.add(b.arg(0), b.iconst(41));
+        b.ret(x);
+        m.add_function(b.finish());
+        let out = print_module(&m);
+        assert!(out.contains("module demo"));
+        assert!(out.contains("fn @main(i64) -> i64 {"));
+        assert!(out.contains("%0 = bin add i64 arg0, 41"));
+        assert!(out.contains("ret %0"));
+    }
+
+    #[test]
+    fn prints_struct_and_global() {
+        let mut m = Module::new("g");
+        let s = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+        m.add_global("head", Type::Ptr, Some(Value::Null));
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let p = b.alloca(Type::Struct(s));
+        b.gep_field(p, Type::Struct(s), 1);
+        b.ret_void();
+        m.add_function(b.finish());
+        let out = print_module(&m);
+        assert!(out.contains("struct %Node { i64, ptr }"));
+        assert!(out.contains("global @head : ptr = null"));
+        assert!(out.contains("gep %0 : %Node [.1]"));
+    }
+
+    #[test]
+    fn float_constants_print_with_suffix() {
+        let mut m = Module::new("f");
+        let mut b = FunctionBuilder::new("f", vec![], Type::F64);
+        let v = b.fadd(b.fconst(1.5), b.fconst(2.0));
+        b.ret(v);
+        m.add_function(b.finish());
+        let out = print_module(&m);
+        assert!(out.contains("bin fadd f64 1.5f, 2.0f"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Type system for the CaRDS IR.
+//!
+//! The IR is typed like a simplified LLVM: scalar integer/float types, an
+//! opaque pointer type, and compound struct/array types interned in a
+//! per-module [`TypeTable`]. Keeping [`Type`] `Copy` keeps instruction data
+//! small and analysis code allocation-free on hot paths.
+
+use std::fmt;
+
+/// Interned identifier of a named struct type in a [`TypeTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructId(pub u32);
+
+/// Interned identifier of an array type in a [`TypeTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// A first-class IR type. Compound types are interned; `Type` itself is
+/// `Copy` so it can be embedded in every instruction without allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// No value (function return only).
+    Void,
+    /// 1-bit boolean (comparison results, branch conditions).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Opaque pointer (like LLVM's `ptr`). Pointee types travel on the
+    /// memory instructions, not the pointer, mirroring modern LLVM.
+    Ptr,
+    /// A named struct type, interned in the module's [`TypeTable`].
+    Struct(StructId),
+    /// An array type `[len x elem]`, interned in the module's [`TypeTable`].
+    Array(ArrayId),
+}
+
+impl Type {
+    /// Whether this is any integer type (including `i1`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// Whether this type can be stored to / loaded from memory.
+    pub fn is_first_class(self) -> bool {
+        !matches!(self, Type::Void)
+    }
+
+    /// Whether values of this type fit in a VM register (scalars and
+    /// pointers). Compound types must be accessed through memory.
+    pub fn is_scalar(self) -> bool {
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::F64 | Type::Ptr
+        )
+    }
+}
+
+/// A named struct type: ordered fields, C-like layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructTy {
+    /// Source-level name (used by DSA to recover data-structure semantics
+    /// and by the printer).
+    pub name: String,
+    /// Field types in declaration order.
+    pub fields: Vec<Type>,
+}
+
+/// An array type: `len` contiguous elements of `elem`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayTy {
+    /// Element type.
+    pub elem: Type,
+    /// Number of elements.
+    pub len: u64,
+}
+
+/// Per-module intern table for compound types, plus C-like layout queries
+/// (size, alignment, field offsets) used by the VM and the runtime's
+/// greedy-recursive prefetcher.
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    structs: Vec<StructTy>,
+    arrays: Vec<ArrayTy>,
+}
+
+impl TypeTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a named struct type. Names need not be unique, but unique
+    /// names make printed IR round-trippable.
+    pub fn add_struct(&mut self, name: impl Into<String>, fields: Vec<Type>) -> StructId {
+        let id = StructId(self.structs.len() as u32);
+        self.structs.push(StructTy { name: name.into(), fields });
+        id
+    }
+
+    /// Intern (or reuse) an array type.
+    pub fn array_of(&mut self, elem: Type, len: u64) -> ArrayId {
+        if let Some(i) = self
+            .arrays
+            .iter()
+            .position(|a| a.elem == elem && a.len == len)
+        {
+            return ArrayId(i as u32);
+        }
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayTy { elem, len });
+        id
+    }
+
+    /// Look up a struct definition.
+    pub fn struct_ty(&self, id: StructId) -> &StructTy {
+        &self.structs[id.0 as usize]
+    }
+
+    /// Look up an array definition.
+    pub fn array_ty(&self, id: ArrayId) -> ArrayTy {
+        self.arrays[id.0 as usize]
+    }
+
+    /// Find a struct by name (linear scan; tables are small).
+    pub fn struct_by_name(&self, name: &str) -> Option<StructId> {
+        self.structs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StructId(i as u32))
+    }
+
+    /// All interned structs with their ids.
+    pub fn structs(&self) -> impl Iterator<Item = (StructId, &StructTy)> {
+        self.structs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StructId(i as u32), s))
+    }
+
+    /// Byte size of a type under C-like layout rules.
+    pub fn size_of(&self, ty: Type) -> u64 {
+        match ty {
+            Type::Void => 0,
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::Struct(id) => {
+                let s = self.struct_ty(id);
+                let mut off = 0u64;
+                let mut align = 1u64;
+                for &f in &s.fields {
+                    let a = self.align_of(f);
+                    align = align.max(a);
+                    off = round_up(off, a) + self.size_of(f);
+                }
+                round_up(off, align)
+            }
+            Type::Array(id) => {
+                let a = self.array_ty(id);
+                self.size_of(a.elem) * a.len
+            }
+        }
+    }
+
+    /// Alignment of a type under C-like layout rules.
+    pub fn align_of(&self, ty: Type) -> u64 {
+        match ty {
+            Type::Void => 1,
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::Struct(id) => self
+                .struct_ty(id)
+                .fields
+                .iter()
+                .map(|&f| self.align_of(f))
+                .max()
+                .unwrap_or(1),
+            Type::Array(id) => self.align_of(self.array_ty(id).elem),
+        }
+    }
+
+    /// Byte offset of struct field `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn field_offset(&self, id: StructId, idx: u32) -> u64 {
+        let s = self.struct_ty(id);
+        assert!(
+            (idx as usize) < s.fields.len(),
+            "field index {idx} out of range for struct {}",
+            s.name
+        );
+        let mut off = 0u64;
+        for (i, &f) in s.fields.iter().enumerate() {
+            off = round_up(off, self.align_of(f));
+            if i as u32 == idx {
+                return off;
+            }
+            off += self.size_of(f);
+        }
+        unreachable!()
+    }
+
+    /// Byte offsets of every pointer-typed field reachable at the top level
+    /// of `ty` (descending into nested structs/arrays). Used by the runtime
+    /// greedy-recursive prefetcher to chase child pointers in fetched bytes.
+    pub fn pointer_field_offsets(&self, ty: Type) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.collect_ptr_offsets(ty, 0, &mut out);
+        out
+    }
+
+    fn collect_ptr_offsets(&self, ty: Type, base: u64, out: &mut Vec<u64>) {
+        match ty {
+            Type::Ptr => out.push(base),
+            Type::Struct(id) => {
+                let s = self.struct_ty(id).clone();
+                for (i, &f) in s.fields.iter().enumerate() {
+                    let off = self.field_offset(id, i as u32);
+                    self.collect_ptr_offsets(f, base + off, out);
+                }
+            }
+            Type::Array(id) => {
+                let a = self.array_ty(id);
+                let esz = self.size_of(a.elem);
+                // Cap expansion: prefetcher only needs a representative
+                // window, and unbounded arrays of structs would blow up.
+                for i in 0..a.len.min(16) {
+                    self.collect_ptr_offsets(a.elem, base + i * esz, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Render a type for the textual IR format.
+    pub fn display(&self, ty: Type) -> TypeDisplay<'_> {
+        TypeDisplay { table: self, ty }
+    }
+}
+
+/// Round `v` up to a multiple of `align` (power of two not required).
+pub fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+/// Helper implementing `Display` for a type in the context of its table.
+pub struct TypeDisplay<'a> {
+    table: &'a TypeTable,
+    ty: Type,
+}
+
+impl fmt::Display for TypeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::Void => write!(f, "void"),
+            Type::I1 => write!(f, "i1"),
+            Type::I8 => write!(f, "i8"),
+            Type::I16 => write!(f, "i16"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr => write!(f, "ptr"),
+            Type::Struct(id) => write!(f, "%{}", self.table.struct_ty(id).name),
+            Type::Array(id) => {
+                let a = self.table.array_ty(id);
+                write!(f, "[{} x {}]", a.len, self.table.display(a.elem))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        let t = TypeTable::new();
+        assert_eq!(t.size_of(Type::I8), 1);
+        assert_eq!(t.size_of(Type::I16), 2);
+        assert_eq!(t.size_of(Type::I32), 4);
+        assert_eq!(t.size_of(Type::I64), 8);
+        assert_eq!(t.size_of(Type::F64), 8);
+        assert_eq!(t.size_of(Type::Ptr), 8);
+        assert_eq!(t.size_of(Type::Void), 0);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        let mut t = TypeTable::new();
+        // struct { i8, i64, i16 } -> offsets 0, 8, 16; size 24 (tail pad to 8).
+        let s = t.add_struct("S", vec![Type::I8, Type::I64, Type::I16]);
+        assert_eq!(t.field_offset(s, 0), 0);
+        assert_eq!(t.field_offset(s, 1), 8);
+        assert_eq!(t.field_offset(s, 2), 16);
+        assert_eq!(t.size_of(Type::Struct(s)), 24);
+        assert_eq!(t.align_of(Type::Struct(s)), 8);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let mut t = TypeTable::new();
+        let inner = t.add_struct("Inner", vec![Type::I32, Type::I32]);
+        let outer = t.add_struct("Outer", vec![Type::I8, Type::Struct(inner)]);
+        assert_eq!(t.size_of(Type::Struct(inner)), 8);
+        assert_eq!(t.field_offset(outer, 1), 4); // inner aligns to 4
+        assert_eq!(t.size_of(Type::Struct(outer)), 12);
+    }
+
+    #[test]
+    fn array_layout() {
+        let mut t = TypeTable::new();
+        let a = t.array_of(Type::I32, 10);
+        assert_eq!(t.size_of(Type::Array(a)), 40);
+        assert_eq!(t.align_of(Type::Array(a)), 4);
+        // interning dedups
+        let b = t.array_of(Type::I32, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pointer_field_offsets_linked_node() {
+        let mut t = TypeTable::new();
+        // struct Node { i64 val; ptr next; }
+        let n = t.add_struct("Node", vec![Type::I64, Type::Ptr]);
+        assert_eq!(t.pointer_field_offsets(Type::Struct(n)), vec![8]);
+    }
+
+    #[test]
+    fn pointer_field_offsets_nested() {
+        let mut t = TypeTable::new();
+        let inner = t.add_struct("Pair", vec![Type::Ptr, Type::Ptr]);
+        let outer = t.add_struct("Wrap", vec![Type::I64, Type::Struct(inner)]);
+        assert_eq!(t.pointer_field_offsets(Type::Struct(outer)), vec![8, 16]);
+    }
+
+    #[test]
+    fn display_round_trips_names() {
+        let mut t = TypeTable::new();
+        let s = t.add_struct("Node", vec![Type::I64, Type::Ptr]);
+        let a = t.array_of(Type::Struct(s), 4);
+        assert_eq!(t.display(Type::Array(a)).to_string(), "[4 x %Node]");
+        assert_eq!(t.display(Type::I64).to_string(), "i64");
+    }
+
+    #[test]
+    fn round_up_behaviour() {
+        assert_eq!(round_up(0, 8), 0);
+        assert_eq!(round_up(1, 8), 8);
+        assert_eq!(round_up(8, 8), 8);
+        assert_eq!(round_up(9, 4), 12);
+    }
+}

@@ -1,0 +1,255 @@
+//! Edge-case tests for the IR textual format, verifier, and analyses —
+//! inputs a frontend or a human writing `.ir` files by hand will produce.
+
+use cards_ir::analysis::{analyze_loops, CallGraph, CallGraphSccs, Cfg, DomTree, LoopForest};
+use cards_ir::{
+    parse_module, print_module, verify_module, FunctionBuilder, Module, Type, Value,
+};
+
+// ---------- parser ----------
+
+#[test]
+fn parser_accepts_all_scalar_types_and_compounds() {
+    let src = "\
+module types
+struct %Pair { i32, i32 }
+struct %Nest { %Pair, [4 x i64], ptr }
+global @g1 : i64 = -5
+global @g2 : f64
+fn @main() -> void {
+bb0:
+  %0 = allocstack %Nest
+  %1 = gep %0 : %Nest [.1 #2]
+  store i64 7 -> %1
+  ret
+}
+";
+    let m = parse_module(src).expect("parse");
+    assert!(verify_module(&m).is_empty());
+    assert_eq!(m.globals.len(), 2);
+    assert_eq!(m.globals[0].init, Some(Value::ConstInt(-5)));
+    // struct sizes computed through nesting
+    let nest = m.types.struct_by_name("Nest").unwrap();
+    assert_eq!(m.types.size_of(Type::Struct(nest)), 8 + 32 + 8);
+}
+
+#[test]
+fn parser_rejects_unknown_struct_reference() {
+    let src = "module x\nfn @f() -> void {\nbb0:\n  %0 = allocstack %Ghost\n  ret\n}";
+    let e = parse_module(src).unwrap_err();
+    assert!(e.msg.contains("unknown struct"), "{e}");
+}
+
+#[test]
+fn parser_rejects_nonsequential_block_labels() {
+    let src = "module x\nfn @f() -> void {\nbb0:\n  br bb2\nbb2:\n  ret\n}";
+    let e = parse_module(src).unwrap_err();
+    // Rejected either at the branch (bb2 out of range under sequential
+    // numbering) or at the label itself — both are correct.
+    assert!(
+        e.msg.contains("sequential") || e.msg.contains("nonexistent"),
+        "{e}"
+    );
+}
+
+#[test]
+fn parser_rejects_duplicate_value_definition() {
+    let src = "module x\nfn @f() -> i64 {\nbb0:\n  %0 = bin add i64 1, 2\n  %0 = bin add i64 3, 4\n  ret %0\n}";
+    let e = parse_module(src).unwrap_err();
+    assert!(e.msg.contains("redefinition"), "{e}");
+}
+
+#[test]
+fn parser_reports_line_numbers() {
+    let src = "module x\nfn @f() -> void {\nbb0:\n  ret\n}\nfn @g() -> void {\nbb0:\n  zorp\n}";
+    let e = parse_module(src).unwrap_err();
+    assert_eq!(e.line, 8);
+}
+
+#[test]
+fn parser_handles_float_specials() {
+    // NaN/inf round-trip through print + parse.
+    let mut m = Module::new("f");
+    let mut b = FunctionBuilder::new("main", vec![], Type::F64);
+    let v = b.fadd(b.fconst(f64::INFINITY), b.fconst(1.0));
+    b.ret(v);
+    m.add_function(b.finish());
+    let printed = print_module(&m);
+    let m2 = parse_module(&printed).expect("parse specials");
+    assert_eq!(print_module(&m2), printed);
+}
+
+#[test]
+fn parser_round_trips_empty_arg_functions_and_calls() {
+    let src = "\
+module callrt
+fn @leaf() -> i64 {
+bb0:
+  ret 7
+}
+fn @main() -> i64 {
+bb0:
+  %0 = call @leaf()
+  %1 = bin add i64 %0, 1
+  ret %1
+}
+";
+    let m = parse_module(src).unwrap();
+    let p1 = print_module(&m);
+    let m2 = parse_module(&p1).unwrap();
+    assert_eq!(print_module(&m2), p1);
+}
+
+// ---------- verifier ----------
+
+#[test]
+fn verifier_flags_phi_only_in_reachable_code() {
+    // An unreachable block with a malformed phi: structural checks still
+    // run; dominance checks are scoped to reachable code.
+    let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+    b.ret_void();
+    let dead = b.new_block();
+    b.switch_to(dead);
+    b.ret_void();
+    let mut m = Module::new("t");
+    m.add_function(b.finish());
+    assert!(verify_module(&m).is_empty());
+}
+
+#[test]
+fn verifier_catches_arg_out_of_range_in_parsed_code() {
+    let src = "module x\nfn @f(i64) -> i64 {\nbb0:\n  %0 = bin add i64 arg3, 1\n  ret %0\n}";
+    let m = parse_module(src).unwrap();
+    let errs = verify_module(&m);
+    assert!(errs.iter().any(|e| e.msg.contains("arg3")), "{errs:?}");
+}
+
+// ---------- analyses ----------
+
+#[test]
+fn dominators_on_irreducible_like_shape() {
+    // entry -> a, b; a -> b; b -> a (mutual edges under a diamond): the
+    // CHK algorithm must converge and entry dominates everything.
+    let mut b = FunctionBuilder::new("f", vec![Type::I1, Type::I1], Type::Void);
+    let x = b.new_block();
+    let y = b.new_block();
+    let exit = b.new_block();
+    b.cond_br(b.arg(0), x, y);
+    b.switch_to(x);
+    b.cond_br(b.arg(1), y, exit);
+    b.switch_to(y);
+    b.cond_br(b.arg(1), x, exit);
+    b.switch_to(exit);
+    b.ret_void();
+    let f = b.finish();
+    let cfg = Cfg::compute(&f);
+    let dom = DomTree::compute(&f, &cfg);
+    let entry = f.entry();
+    for blk in f.block_ids() {
+        assert!(dom.dominates(entry, blk));
+    }
+    assert!(!dom.dominates(x, y));
+    assert!(!dom.dominates(y, x));
+    // loops: the x<->y cycle forms natural loops only if a header
+    // dominates its latch — neither dominates the other, so none found.
+    let loops = LoopForest::compute(&f, &cfg, &dom);
+    assert!(loops.loops.is_empty());
+}
+
+#[test]
+fn loop_with_two_latches_merges() {
+    // while-loop whose body has a continue edge: two back edges, one header.
+    let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+    let header = b.new_block();
+    let body = b.new_block();
+    let cont = b.new_block();
+    let exit = b.new_block();
+    let entry = b.current_block();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64, vec![(entry, b.iconst(0))]);
+    let c = b.cmp(cards_ir::CmpOp::Slt, i, b.arg(0));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let even = {
+        let r = b.bin(cards_ir::BinOp::And, i, b.iconst(1), Type::I64);
+        b.cmp(cards_ir::CmpOp::Eq, r, b.iconst(0))
+    };
+    let i1 = b.add(i, b.iconst(1));
+    b.cond_br(even, header, cont); // back edge 1 ("continue")
+    b.switch_to(cont);
+    let i2 = b.add(i, b.iconst(2));
+    b.br(header); // back edge 2
+    b.add_phi_incoming(i, body, i1);
+    b.add_phi_incoming(i, cont, i2);
+    b.switch_to(exit);
+    b.ret_void();
+    let f = b.finish();
+    let mut m = Module::new("t");
+    m.add_function(f);
+    assert!(verify_module(&m).is_empty(), "{:?}", verify_module(&m));
+    let f = &m.functions[0];
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(f, &cfg);
+    let loops = LoopForest::compute(f, &cfg, &dom);
+    assert_eq!(loops.loops.len(), 1, "both latches belong to one loop");
+    assert_eq!(loops.loops[0].latches.len(), 2);
+}
+
+#[test]
+fn indvars_with_nonconstant_step_detected_without_stride() {
+    let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::Void);
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let entry = b.current_block();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Type::I64, vec![(entry, b.iconst(0))]);
+    let c = b.cmp(cards_ir::CmpOp::Slt, i, b.iconst(100));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let next = b.add(i, b.arg(0)); // dynamic step
+    b.br(header);
+    b.add_phi_incoming(i, body, next);
+    b.switch_to(exit);
+    b.ret_void();
+    let f = b.finish();
+    let (_, _, _, ivs) = analyze_loops(&f);
+    assert_eq!(ivs.vars.len(), 1);
+    assert_eq!(ivs.vars[0].step, None, "dynamic step has no constant stride");
+}
+
+#[test]
+fn call_graph_reach_on_diamond_call_shape() {
+    // main -> {a, b} -> c: reach through both paths is 3 for everyone.
+    let mut m = Module::new("t");
+    let c = {
+        let mut b = FunctionBuilder::new("c", vec![], Type::Void);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let a = {
+        let mut b = FunctionBuilder::new("a", vec![], Type::Void);
+        b.call(c, vec![]);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let bb = {
+        let mut b = FunctionBuilder::new("b", vec![], Type::Void);
+        b.call(c, vec![]);
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        b.call(a, vec![]);
+        b.call(bb, vec![]);
+        b.ret_void();
+        m.add_function(b.finish());
+    }
+    let cg = CallGraph::compute(&m);
+    let sccs = CallGraphSccs::compute(&cg);
+    let reach = sccs.reach_depth();
+    assert!(reach.iter().all(|&r| r == 3), "{reach:?}");
+}

@@ -1,0 +1,27 @@
+//! # cards-net
+//!
+//! Simulated far-memory interconnect for the CaRDS reproduction.
+//!
+//! The paper runs over a 25 Gb/s ConnectX-4 NIC with DPDK between two
+//! CloudLab machines. This crate substitutes a deterministic cycle-cost
+//! model ([`NetworkModel`], calibrated against the paper's Table 1) plus a
+//! remote memory server reachable through the [`Transport`] trait:
+//!
+//! - [`SimTransport`] — in-process hash-map server; deterministic, used by
+//!   all benchmarks and figure reproductions.
+//! - [`ThreadedTransport`] — the same server on its own OS thread behind
+//!   crossbeam channels (the "two machines" configuration), used in tests
+//!   that exercise a real cross-thread path.
+//! - [`FaultyTransport`] — deterministic fault injection for failure tests.
+
+pub mod fault;
+pub mod model;
+pub mod stats;
+pub mod threaded;
+pub mod transport;
+
+pub use fault::FaultyTransport;
+pub use model::NetworkModel;
+pub use stats::NetStats;
+pub use threaded::ThreadedTransport;
+pub use transport::{Fetched, NetError, ObjKey, SimTransport, Transport};

@@ -1,0 +1,116 @@
+//! Deterministic cycle-cost model of the far-memory interconnect.
+//!
+//! The paper's testbed is two CloudLab x170 nodes (2.4 GHz Xeons) with a
+//! 25 Gb/s ConnectX-4 NIC driven through DPDK. We model a transfer as
+//!
+//! ```text
+//! cost(bytes) = base_latency + per_msg_cpu + bytes / bytes_per_cycle
+//! ```
+//!
+//! with defaults calibrated against Table 1 of the paper: a TrackFM-style
+//! remote guard (4 KiB object) costs ≈46 K cycles; the CaRDS remote fault
+//! adds per-DS bookkeeping on top (charged by the runtime, not here) to
+//! land at ≈59 K cycles.
+
+/// Cycle-cost model parameters for one link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// One-way-trip fixed latency in cycles (propagation + NIC + DPDK
+    /// polling), charged once per request/response pair.
+    pub base_latency: u64,
+    /// CPU cycles spent marshalling each message.
+    pub per_msg_cpu: u64,
+    /// Link throughput in bytes per CPU cycle. 25 Gb/s at 2.4 GHz is
+    /// `25e9 / 8 / 2.4e9 ≈ 1.30` bytes/cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        // base 42_000 + cpu 1_000 + 4096/1.302 ≈ 46_146 cycles for a 4 KiB
+        // fetch — matching TrackFM's measured 46 K remote guard.
+        NetworkModel {
+            base_latency: 42_000,
+            per_msg_cpu: 1_000,
+            bytes_per_cycle: 25.0e9 / 8.0 / 2.4e9,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// A model with zero latency and infinite bandwidth (for isolating
+    /// CPU-side overheads in tests).
+    pub fn free() -> Self {
+        NetworkModel {
+            base_latency: 0,
+            per_msg_cpu: 0,
+            bytes_per_cycle: f64::INFINITY,
+        }
+    }
+
+    /// Cycles to fetch `bytes` from the remote server (request + payload).
+    pub fn fetch_cost(&self, bytes: u64) -> u64 {
+        self.base_latency + self.per_msg_cpu + self.wire_cycles(bytes)
+    }
+
+    /// Cycles to write `bytes` back to the remote server. Write-backs are
+    /// asynchronous in AIFM-style runtimes (background evacuation threads),
+    /// so only the CPU marshalling and wire-serialization cycles land on
+    /// the critical path; the propagation latency is overlapped.
+    pub fn writeback_cost(&self, bytes: u64) -> u64 {
+        self.per_msg_cpu + self.wire_cycles(bytes)
+    }
+
+    /// Pure serialization time of `bytes` on the wire.
+    pub fn wire_cycles(&self, bytes: u64) -> u64 {
+        if self.bytes_per_cycle.is_infinite() {
+            return 0;
+        }
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_trackfm_remote_guard() {
+        let m = NetworkModel::default();
+        let c = m.fetch_cost(4096);
+        // Paper Table 1: TrackFM remote guard ≈ 46-47K cycles.
+        assert!((44_000..49_000).contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn cost_monotonic_in_bytes() {
+        let m = NetworkModel::default();
+        let mut last = 0;
+        for b in [0u64, 64, 512, 4096, 65536, 1 << 20] {
+            let c = m.fetch_cost(b);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn writeback_cheaper_than_fetch() {
+        let m = NetworkModel::default();
+        assert!(m.writeback_cost(4096) < m.fetch_cost(4096));
+    }
+
+    #[test]
+    fn free_model_is_zero_cost() {
+        let m = NetworkModel::free();
+        assert_eq!(m.fetch_cost(1 << 20), 0);
+        assert_eq!(m.writeback_cost(1 << 20), 0);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_linearly() {
+        let m = NetworkModel::default();
+        let small = m.wire_cycles(4096);
+        let big = m.wire_cycles(8192);
+        assert!(big >= 2 * small - 2 && big <= 2 * small + 2);
+    }
+}

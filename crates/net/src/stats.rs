@@ -1,0 +1,49 @@
+//! Traffic counters shared by all transports.
+
+/// Accumulated network statistics. Plain counters; cheap to copy out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Completed fetch (remote -> local) operations.
+    pub fetches: u64,
+    /// Completed write-back (local -> remote) operations.
+    pub writebacks: u64,
+    /// Payload bytes fetched.
+    pub bytes_fetched: u64,
+    /// Payload bytes written back.
+    pub bytes_written: u64,
+    /// Retries after transient faults.
+    pub retries: u64,
+    /// Total modeled cycles spent on the wire/CPU for this traffic.
+    pub cycles: u64,
+}
+
+impl NetStats {
+    /// Total bytes in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_fetched + self.bytes_written
+    }
+
+    /// Total messages in either direction.
+    pub fn total_msgs(&self) -> u64 {
+        self.fetches + self.writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = NetStats {
+            fetches: 2,
+            writebacks: 3,
+            bytes_fetched: 10,
+            bytes_written: 20,
+            retries: 1,
+            cycles: 99,
+        };
+        assert_eq!(s.total_bytes(), 30);
+        assert_eq!(s.total_msgs(), 5);
+    }
+}

@@ -1,0 +1,210 @@
+//! A transport whose server runs on its own OS thread — the "two machines"
+//! configuration. Requests/responses travel over crossbeam channels, which
+//! plays the role of the RDMA link; cycle costs still come from the model
+//! so results are identical to [`crate::transport::SimTransport`].
+//!
+//! This exists to exercise a real cross-thread memory-server path (channel
+//! backpressure, shutdown, poisoning) rather than for performance.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::model::NetworkModel;
+use crate::stats::NetStats;
+use crate::transport::{Fetched, NetError, ObjKey, Transport};
+
+enum Request {
+    Fetch(ObjKey),
+    Put(ObjKey, Vec<u8>),
+    Remove(ObjKey),
+    Contains(ObjKey),
+    ResidentBytes,
+    Shutdown,
+}
+
+enum Response {
+    Data(Option<Vec<u8>>),
+    Ok,
+    Bool(bool),
+    Bytes(u64),
+}
+
+/// Client half of the threaded transport. Dropping it shuts the server down.
+pub struct ThreadedTransport {
+    tx: Sender<Request>,
+    rx: Receiver<Response>,
+    model: NetworkModel,
+    stats: NetStats,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ThreadedTransport {
+    /// Spawn the memory-server thread and connect to it.
+    pub fn spawn(model: NetworkModel) -> Self {
+        let (req_tx, req_rx) = bounded::<Request>(64);
+        let (resp_tx, resp_rx) = bounded::<Response>(64);
+        let handle = std::thread::Builder::new()
+            .name("cards-remote-mem".into())
+            .spawn(move || server_loop(req_rx, resp_tx))
+            .expect("spawn remote memory server");
+        ThreadedTransport {
+            tx: req_tx,
+            rx: resp_rx,
+            model,
+            stats: NetStats::default(),
+            handle: Some(handle),
+        }
+    }
+
+    fn call(&self, req: Request) -> Result<Response, NetError> {
+        self.tx.send(req).map_err(|_| NetError::Disconnected)?;
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+}
+
+fn server_loop(rx: Receiver<Request>, tx: Sender<Response>) {
+    let mut store: HashMap<ObjKey, Vec<u8>> = HashMap::new();
+    let mut resident = 0u64;
+    while let Ok(req) = rx.recv() {
+        let resp = match req {
+            Request::Fetch(k) => Response::Data(store.get(&k).cloned()),
+            Request::Put(k, data) => {
+                resident += data.len() as u64;
+                if let Some(old) = store.insert(k, data) {
+                    resident -= old.len() as u64;
+                }
+                Response::Ok
+            }
+            Request::Remove(k) => {
+                if let Some(old) = store.remove(&k) {
+                    resident -= old.len() as u64;
+                }
+                Response::Ok
+            }
+            Request::Contains(k) => Response::Bool(store.contains_key(&k)),
+            Request::ResidentBytes => Response::Bytes(resident),
+            Request::Shutdown => break,
+        };
+        if tx.send(resp).is_err() {
+            break;
+        }
+    }
+}
+
+impl Transport for ThreadedTransport {
+    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        match self.call(Request::Fetch(key))? {
+            Response::Data(Some(bytes)) => {
+                let cycles = self.model.fetch_cost(bytes.len() as u64);
+                self.stats.fetches += 1;
+                self.stats.bytes_fetched += bytes.len() as u64;
+                self.stats.cycles += cycles;
+                Ok(Fetched { bytes, cycles })
+            }
+            Response::Data(None) => Err(NetError::NotFound(key)),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    fn fetch_batched(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        match self.call(Request::Fetch(key))? {
+            Response::Data(Some(bytes)) => {
+                let cycles = self.model.per_msg_cpu + self.model.wire_cycles(bytes.len() as u64);
+                self.stats.fetches += 1;
+                self.stats.bytes_fetched += bytes.len() as u64;
+                self.stats.cycles += cycles;
+                Ok(Fetched { bytes, cycles })
+            }
+            Response::Data(None) => Err(NetError::NotFound(key)),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        self.model.base_latency + self.model.per_msg_cpu
+    }
+
+    fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError> {
+        let cycles = self.model.writeback_cost(data.len() as u64);
+        match self.call(Request::Put(key, data.to_vec()))? {
+            Response::Ok => {
+                self.stats.writebacks += 1;
+                self.stats.bytes_written += data.len() as u64;
+                self.stats.cycles += cycles;
+                Ok(cycles)
+            }
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
+        match self.call(Request::Remove(key))? {
+            Response::Ok => Ok(self.model.per_msg_cpu),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    fn contains(&self, key: ObjKey) -> bool {
+        matches!(self.call(Request::Contains(key)), Ok(Response::Bool(true)))
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn remote_bytes(&self) -> u64 {
+        match self.call(Request::ResidentBytes) {
+            Ok(Response::Bytes(b)) => b,
+            _ => 0,
+        }
+    }
+}
+
+impl Drop for ThreadedTransport {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_round_trip() {
+        let mut t = ThreadedTransport::spawn(NetworkModel::default());
+        let k = ObjKey { ds: 3, index: 11 };
+        t.put(k, &[5u8; 256]).unwrap();
+        assert!(t.contains(k));
+        let f = t.fetch(k).unwrap();
+        assert_eq!(f.bytes, vec![5u8; 256]);
+        assert_eq!(t.remote_bytes(), 256);
+        t.remove(k).unwrap();
+        assert!(!t.contains(k));
+    }
+
+    #[test]
+    fn threaded_matches_sim_costs() {
+        use crate::transport::SimTransport;
+        let model = NetworkModel::default();
+        let mut a = ThreadedTransport::spawn(model);
+        let mut b = SimTransport::new(model);
+        let k = ObjKey { ds: 0, index: 0 };
+        let data = vec![1u8; 4096];
+        let ca = a.put(k, &data).unwrap();
+        let cb = b.put(k, &data).unwrap();
+        assert_eq!(ca, cb);
+        assert_eq!(a.fetch(k).unwrap().cycles, b.fetch(k).unwrap().cycles);
+    }
+
+    #[test]
+    fn shutdown_on_drop_is_clean() {
+        let t = ThreadedTransport::spawn(NetworkModel::free());
+        drop(t); // must not hang or panic
+    }
+}

@@ -1,0 +1,255 @@
+//! Transport abstraction between the CaRDS runtime and the remote memory
+//! server, plus the in-process simulated implementation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::model::NetworkModel;
+use crate::stats::NetStats;
+
+/// Key identifying one far-memory object: (data-structure id, object index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjKey {
+    /// Data-structure id assigned by the runtime.
+    pub ds: u32,
+    /// Object index within the DS's virtual range.
+    pub index: u64,
+}
+
+/// Transport-level failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The server has no bytes for this key (never evicted there).
+    NotFound(ObjKey),
+    /// Transient fault (injected or simulated loss); the caller may retry.
+    Transient,
+    /// The remote side is gone (channel closed).
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NotFound(k) => write!(f, "object ds{}:{} not on remote server", k.ds, k.index),
+            NetError::Transient => write!(f, "transient network fault"),
+            NetError::Disconnected => write!(f, "remote server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result of a successful fetch: payload plus modeled cycle cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fetched {
+    /// Object bytes (length = object size registered at eviction time).
+    pub bytes: Vec<u8>,
+    /// Modeled cycles the fetch cost.
+    pub cycles: u64,
+}
+
+/// A link to the remote memory server.
+///
+/// All methods are synchronous; costs are *returned* as modeled cycles so
+/// the single caller (the runtime) can account them on its own clock.
+pub trait Transport {
+    /// Fetch the object stored under `key`.
+    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError>;
+
+    /// Fetch as part of a batch whose link latency is overlapped with an
+    /// in-flight demand fetch: only wire serialization + marshalling cycles
+    /// are charged. Used by prefetchers.
+    fn fetch_batched(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        self.fetch(key)
+    }
+
+    /// Cycles wasted by one failed round trip (used to price retries after
+    /// transient faults).
+    fn rtt_cost(&self) -> u64;
+
+    /// Store (evict) `data` under `key`, overwriting any prior contents.
+    /// Returns modeled cycles.
+    fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError>;
+
+    /// Drop the object under `key` (freed by the application). Returns
+    /// modeled cycles.
+    fn remove(&mut self, key: ObjKey) -> Result<u64, NetError>;
+
+    /// Whether the server currently holds `key`.
+    fn contains(&self, key: ObjKey) -> bool;
+
+    /// Accumulated traffic statistics.
+    fn stats(&self) -> NetStats;
+
+    /// Total bytes currently resident on the remote server.
+    fn remote_bytes(&self) -> u64;
+}
+
+/// In-process simulated transport: a hash map "server" plus the cycle model.
+/// Deterministic and allocation-conscious (payloads move, not copy, on put).
+pub struct SimTransport {
+    model: NetworkModel,
+    store: HashMap<ObjKey, Vec<u8>>,
+    stats: NetStats,
+    resident_bytes: u64,
+}
+
+impl SimTransport {
+    /// Create a transport with the given cost model.
+    pub fn new(model: NetworkModel) -> Self {
+        SimTransport {
+            model,
+            store: HashMap::new(),
+            stats: NetStats::default(),
+            resident_bytes: 0,
+        }
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &NetworkModel {
+        &self.model
+    }
+
+    /// Number of objects resident on the server.
+    pub fn object_count(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl Default for SimTransport {
+    fn default() -> Self {
+        Self::new(NetworkModel::default())
+    }
+}
+
+impl Transport for SimTransport {
+    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        match self.store.get(&key) {
+            Some(data) => {
+                let cycles = self.model.fetch_cost(data.len() as u64);
+                self.stats.fetches += 1;
+                self.stats.bytes_fetched += data.len() as u64;
+                self.stats.cycles += cycles;
+                Ok(Fetched {
+                    bytes: data.clone(),
+                    cycles,
+                })
+            }
+            None => Err(NetError::NotFound(key)),
+        }
+    }
+
+    fn fetch_batched(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        match self.store.get(&key) {
+            Some(data) => {
+                let cycles = self.model.per_msg_cpu + self.model.wire_cycles(data.len() as u64);
+                self.stats.fetches += 1;
+                self.stats.bytes_fetched += data.len() as u64;
+                self.stats.cycles += cycles;
+                Ok(Fetched {
+                    bytes: data.clone(),
+                    cycles,
+                })
+            }
+            None => Err(NetError::NotFound(key)),
+        }
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        self.model.base_latency + self.model.per_msg_cpu
+    }
+
+    fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError> {
+        let cycles = self.model.writeback_cost(data.len() as u64);
+        self.stats.writebacks += 1;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.cycles += cycles;
+        if let Some(old) = self.store.insert(key, data.to_vec()) {
+            self.resident_bytes -= old.len() as u64;
+        }
+        self.resident_bytes += data.len() as u64;
+        Ok(cycles)
+    }
+
+    fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
+        if let Some(old) = self.store.remove(&key) {
+            self.resident_bytes -= old.len() as u64;
+        }
+        // Frees piggyback on other traffic; charge one message's CPU cost.
+        Ok(self.model.per_msg_cpu)
+    }
+
+    fn contains(&self, key: ObjKey) -> bool {
+        self.store.contains_key(&key)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn remote_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ds: u32, index: u64) -> ObjKey {
+        ObjKey { ds, index }
+    }
+
+    #[test]
+    fn put_then_fetch_round_trips() {
+        let mut t = SimTransport::default();
+        let data = vec![7u8; 4096];
+        t.put(key(1, 0), &data).unwrap();
+        let f = t.fetch(key(1, 0)).unwrap();
+        assert_eq!(f.bytes, data);
+        assert!(f.cycles > 40_000);
+    }
+
+    #[test]
+    fn fetch_missing_is_not_found() {
+        let mut t = SimTransport::default();
+        assert_eq!(
+            t.fetch(key(2, 9)),
+            Err(NetError::NotFound(key(2, 9)))
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = SimTransport::default();
+        t.put(key(0, 0), &[1, 2, 3]).unwrap();
+        t.put(key(0, 1), &[4; 100]).unwrap();
+        t.fetch(key(0, 0)).unwrap();
+        let s = t.stats();
+        assert_eq!(s.writebacks, 2);
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.bytes_written, 103);
+        assert_eq!(s.bytes_fetched, 3);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn resident_bytes_tracked_through_overwrite_and_remove() {
+        let mut t = SimTransport::default();
+        t.put(key(0, 0), &[0u8; 128]).unwrap();
+        assert_eq!(t.remote_bytes(), 128);
+        t.put(key(0, 0), &[0u8; 64]).unwrap(); // overwrite shrinks
+        assert_eq!(t.remote_bytes(), 64);
+        t.put(key(0, 1), &[0u8; 32]).unwrap();
+        assert_eq!(t.remote_bytes(), 96);
+        t.remove(key(0, 0)).unwrap();
+        assert_eq!(t.remote_bytes(), 32);
+        assert_eq!(t.object_count(), 1);
+    }
+
+    #[test]
+    fn remove_missing_is_ok() {
+        let mut t = SimTransport::default();
+        assert!(t.remove(key(9, 9)).is_ok());
+    }
+}

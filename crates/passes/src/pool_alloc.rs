@@ -1,0 +1,382 @@
+//! Pool allocation (paper §4.1, Algorithm 1 — Lattner & Adve's algorithm
+//! driven by SeaDSA's context-sensitive disjoint structures).
+//!
+//! Phase 1: every function whose DSA graph has escaping heap nodes gets one
+//! extra `i64` *data-structure handle* parameter per such node; functions
+//! that own a DS instance get a `DsInit` at entry.
+//!
+//! Phase 2: every `Alloc` becomes `DsAlloc(size, handle)`, and every call
+//! site passes the handles the callee's escaping nodes require
+//! (`dsmap(NodeInCaller(F, I, n))` in the paper's pseudocode).
+
+use std::collections::HashMap;
+
+use cards_dsa::{ModuleDsa, NodeId};
+use cards_ir::{
+    DsMeta, DsMetaId, FuncId, Inst, InstId, Module, Type, Value,
+};
+
+use crate::prefetch_analysis::PrefetchChoice;
+
+/// Errors from the pool-allocation transform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolAllocError {
+    /// A call site could not supply a handle the callee requires (DSA
+    /// binding incomplete).
+    MissingHandle {
+        /// Caller function.
+        caller: FuncId,
+        /// Call instruction.
+        site: InstId,
+        /// Callee function.
+        callee: FuncId,
+    },
+}
+
+impl std::fmt::Display for PoolAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolAllocError::MissingHandle { caller, site, callee } => write!(
+                f,
+                "no DS handle available at call f{}:%{} -> f{}",
+                caller.0, site.0, callee.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolAllocError {}
+
+/// Result of the transform: the `dsmap` of Algorithm 1.
+#[derive(Clone, Debug, Default)]
+pub struct PoolAllocResult {
+    /// Per function: DS node (root) → handle SSA value after the transform.
+    pub handle_of: Vec<HashMap<NodeId, Value>>,
+    /// Per function: appended handle params, in order, with their nodes.
+    pub handle_params: Vec<Vec<NodeId>>,
+    /// DsMeta id per DS instance (index-aligned with `dsa.instances`).
+    pub meta_of_instance: Vec<DsMetaId>,
+}
+
+/// Run pool allocation over `module`, consuming the DSA result, prefetch
+/// choices and priorities to mint the [`DsMeta`]s passed to the runtime.
+pub fn pool_allocate(
+    module: &mut Module,
+    dsa: &ModuleDsa,
+    prefetch: &[PrefetchChoice],
+    priorities: &[cards_ir::DsPriority],
+) -> Result<PoolAllocResult, PoolAllocError> {
+    let nf = module.functions.len();
+
+    // Mint one DsMeta per instance.
+    let mut meta_of_instance = Vec::with_capacity(dsa.instances.len());
+    for inst in &dsa.instances {
+        let choice = &prefetch[inst.id as usize];
+        let meta = DsMeta {
+            name: inst.name.clone(),
+            elem_ty: inst.elem_ty,
+            elem_struct: match inst.elem_ty {
+                Some(Type::Struct(s)) => Some(s),
+                _ => None,
+            },
+            recursive: inst.recursive,
+            object_bytes: choice.object_bytes,
+            prefetch: choice.kind,
+            priority: priorities[inst.id as usize],
+        };
+        meta_of_instance.push(module.add_ds_meta(meta));
+    }
+
+    // Which nodes need handles in each function: any node that represents a
+    // DS instance (top-down info in `node_instances`, the analogue of DSA's
+    // top-down phase). A node whose instance is owned *here* gets a DsInit;
+    // every other instance-carrying node gets a threaded handle parameter —
+    // exactly Algorithm 1's `escapes(n)` split, and why `Set` in Listing 2
+    // receives a `DH` argument even though it never allocates.
+    let mut handle_params: Vec<Vec<NodeId>> = vec![Vec::new(); nf];
+    let mut owned: Vec<Vec<(NodeId, DsMetaId)>> = vec![Vec::new(); nf];
+    for (i, fd) in dsa.funcs.iter().enumerate() {
+        let fid = FuncId(i as u32);
+        let is_entry = dsa.entries.contains(&fid);
+        for &root in dsa.node_instances[i].keys() {
+            let root = fd.graph.find(root);
+            let owned_inst = dsa
+                .instances
+                .iter()
+                .find(|it| it.owner == fid && fd.graph.find(it.node) == root);
+            if let Some(it) = owned_inst {
+                owned[i].push((root, meta_of_instance[it.id as usize]));
+            } else if fd.escapes(root) && !is_entry {
+                handle_params[i].push(root);
+            }
+            // A non-escaping, non-owned instance node cannot exist
+            // (extraction would have owned it), so the arms are exhaustive.
+        }
+        handle_params[i].sort();
+        handle_params[i].dedup();
+        owned[i].sort_by_key(|&(n, _)| n);
+        owned[i].dedup_by_key(|&mut (n, _)| n);
+    }
+
+    // Phase 1: extend signatures and place DsInit calls; build dsmap.
+    let mut handle_of: Vec<HashMap<NodeId, Value>> = vec![HashMap::new(); nf];
+    for i in 0..nf {
+        let base_params = module.functions[i].params.len();
+        for (k, &node) in handle_params[i].iter().enumerate() {
+            module.functions[i].params.push(Type::I64);
+            handle_of[i].insert(node, Value::Arg((base_params + k) as u16));
+        }
+        // DsInit at function entry (prepended in order).
+        let f = &mut module.functions[i];
+        let mut init_ids = Vec::new();
+        for &(node, meta) in &owned[i] {
+            let id = InstId(f.insts.len() as u32);
+            f.insts.push(Inst::DsInit { meta });
+            init_ids.push(id);
+            handle_of[i].insert(node, Value::Inst(id));
+        }
+        // prepend to entry block
+        let entry = f.entry();
+        let blk = &mut f.blocks[entry.0 as usize];
+        let mut new_list = init_ids;
+        new_list.extend(blk.insts.iter().copied());
+        blk.insts = new_list;
+    }
+
+    // Phase 2: rewrite allocations and call sites.
+    for i in 0..nf {
+        let fid = FuncId(i as u32);
+        let fd = &dsa.funcs[i];
+        // Collect rewrites first (borrow discipline).
+        let mut alloc_rewrites: Vec<(InstId, Value, Value)> = Vec::new(); // (inst, size, handle)
+        let mut call_extensions: Vec<(InstId, Vec<Value>)> = Vec::new();
+        for (iid, inst) in module.functions[i].insts.iter().enumerate() {
+            let iid = InstId(iid as u32);
+            match inst {
+                Inst::Alloc { size, .. } => {
+                    let Some(cell) = fd.cell_of(Value::Inst(iid)) else {
+                        continue;
+                    };
+                    let root = fd.graph.find(cell.node);
+                    let Some(&h) = handle_of[i].get(&root) else {
+                        // An alloc whose node is neither owned nor threaded:
+                        // can only happen for dead/unreachable allocs; leave
+                        // it as a plain (local) allocation.
+                        continue;
+                    };
+                    alloc_rewrites.push((iid, *size, h));
+                }
+                Inst::Call { callee, .. } => {
+                    let callee_idx = callee.0 as usize;
+                    if handle_params[callee_idx].is_empty() {
+                        continue;
+                    }
+                    let binding = dsa.bindings.get(&(fid, iid));
+                    let mut extra = Vec::new();
+                    for &cn in &handle_params[callee_idx] {
+                        let cn_root = dsa.funcs[callee_idx].graph.find(cn);
+                        // find caller-side node via the binding; for direct
+                        // self-recursion caller and callee share the graph,
+                        // so the node maps to itself.
+                        let caller_node = if *callee == fid {
+                            Some(cn_root)
+                        } else {
+                            binding.and_then(|b| {
+                                b.node_map.iter().find_map(|(&k, &v)| {
+                                    if dsa.funcs[callee_idx].graph.find(k) == cn_root {
+                                        Some(fd.graph.find(v))
+                                    } else {
+                                        None
+                                    }
+                                })
+                            })
+                        };
+                        let h = caller_node
+                            .and_then(|n| handle_of[i].get(&n).copied())
+                            .ok_or(PoolAllocError::MissingHandle {
+                                caller: fid,
+                                site: iid,
+                                callee: *callee,
+                            })?;
+                        extra.push(h);
+                    }
+                    call_extensions.push((iid, extra));
+                }
+                _ => {}
+            }
+        }
+        let f = &mut module.functions[i];
+        for (iid, size, handle) in alloc_rewrites {
+            f.insts[iid.0 as usize] = Inst::DsAlloc { size, handle };
+        }
+        for (iid, extra) in call_extensions {
+            if let Inst::Call { args, .. } = &mut f.insts[iid.0 as usize] {
+                args.extend(extra);
+            }
+        }
+    }
+
+    Ok(PoolAllocResult {
+        handle_of,
+        handle_params,
+        meta_of_instance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchSelection};
+    use crate::testutil::listing1;
+    use cards_dsa::ModuleDsa;
+
+    fn run_pool_alloc(m: &mut Module) -> (ModuleDsa, PoolAllocResult) {
+        let dsa = ModuleDsa::analyze(m);
+        let pf = analyze_prefetch(m, &dsa, PrefetchSelection::PerDs);
+        let pr = rank_instances(&dsa);
+        let res = pool_allocate(m, &dsa, &pf, &pr).expect("pool alloc");
+        (dsa, res)
+    }
+
+    /// Listing 1 → Listing 2: alloc() gains a DH parameter, main ds_inits
+    /// two structures and passes handles down.
+    #[test]
+    fn listing1_matches_listing2_shape() {
+        let (mut m, main_f) = listing1();
+        let (dsa, res) = run_pool_alloc(&mut m);
+        assert_eq!(dsa.instances.len(), 2);
+        // alloc() now takes the handle argument.
+        let alloc_f = m.func_by_name("alloc").unwrap();
+        assert_eq!(m.func(alloc_f).params, vec![Type::I64]);
+        assert_eq!(res.handle_params[alloc_f.0 as usize].len(), 1);
+        // its malloc became dsalloc
+        assert!(m
+            .func(alloc_f)
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::DsAlloc { .. })));
+        assert!(!m
+            .func(alloc_f)
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Alloc { .. })));
+        // main has two DsInit and passes handles at both alloc() calls.
+        let main = m.func(main_f);
+        let inits = main
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::DsInit { .. }))
+            .count();
+        assert_eq!(inits, 2);
+        for inst in &main.insts {
+            if let Inst::Call { callee, args } = inst {
+                if *callee == alloc_f {
+                    assert_eq!(args.len(), 1, "alloc() call must pass DH");
+                }
+            }
+        }
+        // module still verifies
+        assert!(cards_ir::verify_module(&m).is_empty(), "{:?}",
+            cards_ir::verify_module(&m));
+    }
+
+    /// Set() does not allocate but its arg node escapes with alloc sites,
+    /// so per Algorithm 1 it also receives handles (Listing 2).
+    #[test]
+    fn non_allocating_user_also_gets_handle() {
+        let (mut m, _) = listing1();
+        let (_dsa, res) = run_pool_alloc(&mut m);
+        let set_f = m.func_by_name("Set").unwrap();
+        assert_eq!(
+            res.handle_params[set_f.0 as usize].len(),
+            1,
+            "Set's escaping arg node carries alloc sites -> handle param"
+        );
+        assert_eq!(m.func(set_f).params.len(), 3); // ptr, i64, +DH
+    }
+
+    /// Local non-escaping buffers get DsInit in their own function.
+    #[test]
+    fn local_buffer_inits_locally() {
+        let mut m = Module::new("t");
+        let helper = {
+            let mut b = cards_ir::FunctionBuilder::new("helper", vec![], Type::I64);
+            let buf = b.alloc(b.iconst(256), Type::I64);
+            b.store(buf, b.iconst(7), Type::I64);
+            let v = b.load(buf, Type::I64);
+            b.ret(v);
+            m.add_function(b.finish())
+        };
+        {
+            let mut b = cards_ir::FunctionBuilder::new("main", vec![], Type::Void);
+            b.call(helper, vec![]);
+            b.ret_void();
+            m.add_function(b.finish())
+        };
+        let (_dsa, res) = run_pool_alloc(&mut m);
+        // helper: DsInit + DsAlloc, no extra params
+        let h = m.func(helper);
+        assert_eq!(h.params.len(), 0);
+        assert!(h.insts.iter().any(|i| matches!(i, Inst::DsInit { .. })));
+        assert!(h.insts.iter().any(|i| matches!(i, Inst::DsAlloc { .. })));
+        assert!(res.handle_params[helper.0 as usize].is_empty());
+        assert!(cards_ir::verify_module(&m).is_empty());
+    }
+
+    /// DsInit handles dominate their uses (entry placement).
+    #[test]
+    fn transformed_module_verifies_for_recursive_builder() {
+        let mut m = Module::new("t");
+        let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+        let build = m.add_function(cards_ir::Function::new(
+            "build",
+            vec![Type::I64],
+            Type::Ptr,
+        ));
+        {
+            let mut b = cards_ir::FunctionBuilder::new("build", vec![Type::I64], Type::Ptr);
+            let done = b.new_block();
+            let rec = b.new_block();
+            let c = b.cmp(cards_ir::CmpOp::Sle, b.arg(0), b.iconst(0));
+            b.cond_br(c, done, rec);
+            b.switch_to(done);
+            b.ret(Value::Null);
+            b.switch_to(rec);
+            let node = b.alloc(b.iconst(16), Type::Struct(node_ty));
+            b.store(node, b.arg(0), Type::I64);
+            let nm1 = b.sub(b.arg(0), b.iconst(1));
+            let tail = b.call(build, vec![nm1]);
+            let nf = b.gep_field(node, Type::Struct(node_ty), 1);
+            b.store(nf, tail, Type::Ptr);
+            b.ret(node);
+            *m.func_mut(build) = b.finish();
+        }
+        {
+            let mut b = cards_ir::FunctionBuilder::new("main", vec![], Type::Void);
+            let head = b.call(build, vec![b.iconst(100)]);
+            let _ = b.load(head, Type::I64);
+            b.ret_void();
+            m.add_function(b.finish())
+        };
+        let (_dsa, res) = run_pool_alloc(&mut m);
+        let errs = cards_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+        // build() must thread the handle through its recursive call.
+        let bf = m.func(build);
+        assert_eq!(bf.params.len(), 2); // i64 + DH
+        for inst in &bf.insts {
+            if let Inst::Call { callee, args } = inst {
+                if *callee == build {
+                    assert_eq!(args.len(), 2);
+                }
+            }
+        }
+        assert_eq!(res.meta_of_instance.len(), 1);
+        // metadata round-trips through print/parse (one parse renumbers
+        // out-of-order ids; after that printing is a fixed point)
+        let printed = cards_ir::print_module(&m);
+        let canon = cards_ir::print_module(&cards_ir::parse_module(&printed).expect("parse"));
+        let again = cards_ir::print_module(&cards_ir::parse_module(&canon).expect("reparse"));
+        assert_eq!(canon, again);
+    }
+}

@@ -1,0 +1,238 @@
+//! Prefetch analysis (paper §4.1 "Prefetching analysis"):
+//! classify each data-structure instance's access pattern and pick a
+//! prefetch policy plus a runtime object size for it.
+//!
+//! Classification:
+//! - **Recursive** structures (self-referential field edges found by DSA)
+//!   get the greedy-recursive prefetcher.
+//! - Structures whose accesses are predominantly **affine in an induction
+//!   variable** (the `a[i]` pattern) get the majority-stride prefetcher.
+//! - Everything else (hash-probed, data-dependent indices) gets the
+//!   jump-pointer prefetcher, which learns repeat traversal orders.
+
+use std::collections::HashMap;
+
+use cards_dsa::ModuleDsa;
+use cards_ir::analysis::analyze_loops;
+use cards_ir::{Inst, Module, PrefetchKind, Value};
+
+/// Per-instance outcome of the analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefetchChoice {
+    /// Chosen prefetcher.
+    pub kind: PrefetchKind,
+    /// Runtime object size hint (power of two).
+    pub object_bytes: u64,
+    /// Accesses whose address was affine in an induction variable.
+    pub affine_accesses: u64,
+    /// Total classified accesses.
+    pub total_accesses: u64,
+}
+
+/// How the compiler selects prefetchers (CaRDS vs. the TrackFM baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchSelection {
+    /// CaRDS: per-DS selection among stride / greedy / jump-pointer.
+    PerDs,
+    /// TrackFM: only induction-variable (stride) prefetching; structures
+    /// without affine accesses get no prefetcher.
+    IndvarOnly,
+    /// No prefetching at all (ablation).
+    Disabled,
+}
+
+/// Run the analysis for every DS instance.
+pub fn analyze_prefetch(
+    module: &Module,
+    dsa: &ModuleDsa,
+    selection: PrefetchSelection,
+) -> Vec<PrefetchChoice> {
+    // Count affine vs. total accesses per instance.
+    let mut affine = vec![0u64; dsa.instances.len()];
+    let mut total = vec![0u64; dsa.instances.len()];
+    for fd in &dsa.funcs {
+        let f = module.func(fd.func);
+        let (_cfg, _dom, _loops, ivs) = analyze_loops(f);
+        // Pre-map: which values are affine geps.
+        let mut gep_affine: HashMap<Value, bool> = HashMap::new();
+        for (_b, iid, inst) in f.iter_insts() {
+            if let Inst::Gep { indices, .. } = inst {
+                let aff = indices.iter().any(|ix| match ix {
+                    cards_ir::GepIdx::Index(v) => ivs.is_affine_of_indvar(f, *v),
+                    cards_ir::GepIdx::Field(_) => false,
+                });
+                gep_affine.insert(Value::Inst(iid), aff);
+            }
+        }
+        for acc in &fd.accesses {
+            let root = fd.graph.find(acc.node);
+            let ids = dsa.node_instances[fd.func.0 as usize]
+                .get(&root)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+            if ids.is_empty() {
+                continue;
+            }
+            // the access's pointer operand
+            let ptr = match f.inst(acc.inst) {
+                Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => *ptr,
+                _ => continue,
+            };
+            let is_affine = gep_affine.get(&ptr).copied().unwrap_or(false);
+            for &id in ids {
+                total[id as usize] += 1;
+                if is_affine {
+                    affine[id as usize] += 1;
+                }
+            }
+        }
+    }
+
+    dsa.instances
+        .iter()
+        .map(|inst| {
+            let a = affine[inst.id as usize];
+            let t = total[inst.id as usize];
+            let elem_bytes = inst
+                .elem_ty
+                .map(|ty| module.types.size_of(ty))
+                .unwrap_or(8)
+                .max(1);
+            let mostly_affine = t > 0 && a * 5 >= t * 4; // ≥80%
+            let kind = match selection {
+                PrefetchSelection::Disabled => PrefetchKind::None,
+                PrefetchSelection::IndvarOnly => {
+                    if mostly_affine {
+                        PrefetchKind::Stride
+                    } else {
+                        PrefetchKind::None
+                    }
+                }
+                PrefetchSelection::PerDs => {
+                    if inst.recursive {
+                        PrefetchKind::GreedyRecursive
+                    } else if mostly_affine {
+                        PrefetchKind::Stride
+                    } else if t > 0 {
+                        PrefetchKind::JumpPointer
+                    } else {
+                        PrefetchKind::None
+                    }
+                }
+            };
+            let object_bytes = match kind {
+                // Linked structures: objects sized near the node so each
+                // fetch is one node (plus neighbors packed by allocation).
+                PrefetchKind::GreedyRecursive => elem_bytes.next_power_of_two().clamp(64, 4096),
+                // Irregular probes: smaller objects reduce amplification
+                // (the KONA observation).
+                PrefetchKind::JumpPointer => (elem_bytes * 4).next_power_of_two().clamp(64, 1024),
+                // Streams: page-sized objects amortize per-message cost.
+                _ => 4096,
+            };
+            PrefetchChoice {
+                kind,
+                object_bytes,
+                affine_accesses: a,
+                total_accesses: t,
+            }
+        })
+        .collect()
+}
+
+/// Compute per-instance static priorities for the remoting policies.
+pub fn rank_instances(dsa: &ModuleDsa) -> Vec<cards_ir::DsPriority> {
+    dsa.instances
+        .iter()
+        .map(|inst| {
+            let u = &dsa.usage[inst.id as usize];
+            cards_ir::DsPriority {
+                program_order: inst.id,
+                reach_depth: u.reach_depth,
+                use_score: u.use_score(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cards_ir::{FunctionBuilder, Module, Type};
+
+    /// array scanned with a[i] → Stride; loop-built list → GreedyRecursive.
+    #[test]
+    fn classifies_array_and_list() {
+        let mut m = Module::new("t");
+        let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        // array
+        let arr = b.alloc(b.iconst(8 * 1024), Type::I64);
+        let z = b.iconst(0);
+        let n = b.iconst(1024);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, i| {
+            let p = b.gep_index(arr, Type::I64, i);
+            b.store(p, i, Type::I64);
+        });
+        // list
+        let slot = b.alloca(Type::Ptr);
+        b.store(slot, Value::Null, Type::Ptr);
+        b.counted_loop(z, n, one, |b, i| {
+            let nd = b.alloc(b.iconst(16), Type::Struct(node_ty));
+            b.store(nd, i, Type::I64);
+            let head = b.load(slot, Type::Ptr);
+            let nf = b.gep_field(nd, Type::Struct(node_ty), 1);
+            b.store(nf, head, Type::Ptr);
+            b.store(slot, nd, Type::Ptr);
+        });
+        b.ret_void();
+        m.add_function(b.finish());
+        let dsa = ModuleDsa::analyze(&m);
+        assert_eq!(dsa.instances.len(), 2);
+        let choices = analyze_prefetch(&m, &dsa, PrefetchSelection::PerDs);
+        let arr_i = dsa.instances.iter().position(|i| !i.recursive).unwrap();
+        let list_i = dsa.instances.iter().position(|i| i.recursive).unwrap();
+        assert_eq!(choices[arr_i].kind, PrefetchKind::Stride);
+        assert_eq!(choices[arr_i].object_bytes, 4096);
+        assert_eq!(choices[list_i].kind, PrefetchKind::GreedyRecursive);
+        assert!(choices[list_i].object_bytes <= 4096);
+    }
+
+    /// Hash-probed array → JumpPointer under CaRDS, None under TrackFM.
+    #[test]
+    fn irregular_access_gets_jump_pointer() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let arr = b.alloc(b.iconst(8 * 1024), Type::I64);
+        let z = b.iconst(0);
+        let n = b.iconst(64);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, i| {
+            let h = b.intrin(cards_ir::Intrinsic::Hash64, vec![i]);
+            let idx = b.bin(cards_ir::BinOp::URem, h, b.iconst(1024), Type::I64);
+            let p = b.gep_index(arr, Type::I64, idx);
+            b.store(p, i, Type::I64);
+        });
+        b.ret_void();
+        m.add_function(b.finish());
+        let dsa = ModuleDsa::analyze(&m);
+        let cards = analyze_prefetch(&m, &dsa, PrefetchSelection::PerDs);
+        assert_eq!(cards[0].kind, PrefetchKind::JumpPointer);
+        let trackfm = analyze_prefetch(&m, &dsa, PrefetchSelection::IndvarOnly);
+        assert_eq!(trackfm[0].kind, PrefetchKind::None);
+        let off = analyze_prefetch(&m, &dsa, PrefetchSelection::Disabled);
+        assert_eq!(off[0].kind, PrefetchKind::None);
+    }
+
+    #[test]
+    fn ranking_uses_dsa_usage() {
+        let (m, _) = crate::testutil::listing1();
+        let dsa = ModuleDsa::analyze(&m);
+        let ranks = rank_instances(&dsa);
+        let ds1 = dsa.instances.iter().position(|i| i.name == "ds1").unwrap();
+        let ds2 = dsa.instances.iter().position(|i| i.name == "ds2").unwrap();
+        assert!(ranks[ds2].use_score > ranks[ds1].use_score);
+        assert_eq!(ranks[ds1].program_order, ds1 as u32);
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared test programs (Listing 1 of the paper, etc.).
+//!
+//! Hidden from docs; used by unit tests across pass modules and re-exported
+//! for the integration tests.
+
+use cards_ir::{FunctionBuilder, FuncId, Module, Type, Value};
+
+/// The paper's Listing 1: globals `ds1`/`ds2` filled via one `alloc()`
+/// helper, written through `Set`, with `ds2` re-written in a loop.
+/// `elems` controls ARRAY_SIZE (i32 elements); `ntimes` the outer loop.
+pub fn listing1_sized(elems: i64, ntimes: i64) -> (Module, FuncId) {
+    let mut m = Module::new("listing1");
+    let g1 = m.add_global("ds1", Type::Ptr, None);
+    let g2 = m.add_global("ds2", Type::Ptr, None);
+
+    let alloc_f = {
+        let mut b = FunctionBuilder::new("alloc", vec![], Type::Ptr);
+        let p = b.alloc(b.iconst(elems * 4), Type::I32);
+        b.ret(p);
+        m.add_function(b.finish())
+    };
+    let set_f = {
+        let mut b = FunctionBuilder::new("Set", vec![Type::Ptr, Type::I64], Type::Void);
+        let z = b.iconst(0);
+        let n = b.iconst(elems);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, j| {
+            let p = b.gep_index(b.arg(0), Type::I32, j);
+            b.store(p, b.arg(1), Type::I32);
+        });
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let p1 = b.call(alloc_f, vec![]);
+        b.store(Value::Global(g1), p1, Type::Ptr);
+        let p2 = b.call(alloc_f, vec![]);
+        b.store(Value::Global(g2), p2, Type::Ptr);
+        let d1 = b.load(Value::Global(g1), Type::Ptr);
+        b.call(set_f, vec![d1, b.iconst(0)]);
+        let d2 = b.load(Value::Global(g2), Type::Ptr);
+        b.call(set_f, vec![d2, b.iconst(1)]);
+        let z = b.iconst(0);
+        let n = b.iconst(ntimes);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, k| {
+            let d2b = b.load(Value::Global(g2), Type::Ptr);
+            b.call(set_f, vec![d2b, k]);
+        });
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    (m, main_f)
+}
+
+/// Listing 1 at its default (small, test-friendly) size.
+pub fn listing1() -> (Module, FuncId) {
+    listing1_sized(2048, 10)
+}

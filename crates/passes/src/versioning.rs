@@ -1,0 +1,415 @@
+//! Selective remoting via code versioning (paper §4.1, Listing 3).
+//!
+//! For each eligible outermost loop the pass keeps the instrumented version
+//! and adds an *uninstrumented clone* (guards stripped). A preheader check
+//! `RemotableCheck(handles…)` asks the runtime whether any data structure
+//! used by the loop is currently remotable; if none is, execution branches
+//! to the cheap clone. This is how CaRDS elides guard overheads that
+//! TrackFM must always pay, without profiling.
+//!
+//! Eligibility (conservative, documented in DESIGN.md):
+//! - the loop contains at least one guard,
+//! - no allocation / free / call inside (those could change remotability or
+//!   evict mid-loop),
+//! - every guarded pointer maps to DS instances whose handle values are
+//!   available outside the loop (DsInit results or threaded handle args),
+//! - no SSA value defined in the loop is used outside it, and exit blocks
+//!   have no phis (so no merge nodes are needed after the split).
+
+use std::collections::{BTreeSet, HashMap};
+
+use cards_dsa::ModuleDsa;
+use cards_ir::analysis::{Cfg, DomTree, LoopForest};
+use cards_ir::{BlockId, FuncId, Inst, InstId, Module, Value};
+
+use crate::pool_alloc::PoolAllocResult;
+
+/// Apply code versioning to all functions; returns the number of loops that
+/// received an uninstrumented version.
+pub fn version_loops(
+    module: &mut Module,
+    dsa: &ModuleDsa,
+    pool: &PoolAllocResult,
+) -> usize {
+    let mut count = 0;
+    for i in 0..module.functions.len() {
+        let fid = FuncId(i as u32);
+        count += version_function(module, dsa, pool, fid);
+    }
+    count
+}
+
+fn version_function(
+    module: &mut Module,
+    dsa: &ModuleDsa,
+    pool: &PoolAllocResult,
+    fid: FuncId,
+) -> usize {
+    // Recompute loops on the transformed function.
+    let (loops, cfg) = {
+        let f = module.func(fid);
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(f, &cfg);
+        (LoopForest::compute(f, &cfg, &dom), cfg)
+    };
+    let outer: Vec<_> = loops
+        .iter()
+        .filter(|(_, l)| l.parent.is_none())
+        .map(|(_, l)| l.clone())
+        .collect();
+    let mut versioned = 0;
+    for l in outer {
+        if let Some(handles) = eligible(module, dsa, pool, fid, &l) {
+            clone_and_dispatch(module, fid, &l, &cfg, handles);
+            versioned += 1;
+        }
+    }
+    versioned
+}
+
+/// Check eligibility; on success return the handle values to check.
+fn eligible(
+    module: &Module,
+    dsa: &ModuleDsa,
+    pool: &PoolAllocResult,
+    fid: FuncId,
+    l: &cards_ir::analysis::Loop,
+) -> Option<Vec<Value>> {
+    let f = module.func(fid);
+    let fd = dsa.func(fid);
+    let in_loop = |b: &BlockId| l.body.contains(b);
+    let mut handles: BTreeSet<Value> = BTreeSet::new();
+    let mut saw_guard = false;
+    let mut defined: BTreeSet<InstId> = BTreeSet::new();
+    for &b in &l.body {
+        for &iid in &f.block(b).insts {
+            defined.insert(iid);
+            match f.inst(iid) {
+                Inst::Guard { ptr, .. } => {
+                    saw_guard = true;
+                    let cell = fd.cell_of(*ptr)?;
+                    let ids = dsa.instances_of_node(fid, cell.node);
+                    if ids.is_empty() {
+                        return None; // unknown target: cannot prove local
+                    }
+                    let root = fd.graph.find(cell.node);
+                    let h = pool.handle_of[fid.0 as usize].get(&root)?;
+                    handles.insert(*h);
+                }
+                Inst::Alloc { .. }
+                | Inst::DsAlloc { .. }
+                | Inst::Free { .. }
+                | Inst::Call { .. }
+                | Inst::CallIndirect { .. }
+                | Inst::DsInit { .. } => return None,
+                _ => {}
+            }
+        }
+    }
+    if !saw_guard {
+        return None;
+    }
+    // No liveouts: every use of a loop-defined value is inside the loop.
+    for b in f.block_ids() {
+        if in_loop(&b) {
+            continue;
+        }
+        for &iid in &f.block(b).insts {
+            let mut liveout = false;
+            f.inst(iid).for_each_operand(|v| {
+                if let Value::Inst(d) = v {
+                    if defined.contains(&d) {
+                        liveout = true;
+                    }
+                }
+            });
+            if liveout {
+                return None;
+            }
+        }
+    }
+    // Exit blocks must be phi-free.
+    for &e in &l.exits {
+        if f.block(e)
+            .insts
+            .iter()
+            .any(|&i| matches!(f.inst(i), Inst::Phi { .. }))
+        {
+            return None;
+        }
+    }
+    Some(handles.into_iter().collect())
+}
+
+fn clone_and_dispatch(
+    module: &mut Module,
+    fid: FuncId,
+    l: &cards_ir::analysis::Loop,
+    cfg: &Cfg,
+    handles: Vec<Value>,
+) {
+    let header = l.header;
+    // Outside predecessors of the header (preheaders).
+    let outside_preds: Vec<BlockId> = cfg
+        .preds_of(header)
+        .iter()
+        .copied()
+        .filter(|p| !l.body.contains(p))
+        .collect();
+    if outside_preds.is_empty() {
+        return; // unreachable loop
+    }
+
+    // --- Step 1: create one check block per outside pred and rewire. ---
+    let f = module.func_mut(fid);
+    let mut check_of: HashMap<BlockId, BlockId> = HashMap::new();
+    for &p in &outside_preds {
+        let c = f.add_block();
+        f.blocks[c.0 as usize].name = Some(format!("remotable_check_{}", p.0));
+        check_of.insert(p, c);
+        // rewire P's terminator: header -> C
+        if let Some(&term) = f.blocks[p.0 as usize].insts.last() {
+            f.insts[term.0 as usize].map_successors(|b| if b == header { c } else { b });
+        }
+        // header phis: incoming from P now comes from C
+        let header_insts = f.blocks[header.0 as usize].insts.clone();
+        for iid in header_insts {
+            if let Inst::Phi { incoming, .. } = &mut f.insts[iid.0 as usize] {
+                for (from, _) in incoming.iter_mut() {
+                    if *from == p {
+                        *from = c;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Step 2: clone the loop body. ---
+    let body: Vec<BlockId> = l.body.iter().copied().collect();
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for &b in &body {
+        let nb = f.add_block();
+        f.blocks[nb.0 as usize].name = Some(format!("fast_{}", b.0));
+        block_map.insert(b, nb);
+    }
+    // First pass: allocate ids for cloned insts (guards are dropped and
+    // forwarded to their pointer operand).
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    let mut guard_fwd: HashMap<InstId, Value> = HashMap::new();
+    for &b in &body {
+        for &iid in &f.blocks[b.0 as usize].insts.clone() {
+            match f.insts[iid.0 as usize].clone() {
+                Inst::Guard { ptr, .. } => {
+                    guard_fwd.insert(iid, ptr);
+                }
+                inst => {
+                    let nid = InstId(f.insts.len() as u32);
+                    f.insts.push(inst); // placeholder; operands fixed below
+                    inst_map.insert(iid, nid);
+                    f.blocks[block_map[&b].0 as usize].insts.push(nid);
+                }
+            }
+        }
+    }
+    // Value remapping (chases guard forwards).
+    let remap = |v: Value, inst_map: &HashMap<InstId, InstId>, guard_fwd: &HashMap<InstId, Value>| -> Value {
+        let mut v = v;
+        loop {
+            match v {
+                Value::Inst(d) => {
+                    if let Some(&fwd) = guard_fwd.get(&d) {
+                        v = fwd;
+                        continue;
+                    }
+                    if let Some(&nd) = inst_map.get(&d) {
+                        return Value::Inst(nd);
+                    }
+                    return v;
+                }
+                other => return other,
+            }
+        }
+    };
+    // Second pass: fix operands, successors, and phi incoming blocks.
+    let cloned_header = block_map[&header];
+    for (&old, &new) in &inst_map {
+        let mut inst = f.insts[old.0 as usize].clone();
+        inst.map_operands(|v| remap(v, &inst_map, &guard_fwd));
+        match &mut inst {
+            Inst::Phi { incoming, .. } => {
+                for (from, _) in incoming.iter_mut() {
+                    if let Some(&nb) = block_map.get(from) {
+                        *from = nb;
+                    } else if let Some(&c) = check_of.get(from) {
+                        *from = c;
+                    }
+                    // else: already-rewired check block (header phis were
+                    // rewired in step 1, so `from` may be a check block).
+                }
+            }
+            _ => {
+                inst.map_successors(|b| block_map.get(&b).copied().unwrap_or(b));
+            }
+        }
+        f.insts[new.0 as usize] = inst;
+    }
+
+    // --- Step 3: fill the check blocks. ---
+    for (&_p, &c) in &check_of {
+        let chk = InstId(f.insts.len() as u32);
+        f.insts.push(Inst::RemotableCheck {
+            handles: handles.clone(),
+        });
+        let br = InstId(f.insts.len() as u32);
+        f.insts.push(Inst::CondBr {
+            cond: Value::Inst(chk),
+            then_b: header,       // some DS remotable: instrumented loop
+            else_b: cloned_header, // all local: fast path
+        });
+        f.blocks[c.0 as usize].insts = vec![chk, br];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guards::{eliminate_redundant_guards, insert_guards};
+    use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchSelection};
+    use crate::pool_alloc::pool_allocate;
+    use cards_ir::{FunctionBuilder, Type};
+
+    fn prep(m: &mut Module) -> usize {
+        let dsa = ModuleDsa::analyze(m);
+        let pf = analyze_prefetch(m, &dsa, PrefetchSelection::PerDs);
+        let pr = rank_instances(&dsa);
+        let pool = pool_allocate(m, &dsa, &pf, &pr).unwrap();
+        insert_guards(m, &dsa, false);
+        eliminate_redundant_guards(m, &dsa, &pool);
+        version_loops(m, &dsa, &pool)
+    }
+
+    /// A scan loop over one DS gets a versioned fast path; the module still
+    /// verifies and contains a RemotableCheck.
+    #[test]
+    fn scan_loop_is_versioned() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let arr = b.alloc(b.iconst(64 * 1024), Type::I64);
+        let z = b.iconst(0);
+        let n = b.iconst(8192);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, i| {
+            let p = b.gep_index(arr, Type::I64, i);
+            b.store(p, i, Type::I64);
+        });
+        b.ret_void();
+        m.add_function(b.finish());
+        let versioned = prep(&mut m);
+        assert_eq!(versioned, 1);
+        let errs = cards_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}\n{}", cards_ir::print_module(&m));
+        let f = &m.functions[0];
+        let has_check = f
+            .iter_insts()
+            .any(|(_, _, i)| matches!(i, Inst::RemotableCheck { .. }));
+        assert!(has_check);
+        // the clone has no guards; the original keeps them. The function
+        // grew: original 4 blocks + 1 check block + 2 cloned loop blocks
+        // (header + body; the exit stays shared).
+        assert_eq!(f.blocks.len(), 7, "got {} blocks", f.blocks.len());
+        let guards = f
+            .iter_insts()
+            .filter(|(_, _, i)| matches!(i, Inst::Guard { .. }))
+            .count();
+        assert_eq!(guards, 1, "only the instrumented copy keeps its guard");
+    }
+
+    /// Loops that allocate are not versioned (allocation can demote a DS
+    /// mid-loop).
+    #[test]
+    fn allocating_loop_not_versioned() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let slot = b.alloca(Type::Ptr);
+        let z = b.iconst(0);
+        let n = b.iconst(16);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, i| {
+            let p = b.alloc(b.iconst(64), Type::I64);
+            b.store(p, i, Type::I64);
+            b.store(slot, p, Type::Ptr);
+        });
+        b.ret_void();
+        m.add_function(b.finish());
+        assert_eq!(prep(&mut m), 0);
+        assert!(cards_ir::verify_module(&m).is_empty());
+    }
+
+    /// A loop whose induction value is used after the loop (liveout) is
+    /// skipped.
+    #[test]
+    fn liveout_loop_not_versioned() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+        let arr = b.alloc(b.iconst(1024), Type::I64);
+        let z = b.iconst(0);
+        let n = b.iconst(128);
+        let one = b.iconst(1);
+        let iv = b.counted_loop(z, n, one, |b, i| {
+            let p = b.gep_index(arr, Type::I64, i);
+            b.store(p, i, Type::I64);
+        });
+        b.ret(iv); // liveout!
+        m.add_function(b.finish());
+        assert_eq!(prep(&mut m), 0);
+        assert!(cards_ir::verify_module(&m).is_empty());
+    }
+
+    /// Listing 1 end-to-end: Set's loop is versioned using the threaded
+    /// handle argument (the Listing 3 transformation).
+    #[test]
+    fn listing1_set_loop_versioned_via_handle_arg() {
+        let (mut m, _) = crate::testutil::listing1();
+        let versioned = prep(&mut m);
+        assert!(versioned >= 1, "Set's j-loop must be versioned");
+        let errs = cards_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}");
+        let set_f = m.func_by_name("Set").unwrap();
+        let f = m.func(set_f);
+        let check = f
+            .iter_insts()
+            .find_map(|(_, _, i)| match i {
+                Inst::RemotableCheck { handles } => Some(handles.clone()),
+                _ => None,
+            })
+            .expect("Set has a remotable check");
+        // the checked handle is Set's threaded DH argument (arg2)
+        assert_eq!(check, vec![Value::Arg(2)]);
+    }
+
+    /// Nested loops: only the outermost is versioned, and the clone
+    /// contains the inner loop too.
+    #[test]
+    fn nested_loop_versioned_once() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let arr = b.alloc(b.iconst(64 * 64 * 8), Type::I64);
+        let z = b.iconst(0);
+        let n = b.iconst(64);
+        let one = b.iconst(1);
+        b.counted_loop(z, n, one, |b, i| {
+            b.counted_loop(z, n, one, |b, j| {
+                let row = b.mul(i, b.iconst(64));
+                let idx = b.add(row, j);
+                let p = b.gep_index(arr, Type::I64, idx);
+                b.store(p, idx, Type::I64);
+            });
+        });
+        b.ret_void();
+        m.add_function(b.finish());
+        let versioned = prep(&mut m);
+        assert_eq!(versioned, 1);
+        let errs = cards_ir::verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}\n{}", cards_ir::print_module(&m));
+    }
+}

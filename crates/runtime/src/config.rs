@@ -1,0 +1,142 @@
+//! Runtime configuration: local-memory budgets and primitive cycle costs.
+
+/// Cycle costs of the runtime's CPU-side primitives, matching the shape of
+/// the paper's Table 1. The remote transfer itself is priced by
+/// `cards_net::NetworkModel`; these are the *software* costs layered on top.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Inline custody check (shr + conditional branch, Figure 3).
+    pub custody_check: u64,
+    /// `cards_deref` on a read when the object is already local.
+    pub read_fault_local: u64,
+    /// `cards_deref` on a write when the object is already local.
+    pub write_fault_local: u64,
+    /// Extra per-DS bookkeeping on the remote path (handle → DS → object
+    /// mapping, pool manager, prefetcher update) beyond the wire cost.
+    pub remote_extra: u64,
+    /// `RemotableCheck` runtime call (per DS handle checked).
+    pub remotable_check: u64,
+}
+
+impl CostModel {
+    /// CaRDS costs (paper Table 1: local 378/384; remote 59K ≈ 46K wire +
+    /// ~13K bookkeeping).
+    pub fn cards() -> Self {
+        CostModel {
+            custody_check: 2,
+            read_fault_local: 378,
+            write_fault_local: 384,
+            remote_extra: 13_000,
+            remotable_check: 40,
+        }
+    }
+
+    /// TrackFM costs (paper Table 1: local guards 462/579; remote 46-47K,
+    /// i.e. no per-DS bookkeeping beyond the wire cost).
+    pub fn trackfm() -> Self {
+        CostModel {
+            custody_check: 2,
+            read_fault_local: 462,
+            write_fault_local: 579,
+            remote_extra: 500,
+            remotable_check: 40,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::cards()
+    }
+}
+
+/// Local-memory budgets and behavioural switches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RuntimeConfig {
+    /// Bytes of pinned (non-remotable) local memory.
+    pub pinned_bytes: u64,
+    /// Bytes of remotable local memory (the local cache of remote objects).
+    pub remotable_bytes: u64,
+    /// Software cycle costs.
+    pub costs: CostModel,
+    /// If true, an unguarded access to a non-resident object is an error
+    /// (the compiler failed its safety obligation). If false the runtime
+    /// localizes on demand, charging the full remote cost.
+    pub strict_guards: bool,
+    /// Max retries for transient transport faults before giving up.
+    pub max_retries: u32,
+    /// Max objects a single prefetch batch may pull.
+    pub prefetch_batch: usize,
+}
+
+impl RuntimeConfig {
+    /// Config with the given budgets and CaRDS costs.
+    pub fn new(pinned_bytes: u64, remotable_bytes: u64) -> Self {
+        RuntimeConfig {
+            pinned_bytes,
+            remotable_bytes,
+            costs: CostModel::cards(),
+            strict_guards: true,
+            max_retries: 16,
+            prefetch_batch: 8,
+        }
+    }
+
+    /// Builder-style: override cost model.
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Builder-style: toggle strict guard checking.
+    pub fn with_strict_guards(mut self, strict: bool) -> Self {
+        self.strict_guards = strict;
+        self
+    }
+
+    /// Builder-style: prefetch batch limit.
+    pub fn with_prefetch_batch(mut self, n: usize) -> Self {
+        self.prefetch_batch = n;
+        self
+    }
+
+    /// Total local memory (pinned + remotable).
+    pub fn total_local(&self) -> u64 {
+        self.pinned_bytes + self.remotable_bytes
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        // 64 MiB pinned + 64 MiB remotable: laptop-scale defaults.
+        RuntimeConfig::new(64 << 20, 64 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let cards = CostModel::cards();
+        let trackfm = CostModel::trackfm();
+        // Local: CaRDS deref cheaper than TrackFM guard.
+        assert!(cards.read_fault_local < trackfm.read_fault_local);
+        assert!(cards.write_fault_local < trackfm.write_fault_local);
+        // Remote: CaRDS pays more bookkeeping.
+        assert!(cards.remote_extra > trackfm.remote_extra);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = RuntimeConfig::new(10, 20)
+            .with_costs(CostModel::trackfm())
+            .with_strict_guards(false)
+            .with_prefetch_batch(4);
+        assert_eq!(c.total_local(), 30);
+        assert_eq!(c.costs, CostModel::trackfm());
+        assert!(!c.strict_guards);
+        assert_eq!(c.prefetch_batch, 4);
+    }
+}

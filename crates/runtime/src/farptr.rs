@@ -1,0 +1,131 @@
+//! Far-pointer encoding.
+//!
+//! CaRDS appends the data-structure handle to the non-canonical bits of a
+//! pointer (paper §4.2, Listing 2). We reproduce the exact scheme:
+//!
+//! ```text
+//! 63           48 47                             0
+//! +---------------+-------------------------------+
+//! | handle + 1    | byte offset within DS range   |
+//! +---------------+-------------------------------+
+//! ```
+//!
+//! A zero tag field means "not CaRDS-managed" (an ordinary local pointer),
+//! which is what the custody check (`shr $0x30,%rcx; je ...` in Figure 3)
+//! tests. Storing `handle + 1` keeps handle 0 distinguishable from
+//! untagged pointers.
+
+/// Bit position where the tag field starts (`ORT_POS` in Listing 4).
+pub const TAG_SHIFT: u32 = 48;
+
+/// Maximum representable DS handle.
+pub const MAX_HANDLE: u16 = u16::MAX - 1;
+
+/// Mask of the offset bits.
+pub const OFFSET_MASK: u64 = (1u64 << TAG_SHIFT) - 1;
+
+/// A far pointer: tagged 64-bit value. Plain (untagged) pointers pass
+/// through unchanged, exactly as in the real system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FarPtr(pub u64);
+
+impl FarPtr {
+    /// Encode a DS handle and byte offset into a tagged pointer.
+    ///
+    /// # Panics
+    /// Panics if `handle > MAX_HANDLE` or `offset` overflows 48 bits.
+    pub fn encode(handle: u16, offset: u64) -> FarPtr {
+        assert!(handle <= MAX_HANDLE, "DS handle out of range");
+        assert!(offset <= OFFSET_MASK, "DS offset overflows 48 bits");
+        FarPtr(((handle as u64 + 1) << TAG_SHIFT) | offset)
+    }
+
+    /// The custody check: does this pointer carry a DS tag?
+    #[inline]
+    pub fn is_tagged(self) -> bool {
+        (self.0 >> TAG_SHIFT) != 0
+    }
+
+    /// DS handle, if tagged.
+    #[inline]
+    pub fn handle(self) -> Option<u16> {
+        let tag = self.0 >> TAG_SHIFT;
+        if tag == 0 {
+            None
+        } else {
+            Some((tag - 1) as u16)
+        }
+    }
+
+    /// Byte offset within the DS virtual range.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 & OFFSET_MASK
+    }
+
+    /// Pointer displaced by `delta` bytes (stays within the same DS tag).
+    #[inline]
+    pub fn add(self, delta: u64) -> FarPtr {
+        debug_assert!(self.offset() + delta <= OFFSET_MASK, "offset overflow");
+        FarPtr(self.0 + delta)
+    }
+
+    /// Raw bits.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = FarPtr::encode(7, 0x1234);
+        assert!(p.is_tagged());
+        assert_eq!(p.handle(), Some(7));
+        assert_eq!(p.offset(), 0x1234);
+    }
+
+    #[test]
+    fn handle_zero_is_distinguishable() {
+        let p = FarPtr::encode(0, 0);
+        assert!(p.is_tagged());
+        assert_eq!(p.handle(), Some(0));
+    }
+
+    #[test]
+    fn untagged_pointer_fails_custody_check() {
+        let p = FarPtr(0x7fff_dead_beef);
+        assert!(!p.is_tagged());
+        assert_eq!(p.handle(), None);
+    }
+
+    #[test]
+    fn add_preserves_tag() {
+        let p = FarPtr::encode(3, 100).add(28);
+        assert_eq!(p.handle(), Some(3));
+        assert_eq!(p.offset(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset overflows")]
+    fn offset_overflow_panics() {
+        let _ = FarPtr::encode(0, 1 << 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "handle out of range")]
+    fn handle_overflow_panics() {
+        let _ = FarPtr::encode(u16::MAX, 0);
+    }
+
+    #[test]
+    fn max_values_encode() {
+        let p = FarPtr::encode(MAX_HANDLE, OFFSET_MASK);
+        assert_eq!(p.handle(), Some(MAX_HANDLE));
+        assert_eq!(p.offset(), OFFSET_MASK);
+    }
+}

@@ -1,0 +1,101 @@
+//! Human-readable reports over runtime statistics — the operational
+//! visibility a far-memory system needs (which structure is thrashing?
+//! is its prefetcher earning its keep?).
+
+use std::fmt::Write as _;
+
+use cards_net::Transport;
+
+use crate::runtime::FarMemRuntime;
+
+/// Render a per-data-structure statistics table plus global counters.
+pub fn render_report<T: Transport>(rt: &FarMemRuntime<T>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<4} {:<18} {:>9} {:>9} {:>8} {:>9} {:>9} {:>7} {:>9} {:<5}",
+        "ds", "name", "hits", "misses", "evicts", "pf_used", "pf_sent", "pf_acc", "bytes", "rem"
+    );
+    for h in 0..rt.ds_count() as u16 {
+        let (Some(st), Some(spec)) = (rt.ds_stats(h), rt.ds_spec(h)) else {
+            continue;
+        };
+        let _ = writeln!(
+            s,
+            "{:<4} {:<18} {:>9} {:>9} {:>8} {:>9} {:>9} {:>6.0}% {:>9} {:<5}",
+            h,
+            truncate(&spec.name, 18),
+            st.hits,
+            st.misses,
+            st.evictions,
+            st.prefetch_useful,
+            st.prefetch_issued,
+            st.prefetch_accuracy() * 100.0,
+            st.bytes_allocated,
+            rt.is_remotable(h),
+        );
+    }
+    let g = rt.stats();
+    let n = rt.net_stats();
+    let _ = writeln!(
+        s,
+        "totals: {} custody checks, {} local / {} remote derefs, {} retries, {} overcommits",
+        g.custody_checks, g.derefs_local, g.derefs_remote, g.retries, g.overcommits
+    );
+    let _ = writeln!(
+        s,
+        "network: {} fetches ({} B), {} writebacks ({} B), {} modeled cycles",
+        n.fetches, n.bytes_fetched, n.writebacks, n.bytes_written, n.cycles
+    );
+    let _ = writeln!(
+        s,
+        "memory: {} B pinned, {} B remotable resident locally, {} B on remote server",
+        rt.pinned_used(),
+        rt.remotable_used(),
+        rt.transport().remote_bytes(),
+    );
+    s
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Access, DsSpec, RuntimeConfig, StaticHint};
+    use cards_net::SimTransport;
+
+    #[test]
+    fn report_contains_expected_rows() {
+        let mut rt = FarMemRuntime::new(
+            RuntimeConfig::new(1 << 20, 1 << 20),
+            SimTransport::default(),
+        );
+        let a = rt.register_ds(DsSpec::simple("hot_aggregates"), StaticHint::Pinned);
+        let b = rt.register_ds(
+            DsSpec::simple("a_much_longer_structure_name"),
+            StaticHint::Remotable,
+        );
+        let (pa, _) = rt.ds_alloc(a, 4096).unwrap();
+        let (pb, _) = rt.ds_alloc(b, 4096).unwrap();
+        rt.guard(pa, Access::Read, 8).unwrap();
+        rt.guard(pb, Access::Write, 8).unwrap();
+        rt.evacuate(pb).unwrap();
+        rt.guard(pb, Access::Read, 8).unwrap();
+        let rep = render_report(&rt);
+        assert!(rep.contains("hot_aggregates"));
+        assert!(rep.contains("…"), "long name must be truncated: {rep}");
+        assert!(rep.contains("totals:"));
+        assert!(rep.contains("network: 1 fetches"));
+        assert!(rep.contains("pinned"));
+        // ds b had one miss after evacuation
+        let line_b = rep.lines().nth(2).unwrap();
+        assert!(line_b.contains(" 1"), "{line_b}");
+    }
+}

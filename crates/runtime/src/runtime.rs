@@ -1,0 +1,926 @@
+//! The CaRDS far-memory runtime: object-granular remote memory managed per
+//! data structure (a reimplementation of the paper's modified-AIFM runtime).
+//!
+//! Responsibilities, mirroring §4.2 of the paper:
+//! - `ds_init`/`ds_alloc`: register compiler-identified data structures and
+//!   serve pool allocations, tagging pointers with the DS handle.
+//! - `guard` (= `cards_deref`, Listing 4): custody check, handle → DS →
+//!   object mapping, localization of remote objects, per-DS hit/miss stats.
+//! - pinned vs. remotable local memory with clock eviction, plus the
+//!   runtime-override rule (a pinned DS that outgrows pinned memory is
+//!   demoted to remotable and its instrumented path is used from then on).
+//! - per-DS prefetchers fed on the miss path, with batched fetches.
+
+use std::collections::{HashMap, VecDeque};
+
+use cards_net::{NetError, ObjKey, Transport};
+
+use crate::config::RuntimeConfig;
+use crate::farptr::FarPtr;
+use crate::prefetch::{build_prefetcher, Prefetcher, PrefetchTarget};
+use crate::spec::{DsSpec, StaticHint};
+use crate::stats::{DsStats, RuntimeStats};
+
+/// Read or write access, for fault-cost selection and dirty tracking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+}
+
+/// Runtime errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtError {
+    /// Pointer is untagged but was used where a DS pointer is required.
+    BadPointer(u64),
+    /// Tag does not correspond to a registered DS.
+    UnknownHandle(u16),
+    /// Access beyond the DS's allocated range.
+    OutOfRange {
+        /// DS handle.
+        ds: u16,
+        /// Offending byte offset.
+        offset: u64,
+    },
+    /// Strict mode: an unguarded access reached a non-resident object —
+    /// the compiler failed to insert a required guard.
+    MissingGuard {
+        /// DS handle.
+        ds: u16,
+        /// Object index that was not resident.
+        index: u64,
+    },
+    /// Transport failure that survived all retries.
+    Net(NetError),
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::BadPointer(p) => write!(f, "untagged pointer {p:#x} passed to runtime"),
+            RtError::UnknownHandle(h) => write!(f, "unknown DS handle {h}"),
+            RtError::OutOfRange { ds, offset } => {
+                write!(f, "offset {offset:#x} out of range for ds{ds}")
+            }
+            RtError::MissingGuard { ds, index } => write!(
+                f,
+                "unguarded access to non-resident object ds{ds}:{index} (compiler bug)"
+            ),
+            RtError::Net(e) => write!(f, "network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// State of one object within a DS.
+enum ObjState {
+    Local {
+        data: Box<[u8]>,
+        dirty: bool,
+        pinned: bool,
+        ref_bit: bool,
+        /// Brought in by the prefetcher and not yet demanded.
+        prefetched: bool,
+        /// A (possibly stale) copy exists on the remote server.
+        remote_copy: bool,
+    },
+    Remote,
+}
+
+struct DsState {
+    spec: DsSpec,
+    hint: StaticHint,
+    /// Dynamic remotability: true once any object may live remotely.
+    remotable: bool,
+    /// Bump allocator frontier (bytes).
+    next_offset: u64,
+    /// Live allocations: offset -> size.
+    allocations: HashMap<u64, u64>,
+    objects: HashMap<u64, ObjState>,
+    prefetcher: Box<dyn Prefetcher>,
+    stats: DsStats,
+    /// Counter for accuracy-throttled probe prefetches.
+    probe_counter: u32,
+}
+
+impl DsState {
+    fn obj_index(&self, offset: u64) -> u64 {
+        offset >> self.spec.obj_shift()
+    }
+
+    /// Highest valid object index + 1.
+    fn obj_frontier(&self) -> u64 {
+        if self.next_offset == 0 {
+            0
+        } else {
+            ((self.next_offset - 1) >> self.spec.obj_shift()) + 1
+        }
+    }
+}
+
+/// The far-memory runtime over an arbitrary transport.
+pub struct FarMemRuntime<T: Transport> {
+    cfg: RuntimeConfig,
+    transport: T,
+    ds: Vec<DsState>,
+    pinned_used: u64,
+    remotable_used: u64,
+    /// Clock queue over resident remotable objects (may contain stale
+    /// entries; validated on pop).
+    clock: VecDeque<(u16, u64)>,
+    /// The last few guarded objects, excluded from eviction (the DerefScope
+    /// analog that makes the compiler's redundant-guard elimination sound:
+    /// an object stays resident between a dominating guard and the accesses
+    /// it covers).
+    recent_guards: VecDeque<(u16, u64)>,
+    /// Explicit deref scopes (AIFM's DerefScope): while a scope is open,
+    /// every object guarded within it is pinned against eviction until the
+    /// scope closes. Nested scopes stack.
+    scopes: Vec<Vec<(u16, u64)>>,
+    stats: RuntimeStats,
+}
+
+/// How many recently-guarded objects are pinned against eviction. The
+/// redundant-guard-elimination pass must keep its reuse window smaller than
+/// this.
+pub const GUARD_PIN_WINDOW: usize = 8;
+
+impl<T: Transport> FarMemRuntime<T> {
+    /// Create a runtime with `cfg` budgets over `transport`.
+    pub fn new(cfg: RuntimeConfig, transport: T) -> Self {
+        FarMemRuntime {
+            cfg,
+            transport,
+            ds: Vec::new(),
+            pinned_used: 0,
+            remotable_used: 0,
+            clock: VecDeque::new(),
+            recent_guards: VecDeque::new(),
+            scopes: Vec::new(),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// Open a deref scope (AIFM's `DerefScope`): objects guarded while the
+    /// scope is open cannot be evicted until [`Self::end_scope`]. Scopes
+    /// nest; each `begin_scope` must be matched by one `end_scope`.
+    pub fn begin_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    /// Close the innermost deref scope, releasing its pins.
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn end_scope(&mut self) {
+        self.scopes.pop().expect("end_scope without begin_scope");
+    }
+
+    /// Number of currently open deref scopes.
+    pub fn open_scopes(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Whether an object is pinned by any open scope.
+    fn scope_pinned(&self, handle: u16, idx: u64) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| s.iter().any(|&(h, i)| h == handle && i == idx))
+    }
+
+    /// Record that (handle, idx) was just guarded; pinned against eviction
+    /// for the next [`GUARD_PIN_WINDOW`] guards.
+    fn note_guarded(&mut self, handle: u16, idx: u64) {
+        if let Some(pos) = self
+            .recent_guards
+            .iter()
+            .position(|&(h, i)| h == handle && i == idx)
+        {
+            self.recent_guards.remove(pos);
+        }
+        self.recent_guards.push_back((handle, idx));
+        if self.recent_guards.len() > GUARD_PIN_WINDOW {
+            self.recent_guards.pop_front();
+        }
+        if let Some(scope) = self.scopes.last_mut() {
+            if !scope.contains(&(handle, idx)) {
+                scope.push((handle, idx));
+            }
+        }
+    }
+
+    // ---- registration & allocation ----
+
+    /// Register a data structure (the `ds_init` runtime call inserted by
+    /// pool allocation). Returns the DS handle embedded in far pointers.
+    pub fn register_ds(&mut self, spec: DsSpec, hint: StaticHint) -> u16 {
+        let handle = self.ds.len() as u16;
+        let prefetcher = build_prefetcher(&spec);
+        self.ds.push(DsState {
+            spec,
+            hint,
+            remotable: hint == StaticHint::Remotable,
+            next_offset: 0,
+            allocations: HashMap::new(),
+            objects: HashMap::new(),
+            prefetcher,
+            stats: DsStats::default(),
+            probe_counter: 0,
+        });
+        handle
+    }
+
+    /// Pool allocation (`dsalloc`): carve `size` bytes out of DS `handle`.
+    /// Returns the tagged pointer and the cycles charged.
+    pub fn ds_alloc(&mut self, handle: u16, size: u64) -> Result<(FarPtr, u64), RtError> {
+        let size = size.max(1);
+        let dsi = handle as usize;
+        if dsi >= self.ds.len() {
+            return Err(RtError::UnknownHandle(handle));
+        }
+        let (start, first_new, last_new, obj_bytes) = {
+            let ds = &mut self.ds[dsi];
+            let start = crate::align_up(ds.next_offset, 16);
+            ds.next_offset = start + size;
+            ds.allocations.insert(start, size);
+            ds.stats.bytes_allocated += size;
+            let shift = ds.spec.obj_shift();
+            (start, start >> shift, (start + size - 1) >> shift, ds.spec.object_bytes)
+        };
+
+        let mut cycles = 0u64;
+        for idx in first_new..=last_new {
+            if self.ds[dsi].objects.contains_key(&idx) {
+                continue;
+            }
+            cycles += 30; // allocator bookkeeping per new object
+            cycles += self.place_new_object(handle, idx, obj_bytes)?;
+        }
+        self.stats.cycles += cycles;
+        Ok((FarPtr::encode(handle, start), cycles))
+    }
+
+    /// Place a newly allocated (zeroed) object according to the DS's hint,
+    /// applying the runtime-override rule when pinned memory is exhausted.
+    fn place_new_object(&mut self, handle: u16, idx: u64, obj_bytes: u64) -> Result<u64, RtError> {
+        let dsi = handle as usize;
+        let hint = self.ds[dsi].hint;
+        let want_pinned = matches!(hint, StaticHint::Pinned | StaticHint::PinnedIfRoom);
+        if want_pinned && self.pinned_used + obj_bytes <= self.cfg.pinned_bytes {
+            self.pinned_used += obj_bytes;
+            // The cache may have borrowed this headroom; shrink it back.
+            let cycles = self.ensure_room(0)?;
+            self.stats.cycles += cycles;
+            self.ds[dsi].objects.insert(
+                idx,
+                ObjState::Local {
+                    data: vec![0u8; obj_bytes as usize].into_boxed_slice(),
+                    dirty: true,
+                    pinned: true,
+                    ref_bit: true,
+                    prefetched: false,
+                    remote_copy: false,
+                },
+            );
+            return Ok(0);
+        }
+        if want_pinned {
+            // Runtime override: the DS no longer fits in pinned memory.
+            let ds = &mut self.ds[dsi];
+            if !ds.remotable {
+                ds.remotable = true;
+                ds.stats.demotions += 1;
+            }
+        }
+        // Remotable placement: make room, then insert locally.
+        let cycles = self.ensure_room(obj_bytes)?;
+        self.remotable_used += obj_bytes;
+        self.ds[dsi].objects.insert(
+            idx,
+            ObjState::Local {
+                data: vec![0u8; obj_bytes as usize].into_boxed_slice(),
+                dirty: true,
+                pinned: false,
+                ref_bit: true,
+                prefetched: false,
+                remote_copy: false,
+            },
+        );
+        self.clock.push_back((handle, idx));
+        Ok(cycles)
+    }
+
+    /// Free an allocation previously returned by [`Self::ds_alloc`].
+    /// Releases all objects fully covered by the freed range.
+    pub fn free(&mut self, ptr: FarPtr) -> Result<u64, RtError> {
+        let Some(handle) = ptr.handle() else {
+            return Err(RtError::BadPointer(ptr.bits()));
+        };
+        let dsi = handle as usize;
+        if dsi >= self.ds.len() {
+            return Err(RtError::UnknownHandle(handle));
+        }
+        let offset = ptr.offset();
+        let Some(size) = self.ds[dsi].allocations.remove(&offset) else {
+            return Err(RtError::OutOfRange { ds: handle, offset });
+        };
+        let obj_bytes = self.ds[dsi].spec.object_bytes;
+        let first = crate::align_up(offset, obj_bytes) >> self.ds[dsi].spec.obj_shift();
+        let end = (offset + size) / obj_bytes; // exclusive frontier of fully-covered objs
+        let mut cycles = 10;
+        for idx in first..end {
+            if let Some(state) = self.ds[dsi].objects.remove(&idx) {
+                match state {
+                    ObjState::Local { pinned, data, .. } => {
+                        if pinned {
+                            self.pinned_used -= data.len() as u64;
+                        } else {
+                            self.remotable_used -= data.len() as u64;
+                        }
+                    }
+                    ObjState::Remote => {
+                        cycles += self
+                            .transport
+                            .remove(ObjKey { ds: handle as u32, index: idx })
+                            .map_err(RtError::Net)?;
+                    }
+                }
+            }
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    // ---- the deref path ----
+
+    /// Execute a guard (`cards_deref`) for an access of `bytes` bytes at
+    /// `ptr`. Returns cycles charged. Untagged pointers cost only the
+    /// inline custody check, as in Figure 3.
+    pub fn guard(&mut self, ptr: FarPtr, access: Access, bytes: u64) -> Result<u64, RtError> {
+        self.stats.custody_checks += 1;
+        let Some(handle) = ptr.handle() else {
+            // Untagged: only the inline shr+je of Figure 3.
+            let cycles = self.cfg.costs.custody_check;
+            self.stats.cycles += cycles;
+            return Ok(cycles);
+        };
+        // Tagged: the fault costs below already include the inline check
+        // (Table 1 reports whole-deref costs).
+        let mut cycles = 0;
+        let dsi = handle as usize;
+        if dsi >= self.ds.len() {
+            return Err(RtError::UnknownHandle(handle));
+        }
+        let offset = ptr.offset();
+        let bytes = bytes.max(1);
+        if offset + bytes > self.ds[dsi].next_offset {
+            return Err(RtError::OutOfRange { ds: handle, offset });
+        }
+        let shift = self.ds[dsi].spec.obj_shift();
+        let first = offset >> shift;
+        let last = (offset + bytes - 1) >> shift;
+        for idx in first..=last {
+            cycles += self.deref_object(handle, idx, access)?;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// The per-object body of `cards_deref` (Listing 4).
+    fn deref_object(&mut self, handle: u16, idx: u64, access: Access) -> Result<u64, RtError> {
+        let dsi = handle as usize;
+        self.ds[dsi].stats.guard_checks += 1;
+        self.note_guarded(handle, idx);
+        let is_local = matches!(
+            self.ds[dsi].objects.get(&idx),
+            Some(ObjState::Local { .. })
+        );
+        if is_local {
+            self.ds[dsi].stats.hits += 1;
+            self.stats.derefs_local += 1;
+            let was_prefetched = matches!(
+                self.ds[dsi].objects.get(&idx),
+                Some(ObjState::Local { prefetched: true, .. })
+            );
+            self.touch(dsi, idx, access);
+            // Prefetchers are trained on the full access stream: predicting
+            // an already-resident object is free (the prefetcher skips it),
+            // while training only on misses makes learned chains decay as
+            // residency shifts between passes.
+            self.ds[dsi].prefetcher.record(idx);
+            let mut c = match access {
+                Access::Read => self.cfg.costs.read_fault_local,
+                Access::Write => self.cfg.costs.write_fault_local,
+            };
+            if was_prefetched {
+                // First touch of a prefetched object re-arms the prefetcher
+                // (streaming behaviour): the chain extends ahead of the
+                // access stream instead of dying after one hop. Narrow
+                // depth: the wide fan-out belongs to demand misses only,
+                // otherwise every consumed prefetch floods the cache.
+                c += self.run_prefetch_depth(handle, idx, 2)?;
+            }
+            return Ok(c);
+        }
+        // Miss: localize over the network, then prefetch. Prefetchers are
+        // trained on the *miss* stream (classic jump-pointer/stride
+        // behaviour): hit transitions would teach them to predict objects
+        // that are already resident.
+        self.ds[dsi].stats.misses += 1;
+        self.stats.derefs_remote += 1;
+        let mut cycles = self.localize(handle, idx)?;
+        self.touch(dsi, idx, access);
+        self.ds[dsi].prefetcher.record(idx);
+        cycles += self.run_prefetch(handle, idx)?;
+        Ok(cycles)
+    }
+
+    /// Mark a resident object referenced (clock bit), dirty on writes, and
+    /// account prefetch usefulness.
+    fn touch(&mut self, dsi: usize, idx: u64, access: Access) {
+        if let Some(ObjState::Local {
+            dirty,
+            ref_bit,
+            prefetched,
+            ..
+        }) = self.ds[dsi].objects.get_mut(&idx)
+        {
+            *ref_bit = true;
+            if access == Access::Write {
+                *dirty = true;
+            }
+            if *prefetched {
+                *prefetched = false;
+                self.ds[dsi].stats.prefetch_useful += 1;
+                self.ds[dsi].stats.window_useful += 1;
+            }
+        }
+    }
+
+    /// Fetch object `idx` of DS `handle` from the remote server into local
+    /// remotable memory (`LocalizeObject` in Listing 4).
+    fn localize(&mut self, handle: u16, idx: u64) -> Result<u64, RtError> {
+        let dsi = handle as usize;
+        let obj_bytes = self.ds[dsi].spec.object_bytes;
+        let key = ObjKey {
+            ds: handle as u32,
+            index: idx,
+        };
+        let mut cycles = self.ensure_room(obj_bytes)?;
+        let fetched = self.fetch_with_retry(key, false, &mut cycles)?;
+        cycles += self.cfg.costs.remote_extra;
+        // Greedy-recursive prefetchers inspect the payload for pointers.
+        let chased = self.ds[dsi].prefetcher.observe_bytes(idx, &fetched.bytes);
+        self.remotable_used += obj_bytes;
+        self.ds[dsi].objects.insert(
+            idx,
+            ObjState::Local {
+                data: fetched.bytes.into_boxed_slice(),
+                dirty: false,
+                pinned: false,
+                ref_bit: true,
+                prefetched: false,
+                remote_copy: true,
+            },
+        );
+        self.clock.push_back((handle, idx));
+        cycles += self.chase_targets(handle, chased)?;
+        Ok(cycles)
+    }
+
+    /// Issue prefetches predicted by the DS's prefetcher after a miss on
+    /// `idx`. Batched fetches overlap the link latency, so each costs only
+    /// wire + marshalling cycles.
+    fn run_prefetch(&mut self, handle: u16, idx: u64) -> Result<u64, RtError> {
+        self.run_prefetch_depth(handle, idx, usize::MAX)
+    }
+
+    fn run_prefetch_depth(&mut self, handle: u16, idx: u64, cap: usize) -> Result<u64, RtError> {
+        let dsi = handle as usize;
+        let max = self.prefetch_budget(dsi).min(cap);
+        if max == 0 {
+            return Ok(0);
+        }
+        let frontier = self.ds[dsi].obj_frontier();
+        let preds = self.ds[dsi].prefetcher.predict(idx, max);
+        let mut cycles = 0;
+        for p in preds {
+            if p >= frontier {
+                continue;
+            }
+            cycles += self.prefetch_object(handle, p)?;
+        }
+        Ok(cycles)
+    }
+
+    /// Prefetch batch size for one DS, combining two limits:
+    ///
+    /// 1. capacity: a batch never floods more than half the (effective)
+    ///    cache — with tiny caches aggressive prefetch would evict the
+    ///    demand-fetched object it rode in with;
+    /// 2. accuracy throttling (paper §4.2: "standard prefetching metrics,
+    ///    such as accuracy and coverage, are used to evaluate the
+    ///    effectiveness of each prefetching policy"): once enough
+    ///    prefetches have been issued, an inaccurate prefetcher is throttled
+    ///    to an occasional probe so it can still re-learn, and a mediocre
+    ///    one runs at reduced depth.
+    fn prefetch_budget(&mut self, dsi: usize) -> usize {
+        let object_bytes = self.ds[dsi].spec.object_bytes;
+        let cap = (self.effective_remotable_budget() / object_bytes.max(1) / 2) as usize;
+        let base = self.cfg.prefetch_batch.min(cap);
+        let s = &mut self.ds[dsi].stats;
+        if s.prefetch_issued < 32 {
+            return base;
+        }
+        // Exponentially decay the window so phase changes re-learn quickly.
+        if s.window_issued > 512 {
+            s.window_issued /= 2;
+            s.window_useful /= 2;
+        }
+        let acc = s.recent_accuracy();
+        if acc < 0.08 {
+            // Nearly useless: probe periodically, at full fan-out width so
+            // a multi-successor predictor can still demonstrate recovery.
+            self.ds[dsi].probe_counter = self.ds[dsi].probe_counter.wrapping_add(1);
+            if self.ds[dsi].probe_counter % 8 == 0 {
+                base.min(4)
+            } else {
+                0
+            }
+        } else if acc < 0.15 {
+            // Keep at least the Markov fan-out: truncating below it breaks
+            // coverage for multi-successor (hash-probe) patterns.
+            base.min(4)
+        } else {
+            base
+        }
+    }
+
+    /// Resolve pointer targets produced by a greedy-recursive prefetcher.
+    fn chase_targets(&mut self, handle: u16, targets: Vec<PrefetchTarget>) -> Result<u64, RtError> {
+        let mut cycles = 0;
+        let mut budget = self.prefetch_budget(handle as usize);
+        for t in targets {
+            if budget == 0 {
+                break;
+            }
+            let (h, idx) = match t {
+                PrefetchTarget::SameDs(i) => (handle, i),
+                PrefetchTarget::Pointer(p) => match p.handle() {
+                    Some(h) if (h as usize) < self.ds.len() => {
+                        let ds = &self.ds[h as usize];
+                        (h, ds.obj_index(p.offset()))
+                    }
+                    _ => continue,
+                },
+            };
+            if idx >= self.ds[h as usize].obj_frontier() {
+                continue;
+            }
+            cycles += self.prefetch_object(h, idx)?;
+            budget -= 1;
+        }
+        Ok(cycles)
+    }
+
+    /// Fetch one object speculatively (no demand access yet).
+    fn prefetch_object(&mut self, handle: u16, idx: u64) -> Result<u64, RtError> {
+        let dsi = handle as usize;
+        if matches!(self.ds[dsi].objects.get(&idx), Some(ObjState::Local { .. })) {
+            return Ok(0);
+        }
+        let obj_bytes = self.ds[dsi].spec.object_bytes;
+        let key = ObjKey {
+            ds: handle as u32,
+            index: idx,
+        };
+        let mut cycles = self.ensure_room(obj_bytes)?;
+        let fetched = self.fetch_with_retry(key, true, &mut cycles)?;
+        self.remotable_used += obj_bytes;
+        self.ds[dsi].objects.insert(
+            idx,
+            ObjState::Local {
+                data: fetched.bytes.into_boxed_slice(),
+                dirty: false,
+                pinned: false,
+                ref_bit: false,
+                prefetched: true,
+                remote_copy: true,
+            },
+        );
+        self.clock.push_back((handle, idx));
+        self.ds[dsi].stats.prefetch_issued += 1;
+        self.ds[dsi].stats.window_issued += 1;
+        Ok(cycles)
+    }
+
+    fn fetch_with_retry(
+        &mut self,
+        key: ObjKey,
+        batched: bool,
+        cycles: &mut u64,
+    ) -> Result<cards_net::Fetched, RtError> {
+        let mut attempts = 0;
+        loop {
+            let r = if batched {
+                self.transport.fetch_batched(key)
+            } else {
+                self.transport.fetch(key)
+            };
+            match r {
+                Ok(f) => {
+                    *cycles += f.cycles;
+                    return Ok(f);
+                }
+                Err(NetError::Transient) if attempts < self.cfg.max_retries => {
+                    attempts += 1;
+                    self.stats.retries += 1;
+                    *cycles += self.transport.rtt_cost();
+                }
+                Err(e) => return Err(RtError::Net(e)),
+            }
+        }
+    }
+
+    fn put_with_retry(&mut self, key: ObjKey, data: &[u8], cycles: &mut u64) -> Result<(), RtError> {
+        let mut attempts = 0;
+        loop {
+            match self.transport.put(key, data) {
+                Ok(c) => {
+                    *cycles += c;
+                    return Ok(());
+                }
+                Err(NetError::Transient) if attempts < self.cfg.max_retries => {
+                    attempts += 1;
+                    self.stats.retries += 1;
+                    *cycles += self.transport.rtt_cost();
+                }
+                Err(e) => return Err(RtError::Net(e)),
+            }
+        }
+    }
+
+    /// Effective remotable budget: the configured cache plus any pinned
+    /// memory not (yet) claimed by pinned allocations — local RAM is
+    /// fungible, so an under-used pinned pool serves as extra cache. When
+    /// pinned allocations arrive later, [`Self::place_new_object`] calls
+    /// `ensure_room(0)` to shrink the cache back under the new budget.
+    fn effective_remotable_budget(&self) -> u64 {
+        self.cfg.remotable_bytes + self.cfg.pinned_bytes.saturating_sub(self.pinned_used)
+    }
+
+    /// Evict remotable objects (clock algorithm) until `need` more bytes
+    /// fit in the remotable budget.
+    fn ensure_room(&mut self, need: u64) -> Result<u64, RtError> {
+        let mut cycles = 0;
+        let mut scanned = 0usize;
+        while self.remotable_used + need > self.effective_remotable_budget() {
+            let Some((h, idx)) = self.clock.pop_front() else {
+                // Nothing evictable: permit overshoot (oversize object).
+                self.stats.overcommits += 1;
+                break;
+            };
+            let dsi = h as usize;
+            // Recently guarded and scope-pinned objects are untouchable.
+            if self.recent_guards.iter().any(|&(rh, ri)| rh == h && ri == idx)
+                || self.scope_pinned(h, idx)
+            {
+                self.clock.push_back((h, idx));
+                scanned += 1;
+                if scanned > 2 * self.clock.len() + 4 {
+                    self.stats.overcommits += 1;
+                    break;
+                }
+                continue;
+            }
+            // Validate: entry may be stale.
+            let second_chance = match self.ds[dsi].objects.get_mut(&idx) {
+                Some(ObjState::Local {
+                    pinned: false,
+                    ref_bit,
+                    ..
+                }) => {
+                    // Give one round of second chances, then force-evict to
+                    // guarantee progress.
+                    if *ref_bit && scanned < self.clock.len() + 1 {
+                        *ref_bit = false;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => continue, // stale entry (evicted, freed, or pinned)
+            };
+            scanned += 1;
+            if second_chance {
+                self.clock.push_back((h, idx));
+                continue;
+            }
+            cycles += self.evict(h, idx)?;
+        }
+        Ok(cycles)
+    }
+
+    /// Write back (if needed) and drop one resident remotable object.
+    fn evict(&mut self, handle: u16, idx: u64) -> Result<u64, RtError> {
+        let dsi = handle as usize;
+        let Some(ObjState::Local {
+            data,
+            dirty,
+            pinned: false,
+            remote_copy,
+            ..
+        }) = self.ds[dsi].objects.remove(&idx)
+        else {
+            return Ok(0);
+        };
+        let mut cycles = 50; // eviction bookkeeping
+        self.remotable_used -= data.len() as u64;
+        if dirty || !remote_copy {
+            let key = ObjKey {
+                ds: handle as u32,
+                index: idx,
+            };
+            self.put_with_retry(key, &data, &mut cycles)?;
+            self.ds[dsi].stats.writebacks += 1;
+        }
+        self.ds[dsi].stats.evictions += 1;
+        self.ds[dsi].objects.insert(idx, ObjState::Remote);
+        Ok(cycles)
+    }
+
+    /// Explicitly evict the object containing `ptr` to the remote server
+    /// (AIFM-style evacuation; used by benchmarks and tests to control
+    /// residency). Pinned objects cannot be evacuated. Returns cycles.
+    pub fn evacuate(&mut self, ptr: FarPtr) -> Result<u64, RtError> {
+        let Some(handle) = ptr.handle() else {
+            return Err(RtError::BadPointer(ptr.bits()));
+        };
+        let dsi = handle as usize;
+        if dsi >= self.ds.len() {
+            return Err(RtError::UnknownHandle(handle));
+        }
+        let idx = ptr.offset() >> self.ds[dsi].spec.obj_shift();
+        // Remove any pin so the eviction is allowed.
+        self.recent_guards.retain(|&(h, i)| !(h == handle && i == idx));
+        let cycles = self.evict(handle, idx)?;
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    // ---- data access ----
+
+    /// Read `buf.len()` bytes at `ptr`. The object(s) must be resident
+    /// unless `strict_guards` is off (then they are localized on demand at
+    /// full cost). Returns cycles charged (copying is free in the model;
+    /// the VM charges its own per-access cost).
+    pub fn read(&mut self, ptr: FarPtr, buf: &mut [u8]) -> Result<u64, RtError> {
+        self.access_bytes(ptr, Access::Read, buf.len() as u64, |data, range, out| {
+            out.copy_from_slice(&data[range]);
+        }, buf)
+    }
+
+    /// Write `data` at `ptr`. Residency rules as in [`Self::read`].
+    pub fn write(&mut self, ptr: FarPtr, data: &[u8]) -> Result<u64, RtError> {
+        // SAFETY of the closure trick: write needs &mut object data and
+        // &data; reuse access_bytes with a writer closure.
+        let mut tmp = data.to_vec();
+        self.access_bytes(ptr, Access::Write, data.len() as u64, |obj, range, src| {
+            obj[range].copy_from_slice(src);
+        }, &mut tmp)
+    }
+
+    fn access_bytes(
+        &mut self,
+        ptr: FarPtr,
+        access: Access,
+        len: u64,
+        mut copy: impl FnMut(&mut [u8], std::ops::Range<usize>, &mut [u8]),
+        buf: &mut [u8],
+    ) -> Result<u64, RtError> {
+        let Some(handle) = ptr.handle() else {
+            return Err(RtError::BadPointer(ptr.bits()));
+        };
+        let dsi = handle as usize;
+        if dsi >= self.ds.len() {
+            return Err(RtError::UnknownHandle(handle));
+        }
+        let len = len.max(1);
+        let offset = ptr.offset();
+        if offset + len > self.ds[dsi].next_offset {
+            return Err(RtError::OutOfRange { ds: handle, offset });
+        }
+        let obj_bytes = self.ds[dsi].spec.object_bytes;
+        let shift = self.ds[dsi].spec.obj_shift();
+        let mut cycles = 0;
+        let mut done = 0u64;
+        while done < len {
+            let cur = offset + done;
+            let idx = cur >> shift;
+            let within = cur & (obj_bytes - 1);
+            let chunk = (obj_bytes - within).min(len - done);
+            // Residency check.
+            if !matches!(self.ds[dsi].objects.get(&idx), Some(ObjState::Local { .. })) {
+                if self.cfg.strict_guards {
+                    return Err(RtError::MissingGuard { ds: handle, index: idx });
+                }
+                self.ds[dsi].stats.misses += 1;
+                self.stats.derefs_remote += 1;
+                cycles += self.localize(handle, idx)?;
+            }
+            self.touch(dsi, idx, access);
+            let Some(ObjState::Local { data, .. }) = self.ds[dsi].objects.get_mut(&idx) else {
+                unreachable!("object localized above");
+            };
+            let r = within as usize..(within + chunk) as usize;
+            let b = done as usize..(done + chunk) as usize;
+            copy(data, r, &mut buf[b]);
+            done += chunk;
+        }
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Read a little-endian u64 (convenience for the VM and prefetch tests).
+    pub fn read_u64(&mut self, ptr: FarPtr) -> Result<(u64, u64), RtError> {
+        let mut b = [0u8; 8];
+        let c = self.read(ptr, &mut b)?;
+        Ok((u64::from_le_bytes(b), c))
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&mut self, ptr: FarPtr, v: u64) -> Result<u64, RtError> {
+        self.write(ptr, &v.to_le_bytes())
+    }
+
+    // ---- policy hooks ----
+
+    /// The `RemotableCheck` runtime call: is any of `handles` currently
+    /// remotable? Returns `(answer, cycles)`.
+    pub fn remotable_check(&mut self, handles: &[u16]) -> (bool, u64) {
+        self.stats.remotable_checks += 1;
+        let cycles = self.cfg.costs.remotable_check * handles.len().max(1) as u64;
+        self.stats.cycles += cycles;
+        let any = handles
+            .iter()
+            .any(|&h| self.ds.get(h as usize).is_none_or(|d| d.remotable));
+        (any, cycles)
+    }
+
+    /// Whether DS `handle` is currently remotable.
+    pub fn is_remotable(&self, handle: u16) -> bool {
+        self.ds
+            .get(handle as usize)
+            .is_none_or(|d| d.remotable)
+    }
+
+    // ---- introspection ----
+
+    /// Per-DS statistics.
+    pub fn ds_stats(&self, handle: u16) -> Option<&DsStats> {
+        self.ds.get(handle as usize).map(|d| &d.stats)
+    }
+
+    /// Spec of a registered DS.
+    pub fn ds_spec(&self, handle: u16) -> Option<&DsSpec> {
+        self.ds.get(handle as usize).map(|d| &d.spec)
+    }
+
+    /// Number of registered data structures.
+    pub fn ds_count(&self) -> usize {
+        self.ds.len()
+    }
+
+    /// Global runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// Network statistics from the transport.
+    pub fn net_stats(&self) -> cards_net::NetStats {
+        self.transport.stats()
+    }
+
+    /// Bytes of pinned local memory in use.
+    pub fn pinned_used(&self) -> u64 {
+        self.pinned_used
+    }
+
+    /// Bytes of remotable local memory in use.
+    pub fn remotable_used(&self) -> u64 {
+        self.remotable_used
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Borrow the transport (tests/diagnostics).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+}

@@ -1,0 +1,151 @@
+//! Compiler → runtime interface: per-data-structure specifications.
+//!
+//! `cards-passes` lowers its IR-level `DsMeta` (which references the
+//! module's type table) into this self-contained form, so the runtime has
+//! no dependency on the IR.
+
+/// Which prefetcher the runtime attaches to a data structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PrefetchKind {
+    /// No prefetching.
+    #[default]
+    None,
+    /// Majority-stride prefetcher for sequential/strided structures.
+    Stride,
+    /// Greedy-recursive prefetcher chasing pointer fields of fetched
+    /// objects (Luk & Mowry style, adapted to far memory).
+    GreedyRecursive,
+    /// Jump-pointer prefetcher with a learned skip table.
+    JumpPointer,
+}
+
+/// Static priority metrics computed by the compiler's policy-ranking pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsPriority {
+    /// Allocation-site order in the program (Linear policy).
+    pub program_order: u32,
+    /// Longest caller/callee chain through functions touching the DS
+    /// (Max Reach policy).
+    pub reach_depth: u32,
+    /// `#loops + #functions` referencing the DS, paper Eq. 1
+    /// (Max Use policy).
+    pub use_score: u32,
+}
+
+/// Everything the runtime needs to know about one compiler-identified
+/// disjoint data structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DsSpec {
+    /// Diagnostic name (derived from allocation site / recovered type).
+    pub name: String,
+    /// Object size the runtime manages this DS at (compiler hint; power of
+    /// two).
+    pub object_bytes: u64,
+    /// Size of one element, if the compiler recovered an element type.
+    pub elem_bytes: Option<u64>,
+    /// Byte offsets of pointer fields within one element (for the
+    /// greedy-recursive prefetcher). Empty if none/unknown.
+    pub ptr_offsets: Vec<u64>,
+    /// Whether DSA flagged the structure as self-referential (linked).
+    pub recursive: bool,
+    /// Prefetch policy chosen at compile time.
+    pub prefetch: PrefetchKind,
+    /// Static priorities for the remoting policies.
+    pub priority: DsPriority,
+}
+
+impl DsSpec {
+    /// A minimal spec for tests: 4 KiB objects, no prefetch.
+    pub fn simple(name: impl Into<String>) -> Self {
+        DsSpec {
+            name: name.into(),
+            object_bytes: 4096,
+            elem_bytes: None,
+            ptr_offsets: Vec::new(),
+            recursive: false,
+            prefetch: PrefetchKind::None,
+            priority: DsPriority::default(),
+        }
+    }
+
+    /// Builder-style: set object size.
+    pub fn with_object_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes.is_power_of_two(), "object size must be a power of two");
+        self.object_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set prefetch kind.
+    pub fn with_prefetch(mut self, p: PrefetchKind) -> Self {
+        self.prefetch = p;
+        self
+    }
+
+    /// Builder-style: set priorities.
+    pub fn with_priority(mut self, p: DsPriority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Builder-style: element layout for pointer chasing.
+    pub fn with_elem(mut self, elem_bytes: u64, ptr_offsets: Vec<u64>) -> Self {
+        self.elem_bytes = Some(elem_bytes);
+        self.ptr_offsets = ptr_offsets;
+        self
+    }
+
+    /// Builder-style: mark recursive.
+    pub fn with_recursive(mut self, r: bool) -> Self {
+        self.recursive = r;
+        self
+    }
+
+    /// log2 of the object size (`obj_shift` in Listing 4).
+    pub fn obj_shift(&self) -> u32 {
+        self.object_bytes.trailing_zeros()
+    }
+}
+
+/// Compile-time remoting hint per DS, produced by the policy engine from
+/// static priorities; the runtime may override it (paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaticHint {
+    /// Allocate from pinned (non-remotable) local memory.
+    Pinned,
+    /// Allocate from remotable memory; objects may be evicted.
+    Remotable,
+    /// Try pinned first, fall back to remotable when pinned memory is
+    /// exhausted (the Linear policy's dynamic behaviour).
+    PinnedIfRoom,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let s = DsSpec::simple("a")
+            .with_object_bytes(1024)
+            .with_prefetch(PrefetchKind::Stride)
+            .with_elem(16, vec![8])
+            .with_recursive(true)
+            .with_priority(DsPriority {
+                program_order: 1,
+                reach_depth: 2,
+                use_score: 3,
+            });
+        assert_eq!(s.object_bytes, 1024);
+        assert_eq!(s.obj_shift(), 10);
+        assert_eq!(s.prefetch, PrefetchKind::Stride);
+        assert_eq!(s.elem_bytes, Some(16));
+        assert!(s.recursive);
+        assert_eq!(s.priority.use_score, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn object_size_must_be_pow2() {
+        let _ = DsSpec::simple("x").with_object_bytes(1000);
+    }
+}

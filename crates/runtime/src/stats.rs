@@ -1,0 +1,122 @@
+//! Per-data-structure and global runtime statistics.
+//!
+//! CaRDS "monitors cache hits and misses for each memory object, leveraging
+//! these statistics on a per-data structure basis to inform runtime policy
+//! decisions" (paper §4.2). These counters are that mechanism, and also
+//! feed the prefetch accuracy/coverage metrics the paper mentions.
+
+/// Counters kept for each data structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsStats {
+    /// Guarded accesses that found the object local.
+    pub hits: u64,
+    /// Guarded accesses that had to fetch the object.
+    pub misses: u64,
+    /// Objects evicted from local remotable memory.
+    pub evictions: u64,
+    /// Dirty evictions that required a write-back.
+    pub writebacks: u64,
+    /// Objects brought in by the prefetcher.
+    pub prefetch_issued: u64,
+    /// Prefetched objects that were subsequently accessed while resident.
+    pub prefetch_useful: u64,
+    /// Bytes allocated from this DS.
+    pub bytes_allocated: u64,
+    /// Guard checks executed against this DS.
+    pub guard_checks: u64,
+    /// Times the runtime overrode this DS's static pinning hint.
+    pub demotions: u64,
+    /// Decaying window of recent prefetches issued (throttling input).
+    pub window_issued: u64,
+    /// Decaying window of recent useful prefetches (throttling input).
+    pub window_useful: u64,
+}
+
+impl DsStats {
+    /// Miss ratio in [0,1]; 0 when no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Prefetch accuracy: useful / issued (1.0 when none issued).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            1.0
+        } else {
+            self.prefetch_useful as f64 / self.prefetch_issued as f64
+        }
+    }
+
+    /// Accuracy over the recent (decaying) window — adapts when a
+    /// prefetcher's behaviour changes phase.
+    pub fn recent_accuracy(&self) -> f64 {
+        if self.window_issued == 0 {
+            1.0
+        } else {
+            self.window_useful as f64 / self.window_issued as f64
+        }
+    }
+
+    /// Prefetch coverage: fraction of would-be misses avoided,
+    /// useful / (useful + misses).
+    pub fn prefetch_coverage(&self) -> f64 {
+        let denom = self.prefetch_useful + self.misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.prefetch_useful as f64 / denom as f64
+        }
+    }
+}
+
+/// Whole-runtime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Total custody checks performed (tagged or not).
+    pub custody_checks: u64,
+    /// Derefs that resolved locally.
+    pub derefs_local: u64,
+    /// Derefs that fetched from remote.
+    pub derefs_remote: u64,
+    /// `RemotableCheck` calls serviced.
+    pub remotable_checks: u64,
+    /// Total cycles charged by the runtime (guards + network + eviction).
+    pub cycles: u64,
+    /// Transient-fault retries performed.
+    pub retries: u64,
+    /// Objects currently resident that exceeded the remotable budget
+    /// because eviction could not make room (oversize objects).
+    pub overcommits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = DsStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.prefetch_accuracy(), 1.0);
+        assert_eq!(s.prefetch_coverage(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = DsStats {
+            hits: 3,
+            misses: 1,
+            prefetch_issued: 4,
+            prefetch_useful: 2,
+            ..Default::default()
+        };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-9);
+        assert!((s.prefetch_accuracy() - 0.5).abs() < 1e-9);
+        assert!((s.prefetch_coverage() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+#[test]
+fn jump_pointer_map_like_pattern() {
+    use cards_net::SimTransport;
+    use cards_runtime::*;
+    // 4096 objects of 64B, cache 512 objects; access pattern: perm sequence repeated 3x
+    let spec = DsSpec::simple("vc").with_object_bytes(64).with_prefetch(PrefetchKind::JumpPointer);
+    let mut rt = FarMemRuntime::new(RuntimeConfig::new(0, 512 * 64), SimTransport::default());
+    let h = rt.register_ds(spec, StaticHint::Remotable);
+    let (p, _) = rt.ds_alloc(h, 4096 * 64).unwrap();
+    let n = 16384u64;
+    let slot = |i: u64| (i.wrapping_mul(0x9E37).wrapping_add(7)) % (4096 * 8); // slot in elems
+    for _rep in 0..3 {
+        for i in 0..n {
+            let ptr = p.add(slot(i) * 8);
+            rt.guard(ptr, Access::Write, 8).unwrap();
+        }
+    }
+    let s = rt.ds_stats(h).unwrap();
+    eprintln!("hits={} misses={} issued={} useful={}", s.hits, s.misses, s.prefetch_issued, s.prefetch_useful);
+    assert!(s.prefetch_issued > 1000, "issued {}", s.prefetch_issued);
+}
+
+#[test]
+fn deref_scope_pins_against_eviction() {
+    use cards_net::SimTransport;
+    use cards_runtime::*;
+    // Cache of 2 objects; guard 3 objects inside one scope: the third
+    // cannot evict the first two, so the runtime overcommits instead.
+    let mut rt = FarMemRuntime::new(RuntimeConfig::new(0, 2 * 4096), SimTransport::default());
+    let h = rt.register_ds(DsSpec::simple("s"), StaticHint::Remotable);
+    let (p, _) = rt.ds_alloc(h, 16 * 4096).unwrap();
+    // Make everything remote first.
+    for i in 0..16u64 {
+        rt.guard(p.add(i * 4096), Access::Write, 8).unwrap();
+        rt.write_u64(p.add(i * 4096), i).unwrap();
+    }
+    for i in 0..16u64 {
+        rt.evacuate(p.add(i * 4096)).unwrap();
+    }
+    rt.begin_scope();
+    rt.guard(p, Access::Read, 8).unwrap();
+    rt.guard(p.add(4096), Access::Read, 8).unwrap();
+    rt.guard(p.add(2 * 4096), Access::Read, 8).unwrap();
+    // All three must be readable without re-guarding (scope pins them).
+    assert_eq!(rt.read_u64(p).unwrap().0, 0);
+    assert_eq!(rt.read_u64(p.add(4096)).unwrap().0, 1);
+    assert_eq!(rt.read_u64(p.add(2 * 4096)).unwrap().0, 2);
+    assert_eq!(rt.open_scopes(), 1);
+    rt.end_scope();
+    assert_eq!(rt.open_scopes(), 0);
+    // After the scope closes, pressure can evict them again.
+    for i in 3..16u64 {
+        rt.guard(p.add(i * 4096), Access::Read, 8).unwrap();
+    }
+    assert!(rt.ds_stats(h).unwrap().evictions > 0);
+}
+
+#[test]
+#[should_panic(expected = "end_scope without begin_scope")]
+fn unbalanced_scope_panics() {
+    use cards_net::SimTransport;
+    use cards_runtime::*;
+    let mut rt = FarMemRuntime::new(RuntimeConfig::default(), SimTransport::default());
+    rt.end_scope();
+}

@@ -1,0 +1,77 @@
+//! Execution metrics collected by the VM.
+
+/// Per-instruction-class cycle costs of the simulated CPU. These model the
+/// paper's 2.4 GHz Xeon at the coarse level the figures need; guard and
+//  network costs come from `cards-runtime`/`cards-net`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuModel {
+    /// ALU / compare / cast / select.
+    pub alu: u64,
+    /// Branch (taken or not).
+    pub branch: u64,
+    /// Local memory access (cache-averaged).
+    pub mem: u64,
+    /// Call/return overhead.
+    pub call: u64,
+    /// Intrinsic (hash, sqrt...).
+    pub intrin: u64,
+    /// Native allocation.
+    pub alloc: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            alu: 1,
+            branch: 1,
+            mem: 4,
+            call: 10,
+            intrin: 8,
+            alloc: 50,
+        }
+    }
+}
+
+/// Counters accumulated during one VM run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmMetrics {
+    /// Total simulated cycles (CPU + runtime + network).
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Guard instructions executed.
+    pub guards: u64,
+    /// RemotableCheck instructions executed.
+    pub remotable_checks: u64,
+    /// Times a versioned loop took the uninstrumented fast path.
+    pub fast_path_taken: u64,
+    /// Times a versioned loop stayed on the instrumented path.
+    pub slow_path_taken: u64,
+    /// Calls executed.
+    pub calls: u64,
+}
+
+impl VmMetrics {
+    /// Wall-clock seconds at the given clock rate.
+    pub fn seconds_at(&self, ghz: f64) -> f64 {
+        self.cycles as f64 / (ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_conversion() {
+        let m = VmMetrics {
+            cycles: 2_400_000_000,
+            ..Default::default()
+        };
+        assert!((m.seconds_at(2.4) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! The `BFS` workload: breadth-first search over a synthetic graph, in the
+//! style of the GAP benchmark suite (paper §5: 1.2 GB working set, 19
+//! disjoint data structures, irregular access pattern).
+//!
+//! The graph is a constant-out-degree random digraph generated from the
+//! seeded hash (edge `k` of node `u` targets `hash64(u*d + k) % n`), built
+//! into CSR inside the kernel. BFS runs from node 0 with two frontier
+//! queues; distance and parent arrays plus a level histogram give the DS
+//! variety the paper reports.
+
+use cards_ir::{CmpOp, FuncId, FunctionBuilder, Module, Type};
+
+use crate::util::*;
+
+/// BFS parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfsParams {
+    /// Node count.
+    pub nodes: i64,
+    /// Out-degree of every node.
+    pub degree: i64,
+}
+
+impl Default for BfsParams {
+    fn default() -> Self {
+        BfsParams {
+            nodes: 20_000,
+            degree: 8,
+        }
+    }
+}
+
+impl BfsParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        BfsParams {
+            nodes: 500,
+            degree: 6,
+        }
+    }
+
+    /// Edge count.
+    pub fn edges(&self) -> i64 {
+        self.nodes * self.degree
+    }
+
+    /// Approximate working-set bytes.
+    pub fn working_set_bytes(&self) -> u64 {
+        // offsets + dist + parent + 2 queues (n each) + targets (m)
+        (5 * self.nodes as u64 + self.edges() as u64) * 8
+    }
+}
+
+/// Build the BFS program; `main` returns `sum(dist) + sum(levels)`.
+pub fn build(p: BfsParams) -> (Module, FuncId) {
+    let n = p.nodes;
+    let d = p.degree;
+    let m_edges = p.edges();
+    let mut m = Module::new("bfs");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+
+    let offsets = alloc_i64(&mut b, n + 1);
+    let targets = alloc_i64(&mut b, m_edges);
+    let dist = alloc_i64(&mut b, n);
+    let parent = alloc_i64(&mut b, n);
+    let q_cur = alloc_i64(&mut b, n);
+    let q_next = alloc_i64(&mut b, n);
+    let level_hist = alloc_i64(&mut b, 64);
+
+    let (z, one) = (ic(0), ic(1));
+
+    // --- build CSR ---
+    b.counted_loop(z, ic(n + 1), one, |b, i| {
+        let off = b.mul(i, ic(d));
+        set_i64(b, offsets, i, off);
+    });
+    b.counted_loop(z, ic(m_edges), one, |b, e| {
+        let h = hash_salted(b, e, 0xBF5);
+        let v = urem_const(b, h, n);
+        set_i64(b, targets, e, v);
+    });
+    b.counted_loop(z, ic(n), one, |b, i| {
+        set_i64(b, dist, i, ic(-1));
+        set_i64(b, parent, i, ic(-1));
+    });
+    b.counted_loop(z, ic(64), one, |b, i| set_i64(b, level_hist, i, ic(0)));
+
+    // --- BFS from node 0 ---
+    set_i64(&mut b, dist, z, ic(0));
+    set_i64(&mut b, q_cur, z, ic(0));
+    // frontier sizes and level live in stack slots
+    let cur_cnt = AccI64::new(&mut b, 1);
+    let next_cnt = AccI64::new(&mut b, 0);
+    let level = AccI64::new(&mut b, 0);
+    // queue pointers swap each level: keep them in stack slots
+    let cur_slot = b.alloca(Type::Ptr);
+    let next_slot = b.alloca(Type::Ptr);
+    b.store(cur_slot, q_cur, Type::Ptr);
+    b.store(next_slot, q_next, Type::Ptr);
+
+    // while cur_cnt > 0
+    let head = b.new_block();
+    let body = b.new_block();
+    let done = b.new_block();
+    b.br(head);
+    b.switch_to(head);
+    let cc = cur_cnt.get(&mut b);
+    let nonempty = b.cmp(CmpOp::Sgt, cc, z);
+    b.cond_br(nonempty, body, done);
+
+    b.switch_to(body);
+    {
+        // record level size in the histogram
+        let lv = level.get(&mut b);
+        let lv_clamped = min_const(&mut b, lv, 63);
+        let sz = cur_cnt.get(&mut b);
+        add_i64_at(&mut b, level_hist, lv_clamped, sz);
+        // for j in 0..cur_cnt: expand node
+        let cur_q = b.load(cur_slot, Type::Ptr);
+        let nq = b.load(next_slot, Type::Ptr);
+        let cc2 = cur_cnt.get(&mut b);
+        b.counted_loop(z, cc2, one, |b, j| {
+            let u = get_i64(b, cur_q, j);
+            let du = get_i64(b, dist, u);
+            let start = get_i64(b, offsets, u);
+            let u1 = b.add(u, ic(1));
+            let stop = get_i64(b, offsets, u1);
+            b.counted_loop(start, stop, one, |b, e| {
+                let v = get_i64(b, targets, e);
+                let dv = get_i64(b, dist, v);
+                let unseen = b.cmp(CmpOp::Slt, dv, ic(0));
+                if_then(b, unseen, |b| {
+                    let dnew = b.add(du, ic(1));
+                    set_i64(b, dist, v, dnew);
+                    set_i64(b, parent, v, u);
+                    let nc = next_cnt.get(b);
+                    set_i64(b, nq, nc, v);
+                    next_cnt.add(b, ic(1));
+                });
+            });
+        });
+        // swap queues, advance level
+        let a = b.load(cur_slot, Type::Ptr);
+        let c = b.load(next_slot, Type::Ptr);
+        b.store(cur_slot, c, Type::Ptr);
+        b.store(next_slot, a, Type::Ptr);
+        let nc = next_cnt.get(&mut b);
+        b.store(cur_cnt.0, nc, Type::I64);
+        b.store(next_cnt.0, z, Type::I64);
+        level.add(&mut b, ic(1));
+    }
+    b.br(head);
+
+    b.switch_to(done);
+    let acc = AccI64::new(&mut b, 0);
+    checksum_i64(&mut b, &acc, dist, n);
+    checksum_i64(&mut b, &acc, level_hist, 64);
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let main_f = m.add_function(b.finish());
+    (m, main_f)
+}
+
+/// Native reference computing the identical checksum.
+pub fn reference(p: BfsParams) -> i64 {
+    let n = p.nodes as usize;
+    let d = p.degree as usize;
+    let targets: Vec<usize> = (0..n * d)
+        .map(|e| (splitmix64(e as u64 ^ 0xBF5) % n as u64) as usize)
+        .collect();
+    let mut dist = vec![-1i64; n];
+    let mut level_hist = [0i64; 64];
+    let mut cur = vec![0usize];
+    dist[0] = 0;
+    let mut level = 0usize;
+    while !cur.is_empty() {
+        level_hist[level.min(63)] += cur.len() as i64;
+        let mut next = Vec::new();
+        for &u in &cur {
+            for e in u * d..(u + 1) * d {
+                let v = targets[e];
+                if dist[v] < 0 {
+                    dist[v] = dist[u] + 1;
+                    next.push(v);
+                }
+            }
+        }
+        cur = next;
+        level += 1;
+    }
+    dist.iter().sum::<i64>() + level_hist.iter().sum::<i64>()
+}

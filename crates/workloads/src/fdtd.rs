@@ -1,0 +1,223 @@
+//! The `ftfdapml` workload: a Finite-Difference Time-Domain kernel with an
+//! Anisotropic Perfectly-Matched-Layer boundary, modeled on PolyBench's
+//! `fdtd-apml` (paper §5: 8 GB working set, 15 disjoint data structures —
+//! the most of any PolyBench kernel, which is why the paper picks it).
+//!
+//! Fifteen f64 grids with static-control nested loops: coefficient grids
+//! (read-only after init), field grids (updated each step), and PML
+//! auxiliary grids. Neighbor accesses use `i±1`/`j±1` within interior
+//! bounds, giving the strided pattern the remoting policies exploit.
+
+use cards_ir::{BinOp, FuncId, FunctionBuilder, Module, Type};
+
+use crate::util::*;
+
+/// FDTD-APML parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FdtdParams {
+    /// Grid extent (nx = ny = `size`).
+    pub size: i64,
+    /// Time steps.
+    pub steps: i64,
+}
+
+impl Default for FdtdParams {
+    fn default() -> Self {
+        FdtdParams { size: 96, steps: 10 }
+    }
+}
+
+impl FdtdParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        FdtdParams { size: 24, steps: 3 }
+    }
+
+    /// Approximate working-set bytes (15 grids of size²·8B).
+    pub fn working_set_bytes(&self) -> u64 {
+        15 * (self.size * self.size) as u64 * 8
+    }
+}
+
+const NGRIDS: usize = 15;
+
+/// Build the FDTD program; `main` returns a checksum over the field grids.
+pub fn build(p: FdtdParams) -> (Module, FuncId) {
+    let nx = p.size;
+    let cells = nx * nx;
+    let mut m = Module::new("ftfdapml");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+
+    // 15 grids: 0..6 coefficients, 7..9 fields (ex, ey, hz), 10..14 PML aux.
+    let mut g = Vec::with_capacity(NGRIDS);
+    for _ in 0..NGRIDS {
+        g.push(alloc_f64(&mut b, cells));
+    }
+    let (ex, ey, hz) = (g[7], g[8], g[9]);
+
+    let (z, one) = (ic(0), ic(1));
+
+    // --- init: coefficients from hashes, fields zero/impulse ---
+    for (k, &grid) in g.iter().enumerate() {
+        let salt = 0x11 + k as i64;
+        b.counted_loop(z, ic(cells), one, |b, idx| {
+            if k < 7 || k >= 10 {
+                // coefficient/aux grids: small values in (0, 1]
+                let h = hash_salted(b, idx, salt);
+                let r = urem_const(b, h, 1000);
+                let rf = to_f64(b, r);
+                let v0 = b.bin(BinOp::FDiv, rf, fc(2000.0), Type::F64);
+                let v = b.fadd(v0, fc(0.25));
+                set_f64(b, grid, idx, v);
+            } else {
+                set_f64(b, grid, idx, fc(0.0));
+            }
+        });
+    }
+    // impulse at the grid center
+    {
+        let center = ic(cells / 2 + nx / 2);
+        set_f64(&mut b, hz, center, fc(1.0));
+    }
+
+    // --- time stepping ---
+    b.counted_loop(z, ic(p.steps), one, |b, _t| {
+        // update ex: ex[i,j] += c0[i,j] * (hz[i,j] - hz[i,j-1])
+        b.counted_loop(z, ic(nx), one, |b, i| {
+            b.counted_loop(one, ic(nx), one, |b, j| {
+                let row = b.mul(i, ic(nx));
+                let idx = b.add(row, j);
+                let jm1 = b.sub(idx, ic(1));
+                let h1 = get_f64(b, hz, idx);
+                let h0 = get_f64(b, hz, jm1);
+                let dh = b.bin(BinOp::FSub, h1, h0, Type::F64);
+                let c = get_f64(b, g[0], idx);
+                let delta = b.fmul(c, dh);
+                add_f64_at(b, ex, idx, delta);
+                // PML auxiliary accumulation
+                let a = get_f64(b, g[10], idx);
+                let upd = b.fmul(a, delta);
+                add_f64_at(b, g[11], idx, upd);
+            });
+        });
+        // update ey: ey[i,j] -= c1[i,j] * (hz[i,j] - hz[i-1,j])
+        b.counted_loop(one, ic(nx), one, |b, i| {
+            b.counted_loop(z, ic(nx), one, |b, j| {
+                let row = b.mul(i, ic(nx));
+                let idx = b.add(row, j);
+                let im1 = b.sub(idx, ic(nx));
+                let h1 = get_f64(b, hz, idx);
+                let h0 = get_f64(b, hz, im1);
+                let dh = b.bin(BinOp::FSub, h1, h0, Type::F64);
+                let c = get_f64(b, g[1], idx);
+                let prod = b.fmul(c, dh);
+                let neg = b.bin(BinOp::FSub, fc(0.0), prod, Type::F64);
+                add_f64_at(b, ey, idx, neg);
+                let a = get_f64(b, g[12], idx);
+                let upd = b.fmul(a, neg);
+                add_f64_at(b, g[13], idx, upd);
+            });
+        });
+        // update hz: hz[i,j] = czm*hz + cxmh*(ey[i+1,j]-ey[i,j]) - cymh*(ex[i,j+1]-ex[i,j]) + bza
+        b.counted_loop(z, ic(nx - 1), one, |b, i| {
+            b.counted_loop(z, ic(nx - 1), one, |b, j| {
+                let row = b.mul(i, ic(nx));
+                let idx = b.add(row, j);
+                let ip1 = b.add(idx, ic(nx));
+                let jp1 = b.add(idx, ic(1));
+                let czm = get_f64(b, g[2], idx);
+                let cxmh = get_f64(b, g[3], idx);
+                let cymh = get_f64(b, g[4], idx);
+                let hcur = get_f64(b, hz, idx);
+                let t0 = b.fmul(czm, hcur);
+                let ey1 = get_f64(b, ey, ip1);
+                let ey0 = get_f64(b, ey, idx);
+                let dey = b.bin(BinOp::FSub, ey1, ey0, Type::F64);
+                let t1 = b.fmul(cxmh, dey);
+                let ex1 = get_f64(b, ex, jp1);
+                let ex0 = get_f64(b, ex, idx);
+                let dex = b.bin(BinOp::FSub, ex1, ex0, Type::F64);
+                let t2 = b.fmul(cymh, dex);
+                let bza = get_f64(b, g[14], idx);
+                let s0 = b.fadd(t0, t1);
+                let s1 = b.bin(BinOp::FSub, s0, t2, Type::F64);
+                let damp = b.fmul(bza, fc(0.001));
+                let hnew = b.fadd(s1, damp);
+                set_f64(b, hz, idx, hnew);
+                // boundary bookkeeping grids (czp, aux) read each step
+                let czp = get_f64(b, g[5], idx);
+                let aux = b.fmul(czp, hnew);
+                set_f64(b, g[6], idx, aux);
+            });
+        });
+    });
+
+    // --- checksum over the field + aux grids ---
+    let acc = AccI64::new(&mut b, 0);
+    checksum_f64(&mut b, &acc, hz, cells);
+    checksum_f64(&mut b, &acc, ex, cells);
+    checksum_f64(&mut b, &acc, ey, cells);
+    checksum_f64(&mut b, &acc, g[11], cells);
+    checksum_f64(&mut b, &acc, g[13], cells);
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let main_f = m.add_function(b.finish());
+    (m, main_f)
+}
+
+/// Native reference with identical arithmetic order.
+pub fn reference(p: FdtdParams) -> i64 {
+    let nx = p.size as usize;
+    let cells = nx * nx;
+    let mut g: Vec<Vec<f64>> = Vec::with_capacity(NGRIDS);
+    for k in 0..NGRIDS {
+        let salt = 0x11 + k as u64;
+        let grid: Vec<f64> = (0..cells)
+            .map(|idx| {
+                if !(7..10).contains(&k) {
+                    (splitmix64(idx as u64 ^ salt) % 1000) as f64 / 2000.0 + 0.25
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        g.push(grid);
+    }
+    g[9][cells / 2 + nx / 2] = 1.0;
+
+    for _t in 0..p.steps {
+        for i in 0..nx {
+            for j in 1..nx {
+                let idx = i * nx + j;
+                let dh = g[9][idx] - g[9][idx - 1];
+                let delta = g[0][idx] * dh;
+                g[7][idx] += delta;
+                let upd = g[10][idx] * delta;
+                g[11][idx] += upd;
+            }
+        }
+        for i in 1..nx {
+            for j in 0..nx {
+                let idx = i * nx + j;
+                let dh = g[9][idx] - g[9][idx - nx];
+                let neg = 0.0 - g[1][idx] * dh;
+                g[8][idx] += neg;
+                let upd = g[12][idx] * neg;
+                g[13][idx] += upd;
+            }
+        }
+        for i in 0..nx - 1 {
+            for j in 0..nx - 1 {
+                let idx = i * nx + j;
+                let t0 = g[2][idx] * g[9][idx];
+                let t1 = g[3][idx] * (g[8][idx + nx] - g[8][idx]);
+                let t2 = g[4][idx] * (g[7][idx + 1] - g[7][idx]);
+                let hnew = (t0 + t1) - t2 + g[14][idx] * 0.001;
+                g[9][idx] = hnew;
+                g[6][idx] = g[5][idx] * hnew;
+            }
+        }
+    }
+    let fold = |grid: &[f64]| -> i64 { grid.iter().map(|v| (v * 1000.0) as i64).sum() };
+    fold(&g[9]) + fold(&g[7]) + fold(&g[8]) + fold(&g[11]) + fold(&g[13])
+}

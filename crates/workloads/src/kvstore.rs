@@ -1,0 +1,218 @@
+//! Extension workload: a key-value store in the AIFM/Memcached mold —
+//! the application class the paper's introduction motivates.
+//!
+//! Three structurally different data structures interact per operation:
+//! - a **hash index** (open addressing, probed — irregular),
+//! - a **value log** (append-only bump region — streaming),
+//! - a **per-slot access-count array** standing in for LRU metadata
+//!   (small and scorching hot — the pinning policies' best customer).
+//!
+//! Workload: a seeded GET/PUT mix with a Zipf-ish skew (80% of operations
+//! target 20% of the keyspace via hash folding), checksummed exactly
+//! against the native reference.
+
+use cards_ir::{CmpOp, FuncId, FunctionBuilder, Module, Type};
+
+use crate::util::*;
+
+/// KV-store parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvParams {
+    /// Distinct keys (table capacity is the next power of two above 2×).
+    pub keys: i64,
+    /// Operations in the mixed phase.
+    pub ops: i64,
+}
+
+impl Default for KvParams {
+    fn default() -> Self {
+        KvParams {
+            keys: 8_192,
+            ops: 40_000,
+        }
+    }
+}
+
+impl KvParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        KvParams { keys: 256, ops: 1_500 }
+    }
+
+    fn cap(&self) -> i64 {
+        (2 * self.keys.max(1) as u64).next_power_of_two() as i64
+    }
+
+    /// Approximate working-set bytes (index + counts + value log).
+    pub fn working_set_bytes(&self) -> u64 {
+        (2 * self.cap() as u64 + 2 * self.keys as u64 + self.ops as u64) * 8
+    }
+}
+
+/// Skewed key for operation `i`: 80% of ops hit the bottom 20% of keys.
+fn skewed_key(h: u64, keys: u64) -> u64 {
+    let hot = keys / 5;
+    if h % 10 < 8 {
+        (h >> 8) % hot.max(1)
+    } else {
+        (h >> 8) % keys
+    }
+}
+
+/// Build the KV-store program; `main` returns the GET checksum.
+pub fn build(p: KvParams) -> (Module, FuncId) {
+    let keys = p.keys;
+    let cap = p.cap();
+    let mask = cap - 1;
+    let mut m = Module::new("kvstore");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+
+    let index_keys = alloc_i64(&mut b, cap); // slot -> key (or -1)
+    let index_vptr = alloc_i64(&mut b, cap); // slot -> value-log offset
+    let counts = alloc_i64(&mut b, keys); // key -> access count (hot!)
+    let vlog = alloc_i64(&mut b, keys + p.ops); // append-only values
+    let vlog_len = AccI64::new(&mut b, 0);
+
+    let (z, one) = (ic(0), ic(1));
+    b.counted_loop(z, ic(cap), one, |b, s| set_i64(b, index_keys, s, ic(-1)));
+    b.counted_loop(z, ic(keys), one, |b, k| set_i64(b, counts, k, ic(0)));
+
+    // --- load phase: PUT every key once ---
+    b.counted_loop(z, ic(keys), one, |b, k| {
+        // find slot by linear probing
+        let hh = b.intrin(cards_ir::Intrinsic::Hash64, vec![k]);
+        let start = b.bin(cards_ir::BinOp::And, hh, ic(mask), Type::I64);
+        let slot = b.alloca(Type::I64);
+        b.store(slot, start, Type::I64);
+        while_loop(
+            b,
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let cur = get_i64(b, index_keys, s);
+                let empty = b.cmp(CmpOp::Eq, cur, ic(-1));
+                let mine = b.cmp(CmpOp::Eq, cur, k);
+                let done = b.bin(cards_ir::BinOp::Or, empty, mine, Type::I64);
+                b.cmp(CmpOp::Eq, done, ic(0))
+            },
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let s1 = b.add(s, one);
+                let s2 = b.bin(cards_ir::BinOp::And, s1, ic(mask), Type::I64);
+                b.store(slot, s2, Type::I64);
+            },
+        );
+        let s = b.load(slot, Type::I64);
+        set_i64(b, index_keys, s, k);
+        // append value to the log
+        let off = vlog_len.get(b);
+        let v = hash_salted(b, k, 0x71);
+        let v = urem_const(b, v, 1_000_000);
+        set_i64(b, vlog, off, v);
+        set_i64(b, index_vptr, s, off);
+        vlog_len.add(b, one);
+    });
+
+    // --- mixed phase: skewed GET/PUT (7:1) ---
+    let acc = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(p.ops), one, |b, i| {
+        let h = hash_salted(b, i, 0x60D);
+        // key = skewed_key(h, keys)
+        let hot = ic((keys / 5).max(1));
+        let hsel = urem_const(b, h, 10);
+        let hshift = b.bin(cards_ir::BinOp::LShr, h, ic(8), Type::I64);
+        let khot = b.bin(cards_ir::BinOp::URem, hshift, hot, Type::I64);
+        let kall = urem_const(b, hshift, keys);
+        let is_hot = b.cmp(CmpOp::Ult, hsel, ic(8));
+        let k = b.select(is_hot, khot, kall, Type::I64);
+        // probe
+        let hh = b.intrin(cards_ir::Intrinsic::Hash64, vec![k]);
+        let start = b.bin(cards_ir::BinOp::And, hh, ic(mask), Type::I64);
+        let slot = b.alloca(Type::I64);
+        b.store(slot, start, Type::I64);
+        while_loop(
+            b,
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let cur = get_i64(b, index_keys, s);
+                b.cmp(CmpOp::Ne, cur, k)
+            },
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let s1 = b.add(s, one);
+                let s2 = b.bin(cards_ir::BinOp::And, s1, ic(mask), Type::I64);
+                b.store(slot, s2, Type::I64);
+            },
+        );
+        let s = b.load(slot, Type::I64);
+        add_i64_at(b, counts, k, one); // LRU-ish metadata bump
+        let is_put = {
+            let r = urem_const(b, h, 8);
+            b.cmp(CmpOp::Eq, r, ic(0))
+        };
+        if_then(b, is_put, |b| {
+            // PUT: append new value, repoint the slot
+            let off = vlog_len.get(b);
+            let v = hash_salted(b, i, 0x90);
+            let v = urem_const(b, v, 1_000_000);
+            set_i64(b, vlog, off, v);
+            set_i64(b, index_vptr, s, off);
+            vlog_len.add(b, one);
+        });
+        // GET (always reads back, PUT or not)
+        let off = get_i64(b, index_vptr, s);
+        let v = get_i64(b, vlog, off);
+        acc.add(b, v);
+    });
+
+    // fold hot-metadata counts into the checksum
+    checksum_i64(&mut b, &acc, counts, keys);
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let f = m.add_function(b.finish());
+    (m, f)
+}
+
+/// Native reference with identical probing and skew.
+pub fn reference(p: KvParams) -> i64 {
+    let keys = p.keys as u64;
+    let cap = p.cap() as usize;
+    let mask = cap - 1;
+    let mut index_keys = vec![-1i64; cap];
+    let mut index_vptr = vec![0i64; cap];
+    let mut counts = vec![0i64; p.keys as usize];
+    let mut vlog: Vec<i64> = Vec::new();
+
+    let probe = |index_keys: &[i64], k: i64, start: usize| -> usize {
+        let mut s = start;
+        while index_keys[s] != -1 && index_keys[s] != k {
+            s = (s + 1) & mask;
+        }
+        s
+    };
+    for k in 0..p.keys {
+        let start = (splitmix64(k as u64) as usize) & mask;
+        let s = probe(&index_keys, k, start);
+        index_keys[s] = k;
+        let v = (splitmix64(k as u64 ^ 0x71) % 1_000_000) as i64;
+        index_vptr[s] = vlog.len() as i64;
+        vlog.push(v);
+    }
+    let mut acc = 0i64;
+    for i in 0..p.ops as u64 {
+        let h = splitmix64(i ^ 0x60D);
+        let k = skewed_key(h, keys) as i64;
+        let start = (splitmix64(k as u64) as usize) & mask;
+        let mut s = start;
+        while index_keys[s] != k {
+            s = (s + 1) & mask;
+        }
+        counts[k as usize] += 1;
+        if h % 8 == 0 {
+            let v = (splitmix64(i ^ 0x90) % 1_000_000) as i64;
+            index_vptr[s] = vlog.len() as i64;
+            vlog.push(v);
+        }
+        acc = acc.wrapping_add(vlog[index_vptr[s] as usize]);
+    }
+    acc.wrapping_add(counts.iter().sum::<i64>())
+}

@@ -1,0 +1,111 @@
+//! Listing 1 of the paper: the two-data-structure example used throughout
+//! §3–§4 and measured in Figure 4 (two 3 GB arrays, `k = 50%`, so exactly
+//! one of them can be localized; a good policy picks the loop-written
+//! `ds2`).
+
+use cards_ir::{FuncId, FunctionBuilder, Module, Type, Value};
+
+/// Listing 1 parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Listing1Params {
+    /// Elements (i32) per array — ARRAY_SIZE in the paper.
+    pub elems: i64,
+    /// Iterations of the `ds2` re-write loop — NTIMES in the paper.
+    pub ntimes: i64,
+}
+
+impl Default for Listing1Params {
+    fn default() -> Self {
+        Listing1Params {
+            elems: 64 * 1024,
+            ntimes: 10,
+        }
+    }
+}
+
+impl Listing1Params {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        Listing1Params {
+            elems: 2048,
+            ntimes: 4,
+        }
+    }
+
+    /// Working-set bytes (two i32 arrays).
+    pub fn working_set_bytes(&self) -> u64 {
+        2 * self.elems as u64 * 4
+    }
+}
+
+/// Build Listing 1; `main` returns `ds1[0] + ds2[0] + ds2[last]` as a
+/// smoke checksum.
+pub fn build(p: Listing1Params) -> (Module, FuncId) {
+    let mut m = Module::new("listing1");
+    let g1 = m.add_global("ds1", Type::Ptr, None);
+    let g2 = m.add_global("ds2", Type::Ptr, None);
+
+    let alloc_f = {
+        let mut b = FunctionBuilder::new("alloc", vec![], Type::Ptr);
+        let sz = b.iconst(p.elems * 4);
+        let ptr = b.alloc(sz, Type::I32);
+        b.ret(ptr);
+        m.add_function(b.finish())
+    };
+    let set_f = {
+        let mut b = FunctionBuilder::new("Set", vec![Type::Ptr, Type::I64], Type::Void);
+        let (z, one) = (b.iconst(0), b.iconst(1));
+        let n = b.iconst(p.elems);
+        b.counted_loop(z, n, one, |b, j| {
+            let ptr = b.gep_index(b.arg(0), Type::I32, j);
+            b.store(ptr, b.arg(1), Type::I32);
+        });
+        b.ret_void();
+        m.add_function(b.finish())
+    };
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+        let p1 = b.call(alloc_f, vec![]);
+        b.store(Value::Global(g1), p1, Type::Ptr);
+        let p2 = b.call(alloc_f, vec![]);
+        b.store(Value::Global(g2), p2, Type::Ptr);
+        let d1 = b.load(Value::Global(g1), Type::Ptr);
+        b.call(set_f, vec![d1, b.iconst(0)]);
+        let d2 = b.load(Value::Global(g2), Type::Ptr);
+        b.call(set_f, vec![d2, b.iconst(1)]);
+        let (z, one) = (b.iconst(0), b.iconst(1));
+        b.counted_loop(z, b.iconst(p.ntimes), one, |b, k| {
+            let d2b = b.load(Value::Global(g2), Type::Ptr);
+            b.call(set_f, vec![d2b, k]);
+        });
+        // checksum: ds1[0] + ds2[0] + ds2[elems-1]
+        let d1r = b.load(Value::Global(g1), Type::Ptr);
+        let v1 = {
+            let ptr = b.gep_index(d1r, Type::I32, z);
+            b.load(ptr, Type::I32)
+        };
+        let d2r = b.load(Value::Global(g2), Type::Ptr);
+        let v2 = {
+            let ptr = b.gep_index(d2r, Type::I32, z);
+            b.load(ptr, Type::I32)
+        };
+        let v3 = {
+            let last = b.iconst(p.elems - 1);
+            let ptr = b.gep_index(d2r, Type::I32, last);
+            b.load(ptr, Type::I32)
+        };
+        let s0 = b.add(v1, v2);
+        let s1 = b.add(s0, v3);
+        b.ret(s1);
+        m.add_function(b.finish())
+    };
+    (m, main_f)
+}
+
+/// Native reference checksum.
+pub fn reference(p: Listing1Params) -> i64 {
+    // ds1 holds 0; ds2 holds the final loop value (ntimes-1, or 1 if the
+    // loop never ran).
+    let last = if p.ntimes > 0 { p.ntimes - 1 } else { 1 };
+    2 * last
+}

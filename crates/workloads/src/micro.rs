@@ -1,0 +1,383 @@
+//! Microbenchmarks for Figure 9: the `c[i] = a[i] + b[i]` sum expressed
+//! over four data-structure shapes.
+//!
+//! - **array**: plain arrays with induction-variable indexing — TrackFM's
+//!   best case; CaRDS should match (speedup ≈ 1×).
+//! - **vector**: C++-`vector`-like headers whose data pointer is loaded on
+//!   every access — defeats TrackFM's induction-variable-only analysis but
+//!   not CaRDS's per-DS runtime prefetchers.
+//! - **list**: a linked list in shuffled memory order — pure pointer
+//!   chasing; CaRDS uses the greedy-recursive prefetcher.
+//! - **map**: an open-addressing hash map probed by key — irregular; CaRDS
+//!   uses the jump-pointer prefetcher, which learns the repeat traversal.
+//!
+//! Every kernel runs `reps` passes so history-based prefetchers can train.
+
+use cards_ir::{CmpOp, FuncId, FunctionBuilder, Module, Type, Value};
+
+use crate::util::*;
+
+/// Microbenchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MicroParams {
+    /// Element count (forced to a power of two).
+    pub elems: i64,
+    /// Number of passes over the structure.
+    pub reps: i64,
+}
+
+impl Default for MicroParams {
+    fn default() -> Self {
+        MicroParams {
+            elems: 1 << 14,
+            reps: 3,
+        }
+    }
+}
+
+impl MicroParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        MicroParams { elems: 256, reps: 2 }
+    }
+
+    fn n(&self) -> i64 {
+        (self.elems.max(1) as u64).next_power_of_two() as i64
+    }
+
+    /// Approximate working-set bytes of the heaviest variant (map: 4 arrays
+    /// of 2n).
+    pub fn working_set_bytes(&self) -> u64 {
+        8 * (self.n() as u64) * 8
+    }
+}
+
+/// The four Figure-9 data-structure shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MicroKind {
+    /// Plain arrays.
+    Array,
+    /// Vector-like header + data indirection.
+    Vector,
+    /// Shuffled linked list.
+    List,
+    /// Open-addressing hash map.
+    Map,
+}
+
+impl MicroKind {
+    /// All variants in figure order.
+    pub fn all() -> [MicroKind; 4] {
+        [MicroKind::Array, MicroKind::Vector, MicroKind::List, MicroKind::Map]
+    }
+
+    /// Display label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MicroKind::Array => "array",
+            MicroKind::Vector => "vector",
+            MicroKind::List => "list",
+            MicroKind::Map => "map",
+        }
+    }
+}
+
+/// Build the chosen microbenchmark; `main` returns the checksum.
+pub fn build(kind: MicroKind, p: MicroParams) -> (Module, FuncId) {
+    match kind {
+        MicroKind::Array => build_array(p),
+        MicroKind::Vector => build_vector(p),
+        MicroKind::List => build_list(p),
+        MicroKind::Map => build_map(p),
+    }
+}
+
+/// Native reference for the chosen microbenchmark.
+pub fn reference(kind: MicroKind, p: MicroParams) -> i64 {
+    match kind {
+        MicroKind::Array | MicroKind::Vector => reference_sum(p),
+        MicroKind::List => reference_sum(p), // same values, different layout
+        MicroKind::Map => reference_sum(p),
+    }
+}
+
+fn a_val(i: u64) -> u64 {
+    splitmix64(i ^ 0xA) % 1_000_000
+}
+
+fn b_val(i: u64) -> u64 {
+    splitmix64(i ^ 0xB) % 1_000_000
+}
+
+fn reference_sum(p: MicroParams) -> i64 {
+    let n = p.n() as u64;
+    let mut acc = 0i64;
+    for _ in 0..p.reps {
+        for i in 0..n {
+            acc = acc.wrapping_add((a_val(i) + b_val(i)) as i64);
+        }
+    }
+    acc
+}
+
+fn emit_a(b: &mut FunctionBuilder, i: Value) -> Value {
+    let h = hash_salted(b, i, 0xA);
+    urem_const(b, h, 1_000_000)
+}
+
+fn emit_b(b: &mut FunctionBuilder, i: Value) -> Value {
+    let h = hash_salted(b, i, 0xB);
+    urem_const(b, h, 1_000_000)
+}
+
+fn build_array(p: MicroParams) -> (Module, FuncId) {
+    let n = p.n();
+    let mut m = Module::new("micro_array");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    let a = alloc_i64(&mut b, n);
+    let bb = alloc_i64(&mut b, n);
+    let c = alloc_i64(&mut b, n);
+    let (z, one) = (ic(0), ic(1));
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let va = emit_a(b, i);
+        set_i64(b, a, i, va);
+        let vb = emit_b(b, i);
+        set_i64(b, bb, i, vb);
+    });
+    let acc = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(p.reps), one, |b, _r| {
+        b.counted_loop(z, ic(n), one, |b, i| {
+            let va = get_i64(b, a, i);
+            let vb = get_i64(b, bb, i);
+            let s = b.add(va, vb);
+            set_i64(b, c, i, s);
+            acc.add(b, s);
+        });
+    });
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let f = m.add_function(b.finish());
+    (m, f)
+}
+
+fn build_vector(p: MicroParams) -> (Module, FuncId) {
+    let n = p.n();
+    let mut m = Module::new("micro_vector");
+    let vh = m.types.add_struct("VecHdr", vec![Type::I64, Type::Ptr]);
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    // three vector headers + three data arrays
+    let mk = |b: &mut FunctionBuilder| -> Value {
+        let hdr = b.alloc(ic(16), Type::Struct(vh));
+        let data = b.alloc(ic(n * 8), Type::I64);
+        let lp = b.gep_field(hdr, Type::Struct(vh), 0);
+        b.store(lp, ic(n), Type::I64);
+        let dp = b.gep_field(hdr, Type::Struct(vh), 1);
+        b.store(dp, data, Type::Ptr);
+        hdr
+    };
+    let ha = mk(&mut b);
+    let hb = mk(&mut b);
+    let hc = mk(&mut b);
+    let (z, one) = (ic(0), ic(1));
+    // init through the headers
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let dp = b.gep_field(ha, Type::Struct(vh), 1);
+        let da = b.load(dp, Type::Ptr);
+        let va = emit_a(b, i);
+        set_i64(b, da, i, va);
+        let dpb = b.gep_field(hb, Type::Struct(vh), 1);
+        let db = b.load(dpb, Type::Ptr);
+        let vb = emit_b(b, i);
+        set_i64(b, db, i, vb);
+    });
+    let acc = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(p.reps), one, |b, _r| {
+        b.counted_loop(z, ic(n), one, |b, i| {
+            // the data pointer is re-loaded per element (vector::operator[])
+            let dpa = b.gep_field(ha, Type::Struct(vh), 1);
+            let da = b.load(dpa, Type::Ptr);
+            let va = get_i64(b, da, i);
+            let dpb = b.gep_field(hb, Type::Struct(vh), 1);
+            let db = b.load(dpb, Type::Ptr);
+            let vb = get_i64(b, db, i);
+            let s = b.add(va, vb);
+            let dpc = b.gep_field(hc, Type::Struct(vh), 1);
+            let dc = b.load(dpc, Type::Ptr);
+            set_i64(b, dc, i, s);
+            acc.add(b, s);
+        });
+    });
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let f = m.add_function(b.finish());
+    (m, f)
+}
+
+fn build_list(p: MicroParams) -> (Module, FuncId) {
+    let n = p.n();
+    let mask = n - 1;
+    let mut m = Module::new("micro_list");
+    // Node { a, b, sum, next }
+    let node = m
+        .types
+        .add_struct("Node", vec![Type::I64, Type::I64, Type::I64, Type::Ptr]);
+    let nt = Type::Struct(node);
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    let (z, one) = (ic(0), ic(1));
+    // allocate nodes, keeping their pointers in a side table
+    let ptrs = b.alloc(ic(n * 8), Type::Ptr);
+    b.counted_loop(z, ic(n), one, |b, j| {
+        let nd = b.alloc(ic(32), nt);
+        set_ptr(b, ptrs, j, nd);
+    });
+    // link in shuffled order: logical element k lives at slot perm(k) =
+    // (k * 0x9E37 + 7) & mask; fill values by logical index.
+    b.counted_loop(z, ic(n), one, |b, k| {
+        let slot = perm(b, k, mask);
+        let nd = get_ptr(b, ptrs, slot);
+        let va = emit_a(b, k);
+        let pa = b.gep_field(nd, nt, 0);
+        b.store(pa, va, Type::I64);
+        let vb = emit_b(b, k);
+        let pb = b.gep_field(nd, nt, 1);
+        b.store(pb, vb, Type::I64);
+        // next = node at perm(k+1), or null at the end
+        let k1 = b.add(k, ic(1));
+        let is_last = b.cmp(CmpOp::Eq, k1, ic(n));
+        let slot1 = perm(b, k1, mask);
+        let nxt = get_ptr(b, ptrs, slot1);
+        let nxt = b.select(is_last, Value::Null, nxt, Type::Ptr);
+        let pn = b.gep_field(nd, nt, 3);
+        b.store(pn, nxt, Type::Ptr);
+    });
+    // head = node at perm(0)
+    let head = {
+        let s0 = perm(&mut b, z, mask);
+        get_ptr(&mut b, ptrs, s0)
+    };
+    let acc = AccI64::new(&mut b, 0);
+    let cur = b.alloca(Type::Ptr);
+    b.counted_loop(z, ic(p.reps), one, |b, _r| {
+        b.store(cur, head, Type::Ptr);
+        while_loop(
+            b,
+            |b| {
+                let c = b.load(cur, Type::Ptr);
+                b.cmp(CmpOp::Ne, c, Value::Null)
+            },
+            |b| {
+                let c = b.load(cur, Type::Ptr);
+                let pa = b.gep_field(c, nt, 0);
+                let va = b.load(pa, Type::I64);
+                let pb = b.gep_field(c, nt, 1);
+                let vb = b.load(pb, Type::I64);
+                let s = b.add(va, vb);
+                let ps = b.gep_field(c, nt, 2);
+                b.store(ps, s, Type::I64);
+                acc.add(b, s);
+                let pn = b.gep_field(c, nt, 3);
+                let nxt = b.load(pn, Type::Ptr);
+                b.store(cur, nxt, Type::Ptr);
+            },
+        );
+    });
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let f = m.add_function(b.finish());
+    (m, f)
+}
+
+fn build_map(p: MicroParams) -> (Module, FuncId) {
+    let n = p.n();
+    let cap = 2 * n;
+    let mask = cap - 1;
+    let mut m = Module::new("micro_map");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+    let keys = alloc_i64(&mut b, cap);
+    let va = alloc_i64(&mut b, cap);
+    let vb = alloc_i64(&mut b, cap);
+    let vc = alloc_i64(&mut b, cap);
+    let (z, one) = (ic(0), ic(1));
+    b.counted_loop(z, ic(cap), one, |b, s| set_i64(b, keys, s, ic(-1)));
+    // insert keys 0..n by linear probing
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let h = b.intrin(cards_ir::Intrinsic::Hash64, vec![i]);
+        let start = b.bin(cards_ir::BinOp::And, h, ic(mask), Type::I64);
+        let slot = b.alloca(Type::I64);
+        b.store(slot, start, Type::I64);
+        while_loop(
+            b,
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let k = get_i64(b, keys, s);
+                b.cmp(CmpOp::Ne, k, ic(-1))
+            },
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let s1 = b.add(s, ic(1));
+                let s2 = b.bin(cards_ir::BinOp::And, s1, ic(mask), Type::I64);
+                b.store(slot, s2, Type::I64);
+            },
+        );
+        let s = b.load(slot, Type::I64);
+        set_i64(b, keys, s, i);
+        let a = emit_a(b, i);
+        set_i64(b, va, s, a);
+        let bv = emit_b(b, i);
+        set_i64(b, vb, s, bv);
+    });
+    // reps lookup passes: c[find(i)] = a + b
+    let acc = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(p.reps), one, |b, _r| {
+        b.counted_loop(z, ic(n), one, |b, i| {
+            let h = b.intrin(cards_ir::Intrinsic::Hash64, vec![i]);
+            let start = b.bin(cards_ir::BinOp::And, h, ic(mask), Type::I64);
+            let slot = b.alloca(Type::I64);
+            b.store(slot, start, Type::I64);
+            while_loop(
+                b,
+                |b| {
+                    let s = b.load(slot, Type::I64);
+                    let k = get_i64(b, keys, s);
+                    b.cmp(CmpOp::Ne, k, i)
+                },
+                |b| {
+                    let s = b.load(slot, Type::I64);
+                    let s1 = b.add(s, ic(1));
+                    let s2 = b.bin(cards_ir::BinOp::And, s1, ic(mask), Type::I64);
+                    b.store(slot, s2, Type::I64);
+                },
+            );
+            let s = b.load(slot, Type::I64);
+            let a = get_i64(b, va, s);
+            let bv = get_i64(b, vb, s);
+            let sum = b.add(a, bv);
+            set_i64(b, vc, s, sum);
+            acc.add(b, sum);
+        });
+    });
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let f = m.add_function(b.finish());
+    (m, f)
+}
+
+/// `perm(k) = (k * 0x9E37 + 7) & mask` — a bijection on [0, mask] when
+/// `mask+1` is a power of two (odd multiplier).
+fn perm(b: &mut FunctionBuilder, k: Value, mask: i64) -> Value {
+    let mclr = b.mul(k, ic(0x9E37));
+    let off = b.add(mclr, ic(7));
+    b.bin(cards_ir::BinOp::And, off, ic(mask), Type::I64)
+}
+
+/// `arr[idx] : ptr` load.
+fn get_ptr(b: &mut FunctionBuilder, arr: Value, idx: Value) -> Value {
+    let p = b.gep_index(arr, Type::Ptr, idx);
+    b.load(p, Type::Ptr)
+}
+
+/// `arr[idx] = v : ptr` store.
+fn set_ptr(b: &mut FunctionBuilder, arr: Value, idx: Value, v: Value) {
+    let p = b.gep_index(arr, Type::Ptr, idx);
+    b.store(p, v, Type::Ptr);
+}

@@ -1,0 +1,165 @@
+//! Extension workload (not in the paper's evaluation; listed in DESIGN.md
+//! as an optional extension): PageRank over the same GAP-style synthetic
+//! digraph as [`crate::bfs`].
+//!
+//! PageRank stresses a different mix than BFS: two dense rank vectors that
+//! ping-pong each iteration (hot, pinnable), a read-only CSR (streamed,
+//! prefetchable), and irregular scatter writes through edge targets — a
+//! useful additional data point for the remoting policies.
+//!
+//! Fixed-point arithmetic (Q32.32-ish scaled i64) keeps the checksum exact
+//! between the IR kernel and the native reference.
+
+use cards_ir::{FuncId, FunctionBuilder, Module, Type};
+
+use crate::util::*;
+
+/// PageRank parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagerankParams {
+    /// Node count.
+    pub nodes: i64,
+    /// Out-degree of every node.
+    pub degree: i64,
+    /// Power iterations.
+    pub iters: i64,
+}
+
+impl Default for PagerankParams {
+    fn default() -> Self {
+        PagerankParams {
+            nodes: 10_000,
+            degree: 8,
+            iters: 5,
+        }
+    }
+}
+
+impl PagerankParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        PagerankParams {
+            nodes: 400,
+            degree: 5,
+            iters: 3,
+        }
+    }
+
+    /// Edge count.
+    pub fn edges(&self) -> i64 {
+        self.nodes * self.degree
+    }
+
+    /// Approximate working-set bytes.
+    pub fn working_set_bytes(&self) -> u64 {
+        (4 * self.nodes as u64 + self.edges() as u64) * 8
+    }
+}
+
+/// Rank scale: ranks are stored as `rank * SCALE` in i64.
+const SCALE: i64 = 1 << 20;
+/// Damping factor ~0.85 in the same fixed-point scale.
+const DAMP_NUM: i64 = 85;
+const DAMP_DEN: i64 = 100;
+
+/// Build the PageRank program; `main` returns `sum(rank)` (fixed point).
+pub fn build(p: PagerankParams) -> (Module, FuncId) {
+    let n = p.nodes;
+    let d = p.degree;
+    let m_edges = p.edges();
+    let mut m = Module::new("pagerank");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+
+    let offsets = alloc_i64(&mut b, n + 1);
+    let targets = alloc_i64(&mut b, m_edges);
+    let rank = alloc_i64(&mut b, n);
+    let next = alloc_i64(&mut b, n);
+
+    let (z, one) = (ic(0), ic(1));
+
+    // CSR (constant out-degree) + initial ranks.
+    b.counted_loop(z, ic(n + 1), one, |b, i| {
+        let off = b.mul(i, ic(d));
+        set_i64(b, offsets, i, off);
+    });
+    b.counted_loop(z, ic(m_edges), one, |b, e| {
+        let h = hash_salted(b, e, 0x9E);
+        let v = urem_const(b, h, n);
+        set_i64(b, targets, e, v);
+    });
+    let init = SCALE / n.max(1);
+    b.counted_loop(z, ic(n), one, |b, i| {
+        set_i64(b, rank, i, ic(init));
+    });
+
+    // Power iterations: next = base + damp * scatter(rank/deg).
+    let base = (SCALE / n.max(1)) * (DAMP_DEN - DAMP_NUM) / DAMP_DEN;
+    // rank/next pointers swap via stack slots.
+    let cur_slot = b.alloca(Type::Ptr);
+    let nxt_slot = b.alloca(Type::Ptr);
+    b.store(cur_slot, rank, Type::Ptr);
+    b.store(nxt_slot, next, Type::Ptr);
+    b.counted_loop(z, ic(p.iters), one, |b, _it| {
+        let cur = b.load(cur_slot, Type::Ptr);
+        let nxt = b.load(nxt_slot, Type::Ptr);
+        b.counted_loop(z, ic(n), one, |b, i| {
+            set_i64(b, nxt, i, ic(base));
+        });
+        b.counted_loop(z, ic(n), one, |b, u| {
+            let r = get_i64(b, cur, u);
+            // share = damp * r / d
+            let num = b.mul(r, ic(DAMP_NUM));
+            let den = b.bin(cards_ir::BinOp::SDiv, num, ic(DAMP_DEN * d), Type::I64);
+            let start = b.mul(u, ic(d));
+            let stop = b.add(start, ic(d));
+            b.counted_loop(start, stop, one, |b, e| {
+                let v = get_i64(b, targets, e);
+                add_i64_at(b, nxt, v, den);
+            });
+        });
+        // swap
+        let a = b.load(cur_slot, Type::Ptr);
+        let c = b.load(nxt_slot, Type::Ptr);
+        b.store(cur_slot, c, Type::Ptr);
+        b.store(nxt_slot, a, Type::Ptr);
+    });
+
+    let acc = AccI64::new(&mut b, 0);
+    {
+        let cur = b.load(cur_slot, Type::Ptr);
+        b.counted_loop(z, ic(n), one, |b, i| {
+            let v = get_i64(b, cur, i);
+            acc.add(b, v);
+        });
+    }
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let f = m.add_function(b.finish());
+    (m, f)
+}
+
+/// Native reference with identical fixed-point arithmetic.
+pub fn reference(p: PagerankParams) -> i64 {
+    let n = p.nodes as usize;
+    let d = p.degree as usize;
+    let targets: Vec<usize> = (0..n * d)
+        .map(|e| (splitmix64(e as u64 ^ 0x9E) % n as u64) as usize)
+        .collect();
+    let init = SCALE / p.nodes.max(1);
+    let mut rank = vec![init; n];
+    let mut next = vec![0i64; n];
+    let base = (SCALE / p.nodes.max(1)) * (DAMP_DEN - DAMP_NUM) / DAMP_DEN;
+    for _ in 0..p.iters {
+        for x in next.iter_mut() {
+            *x = base;
+        }
+        for (u, &r) in rank.iter().enumerate() {
+            let den = (r * DAMP_NUM) / (DAMP_DEN * p.degree);
+            for e in u * d..(u + 1) * d {
+                next[targets[e]] += den;
+            }
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank.iter().sum()
+}

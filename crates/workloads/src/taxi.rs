@@ -1,0 +1,398 @@
+//! The `analytics` workload: NYC-taxi-style trip analytics.
+//!
+//! The paper analyzes the 2014 NYC taxi-trip Kaggle dataset (16 GB, 31 GB
+//! working set, 22 disjoint data structures). We cannot ship that dataset,
+//! so trips are generated *inside the kernel* from a seeded hash — the
+//! columnar layout, the query mix (group-bys, filters, histograms, a
+//! two-table-ish OD sketch) and therefore the access patterns match; sizes
+//! scale with [`TaxiParams::trips`]. The native reference below reproduces
+//! the exact formulas for correctness checking.
+
+use cards_ir::{CmpOp, FunctionBuilder, FuncId, Module, Type};
+
+use crate::util::*;
+
+/// Analytics workload parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaxiParams {
+    /// Number of trips (paper: ~170M; default scaled down).
+    pub trips: i64,
+}
+
+impl Default for TaxiParams {
+    fn default() -> Self {
+        TaxiParams { trips: 50_000 }
+    }
+}
+
+impl TaxiParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        TaxiParams { trips: 2_000 }
+    }
+
+    /// Approximate working-set bytes (columns + filters + aggregates).
+    pub fn working_set_bytes(&self) -> u64 {
+        // 8 column arrays + 2 filtered arrays of n × 8B, plus ~16 KiB aggs.
+        (10 * self.trips as u64) * 8 + 16 * 1024
+    }
+}
+
+const NZONES: i64 = 256;
+const NHOURS: i64 = 24;
+const NHIST: i64 = 64;
+const NPASS: i64 = 8;
+const NOD: i64 = 1024;
+
+/// Build the analytics program. `main` returns the query checksum.
+pub fn build(p: TaxiParams) -> (Module, FuncId) {
+    let n = p.trips;
+    let mut m = Module::new("analytics");
+    let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+
+    // --- columns (the "dataset") ---
+    let pickup_hour = alloc_i64(&mut b, n);
+    let dropoff_hour = alloc_i64(&mut b, n);
+    let pickup_zone = alloc_i64(&mut b, n);
+    let dropoff_zone = alloc_i64(&mut b, n);
+    let distance = alloc_f64(&mut b, n);
+    let fare = alloc_f64(&mut b, n);
+    let tip = alloc_f64(&mut b, n);
+    let passengers = alloc_i64(&mut b, n);
+
+    // --- aggregates ---
+    let hour_count = alloc_i64(&mut b, NHOURS);
+    let hour_fare = alloc_f64(&mut b, NHOURS);
+    let hour_avg = alloc_f64(&mut b, NHOURS);
+    let zone_count = alloc_i64(&mut b, NZONES);
+    let zone_revenue = alloc_f64(&mut b, NZONES);
+    let dist_hist = alloc_i64(&mut b, NHIST);
+    let pass_count = alloc_i64(&mut b, NPASS);
+    let od_sketch = alloc_i64(&mut b, NOD);
+    let long_idx = alloc_i64(&mut b, n);
+    let long_fare = alloc_f64(&mut b, n);
+
+    let (z, one) = (ic(0), ic(1));
+
+    // zero aggregates
+    for (arr, len) in [
+        (hour_count, NHOURS),
+        (zone_count, NZONES),
+        (dist_hist, NHIST),
+        (pass_count, NPASS),
+        (od_sketch, NOD),
+    ] {
+        b.counted_loop(z, ic(len), one, |b, i| set_i64(b, arr, i, ic(0)));
+    }
+    for (arr, len) in [(hour_fare, NHOURS), (zone_revenue, NZONES), (hour_avg, NHOURS)] {
+        b.counted_loop(z, ic(len), one, |b, i| set_f64(b, arr, i, fc(0.0)));
+    }
+
+    // --- generation: fill columns from seeded hashes ---
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let h0 = hash_salted(b, i, 1);
+        let h1 = hash_salted(b, i, 2);
+        let h2 = hash_salted(b, i, 3);
+        let h3 = hash_salted(b, i, 4);
+        let h4 = hash_salted(b, i, 5);
+        let h5 = hash_salted(b, i, 6);
+        let ph = urem_const(b, h0, NHOURS);
+        set_i64(b, pickup_hour, i, ph);
+        let dh = {
+            let sh = b.bin(cards_ir::BinOp::LShr, h0, ic(8), Type::I64);
+            urem_const(b, sh, NHOURS)
+        };
+        set_i64(b, dropoff_hour, i, dh);
+        let pz = urem_const(b, h1, NZONES);
+        set_i64(b, pickup_zone, i, pz);
+        let dz = {
+            let sh = b.bin(cards_ir::BinOp::LShr, h1, ic(8), Type::I64);
+            urem_const(b, sh, NZONES)
+        };
+        set_i64(b, dropoff_zone, i, dz);
+        // distance = (h2 % 3000) / 100.0   (0..30 miles)
+        let dmi = urem_const(b, h2, 3000);
+        let dmf = to_f64(b, dmi);
+        let dist = b.bin(cards_ir::BinOp::FDiv, dmf, fc(100.0), Type::F64);
+        set_f64(b, distance, i, dist);
+        // fare = 2.5 + dist * 2.5 + (h3 % 500)/100
+        let base = b.fmul(dist, fc(2.5));
+        let s_i = urem_const(b, h3, 500);
+        let s_f = to_f64(b, s_i);
+        let surch = b.bin(cards_ir::BinOp::FDiv, s_f, fc(100.0), Type::F64);
+        let f0 = b.fadd(fc(2.5), base);
+        let f1 = b.fadd(f0, surch);
+        set_f64(b, fare, i, f1);
+        // tip = (h4 % 200)/100
+        let t_i = urem_const(b, h4, 200);
+        let t_f = to_f64(b, t_i);
+        let tipv = b.bin(cards_ir::BinOp::FDiv, t_f, fc(100.0), Type::F64);
+        set_f64(b, tip, i, tipv);
+        // passengers = 1 + h5 % 6
+        let p_i = urem_const(b, h5, 6);
+        let pv = b.add(p_i, ic(1));
+        set_i64(b, passengers, i, pv);
+    });
+
+    // --- Q1: fare by pickup hour ---
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let ph = get_i64(b, pickup_hour, i);
+        add_i64_at(b, hour_count, ph, ic(1));
+        let f = get_f64(b, fare, i);
+        add_f64_at(b, hour_fare, ph, f);
+    });
+
+    // --- Q2: revenue by pickup zone ---
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let pz = get_i64(b, pickup_zone, i);
+        add_i64_at(b, zone_count, pz, ic(1));
+        let f = get_f64(b, fare, i);
+        let t = get_f64(b, tip, i);
+        let rev = b.fadd(f, t);
+        add_f64_at(b, zone_revenue, pz, rev);
+    });
+
+    // --- Q3: filter long trips (dist > 10.0) into side arrays ---
+    let long_cnt = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let d = get_f64(b, distance, i);
+        let isl = b.cmp(CmpOp::FGt, d, fc(10.0));
+        if_then(b, isl, |b| {
+            let c = long_cnt.get(b);
+            set_i64(b, long_idx, c, i);
+            let f = get_f64(b, fare, i);
+            set_f64(b, long_fare, c, f);
+            long_cnt.add(b, ic(1));
+        });
+    });
+
+    // --- Q4: distance histogram + passenger counts ---
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let d = get_f64(b, distance, i);
+        let d2 = b.fmul(d, fc(2.0));
+        let bin = b.cast(cards_ir::CastOp::FpToSi, d2, Type::I64);
+        let bin = min_const(b, bin, NHIST - 1);
+        add_i64_at(b, dist_hist, bin, ic(1));
+        let p = get_i64(b, passengers, i);
+        add_i64_at(b, pass_count, p, ic(1));
+    });
+
+    // --- Q5: origin/destination sketch ---
+    b.counted_loop(z, ic(n), one, |b, i| {
+        let pz = get_i64(b, pickup_zone, i);
+        let dz = get_i64(b, dropoff_zone, i);
+        let key = {
+            let s = b.mul(pz, ic(NZONES));
+            b.add(s, dz)
+        };
+        let h = b.intrin(cards_ir::Intrinsic::Hash64, vec![key]);
+        let slot = urem_const(b, h, NOD);
+        add_i64_at(b, od_sketch, slot, ic(1));
+    });
+
+    // --- Q6: hourly average fare ---
+    b.counted_loop(z, ic(NHOURS), one, |b, h| {
+        let cnt = get_i64(b, hour_count, h);
+        let cnt1 = {
+            let isz = b.cmp(CmpOp::Eq, cnt, ic(0));
+            b.select(isz, ic(1), cnt, Type::I64)
+        };
+        let tot = get_f64(b, hour_fare, h);
+        let cf = to_f64(b, cnt1);
+        let avg = b.bin(cards_ir::BinOp::FDiv, tot, cf, Type::F64);
+        set_f64(b, hour_avg, h, avg);
+    });
+
+    // --- Q7: long-trip revenue (second pass over the filtered arrays) ---
+    let long_rev = AccI64::new(&mut b, 0);
+    {
+        let cnt = long_cnt.get(&mut b);
+        b.counted_loop(z, cnt, one, |b, j| {
+            let f = get_f64(b, long_fare, j);
+            let scaled = b.fmul(f, fc(1000.0));
+            let iv = b.cast(cards_ir::CastOp::FpToSi, scaled, Type::I64);
+            long_rev.add(b, iv);
+        });
+    }
+
+    // --- Q8: revenue per trip by zone (normalize in place) ---
+    b.counted_loop(z, ic(NZONES), one, |b, zz| {
+        let cnt = get_i64(b, zone_count, zz);
+        let cnt1 = {
+            let isz = b.cmp(CmpOp::Eq, cnt, ic(0));
+            b.select(isz, ic(1), cnt, Type::I64)
+        };
+        let rev = get_f64(b, zone_revenue, zz);
+        let cf = to_f64(b, cnt1);
+        let per = b.bin(cards_ir::BinOp::FDiv, rev, cf, Type::F64);
+        set_f64(b, zone_revenue, zz, per);
+    });
+
+    // --- Q9: cumulative distance histogram (in-place prefix sum) ---
+    b.counted_loop(one, ic(NHIST), one, |b, h| {
+        let hm1 = b.sub(h, ic(1));
+        let prev = get_i64(b, dist_hist, hm1);
+        add_i64_at(b, dist_hist, h, prev);
+    });
+
+    // --- Q10: busiest hour (argmax over counts, tracking its avg fare) ---
+    let busiest = AccI64::new(&mut b, -1);
+    let best_cnt = AccI64::new(&mut b, -1);
+    b.counted_loop(z, ic(NHOURS), one, |b, h| {
+        let cnt = get_i64(b, hour_count, h);
+        let cur = best_cnt.get(b);
+        let better = b.cmp(CmpOp::Sgt, cnt, cur);
+        if_then(b, better, |b| {
+            b.store(best_cnt.0, cnt, Type::I64);
+            b.store(busiest.0, h, Type::I64);
+            let _touch = get_f64(b, hour_avg, h);
+            let f = get_f64(b, hour_fare, h);
+            let scaled = b.fmul(f, fc(1.0));
+            let hslot = h; // keep the read live
+            set_f64(b, hour_fare, hslot, scaled);
+        });
+    });
+
+    // --- Q11: OD heavy hitters: max, then count slots above half-max ---
+    let od_max = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(NOD), one, |b, s| {
+        let v = get_i64(b, od_sketch, s);
+        let cur = od_max.get(b);
+        let mx = b.intrin(cards_ir::Intrinsic::MaxI64, vec![v, cur]);
+        b.store(od_max.0, mx, Type::I64);
+    });
+    let od_heavy = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(NOD), one, |b, s| {
+        let v = get_i64(b, od_sketch, s);
+        let half = {
+            let mx = od_max.get(b);
+            b.bin(cards_ir::BinOp::AShr, mx, ic(1), Type::I64)
+        };
+        let hot = b.cmp(CmpOp::Sgt, v, half);
+        if_then(b, hot, |b| od_heavy.add(b, ic(1)));
+    });
+
+    // --- Q12: average passengers (weighted read of pass_count) ---
+    let pass_tot = AccI64::new(&mut b, 0);
+    b.counted_loop(z, ic(NPASS), one, |b, s| {
+        let v = get_i64(b, pass_count, s);
+        let w = b.mul(v, s);
+        pass_tot.add(b, w);
+    });
+
+    // --- checksum ---
+    let acc = AccI64::new(&mut b, 0);
+    checksum_i64(&mut b, &acc, hour_count, NHOURS);
+    checksum_f64(&mut b, &acc, hour_avg, NHOURS);
+    checksum_i64(&mut b, &acc, zone_count, NZONES);
+    checksum_f64(&mut b, &acc, zone_revenue, NZONES);
+    checksum_i64(&mut b, &acc, dist_hist, NHIST);
+    checksum_i64(&mut b, &acc, pass_count, NPASS);
+    checksum_i64(&mut b, &acc, od_sketch, NOD);
+    {
+        let c = long_cnt.get(&mut b);
+        acc.add(&mut b, c);
+        let r = long_rev.get(&mut b);
+        acc.add(&mut b, r);
+        let bh = busiest.get(&mut b);
+        acc.add(&mut b, bh);
+        let oh = od_heavy.get(&mut b);
+        acc.add(&mut b, oh);
+        let pt = pass_tot.get(&mut b);
+        acc.add(&mut b, pt);
+    }
+    let out = acc.get(&mut b);
+    b.ret(out);
+    let main_f = m.add_function(b.finish());
+    (m, main_f)
+}
+
+/// Native Rust reference computing the identical checksum.
+pub fn reference(p: TaxiParams) -> i64 {
+    let n = p.trips as u64;
+    let mut hour_count = [0i64; NHOURS as usize];
+    let mut hour_fare = [0f64; NHOURS as usize];
+    let mut zone_count = [0i64; NZONES as usize];
+    let mut zone_revenue = [0f64; NZONES as usize];
+    let mut dist_hist = [0i64; NHIST as usize];
+    let mut pass_count = [0i64; NPASS as usize];
+    let mut od = [0i64; NOD as usize];
+    let mut long_fares: Vec<f64> = Vec::new();
+
+    let col = |i: u64, salt: u64| splitmix64(i ^ salt);
+    for i in 0..n {
+        let h0 = col(i, 1);
+        let h1 = col(i, 2);
+        let h2 = col(i, 3);
+        let h3 = col(i, 4);
+        let h4 = col(i, 5);
+        let _h4 = h4;
+        let ph = (h0 % NHOURS as u64) as usize;
+        let pz = (h1 % NZONES as u64) as usize;
+        let dz = ((h1 >> 8) % NZONES as u64) as usize;
+        let dist = (h2 % 3000) as f64 / 100.0;
+        let fare = 2.5 + dist * 2.5 + (h3 % 500) as f64 / 100.0;
+        let tip = (h4 % 200) as f64 / 100.0;
+        let pass = 1 + (col(i, 6) % 6) as usize;
+        hour_count[ph] += 1;
+        hour_fare[ph] += fare;
+        zone_count[pz] += 1;
+        zone_revenue[pz] += fare + tip;
+        if dist > 10.0 {
+            long_fares.push(fare);
+        }
+        let bin = ((dist * 2.0) as i64).min(NHIST - 1) as usize;
+        dist_hist[bin] += 1;
+        pass_count[pass] += 1;
+        let key = (pz * NZONES as usize + dz) as u64;
+        od[(splitmix64(key) % NOD as u64) as usize] += 1;
+    }
+    let mut hour_avg = [0f64; NHOURS as usize];
+    for h in 0..NHOURS as usize {
+        let c = if hour_count[h] == 0 { 1 } else { hour_count[h] };
+        hour_avg[h] = hour_fare[h] / c as f64;
+    }
+    let long_rev: i64 = long_fares.iter().map(|f| (f * 1000.0) as i64).sum();
+    // Q8: normalize zone revenue
+    for zz in 0..NZONES as usize {
+        let c = if zone_count[zz] == 0 { 1 } else { zone_count[zz] };
+        zone_revenue[zz] /= c as f64;
+    }
+    // Q9: cumulative histogram
+    for h in 1..NHIST as usize {
+        dist_hist[h] += dist_hist[h - 1];
+    }
+    // Q10: busiest hour
+    let mut busiest = -1i64;
+    let mut best_cnt = -1i64;
+    for h in 0..NHOURS as usize {
+        if hour_count[h] > best_cnt {
+            best_cnt = hour_count[h];
+            busiest = h as i64;
+        }
+    }
+    // Q11: OD heavy hitters
+    let od_max = od.iter().copied().max().unwrap_or(0);
+    let od_heavy = od.iter().filter(|&&v| v > od_max >> 1).count() as i64;
+    // Q12: weighted passenger total
+    let pass_tot: i64 = pass_count
+        .iter()
+        .enumerate()
+        .map(|(s, &v)| v * s as i64)
+        .sum();
+
+    let mut acc: i64 = 0;
+    acc += hour_count.iter().sum::<i64>();
+    acc += hour_avg.iter().map(|v| (v * 1000.0) as i64).sum::<i64>();
+    acc += zone_count.iter().sum::<i64>();
+    acc += zone_revenue.iter().map(|v| (v * 1000.0) as i64).sum::<i64>();
+    acc += dist_hist.iter().sum::<i64>();
+    acc += pass_count.iter().sum::<i64>();
+    acc += od.iter().sum::<i64>();
+    acc += long_fares.len() as i64;
+    acc += long_rev;
+    acc += busiest;
+    acc += od_heavy;
+    acc += pass_tot;
+    acc
+}

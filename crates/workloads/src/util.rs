@@ -1,0 +1,190 @@
+//! Builder helpers shared by the workload kernels, plus the reference
+//! implementation of the `hash64` intrinsic so native Rust references can
+//! generate byte-identical synthetic data.
+
+use cards_ir::{BinOp, CmpOp, FunctionBuilder, Intrinsic, Type, Value};
+
+/// SplitMix64 finalizer — must match `cards_vm::splitmix64` exactly.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Allocate an `n`-element i64 heap array.
+pub fn alloc_i64(b: &mut FunctionBuilder, n: i64) -> Value {
+    b.alloc(b.iconst(n * 8), Type::I64)
+}
+
+/// Allocate an `n`-element f64 heap array.
+pub fn alloc_f64(b: &mut FunctionBuilder, n: i64) -> Value {
+    b.alloc(b.iconst(n * 8), Type::F64)
+}
+
+/// `arr[idx] : i64` load.
+pub fn get_i64(b: &mut FunctionBuilder, arr: Value, idx: Value) -> Value {
+    let p = b.gep_index(arr, Type::I64, idx);
+    b.load(p, Type::I64)
+}
+
+/// `arr[idx] = v : i64` store.
+pub fn set_i64(b: &mut FunctionBuilder, arr: Value, idx: Value, v: Value) {
+    let p = b.gep_index(arr, Type::I64, idx);
+    b.store(p, v, Type::I64);
+}
+
+/// `arr[idx] : f64` load.
+pub fn get_f64(b: &mut FunctionBuilder, arr: Value, idx: Value) -> Value {
+    let p = b.gep_index(arr, Type::F64, idx);
+    b.load(p, Type::F64)
+}
+
+/// `arr[idx] = v : f64` store.
+pub fn set_f64(b: &mut FunctionBuilder, arr: Value, idx: Value, v: Value) {
+    let p = b.gep_index(arr, Type::F64, idx);
+    b.store(p, v, Type::F64);
+}
+
+/// `arr[idx] += v` for i64 arrays.
+pub fn add_i64_at(b: &mut FunctionBuilder, arr: Value, idx: Value, v: Value) {
+    let p = b.gep_index(arr, Type::I64, idx);
+    let cur = b.load(p, Type::I64);
+    let nxt = b.add(cur, v);
+    b.store(p, nxt, Type::I64);
+}
+
+/// `arr[idx] += v` for f64 arrays.
+pub fn add_f64_at(b: &mut FunctionBuilder, arr: Value, idx: Value, v: Value) {
+    let p = b.gep_index(arr, Type::F64, idx);
+    let cur = b.load(p, Type::F64);
+    let nxt = b.fadd(cur, v);
+    b.store(p, nxt, Type::F64);
+}
+
+/// `hash64(x ^ salt)` — the synthetic data generator primitive.
+pub fn hash_salted(b: &mut FunctionBuilder, x: Value, salt: i64) -> Value {
+    let s = b.bin(BinOp::Xor, x, b.iconst(salt), Type::I64);
+    b.intrin(Intrinsic::Hash64, vec![s])
+}
+
+/// Unsigned remainder by a positive constant.
+pub fn urem_const(b: &mut FunctionBuilder, x: Value, m: i64) -> Value {
+    b.bin(BinOp::URem, x, b.iconst(m), Type::I64)
+}
+
+/// Convert i64 -> f64.
+pub fn to_f64(b: &mut FunctionBuilder, x: Value) -> Value {
+    b.cast(cards_ir::CastOp::SiToFp, x, Type::F64)
+}
+
+/// Accumulator memory cell (stack slot) holding an i64, with update ops.
+pub struct AccI64(pub Value);
+
+impl AccI64 {
+    /// New accumulator initialized to `init`.
+    pub fn new(b: &mut FunctionBuilder, init: i64) -> Self {
+        let slot = b.alloca(Type::I64);
+        b.store(slot, b.iconst(init), Type::I64);
+        AccI64(slot)
+    }
+
+    /// `acc += v`.
+    pub fn add(&self, b: &mut FunctionBuilder, v: Value) {
+        let cur = b.load(self.0, Type::I64);
+        let nxt = b.add(cur, v);
+        b.store(self.0, nxt, Type::I64);
+    }
+
+    /// Current value.
+    pub fn get(&self, b: &mut FunctionBuilder) -> Value {
+        b.load(self.0, Type::I64)
+    }
+}
+
+/// Emit `if cond { then() }` with fall-through join; leaves the builder in
+/// the join block.
+pub fn if_then(
+    b: &mut FunctionBuilder,
+    cond: Value,
+    then_blk: impl FnOnce(&mut FunctionBuilder),
+) {
+    let t = b.new_block();
+    let j = b.new_block();
+    b.cond_br(cond, t, j);
+    b.switch_to(t);
+    then_blk(b);
+    b.br(j);
+    b.switch_to(j);
+}
+
+/// `min(x, const)` via compare+select.
+pub fn min_const(b: &mut FunctionBuilder, x: Value, c: i64) -> Value {
+    let cc = b.iconst(c);
+    let lt = b.cmp(CmpOp::Slt, x, cc);
+    b.select(lt, x, cc, Type::I64)
+}
+
+/// Fold an i64 array into a checksum accumulator: `acc += sum(arr[0..n])`.
+pub fn checksum_i64(b: &mut FunctionBuilder, acc: &AccI64, arr: Value, n: i64) {
+    let (z, one) = (b.iconst(0), b.iconst(1));
+    b.counted_loop(z, b.iconst(n), one, |b, i| {
+        let v = get_i64(b, arr, i);
+        acc.add(b, v);
+    });
+}
+
+/// Fold an f64 array into the checksum: `acc += (i64)(sum*1000) per elem`.
+pub fn checksum_f64(b: &mut FunctionBuilder, acc: &AccI64, arr: Value, n: i64) {
+    let (z, one) = (b.iconst(0), b.iconst(1));
+    b.counted_loop(z, b.iconst(n), one, |b, i| {
+        let v = get_f64(b, arr, i);
+        let scaled = b.fmul(v, b.fconst(1000.0));
+        let iv = b.cast(cards_ir::CastOp::FpToSi, scaled, Type::I64);
+        acc.add(b, iv);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // fixed values so the VM intrinsic and this stay in lock-step
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(1), 0x910a2dec89025cc1);
+        assert_ne!(splitmix64(2), splitmix64(3));
+    }
+}
+
+/// Integer constant value (free function so it can appear as an argument
+/// alongside `&mut FunctionBuilder` without borrow conflicts).
+pub fn ic(v: i64) -> Value {
+    Value::ConstInt(v)
+}
+
+/// Float constant value.
+pub fn fc(v: f64) -> Value {
+    Value::float(v)
+}
+
+/// Emit `while cond() { body() }` using stack slots for loop state (no
+/// phis needed). Leaves the builder in the exit block.
+pub fn while_loop(
+    b: &mut FunctionBuilder,
+    cond: impl FnOnce(&mut FunctionBuilder) -> Value,
+    body: impl FnOnce(&mut FunctionBuilder),
+) {
+    let head = b.new_block();
+    let body_b = b.new_block();
+    let exit = b.new_block();
+    b.br(head);
+    b.switch_to(head);
+    let c = cond(b);
+    b.cond_br(c, body_b, exit);
+    b.switch_to(body_b);
+    body(b);
+    b.br(head);
+    b.switch_to(exit);
+}

@@ -1,0 +1,55 @@
+//! Taxi analytics across systems (the Figure 8 scenario).
+//!
+//! Runs the analytics workload under local-only, TrackFM (conservative),
+//! CaRDS, and the profile-guided Mira model while varying how much local
+//! memory is available.
+//!
+//! Run with: `cargo run --release --example analytics_pipeline`
+
+use cards_core::prelude::*;
+use cards_core::workloads::taxi::{build, reference, TaxiParams};
+
+fn main() {
+    let params = TaxiParams { trips: 20_000 };
+    let ws = params.working_set_bytes();
+    println!(
+        "analytics: {} trips, working set {} KiB",
+        params.trips,
+        ws / 1024
+    );
+    let expect = reference(params);
+    let build_fn = move || build(params);
+
+    println!("\ncycles by system and local-memory fraction:");
+    print!("{:<12}", "system");
+    let fracs = [0.25f64, 0.5, 0.75, 1.0];
+    for f in fracs {
+        print!(" {:>16}", format!("{:.0}% local", f * 100.0));
+    }
+    println!();
+
+    let systems = [
+        ("local-only", System::LocalOnly),
+        ("trackfm", System::TrackFm),
+        (
+            "cards",
+            System::Cards {
+                policy: RemotingPolicy::MaxReach,
+                k: 75,
+            },
+        ),
+        ("mira", System::Mira),
+    ];
+    for (label, sys) in systems {
+        print!("{:<12}", label);
+        for f in fracs {
+            let budget = MemoryBudget::fraction_of(ws, f, 0.05);
+            let r = run_system(&build_fn, sys, budget).expect("run");
+            assert_eq!(r.checksum, expect, "{label} wrong result");
+            print!(" {:>16}", r.cycles);
+        }
+        println!();
+    }
+    println!("\nExpected shape (paper Fig. 8): local-only < mira <= cards < trackfm");
+    println!("with CaRDS within ~25% of Mira when memory is constrained.");
+}

@@ -1,0 +1,95 @@
+//! DSA explorer: what the compiler sees (the Figure 2 analog).
+//!
+//! Builds a program with several heap data structures — two arrays filled
+//! through a shared helper, a loop-built linked list, and a hash-probed
+//! table — then prints the data-structure instances DSA recovers, their
+//! recursion flags, usage metrics (Eq. 1), and the prefetcher each one is
+//! assigned.
+//!
+//! Run with: `cargo run --release --example dsa_explorer`
+
+use cards_core::dsa::ModuleDsa;
+use cards_core::ir::{FunctionBuilder, Intrinsic, Module, Type, Value};
+use cards_core::passes::{analyze_prefetch, rank_instances, PrefetchSelection};
+
+fn build_demo() -> Module {
+    let mut m = Module::new("dsa_demo");
+    let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
+
+    // helper that allocates an array for its caller (context sensitivity!)
+    let alloc_f = {
+        let mut b = FunctionBuilder::new("alloc_array", vec![Type::I64], Type::Ptr);
+        let bytes = b.mul(b.arg(0), b.iconst(8));
+        let p = b.alloc(bytes, Type::I64);
+        b.ret(p);
+        m.add_function(b.finish())
+    };
+
+    let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+    let n = 1024i64;
+    // two arrays via the same helper
+    let arr_a = b.call(alloc_f, vec![b.iconst(n)]);
+    let arr_b = b.call(alloc_f, vec![b.iconst(n)]);
+    let (z, one) = (b.iconst(0), b.iconst(1));
+    b.counted_loop(z, b.iconst(n), one, |b, i| {
+        let pa = b.gep_index(arr_a, Type::I64, i);
+        b.store(pa, i, Type::I64);
+        let pb = b.gep_index(arr_b, Type::I64, i);
+        let i2 = b.mul(i, i);
+        b.store(pb, i2, Type::I64);
+    });
+    // a linked list built in a loop
+    let head = b.alloca(Type::Ptr);
+    b.store(head, Value::Null, Type::Ptr);
+    b.counted_loop(z, b.iconst(64), one, |b, i| {
+        let nd = b.alloc(b.iconst(16), Type::Struct(node_ty));
+        b.store(nd, i, Type::I64);
+        let h = b.load(head, Type::Ptr);
+        let nf = b.gep_field(nd, Type::Struct(node_ty), 1);
+        b.store(nf, h, Type::Ptr);
+        b.store(head, nd, Type::Ptr);
+    });
+    // a hash-probed table
+    let table = b.alloc(b.iconst(512 * 8), Type::I64);
+    b.counted_loop(z, b.iconst(256), one, |b, i| {
+        let h = b.intrin(Intrinsic::Hash64, vec![i]);
+        let slot = b.bin(cards_core::ir::BinOp::URem, h, b.iconst(512), Type::I64);
+        let p = b.gep_index(table, Type::I64, slot);
+        b.store(p, i, Type::I64);
+    });
+    b.ret_void();
+    m.add_function(b.finish());
+    m
+}
+
+fn main() {
+    let m = build_demo();
+    assert!(cards_core::ir::verify_module(&m).is_empty());
+    let dsa = ModuleDsa::analyze(&m);
+    let prefetch = analyze_prefetch(&m, &dsa, PrefetchSelection::PerDs);
+    let ranks = rank_instances(&dsa);
+
+    println!("DSA found {} disjoint data structure instances:\n", dsa.instances.len());
+    println!(
+        "{:<18} {:<10} {:<10} {:>6} {:>7} {:>7}  {:<16}",
+        "name", "owner", "recursive", "allocs", "use", "reach", "prefetcher"
+    );
+    for inst in &dsa.instances {
+        let u = &dsa.usage[inst.id as usize];
+        let owner = &m.func(inst.owner).name;
+        println!(
+            "{:<18} {:<10} {:<10} {:>6} {:>7} {:>7}  {:<16}",
+            inst.name,
+            owner,
+            inst.recursive,
+            inst.alloc_sites.len(),
+            u.use_score(),
+            ranks[inst.id as usize].reach_depth,
+            format!("{:?}", prefetch[inst.id as usize].kind),
+        );
+    }
+
+    println!("\nNote: the two arrays come from ONE malloc site inside");
+    println!("alloc_array() — context-sensitive cloning keeps them distinct,");
+    println!("exactly as ds1/ds2 in the paper's Figure 2.");
+}

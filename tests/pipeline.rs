@@ -1,0 +1,183 @@
+//! End-to-end pipeline integration tests: IR → DSA → passes → VM on the
+//! far-memory runtime, for every workload, checked against the native
+//! references.
+
+use cards_core::prelude::*;
+use cards_core::workloads::{bfs, fdtd, listing1, micro, taxi};
+use cards_core::{run_system, MemoryBudget, System};
+
+fn cards_sys() -> System {
+    System::Cards {
+        policy: RemotingPolicy::MaxUse,
+        k: 50,
+    }
+}
+
+#[test]
+fn listing1_all_systems_correct() {
+    let p = listing1::Listing1Params::test();
+    let ws = p.working_set_bytes();
+    let expect = listing1::reference(p);
+    let build = move || listing1::build(p);
+    for sys in [System::LocalOnly, System::TrackFm, System::Mira, cards_sys()] {
+        for frac in [0.25, 0.5, 1.0] {
+            let budget = MemoryBudget::fraction_of(ws, frac, 0.1);
+            let r = run_system(&build, sys, budget).unwrap();
+            assert_eq!(r.checksum, expect, "{} @ {frac}", r.system);
+        }
+    }
+}
+
+#[test]
+fn taxi_pipeline_correct_under_pressure() {
+    let p = taxi::TaxiParams::test();
+    let ws = p.working_set_bytes();
+    let expect = taxi::reference(p);
+    let build = move || taxi::build(p);
+    for frac in [0.2, 0.6] {
+        let budget = MemoryBudget::fraction_of(ws, frac, 0.1);
+        let r = run_system(&build, cards_sys(), budget).unwrap();
+        assert_eq!(r.checksum, expect);
+        assert!(r.ds_count >= 15, "analytics DS count {}", r.ds_count);
+    }
+}
+
+#[test]
+fn bfs_pipeline_correct_under_pressure() {
+    let p = bfs::BfsParams::test();
+    let ws = p.working_set_bytes();
+    let expect = bfs::reference(p);
+    let build = move || bfs::build(p);
+    for frac in [0.2, 0.6] {
+        let budget = MemoryBudget::fraction_of(ws, frac, 0.15);
+        let r = run_system(&build, cards_sys(), budget).unwrap();
+        assert_eq!(r.checksum, expect);
+    }
+}
+
+#[test]
+fn fdtd_pipeline_correct_under_pressure() {
+    let p = fdtd::FdtdParams::test();
+    let ws = p.working_set_bytes();
+    let expect = fdtd::reference(p);
+    let build = move || fdtd::build(p);
+    let budget = MemoryBudget::fraction_of(ws, 0.3, 0.1);
+    let r = run_system(&build, cards_sys(), budget).unwrap();
+    assert_eq!(r.checksum, expect);
+    assert_eq!(r.ds_count, 15, "fdtd-apml must expose 15 grids");
+}
+
+#[test]
+fn micro_kinds_correct_on_both_systems() {
+    let p = micro::MicroParams::test();
+    for kind in micro::MicroKind::all() {
+        let expect = micro::reference(kind, p);
+        let build = move || micro::build(kind, p);
+        let ws = p.working_set_bytes();
+        let budget = MemoryBudget::fraction_of(ws, 0.4, 0.2);
+        for sys in [System::TrackFm, cards_sys()] {
+            let r = run_system(&build, sys, budget).unwrap();
+            assert_eq!(r.checksum, expect, "{:?}/{}", kind, r.system);
+        }
+    }
+}
+
+#[test]
+fn guard_counts_scale_with_conservatism() {
+    // TrackFM must execute at least as many guards as CaRDS on the same
+    // program, and CaRDS with everything pinned should hit fast paths.
+    let p = listing1::Listing1Params::test();
+    let ws = p.working_set_bytes();
+    let build = move || listing1::build(p);
+    let budget = MemoryBudget::fraction_of(ws, 1.4, 0.05);
+    let tfm = run_system(&build, System::TrackFm, budget).unwrap();
+    let cards = run_system(
+        &build,
+        System::Cards {
+            policy: RemotingPolicy::Linear,
+            k: 100,
+        },
+        budget,
+    )
+    .unwrap();
+    assert!(tfm.metrics.guards > 0);
+    assert!(
+        cards.metrics.guards < tfm.metrics.guards,
+        "cards {} vs trackfm {}",
+        cards.metrics.guards,
+        tfm.metrics.guards
+    );
+    assert!(cards.metrics.fast_path_taken > 0, "versioned fast paths should fire");
+}
+
+#[test]
+fn transformed_modules_pass_verifier_and_round_trip() {
+    // For every workload, the transformed module verifies and its textual
+    // form parses back to a fixed point.
+    let modules: Vec<cards_core::ir::Module> = vec![
+        listing1::build(listing1::Listing1Params::test()).0,
+        taxi::build(taxi::TaxiParams::test()).0,
+        bfs::build(bfs::BfsParams::test()).0,
+        fdtd::build(fdtd::FdtdParams::test()).0,
+        micro::build(micro::MicroKind::List, micro::MicroParams::test()).0,
+    ];
+    for m in modules {
+        let name = m.name.clone();
+        let c = compile(m, CompileOptions::cards()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let errs = cards_core::ir::verify_module(&c.module);
+        assert!(errs.is_empty(), "{name}: {errs:?}");
+        let p1 = cards_core::ir::print_module(&c.module);
+        let m2 = cards_core::ir::parse_module(&p1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let p2 = cards_core::ir::print_module(&m2);
+        let m3 = cards_core::ir::parse_module(&p2).unwrap();
+        assert_eq!(cards_core::ir::print_module(&m3), p2, "{name}");
+    }
+}
+
+#[test]
+fn extension_workloads_correct_under_pressure() {
+    use cards_core::workloads::{kvstore, pagerank};
+    // pagerank
+    let p = pagerank::PagerankParams::test();
+    let ws = p.working_set_bytes();
+    let build = move || pagerank::build(p);
+    let r = run_system(&build, cards_sys(), MemoryBudget::fraction_of(ws, 0.3, 0.1)).unwrap();
+    assert_eq!(r.checksum, pagerank::reference(p));
+    // kvstore across all three systems
+    let kp = kvstore::KvParams::test();
+    let kws = kp.working_set_bytes();
+    let kbuild = move || kvstore::build(kp);
+    for sys in [System::TrackFm, System::Mira, cards_sys()] {
+        let r = run_system(&kbuild, sys, MemoryBudget::fraction_of(kws, 0.4, 0.15)).unwrap();
+        assert_eq!(r.checksum, kvstore::reference(kp), "{}", r.system);
+    }
+}
+
+#[test]
+fn kvstore_hot_metadata_rewards_pinning() {
+    use cards_core::workloads::kvstore;
+    // With enough pinned memory for everything, pinning (linear) must beat
+    // the all-remotable configuration on the skewed KV mix.
+    let p = kvstore::KvParams::test();
+    let ws = p.working_set_bytes();
+    let build = move || kvstore::build(p);
+    let budget = MemoryBudget::fraction_of(ws, 1.2, 0.1);
+    let pinned = run_system(
+        &build,
+        System::Cards { policy: RemotingPolicy::Linear, k: 100 },
+        budget,
+    )
+    .unwrap();
+    let remote = run_system(
+        &build,
+        System::Cards { policy: RemotingPolicy::AllRemotable, k: 0 },
+        budget,
+    )
+    .unwrap();
+    assert!(
+        pinned.cycles < remote.cycles,
+        "pinned {} vs all-remotable {}",
+        pinned.cycles,
+        remote.cycles
+    );
+}

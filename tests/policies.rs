@@ -1,0 +1,125 @@
+//! Policy-behaviour integration tests: the qualitative claims of the
+//! paper's evaluation, asserted as invariants (who wins, in which regime).
+
+use cards_core::prelude::*;
+use cards_core::workloads::{listing1, taxi};
+use cards_core::{run_system, MemoryBudget, System};
+
+fn run(policy: RemotingPolicy, k: u32, frac: f64) -> cards_core::RunResult {
+    let p = listing1::Listing1Params::test();
+    let ws = p.working_set_bytes();
+    let budget = MemoryBudget::fraction_of(ws, frac, 0.1);
+    run_system(
+        &move || listing1::build(p),
+        System::Cards { policy, k },
+        budget,
+    )
+    .unwrap()
+}
+
+/// Figure 4: at k = 50% (one array pinnable), Max Use localizes ds2 and
+/// beats the all-remotable configuration.
+#[test]
+fn fig4_shape_max_use_beats_all_remotable() {
+    let all_remote = run(RemotingPolicy::AllRemotable, 0, 0.6);
+    let max_use = run(RemotingPolicy::MaxUse, 50, 0.6);
+    assert!(
+        max_use.cycles < all_remote.cycles,
+        "max-use {} vs all-remotable {}",
+        max_use.cycles,
+        all_remote.cycles
+    );
+}
+
+/// More local memory never hurts deterministic policies.
+#[test]
+fn more_memory_is_monotone_for_informed_policies() {
+    for policy in [RemotingPolicy::Linear, RemotingPolicy::MaxUse, RemotingPolicy::MaxReach] {
+        let tight = run(policy, 100, 0.3);
+        let roomy = run(policy, 100, 1.2);
+        assert!(
+            roomy.cycles <= tight.cycles,
+            "{}: roomy {} vs tight {}",
+            policy.name(),
+            roomy.cycles,
+            tight.cycles
+        );
+    }
+}
+
+/// With ample memory and k=100, every informed policy pins everything and
+/// converges to (near-)equal performance — the left side of Figures 5–7.
+#[test]
+fn policies_converge_when_everything_fits() {
+    let linear = run(RemotingPolicy::Linear, 100, 1.5);
+    let max_use = run(RemotingPolicy::MaxUse, 100, 1.5);
+    let max_reach = run(RemotingPolicy::MaxReach, 100, 1.5);
+    let lo = linear.cycles.min(max_use.cycles).min(max_reach.cycles) as f64;
+    let hi = linear.cycles.max(max_use.cycles).max(max_reach.cycles) as f64;
+    assert!(hi / lo < 1.05, "spread too wide: {lo}..{hi}");
+    // and nothing should be fetching
+    assert_eq!(linear.net.fetches, 0);
+}
+
+/// The k-sweep matters: for top-k policies, k=0 (nothing pinned) is slower
+/// than k=100 (everything pinned) when memory allows.
+#[test]
+fn k_sweep_controls_localization() {
+    let none = run(RemotingPolicy::MaxUse, 0, 1.2);
+    let all = run(RemotingPolicy::MaxUse, 100, 1.2);
+    assert!(all.cycles < none.cycles);
+}
+
+/// Figure 8 regime check on analytics: CaRDS sits between TrackFM (above)
+/// and local-only (below); Mira is at least competitive with CaRDS under
+/// tight memory.
+#[test]
+fn fig8_ordering_holds_on_analytics() {
+    let p = taxi::TaxiParams { trips: 4_000 };
+    let ws = p.working_set_bytes();
+    let build = move || taxi::build(p);
+    // High-memory regime: k tracks the available fraction (paper §4.2),
+    // everything pins, versioned fast paths elide TrackFM's guard tax.
+    let budget = MemoryBudget::fraction_of(ws, 1.0, 0.15);
+    let local = run_system(&build, System::LocalOnly, budget).unwrap();
+    let tfm = run_system(&build, System::TrackFm, budget).unwrap();
+    let cards = run_system(
+        &build,
+        System::Cards {
+            policy: RemotingPolicy::MaxUse,
+            k: 100,
+        },
+        budget,
+    )
+    .unwrap();
+    assert!(local.cycles < cards.cycles);
+    assert!(
+        cards.cycles < tfm.cycles,
+        "cards {} vs trackfm {}",
+        cards.cycles,
+        tfm.cycles
+    );
+}
+
+/// Demotion under pressure: a pinned-everything policy with tiny local
+/// memory must fall back to remotable memory (runtime override), still
+/// producing correct results.
+#[test]
+fn runtime_override_keeps_results_correct() {
+    let p = listing1::Listing1Params::test();
+    let expect = listing1::reference(p);
+    let ws = p.working_set_bytes();
+    // 10% local: pinning "everything" is impossible.
+    let budget = MemoryBudget::fraction_of(ws, 0.1, 0.5);
+    let r = run_system(
+        &move || listing1::build(p),
+        System::Cards {
+            policy: RemotingPolicy::MaxUse,
+            k: 100,
+        },
+        budget,
+    )
+    .unwrap();
+    assert_eq!(r.checksum, expect);
+    assert!(r.net.fetches > 0, "pressure must force remote traffic");
+}

@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) over the whole stack: far-pointer
+//! algebra, printer/parser round-trips on generated programs, policy
+//! assignment invariants, and VM native-vs-far-memory equivalence on
+//! randomized kernels.
+
+use proptest::prelude::*;
+
+use cards_core::ir::{FunctionBuilder, Module, Type};
+use cards_core::net::{NetworkModel, SimTransport};
+use cards_core::passes::{compile, CompileOptions};
+use cards_core::runtime::{
+    assign_hints, DsPriority, DsSpec, FarPtr, RemotingPolicy, RuntimeConfig, StaticHint,
+};
+use cards_core::vm::Vm;
+
+proptest! {
+    /// Far pointers encode/decode losslessly for all valid inputs.
+    #[test]
+    fn farptr_round_trip(handle in 0u16..u16::MAX - 1, offset in 0u64..(1u64 << 48)) {
+        let p = FarPtr::encode(handle, offset);
+        prop_assert!(p.is_tagged());
+        prop_assert_eq!(p.handle(), Some(handle));
+        prop_assert_eq!(p.offset(), offset);
+    }
+
+    /// Untagged bit patterns never pass the custody check.
+    #[test]
+    fn untagged_never_tagged(bits in 0u64..(1u64 << 48)) {
+        prop_assert!(!FarPtr(bits).is_tagged());
+    }
+
+    /// Policy assignment pins exactly floor(k% · n) structures for top-k
+    /// policies, for any priorities.
+    #[test]
+    fn assign_hints_counts(
+        n in 1usize..40,
+        k in 0u32..=100,
+        seed in any::<u64>(),
+        scores in proptest::collection::vec(0u32..1000, 40),
+    ) {
+        let specs: Vec<DsSpec> = (0..n)
+            .map(|i| {
+                DsSpec::simple(format!("d{i}")).with_priority(DsPriority {
+                    program_order: i as u32,
+                    reach_depth: scores[i],
+                    use_score: scores[(i + 7) % 40],
+                })
+            })
+            .collect();
+        let expect = n * k as usize / 100;
+        for policy in [
+            RemotingPolicy::MaxUse,
+            RemotingPolicy::MaxReach,
+            RemotingPolicy::Random { seed },
+        ] {
+            let hints = assign_hints(&specs, policy, k);
+            let pinned = hints.iter().filter(|&&h| h == StaticHint::Pinned).count();
+            prop_assert_eq!(pinned, expect);
+        }
+        prop_assert!(assign_hints(&specs, RemotingPolicy::AllRemotable, k)
+            .iter()
+            .all(|&h| h == StaticHint::Remotable));
+    }
+
+    /// Network model cost is monotone in message size.
+    #[test]
+    fn net_cost_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let m = NetworkModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.fetch_cost(lo) <= m.fetch_cost(hi));
+        prop_assert!(m.writeback_cost(lo) <= m.writeback_cost(hi));
+    }
+
+    /// A generated strided-sum kernel computes the same result natively and
+    /// under the CaRDS pipeline with an arbitrary (tight) cache and policy.
+    #[test]
+    fn vm_native_vs_farmem_equivalence(
+        elems in 16i64..400,
+        stride in 1i64..7,
+        mult in 1i64..100,
+        cache_objs in 1u64..6,
+        k in 0u32..=100,
+    ) {
+        let build = || {
+            let mut m = Module::new("gen");
+            let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+            let arr = b.alloc(b.iconst(elems * 8), Type::I64);
+            let (z, one) = (b.iconst(0), b.iconst(1));
+            b.counted_loop(z, b.iconst(elems), one, |b, i| {
+                let v = b.mul(i, b.iconst(mult));
+                let p = b.gep_index(arr, Type::I64, i);
+                b.store(p, v, Type::I64);
+            });
+            let acc = b.alloca(Type::I64);
+            b.store(acc, b.iconst(0), Type::I64);
+            b.counted_loop(z, b.iconst(elems), b.iconst(stride), |b, i| {
+                let p = b.gep_index(arr, Type::I64, i);
+                let v = b.load(p, Type::I64);
+                let cur = b.load(acc, Type::I64);
+                let nx = b.add(cur, v);
+                b.store(acc, nx, Type::I64);
+            });
+            let out = b.load(acc, Type::I64);
+            b.ret(out);
+            m.add_function(b.finish());
+            m
+        };
+        // native expectation
+        let expect: i64 = (0..elems).step_by(stride as usize).map(|i| i * mult).sum();
+        let mut native = Vm::new(
+            build(),
+            RuntimeConfig::new(1 << 30, 1 << 30),
+            SimTransport::default(),
+            RemotingPolicy::Linear,
+            100,
+        );
+        prop_assert_eq!(native.run("main", &[]).unwrap(), Some(expect as u64));
+        // far-memory run with a tiny cache
+        let c = compile(build(), CompileOptions::cards()).unwrap();
+        let mut vm = Vm::new(
+            c.module,
+            RuntimeConfig::new(0, cache_objs * 4096),
+            SimTransport::default(),
+            RemotingPolicy::MaxUse,
+            k,
+        );
+        prop_assert_eq!(vm.run("main", &[]).unwrap(), Some(expect as u64));
+    }
+
+    /// Eviction bookkeeping: after arbitrary alloc/write/read sequences the
+    /// runtime's remotable accounting stays within budget + pin overshoot.
+    #[test]
+    fn runtime_budget_respected(ops in proptest::collection::vec((0u8..3, 0u64..24), 1..80)) {
+        use cards_core::runtime::{Access, FarMemRuntime};
+        let budget = 6 * 4096u64;
+        let mut rt = FarMemRuntime::new(
+            RuntimeConfig::new(0, budget),
+            SimTransport::default(),
+        );
+        let h = rt.register_ds(DsSpec::simple("p"), StaticHint::Remotable);
+        let (base, _) = rt.ds_alloc(h, 24 * 4096).unwrap();
+        for (op, idx) in ops {
+            let ptr = base.add(idx * 4096);
+            match op {
+                0 => {
+                    rt.guard(ptr, Access::Read, 8).unwrap();
+                    let _ = rt.read_u64(ptr).unwrap();
+                }
+                1 => {
+                    rt.guard(ptr, Access::Write, 8).unwrap();
+                    rt.write_u64(ptr, idx).unwrap();
+                }
+                _ => {
+                    rt.guard(ptr, Access::Read, 8).unwrap();
+                }
+            }
+            let overshoot = 9 * 4096;
+            prop_assert!(rt.remotable_used() <= budget + overshoot);
+        }
+    }
+}
+
+proptest! {
+    /// Random generated programs: print -> parse -> print is a fixed point
+    /// and the parsed module still verifies.
+    #[test]
+    fn generated_programs_round_trip(seed in any::<u64>(), loops in 0usize..4) {
+        use cards_core::ir::testgen::{generate, GenConfig};
+        let m = generate(seed, GenConfig { loops, elems: 16, ..GenConfig::default() });
+        let p1 = cards_core::ir::print_module(&m);
+        let m2 = cards_core::ir::parse_module(&p1).expect("parse");
+        prop_assert!(cards_core::ir::verify_module(&m2).is_empty());
+        prop_assert_eq!(cards_core::ir::print_module(&m2), p1);
+    }
+
+    /// The classical optimizer preserves program results on random
+    /// programs (VM-checked), and so does the full far-memory pipeline on
+    /// the optimized module.
+    #[test]
+    fn optimizer_and_pipeline_preserve_semantics(seed in any::<u64>()) {
+        use cards_core::ir::testgen::{generate, GenConfig};
+        use cards_core::passes::optimize;
+        let cfg = GenConfig { elems: 24, loops: 2, ..GenConfig::default() };
+        let run_native = |m: cards_core::ir::Module| -> u64 {
+            let mut vm = Vm::new(
+                m,
+                RuntimeConfig::new(1 << 30, 1 << 30),
+                SimTransport::default(),
+                RemotingPolicy::Linear,
+                100,
+            );
+            vm.run("main", &[]).unwrap().unwrap()
+        };
+        let base = run_native(generate(seed, cfg));
+        // optimized
+        let mut m2 = generate(seed, cfg);
+        optimize(&mut m2);
+        prop_assert!(cards_core::ir::verify_module(&m2).is_empty());
+        prop_assert_eq!(run_native(m2), base);
+        // optimized + far-memory pipeline with a tiny cache
+        let mut m3 = generate(seed, cfg);
+        optimize(&mut m3);
+        let c = compile(m3, CompileOptions::cards()).unwrap();
+        let mut vm = Vm::new(
+            c.module,
+            RuntimeConfig::new(0, 3 * 4096),
+            SimTransport::default(),
+            RemotingPolicy::MaxUse,
+            50,
+        );
+        prop_assert_eq!(vm.run("main", &[]).unwrap().unwrap(), base);
+    }
+}
