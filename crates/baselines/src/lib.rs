@@ -149,8 +149,7 @@ pub fn run_system(
             let c = compile(m, CompileOptions::trackfm()).map_err(HarnessError::Compile)?;
             // TrackFM has no pinned/remotable split: all local memory is
             // one object cache.
-            let cfg = RuntimeConfig::new(0, budget.local_bytes)
-                .with_costs(CostModel::trackfm());
+            let cfg = RuntimeConfig::new(0, budget.local_bytes).with_costs(CostModel::trackfm());
             let (dsc, gi, ge) = (c.ds_count(), c.guard_stats.inserted, c.guard_stats.elided);
             let mut vm = Vm::new(
                 c.module,
@@ -225,7 +224,11 @@ fn run_mira(
     // --- measured run with profile-derived hints ---
     let (m2, _) = build();
     let c2 = compile(m2, CompileOptions::cards()).map_err(HarnessError::Compile)?;
-    let (dsc, gi, ge) = (c2.ds_count(), c2.guard_stats.inserted, c2.guard_stats.elided);
+    let (dsc, gi, ge) = (
+        c2.ds_count(),
+        c2.guard_stats.inserted,
+        c2.guard_stats.elided,
+    );
     let cfg = budget.runtime_config(CostModel::cards());
     let mut vm2 = Vm::with_hints(
         c2.module,

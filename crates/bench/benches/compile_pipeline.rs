@@ -1,9 +1,9 @@
-//! Criterion wall-time of the CaRDS compiler pipeline itself (DSA + pool
+//! Wall-time of the CaRDS compiler pipeline itself (DSA + pool
 //! allocation + guard passes + versioning) on each workload — compiler
 //! throughput, the analog of the paper's note that DSA keeps compile times
 //! practical compared to shape analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cards_bench::microbench::{run_benches, Criterion};
 use std::hint::black_box;
 
 use cards_passes::{compile, CompileOptions};
@@ -53,5 +53,6 @@ fn bench_compile(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[bench_compile]);
+}

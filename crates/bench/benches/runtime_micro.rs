@@ -1,14 +1,12 @@
-//! Criterion wall-time micro-benchmarks of runtime internals: allocation,
-//! data access, eviction churn, and each prefetcher's prediction cost.
+//! Wall-time micro-benchmarks of runtime internals: allocation, data
+//! access, eviction churn, and each prefetcher's prediction cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cards_bench::microbench::{run_benches, Criterion};
 use std::hint::black_box;
 
 use cards_net::{NetworkModel, SimTransport};
 use cards_runtime::prefetch::{JumpPointer, Prefetcher, StridePrefetcher};
-use cards_runtime::{
-    Access, DsSpec, FarMemRuntime, PrefetchKind, RuntimeConfig, StaticHint,
-};
+use cards_runtime::{Access, DsSpec, FarMemRuntime, PrefetchKind, RuntimeConfig, StaticHint};
 
 fn rt(pinned: u64, remotable: u64) -> FarMemRuntime<SimTransport> {
     FarMemRuntime::new(
@@ -85,5 +83,6 @@ fn bench_runtime(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_runtime);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[bench_runtime]);
+}

@@ -1,10 +1,10 @@
-//! Criterion wall-time measurement of the runtime primitives behind
-//! Table 1: the real CPU cost (on this machine) of the custody check +
-//! deref path, local and remote, for the CaRDS and TrackFM cost models.
-//! The *simulated* cycle figures are printed by `repro_table1`; this bench
+//! Wall-time measurement of the runtime primitives behind Table 1: the
+//! real CPU cost (on this machine) of the custody check + deref path,
+//! local and remote, for the CaRDS and TrackFM cost models. The
+//! *simulated* cycle figures are printed by `repro_table1`; this bench
 //! grounds the local path in measured wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cards_bench::microbench::{run_benches, Criterion};
 use std::hint::black_box;
 
 use cards_net::{NetworkModel, SimTransport};
@@ -16,7 +16,10 @@ fn bench_guards(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.sample_size(20);
 
-    for (label, costs) in [("cards", CostModel::cards()), ("trackfm", CostModel::trackfm())] {
+    for (label, costs) in [
+        ("cards", CostModel::cards()),
+        ("trackfm", CostModel::trackfm()),
+    ] {
         // local deref path
         g.bench_function(format!("{label}/guard_local_read"), |b| {
             let mut rt = FarMemRuntime::new(
@@ -34,7 +37,12 @@ fn bench_guards(c: &mut Criterion) {
                 RuntimeConfig::new(0, 1 << 20).with_costs(costs),
                 SimTransport::new(NetworkModel::default()),
             );
-            b.iter(|| black_box(rt.guard(black_box(FarPtr(0x1234)), Access::Read, 8).unwrap()));
+            b.iter(|| {
+                black_box(
+                    rt.guard(black_box(FarPtr(0x1234)), Access::Read, 8)
+                        .unwrap(),
+                )
+            });
         });
         // remote path: evacuate + guard per iteration (dominated by the
         // simulated server hash-map copy — i.e. the memcpy a real NIC DMA
@@ -84,5 +92,6 @@ fn bench_guards(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_guards);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[bench_guards]);
+}

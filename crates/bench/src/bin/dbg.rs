@@ -7,13 +7,29 @@ use cards_workloads::taxi::{build, TaxiParams};
 
 fn dump<T: cards_net::Transport>(label: &str, vm: &Vm<T>) {
     let rt = vm.runtime();
-    println!("--- {label}: cycles={} guards={} fast={} slow={}", vm.metrics().cycles, vm.metrics().guards, vm.metrics().fast_path_taken, vm.metrics().slow_path_taken);
+    println!(
+        "--- {label}: cycles={} guards={} fast={} slow={}",
+        vm.metrics().cycles,
+        vm.metrics().guards,
+        vm.metrics().fast_path_taken,
+        vm.metrics().slow_path_taken
+    );
     println!("net {:?}", rt.net_stats());
     for h in 0..rt.ds_count() as u16 {
         let s = rt.ds_stats(h).unwrap();
         if s.misses > 20 || s.evictions > 20 {
-            println!("  ds{h} {}: hits={} miss={} evict={} pf={}/{} bytes={} obj={} rem={}",
-                rt.ds_spec(h).unwrap().name, s.hits, s.misses, s.evictions, s.prefetch_useful, s.prefetch_issued, s.bytes_allocated, rt.ds_spec(h).unwrap().object_bytes, rt.is_remotable(h));
+            println!(
+                "  ds{h} {}: hits={} miss={} evict={} pf={}/{} bytes={} obj={} rem={}",
+                rt.ds_spec(h).unwrap().name,
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.prefetch_useful,
+                s.prefetch_issued,
+                s.bytes_allocated,
+                rt.ds_spec(h).unwrap().object_bytes,
+                rt.is_remotable(h)
+            );
         }
     }
 }
@@ -22,13 +38,22 @@ fn main() {
     let p = TaxiParams::test();
     let ws = p.working_set_bytes();
     let budget = MemoryBudget::fraction_of(ws, 0.25, 0.08);
-    println!("ws={ws} local={} reserve={}", budget.local_bytes, budget.remotable_reserve);
+    println!(
+        "ws={ws} local={} reserve={}",
+        budget.local_bytes, budget.remotable_reserve
+    );
     // trackfm
     {
         let (m, _) = build(p);
         let c = compile(m, CompileOptions::trackfm()).unwrap();
         let cfg = RuntimeConfig::new(0, budget.local_bytes).with_costs(CostModel::trackfm());
-        let mut vm = Vm::new(c.module, cfg, SimTransport::new(NetworkModel::default()), cards_runtime::RemotingPolicy::AllRemotable, 0);
+        let mut vm = Vm::new(
+            c.module,
+            cfg,
+            SimTransport::new(NetworkModel::default()),
+            cards_runtime::RemotingPolicy::AllRemotable,
+            0,
+        );
         vm.run("main", &[]).unwrap();
         dump("trackfm", &vm);
     }
@@ -37,8 +62,15 @@ fn main() {
         let (m, _) = build(p);
         let c = compile(m, CompileOptions::cards()).unwrap();
         let pinned = budget.local_bytes - budget.remotable_reserve;
-        let cfg = RuntimeConfig::new(pinned, budget.remotable_reserve).with_costs(CostModel::cards());
-        let mut vm = Vm::new(c.module, cfg, SimTransport::new(NetworkModel::default()), cards_runtime::RemotingPolicy::MaxUse, 25);
+        let cfg =
+            RuntimeConfig::new(pinned, budget.remotable_reserve).with_costs(CostModel::cards());
+        let mut vm = Vm::new(
+            c.module,
+            cfg,
+            SimTransport::new(NetworkModel::default()),
+            cards_runtime::RemotingPolicy::MaxUse,
+            25,
+        );
         vm.run("main", &[]).unwrap();
         dump("cards maxuse k25", &vm);
     }

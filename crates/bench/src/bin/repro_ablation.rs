@@ -1,5 +1,7 @@
-//! Ablation study: each CaRDS mechanism switched off individually.
+//! Ablation study: each CaRDS mechanism switched off individually. Pass
+//! `--telemetry <path>` to also dump event-level telemetry JSON.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     cards_bench::figures::ablation(quick).print();
+    cards_bench::telemetry::maybe_dump_telemetry(quick);
 }

@@ -1,5 +1,6 @@
 //! Run every table/figure reproduction and print the full summary
-//! (recorded in EXPERIMENTS.md). Pass --quick for test-sized workloads.
+//! (recorded in EXPERIMENTS.md). Pass --quick for test-sized workloads and
+//! `--telemetry <path>` to also dump event-level telemetry JSON.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!("CaRDS reproduction suite (quick={quick})");
@@ -11,5 +12,6 @@ fn main() {
     cards_bench::figures::fig8(quick).print();
     cards_bench::figures::fig9(quick).print();
     cards_bench::figures::ablation(quick).print();
+    cards_bench::telemetry::maybe_dump_telemetry(quick);
     println!("\nall exhibits completed; checksums verified against native references");
 }

@@ -1,6 +1,7 @@
-//! Reproduce the paper's fig9. Pass --quick for a test-sized run.
+//! Reproduce the paper's fig9. Pass --quick for a test-sized run and
+//! `--telemetry <path>` to also dump event-level telemetry JSON.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let _ = quick;
     cards_bench::figures::fig9(quick).print();
+    cards_bench::telemetry::maybe_dump_telemetry(quick);
 }

@@ -1,4 +1,6 @@
-//! Reproduce the paper's Table 1 (primitive overheads).
+//! Reproduce the paper's Table 1 (primitive overheads). Pass
+//! `--telemetry <path>` to also dump event-level telemetry JSON.
 fn main() {
     cards_bench::figures::table1().print();
+    cards_bench::telemetry::maybe_dump_telemetry(true);
 }

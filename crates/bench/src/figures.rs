@@ -87,7 +87,8 @@ pub fn table1() -> Exhibit {
         ],
         notes: vec![
             "paper: cards 378/384 local, ~59K remote; trackfm 462/579 local, ~46-47K remote".into(),
-            "shape: local O(100) cycles, remote O(10K); cards cheaper locally, dearer remotely".into(),
+            "shape: local O(100) cycles, remote O(10K); cards cheaper locally, dearer remotely"
+                .into(),
         ],
     }
 }
@@ -145,7 +146,8 @@ pub fn fig5(quick: bool) -> Exhibit {
         columns: K_SWEEP.iter().map(|k| format!("k={k}%")).collect(),
         rows,
         notes: vec![
-            "shape: informed policies improve with k; all-remotable flat and worst at high k".into(),
+            "shape: informed policies improve with k; all-remotable flat and worst at high k"
+                .into(),
         ],
     }
 }
@@ -187,9 +189,7 @@ pub fn fig7(quick: bool) -> Exhibit {
         ),
         columns: K_SWEEP.iter().map(|k| format!("k={k}%")).collect(),
         rows,
-        notes: vec![
-            "paper: linear/max-reach ~4x better than all-remotable at high k".into(),
-        ],
+        notes: vec!["paper: linear/max-reach ~4x better than all-remotable at high k".into()],
     }
 }
 
@@ -254,17 +254,15 @@ pub fn fig9(quick: bool) -> Exhibit {
         title: format!("Figure 9: CaRDS speedup over TrackFM ({} elems)", p.elems),
         columns: vec!["speedup".into(), "trackfm cyc".into(), "cards cyc".into()],
         rows,
-        notes: vec![
-            "shape: ~1x for plain arrays, >1x for pointer-heavy vector/list/map".into(),
-        ],
+        notes: vec!["shape: ~1x for plain arrays, >1x for pointer-heavy vector/list/map".into()],
     }
 }
 
 /// Ablation study (DESIGN.md §6): each CaRDS mechanism switched off
 /// individually, on the analytics workload at 75% local memory.
 pub fn ablation(quick: bool) -> Exhibit {
-    use cards_passes::{compile, CompileOptions, PrefetchSelection};
     use cards_net::SimTransport;
+    use cards_passes::{compile, CompileOptions, PrefetchSelection};
     use cards_vm::Vm;
 
     let p = if quick {
@@ -279,22 +277,34 @@ pub fn ablation(quick: bool) -> Exhibit {
 
     let variants: Vec<(&str, CompileOptions)> = vec![
         ("cards (full)", CompileOptions::cards()),
-        ("no versioning", CompileOptions {
-            versioning: false,
-            ..CompileOptions::cards()
-        }),
-        ("no guard elim", CompileOptions {
-            eliminate_redundant: false,
-            ..CompileOptions::cards()
-        }),
-        ("no prefetch", CompileOptions {
-            prefetch: PrefetchSelection::Disabled,
-            ..CompileOptions::cards()
-        }),
-        ("guard all", CompileOptions {
-            guard_all: true,
-            ..CompileOptions::cards()
-        }),
+        (
+            "no versioning",
+            CompileOptions {
+                versioning: false,
+                ..CompileOptions::cards()
+            },
+        ),
+        (
+            "no guard elim",
+            CompileOptions {
+                eliminate_redundant: false,
+                ..CompileOptions::cards()
+            },
+        ),
+        (
+            "no prefetch",
+            CompileOptions {
+                prefetch: PrefetchSelection::Disabled,
+                ..CompileOptions::cards()
+            },
+        ),
+        (
+            "guard all",
+            CompileOptions {
+                guard_all: true,
+                ..CompileOptions::cards()
+            },
+        ),
         ("trackfm", CompileOptions::trackfm()),
     ];
     let mut rows = Vec::new();
@@ -326,11 +336,12 @@ pub fn ablation(quick: bool) -> Exhibit {
         ));
     }
     Exhibit {
-        title: format!("Ablation: CaRDS mechanisms on analytics ({} trips)", p.trips),
+        title: format!(
+            "Ablation: CaRDS mechanisms on analytics ({} trips)",
+            p.trips
+        ),
         columns: vec!["cycles".into(), "guards".into(), "fetches".into()],
         rows,
-        notes: vec![
-            "each mechanism off individually; full CaRDS should be fastest".into(),
-        ],
+        notes: vec!["each mechanism off individually; full CaRDS should be fastest".into()],
     }
 }

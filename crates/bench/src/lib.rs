@@ -142,3 +142,5 @@ mod tests {
 }
 
 pub mod figures;
+pub mod microbench;
+pub mod telemetry;

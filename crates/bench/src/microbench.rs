@@ -1,0 +1,128 @@
+//! Minimal wall-time micro-benchmark harness (criterion stand-in) so the
+//! workspace builds offline with zero external dependencies.
+//!
+//! Mirrors the small slice of the criterion API the bench targets use
+//! (`benchmark_group` / `bench_function` / `iter`), calibrates iteration
+//! counts to a target sample duration, and reports the median ns/iter over
+//! a fixed number of samples. When cargo invokes a bench target in test
+//! mode (`--test`, as `cargo test` does for `harness = false` targets),
+//! every body runs exactly once as a smoke test.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Whether this process was started in cargo's bench-as-test smoke mode.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Re-export so bench files need only one import.
+pub use std::hint::black_box as bb;
+
+/// One benchmark's measurement context.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    target: Duration,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly; keeps the fastest-converging median sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(f());
+            self.median_ns = 0.0;
+            return;
+        }
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least the target duration.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= self.target || iters >= 1 << 24 {
+                break;
+            }
+            let grow = (self.target.as_nanos() as u64 / el.as_nanos().max(1) as u64).max(2);
+            iters = iters.saturating_mul(grow.min(16)).max(iters + 1);
+        }
+        let mut ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = ns[ns.len() / 2];
+    }
+}
+
+/// A named group of benchmarks (prints a header, prefixes bench names).
+pub struct Group {
+    name: String,
+    sample_size: usize,
+}
+
+impl Group {
+    /// Set the number of samples per benchmark (criterion-compatible).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark and print its median time.
+    pub fn bench_function<S: std::fmt::Display>(
+        &mut self,
+        name: S,
+        body: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: test_mode(),
+            samples: self.sample_size,
+            target: Duration::from_millis(5),
+            median_ns: 0.0,
+        };
+        body(&mut b);
+        if b.test_mode {
+            println!("{}/{name}: ok (test mode)", self.name);
+        } else if b.median_ns >= 1000.0 {
+            println!("{}/{name}: {:.2} µs/iter", self.name, b.median_ns / 1000.0);
+        } else {
+            println!("{}/{name}: {:.1} ns/iter", self.name, b.median_ns);
+        }
+        self
+    }
+
+    /// End the group (criterion-compatible no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point object handed to bench functions.
+pub struct Criterion;
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        Group {
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Run the given bench functions (replaces criterion_group/criterion_main).
+pub fn run_benches(fns: &[fn(&mut Criterion)]) {
+    let mut c = Criterion;
+    for f in fns {
+        f(&mut c);
+    }
+}

@@ -1,0 +1,68 @@
+//! `--telemetry <path>` support for the repro binaries.
+//!
+//! The figures report aggregate cycle counts; this module lets any exhibit
+//! additionally dump the event-level telemetry of a representative
+//! fault-injected CaRDS run, so figure numbers can be cross-checked against
+//! guard hits/misses, latency percentiles, and per-epoch deltas. The run is
+//! fully deterministic (modeled cycle clock, seeded fault injection), so the
+//! written JSON is byte-reproducible across invocations.
+
+use std::fs;
+
+use cards_net::{FaultyTransport, SimTransport};
+use cards_passes::{compile, CompileOptions};
+use cards_runtime::{export_json, RemotingPolicy, RuntimeConfig, TelemetryConfig};
+use cards_vm::Vm;
+use cards_workloads::kvstore::{self, KvParams};
+
+/// Parse `--telemetry <path>` out of this process's argv.
+pub fn telemetry_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--telemetry")?;
+    args.get(i + 1).filter(|p| !p.starts_with("--")).cloned()
+}
+
+/// Run the representative instrumented workload — a cache-starved kvstore
+/// with every structure remotable and seeded transient faults — and return
+/// the deterministic JSON telemetry export.
+pub fn telemetry_json(quick: bool) -> String {
+    let (keys, ops) = if quick { (128, 600) } else { (1_024, 10_000) };
+    let (m, _) = kvstore::build(KvParams { keys, ops });
+    let c = compile(m, CompileOptions::cards()).expect("compile");
+    let cfg = RuntimeConfig::new(0, 8192).with_telemetry(TelemetryConfig {
+        enabled: true,
+        ring_capacity: 8192,
+        epoch_every: 64,
+    });
+    let transport = FaultyTransport::new(SimTransport::default(), 0.1, 42);
+    let mut vm = Vm::new(c.module, cfg, transport, RemotingPolicy::AllRemotable, 100);
+    vm.run("main", &[]).expect("run");
+    export_json(vm.runtime())
+}
+
+/// If `--telemetry <path>` was passed, write the instrumented-run export
+/// there. Called by every repro binary after printing its exhibit.
+pub fn maybe_dump_telemetry(quick: bool) {
+    let Some(path) = telemetry_arg() else {
+        return;
+    };
+    let json = telemetry_json(quick);
+    match fs::write(&path, &json) {
+        Ok(()) => println!("telemetry written to {path} ({} bytes)", json.len()),
+        Err(e) => eprintln!("telemetry: cannot write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_json_is_deterministic_and_nonempty() {
+        let a = telemetry_json(true);
+        let b = telemetry_json(true);
+        assert_eq!(a, b, "two identical runs must export identical bytes");
+        assert!(a.contains("\"histograms\""));
+        assert!(a.contains("guard_miss"));
+    }
+}

@@ -5,8 +5,11 @@ use std::fs;
 use cards_baselines::{run_system, MemoryBudget, System};
 use cards_dsa::ModuleDsa;
 use cards_ir::{parse_module, print_module, verify_module, Module};
+use cards_net::{FaultyTransport, SimTransport};
 use cards_passes::{compile, CompileOptions};
-use cards_runtime::RemotingPolicy;
+use cards_runtime::telemetry::{export_chrome_trace, export_json};
+use cards_runtime::{render_report, RemotingPolicy, RuntimeConfig, TelemetryConfig};
+use cards_vm::Vm;
 
 use crate::args::Args;
 
@@ -18,6 +21,11 @@ usage:
   cards run     <in.ir> [--policy all-remotable|linear|random|max-reach|max-use]
                 [--k N] [--pinned BYTES] [--cache BYTES]
                 [--baseline trackfm|mira|local] [--fn NAME] [--verbose]
+  cards trace   <in.ir> [--format json|chrome] [--out file.json]
+                [--policy P] [--k N] [--pinned BYTES] [--cache BYTES]
+                [--fault RATE] [--seed N] [--epoch N] [--ring N]
+  cards stats   <in.ir> [--json] [--policy P] [--k N] [--pinned BYTES]
+                [--cache BYTES] [--fault RATE] [--seed N] [--epoch N]
   cards demo    listing1|analytics|bfs|fdtd|pagerank|kvstore|\n                micro-array|micro-vector|micro-list|micro-map
 ";
 
@@ -27,6 +35,8 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "compile" => cmd_compile(a),
         "dsa" => cmd_dsa(a),
         "run" => cmd_run(a),
+        "trace" => cmd_trace(a),
+        "stats" => cmd_stats(a),
         "demo" => cmd_demo(a),
         "help" | "--help" => {
             println!("{USAGE}");
@@ -175,6 +185,67 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Compile the input through the CaRDS pipeline and run it on an
+/// instrumented VM, returning the VM for telemetry export. Shared by
+/// `cards trace` and `cards stats`.
+fn run_instrumented(a: &Args) -> Result<Vm<FaultyTransport<SimTransport>>, String> {
+    let m = load_module(a)?;
+    if m.func_by_name("main").is_none() {
+        return Err("program has no @main".into());
+    }
+    let k: u32 = a.opt_num("k", 100u32)?;
+    let pinned: u64 = a.opt_num("pinned", 64u64 << 20)?;
+    let cache: u64 = a.opt_num("cache", 16u64 << 20)?;
+    let fault: f64 = a.opt_num("fault", 0.0f64)?;
+    let seed: u64 = a.opt_num("seed", 42u64)?;
+    let policy = parse_policy(&a.opt_or("policy", "max-use"))?;
+    let telemetry = TelemetryConfig {
+        enabled: true,
+        ring_capacity: a.opt_num("ring", 8192usize)?,
+        epoch_every: a.opt_num("epoch", 256u64)?,
+    };
+    let cfg = RuntimeConfig::new(pinned, cache).with_telemetry(telemetry);
+    let transport = FaultyTransport::new(SimTransport::default(), fault, seed);
+    let c = compile(m, CompileOptions::cards()).map_err(|e| e.to_string())?;
+    let mut vm = Vm::new(c.module, cfg, transport, policy, k);
+    let result = vm.run("main", &[]).map_err(|e| e.to_string())?;
+    eprintln!(
+        "result: {}  cycles: {}  structures: {}",
+        result.map(|v| v as i64).unwrap_or(0),
+        vm.runtime().stats().cycles,
+        vm.runtime().ds_count()
+    );
+    Ok(vm)
+}
+
+fn cmd_trace(a: &Args) -> Result<(), String> {
+    let vm = run_instrumented(a)?;
+    let out = match a.opt_or("format", "json").as_str() {
+        "chrome" => export_chrome_trace(vm.runtime()),
+        "json" => export_json(vm.runtime()),
+        other => return Err(format!("unknown trace format {other:?}")),
+    };
+    match a.options.get("out") {
+        Some(path) => fs::write(path, out).map_err(|e| format!("{path}: {e}"))?,
+        None => println!("{out}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(a: &Args) -> Result<(), String> {
+    let vm = run_instrumented(a)?;
+    let out = if a.has_flag("json") {
+        export_json(vm.runtime())
+    } else {
+        render_report(vm.runtime())
+    };
+    match a.options.get("out") {
+        Some(path) => fs::write(path, out).map_err(|e| format!("{path}: {e}"))?,
+        None => println!("{out}"),
+    }
+    Ok(())
+}
+
 fn cmd_demo(a: &Args) -> Result<(), String> {
     use cards_workloads::*;
     let which = a
@@ -266,6 +337,59 @@ mod tests {
     #[test]
     fn run_rejects_missing_file() {
         assert!(dispatch(&args("run /nonexistent.ir")).is_err());
+    }
+
+    #[test]
+    fn trace_and_stats_end_to_end_on_kvstore() {
+        let dir = std::env::temp_dir().join("cards_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kv.ir");
+        let (m, _) = cards_workloads::kvstore::build(cards_workloads::kvstore::KvParams {
+            keys: 128,
+            ops: 600,
+        });
+        std::fs::write(&path, print_module(&m)).unwrap();
+        let p = path.to_string_lossy().to_string();
+
+        // JSON trace to a file, with fault injection for retry events.
+        let out = dir.join("trace.json");
+        let o = out.to_string_lossy().to_string();
+        dispatch(&args(&format!(
+            "trace {p} --out {o} --cache 8192 --pinned 0 --policy all-remotable --fault 0.2 --epoch 64"
+        )))
+        .expect("trace");
+        let trace = std::fs::read_to_string(&out).unwrap();
+        assert!(trace.starts_with('{') && trace.ends_with('}'));
+        assert!(trace.contains("\"histograms\""));
+        assert!(trace.contains("\"guard_miss\""));
+        assert!(trace.contains("\"epochs\""));
+
+        // Chrome trace variant.
+        let out2 = dir.join("trace.chrome.json");
+        let o2 = out2.to_string_lossy().to_string();
+        dispatch(&args(&format!(
+            "trace {p} --format chrome --out {o2} --cache 8192 --pinned 0 --policy all-remotable"
+        )))
+        .expect("chrome trace");
+        let chrome = std::fs::read_to_string(&out2).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("thread_name"));
+
+        // stats: human report and JSON.
+        let out3 = dir.join("stats.json");
+        let o3 = out3.to_string_lossy().to_string();
+        dispatch(&args(&format!("stats {p} --out {o3} --json --cache 16384"))).expect("stats json");
+        let stats = std::fs::read_to_string(&out3).unwrap();
+        assert!(stats.contains("\"totals\""));
+        let out4 = dir.join("stats.txt");
+        let o4 = out4.to_string_lossy().to_string();
+        dispatch(&args(&format!("stats {p} --out {o4} --cache 16384"))).expect("stats report");
+        let report = std::fs::read_to_string(&out4).unwrap();
+        assert!(report.contains("latency"));
+        assert!(report.contains("p99"));
+
+        // bad format is rejected
+        assert!(dispatch(&args(&format!("trace {p} --format xml"))).is_err());
     }
 
     #[test]

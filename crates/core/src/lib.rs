@@ -53,9 +53,7 @@ pub use cards_runtime::RemotingPolicy;
 
 /// Common imports for applications embedding CaRDS.
 pub mod prelude {
-    pub use crate::{
-        run_far_memory, run_system, MemoryBudget, RemotingPolicy, RunResult, System,
-    };
+    pub use crate::{run_far_memory, run_system, MemoryBudget, RemotingPolicy, RunResult, System};
     pub use cards_ir::{FunctionBuilder, Module, Type, Value};
     pub use cards_passes::{compile, CompileOptions};
 }

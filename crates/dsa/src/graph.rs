@@ -115,6 +115,7 @@ pub enum Offset {
 
 impl Offset {
     /// Add a constant displacement.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, d: u64) -> Offset {
         match self {
             Offset::Known(o) => Offset::Known(o + d),
@@ -428,8 +429,14 @@ mod tests {
         let mut g = Graph::new();
         let a = g.new_node(NodeFlags::empty());
         let b = g.new_node(NodeFlags::empty());
-        let ta = g.field_target(Cell { node: a, offset: Offset::Known(8) });
-        let tb = g.field_target(Cell { node: b, offset: Offset::Known(8) });
+        let ta = g.field_target(Cell {
+            node: a,
+            offset: Offset::Known(8),
+        });
+        let tb = g.field_target(Cell {
+            node: b,
+            offset: Offset::Known(8),
+        });
         assert_ne!(g.find(ta), g.find(tb));
         g.unify(a, b);
         assert_eq!(g.find(ta), g.find(tb), "same-offset targets must merge");
@@ -439,13 +446,22 @@ mod tests {
     fn collapse_folds_edges() {
         let mut g = Graph::new();
         let a = g.new_node(NodeFlags::empty());
-        let t0 = g.field_target(Cell { node: a, offset: Offset::Known(0) });
-        let t8 = g.field_target(Cell { node: a, offset: Offset::Known(8) });
+        let t0 = g.field_target(Cell {
+            node: a,
+            offset: Offset::Known(0),
+        });
+        let t8 = g.field_target(Cell {
+            node: a,
+            offset: Offset::Known(8),
+        });
         g.collapse(a);
         assert_eq!(g.find(t0), g.find(t8));
         assert!(g.node(a).collapsed);
         // post-collapse field access all goes to offset 0
-        let t = g.field_target(Cell { node: a, offset: Offset::Known(100) });
+        let t = g.field_target(Cell {
+            node: a,
+            offset: Offset::Known(100),
+        });
         assert_eq!(g.find(t), g.find(t0));
     }
 
@@ -453,8 +469,14 @@ mod tests {
     fn unknown_offset_collapses() {
         let mut g = Graph::new();
         let a = g.new_node(NodeFlags::empty());
-        let _ = g.field_target(Cell { node: a, offset: Offset::Known(16) });
-        let _ = g.field_target(Cell { node: a, offset: Offset::Unknown });
+        let _ = g.field_target(Cell {
+            node: a,
+            offset: Offset::Known(16),
+        });
+        let _ = g.field_target(Cell {
+            node: a,
+            offset: Offset::Unknown,
+        });
         assert!(g.node(a).collapsed);
     }
 
@@ -463,7 +485,10 @@ mod tests {
         let mut g = Graph::new();
         // node -> (8) -> node  (a linked list)
         let n = g.new_node(NodeFlags::HEAP);
-        let t = g.field_target(Cell { node: n, offset: Offset::Known(8) });
+        let t = g.field_target(Cell {
+            node: n,
+            offset: Offset::Known(8),
+        });
         g.unify(t, n);
         assert!(g.is_recursive(n));
         // plain array node is not recursive
@@ -482,7 +507,10 @@ mod tests {
     fn clone_from_preserves_structure_and_separation() {
         let mut src = Graph::new();
         let a = src.new_node(NodeFlags::HEAP);
-        let child = src.field_target(Cell { node: a, offset: Offset::Known(8) });
+        let child = src.field_target(Cell {
+            node: a,
+            offset: Offset::Known(8),
+        });
         src.add_flags(child, NodeFlags::HEAP);
         let mut dst = Graph::new();
         let m1 = dst.clone_from(&src, [a]);

@@ -98,10 +98,8 @@ impl ModuleDsa {
 
         // Tarjan emits SCCs callees-first, which is the bottom-up order.
         for scc in &sccs.members {
-            let recursive_scc = scc.len() > 1
-                || scc
-                    .iter()
-                    .any(|&f| cg.callees[f.0 as usize].contains(&f));
+            let recursive_scc =
+                scc.len() > 1 || scc.iter().any(|&f| cg.callees[f.0 as usize].contains(&f));
             let iters = if recursive_scc { 6 } else { 1 };
             for _ in 0..iters {
                 let mut changed = false;
@@ -272,11 +270,8 @@ fn apply_one_call(
         }
     }
     // Bind globals.
-    let callee_globals: Vec<(cards_ir::GlobalId, NodeId)> = callee
-        .global_nodes
-        .iter()
-        .map(|(&g, &n)| (g, n))
-        .collect();
+    let callee_globals: Vec<(cards_ir::GlobalId, NodeId)> =
+        callee.global_nodes.iter().map(|(&g, &n)| (g, n)).collect();
     for (g, gnode) in callee_globals {
         if let Some(&cloned) = clone_map.get(&callee.graph.find(gnode)) {
             let mine = *caller
@@ -327,8 +322,7 @@ fn extract_instances(
     entries: &[FuncId],
 ) -> (Vec<DsInstance>, Vec<HashMap<NodeId, Vec<u32>>>) {
     let mut instances: Vec<DsInstance> = Vec::new();
-    let mut node_instances: Vec<HashMap<NodeId, Vec<u32>>> =
-        vec![HashMap::new(); funcs.len()];
+    let mut node_instances: Vec<HashMap<NodeId, Vec<u32>>> = vec![HashMap::new(); funcs.len()];
 
     for fd in funcs {
         let fid = fd.func;
@@ -403,7 +397,9 @@ fn pick_elem_ty(module: &Module, tys: &BTreeSet<Type>) -> Option<Type> {
             return Some(module.types.array_ty(*a).elem);
         }
     }
-    tys.iter().find(|t| t.is_scalar() && **t != Type::Ptr).copied()
+    tys.iter()
+        .find(|t| t.is_scalar() && **t != Type::Ptr)
+        .copied()
 }
 
 fn name_for(module: &Module, fd: &FunctionDsa, n: NodeId, id: u32) -> String {
@@ -519,8 +515,7 @@ fn compute_usage(
     for f in 0..nf {
         for &id in &uses[f] {
             usage[id as usize].funcs.insert(FuncId(f as u32));
-            usage[id as usize].reach_depth =
-                usage[id as usize].reach_depth.max(reach[f]);
+            usage[id as usize].reach_depth = usage[id as usize].reach_depth.max(reach[f]);
         }
     }
 

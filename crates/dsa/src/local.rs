@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use cards_ir::{
-    AccessKind, CastOp, Function, FuncId, GepIdx, GlobalId, Inst, InstId, Module, Type, Value,
+    AccessKind, CastOp, FuncId, Function, GepIdx, GlobalId, Inst, InstId, Module, Type, Value,
 };
 
 use crate::graph::{AllocSite, Cell, Graph, NodeFlags, NodeId, Offset};
@@ -274,21 +274,19 @@ impl<'m> Analyzer<'m> {
                     }
                 }
             }
-            Inst::Bin { lhs, rhs, ty, .. } => {
+            Inst::Bin { lhs, rhs, ty, .. } if *ty == Type::I64 => {
                 // Pointer arithmetic through integers: propagate with an
                 // unknown offset.
-                if *ty == Type::I64 {
-                    for op in [*lhs, *rhs] {
-                        if let Some(&c) = self.cells.get(&op) {
-                            self.overwrite_cell(
-                                me,
-                                Cell {
-                                    node: c.node,
-                                    offset: Offset::Unknown,
-                                },
-                            );
-                            break;
-                        }
+                for op in [*lhs, *rhs] {
+                    if let Some(&c) = self.cells.get(&op) {
+                        self.overwrite_cell(
+                            me,
+                            Cell {
+                                node: c.node,
+                                offset: Offset::Unknown,
+                            },
+                        );
+                        break;
                     }
                 }
             }
@@ -309,22 +307,18 @@ impl<'m> Analyzer<'m> {
             },
             Inst::Select {
                 then_v, else_v, ty, ..
-            } => {
-                if *ty == Type::Ptr {
-                    let c = self.cell(*then_v);
-                    self.overwrite_cell(me, c);
-                    self.unify_values(me, *else_v);
-                }
+            } if *ty == Type::Ptr => {
+                let c = self.cell(*then_v);
+                self.overwrite_cell(me, c);
+                self.unify_values(me, *else_v);
             }
-            Inst::Phi { ty, incoming } => {
-                if *ty == Type::Ptr {
-                    let mut iter = incoming.iter();
-                    if let Some(&(_, first)) = iter.next() {
-                        let c = self.cell(first);
-                        self.overwrite_cell(me, c);
-                        for &(_, v) in iter {
-                            self.unify_values(me, v);
-                        }
+            Inst::Phi { ty, incoming } if *ty == Type::Ptr => {
+                let mut iter = incoming.iter();
+                if let Some(&(_, first)) = iter.next() {
+                    let c = self.cell(first);
+                    self.overwrite_cell(me, c);
+                    for &(_, v) in iter {
+                        self.unify_values(me, v);
                     }
                 }
             }
@@ -356,15 +350,13 @@ impl<'m> Analyzer<'m> {
                     self.overwrite_cell(me, Cell::at(n));
                 }
             }
-            Inst::Ret { val: Some(v) } => {
-                if self.is_pointerish(f, *v) {
-                    let c = self.cell(*v);
-                    match self.ret_cell {
-                        Some(rc) => {
-                            self.graph.unify(rc.node, c.node);
-                        }
-                        None => self.ret_cell = Some(c),
+            Inst::Ret { val: Some(v) } if self.is_pointerish(f, *v) => {
+                let c = self.cell(*v);
+                match self.ret_cell {
+                    Some(rc) => {
+                        self.graph.unify(rc.node, c.node);
                     }
+                    None => self.ret_cell = Some(c),
                 }
             }
             _ => {}
@@ -385,10 +377,8 @@ impl<'m> Analyzer<'m> {
     fn is_pointerish(&self, f: &Function, v: Value) -> bool {
         match v {
             Value::Inst(i) => {
-                matches!(
-                    cards_ir::result_type(self.module, f.inst(i)),
-                    Type::Ptr
-                ) || self.cells.contains_key(&v)
+                matches!(cards_ir::result_type(self.module, f.inst(i)), Type::Ptr)
+                    || self.cells.contains_key(&v)
             }
             Value::Arg(i) => f.params.get(i as usize) == Some(&Type::Ptr),
             Value::Global(_) | Value::Func(_) | Value::Null => true,
@@ -560,7 +550,10 @@ mod tests {
         let dsa = FunctionDsa::analyze(&m, fid);
         let heap = dsa.heap_nodes();
         assert_eq!(heap.len(), 1);
-        assert!(!dsa.graph.node(heap[0]).collapsed, "folding is not collapse");
+        assert!(
+            !dsa.graph.node(heap[0]).collapsed,
+            "folding is not collapse"
+        );
         // 100 stores map to the single array node
         let arr_node = dsa.graph.find(heap[0]);
         assert!(dsa
@@ -583,7 +576,11 @@ mod tests {
         let heap = dsa.heap_nodes();
         assert_eq!(heap.len(), 1);
         assert!(dsa.escapes(heap[0]));
-        assert!(dsa.graph.node(heap[0]).flags.contains(NodeFlags::GLOBAL_ESCAPE));
+        assert!(dsa
+            .graph
+            .node(heap[0])
+            .flags
+            .contains(NodeFlags::GLOBAL_ESCAPE));
     }
 
     /// Pointers reachable from arguments are flagged ARG.

@@ -74,10 +74,7 @@ fn listing1_finds_two_disjoint_structures() {
     }
     // They are distinct nodes in main's graph.
     let g = &dsa.func(main_f).graph;
-    assert_ne!(
-        g.find(dsa.instances[0].node),
-        g.find(dsa.instances[1].node)
-    );
+    assert_ne!(g.find(dsa.instances[0].node), g.find(dsa.instances[1].node));
 }
 
 #[test]
@@ -144,11 +141,7 @@ fn recursive_list_builder_flags_recursive_instance() {
     let mut m = Module::new("t");
     let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
     // fn build(n: i64) -> ptr  (recursive list builder)
-    let build = m.add_function(cards_ir::Function::new(
-        "build",
-        vec![Type::I64],
-        Type::Ptr,
-    ));
+    let build = m.add_function(cards_ir::Function::new("build", vec![Type::I64], Type::Ptr));
     {
         let mut b = FunctionBuilder::new("build", vec![Type::I64], Type::Ptr);
         let done = b.new_block();

@@ -49,8 +49,14 @@ impl CallGraph {
             }
         }
         CallGraph {
-            callees: callees.into_iter().map(|s| s.into_iter().collect()).collect(),
-            callers: callers.into_iter().map(|s| s.into_iter().collect()).collect(),
+            callees: callees
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            callers: callers
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
         }
     }
 

@@ -106,8 +106,9 @@ impl IndVars {
         let Inst::Bin { op, lhs, rhs, .. } = f.inst(id) else {
             return false;
         };
-        let const_side =
-            |a: Value, b: Value| (self.is_indvar(a) && b.is_const()) || (self.is_indvar(b) && a.is_const());
+        let const_side = |a: Value, b: Value| {
+            (self.is_indvar(a) && b.is_const()) || (self.is_indvar(b) && a.is_const())
+        };
         match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl => const_side(*lhs, *rhs),
             _ => false,

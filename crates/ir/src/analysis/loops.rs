@@ -98,10 +98,11 @@ impl LoopForest {
                 if i == j {
                     continue;
                 }
-                if snapshots[j].is_superset(&snapshots[i]) && snapshots[j].len() > snapshots[i].len()
+                if snapshots[j].is_superset(&snapshots[i])
+                    && snapshots[j].len() > snapshots[i].len()
                 {
                     let sz = snapshots[j].len();
-                    if best.map_or(true, |(_, bs)| sz < bs) {
+                    if best.is_none_or(|(_, bs)| sz < bs) {
                         best = Some((j, sz));
                     }
                 }

@@ -165,7 +165,12 @@ impl Module {
     }
 
     /// Add a global, returning its id.
-    pub fn add_global(&mut self, name: impl Into<String>, ty: Type, init: Option<Value>) -> GlobalId {
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        init: Option<Value>,
+    ) -> GlobalId {
         let id = GlobalId(self.globals.len() as u32);
         self.globals.push(Global {
             name: name.into(),

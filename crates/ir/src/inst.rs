@@ -296,7 +296,10 @@ pub enum Inst {
 impl Inst {
     /// Whether this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. }
+        )
     }
 
     /// Whether this instruction produces an SSA value usable by others.

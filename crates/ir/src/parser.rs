@@ -140,13 +140,10 @@ impl<'a> Parser<'a> {
                 let Some((n, elem)) = inner.split_once(" x ") else {
                     return self.err(lno, format!("bad array type {s}"));
                 };
-                let len: u64 = n
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: lno,
-                        msg: format!("bad array length {n}"),
-                    })?;
+                let len: u64 = n.trim().parse().map_err(|_| ParseError {
+                    line: lno,
+                    msg: format!("bad array length {n}"),
+                })?;
                 let elem = self.parse_type(lno, elem)?;
                 Type::Array(self.module.types.array_of(elem, len))
             }
@@ -373,13 +370,10 @@ impl<'a> Parser<'a> {
             let open = rest.find('(').unwrap();
             rest[..open].to_string()
         };
-        let fid = *self
-            .func_ids
-            .get(&name)
-            .ok_or_else(|| ParseError {
-                line: hdr_lno,
-                msg: "internal: missing function".into(),
-            })?;
+        let fid = *self.func_ids.get(&name).ok_or_else(|| ParseError {
+            line: hdr_lno,
+            msg: "internal: missing function".into(),
+        })?;
 
         // First sweep: count blocks and assign ids to instruction lines.
         let mut block_count = 0usize;
@@ -449,7 +443,11 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_block_ref(&self, lno: usize, s: &str, nblocks: u32) -> PResult<BlockId> {
-        let Some(n) = s.trim().strip_prefix("bb").and_then(|x| x.parse::<u32>().ok()) else {
+        let Some(n) = s
+            .trim()
+            .strip_prefix("bb")
+            .and_then(|x| x.parse::<u32>().ok())
+        else {
             return self.err(lno, format!("bad block ref {s}"));
         };
         if n >= nblocks {
@@ -698,10 +696,7 @@ impl<'a> Parser<'a> {
                         let Some((b, v)) = part.split_once(':') else {
                             return self.err(lno, format!("bad phi incoming {part}"));
                         };
-                        incoming.push((
-                            self.parse_block_ref(lno, b, nblocks)?,
-                            val(self, v)?,
-                        ));
+                        incoming.push((self.parse_block_ref(lno, b, nblocks)?, val(self, v)?));
                     }
                 }
                 Inst::Phi { ty, incoming }
@@ -844,7 +839,10 @@ mod tests {
     fn round_trip(m: &Module) {
         let p1 = print_module(m);
         let parsed = parse_module(&p1).expect("parse");
-        assert!(verify_module(&parsed).is_empty(), "parsed module must verify");
+        assert!(
+            verify_module(&parsed).is_empty(),
+            "parsed module must verify"
+        );
         let p2 = print_module(&parsed);
         assert_eq!(p1, p2, "print(parse(print)) must be a fixed point");
     }
@@ -927,8 +925,7 @@ mod tests {
     #[test]
     fn parse_errors_are_reported() {
         assert!(parse_module("module x\nbogus line").is_err());
-        let e = parse_module("module x\nfn @f() -> void {\nbb0:\n  zorp\n}")
-            .unwrap_err();
+        let e = parse_module("module x\nfn @f() -> void {\nbb0:\n  zorp\n}").unwrap_err();
         assert!(e.msg.contains("unknown instruction"));
         assert_eq!(e.line, 4);
     }

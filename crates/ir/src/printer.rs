@@ -8,17 +8,23 @@
 use std::fmt::Write as _;
 
 use crate::function::{Function, Module};
-use crate::inst::{
-    AccessKind, BinOp, CastOp, CmpOp, GepIdx, Inst, Intrinsic, PrefetchKind, Value,
-};
+use crate::inst::{AccessKind, BinOp, CastOp, CmpOp, GepIdx, Inst, Intrinsic, PrefetchKind, Value};
 use crate::types::TypeTable;
 
 /// Render a whole module.
 pub fn print_module(m: &Module) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "module {}", if m.name.is_empty() { "_" } else { &m.name });
+    let _ = writeln!(
+        s,
+        "module {}",
+        if m.name.is_empty() { "_" } else { &m.name }
+    );
     for (_, st) in m.types.structs() {
-        let fields: Vec<String> = st.fields.iter().map(|&t| m.types.display(t).to_string()).collect();
+        let fields: Vec<String> = st
+            .fields
+            .iter()
+            .map(|&t| m.types.display(t).to_string())
+            .collect();
         let _ = writeln!(s, "struct %{} {{ {} }}", st.name, fields.join(", "));
     }
     for g in &m.globals {
@@ -64,7 +70,11 @@ fn prefetch_str(p: PrefetchKind) -> &'static str {
 }
 
 fn print_function(s: &mut String, m: &Module, f: &Function) {
-    let params: Vec<String> = f.params.iter().map(|&t| m.types.display(t).to_string()).collect();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|&t| m.types.display(t).to_string())
+        .collect();
     let _ = writeln!(
         s,
         "fn @{}({}) -> {} {{",

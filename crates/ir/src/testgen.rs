@@ -26,6 +26,7 @@ impl Rng {
     }
 
     /// Next raw value.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x << 13;

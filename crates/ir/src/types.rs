@@ -45,7 +45,10 @@ pub enum Type {
 impl Type {
     /// Whether this is any integer type (including `i1`).
     pub fn is_int(self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// Whether this is a floating-point type.
@@ -106,7 +109,10 @@ impl TypeTable {
     /// names make printed IR round-trippable.
     pub fn add_struct(&mut self, name: impl Into<String>, fields: Vec<Type>) -> StructId {
         let id = StructId(self.structs.len() as u32);
-        self.structs.push(StructTy { name: name.into(), fields });
+        self.structs.push(StructTy {
+            name: name.into(),
+            fields,
+        });
         id
     }
 

@@ -103,7 +103,11 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                     format!(
                         "terminator placement: inst {} {} last",
                         iid.0,
-                        if is_last { "must be terminator as" } else { "is terminator but not" }
+                        if is_last {
+                            "must be terminator as"
+                        } else {
+                            "is terminator but not"
+                        }
                     ),
                 );
             }
@@ -149,7 +153,10 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                         err(
                             errs,
                             Some(b),
-                            format!("phi %{} has incoming from non-predecessor bb{}", iid.0, from.0),
+                            format!(
+                                "phi %{} has incoming from non-predecessor bb{}",
+                                iid.0, from.0
+                            ),
                         );
                     }
                 }
@@ -207,7 +214,10 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                         err(
                             errs,
                             Some(b),
-                            format!("use of %{} in %{} not dominated by definition", def.0, iid.0),
+                            format!(
+                                "use of %{} in %{} not dominated by definition",
+                                def.0, iid.0
+                            ),
                         );
                     }
                 }
@@ -223,7 +233,11 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                 }
                 if let Value::Func(fid) = v {
                     if fid.0 as usize >= m.functions.len() {
-                        err(errs, Some(b), format!("use of nonexistent function {}", fid.0));
+                        err(
+                            errs,
+                            Some(b),
+                            format!("use of nonexistent function {}", fid.0),
+                        );
                     }
                 }
             });
@@ -235,7 +249,11 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
         match inst {
             Inst::Call { callee, args } => {
                 if callee.0 as usize >= m.functions.len() {
-                    err(errs, Some(b), format!("call to nonexistent function {}", callee.0));
+                    err(
+                        errs,
+                        Some(b),
+                        format!("call to nonexistent function {}", callee.0),
+                    );
                 } else if m.func(*callee).params.len() != args.len() {
                     err(
                         errs,
@@ -260,29 +278,25 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                     (Some(_), _) => {}
                 }
             }
-            Inst::Bin { op, ty, .. } => {
-                if op.is_float() != ty.is_float() {
-                    err(
-                        errs,
-                        Some(b),
-                        format!("binop %{}: float/int mismatch ({op:?} vs {ty:?})", iid.0),
-                    );
-                }
+            Inst::Bin { op, ty, .. } if op.is_float() != ty.is_float() => {
+                err(
+                    errs,
+                    Some(b),
+                    format!("binop %{}: float/int mismatch ({op:?} vs {ty:?})", iid.0),
+                );
             }
-            Inst::Store { ty, .. } | Inst::Load { ty, .. } => {
-                if !ty.is_first_class() {
-                    err(errs, Some(b), format!("memory op %{} of void type", iid.0));
-                }
+            Inst::Store { ty, .. } | Inst::Load { ty, .. } if !ty.is_first_class() => {
+                err(errs, Some(b), format!("memory op %{} of void type", iid.0));
             }
-            Inst::Intrin { which, args } => {
-                if args.len() != which.arity() {
-                    err(errs, Some(b), format!("intrinsic %{} arity mismatch", iid.0));
-                }
+            Inst::Intrin { which, args } if args.len() != which.arity() => {
+                err(
+                    errs,
+                    Some(b),
+                    format!("intrinsic %{} arity mismatch", iid.0),
+                );
             }
-            Inst::DsInit { meta } => {
-                if meta.0 as usize >= m.ds_metas.len() {
-                    err(errs, Some(b), format!("ds_init of unknown meta {}", meta.0));
-                }
+            Inst::DsInit { meta } if meta.0 as usize >= m.ds_metas.len() => {
+                err(errs, Some(b), format!("ds_init of unknown meta {}", meta.0));
             }
             _ => {}
         }
@@ -369,8 +383,9 @@ mod tests {
         b.phi(Type::I64, vec![(next, Value::ConstInt(1))]);
         b.ret_void();
         let errs = verify_module(&module_with(b.finish()));
-        assert!(errs.iter().any(|e| e.msg.contains("non-predecessor")
-            || e.msg.contains("missing incoming")));
+        assert!(errs
+            .iter()
+            .any(|e| e.msg.contains("non-predecessor") || e.msg.contains("missing incoming")));
     }
 
     #[test]
@@ -407,7 +422,9 @@ mod tests {
             m.add_function(b.finish());
         }
         let errs = verify_module(&m);
-        assert!(errs.iter().any(|e| e.msg.contains("duplicate function name")));
+        assert!(errs
+            .iter()
+            .any(|e| e.msg.contains("duplicate function name")));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! inputs a frontend or a human writing `.ir` files by hand will produce.
 
 use cards_ir::analysis::{analyze_loops, CallGraph, CallGraphSccs, Cfg, DomTree, LoopForest};
-use cards_ir::{
-    parse_module, print_module, verify_module, FunctionBuilder, Module, Type, Value,
-};
+use cards_ir::{parse_module, print_module, verify_module, FunctionBuilder, Module, Type, Value};
 
 // ---------- parser ----------
 
@@ -217,7 +215,10 @@ fn indvars_with_nonconstant_step_detected_without_stride() {
     let f = b.finish();
     let (_, _, _, ivs) = analyze_loops(&f);
     assert_eq!(ivs.vars.len(), 1);
-    assert_eq!(ivs.vars[0].step, None, "dynamic step has no constant stride");
+    assert_eq!(
+        ivs.vars[0].step, None,
+        "dynamic step has no constant stride"
+    );
 }
 
 #[test]

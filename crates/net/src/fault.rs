@@ -4,16 +4,14 @@
 //! configured probability (seeded, deterministic). The CaRDS runtime must
 //! retry transient faults and remain correct — integration tests drive this.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::prng::SplitMix64;
 use crate::stats::NetStats;
 use crate::transport::{Fetched, NetError, ObjKey, Transport};
 
 /// Deterministic fault injector around an inner transport.
 pub struct FaultyTransport<T: Transport> {
     inner: T,
-    rng: StdRng,
+    rng: SplitMix64,
     /// Probability in [0,1] that an operation fails with `Transient`.
     fault_rate: f64,
     /// Faults injected so far.
@@ -27,7 +25,7 @@ impl<T: Transport> FaultyTransport<T> {
         assert!((0.0..=1.0).contains(&fault_rate), "fault_rate out of range");
         FaultyTransport {
             inner,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             fault_rate,
             injected: 0,
         }
@@ -39,7 +37,7 @@ impl<T: Transport> FaultyTransport<T> {
     }
 
     fn maybe_fault(&mut self) -> Result<(), NetError> {
-        if self.fault_rate > 0.0 && self.rng.gen::<f64>() < self.fault_rate {
+        if self.fault_rate > 0.0 && self.rng.next_f64() < self.fault_rate {
             self.injected += 1;
             Err(NetError::Transient)
         } else {
@@ -103,7 +101,10 @@ mod tests {
     #[test]
     fn full_rate_always_faults() {
         let mut t = FaultyTransport::new(SimTransport::default(), 1.0, 1);
-        assert_eq!(t.put(ObjKey { ds: 0, index: 0 }, &[1]), Err(NetError::Transient));
+        assert_eq!(
+            t.put(ObjKey { ds: 0, index: 0 }, &[1]),
+            Err(NetError::Transient)
+        );
         assert_eq!(t.injected, 1);
     }
 

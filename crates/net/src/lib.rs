@@ -10,18 +10,20 @@
 //! - [`SimTransport`] — in-process hash-map server; deterministic, used by
 //!   all benchmarks and figure reproductions.
 //! - [`ThreadedTransport`] — the same server on its own OS thread behind
-//!   crossbeam channels (the "two machines" configuration), used in tests
+//!   bounded std channels (the "two machines" configuration), used in tests
 //!   that exercise a real cross-thread path.
 //! - [`FaultyTransport`] — deterministic fault injection for failure tests.
 
 pub mod fault;
 pub mod model;
+pub mod prng;
 pub mod stats;
 pub mod threaded;
 pub mod transport;
 
 pub use fault::FaultyTransport;
 pub use model::NetworkModel;
+pub use prng::SplitMix64;
 pub use stats::NetStats;
 pub use threaded::ThreadedTransport;
 pub use transport::{Fetched, NetError, ObjKey, SimTransport, Transport};

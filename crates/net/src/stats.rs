@@ -18,14 +18,14 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    /// Total bytes in either direction.
+    /// Total bytes in either direction (saturating near `u64::MAX`).
     pub fn total_bytes(&self) -> u64 {
-        self.bytes_fetched + self.bytes_written
+        self.bytes_fetched.saturating_add(self.bytes_written)
     }
 
-    /// Total messages in either direction.
+    /// Total messages in either direction (saturating near `u64::MAX`).
     pub fn total_msgs(&self) -> u64 {
-        self.fetches + self.writebacks
+        self.fetches.saturating_add(self.writebacks)
     }
 }
 
@@ -45,5 +45,18 @@ mod tests {
         };
         assert_eq!(s.total_bytes(), 30);
         assert_eq!(s.total_msgs(), 5);
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_wrapping() {
+        let s = NetStats {
+            fetches: u64::MAX,
+            writebacks: 7,
+            bytes_fetched: u64::MAX - 1,
+            bytes_written: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.total_bytes(), u64::MAX);
+        assert_eq!(s.total_msgs(), u64::MAX);
     }
 }

@@ -1,15 +1,14 @@
 //! A transport whose server runs on its own OS thread — the "two machines"
-//! configuration. Requests/responses travel over crossbeam channels, which
-//! plays the role of the RDMA link; cycle costs still come from the model
+//! configuration. Requests/responses travel over bounded std channels, which
+//! play the role of the RDMA link; cycle costs still come from the model
 //! so results are identical to [`crate::transport::SimTransport`].
 //!
 //! This exists to exercise a real cross-thread memory-server path (channel
 //! backpressure, shutdown, poisoning) rather than for performance.
 
 use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::model::NetworkModel;
 use crate::stats::NetStats;
@@ -33,7 +32,7 @@ enum Response {
 
 /// Client half of the threaded transport. Dropping it shuts the server down.
 pub struct ThreadedTransport {
-    tx: Sender<Request>,
+    tx: SyncSender<Request>,
     rx: Receiver<Response>,
     model: NetworkModel,
     stats: NetStats,
@@ -43,8 +42,8 @@ pub struct ThreadedTransport {
 impl ThreadedTransport {
     /// Spawn the memory-server thread and connect to it.
     pub fn spawn(model: NetworkModel) -> Self {
-        let (req_tx, req_rx) = bounded::<Request>(64);
-        let (resp_tx, resp_rx) = bounded::<Response>(64);
+        let (req_tx, req_rx) = sync_channel::<Request>(64);
+        let (resp_tx, resp_rx) = sync_channel::<Response>(64);
         let handle = std::thread::Builder::new()
             .name("cards-remote-mem".into())
             .spawn(move || server_loop(req_rx, resp_tx))
@@ -64,7 +63,7 @@ impl ThreadedTransport {
     }
 }
 
-fn server_loop(rx: Receiver<Request>, tx: Sender<Response>) {
+fn server_loop(rx: Receiver<Request>, tx: SyncSender<Response>) {
     let mut store: HashMap<ObjKey, Vec<u8>> = HashMap::new();
     let mut resident = 0u64;
     while let Ok(req) = rx.recv() {

@@ -30,7 +30,9 @@ pub enum NetError {
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetError::NotFound(k) => write!(f, "object ds{}:{} not on remote server", k.ds, k.index),
+            NetError::NotFound(k) => {
+                write!(f, "object ds{}:{} not on remote server", k.ds, k.index)
+            }
             NetError::Transient => write!(f, "transient network fault"),
             NetError::Disconnected => write!(f, "remote server disconnected"),
         }
@@ -213,10 +215,7 @@ mod tests {
     #[test]
     fn fetch_missing_is_not_found() {
         let mut t = SimTransport::default();
-        assert_eq!(
-            t.fetch(key(2, 9)),
-            Err(NetError::NotFound(key(2, 9)))
-        );
+        assert_eq!(t.fetch(key(2, 9)), Err(NetError::NotFound(key(2, 9))));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use cards_ir::Module;
 
 use crate::guards::{eliminate_redundant_guards, insert_guards, GuardStats};
 use crate::pool_alloc::{pool_allocate, PoolAllocError, PoolAllocResult};
-use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchChoice, PrefetchSelection};
+use crate::prefetch_analysis::{
+    analyze_prefetch, rank_instances, PrefetchChoice, PrefetchSelection,
+};
 use crate::versioning::version_loops;
 
 /// Pipeline configuration. `cards()` and `trackfm()` give the two systems
@@ -165,7 +167,11 @@ mod tests {
     #[test]
     fn compile_rejects_bad_input() {
         let mut m = Module::new("bad");
-        m.add_function(cards_ir::Function::new("empty", vec![], cards_ir::Type::Void));
+        m.add_function(cards_ir::Function::new(
+            "empty",
+            vec![],
+            cards_ir::Type::Void,
+        ));
         assert!(matches!(
             compile(m, CompileOptions::cards()),
             Err(CompileError::Verify(_))
@@ -179,10 +185,8 @@ mod tests {
         let (m, _) = listing1();
         let c = compile(m, CompileOptions::cards()).unwrap();
         let printed = cards_ir::print_module(&c.module);
-        let canon =
-            cards_ir::print_module(&cards_ir::parse_module(&printed).expect("parse"));
-        let again =
-            cards_ir::print_module(&cards_ir::parse_module(&canon).expect("reparse"));
+        let canon = cards_ir::print_module(&cards_ir::parse_module(&printed).expect("parse"));
+        let again = cards_ir::print_module(&cards_ir::parse_module(&canon).expect("reparse"));
         assert_eq!(canon, again);
     }
 }

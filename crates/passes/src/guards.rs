@@ -71,12 +71,8 @@ fn insert_in_function(
         let mut new_list = Vec::with_capacity(old_list.len() * 2);
         for iid in old_list {
             let (ptr, access, bytes) = match module.func(fid).inst(iid) {
-                Inst::Load { ptr, ty } => {
-                    (*ptr, AccessKind::Read, module.types.size_of(*ty))
-                }
-                Inst::Store { ptr, ty, .. } => {
-                    (*ptr, AccessKind::Write, module.types.size_of(*ty))
-                }
+                Inst::Load { ptr, ty } => (*ptr, AccessKind::Read, module.types.size_of(*ty)),
+                Inst::Store { ptr, ty, .. } => (*ptr, AccessKind::Write, module.types.size_of(*ty)),
                 _ => {
                     new_list.push(iid);
                     continue;
@@ -86,14 +82,10 @@ fn insert_in_function(
             // guard even under guard_all (they are never tagged) — but the
             // custody check is exactly what TrackFM pays there, so under
             // guard_all we still insert it.
-            let guard = if guard_all {
-                true
-            } else if needs_guard(dsa, fid, ptr) {
-                true
-            } else {
+            let guard = guard_all || needs_guard(dsa, fid, ptr);
+            if !guard {
                 stats.skipped_nonheap += 1;
-                false
-            };
+            }
             if guard {
                 let f = module.func_mut(fid);
                 let gid = InstId(f.insts.len() as u32);
@@ -104,9 +96,7 @@ fn insert_in_function(
                 });
                 // Rewrite the access to use the localized pointer.
                 match &mut f.insts[iid.0 as usize] {
-                    Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => {
-                        *ptr = Value::Inst(gid)
-                    }
+                    Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => *ptr = Value::Inst(gid),
                     _ => unreachable!(),
                 }
                 new_list.push(gid);
@@ -286,8 +276,8 @@ fn resolve(replace: &HashMap<InstId, Value>, mut v: Value) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchSelection};
     use crate::pool_alloc::pool_allocate;
+    use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchSelection};
     use cards_ir::{FunctionBuilder, Type};
 
     fn full_prep(m: &mut Module) -> (ModuleDsa, crate::pool_alloc::PoolAllocResult) {
@@ -301,7 +291,11 @@ mod tests {
     fn count_guards(m: &Module) -> usize {
         m.functions
             .iter()
-            .flat_map(|f| f.block_ids().flat_map(move |b| &f.block(b).insts).map(move |&i| f.inst(i)))
+            .flat_map(|f| {
+                f.block_ids()
+                    .flat_map(move |b| &f.block(b).insts)
+                    .map(move |&i| f.inst(i))
+            })
             .filter(|i| matches!(i, Inst::Guard { .. }))
             .count()
     }
@@ -341,7 +335,9 @@ mod tests {
     #[test]
     fn same_object_field_guards_collapse() {
         let mut m = Module::new("t");
-        let s3 = m.types.add_struct("S3", vec![Type::I64, Type::I64, Type::I64]);
+        let s3 = m
+            .types
+            .add_struct("S3", vec![Type::I64, Type::I64, Type::I64]);
         let mut b = FunctionBuilder::new("main", vec![], Type::Void);
         let p = b.alloc(b.iconst(24), Type::Struct(s3));
         for fldi in 0..3 {

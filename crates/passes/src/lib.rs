@@ -27,9 +27,9 @@ pub mod versioning;
 #[doc(hidden)]
 pub mod testutil;
 
-pub use driver::{compile, Compiled, CompileError, CompileOptions};
+pub use driver::{compile, CompileError, CompileOptions, Compiled};
 pub use guards::{eliminate_redundant_guards, insert_guards, GuardStats};
-pub use pool_alloc::{pool_allocate, PoolAllocError, PoolAllocResult};
 pub use opt::{optimize, OptStats};
+pub use pool_alloc::{pool_allocate, PoolAllocError, PoolAllocResult};
 pub use prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchChoice, PrefetchSelection};
 pub use versioning::version_loops;

@@ -109,12 +109,17 @@ fn fold_constants(module: &mut Module, fid: FuncId) -> usize {
                     continue; // already folded and neutralized
                 }
                 let c = match inst {
-                    Inst::Bin { op, lhs: Value::ConstInt(a), rhs: Value::ConstInt(b), .. } => {
-                        eval_bin(*op, *a, *b).map(Value::ConstInt)
-                    }
-                    Inst::Cmp { op, lhs: Value::ConstInt(a), rhs: Value::ConstInt(b) } => {
-                        eval_cmp(*op, *a, *b).map(|v| Value::ConstInt(v as i64))
-                    }
+                    Inst::Bin {
+                        op,
+                        lhs: Value::ConstInt(a),
+                        rhs: Value::ConstInt(b),
+                        ..
+                    } => eval_bin(*op, *a, *b).map(Value::ConstInt),
+                    Inst::Cmp {
+                        op,
+                        lhs: Value::ConstInt(a),
+                        rhs: Value::ConstInt(b),
+                    } => eval_cmp(*op, *a, *b).map(|v| Value::ConstInt(v as i64)),
                     Inst::Select {
                         cond: Value::ConstInt(c),
                         then_v,
@@ -124,15 +129,24 @@ fn fold_constants(module: &mut Module, fid: FuncId) -> usize {
                         Some(if *c != 0 { *then_v } else { *else_v })
                     }
                     // Algebraic identities with one constant side.
-                    Inst::Bin { op: BinOp::Add, lhs, rhs: Value::ConstInt(0), .. }
-                    | Inst::Bin { op: BinOp::Sub, lhs, rhs: Value::ConstInt(0), .. }
-                        if lhs.is_const() =>
-                    {
-                        Some(*lhs)
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        lhs,
+                        rhs: Value::ConstInt(0),
+                        ..
                     }
-                    Inst::Bin { op: BinOp::Mul, lhs: _, rhs: Value::ConstInt(0), .. } => {
-                        Some(Value::ConstInt(0))
-                    }
+                    | Inst::Bin {
+                        op: BinOp::Sub,
+                        lhs,
+                        rhs: Value::ConstInt(0),
+                        ..
+                    } if lhs.is_const() => Some(*lhs),
+                    Inst::Bin {
+                        op: BinOp::Mul,
+                        lhs: _,
+                        rhs: Value::ConstInt(0),
+                        ..
+                    } => Some(Value::ConstInt(0)),
                     _ => None,
                 };
                 if let Some(v) = c {
@@ -390,8 +404,14 @@ mod tests {
         let guards_before = count(&c.module, |i| matches!(i, Inst::Guard { .. }));
         let inits_before = count(&c.module, |i| matches!(i, Inst::DsInit { .. }));
         optimize(&mut c.module);
-        assert_eq!(count(&c.module, |i| matches!(i, Inst::Guard { .. })), guards_before);
-        assert_eq!(count(&c.module, |i| matches!(i, Inst::DsInit { .. })), inits_before);
+        assert_eq!(
+            count(&c.module, |i| matches!(i, Inst::Guard { .. })),
+            guards_before
+        );
+        assert_eq!(
+            count(&c.module, |i| matches!(i, Inst::DsInit { .. })),
+            inits_before
+        );
         assert!(verify_module(&c.module).is_empty());
     }
 

@@ -12,9 +12,7 @@
 use std::collections::HashMap;
 
 use cards_dsa::{ModuleDsa, NodeId};
-use cards_ir::{
-    DsMeta, DsMetaId, FuncId, Inst, InstId, Module, Type, Value,
-};
+use cards_ir::{DsMeta, DsMetaId, FuncId, Inst, InstId, Module, Type, Value};
 
 use crate::prefetch_analysis::PrefetchChoice;
 
@@ -36,7 +34,11 @@ pub enum PoolAllocError {
 impl std::fmt::Display for PoolAllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PoolAllocError::MissingHandle { caller, site, callee } => write!(
+            PoolAllocError::MissingHandle {
+                caller,
+                site,
+                callee,
+            } => write!(
                 f,
                 "no DS handle available at call f{}:%{} -> f{}",
                 caller.0, site.0, callee.0
@@ -144,6 +146,7 @@ pub fn pool_allocate(
     }
 
     // Phase 2: rewrite allocations and call sites.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..nf {
         let fid = FuncId(i as u32);
         let fd = &dsa.funcs[i];
@@ -276,8 +279,11 @@ mod tests {
             }
         }
         // module still verifies
-        assert!(cards_ir::verify_module(&m).is_empty(), "{:?}",
-            cards_ir::verify_module(&m));
+        assert!(
+            cards_ir::verify_module(&m).is_empty(),
+            "{:?}",
+            cards_ir::verify_module(&m)
+        );
     }
 
     /// Set() does not allocate but its arg node escapes with alloc sites,
@@ -328,11 +334,7 @@ mod tests {
     fn transformed_module_verifies_for_recursive_builder() {
         let mut m = Module::new("t");
         let node_ty = m.types.add_struct("Node", vec![Type::I64, Type::Ptr]);
-        let build = m.add_function(cards_ir::Function::new(
-            "build",
-            vec![Type::I64],
-            Type::Ptr,
-        ));
+        let build = m.add_function(cards_ir::Function::new("build", vec![Type::I64], Type::Ptr));
         {
             let mut b = cards_ir::FunctionBuilder::new("build", vec![Type::I64], Type::Ptr);
             let done = b.new_block();

@@ -3,7 +3,7 @@
 //! Hidden from docs; used by unit tests across pass modules and re-exported
 //! for the integration tests.
 
-use cards_ir::{FunctionBuilder, FuncId, Module, Type, Value};
+use cards_ir::{FuncId, FunctionBuilder, Module, Type, Value};
 
 /// The paper's Listing 1: globals `ds1`/`ds2` filled via one `alloc()`
 /// helper, written through `Set`, with `ds2` re-written in a loop.

@@ -26,11 +26,7 @@ use crate::pool_alloc::PoolAllocResult;
 
 /// Apply code versioning to all functions; returns the number of loops that
 /// received an uninstrumented version.
-pub fn version_loops(
-    module: &mut Module,
-    dsa: &ModuleDsa,
-    pool: &PoolAllocResult,
-) -> usize {
+pub fn version_loops(module: &mut Module, dsa: &ModuleDsa, pool: &PoolAllocResult) -> usize {
     let mut count = 0;
     for i in 0..module.functions.len() {
         let fid = FuncId(i as u32);
@@ -212,7 +208,10 @@ fn clone_and_dispatch(
         }
     }
     // Value remapping (chases guard forwards).
-    let remap = |v: Value, inst_map: &HashMap<InstId, InstId>, guard_fwd: &HashMap<InstId, Value>| -> Value {
+    let remap = |v: Value,
+                 inst_map: &HashMap<InstId, InstId>,
+                 guard_fwd: &HashMap<InstId, Value>|
+     -> Value {
         let mut v = v;
         loop {
             match v {
@@ -263,7 +262,7 @@ fn clone_and_dispatch(
         let br = InstId(f.insts.len() as u32);
         f.insts.push(Inst::CondBr {
             cond: Value::Inst(chk),
-            then_b: header,       // some DS remotable: instrumented loop
+            then_b: header,        // some DS remotable: instrumented loop
             else_b: cloned_header, // all local: fast path
         });
         f.blocks[c.0 as usize].insts = vec![chk, br];
@@ -274,8 +273,8 @@ fn clone_and_dispatch(
 mod tests {
     use super::*;
     use crate::guards::{eliminate_redundant_guards, insert_guards};
-    use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchSelection};
     use crate::pool_alloc::pool_allocate;
+    use crate::prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchSelection};
     use cards_ir::{FunctionBuilder, Type};
 
     fn prep(m: &mut Module) -> usize {

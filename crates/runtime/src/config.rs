@@ -1,5 +1,7 @@
 //! Runtime configuration: local-memory budgets and primitive cycle costs.
 
+use crate::telemetry::TelemetryConfig;
+
 /// Cycle costs of the runtime's CPU-side primitives, matching the shape of
 /// the paper's Table 1. The remote transfer itself is priced by
 /// `cards_net::NetworkModel`; these are the *software* costs layered on top.
@@ -67,6 +69,8 @@ pub struct RuntimeConfig {
     pub max_retries: u32,
     /// Max objects a single prefetch batch may pull.
     pub prefetch_batch: usize,
+    /// Telemetry collection knobs (event ring, histograms, epochs).
+    pub telemetry: TelemetryConfig,
 }
 
 impl RuntimeConfig {
@@ -79,6 +83,7 @@ impl RuntimeConfig {
             strict_guards: true,
             max_retries: 16,
             prefetch_batch: 8,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -97,6 +102,12 @@ impl RuntimeConfig {
     /// Builder-style: prefetch batch limit.
     pub fn with_prefetch_batch(mut self, n: usize) -> Self {
         self.prefetch_batch = n;
+        self
+    }
+
+    /// Builder-style: telemetry knobs.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

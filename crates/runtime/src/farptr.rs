@@ -65,6 +65,7 @@ impl FarPtr {
 
     /// Pointer displaced by `delta` bytes (stays within the same DS tag).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, delta: u64) -> FarPtr {
         debug_assert!(self.offset() + delta <= OFFSET_MASK, "offset overflow");
         FarPtr(self.0 + delta)

@@ -28,15 +28,20 @@ pub mod report;
 pub mod runtime;
 pub mod spec;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::{CostModel, RuntimeConfig};
 pub use farptr::{FarPtr, MAX_HANDLE, OFFSET_MASK, TAG_SHIFT};
-pub use policy::{assign_hints, RemotingPolicy};
+pub use policy::{assign_hints, assign_hints_explained, PolicyDecision, RemotingPolicy};
 pub use prefetch::{build_prefetcher, PrefetchTarget, Prefetcher};
 pub use report::render_report;
 pub use runtime::{Access, FarMemRuntime, RtError};
 pub use spec::{DsPriority, DsSpec, PrefetchKind, StaticHint};
 pub use stats::{DsStats, RuntimeStats};
+pub use telemetry::{
+    export_chrome_trace, export_json, Event, EventKind, HistPath, Histogram, Telemetry,
+    TelemetryConfig,
+};
 
 /// Round `v` up to a multiple of `align` (power of two).
 pub(crate) fn align_up(v: u64, align: u64) -> u64 {
@@ -117,7 +122,7 @@ mod tests {
         let h = r.register_ds(DsSpec::simple("a"), StaticHint::Remotable);
         let (p0, _) = r.ds_alloc(h, 4096).unwrap();
         let (p1, _) = r.ds_alloc(h, 4096).unwrap(); // evicts p0's object
-        // Free the resident object so localizing p0 needs no eviction.
+                                                    // Free the resident object so localizing p0 needs no eviction.
         r.free(p1).unwrap();
         let c = r.guard(p0, Access::Read, 8).unwrap();
         // remote fault ≈ 46K wire + 13K bookkeeping ≈ 59K (Table 1)
@@ -180,10 +185,8 @@ mod tests {
     fn stride_prefetcher_cuts_miss_count() {
         // Working set of 64 objects, cache of 16. Sequential scan.
         let run = |kind: PrefetchKind| {
-            let mut r = FarMemRuntime::new(
-                RuntimeConfig::new(0, 16 * 4096),
-                SimTransport::default(),
-            );
+            let mut r =
+                FarMemRuntime::new(RuntimeConfig::new(0, 16 * 4096), SimTransport::default());
             let spec = DsSpec::simple("arr").with_prefetch(kind);
             let h = r.register_ds(spec, StaticHint::Remotable);
             let (p, _) = r.ds_alloc(h, 64 * 4096).unwrap();
@@ -215,10 +218,7 @@ mod tests {
 
     #[test]
     fn prefetch_usefulness_is_tracked() {
-        let mut r = FarMemRuntime::new(
-            RuntimeConfig::new(0, 8 * 4096),
-            SimTransport::default(),
-        );
+        let mut r = FarMemRuntime::new(RuntimeConfig::new(0, 8 * 4096), SimTransport::default());
         let spec = DsSpec::simple("arr").with_prefetch(PrefetchKind::Stride);
         let h = r.register_ds(spec, StaticHint::Remotable);
         let (p, _) = r.ds_alloc(h, 32 * 4096).unwrap();

@@ -5,9 +5,7 @@
 //! which data structures get pinned local memory. The runtime may override
 //! these hints when budgets run out.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use cards_net::SplitMix64;
 
 use crate::spec::{DsSpec, StaticHint};
 
@@ -44,17 +42,41 @@ impl RemotingPolicy {
     }
 }
 
+/// One explained per-DS outcome of a policy run: which hint the DS got and
+/// why — the raw material for telemetry's `policy_decision` events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyDecision {
+    /// Index into the `specs` slice the decision applies to.
+    pub index: usize,
+    /// The DS name (copied from its spec).
+    pub name: String,
+    /// The hint assigned.
+    pub hint: StaticHint,
+    /// Human-readable explanation of the decision.
+    pub why: String,
+}
+
 /// Compute the static hint for every DS under `policy` with threshold
 /// `k_percent` (0–100: percentage of DSes to localize).
 pub fn assign_hints(specs: &[DsSpec], policy: RemotingPolicy, k_percent: u32) -> Vec<StaticHint> {
+    assign_hints_explained(specs, policy, k_percent).0
+}
+
+/// Like [`assign_hints`], but also returns one [`PolicyDecision`] per DS
+/// explaining *why* it was pinned or left remotable.
+pub fn assign_hints_explained(
+    specs: &[DsSpec],
+    policy: RemotingPolicy,
+    k_percent: u32,
+) -> (Vec<StaticHint>, Vec<PolicyDecision>) {
     let n = specs.len();
     let k = ((n as u64 * k_percent.min(100) as u64) / 100) as usize;
-    match policy {
+    let hints = match policy {
         RemotingPolicy::AllRemotable => vec![StaticHint::Remotable; n],
         RemotingPolicy::Linear => vec![StaticHint::PinnedIfRoom; n],
         RemotingPolicy::Random { seed } => {
             let mut order: Vec<usize> = (0..n).collect();
-            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            SplitMix64::new(seed).shuffle(&mut order);
             let mut hints = vec![StaticHint::Remotable; n];
             for &i in order.iter().take(k) {
                 hints[i] = StaticHint::Pinned;
@@ -63,7 +85,62 @@ pub fn assign_hints(specs: &[DsSpec], policy: RemotingPolicy, k_percent: u32) ->
         }
         RemotingPolicy::MaxReach => top_k_by(specs, k, |s| s.priority.reach_depth),
         RemotingPolicy::MaxUse => top_k_by(specs, k, |s| s.priority.use_score),
-    }
+    };
+    let decisions = specs
+        .iter()
+        .zip(hints.iter())
+        .enumerate()
+        .map(|(i, (spec, &hint))| {
+            let why = match policy {
+                RemotingPolicy::AllRemotable => {
+                    "all-remotable: no DS receives pinned memory".to_string()
+                }
+                RemotingPolicy::Linear => {
+                    "linear: pinned-if-room in program order (dynamic)".to_string()
+                }
+                RemotingPolicy::Random { seed } => {
+                    if hint == StaticHint::Pinned {
+                        format!("random(seed={seed}): drawn in first {k} of shuffle")
+                    } else {
+                        format!("random(seed={seed}): not drawn (k={k} of {n})")
+                    }
+                }
+                RemotingPolicy::MaxReach => {
+                    if hint == StaticHint::Pinned {
+                        format!(
+                            "max-reach: reach_depth={} ranks in top {k} of {n}",
+                            spec.priority.reach_depth
+                        )
+                    } else {
+                        format!(
+                            "max-reach: reach_depth={} below top {k} of {n}",
+                            spec.priority.reach_depth
+                        )
+                    }
+                }
+                RemotingPolicy::MaxUse => {
+                    if hint == StaticHint::Pinned {
+                        format!(
+                            "max-use: use_score={} ranks in top {k} of {n}",
+                            spec.priority.use_score
+                        )
+                    } else {
+                        format!(
+                            "max-use: use_score={} below top {k} of {n}",
+                            spec.priority.use_score
+                        )
+                    }
+                }
+            };
+            PolicyDecision {
+                index: i,
+                name: spec.name.clone(),
+                hint,
+                why,
+            }
+        })
+        .collect();
+    (hints, decisions)
 }
 
 /// Pin the `k` DSes with the highest `score`; ties broken by program order
@@ -148,6 +225,23 @@ mod tests {
         assert_eq!(a.iter().filter(|&&x| x == StaticHint::Pinned).count(), 2);
         // seed 2 may or may not differ; just check the count
         assert_eq!(c.iter().filter(|&&x| x == StaticHint::Pinned).count(), 2);
+    }
+
+    #[test]
+    fn explained_decisions_match_hints_and_name_the_reason() {
+        let (hints, decisions) = assign_hints_explained(&specs(), RemotingPolicy::MaxUse, 50);
+        assert_eq!(decisions.len(), hints.len());
+        for (d, &h) in decisions.iter().zip(hints.iter()) {
+            assert_eq!(d.hint, h);
+            assert!(d.why.starts_with("max-use:"), "{}", d.why);
+        }
+        // the pinned ones explain their rank; the rest explain the cut
+        let pinned: Vec<_> = decisions
+            .iter()
+            .filter(|d| d.hint == StaticHint::Pinned)
+            .collect();
+        assert_eq!(pinned.len(), 2);
+        assert!(pinned.iter().all(|d| d.why.contains("top 2")));
     }
 
     #[test]

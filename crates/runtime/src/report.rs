@@ -7,8 +7,10 @@ use std::fmt::Write as _;
 use cards_net::Transport;
 
 use crate::runtime::FarMemRuntime;
+use crate::telemetry::HistPath;
 
-/// Render a per-data-structure statistics table plus global counters.
+/// Render a per-data-structure statistics table plus global counters,
+/// latency percentiles, and the top thrashing structures.
 pub fn render_report<T: Transport>(rt: &FarMemRuntime<T>) -> String {
     let mut s = String::new();
     let _ = writeln!(
@@ -54,15 +56,67 @@ pub fn render_report<T: Transport>(rt: &FarMemRuntime<T>) -> String {
         rt.remotable_used(),
         rt.transport().remote_bytes(),
     );
+    let tel = rt.telemetry();
+    if tel.enabled() {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>9} {:>10} {:>10} {:>10}",
+            "latency", "count", "p50", "p95", "p99"
+        );
+        for p in HistPath::ALL {
+            let h = tel.hist(p);
+            let _ = writeln!(
+                s,
+                "{:<14} {:>9} {:>10} {:>10} {:>10}",
+                p.name(),
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+        }
+    }
+    // Top-K thrashing structures: most misses first, ties by evictions.
+    let mut thrashers: Vec<u16> = (0..rt.ds_count() as u16)
+        .filter(|&h| rt.ds_stats(h).is_some_and(|st| st.misses > 0))
+        .collect();
+    thrashers.sort_by_key(|&h| {
+        let st = rt.ds_stats(h).unwrap();
+        (
+            std::cmp::Reverse(st.misses),
+            std::cmp::Reverse(st.evictions),
+            h,
+        )
+    });
+    if !thrashers.is_empty() {
+        let _ = writeln!(s, "top thrashing structures:");
+        for &h in thrashers.iter().take(3) {
+            let (st, spec) = (rt.ds_stats(h).unwrap(), rt.ds_spec(h).unwrap());
+            let _ = writeln!(
+                s,
+                "  ds{:<3} {:<18} {:>9} misses ({:>5.1}% miss ratio), {} evictions, {} writebacks",
+                h,
+                truncate(&spec.name, 18),
+                st.misses,
+                st.miss_ratio() * 100.0,
+                st.evictions,
+                st.writebacks,
+            );
+        }
+    }
     s
 }
 
+/// Truncate to at most `n` characters (not bytes), appending `…` when cut.
+/// Slicing happens on char boundaries, so multi-byte names are safe.
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n {
-        s.to_string()
-    } else {
-        format!("{}…", &s[..n - 1])
+    if s.chars().count() <= n {
+        return s.to_string();
     }
+    let keep = n.saturating_sub(1);
+    let mut out: String = s.chars().take(keep).collect();
+    out.push('…');
+    out
 }
 
 #[cfg(test)]
@@ -97,5 +151,53 @@ mod tests {
         // ds b had one miss after evacuation
         let line_b = rep.lines().nth(2).unwrap();
         assert!(line_b.contains(" 1"), "{line_b}");
+        // telemetry-backed sections
+        assert!(rep.contains("latency"), "{rep}");
+        assert!(rep.contains("deref_local"), "{rep}");
+        assert!(rep.contains("top thrashing structures:"), "{rep}");
+        assert!(rep
+            .lines()
+            .any(|l| l.contains("a_much_longer_str") && l.contains("misses")));
+    }
+
+    #[test]
+    fn truncate_is_char_boundary_safe() {
+        // 20 multi-byte chars: byte-offset slicing would panic here.
+        let name = "αβγδεζηθικλμνξοπρστυ";
+        assert_eq!(name.chars().count(), 20);
+        let t = truncate(name, 18);
+        assert_eq!(t.chars().count(), 18);
+        assert!(t.ends_with('…'));
+        // short multi-byte names pass through untouched
+        assert_eq!(truncate("héllo", 18), "héllo");
+        // n counts chars, not bytes: 18 two-byte chars fit exactly
+        let exact: String = "ä".repeat(18);
+        assert_eq!(truncate(&exact, 18), exact);
+    }
+
+    #[test]
+    fn non_ascii_ds_name_renders_without_panicking() {
+        let mut rt = FarMemRuntime::new(
+            RuntimeConfig::new(1 << 20, 1 << 20),
+            SimTransport::default(),
+        );
+        // > 18 chars and multi-byte throughout: the old byte-slicing
+        // truncate() panicked on this.
+        rt.register_ds(
+            DsSpec::simple("структура_данных_кэша_ключей"),
+            StaticHint::Pinned,
+        );
+        let rep = render_report(&rt);
+        assert!(rep.contains('…'), "{rep}");
+    }
+
+    #[test]
+    fn report_with_zero_dses_is_well_formed() {
+        let rt: FarMemRuntime<SimTransport> =
+            FarMemRuntime::new(RuntimeConfig::new(0, 0), SimTransport::default());
+        let rep = render_report(&rt);
+        assert!(rep.contains("totals:"));
+        assert!(rep.contains("network:"));
+        assert!(!rep.contains("top thrashing"), "no DSes -> no thrashers");
     }
 }

@@ -17,9 +17,10 @@ use cards_net::{NetError, ObjKey, Transport};
 
 use crate::config::RuntimeConfig;
 use crate::farptr::FarPtr;
-use crate::prefetch::{build_prefetcher, Prefetcher, PrefetchTarget};
+use crate::prefetch::{build_prefetcher, PrefetchTarget, Prefetcher};
 use crate::spec::{DsSpec, StaticHint};
 use crate::stats::{DsStats, RuntimeStats};
+use crate::telemetry::{EventKind, HistPath, Telemetry};
 
 /// Read or write access, for fault-cost selection and dirty tracking.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -141,6 +142,7 @@ pub struct FarMemRuntime<T: Transport> {
     /// scope closes. Nested scopes stack.
     scopes: Vec<Vec<(u16, u64)>>,
     stats: RuntimeStats,
+    telemetry: Telemetry,
 }
 
 /// How many recently-guarded objects are pinned against eviction. The
@@ -151,6 +153,7 @@ pub const GUARD_PIN_WINDOW: usize = 8;
 impl<T: Transport> FarMemRuntime<T> {
     /// Create a runtime with `cfg` budgets over `transport`.
     pub fn new(cfg: RuntimeConfig, transport: T) -> Self {
+        let telemetry = Telemetry::new(cfg.telemetry);
         FarMemRuntime {
             cfg,
             transport,
@@ -161,6 +164,7 @@ impl<T: Transport> FarMemRuntime<T> {
             recent_guards: VecDeque::new(),
             scopes: Vec::new(),
             stats: RuntimeStats::default(),
+            telemetry,
         }
     }
 
@@ -169,6 +173,8 @@ impl<T: Transport> FarMemRuntime<T> {
     /// nest; each `begin_scope` must be matched by one `end_scope`.
     pub fn begin_scope(&mut self) {
         self.scopes.push(Vec::new());
+        let (cycle, depth) = (self.stats.cycles, self.scopes.len());
+        self.telemetry.emit(cycle, EventKind::ScopeBegin { depth });
     }
 
     /// Close the innermost deref scope, releasing its pins.
@@ -177,6 +183,8 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Panics if no scope is open.
     pub fn end_scope(&mut self) {
         self.scopes.pop().expect("end_scope without begin_scope");
+        let (cycle, depth) = (self.stats.cycles, self.scopes.len());
+        self.telemetry.emit(cycle, EventKind::ScopeEnd { depth });
     }
 
     /// Number of currently open deref scopes.
@@ -230,6 +238,9 @@ impl<T: Transport> FarMemRuntime<T> {
             stats: DsStats::default(),
             probe_counter: 0,
         });
+        let cycle = self.stats.cycles;
+        self.telemetry
+            .emit(cycle, EventKind::DsRegister { ds: handle, hint });
         handle
     }
 
@@ -248,7 +259,12 @@ impl<T: Transport> FarMemRuntime<T> {
             ds.allocations.insert(start, size);
             ds.stats.bytes_allocated += size;
             let shift = ds.spec.obj_shift();
-            (start, start >> shift, (start + size - 1) >> shift, ds.spec.object_bytes)
+            (
+                start,
+                start >> shift,
+                (start + size - 1) >> shift,
+                ds.spec.object_bytes,
+            )
         };
 
         let mut cycles = 0u64;
@@ -260,6 +276,14 @@ impl<T: Transport> FarMemRuntime<T> {
             cycles += self.place_new_object(handle, idx, obj_bytes)?;
         }
         self.stats.cycles += cycles;
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::DsAlloc {
+                ds: handle,
+                bytes: size,
+            },
+        );
         Ok((FarPtr::encode(handle, start), cycles))
     }
 
@@ -293,6 +317,9 @@ impl<T: Transport> FarMemRuntime<T> {
             if !ds.remotable {
                 ds.remotable = true;
                 ds.stats.demotions += 1;
+                let cycle = self.stats.cycles;
+                self.telemetry
+                    .emit(cycle, EventKind::Demotion { ds: handle });
             }
         }
         // Remotable placement: make room, then insert locally.
@@ -344,13 +371,24 @@ impl<T: Transport> FarMemRuntime<T> {
                     ObjState::Remote => {
                         cycles += self
                             .transport
-                            .remove(ObjKey { ds: handle as u32, index: idx })
+                            .remove(ObjKey {
+                                ds: handle as u32,
+                                index: idx,
+                            })
                             .map_err(RtError::Net)?;
                     }
                 }
             }
         }
         self.stats.cycles += cycles;
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::Free {
+                ds: handle,
+                bytes: size,
+            },
+        );
         Ok(cycles)
     }
 
@@ -394,16 +432,16 @@ impl<T: Transport> FarMemRuntime<T> {
         let dsi = handle as usize;
         self.ds[dsi].stats.guard_checks += 1;
         self.note_guarded(handle, idx);
-        let is_local = matches!(
-            self.ds[dsi].objects.get(&idx),
-            Some(ObjState::Local { .. })
-        );
+        let is_local = matches!(self.ds[dsi].objects.get(&idx), Some(ObjState::Local { .. }));
         if is_local {
             self.ds[dsi].stats.hits += 1;
             self.stats.derefs_local += 1;
             let was_prefetched = matches!(
                 self.ds[dsi].objects.get(&idx),
-                Some(ObjState::Local { prefetched: true, .. })
+                Some(ObjState::Local {
+                    prefetched: true,
+                    ..
+                })
             );
             self.touch(dsi, idx, access);
             // Prefetchers are trained on the full access stream: predicting
@@ -423,6 +461,18 @@ impl<T: Transport> FarMemRuntime<T> {
                 // otherwise every consumed prefetch floods the cache.
                 c += self.run_prefetch_depth(handle, idx, 2)?;
             }
+            let cycle = self.stats.cycles;
+            self.telemetry.emit(
+                cycle,
+                EventKind::GuardHit {
+                    ds: handle,
+                    index: idx,
+                },
+            );
+            self.telemetry.record(HistPath::DerefLocal, c);
+            if self.telemetry.guard_tick() {
+                self.snapshot_epoch();
+            }
             return Ok(c);
         }
         // Miss: localize over the network, then prefetch. Prefetchers are
@@ -431,11 +481,32 @@ impl<T: Transport> FarMemRuntime<T> {
         // that are already resident.
         self.ds[dsi].stats.misses += 1;
         self.stats.derefs_remote += 1;
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::GuardMiss {
+                ds: handle,
+                index: idx,
+            },
+        );
         let mut cycles = self.localize(handle, idx)?;
         self.touch(dsi, idx, access);
         self.ds[dsi].prefetcher.record(idx);
         cycles += self.run_prefetch(handle, idx)?;
+        self.telemetry.record(HistPath::DerefRemote, cycles);
+        if self.telemetry.guard_tick() {
+            self.snapshot_epoch();
+        }
         Ok(cycles)
+    }
+
+    /// Snapshot every DS's and the transport's cumulative counters into the
+    /// telemetry epoch time-series (deltas are computed by the sink).
+    fn snapshot_epoch(&mut self) {
+        let ds_stats: Vec<DsStats> = self.ds.iter().map(|d| d.stats).collect();
+        let net = self.transport.stats();
+        let cycle = self.stats.cycles;
+        self.telemetry.snapshot(cycle, &ds_stats, net);
     }
 
     /// Mark a resident object referenced (clock bit), dirty on writes, and
@@ -456,6 +527,14 @@ impl<T: Transport> FarMemRuntime<T> {
                 *prefetched = false;
                 self.ds[dsi].stats.prefetch_useful += 1;
                 self.ds[dsi].stats.window_useful += 1;
+                let cycle = self.stats.cycles;
+                self.telemetry.emit(
+                    cycle,
+                    EventKind::PrefetchConfirm {
+                        ds: dsi as u16,
+                        index: idx,
+                    },
+                );
             }
         }
     }
@@ -470,7 +549,21 @@ impl<T: Transport> FarMemRuntime<T> {
             index: idx,
         };
         let mut cycles = self.ensure_room(obj_bytes)?;
+        let before_fetch = cycles;
         let fetched = self.fetch_with_retry(key, false, &mut cycles)?;
+        let fetch_cycles = cycles - before_fetch;
+        let cycle = self.stats.cycles;
+        self.telemetry.record(HistPath::Fetch, fetch_cycles);
+        self.telemetry.emit(
+            cycle,
+            EventKind::Fetch {
+                ds: handle,
+                index: idx,
+                bytes: obj_bytes,
+                cycles: fetch_cycles,
+                prefetch: false,
+            },
+        );
         cycles += self.cfg.costs.remote_extra;
         // Greedy-recursive prefetchers inspect the payload for pointers.
         let chased = self.ds[dsi].prefetcher.observe_bytes(idx, &fetched.bytes);
@@ -545,7 +638,7 @@ impl<T: Transport> FarMemRuntime<T> {
             // Nearly useless: probe periodically, at full fan-out width so
             // a multi-successor predictor can still demonstrate recovery.
             self.ds[dsi].probe_counter = self.ds[dsi].probe_counter.wrapping_add(1);
-            if self.ds[dsi].probe_counter % 8 == 0 {
+            if self.ds[dsi].probe_counter.is_multiple_of(8) {
                 base.min(4)
             } else {
                 0
@@ -598,7 +691,9 @@ impl<T: Transport> FarMemRuntime<T> {
             index: idx,
         };
         let mut cycles = self.ensure_room(obj_bytes)?;
+        let before_fetch = cycles;
         let fetched = self.fetch_with_retry(key, true, &mut cycles)?;
+        let fetch_cycles = cycles - before_fetch;
         self.remotable_used += obj_bytes;
         self.ds[dsi].objects.insert(
             idx,
@@ -614,6 +709,25 @@ impl<T: Transport> FarMemRuntime<T> {
         self.clock.push_back((handle, idx));
         self.ds[dsi].stats.prefetch_issued += 1;
         self.ds[dsi].stats.window_issued += 1;
+        let cycle = self.stats.cycles;
+        self.telemetry.record(HistPath::Fetch, fetch_cycles);
+        self.telemetry.emit(
+            cycle,
+            EventKind::PrefetchIssue {
+                ds: handle,
+                index: idx,
+            },
+        );
+        self.telemetry.emit(
+            cycle,
+            EventKind::Fetch {
+                ds: handle,
+                index: idx,
+                bytes: obj_bytes,
+                cycles: fetch_cycles,
+                prefetch: true,
+            },
+        );
         Ok(cycles)
     }
 
@@ -639,13 +753,28 @@ impl<T: Transport> FarMemRuntime<T> {
                     attempts += 1;
                     self.stats.retries += 1;
                     *cycles += self.transport.rtt_cost();
+                    let cycle = self.stats.cycles;
+                    self.telemetry.emit(
+                        cycle,
+                        EventKind::Retry {
+                            ds: key.ds as u16,
+                            index: key.index,
+                            attempt: attempts,
+                            write: false,
+                        },
+                    );
                 }
                 Err(e) => return Err(RtError::Net(e)),
             }
         }
     }
 
-    fn put_with_retry(&mut self, key: ObjKey, data: &[u8], cycles: &mut u64) -> Result<(), RtError> {
+    fn put_with_retry(
+        &mut self,
+        key: ObjKey,
+        data: &[u8],
+        cycles: &mut u64,
+    ) -> Result<(), RtError> {
         let mut attempts = 0;
         loop {
             match self.transport.put(key, data) {
@@ -657,6 +786,16 @@ impl<T: Transport> FarMemRuntime<T> {
                     attempts += 1;
                     self.stats.retries += 1;
                     *cycles += self.transport.rtt_cost();
+                    let cycle = self.stats.cycles;
+                    self.telemetry.emit(
+                        cycle,
+                        EventKind::Retry {
+                            ds: key.ds as u16,
+                            index: key.index,
+                            attempt: attempts,
+                            write: true,
+                        },
+                    );
                 }
                 Err(e) => return Err(RtError::Net(e)),
             }
@@ -685,7 +824,10 @@ impl<T: Transport> FarMemRuntime<T> {
             };
             let dsi = h as usize;
             // Recently guarded and scope-pinned objects are untouchable.
-            if self.recent_guards.iter().any(|&(rh, ri)| rh == h && ri == idx)
+            if self
+                .recent_guards
+                .iter()
+                .any(|&(rh, ri)| rh == h && ri == idx)
                 || self.scope_pinned(h, idx)
             {
                 self.clock.push_back((h, idx));
@@ -739,16 +881,39 @@ impl<T: Transport> FarMemRuntime<T> {
         };
         let mut cycles = 50; // eviction bookkeeping
         self.remotable_used -= data.len() as u64;
-        if dirty || !remote_copy {
+        let needs_writeback = dirty || !remote_copy;
+        if needs_writeback {
             let key = ObjKey {
                 ds: handle as u32,
                 index: idx,
             };
+            let before_put = cycles;
             self.put_with_retry(key, &data, &mut cycles)?;
+            let wb_cycles = cycles - before_put;
             self.ds[dsi].stats.writebacks += 1;
+            let cycle = self.stats.cycles;
+            self.telemetry.record(HistPath::Writeback, wb_cycles);
+            self.telemetry.emit(
+                cycle,
+                EventKind::Writeback {
+                    ds: handle,
+                    index: idx,
+                    bytes: data.len() as u64,
+                    cycles: wb_cycles,
+                },
+            );
         }
         self.ds[dsi].stats.evictions += 1;
         self.ds[dsi].objects.insert(idx, ObjState::Remote);
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::Eviction {
+                ds: handle,
+                index: idx,
+                dirty: needs_writeback,
+            },
+        );
         Ok(cycles)
     }
 
@@ -765,7 +930,8 @@ impl<T: Transport> FarMemRuntime<T> {
         }
         let idx = ptr.offset() >> self.ds[dsi].spec.obj_shift();
         // Remove any pin so the eviction is allowed.
-        self.recent_guards.retain(|&(h, i)| !(h == handle && i == idx));
+        self.recent_guards
+            .retain(|&(h, i)| !(h == handle && i == idx));
         let cycles = self.evict(handle, idx)?;
         self.stats.cycles += cycles;
         Ok(cycles)
@@ -778,9 +944,15 @@ impl<T: Transport> FarMemRuntime<T> {
     /// full cost). Returns cycles charged (copying is free in the model;
     /// the VM charges its own per-access cost).
     pub fn read(&mut self, ptr: FarPtr, buf: &mut [u8]) -> Result<u64, RtError> {
-        self.access_bytes(ptr, Access::Read, buf.len() as u64, |data, range, out| {
-            out.copy_from_slice(&data[range]);
-        }, buf)
+        self.access_bytes(
+            ptr,
+            Access::Read,
+            buf.len() as u64,
+            |data, range, out| {
+                out.copy_from_slice(&data[range]);
+            },
+            buf,
+        )
     }
 
     /// Write `data` at `ptr`. Residency rules as in [`Self::read`].
@@ -788,9 +960,15 @@ impl<T: Transport> FarMemRuntime<T> {
         // SAFETY of the closure trick: write needs &mut object data and
         // &data; reuse access_bytes with a writer closure.
         let mut tmp = data.to_vec();
-        self.access_bytes(ptr, Access::Write, data.len() as u64, |obj, range, src| {
-            obj[range].copy_from_slice(src);
-        }, &mut tmp)
+        self.access_bytes(
+            ptr,
+            Access::Write,
+            data.len() as u64,
+            |obj, range, src| {
+                obj[range].copy_from_slice(src);
+            },
+            &mut tmp,
+        )
     }
 
     fn access_bytes(
@@ -825,7 +1003,10 @@ impl<T: Transport> FarMemRuntime<T> {
             // Residency check.
             if !matches!(self.ds[dsi].objects.get(&idx), Some(ObjState::Local { .. })) {
                 if self.cfg.strict_guards {
-                    return Err(RtError::MissingGuard { ds: handle, index: idx });
+                    return Err(RtError::MissingGuard {
+                        ds: handle,
+                        index: idx,
+                    });
                 }
                 self.ds[dsi].stats.misses += 1;
                 self.stats.derefs_remote += 1;
@@ -872,9 +1053,7 @@ impl<T: Transport> FarMemRuntime<T> {
 
     /// Whether DS `handle` is currently remotable.
     pub fn is_remotable(&self, handle: u16) -> bool {
-        self.ds
-            .get(handle as usize)
-            .is_none_or(|d| d.remotable)
+        self.ds.get(handle as usize).is_none_or(|d| d.remotable)
     }
 
     // ---- introspection ----
@@ -922,5 +1101,21 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Borrow the transport (tests/diagnostics).
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// The telemetry sink: event ring, latency histograms, epoch series.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry sink — lets embedders (e.g. the VM) emit their
+    /// own events onto the same timeline.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Current modeled cycle clock (the stamp used for telemetry events).
+    pub fn now(&self) -> u64 {
+        self.stats.cycles
     }
 }

@@ -70,7 +70,10 @@ impl DsSpec {
 
     /// Builder-style: set object size.
     pub fn with_object_bytes(mut self, bytes: u64) -> Self {
-        assert!(bytes.is_power_of_two(), "object size must be a power of two");
+        assert!(
+            bytes.is_power_of_two(),
+            "object size must be a power of two"
+        );
         self.object_bytes = bytes;
         self
     }

@@ -33,9 +33,10 @@ pub struct DsStats {
 }
 
 impl DsStats {
-    /// Miss ratio in [0,1]; 0 when no accesses.
+    /// Miss ratio in [0,1]; 0 when no accesses. Saturating, so counters
+    /// near `u64::MAX` cannot overflow the denominator.
     pub fn miss_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
@@ -63,9 +64,9 @@ impl DsStats {
     }
 
     /// Prefetch coverage: fraction of would-be misses avoided,
-    /// useful / (useful + misses).
+    /// useful / (useful + misses). Saturating denominator.
     pub fn prefetch_coverage(&self) -> f64 {
-        let denom = self.prefetch_useful + self.misses;
+        let denom = self.prefetch_useful.saturating_add(self.misses);
         if denom == 0 {
             0.0
         } else {
@@ -104,6 +105,23 @@ mod tests {
         assert_eq!(s.miss_ratio(), 0.0);
         assert_eq!(s.prefetch_accuracy(), 1.0);
         assert_eq!(s.prefetch_coverage(), 0.0);
+    }
+
+    #[test]
+    fn ratios_survive_near_max_counters() {
+        // hits + misses would overflow u64; the ratio must still be sane.
+        let s = DsStats {
+            hits: u64::MAX - 3,
+            misses: u64::MAX - 5,
+            prefetch_useful: u64::MAX,
+            prefetch_issued: u64::MAX,
+            ..Default::default()
+        };
+        let r = s.miss_ratio();
+        assert!((0.0..=1.0).contains(&r), "miss_ratio {r}");
+        let c = s.prefetch_coverage();
+        assert!((0.0..=1.0).contains(&c), "coverage {c}");
+        assert!((s.prefetch_accuracy() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -3,7 +3,9 @@ fn jump_pointer_map_like_pattern() {
     use cards_net::SimTransport;
     use cards_runtime::*;
     // 4096 objects of 64B, cache 512 objects; access pattern: perm sequence repeated 3x
-    let spec = DsSpec::simple("vc").with_object_bytes(64).with_prefetch(PrefetchKind::JumpPointer);
+    let spec = DsSpec::simple("vc")
+        .with_object_bytes(64)
+        .with_prefetch(PrefetchKind::JumpPointer);
     let mut rt = FarMemRuntime::new(RuntimeConfig::new(0, 512 * 64), SimTransport::default());
     let h = rt.register_ds(spec, StaticHint::Remotable);
     let (p, _) = rt.ds_alloc(h, 4096 * 64).unwrap();
@@ -16,7 +18,10 @@ fn jump_pointer_map_like_pattern() {
         }
     }
     let s = rt.ds_stats(h).unwrap();
-    eprintln!("hits={} misses={} issued={} useful={}", s.hits, s.misses, s.prefetch_issued, s.prefetch_useful);
+    eprintln!(
+        "hits={} misses={} issued={} useful={}",
+        s.hits, s.misses, s.prefetch_issued, s.prefetch_useful
+    );
     assert!(s.prefetch_issued > 1000, "issued {}", s.prefetch_issued);
 }
 

@@ -10,15 +10,15 @@
 //! `guard`, `remotable`) literally, so guard counts, elisions and fast-path
 //! dispatches are *measured*, not estimated.
 
-
 use cards_ir::{
     AccessKind, BinOp, BlockId, CastOp, CmpOp, DsMeta, FuncId, GepIdx, Inst, InstId, Intrinsic,
     Module, Type, Value,
 };
 use cards_net::Transport;
+use cards_runtime::telemetry::EventKind;
 use cards_runtime::{
-    assign_hints, Access, DsSpec, FarMemRuntime, FarPtr, RemotingPolicy, RtError, RuntimeConfig,
-    StaticHint,
+    assign_hints_explained, Access, DsSpec, FarMemRuntime, FarPtr, RemotingPolicy, RtError,
+    RuntimeConfig, StaticHint,
 };
 
 use crate::metrics::{CpuModel, VmMetrics};
@@ -102,9 +102,26 @@ impl<T: Transport> Vm<T> {
         policy: RemotingPolicy,
         k_percent: u32,
     ) -> Self {
-        let specs: Vec<DsSpec> = module.ds_metas.iter().map(|m| spec_from_meta(&module, m)).collect();
-        let hints = assign_hints(&specs, policy, k_percent);
-        Self::with_hints(module, rt_config, transport, hints)
+        let specs: Vec<DsSpec> = module
+            .ds_metas
+            .iter()
+            .map(|m| spec_from_meta(&module, m))
+            .collect();
+        let (hints, decisions) = assign_hints_explained(&specs, policy, k_percent);
+        let mut vm = Self::with_hints(module, rt_config, transport, hints);
+        // Record why each DS was (not) pinned on the telemetry timeline.
+        for d in decisions {
+            let cycle = vm.runtime.now();
+            vm.runtime.telemetry_mut().emit(
+                cycle,
+                EventKind::PolicyDecision {
+                    ds: d.index as u16,
+                    pinned: d.hint == StaticHint::Pinned,
+                    why: d.why,
+                },
+            );
+        }
+        vm
     }
 
     /// Build a VM with explicit per-meta remoting hints (used by the
@@ -117,8 +134,7 @@ impl<T: Transport> Vm<T> {
     ) -> Self {
         assert_eq!(hints.len(), module.ds_metas.len(), "one hint per DS meta");
         let runtime = FarMemRuntime::new(rt_config, transport);
-        let mut native = Vec::new();
-        native.resize(NATIVE_BASE as usize, 0);
+        let native = vec![0; NATIVE_BASE as usize];
         let mut vm = Vm {
             module,
             runtime,
@@ -326,18 +342,22 @@ impl<T: Transport> Vm<T> {
                         };
                     }
                     Inst::Intrin { which, args: ia } => {
-                        let vals: Vec<u64> = ia.iter().map(|&v| self.eval(v, &args, &regs)).collect();
+                        let vals: Vec<u64> =
+                            ia.iter().map(|&v| self.eval(v, &args, &regs)).collect();
                         self.charge(self.cpu.intrin);
                         regs[iid.0 as usize] = intrin_op(which, &vals);
                     }
                     Inst::Call { callee, args: ca } => {
-                        let vals: Vec<u64> = ca.iter().map(|&v| self.eval(v, &args, &regs)).collect();
+                        let vals: Vec<u64> =
+                            ca.iter().map(|&v| self.eval(v, &args, &regs)).collect();
                         self.metrics.calls += 1;
                         self.charge(self.cpu.call);
                         let r = self.call_function(callee, vals, depth + 1)?;
                         regs[iid.0 as usize] = r.unwrap_or(0);
                     }
-                    Inst::CallIndirect { callee, args: ca, .. } => {
+                    Inst::CallIndirect {
+                        callee, args: ca, ..
+                    } => {
                         let target = self.eval(callee, &args, &regs);
                         if !(FUNC_BASE..FUNC_BASE + self.module.functions.len() as u64)
                             .contains(&target)
@@ -345,7 +365,8 @@ impl<T: Transport> Vm<T> {
                             return Err(VmError::BadIndirectCall(target));
                         }
                         let f = FuncId((target - FUNC_BASE) as u32);
-                        let vals: Vec<u64> = ca.iter().map(|&v| self.eval(v, &args, &regs)).collect();
+                        let vals: Vec<u64> =
+                            ca.iter().map(|&v| self.eval(v, &args, &regs)).collect();
                         self.metrics.calls += 1;
                         self.charge(self.cpu.call);
                         let r = self.call_function(f, vals, depth + 1)?;
@@ -367,15 +388,17 @@ impl<T: Transport> Vm<T> {
                         // Track fast-path dispatch: a condbr directly fed by
                         // a RemotableCheck is the versioning dispatch.
                         if let Value::Inst(ci) = cond {
-                            if matches!(
-                                self.module.func(fid).inst(ci),
-                                Inst::RemotableCheck { .. }
-                            ) {
+                            if matches!(self.module.func(fid).inst(ci), Inst::RemotableCheck { .. })
+                            {
                                 if c != 0 {
                                     self.metrics.slow_path_taken += 1;
                                 } else {
                                     self.metrics.fast_path_taken += 1;
                                 }
+                                let cycle = self.runtime.now();
+                                self.runtime
+                                    .telemetry_mut()
+                                    .emit(cycle, EventKind::Dispatch { slow: c != 0 });
                             }
                         }
                         prev = Some(block);

@@ -155,7 +155,10 @@ mod tests {
         b.ret(v);
         m.add_function(b.finish());
         let mut vm = vm_for(m);
-        assert!(matches!(vm.run("main", &[]), Err(VmError::NativeOob { .. })));
+        assert!(matches!(
+            vm.run("main", &[]),
+            Err(VmError::NativeOob { .. })
+        ));
     }
 
     /// The central correctness property: the transformed (far-memory)
@@ -236,7 +239,11 @@ mod tests {
                 100, // pin everything
             );
             vm.run("main", &[]).unwrap();
-            (vm.metrics().fast_path_taken, vm.metrics().slow_path_taken, vm.metrics().guards)
+            (
+                vm.metrics().fast_path_taken,
+                vm.metrics().slow_path_taken,
+                vm.metrics().guards,
+            )
         };
         assert!(pinned.0 >= 1, "pinned run must take the fast path");
         assert_eq!(pinned.1, 0);
@@ -252,7 +259,11 @@ mod tests {
                 0,
             );
             vm.run("main", &[]).unwrap();
-            (vm.metrics().fast_path_taken, vm.metrics().slow_path_taken, vm.metrics().guards)
+            (
+                vm.metrics().fast_path_taken,
+                vm.metrics().slow_path_taken,
+                vm.metrics().guards,
+            )
         };
         assert_eq!(remote.0, 0);
         assert!(remote.1 >= 1, "remotable run must stay instrumented");

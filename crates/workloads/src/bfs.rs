@@ -177,8 +177,7 @@ pub fn reference(p: BfsParams) -> i64 {
         level_hist[level.min(63)] += cur.len() as i64;
         let mut next = Vec::new();
         for &u in &cur {
-            for e in u * d..(u + 1) * d {
-                let v = targets[e];
+            for &v in &targets[u * d..(u + 1) * d] {
                 if dist[v] < 0 {
                     dist[v] = dist[u] + 1;
                     next.push(v);

@@ -23,7 +23,10 @@ pub struct FdtdParams {
 
 impl Default for FdtdParams {
     fn default() -> Self {
-        FdtdParams { size: 96, steps: 10 }
+        FdtdParams {
+            size: 96,
+            steps: 10,
+        }
     }
 }
 
@@ -61,7 +64,7 @@ pub fn build(p: FdtdParams) -> (Module, FuncId) {
     for (k, &grid) in g.iter().enumerate() {
         let salt = 0x11 + k as i64;
         b.counted_loop(z, ic(cells), one, |b, idx| {
-            if k < 7 || k >= 10 {
+            if !(7..10).contains(&k) {
                 // coefficient/aux grids: small values in (0, 1]
                 let h = hash_salted(b, idx, salt);
                 let r = urem_const(b, h, 1000);

@@ -36,7 +36,10 @@ impl Default for KvParams {
 impl KvParams {
     /// Tiny configuration for unit tests.
     pub fn test() -> Self {
-        KvParams { keys: 256, ops: 1_500 }
+        KvParams {
+            keys: 256,
+            ops: 1_500,
+        }
     }
 
     fn cap(&self) -> i64 {
@@ -207,7 +210,7 @@ pub fn reference(p: KvParams) -> i64 {
             s = (s + 1) & mask;
         }
         counts[k as usize] += 1;
-        if h % 8 == 0 {
+        if h.is_multiple_of(8) {
             let v = (splitmix64(i ^ 0x90) % 1_000_000) as i64;
             index_vptr[s] = vlog.len() as i64;
             vlog.push(v);

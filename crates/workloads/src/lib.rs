@@ -103,7 +103,10 @@ mod tests {
     fn bfs_cards_matches_reference() {
         let p = crate::bfs::BfsParams::test();
         let (m, _) = crate::bfs::build(p);
-        assert_eq!(run_cards(m, p.working_set_bytes()), crate::bfs::reference(p));
+        assert_eq!(
+            run_cards(m, p.working_set_bytes()),
+            crate::bfs::reference(p)
+        );
     }
 
     #[test]
@@ -117,7 +120,10 @@ mod tests {
     fn fdtd_cards_matches_reference() {
         let p = crate::fdtd::FdtdParams::test();
         let (m, _) = crate::fdtd::build(p);
-        assert_eq!(run_cards(m, p.working_set_bytes()), crate::fdtd::reference(p));
+        assert_eq!(
+            run_cards(m, p.working_set_bytes()),
+            crate::fdtd::reference(p)
+        );
     }
 
     #[test]

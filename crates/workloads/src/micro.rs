@@ -38,7 +38,10 @@ impl Default for MicroParams {
 impl MicroParams {
     /// Tiny configuration for unit tests.
     pub fn test() -> Self {
-        MicroParams { elems: 256, reps: 2 }
+        MicroParams {
+            elems: 256,
+            reps: 2,
+        }
     }
 
     fn n(&self) -> i64 {
@@ -68,7 +71,12 @@ pub enum MicroKind {
 impl MicroKind {
     /// All variants in figure order.
     pub fn all() -> [MicroKind; 4] {
-        [MicroKind::Array, MicroKind::Vector, MicroKind::List, MicroKind::Map]
+        [
+            MicroKind::Array,
+            MicroKind::Vector,
+            MicroKind::List,
+            MicroKind::Map,
+        ]
     }
 
     /// Display label.

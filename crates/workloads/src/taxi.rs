@@ -8,7 +8,7 @@
 //! scale with [`TaxiParams::trips`]. The native reference below reproduces
 //! the exact formulas for correctness checking.
 
-use cards_ir::{CmpOp, FunctionBuilder, FuncId, Module, Type};
+use cards_ir::{CmpOp, FuncId, FunctionBuilder, Module, Type};
 
 use crate::util::*;
 
@@ -84,7 +84,11 @@ pub fn build(p: TaxiParams) -> (Module, FuncId) {
     ] {
         b.counted_loop(z, ic(len), one, |b, i| set_i64(b, arr, i, ic(0)));
     }
-    for (arr, len) in [(hour_fare, NHOURS), (zone_revenue, NZONES), (hour_avg, NHOURS)] {
+    for (arr, len) in [
+        (hour_fare, NHOURS),
+        (zone_revenue, NZONES),
+        (hour_avg, NHOURS),
+    ] {
         b.counted_loop(z, ic(len), one, |b, i| set_f64(b, arr, i, fc(0.0)));
     }
 
@@ -355,7 +359,11 @@ pub fn reference(p: TaxiParams) -> i64 {
     let long_rev: i64 = long_fares.iter().map(|f| (f * 1000.0) as i64).sum();
     // Q8: normalize zone revenue
     for zz in 0..NZONES as usize {
-        let c = if zone_count[zz] == 0 { 1 } else { zone_count[zz] };
+        let c = if zone_count[zz] == 0 {
+            1
+        } else {
+            zone_count[zz]
+        };
         zone_revenue[zz] /= c as f64;
     }
     // Q9: cumulative histogram
@@ -365,9 +373,9 @@ pub fn reference(p: TaxiParams) -> i64 {
     // Q10: busiest hour
     let mut busiest = -1i64;
     let mut best_cnt = -1i64;
-    for h in 0..NHOURS as usize {
-        if hour_count[h] > best_cnt {
-            best_cnt = hour_count[h];
+    for (h, &cnt) in hour_count.iter().enumerate() {
+        if cnt > best_cnt {
+            best_cnt = cnt;
             busiest = h as i64;
         }
     }
@@ -385,7 +393,10 @@ pub fn reference(p: TaxiParams) -> i64 {
     acc += hour_count.iter().sum::<i64>();
     acc += hour_avg.iter().map(|v| (v * 1000.0) as i64).sum::<i64>();
     acc += zone_count.iter().sum::<i64>();
-    acc += zone_revenue.iter().map(|v| (v * 1000.0) as i64).sum::<i64>();
+    acc += zone_revenue
+        .iter()
+        .map(|v| (v * 1000.0) as i64)
+        .sum::<i64>();
     acc += dist_hist.iter().sum::<i64>();
     acc += pass_count.iter().sum::<i64>();
     acc += od.iter().sum::<i64>();

@@ -104,11 +104,7 @@ impl AccI64 {
 
 /// Emit `if cond { then() }` with fall-through join; leaves the builder in
 /// the join block.
-pub fn if_then(
-    b: &mut FunctionBuilder,
-    cond: Value,
-    then_blk: impl FnOnce(&mut FunctionBuilder),
-) {
+pub fn if_then(b: &mut FunctionBuilder, cond: Value, then_blk: impl FnOnce(&mut FunctionBuilder)) {
     let t = b.new_block();
     let j = b.new_block();
     b.cond_br(cond, t, j);
@@ -145,19 +141,6 @@ pub fn checksum_f64(b: &mut FunctionBuilder, acc: &AccI64, arr: Value, n: i64) {
     });
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn splitmix_reference_values() {
-        // fixed values so the VM intrinsic and this stay in lock-step
-        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
-        assert_eq!(splitmix64(1), 0x910a2dec89025cc1);
-        assert_ne!(splitmix64(2), splitmix64(3));
-    }
-}
-
 /// Integer constant value (free function so it can appear as an argument
 /// alongside `&mut FunctionBuilder` without borrow conflicts).
 pub fn ic(v: i64) -> Value {
@@ -187,4 +170,17 @@ pub fn while_loop(
     body(b);
     b.br(head);
     b.switch_to(exit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // fixed values so the VM intrinsic and this stay in lock-step
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(1), 0x910a2dec89025cc1);
+        assert_ne!(splitmix64(2), splitmix64(3));
+    }
 }

@@ -43,8 +43,8 @@ fn main() {
     ] {
         print!("{:<16}", policy.name());
         for k in ks {
-            let r = cards_core::run_far_memory(&move || build(params), policy, k, budget)
-                .expect("run");
+            let r =
+                cards_core::run_far_memory(&move || build(params), policy, k, budget).expect("run");
             assert_eq!(r.checksum, expect);
             print!(" {:>14}", r.cycles);
         }

@@ -69,7 +69,10 @@ fn main() {
     let prefetch = analyze_prefetch(&m, &dsa, PrefetchSelection::PerDs);
     let ranks = rank_instances(&dsa);
 
-    println!("DSA found {} disjoint data structure instances:\n", dsa.instances.len());
+    println!(
+        "DSA found {} disjoint data structure instances:\n",
+        dsa.instances.len()
+    );
     println!(
         "{:<18} {:<10} {:<10} {:>6} {:>7} {:>7}  {:<16}",
         "name", "owner", "recursive", "allocs", "use", "reach", "prefetcher"

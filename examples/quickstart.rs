@@ -35,7 +35,10 @@ fn main() {
     // ds2 (written NTIMES times); Linear would pick ds1 (allocated first).
     let budget = MemoryBudget::fraction_of(ws, 0.55, 0.08);
     println!("\npolicy comparison at 55% local memory (k = 50%):");
-    println!("{:<28} {:>16} {:>12} {:>10}", "system", "cycles", "guards", "fetches");
+    println!(
+        "{:<28} {:>16} {:>12} {:>10}",
+        "system", "cycles", "guards", "fetches"
+    );
     for policy in [
         RemotingPolicy::AllRemotable,
         RemotingPolicy::Linear,
@@ -43,8 +46,8 @@ fn main() {
         RemotingPolicy::MaxReach,
         RemotingPolicy::MaxUse,
     ] {
-        let r = cards_core::run_far_memory(&move || build(params), policy, 50, budget)
-            .expect("run");
+        let r =
+            cards_core::run_far_memory(&move || build(params), policy, 50, budget).expect("run");
         assert_eq!(r.checksum, reference(params), "wrong result!");
         println!(
             "{:<28} {:>16} {:>12} {:>10}",

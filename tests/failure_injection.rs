@@ -54,7 +54,10 @@ fn bfs_survives_faults() {
 
 #[test]
 fn pointer_chasing_list_survives_faults() {
-    let p = micro::MicroParams { elems: 128, reps: 2 };
+    let p = micro::MicroParams {
+        elems: 128,
+        reps: 2,
+    };
     let (m, _) = micro::build(micro::MicroKind::List, p);
     let got = run_faulty(m, 4096, 0.25, 44);
     assert_eq!(got, micro::reference(micro::MicroKind::List, p));
@@ -67,8 +70,7 @@ fn retries_are_priced() {
     let run = |rate: f64| {
         let (m, _) = listing1::build(p);
         let c = compile(m, CompileOptions::cards()).unwrap();
-        let transport =
-            FaultyTransport::new(SimTransport::new(NetworkModel::default()), rate, 5);
+        let transport = FaultyTransport::new(SimTransport::new(NetworkModel::default()), rate, 5);
         let mut vm = Vm::new(
             c.module,
             RuntimeConfig::new(0, 4096),

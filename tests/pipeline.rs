@@ -19,7 +19,12 @@ fn listing1_all_systems_correct() {
     let ws = p.working_set_bytes();
     let expect = listing1::reference(p);
     let build = move || listing1::build(p);
-    for sys in [System::LocalOnly, System::TrackFm, System::Mira, cards_sys()] {
+    for sys in [
+        System::LocalOnly,
+        System::TrackFm,
+        System::Mira,
+        cards_sys(),
+    ] {
         for frac in [0.25, 0.5, 1.0] {
             let budget = MemoryBudget::fraction_of(ws, frac, 0.1);
             let r = run_system(&build, sys, budget).unwrap();
@@ -107,7 +112,10 @@ fn guard_counts_scale_with_conservatism() {
         cards.metrics.guards,
         tfm.metrics.guards
     );
-    assert!(cards.metrics.fast_path_taken > 0, "versioned fast paths should fire");
+    assert!(
+        cards.metrics.fast_path_taken > 0,
+        "versioned fast paths should fire"
+    );
 }
 
 #[test]
@@ -164,13 +172,19 @@ fn kvstore_hot_metadata_rewards_pinning() {
     let budget = MemoryBudget::fraction_of(ws, 1.2, 0.1);
     let pinned = run_system(
         &build,
-        System::Cards { policy: RemotingPolicy::Linear, k: 100 },
+        System::Cards {
+            policy: RemotingPolicy::Linear,
+            k: 100,
+        },
         budget,
     )
     .unwrap();
     let remote = run_system(
         &build,
-        System::Cards { policy: RemotingPolicy::AllRemotable, k: 0 },
+        System::Cards {
+            policy: RemotingPolicy::AllRemotable,
+            k: 0,
+        },
         budget,
     )
     .unwrap();

@@ -34,7 +34,11 @@ fn fig4_shape_max_use_beats_all_remotable() {
 /// More local memory never hurts deterministic policies.
 #[test]
 fn more_memory_is_monotone_for_informed_policies() {
-    for policy in [RemotingPolicy::Linear, RemotingPolicy::MaxUse, RemotingPolicy::MaxReach] {
+    for policy in [
+        RemotingPolicy::Linear,
+        RemotingPolicy::MaxUse,
+        RemotingPolicy::MaxReach,
+    ] {
         let tight = run(policy, 100, 0.3);
         let roomy = run(policy, 100, 1.2);
         assert!(

@@ -1,43 +1,55 @@
-//! Property-based tests (proptest) over the whole stack: far-pointer
-//! algebra, printer/parser round-trips on generated programs, policy
-//! assignment invariants, and VM native-vs-far-memory equivalence on
-//! randomized kernels.
-
-use proptest::prelude::*;
+//! Randomized property tests over the whole stack: far-pointer algebra,
+//! printer/parser round-trips on generated programs, policy assignment
+//! invariants, and VM native-vs-far-memory equivalence on randomized
+//! kernels.
+//!
+//! Cases are generated with the workspace's own deterministic
+//! [`SplitMix64`] PRNG (fixed seeds, so failures reproduce exactly) rather
+//! than an external property-testing dependency — the workspace must build
+//! and test fully offline.
 
 use cards_core::ir::{FunctionBuilder, Module, Type};
-use cards_core::net::{NetworkModel, SimTransport};
+use cards_core::net::{NetworkModel, SimTransport, SplitMix64};
 use cards_core::passes::{compile, CompileOptions};
 use cards_core::runtime::{
     assign_hints, DsPriority, DsSpec, FarPtr, RemotingPolicy, RuntimeConfig, StaticHint,
 };
 use cards_core::vm::Vm;
 
-proptest! {
-    /// Far pointers encode/decode losslessly for all valid inputs.
-    #[test]
-    fn farptr_round_trip(handle in 0u16..u16::MAX - 1, offset in 0u64..(1u64 << 48)) {
+/// Far pointers encode/decode losslessly for all valid inputs.
+#[test]
+fn farptr_round_trip() {
+    let mut rng = SplitMix64::new(0xfa51);
+    for _ in 0..2000 {
+        let handle = rng.next_below(u16::MAX as u64 - 1) as u16;
+        let offset = rng.next_below(1u64 << 48);
         let p = FarPtr::encode(handle, offset);
-        prop_assert!(p.is_tagged());
-        prop_assert_eq!(p.handle(), Some(handle));
-        prop_assert_eq!(p.offset(), offset);
+        assert!(p.is_tagged());
+        assert_eq!(p.handle(), Some(handle));
+        assert_eq!(p.offset(), offset);
     }
+}
 
-    /// Untagged bit patterns never pass the custody check.
-    #[test]
-    fn untagged_never_tagged(bits in 0u64..(1u64 << 48)) {
-        prop_assert!(!FarPtr(bits).is_tagged());
+/// Untagged bit patterns never pass the custody check.
+#[test]
+fn untagged_never_tagged() {
+    let mut rng = SplitMix64::new(0xdead);
+    for _ in 0..2000 {
+        let bits = rng.next_below(1u64 << 48);
+        assert!(!FarPtr(bits).is_tagged(), "bits {bits:#x}");
     }
+}
 
-    /// Policy assignment pins exactly floor(k% · n) structures for top-k
-    /// policies, for any priorities.
-    #[test]
-    fn assign_hints_counts(
-        n in 1usize..40,
-        k in 0u32..=100,
-        seed in any::<u64>(),
-        scores in proptest::collection::vec(0u32..1000, 40),
-    ) {
+/// Policy assignment pins exactly floor(k% · n) structures for top-k
+/// policies, for any priorities.
+#[test]
+fn assign_hints_counts() {
+    let mut rng = SplitMix64::new(0x9011c7);
+    for _ in 0..150 {
+        let n = 1 + rng.next_below(39) as usize;
+        let k = rng.next_below(101) as u32;
+        let seed = rng.next_u64();
+        let scores: Vec<u32> = (0..40).map(|_| rng.next_below(1000) as u32).collect();
         let specs: Vec<DsSpec> = (0..n)
             .map(|i| {
                 DsSpec::simple(format!("d{i}")).with_priority(DsPriority {
@@ -55,32 +67,39 @@ proptest! {
         ] {
             let hints = assign_hints(&specs, policy, k);
             let pinned = hints.iter().filter(|&&h| h == StaticHint::Pinned).count();
-            prop_assert_eq!(pinned, expect);
+            assert_eq!(pinned, expect, "{policy:?} n={n} k={k}");
         }
-        prop_assert!(assign_hints(&specs, RemotingPolicy::AllRemotable, k)
+        assert!(assign_hints(&specs, RemotingPolicy::AllRemotable, k)
             .iter()
             .all(|&h| h == StaticHint::Remotable));
     }
+}
 
-    /// Network model cost is monotone in message size.
-    #[test]
-    fn net_cost_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
-        let m = NetworkModel::default();
+/// Network model cost is monotone in message size.
+#[test]
+fn net_cost_monotone() {
+    let mut rng = SplitMix64::new(0x3e7);
+    let m = NetworkModel::default();
+    for _ in 0..2000 {
+        let a = rng.next_below(1_000_000);
+        let b = rng.next_below(1_000_000);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(m.fetch_cost(lo) <= m.fetch_cost(hi));
-        prop_assert!(m.writeback_cost(lo) <= m.writeback_cost(hi));
+        assert!(m.fetch_cost(lo) <= m.fetch_cost(hi));
+        assert!(m.writeback_cost(lo) <= m.writeback_cost(hi));
     }
+}
 
-    /// A generated strided-sum kernel computes the same result natively and
-    /// under the CaRDS pipeline with an arbitrary (tight) cache and policy.
-    #[test]
-    fn vm_native_vs_farmem_equivalence(
-        elems in 16i64..400,
-        stride in 1i64..7,
-        mult in 1i64..100,
-        cache_objs in 1u64..6,
-        k in 0u32..=100,
-    ) {
+/// A generated strided-sum kernel computes the same result natively and
+/// under the CaRDS pipeline with an arbitrary (tight) cache and policy.
+#[test]
+fn vm_native_vs_farmem_equivalence() {
+    let mut rng = SplitMix64::new(0xe9 ^ 0x51de);
+    for _ in 0..12 {
+        let elems = 16 + rng.next_below(384) as i64;
+        let stride = 1 + rng.next_below(6) as i64;
+        let mult = 1 + rng.next_below(99) as i64;
+        let cache_objs = 1 + rng.next_below(5);
+        let k = rng.next_below(101) as u32;
         let build = || {
             let mut m = Module::new("gen");
             let mut b = FunctionBuilder::new("main", vec![], Type::I64);
@@ -114,7 +133,7 @@ proptest! {
             RemotingPolicy::Linear,
             100,
         );
-        prop_assert_eq!(native.run("main", &[]).unwrap(), Some(expect as u64));
+        assert_eq!(native.run("main", &[]).unwrap(), Some(expect as u64));
         // far-memory run with a tiny cache
         let c = compile(build(), CompileOptions::cards()).unwrap();
         let mut vm = Vm::new(
@@ -124,22 +143,29 @@ proptest! {
             RemotingPolicy::MaxUse,
             k,
         );
-        prop_assert_eq!(vm.run("main", &[]).unwrap(), Some(expect as u64));
-    }
-
-    /// Eviction bookkeeping: after arbitrary alloc/write/read sequences the
-    /// runtime's remotable accounting stays within budget + pin overshoot.
-    #[test]
-    fn runtime_budget_respected(ops in proptest::collection::vec((0u8..3, 0u64..24), 1..80)) {
-        use cards_core::runtime::{Access, FarMemRuntime};
-        let budget = 6 * 4096u64;
-        let mut rt = FarMemRuntime::new(
-            RuntimeConfig::new(0, budget),
-            SimTransport::default(),
+        assert_eq!(
+            vm.run("main", &[]).unwrap(),
+            Some(expect as u64),
+            "elems={elems} stride={stride} cache={cache_objs} k={k}"
         );
+    }
+}
+
+/// Eviction bookkeeping: after arbitrary alloc/write/read sequences the
+/// runtime's remotable accounting stays within budget + pin overshoot.
+#[test]
+fn runtime_budget_respected() {
+    use cards_core::runtime::{Access, FarMemRuntime};
+    let mut rng = SplitMix64::new(0xb0d6e7);
+    for _ in 0..40 {
+        let budget = 6 * 4096u64;
+        let mut rt = FarMemRuntime::new(RuntimeConfig::new(0, budget), SimTransport::default());
         let h = rt.register_ds(DsSpec::simple("p"), StaticHint::Remotable);
         let (base, _) = rt.ds_alloc(h, 24 * 4096).unwrap();
-        for (op, idx) in ops {
+        let nops = 1 + rng.next_below(79);
+        for _ in 0..nops {
+            let op = rng.next_below(3) as u8;
+            let idx = rng.next_below(24);
             let ptr = base.add(idx * 4096);
             match op {
                 0 => {
@@ -155,32 +181,50 @@ proptest! {
                 }
             }
             let overshoot = 9 * 4096;
-            prop_assert!(rt.remotable_used() <= budget + overshoot);
+            assert!(rt.remotable_used() <= budget + overshoot);
         }
     }
 }
 
-proptest! {
-    /// Random generated programs: print -> parse -> print is a fixed point
-    /// and the parsed module still verifies.
-    #[test]
-    fn generated_programs_round_trip(seed in any::<u64>(), loops in 0usize..4) {
-        use cards_core::ir::testgen::{generate, GenConfig};
-        let m = generate(seed, GenConfig { loops, elems: 16, ..GenConfig::default() });
+/// Random generated programs: print -> parse -> print is a fixed point
+/// and the parsed module still verifies.
+#[test]
+fn generated_programs_round_trip() {
+    use cards_core::ir::testgen::{generate, GenConfig};
+    let mut rng = SplitMix64::new(0x99a2);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
+        let loops = rng.next_below(4) as usize;
+        let m = generate(
+            seed,
+            GenConfig {
+                loops,
+                elems: 16,
+                ..GenConfig::default()
+            },
+        );
         let p1 = cards_core::ir::print_module(&m);
         let m2 = cards_core::ir::parse_module(&p1).expect("parse");
-        prop_assert!(cards_core::ir::verify_module(&m2).is_empty());
-        prop_assert_eq!(cards_core::ir::print_module(&m2), p1);
+        assert!(cards_core::ir::verify_module(&m2).is_empty());
+        assert_eq!(cards_core::ir::print_module(&m2), p1, "seed={seed}");
     }
+}
 
-    /// The classical optimizer preserves program results on random
-    /// programs (VM-checked), and so does the full far-memory pipeline on
-    /// the optimized module.
-    #[test]
-    fn optimizer_and_pipeline_preserve_semantics(seed in any::<u64>()) {
-        use cards_core::ir::testgen::{generate, GenConfig};
-        use cards_core::passes::optimize;
-        let cfg = GenConfig { elems: 24, loops: 2, ..GenConfig::default() };
+/// The classical optimizer preserves program results on random programs
+/// (VM-checked), and so does the full far-memory pipeline on the
+/// optimized module.
+#[test]
+fn optimizer_and_pipeline_preserve_semantics() {
+    use cards_core::ir::testgen::{generate, GenConfig};
+    use cards_core::passes::optimize;
+    let mut rng = SplitMix64::new(0x0b71);
+    for _ in 0..10 {
+        let seed = rng.next_u64();
+        let cfg = GenConfig {
+            elems: 24,
+            loops: 2,
+            ..GenConfig::default()
+        };
         let run_native = |m: cards_core::ir::Module| -> u64 {
             let mut vm = Vm::new(
                 m,
@@ -195,8 +239,8 @@ proptest! {
         // optimized
         let mut m2 = generate(seed, cfg);
         optimize(&mut m2);
-        prop_assert!(cards_core::ir::verify_module(&m2).is_empty());
-        prop_assert_eq!(run_native(m2), base);
+        assert!(cards_core::ir::verify_module(&m2).is_empty());
+        assert_eq!(run_native(m2), base, "seed={seed}");
         // optimized + far-memory pipeline with a tiny cache
         let mut m3 = generate(seed, cfg);
         optimize(&mut m3);
@@ -208,6 +252,6 @@ proptest! {
             RemotingPolicy::MaxUse,
             50,
         );
-        prop_assert_eq!(vm.run("main", &[]).unwrap().unwrap(), base);
+        assert_eq!(vm.run("main", &[]).unwrap().unwrap(), base, "seed={seed}");
     }
 }
