@@ -27,6 +27,9 @@ usage:
   cards stats   <in.ir> [--json] [--policy P] [--k N] [--pinned BYTES]
                 [--cache BYTES] [--fault RATE] [--seed N] [--epoch N]
   cards demo    listing1|analytics|bfs|fdtd|pagerank|kvstore|\n                micro-array|micro-vector|micro-list|micro-map
+  cards difftest [--seeds N] [--start-seed N] [--minimize] [--out DIR]
+                (seed count falls back to $DIFFTEST_SEEDS, then 50; exits
+                non-zero and writes reproducers to DIR on any divergence)
 ";
 
 /// Dispatch a parsed command line.
@@ -38,6 +41,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "trace" => cmd_trace(a),
         "stats" => cmd_stats(a),
         "demo" => cmd_demo(a),
+        "difftest" => cmd_difftest(a),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -284,6 +288,53 @@ fn cmd_demo(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_difftest(a: &Args) -> Result<(), String> {
+    let seeds: u64 = if a.options.contains_key("seeds") {
+        a.opt_num("seeds", 50u64)?
+    } else {
+        match std::env::var("DIFFTEST_SEEDS") {
+            Ok(s) => s
+                .parse()
+                .map_err(|_| format!("DIFFTEST_SEEDS: invalid count {s:?}"))?,
+            Err(_) => 50,
+        }
+    };
+    let out_dir = a
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "target/difftest".to_string());
+    let cfg = cards_difftest::CampaignConfig {
+        seeds,
+        start_seed: a.opt_num("start-seed", 1u64)?,
+        gen: cards_ir::testgen::GenConfig::adversarial(),
+        minimize: a.has_flag("minimize"),
+        out_dir: Some(out_dir.clone().into()),
+    };
+    let r = cards_difftest::run_campaign(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "difftest: {} seed(s) x {} configuration(s): {} divergent",
+        r.seeds_run,
+        r.configs_per_seed,
+        r.divergent.len()
+    );
+    if r.divergent.is_empty() {
+        return Ok(());
+    }
+    for line in &r.log {
+        eprintln!("{line}");
+    }
+    for p in &r.artifacts {
+        eprintln!("wrote {}", p.display());
+    }
+    Err(format!(
+        "{} diverging seed(s) {:?}; reproducers under {}",
+        r.divergent.len(),
+        r.divergent,
+        out_dir
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +383,16 @@ mod tests {
         // baselines through the CLI too
         dispatch(&args(&format!("run {p} --baseline trackfm"))).expect("trackfm");
         dispatch(&args(&format!("run {p} --baseline local"))).expect("local");
+    }
+
+    #[test]
+    fn difftest_smoke_is_clean() {
+        let dir = std::env::temp_dir().join("cards_cli_difftest");
+        let o = dir.to_string_lossy().to_string();
+        dispatch(&args(&format!("difftest --seeds 2 --out {o}"))).expect("difftest");
+        // no divergences -> no reproducers on disk
+        assert!(!dir.join("seed_1.orig.cir").exists());
+        assert!(dispatch(&args("difftest --seeds nope")).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`vm`] | deterministic interpreter + cycle accounting |
 //! | [`workloads`] | the paper's benchmarks (analytics, BFS, fdtd-apml, Fig-9 micros) |
 //! | [`baselines`] | TrackFM / Mira / local-only comparators and the run harness |
+//! | [`difftest`] | differential-testing oracle fuzzing the pipeline against the VM |
 //!
 //! ## Quick start
 //!
@@ -39,6 +40,7 @@
 //! ```
 
 pub use cards_baselines as baselines;
+pub use cards_difftest as difftest;
 pub use cards_dsa as dsa;
 pub use cards_ir as ir;
 pub use cards_net as net;

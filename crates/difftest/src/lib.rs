@@ -1,0 +1,590 @@
+//! # cards-difftest
+//!
+//! Differential-testing oracle for the CaRDS pass pipeline.
+//!
+//! [`cards_ir::testgen`] produces seeded programs that exercise the
+//! far-memory surface (DS-rooted allocation chains, pointer chasing, strided
+//! loops, calls, frees, phis over DS pointers). Each seed is first executed
+//! on an uninstrumented all-local VM — the *oracle* — and then under every
+//! pipeline configuration (optimizer only, TrackFM guard-all, full CaRDS)
+//! crossed with the paper's four remoting policies and multiple fault
+//! schedules. Two observables are compared:
+//!
+//! - the program's final return value (a checksum over everything computed),
+//! - the heap digest the program accumulates in its `@digest` global (a
+//!   rolling `hash64` over every heap cell it touches — sensitive to heap
+//!   *contents*, not just the returned scalar).
+//!
+//! Any mismatch is a miscompile (or a runtime/VM bug) by construction: the
+//! transformations are supposed to be semantics-preserving under every
+//! policy and any transient-fault schedule. Divergent seeds are shrunk by
+//! delta debugging ([`minimize`]) and persisted as reproducers.
+
+pub mod minimize;
+
+pub use minimize::minimize;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cards_ir::testgen::{generate, GenConfig};
+use cards_ir::{print_module, verify_module, Module};
+use cards_net::{FaultyTransport, SimTransport};
+use cards_passes::{compile, optimize, CompileOptions};
+use cards_runtime::{RemotingPolicy, RuntimeConfig};
+use cards_vm::Vm;
+
+/// What one execution of a program looks like from the outside. Two runs of
+/// the same program are behaviourally equal iff their observations are equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// Final return value of `main` (`None` for void).
+    pub ret: Option<u64>,
+    /// Value of the program's `@digest` global after the run, if present.
+    pub digest: Option<u64>,
+    /// Trap/compile failure, rendered to a string. A trapping program must
+    /// trap identically in every configuration.
+    pub error: Option<String>,
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.error {
+            Some(e) => write!(f, "error: {e}"),
+            None => write!(f, "ret={:?} digest={:?}", self.ret, self.digest),
+        }
+    }
+}
+
+/// Which slice of the compilation pipeline a configuration runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pipeline {
+    /// `optimize` only — no far-memory transformation, all-local execution.
+    /// Flushes out folder/DCE/branch-simplification miscompiles in
+    /// isolation.
+    OptOnly,
+    /// `optimize` + the TrackFM baseline pipeline (guard everything).
+    TrackFm,
+    /// `optimize` + the full CaRDS pipeline (DSA-pruned guards, selective
+    /// remoting, versioned loops).
+    Cards,
+}
+
+/// A deterministic transient-fault schedule applied to the transport.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Probability in [0,1] that a fetch/put fails with `Transient`.
+    pub rate: f64,
+    /// Seed for the fault PRNG.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultSpec { rate: 0.0, seed: 0 }
+    }
+}
+
+/// One cell of the differential matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunConfig {
+    /// Pipeline slice under test.
+    pub pipeline: Pipeline,
+    /// Remoting policy handed to the VM.
+    pub policy: RemotingPolicy,
+    /// Transient-fault schedule on the transport.
+    pub fault: FaultSpec,
+    /// Pinned-memory budget in bytes.
+    pub pinned: u64,
+    /// Remotable cache budget in bytes (small, to force eviction churn).
+    pub cache: u64,
+    /// Policy threshold `k` (percent).
+    pub k: u32,
+}
+
+impl RunConfig {
+    /// Short human-readable label, used in reports and file names.
+    pub fn label(&self) -> String {
+        let pipe = match self.pipeline {
+            Pipeline::OptOnly => "opt-only",
+            Pipeline::TrackFm => "trackfm",
+            Pipeline::Cards => "cards",
+        };
+        let pol = match self.policy {
+            RemotingPolicy::AllRemotable => "all-remotable".to_string(),
+            RemotingPolicy::Linear => "linear".to_string(),
+            RemotingPolicy::Random { seed } => format!("random{seed}"),
+            RemotingPolicy::MaxReach => "max-reach".to_string(),
+            RemotingPolicy::MaxUse => "max-use".to_string(),
+        };
+        if self.fault.rate > 0.0 {
+            format!(
+                "{pipe}/{pol}/fault{:.2}@{}",
+                self.fault.rate, self.fault.seed
+            )
+        } else {
+            format!("{pipe}/{pol}")
+        }
+    }
+}
+
+/// The fault schedules every far configuration is crossed with: a clean
+/// transport and a deterministic 20% transient-fault storm (the runtime must
+/// retry its way through without observable effect).
+pub fn fault_schedules() -> [FaultSpec; 2] {
+    [
+        FaultSpec::none(),
+        FaultSpec {
+            rate: 0.2,
+            seed: 0xfa17,
+        },
+    ]
+}
+
+/// The paper's four remoting policies.
+pub fn policies() -> [RemotingPolicy; 4] {
+    [
+        RemotingPolicy::Linear,
+        RemotingPolicy::Random { seed: 9 },
+        RemotingPolicy::MaxReach,
+        RemotingPolicy::MaxUse,
+    ]
+}
+
+/// The full differential matrix: one all-local optimizer-only run, plus
+/// {TrackFM, CaRDS} × four policies × the fault schedules, every far run
+/// under a deliberately tiny cache so data actually churns through the
+/// remote side.
+pub fn config_matrix() -> Vec<RunConfig> {
+    let mut v = vec![RunConfig {
+        pipeline: Pipeline::OptOnly,
+        policy: RemotingPolicy::Linear,
+        fault: FaultSpec::none(),
+        pinned: 1 << 30,
+        cache: 1 << 30,
+        k: 100,
+    }];
+    for pipeline in [Pipeline::TrackFm, Pipeline::Cards] {
+        for policy in policies() {
+            for fault in fault_schedules() {
+                v.push(RunConfig {
+                    pipeline,
+                    policy,
+                    fault,
+                    pinned: 0,
+                    cache: 6 * 4096,
+                    k: 50,
+                });
+            }
+        }
+    }
+    v
+}
+
+fn observe_run<T: cards_net::Transport>(mut vm: Vm<T>) -> Observation {
+    match vm.run("main", &[]) {
+        Ok(ret) => Observation {
+            ret,
+            digest: vm.global_u64("digest"),
+            error: None,
+        },
+        Err(e) => Observation {
+            ret: None,
+            digest: None,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Run `m` untransformed and unoptimized on plain local memory — the ground
+/// truth every configuration is compared against.
+pub fn observe_oracle(m: &Module) -> Observation {
+    let vm = Vm::new(
+        m.clone(),
+        RuntimeConfig::new(1 << 30, 1 << 30),
+        SimTransport::default(),
+        RemotingPolicy::Linear,
+        100,
+    );
+    observe_run(vm)
+}
+
+/// Run `m` under one matrix cell. The module is optimized, re-verified (a
+/// pass that emits malformed IR is reported as an error observation rather
+/// than crashing the VM), then — for the far pipelines — compiled and
+/// executed against a fault-injecting transport.
+pub fn observe(m: &Module, cfg: &RunConfig) -> Observation {
+    let mut module = m.clone();
+    optimize(&mut module);
+    let errs = verify_module(&module);
+    if !errs.is_empty() {
+        return Observation {
+            ret: None,
+            digest: None,
+            error: Some(format!("post-optimize verify failed: {:?}", errs[0])),
+        };
+    }
+    let opts = match cfg.pipeline {
+        Pipeline::OptOnly => {
+            let vm = Vm::new(
+                module,
+                RuntimeConfig::new(cfg.pinned, cfg.cache),
+                SimTransport::default(),
+                cfg.policy,
+                cfg.k,
+            );
+            return observe_run(vm);
+        }
+        Pipeline::TrackFm => CompileOptions::trackfm(),
+        Pipeline::Cards => CompileOptions::cards(),
+    };
+    let compiled = match compile(module, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            return Observation {
+                ret: None,
+                digest: None,
+                error: Some(format!("compile failed: {e}")),
+            }
+        }
+    };
+    let vm = Vm::new(
+        compiled.module,
+        RuntimeConfig::new(cfg.pinned, cfg.cache),
+        FaultyTransport::new(SimTransport::default(), cfg.fault.rate, cfg.fault.seed),
+        cfg.policy,
+        cfg.k,
+    );
+    observe_run(vm)
+}
+
+/// One configuration disagreeing with the oracle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// The matrix cell that disagreed.
+    pub config: RunConfig,
+    /// What it observed instead.
+    pub got: Observation,
+}
+
+/// Differential result for one program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeedReport {
+    /// The testgen seed (0 for hand-supplied modules).
+    pub seed: u64,
+    /// Ground-truth observation.
+    pub oracle: Observation,
+    /// Every matrix cell that diverged from the oracle.
+    pub divergences: Vec<Divergence>,
+}
+
+/// Compare `m` against the oracle under every cell of [`config_matrix`].
+pub fn check_module(m: &Module, seed: u64) -> SeedReport {
+    let oracle = observe_oracle(m);
+    let mut divergences = Vec::new();
+    for cfg in config_matrix() {
+        let got = observe(m, &cfg);
+        if got != oracle {
+            divergences.push(Divergence { config: cfg, got });
+        }
+    }
+    SeedReport {
+        seed,
+        oracle,
+        divergences,
+    }
+}
+
+/// Generate the program for `seed` and compare it across the matrix.
+pub fn check_seed(seed: u64, gen: GenConfig) -> SeedReport {
+    check_module(&generate(seed, gen), seed)
+}
+
+/// Shrink a diverging module while it still diverges from its own oracle
+/// under at least one of `cfgs` (the originally-failing cells — re-checking
+/// only those keeps minimization cheap).
+pub fn minimize_divergence(m: &Module, cfgs: &[RunConfig]) -> Module {
+    minimize(
+        m,
+        &|cand| {
+            let oracle = observe_oracle(cand);
+            if oracle.error.is_some() {
+                // A shrink that makes the oracle itself trap is not the
+                // same bug; reject it.
+                return false;
+            }
+            cfgs.iter().any(|c| observe(cand, c) != oracle)
+        },
+        8,
+    )
+}
+
+/// Campaign parameters for [`run_campaign`].
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of seeds to fuzz.
+    pub seeds: u64,
+    /// First seed (seeds are `start_seed..start_seed + seeds`).
+    pub start_seed: u64,
+    /// Program-shape knobs handed to testgen.
+    pub gen: GenConfig,
+    /// Delta-debug diverging seeds down to minimal reproducers.
+    pub minimize: bool,
+    /// Where to persist reproducers (`None` disables persistence).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seeds: 50,
+            start_seed: 1,
+            gen: GenConfig::adversarial(),
+            minimize: false,
+            out_dir: None,
+        }
+    }
+}
+
+/// Campaign outcome.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// Matrix cells compared per seed.
+    pub configs_per_seed: usize,
+    /// Seeds with at least one divergence.
+    pub divergent: Vec<u64>,
+    /// One human-readable line per divergence.
+    pub log: Vec<String>,
+    /// Reproducer files written under `out_dir`.
+    pub artifacts: Vec<PathBuf>,
+}
+
+fn persist_reproducer(
+    dir: &Path,
+    report: &SeedReport,
+    module: &Module,
+    minimized: Option<&Module>,
+    artifacts: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let orig = dir.join(format!("seed_{}.orig.cir", report.seed));
+    fs::write(&orig, print_module(module))?;
+    artifacts.push(orig);
+    if let Some(min) = minimized {
+        let minp = dir.join(format!("seed_{}.min.cir", report.seed));
+        fs::write(&minp, print_module(min))?;
+        artifacts.push(minp);
+    }
+    let mut txt = format!(
+        "seed: {}\noracle: {}\ndivergences: {}\n",
+        report.seed,
+        report.oracle,
+        report.divergences.len()
+    );
+    for d in &report.divergences {
+        txt.push_str(&format!("  [{}] {}\n", d.config.label(), d.got));
+    }
+    let rep = dir.join(format!("seed_{}.report.txt", report.seed));
+    fs::write(&rep, txt)?;
+    artifacts.push(rep);
+    Ok(())
+}
+
+/// Fuzz `cfg.seeds` generated programs through the whole matrix, persisting
+/// (optionally minimized) reproducers for every divergence found.
+pub fn run_campaign(cfg: &CampaignConfig) -> std::io::Result<CampaignReport> {
+    let mut report = CampaignReport {
+        configs_per_seed: config_matrix().len(),
+        ..Default::default()
+    };
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        let module = generate(seed, cfg.gen);
+        let sr = check_module(&module, seed);
+        report.seeds_run += 1;
+        if sr.divergences.is_empty() {
+            continue;
+        }
+        report.divergent.push(seed);
+        for d in &sr.divergences {
+            report.log.push(format!(
+                "seed {} [{}]: oracle {} vs {}",
+                seed,
+                d.config.label(),
+                sr.oracle,
+                d.got
+            ));
+        }
+        let minimized = if cfg.minimize {
+            let cfgs: Vec<RunConfig> = sr.divergences.iter().map(|d| d.config).collect();
+            Some(minimize_divergence(&module, &cfgs))
+        } else {
+            None
+        };
+        if let Some(dir) = &cfg.out_dir {
+            persist_reproducer(dir, &sr, &module, minimized.as_ref(), &mut report.artifacts)?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cards_ir::{BinOp, CastOp, FunctionBuilder, Inst, Type, Value};
+
+    #[test]
+    fn matrix_covers_policies_pipelines_and_fault_schedules() {
+        let m = config_matrix();
+        assert_eq!(m.len(), 17);
+        let far: Vec<&RunConfig> = m
+            .iter()
+            .filter(|c| c.pipeline != Pipeline::OptOnly)
+            .collect();
+        for p in policies() {
+            assert!(far.iter().any(|c| c.policy == p), "missing policy {p:?}");
+        }
+        let faulty = far.iter().filter(|c| c.fault.rate > 0.0).count();
+        let clean = far.iter().filter(|c| c.fault.rate == 0.0).count();
+        assert_eq!(faulty, 8, "each far cell pairs with a faulty twin");
+        assert_eq!(clean, 8);
+        assert!(m.iter().any(|c| c.pipeline == Pipeline::OptOnly));
+        assert!(m.iter().any(|c| c.pipeline == Pipeline::TrackFm));
+        assert!(m.iter().any(|c| c.pipeline == Pipeline::Cards));
+    }
+
+    #[test]
+    fn oracle_runs_adversarial_programs_clean() {
+        for seed in [1, 2, 3] {
+            let m = generate(seed, GenConfig::adversarial());
+            let o = observe_oracle(&m);
+            assert!(o.error.is_none(), "seed {seed}: {o}");
+            assert!(o.digest.is_some(), "generated programs carry @digest");
+        }
+    }
+
+    #[test]
+    fn observations_are_deterministic() {
+        let a = check_seed(5, GenConfig::adversarial());
+        let b = check_seed(5, GenConfig::adversarial());
+        assert_eq!(a, b);
+    }
+
+    /// A semantic corruption of the program (swapped branch targets) must be
+    /// visible through the (ret, digest) observation on at least some seeds —
+    /// otherwise the oracle would be too weak to catch real miscompiles.
+    #[test]
+    fn oracle_detects_planted_branch_swap() {
+        let mut caught = 0;
+        for seed in 1..12u64 {
+            let m = generate(seed, GenConfig::adversarial());
+            let base = observe_oracle(&m);
+            assert!(base.error.is_none());
+            let mut bad = m.clone();
+            let mut swapped = false;
+            for f in &mut bad.functions {
+                for inst in &mut f.insts {
+                    if let Inst::CondBr { then_b, else_b, .. } = inst {
+                        if then_b != else_b && !swapped {
+                            std::mem::swap(then_b, else_b);
+                            swapped = true;
+                        }
+                    }
+                }
+            }
+            assert!(verify_module(&bad).is_empty(), "swap keeps IR well-formed");
+            if swapped && observe_oracle(&bad) != base {
+                caught += 1;
+            }
+        }
+        assert!(caught >= 3, "branch swaps went unnoticed ({caught}/11)");
+    }
+
+    /// End-to-end folder↔VM pin for the arithmetic corners: a one-instruction
+    /// program per corner, run unoptimized (VM evaluator) and under the
+    /// optimizer-only cell (constant folder). Both sides must agree — this is
+    /// the differential form of the `consteval` unit tests.
+    #[test]
+    fn folder_matches_vm_on_corner_ops() {
+        let corners: &[(BinOp, i64, i64, Type)] = &[
+            (BinOp::Shl, 1, 63, Type::I64),
+            (BinOp::Shl, 1, 64, Type::I64),
+            (BinOp::Shl, 1, 65, Type::I64),
+            (BinOp::Shl, -1, 1, Type::I32),
+            (BinOp::LShr, -1, 1, Type::I64),
+            (BinOp::LShr, -1, 64, Type::I64),
+            (BinOp::AShr, i64::MIN, 1, Type::I64),
+            (BinOp::AShr, -8, 2, Type::I8),
+            (BinOp::AShr, 1, -1, Type::I64),
+            (BinOp::SDiv, i64::MIN, -1, Type::I64),
+            (BinOp::SRem, i64::MIN, -1, Type::I64),
+            (BinOp::SDiv, 7, 0, Type::I64),
+            (BinOp::UDiv, -1, 3, Type::I64),
+            (BinOp::URem, -1, 10, Type::I64),
+            (BinOp::UDiv, -1, 0, Type::I64),
+            (BinOp::Add, i64::MAX, 1, Type::I64),
+            (BinOp::Add, 127, 1, Type::I8),
+            (BinOp::Mul, i64::MIN, -1, Type::I64),
+            (BinOp::Sub, -0x8000_0000, 1, Type::I32),
+        ];
+        let opt_only = config_matrix()[0];
+        assert_eq!(opt_only.pipeline, Pipeline::OptOnly);
+        for &(op, a, b, ty) in corners {
+            let mut m = Module::new("corner");
+            let mut bld = FunctionBuilder::new("main", vec![], Type::I64);
+            let r = bld.bin(op, Value::ConstInt(a), Value::ConstInt(b), ty);
+            let wide = bld.cast(CastOp::IntResize, r, Type::I64);
+            bld.ret(wide);
+            m.add_function(bld.finish());
+            let oracle = observe_oracle(&m);
+            let folded = observe(&m, &opt_only);
+            assert_eq!(
+                oracle, folded,
+                "{op:?} {a} {b} {ty:?}: vm {oracle} vs folder {folded}"
+            );
+        }
+    }
+
+    /// Reproducer persistence, driven directly (the campaign only reaches it
+    /// on a divergence, which a healthy pipeline never produces): original +
+    /// minimized IR parse back, and the report names the failing cell.
+    #[test]
+    fn reproducers_round_trip_through_disk() {
+        let m = generate(2, GenConfig::adversarial());
+        let sr = SeedReport {
+            seed: 2,
+            oracle: observe_oracle(&m),
+            divergences: vec![Divergence {
+                config: config_matrix()[3],
+                got: Observation {
+                    ret: Some(1),
+                    digest: Some(2),
+                    error: None,
+                },
+            }],
+        };
+        let dir = std::env::temp_dir().join("cards_difftest_persist");
+        let mut artifacts = Vec::new();
+        persist_reproducer(&dir, &sr, &m, Some(&m), &mut artifacts).unwrap();
+        assert_eq!(artifacts.len(), 3);
+        for p in &artifacts {
+            assert!(p.exists(), "{} missing", p.display());
+        }
+        let orig = fs::read_to_string(dir.join("seed_2.orig.cir")).unwrap();
+        let parsed = cards_ir::parse_module(&orig).expect("reproducer parses back");
+        assert!(verify_module(&parsed).is_empty());
+        let report = fs::read_to_string(dir.join("seed_2.report.txt")).unwrap();
+        assert!(report.contains(&config_matrix()[3].label()));
+        assert!(report.contains("divergences: 1"));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let m = config_matrix();
+        let labels: std::collections::HashSet<String> = m.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), m.len());
+    }
+}

@@ -119,6 +119,16 @@ pub enum CmpOp {
     FGe,
 }
 
+impl CmpOp {
+    /// Whether the predicate compares floats.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            CmpOp::FEq | CmpOp::FNe | CmpOp::FLt | CmpOp::FLe | CmpOp::FGt | CmpOp::FGe
+        )
+    }
+}
+
 /// Value casts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CastOp {

@@ -43,6 +43,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod consteval;
 pub mod function;
 pub mod inst;
 pub mod parser;

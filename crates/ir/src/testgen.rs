@@ -11,7 +11,7 @@
 
 use crate::builder::FunctionBuilder;
 use crate::function::Module;
-use crate::inst::{BinOp, CmpOp, Value};
+use crate::inst::{BinOp, CmpOp, Intrinsic, Value};
 use crate::types::Type;
 
 /// Deterministic xorshift RNG (no external dependency so the crate's
@@ -60,6 +60,18 @@ pub struct GenConfig {
     pub body_ops: usize,
     /// Whether to route some arithmetic through a helper call.
     pub with_calls: bool,
+    /// Length of a pointer-chased linked-list chain of heap nodes,
+    /// traversed through a phi over the node pointer (0 = no chain).
+    pub chain_len: i64,
+    /// Emit diamonds branching on constant (and runtime) conditions,
+    /// including `condbr` with equal then/else targets — exercises branch
+    /// simplification and phi-edge maintenance.
+    pub const_branches: bool,
+    /// Emit narrow-width (i8/i16/i32) constant arithmetic with corner
+    /// operands — exercises the folder/VM width semantics.
+    pub narrow_ops: bool,
+    /// Free the heap arrays before returning.
+    pub with_frees: bool,
 }
 
 impl Default for GenConfig {
@@ -70,15 +82,79 @@ impl Default for GenConfig {
             loops: 3,
             body_ops: 4,
             with_calls: true,
+            chain_len: 0,
+            const_branches: false,
+            narrow_ops: false,
+            with_frees: false,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Every knob on, sized for differential fuzzing: full far-memory
+    /// surface (allocation chains, pointer chasing, strided loops, calls,
+    /// frees, phis over DS pointers) in a program small enough to run
+    /// under a full config matrix in milliseconds.
+    pub fn adversarial() -> Self {
+        GenConfig {
+            arrays: 2,
+            elems: 24,
+            loops: 2,
+            body_ops: 3,
+            with_calls: true,
+            chain_len: 10,
+            const_branches: true,
+            narrow_ops: true,
+            with_frees: true,
+        }
+    }
+}
+
+/// Pick a narrow-or-wide constant binary op over corner operands
+/// (overflowing adds, `i64::MIN sdiv -1`, out-of-range and negative shift
+/// amounts, unsigned div/rem on negative bit patterns). Divisors are
+/// non-zero by construction so the program still never traps.
+fn narrow_const_bin(b: &mut FunctionBuilder, rng: &mut Rng) -> Value {
+    const TYS: [Type; 4] = [Type::I8, Type::I16, Type::I32, Type::I64];
+    const CORNERS: [i64; 8] = [i64::MIN, i64::MAX, -1, 0, 1, 0x7fff_ffff, -0x8000_0000, 255];
+    const DIVISORS: [i64; 6] = [-1, 1, 2, 3, 7, i64::MIN];
+    const SHIFTS: [i64; 8] = [0, 1, 31, 32, 33, 63, 64, -1];
+    let ty = TYS[rng.below(TYS.len() as u64) as usize];
+    let a = CORNERS[rng.below(CORNERS.len() as u64) as usize].wrapping_add(rng.small_const());
+    match rng.below(10) {
+        0..=2 => {
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][rng.below(3) as usize];
+            let c = CORNERS[rng.below(CORNERS.len() as u64) as usize];
+            b.bin(op, b.iconst(a), b.iconst(c), ty)
+        }
+        3..=4 => {
+            let op = [BinOp::SDiv, BinOp::SRem][rng.below(2) as usize];
+            let d = DIVISORS[rng.below(DIVISORS.len() as u64) as usize];
+            b.bin(op, b.iconst(a), b.iconst(d), ty)
+        }
+        5..=6 => {
+            let op = [BinOp::UDiv, BinOp::URem][rng.below(2) as usize];
+            let d = DIVISORS[rng.below(DIVISORS.len() as u64) as usize];
+            b.bin(op, b.iconst(a), b.iconst(d), ty)
+        }
+        _ => {
+            let op = [BinOp::Shl, BinOp::LShr, BinOp::AShr][rng.below(3) as usize];
+            let s = SHIFTS[rng.below(SHIFTS.len() as u64) as usize];
+            b.bin(op, b.iconst(a), b.iconst(s), ty)
         }
     }
 }
 
 /// Generate a module whose `main() -> i64` computes a checksum over the
-/// arrays it filled. Always verifies; always terminates; never traps.
+/// arrays it filled, and mixes a rolling hash of the final heap contents
+/// into a `@digest` global (an all-local observable the differential
+/// oracle reads back). Always verifies; always terminates; never traps.
 pub fn generate(seed: u64, cfg: GenConfig) -> Module {
     let mut rng = Rng::new(seed);
     let mut m = Module::new(format!("gen_{seed:x}"));
+    let dg = Value::Global(m.add_global("digest", Type::I64, Some(Value::ConstInt(0))));
+    let node_sid = m.types.add_struct("GNode", vec![Type::I64, Type::Ptr]);
+    let node_ty = Type::Struct(node_sid);
 
     // Optional helper: i64 -> i64 pure arithmetic.
     let helper = if cfg.with_calls {
@@ -112,6 +188,117 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Module {
             let p = b.gep_index(arr, Type::I64, i);
             b.store(p, v, Type::I64);
         });
+    }
+
+    // Accumulator for everything the program observes; returned at the end.
+    let acc = b.alloca(Type::I64);
+    b.store(acc, z, Type::I64);
+
+    // Pointer-chased chain: build a linked list of heap nodes (push-front),
+    // then walk it through a phi over the node pointer. Under the CaRDS
+    // pipeline the nodes become a recursive remotable DS, so the traversal
+    // exercises guards/prefetch on a phi-carried DS pointer.
+    if cfg.chain_len > 0 {
+        let head = b.alloca(Type::Ptr);
+        b.store(head, Value::Null, Type::Ptr);
+        let salt = b.iconst(rng.small_const());
+        b.counted_loop(z, b.iconst(cfg.chain_len), one, |b, i| {
+            let nd = b.alloc(b.iconst(16), node_ty);
+            let sv = b.mul(i, salt);
+            let hv = b.intrin(Intrinsic::Hash64, vec![sv]);
+            let vslot = b.gep_field(nd, node_ty, 0);
+            b.store(vslot, hv, Type::I64);
+            let nslot = b.gep_field(nd, node_ty, 1);
+            let prev = b.load(head, Type::Ptr);
+            b.store(nslot, prev, Type::Ptr);
+            b.store(head, nd, Type::Ptr);
+        });
+        let h0 = b.load(head, Type::Ptr);
+        let hdr = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let pre = b.current_block();
+        b.br(hdr);
+        b.switch_to(hdr);
+        let cur = b.phi(Type::Ptr, vec![(pre, h0)]);
+        let alive = b.cmp(CmpOp::Ne, cur, Value::Null);
+        b.cond_br(alive, body, exit);
+        b.switch_to(body);
+        let vslot = b.gep_field(cur, node_ty, 0);
+        let v = b.load(vslot, Type::I64);
+        let a0 = b.load(acc, Type::I64);
+        let a1 = b.add(a0, v);
+        b.store(acc, a1, Type::I64);
+        let d0 = b.load(dg, Type::I64);
+        let mixed = b.bin(BinOp::Xor, d0, v, Type::I64);
+        let d1 = b.intrin(Intrinsic::Hash64, vec![mixed]);
+        b.store(dg, d1, Type::I64);
+        let nslot = b.gep_field(cur, node_ty, 1);
+        let nxt = b.load(nslot, Type::Ptr);
+        b.br(hdr);
+        b.add_phi_incoming(cur, body, nxt);
+        b.switch_to(exit);
+    }
+
+    // Diamonds on constant (and occasionally runtime) conditions; some use
+    // the same block for both targets. Branch simplification must rewrite
+    // the constant ones without corrupting the join phis.
+    if cfg.const_branches {
+        for _ in 0..1 + rng.below(3) {
+            let op = [
+                CmpOp::Slt,
+                CmpOp::Sle,
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Ugt,
+                CmpOp::Ult,
+            ][rng.below(6) as usize];
+            let cb = rng.small_const();
+            let cond = if rng.below(2) == 0 {
+                b.cmp(op, b.iconst(rng.small_const()), b.iconst(cb))
+            } else {
+                let cur = b.load(acc, Type::I64);
+                b.cmp(op, cur, b.iconst(cb))
+            };
+            // Blocks are created in textual order so print∘parse stays a
+            // fixed point (the parser renumbers in block order).
+            let src = b.current_block();
+            let picked = if rng.below(4) == 0 {
+                // then == else: both edges land on the join; its phi edge
+                // from `src` must survive simplification.
+                let join = b.new_block();
+                b.cond_br(cond, join, join);
+                b.switch_to(join);
+                b.phi(Type::I64, vec![(src, b.iconst(rng.small_const()))])
+            } else {
+                let t = b.new_block();
+                let e = b.new_block();
+                let join = b.new_block();
+                b.cond_br(cond, t, e);
+                b.switch_to(t);
+                let tv = b.iconst(rng.small_const());
+                b.br(join);
+                b.switch_to(e);
+                let ev = b.iconst(rng.small_const());
+                b.br(join);
+                b.switch_to(join);
+                b.phi(Type::I64, vec![(t, tv), (e, ev)])
+            };
+            let a0 = b.load(acc, Type::I64);
+            let a1 = b.add(a0, picked);
+            b.store(acc, a1, Type::I64);
+        }
+    }
+
+    // Narrow constant arithmetic over corner operands; the folder and the
+    // VM must agree on masking/sign-extension of every result.
+    if cfg.narrow_ops {
+        for _ in 0..1 + rng.below(4) {
+            let nv = narrow_const_bin(&mut b, &mut rng);
+            let a0 = b.load(acc, Type::I64);
+            let a1 = b.add(a0, nv);
+            b.store(acc, a1, Type::I64);
+        }
     }
 
     // Random loops transforming arrays.
@@ -151,9 +338,10 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Module {
         });
     }
 
-    // Checksum.
-    let acc = b.alloca(Type::I64);
-    b.store(acc, z, Type::I64);
+    // Checksum and heap digest: sum every element into `acc` and fold it
+    // into the rolling hash in `@digest` (globals stay in local memory
+    // under every remoting config, so the digest is directly comparable
+    // across pipelines).
     for &arr in &arrays {
         b.counted_loop(z, b.iconst(cfg.elems), one, |b, i| {
             let p = b.gep_index(arr, Type::I64, i);
@@ -161,7 +349,16 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Module {
             let cur = b.load(acc, Type::I64);
             let nx = b.add(cur, v);
             b.store(acc, nx, Type::I64);
+            let d0 = b.load(dg, Type::I64);
+            let mixed = b.bin(BinOp::Xor, d0, v, Type::I64);
+            let d1 = b.intrin(Intrinsic::Hash64, vec![mixed]);
+            b.store(dg, d1, Type::I64);
         });
+    }
+    if cfg.with_frees {
+        for &arr in &arrays {
+            b.free(arr);
+        }
     }
     let out = b.load(acc, Type::I64);
     b.ret(out);
@@ -185,10 +382,26 @@ mod tests {
                     loops: (seed % 5) as usize,
                     body_ops: (seed % 6) as usize,
                     with_calls: seed % 2 == 0,
+                    chain_len: (seed % 7) as i64,
+                    const_branches: seed % 2 == 0,
+                    narrow_ops: seed % 3 == 0,
+                    with_frees: seed % 4 == 0,
                 },
             );
             let errs = verify_module(&m);
             assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_config_verifies_and_round_trips() {
+        for seed in [3, 17, 99] {
+            let m = generate(seed, GenConfig::adversarial());
+            let errs = verify_module(&m);
+            assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+            let p1 = crate::printer::print_module(&m);
+            let m2 = crate::parser::parse_module(&p1).expect("parse");
+            assert_eq!(crate::printer::print_module(&m2), p1, "seed {seed}");
         }
     }
 

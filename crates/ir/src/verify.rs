@@ -143,7 +143,11 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
         }
     }
 
-    // 3. Phi incoming edges match CFG predecessors exactly.
+    // 3. Phi incoming edges match the *reachable* CFG predecessors
+    //    exactly. Edges from unreachable predecessors are stale (branch
+    //    simplification can orphan them) and the interpreter can never
+    //    select them, so they are flagged; conversely an unreachable
+    //    predecessor needs no incoming entry.
     for b in f.block_ids().filter(|&b| cfg.is_reachable(b)) {
         let preds = cfg.preds_of(b);
         for &iid in &f.block(b).insts {
@@ -158,9 +162,21 @@ fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                                 iid.0, from.0
                             ),
                         );
+                    } else if !cfg.is_reachable(from) {
+                        err(
+                            errs,
+                            Some(b),
+                            format!(
+                                "phi %{} has incoming from unreachable predecessor bb{}",
+                                iid.0, from.0
+                            ),
+                        );
                     }
                 }
                 for &p in preds {
+                    if !cfg.is_reachable(p) {
+                        continue;
+                    }
                     if !incoming.iter().any(|&(from, _)| from == p) {
                         err(
                             errs,
@@ -386,6 +402,45 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| e.msg.contains("non-predecessor") || e.msg.contains("missing incoming")));
+    }
+
+    #[test]
+    fn phi_edge_from_unreachable_pred_flagged() {
+        // entry -> j, plus a dead block e -> j. The phi's edge from e can
+        // never be taken and must be flagged; conversely a phi that only
+        // lists reachable preds is fine even though e is a CFG predecessor.
+        let mut b = FunctionBuilder::new("stale", vec![], Type::I64);
+        let e = b.new_block();
+        let j = b.new_block();
+        let entry = b.current_block();
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(
+            Type::I64,
+            vec![(entry, Value::ConstInt(1)), (e, Value::ConstInt(2))],
+        );
+        b.ret(phi);
+        let errs = verify_module(&module_with(b.finish()));
+        assert!(
+            errs.iter()
+                .any(|x| x.msg.contains("unreachable predecessor")),
+            "{errs:?}"
+        );
+
+        // Same CFG without the stale edge: clean.
+        let mut b = FunctionBuilder::new("clean", vec![], Type::I64);
+        let e = b.new_block();
+        let j = b.new_block();
+        let entry = b.current_block();
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(Type::I64, vec![(entry, Value::ConstInt(1))]);
+        b.ret(phi);
+        assert!(verify_module(&module_with(b.finish())).is_empty());
     }
 
     #[test]

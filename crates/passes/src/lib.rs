@@ -29,7 +29,7 @@ pub mod testutil;
 
 pub use driver::{compile, CompileError, CompileOptions, Compiled};
 pub use guards::{eliminate_redundant_guards, insert_guards, GuardStats};
-pub use opt::{optimize, OptStats};
+pub use opt::{dead_code_elim, fold_constants, optimize, simplify_branches, OptStats};
 pub use pool_alloc::{pool_allocate, PoolAllocError, PoolAllocResult};
 pub use prefetch_analysis::{analyze_prefetch, rank_instances, PrefetchChoice, PrefetchSelection};
 pub use versioning::version_loops;

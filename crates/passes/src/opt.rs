@@ -10,7 +10,7 @@
 
 use std::collections::HashSet;
 
-use cards_ir::{BinOp, CmpOp, FuncId, Inst, InstId, Module, Value};
+use cards_ir::{consteval, BinOp, FuncId, Inst, InstId, Module, Type, Value};
 
 /// Statistics from one optimization run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -21,6 +21,9 @@ pub struct OptStats {
     pub dce_removed: usize,
     /// Branches on constant conditions rewritten to unconditional ones.
     pub branches_simplified: usize,
+    /// Phi incoming edges dropped because their predecessor became
+    /// unreachable.
+    pub phi_edges_pruned: usize,
 }
 
 /// Run constant folding, branch simplification and DCE on every function.
@@ -30,78 +33,27 @@ pub fn optimize(module: &mut Module) -> OptStats {
         let fid = FuncId(i as u32);
         stats.folded += fold_constants(module, fid);
         stats.branches_simplified += simplify_branches(module, fid);
-        stats.dce_removed += dead_code_elim(module, fid);
+        let (removed, pruned) = dead_code_elim(module, fid);
+        stats.dce_removed += removed;
+        stats.phi_edges_pruned += pruned;
     }
     stats
 }
 
-/// Evaluate an integer binary op over constants (wrapping, like the VM).
-fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
-    Some(match op {
-        BinOp::Add => a.wrapping_add(b),
-        BinOp::Sub => a.wrapping_sub(b),
-        BinOp::Mul => a.wrapping_mul(b),
-        BinOp::SDiv => {
-            if b == 0 {
-                return None; // preserve the trap
-            }
-            a.wrapping_div(b)
-        }
-        BinOp::SRem => {
-            if b == 0 {
-                return None;
-            }
-            a.wrapping_rem(b)
-        }
-        BinOp::UDiv => {
-            if b == 0 {
-                return None;
-            }
-            ((a as u64) / (b as u64)) as i64
-        }
-        BinOp::URem => {
-            if b == 0 {
-                return None;
-            }
-            ((a as u64) % (b as u64)) as i64
-        }
-        BinOp::And => a & b,
-        BinOp::Or => a | b,
-        BinOp::Xor => a ^ b,
-        BinOp::Shl => ((a as u64).wrapping_shl(b as u32)) as i64,
-        BinOp::LShr => ((a as u64).wrapping_shr(b as u32)) as i64,
-        BinOp::AShr => a.wrapping_shr(b as u32),
-        // float folding intentionally skipped: keep bit-exactness decisions
-        // out of the optimizer.
-        _ => return None,
-    })
-}
-
-fn eval_cmp(op: CmpOp, a: i64, b: i64) -> Option<bool> {
-    let (ua, ub) = (a as u64, b as u64);
-    Some(match op {
-        CmpOp::Eq => a == b,
-        CmpOp::Ne => a != b,
-        CmpOp::Slt => a < b,
-        CmpOp::Sle => a <= b,
-        CmpOp::Sgt => a > b,
-        CmpOp::Sge => a >= b,
-        CmpOp::Ult => ua < ub,
-        CmpOp::Ule => ua <= ub,
-        CmpOp::Ugt => ua > ub,
-        CmpOp::Uge => ua >= ub,
-        _ => return None, // float comparisons not folded
-    })
-}
-
 /// Fold `bin`/`cmp`/`select` over integer constants; propagate iteratively
 /// until a fixed point. Returns the number of folds.
-fn fold_constants(module: &mut Module, fid: FuncId) -> usize {
+///
+/// Evaluation delegates to [`cards_ir::consteval`] — the exact semantics
+/// the VM executes (wrapping arithmetic, narrow results masked and
+/// sign-extended, division by zero left in place to preserve the trap).
+/// Float folding is intentionally skipped: bit-exactness decisions stay
+/// out of the optimizer.
+pub fn fold_constants(module: &mut Module, fid: FuncId) -> usize {
     let mut folded = 0;
     let mut done: HashSet<InstId> = HashSet::new();
     loop {
-        // Collect replacements: InstId -> constant value.
-        let mut repl: Vec<(InstId, Value)> = Vec::new();
+        // Collect replacements: InstId -> (constant value, original type).
+        let mut repl: Vec<(InstId, Value, Type)> = Vec::new();
         {
             let f = module.func(fid);
             for (_, iid, inst) in f.iter_insts() {
@@ -113,44 +65,49 @@ fn fold_constants(module: &mut Module, fid: FuncId) -> usize {
                         op,
                         lhs: Value::ConstInt(a),
                         rhs: Value::ConstInt(b),
-                        ..
-                    } => eval_bin(*op, *a, *b).map(Value::ConstInt),
+                        ty,
+                    } if !op.is_float() => consteval::eval_bin(*op, *a as u64, *b as u64, *ty)
+                        .ok()
+                        .map(|r| (Value::ConstInt(r as i64), *ty)),
                     Inst::Cmp {
                         op,
                         lhs: Value::ConstInt(a),
                         rhs: Value::ConstInt(b),
-                    } => eval_cmp(*op, *a, *b).map(|v| Value::ConstInt(v as i64)),
+                    } if !op.is_float() => Some((
+                        Value::ConstInt(consteval::eval_cmp(*op, *a as u64, *b as u64) as i64),
+                        Type::I1,
+                    )),
                     Inst::Select {
                         cond: Value::ConstInt(c),
                         then_v,
                         else_v,
-                        ..
+                        ty,
                     } if then_v.is_const() && else_v.is_const() => {
-                        Some(if *c != 0 { *then_v } else { *else_v })
+                        Some((if *c != 0 { *then_v } else { *else_v }, *ty))
                     }
                     // Algebraic identities with one constant side.
                     Inst::Bin {
                         op: BinOp::Add,
                         lhs,
                         rhs: Value::ConstInt(0),
-                        ..
+                        ty,
                     }
                     | Inst::Bin {
                         op: BinOp::Sub,
                         lhs,
                         rhs: Value::ConstInt(0),
-                        ..
-                    } if lhs.is_const() => Some(*lhs),
+                        ty,
+                    } if lhs.is_const() => Some((*lhs, *ty)),
                     Inst::Bin {
                         op: BinOp::Mul,
                         lhs: _,
                         rhs: Value::ConstInt(0),
-                        ..
-                    } => Some(Value::ConstInt(0)),
+                        ty,
+                    } => Some((Value::ConstInt(0), *ty)),
                     _ => None,
                 };
-                if let Some(v) = c {
-                    repl.push((iid, v));
+                if let Some((v, ty)) = c {
+                    repl.push((iid, v, ty));
                 }
             }
         }
@@ -164,20 +121,22 @@ fn fold_constants(module: &mut Module, fid: FuncId) -> usize {
         for inst in f.insts.iter_mut() {
             inst.map_operands(|v| {
                 if let Value::Inst(id) = v {
-                    if let Some(&(_, c)) = repl.iter().find(|(r, _)| *r == id) {
+                    if let Some(&(_, c, _)) = repl.iter().find(|(r, _, _)| *r == id) {
                         return c;
                     }
                 }
                 v
             });
         }
-        // Neutralize the folded instructions so they cannot re-fold.
-        for (iid, v) in &repl {
+        // Neutralize the folded instructions so they cannot re-fold. The
+        // placeholder keeps the original result type: a folded `cmp` must
+        // remain i1-typed so a module that skips DCE still verifies.
+        for (iid, v, ty) in &repl {
             f.insts[iid.0 as usize] = Inst::Select {
                 cond: Value::ConstInt(1),
                 then_v: *v,
                 else_v: *v,
-                ty: cards_ir::Type::I64,
+                ty: *ty,
             };
             done.insert(*iid);
         }
@@ -186,7 +145,7 @@ fn fold_constants(module: &mut Module, fid: FuncId) -> usize {
 }
 
 /// Rewrite `condbr` on constant conditions to `br`.
-fn simplify_branches(module: &mut Module, fid: FuncId) -> usize {
+pub fn simplify_branches(module: &mut Module, fid: FuncId) -> usize {
     let f = module.func_mut(fid);
     let mut n = 0;
     // Collect edits first: (inst, new target, dead target).
@@ -208,6 +167,12 @@ fn simplify_branches(module: &mut Module, fid: FuncId) -> usize {
     }
     for (iid, live, dead) in edits {
         f.insts[iid.0 as usize] = Inst::Br { target: live };
+        n += 1;
+        if live == dead {
+            // `then == else`: the surviving `br` still reaches the target,
+            // so its phi edges from this block must not be touched.
+            continue;
+        }
         // The dead block loses a predecessor: its phis must drop the edge
         // ... but only if this block actually was a predecessor. Phi edges
         // are keyed by predecessor block; find the block containing iid.
@@ -221,14 +186,15 @@ fn simplify_branches(module: &mut Module, fid: FuncId) -> usize {
                 incoming.retain(|&(from, _)| from != src);
             }
         }
-        n += 1;
     }
     n
 }
 
 /// Remove side-effect-free instructions whose results are never used, and
-/// drop instructions in unreachable blocks. Returns the number removed.
-fn dead_code_elim(module: &mut Module, fid: FuncId) -> usize {
+/// drop instructions in unreachable blocks. Also prunes phi incoming edges
+/// whose predecessor became unreachable (branch simplification leaves such
+/// stale edges behind). Returns `(instructions removed, phi edges pruned)`.
+pub fn dead_code_elim(module: &mut Module, fid: FuncId) -> (usize, usize) {
     let f = module.func_mut(fid);
     // Liveness: roots are side-effecting / control instructions.
     let mut live: HashSet<InstId> = HashSet::new();
@@ -237,6 +203,22 @@ fn dead_code_elim(module: &mut Module, fid: FuncId) -> usize {
         let cfg = cards_ir::analysis::Cfg::compute(f);
         f.block_ids().filter(|&b| cfg.is_reachable(b)).collect()
     };
+    // Prune stale phi edges first so values used only through them count
+    // as dead below. Unreachable blocks are left untouched (they are kept
+    // intact wholesale).
+    let mut pruned = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if !reachable.contains(&b) {
+            continue;
+        }
+        for iid in f.block(b).insts.clone() {
+            if let Inst::Phi { incoming, .. } = &mut f.insts[iid.0 as usize] {
+                let before = incoming.len();
+                incoming.retain(|(from, _)| reachable.contains(from));
+                pruned += before - incoming.len();
+            }
+        }
+    }
     for b in f.block_ids() {
         if !reachable.contains(&b) {
             continue;
@@ -291,7 +273,7 @@ fn dead_code_elim(module: &mut Module, fid: FuncId) -> usize {
         removed += old.len() - kept.len();
         f.blocks[b.0 as usize].insts = kept;
     }
-    removed
+    (removed, pruned)
 }
 
 #[cfg(test)]
@@ -368,6 +350,105 @@ mod tests {
         assert!(stats.branches_simplified >= 1);
         let errs = verify_module(&m);
         assert!(errs.is_empty(), "{errs:?}\n{}", cards_ir::print_module(&m));
+    }
+
+    #[test]
+    fn equal_target_constant_branch_keeps_phi_edges() {
+        // Regression (difftest-minimized shape): a constant `condbr` whose
+        // then and else targets are the SAME block. The surviving edge from
+        // the source block must not be dropped from the target's phis.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+        let j = b.new_block();
+        let src = b.current_block();
+        let c = b.cmp(cards_ir::CmpOp::Slt, b.iconst(1), b.iconst(2)); // folds true
+        b.cond_br(c, j, j);
+        b.switch_to(j);
+        let phi = b.phi(Type::I64, vec![(src, b.iconst(7))]);
+        b.ret(phi);
+        m.add_function(b.finish());
+        optimize(&mut m);
+        let errs = verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}\n{}", cards_ir::print_module(&m));
+        let f = &m.functions[0];
+        let edge_survives = f.insts.iter().any(|i| {
+            matches!(i, Inst::Phi { incoming, .. }
+                if incoming.iter().any(|&(from, v)| from == src && v == Value::ConstInt(7)))
+        });
+        assert!(edge_survives, "{}", cards_ir::print_module(&m));
+    }
+
+    #[test]
+    fn fold_preserves_result_type_without_dce() {
+        // Regression: folded instructions are neutralized in place; the
+        // placeholder must keep the original result type (a folded cmp is
+        // i1, not i64) so a module that skips DCE still verifies cleanly.
+        use cards_ir::result_type;
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+        let c = b.cmp(cards_ir::CmpOp::Slt, b.iconst(1), b.iconst(2));
+        let s = b.select(c, b.iconst(10), b.iconst(20), Type::I64);
+        b.ret(s);
+        m.add_function(b.finish());
+        let before: Vec<Type> = m.functions[0]
+            .insts
+            .iter()
+            .map(|i| result_type(&m, i))
+            .collect();
+        let n = fold_constants(&mut m, FuncId(0));
+        assert!(n >= 2, "cmp and select should both fold");
+        let after: Vec<Type> = m.functions[0]
+            .insts
+            .iter()
+            .map(|i| result_type(&m, i))
+            .collect();
+        assert_eq!(before, after, "folding must not change any result type");
+        assert!(verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn dce_prunes_phi_edges_from_unreachable_preds() {
+        // Regression: branch simplification makes `e` unreachable but the
+        // join's phi keeps its edge from `e`. The verifier must flag the
+        // stale edge and DCE must prune it.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmp(cards_ir::CmpOp::Sgt, b.iconst(5), b.iconst(3)); // folds true
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(Type::I64, vec![(t, b.iconst(1)), (e, b.iconst(2))]);
+        b.ret(phi);
+        m.add_function(b.finish());
+        fold_constants(&mut m, FuncId(0));
+        simplify_branches(&mut m, FuncId(0));
+        let errs = verify_module(&m);
+        assert!(
+            errs.iter()
+                .any(|e| e.msg.contains("unreachable predecessor")),
+            "verifier must flag the stale phi edge: {errs:?}"
+        );
+        let (_, pruned) = dead_code_elim(&mut m, FuncId(0));
+        assert_eq!(pruned, 1, "exactly the edge from e is stale");
+        let errs = verify_module(&m);
+        assert!(errs.is_empty(), "{errs:?}\n{}", cards_ir::print_module(&m));
+        let f = &m.functions[0];
+        let incoming: Vec<_> = f
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Phi { incoming, .. } => Some(incoming.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(incoming, vec![(t, Value::ConstInt(1))]);
     }
 
     #[test]

@@ -206,6 +206,17 @@ impl<T: Transport> Vm<T> {
         &self.hints
     }
 
+    /// Current 8-byte little-endian value of global `name` in native
+    /// memory. Globals live in local memory under every configuration, so
+    /// this is a layout-independent observable — the differential-testing
+    /// oracle reads the generated programs' `@digest` global through it.
+    pub fn global_u64(&self, name: &str) -> Option<u64> {
+        let gi = self.module.globals.iter().position(|g| g.name == name)?;
+        let addr = *self.global_addr.get(gi)? as usize;
+        let bytes = self.native.get(addr..addr + 8)?;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
     /// Meta id of each runtime DS registration, indexed by runtime handle.
     pub fn registrations(&self) -> &[u32] {
         &self.registrations
@@ -569,98 +580,21 @@ pub fn spec_from_meta(module: &Module, meta: &DsMeta) -> DsSpec {
 }
 
 fn extend(raw: u64, ty: Type) -> u64 {
-    match ty {
-        Type::I1 => raw & 1,
-        Type::I8 => raw as u8 as i8 as i64 as u64,
-        Type::I16 => raw as u16 as i16 as i64 as u64,
-        Type::I32 => raw as u32 as i32 as i64 as u64,
-        _ => raw,
-    }
+    cards_ir::consteval::extend(raw, ty)
 }
 
 fn width_mask(ty: Type) -> u64 {
-    match ty {
-        Type::I1 => 1,
-        Type::I8 => 0xff,
-        Type::I16 => 0xffff,
-        Type::I32 => 0xffff_ffff,
-        _ => u64::MAX,
-    }
+    cards_ir::consteval::width_mask(ty)
 }
 
+/// Binary-op semantics are shared with the optimizer's constant folder
+/// (`cards_ir::consteval`) so the two can never drift apart.
 fn bin_op(op: BinOp, a: u64, b: u64, ty: Type) -> Result<u64, VmError> {
-    if op.is_float() {
-        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
-        let r = match op {
-            BinOp::FAdd => x + y,
-            BinOp::FSub => x - y,
-            BinOp::FMul => x * y,
-            BinOp::FDiv => x / y,
-            _ => unreachable!(),
-        };
-        return Ok(r.to_bits());
-    }
-    let (sa, sb) = (a as i64, b as i64);
-    let r = match op {
-        BinOp::Add => sa.wrapping_add(sb) as u64,
-        BinOp::Sub => sa.wrapping_sub(sb) as u64,
-        BinOp::Mul => sa.wrapping_mul(sb) as u64,
-        BinOp::SDiv => {
-            if sb == 0 {
-                return Err(VmError::DivByZero);
-            }
-            sa.wrapping_div(sb) as u64
-        }
-        BinOp::UDiv => {
-            if b == 0 {
-                return Err(VmError::DivByZero);
-            }
-            a / b
-        }
-        BinOp::SRem => {
-            if sb == 0 {
-                return Err(VmError::DivByZero);
-            }
-            sa.wrapping_rem(sb) as u64
-        }
-        BinOp::URem => {
-            if b == 0 {
-                return Err(VmError::DivByZero);
-            }
-            a % b
-        }
-        BinOp::And => a & b,
-        BinOp::Or => a | b,
-        BinOp::Xor => a ^ b,
-        BinOp::Shl => a.wrapping_shl(b as u32),
-        BinOp::LShr => a.wrapping_shr(b as u32),
-        BinOp::AShr => (sa.wrapping_shr(b as u32)) as u64,
-        _ => unreachable!(),
-    };
-    Ok(extend(r & width_mask(ty), ty))
+    cards_ir::consteval::eval_bin(op, a, b, ty).map_err(|_| VmError::DivByZero)
 }
 
 fn cmp_op(op: CmpOp, a: u64, b: u64) -> bool {
-    let (sa, sb) = (a as i64, b as i64);
-    let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
-    match op {
-        CmpOp::Eq => a == b,
-        CmpOp::Ne => a != b,
-        CmpOp::Slt => sa < sb,
-        CmpOp::Sle => sa <= sb,
-        CmpOp::Sgt => sa > sb,
-        CmpOp::Sge => sa >= sb,
-        CmpOp::Ult => a < b,
-        CmpOp::Ule => a <= b,
-        CmpOp::Ugt => a > b,
-        CmpOp::Uge => a >= b,
-        CmpOp::FEq => fa == fb,
-        CmpOp::FNe => fa != fb,
-        CmpOp::FLt => fa < fb,
-        CmpOp::FLe => fa <= fb,
-        CmpOp::FGt => fa > fb,
-        CmpOp::FGe => fa >= fb,
-    }
+    cards_ir::consteval::eval_cmp(op, a, b)
 }
 
 fn cast_op(op: CastOp, v: u64, to: Type) -> u64 {
