@@ -30,6 +30,11 @@ usage:
   cards difftest [--seeds N] [--start-seed N] [--minimize] [--out DIR]
                 (seed count falls back to $DIFFTEST_SEEDS, then 50; exits
                 non-zero and writes reproducers to DIR on any divergence)
+  cards chaos   [--seeds N] [--start-seed N]
+                (fuzz the chaos matrix: loss bursts, latency spikes,
+                partitions, corruption, server crash/restart; prints a
+                degraded-vs-healthy summary and exits non-zero on any
+                divergence from the all-local oracle)
 ";
 
 /// Dispatch a parsed command line.
@@ -42,6 +47,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "stats" => cmd_stats(a),
         "demo" => cmd_demo(a),
         "difftest" => cmd_difftest(a),
+        "chaos" => cmd_chaos(a),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -335,6 +341,57 @@ fn cmd_difftest(a: &Args) -> Result<(), String> {
     ))
 }
 
+fn cmd_chaos(a: &Args) -> Result<(), String> {
+    let seeds: u64 = a.opt_num("seeds", 50u64)?;
+    let start_seed: u64 = a.opt_num("start-seed", 1u64)?;
+    let r = cards_difftest::run_chaos_campaign(
+        seeds,
+        start_seed,
+        cards_ir::testgen::GenConfig::chaos(),
+    );
+    println!(
+        "chaos: {} seed(s) x {} cell(s): {} divergent",
+        r.seeds_run,
+        r.cells.len(),
+        r.divergent.len()
+    );
+    println!(
+        "{:<34} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>9}",
+        "cell", "retries", "timeout", "corrupt", "crashes", "replays", "trips", "overhead"
+    );
+    for c in &r.cells {
+        let s = &c.stats;
+        let overhead = if s.clean_cycles > 0 {
+            s.chaos_cycles as f64 / s.clean_cycles as f64
+        } else {
+            1.0
+        };
+        println!(
+            "{:<34} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6} {:>8.2}x",
+            c.label,
+            s.retries,
+            s.timeouts,
+            s.corrupt_fetches,
+            s.crashes_detected,
+            s.journal_replays,
+            s.breaker_trips,
+            overhead,
+        );
+    }
+    if r.divergent.is_empty() {
+        println!("degraded runs matched the all-local oracle on every seed");
+        return Ok(());
+    }
+    for line in &r.log {
+        eprintln!("{line}");
+    }
+    Err(format!(
+        "{} diverging seed(s) under chaos: {:?}",
+        r.divergent.len(),
+        r.divergent
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +455,12 @@ mod tests {
     #[test]
     fn run_rejects_missing_file() {
         assert!(dispatch(&args("run /nonexistent.ir")).is_err());
+    }
+
+    #[test]
+    fn chaos_smoke_is_clean() {
+        dispatch(&args("chaos --seeds 1")).expect("chaos campaign");
+        assert!(dispatch(&args("chaos --seeds nope")).is_err());
     }
 
     #[test]

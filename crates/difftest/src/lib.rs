@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 
 use cards_ir::testgen::{generate, GenConfig};
 use cards_ir::{print_module, verify_module, Module};
-use cards_net::{FaultyTransport, SimTransport};
+use cards_net::{ChaosSchedule, ChaosTransport, FaultyTransport, SimTransport};
 use cards_passes::{compile, optimize, CompileOptions};
 use cards_runtime::{RemotingPolicy, RuntimeConfig};
 use cards_vm::Vm;
@@ -87,6 +87,32 @@ impl FaultSpec {
     }
 }
 
+/// A phase-scripted chaos schedule on the transport (loss bursts, latency
+/// spikes, partitions, payload corruption, server crash/restart). Unlike
+/// [`FaultSpec`]'s Bernoulli noise this drives *correlated* failures, and
+/// the crash variants actually lose unacknowledged server state — the
+/// runtime's journal must win it back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosSpec {
+    /// Plain transport (possibly with [`FaultSpec`] noise).
+    None,
+    /// [`ChaosSchedule::storm`]: every phase kind including one
+    /// crash/restart per lap.
+    Storm(u64),
+    /// [`ChaosSchedule::crash_loop`]: a crash/restart every ~78 ops.
+    Crash(u64),
+}
+
+impl ChaosSpec {
+    fn schedule(self) -> Option<ChaosSchedule> {
+        match self {
+            ChaosSpec::None => None,
+            ChaosSpec::Storm(seed) => Some(ChaosSchedule::storm(seed)),
+            ChaosSpec::Crash(seed) => Some(ChaosSchedule::crash_loop(seed)),
+        }
+    }
+}
+
 /// One cell of the differential matrix.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunConfig {
@@ -96,6 +122,8 @@ pub struct RunConfig {
     pub policy: RemotingPolicy,
     /// Transient-fault schedule on the transport.
     pub fault: FaultSpec,
+    /// Phase-scripted chaos schedule (supersedes `fault` when set).
+    pub chaos: ChaosSpec,
     /// Pinned-memory budget in bytes.
     pub pinned: u64,
     /// Remotable cache budget in bytes (small, to force eviction churn).
@@ -119,13 +147,14 @@ impl RunConfig {
             RemotingPolicy::MaxReach => "max-reach".to_string(),
             RemotingPolicy::MaxUse => "max-use".to_string(),
         };
-        if self.fault.rate > 0.0 {
-            format!(
+        match self.chaos {
+            ChaosSpec::Storm(seed) => format!("{pipe}/{pol}/chaos-storm@{seed}"),
+            ChaosSpec::Crash(seed) => format!("{pipe}/{pol}/chaos-crash@{seed}"),
+            ChaosSpec::None if self.fault.rate > 0.0 => format!(
                 "{pipe}/{pol}/fault{:.2}@{}",
                 self.fault.rate, self.fault.seed
-            )
-        } else {
-            format!("{pipe}/{pol}")
+            ),
+            ChaosSpec::None => format!("{pipe}/{pol}"),
         }
     }
 }
@@ -162,6 +191,7 @@ pub fn config_matrix() -> Vec<RunConfig> {
         pipeline: Pipeline::OptOnly,
         policy: RemotingPolicy::Linear,
         fault: FaultSpec::none(),
+        chaos: ChaosSpec::None,
         pinned: 1 << 30,
         cache: 1 << 30,
         k: 100,
@@ -173,8 +203,70 @@ pub fn config_matrix() -> Vec<RunConfig> {
                     pipeline,
                     policy,
                     fault,
+                    chaos: ChaosSpec::None,
                     pinned: 0,
                     cache: 6 * 4096,
+                    k: 50,
+                });
+            }
+        }
+    }
+    // Chaos cells: correlated failure phases plus real crash/restart data
+    // loss. A sample, not the full cross product — `chaos_matrix` widens
+    // this for the dedicated `cards chaos` campaign.
+    for (pipeline, chaos, policy) in [
+        (
+            Pipeline::TrackFm,
+            ChaosSpec::Storm(0xca05),
+            RemotingPolicy::Linear,
+        ),
+        (
+            Pipeline::TrackFm,
+            ChaosSpec::Crash(0xca05),
+            RemotingPolicy::MaxUse,
+        ),
+        (
+            Pipeline::Cards,
+            ChaosSpec::Storm(0xca05),
+            RemotingPolicy::MaxUse,
+        ),
+        (
+            Pipeline::Cards,
+            ChaosSpec::Crash(0xca05),
+            RemotingPolicy::Linear,
+        ),
+    ] {
+        v.push(RunConfig {
+            pipeline,
+            policy,
+            fault: FaultSpec::none(),
+            chaos,
+            pinned: 0,
+            // Tighter than the fault cells: the chaos phases only matter
+            // if data actually moves, so force churn even on small
+            // programs.
+            cache: 2 * 4096,
+            k: 50,
+        });
+    }
+    v
+}
+
+/// The widened chaos matrix behind `cards chaos`: {TrackFM, CaRDS} × the
+/// four policies × {storm, crash-loop}. Every cell must still match the
+/// all-local oracle — chaos may cost cycles, never correctness.
+pub fn chaos_matrix() -> Vec<RunConfig> {
+    let mut v = Vec::new();
+    for pipeline in [Pipeline::TrackFm, Pipeline::Cards] {
+        for policy in policies() {
+            for chaos in [ChaosSpec::Storm(0xca05), ChaosSpec::Crash(0xca05)] {
+                v.push(RunConfig {
+                    pipeline,
+                    policy,
+                    fault: FaultSpec::none(),
+                    chaos,
+                    pinned: 0,
+                    cache: 2 * 4096,
                     k: 50,
                 });
             }
@@ -250,6 +342,18 @@ pub fn observe(m: &Module, cfg: &RunConfig) -> Observation {
             }
         }
     };
+    if let Some(sched) = cfg.chaos.schedule() {
+        // The retry budget must cover the schedule's longest all-fail
+        // window (bounded at <= 12 ops by a cards-net test).
+        let vm = Vm::new(
+            compiled.module,
+            RuntimeConfig::new(cfg.pinned, cfg.cache).with_max_retries(32),
+            ChaosTransport::new(sched),
+            cfg.policy,
+            cfg.k,
+        );
+        return observe_run(vm);
+    }
     let vm = Vm::new(
         compiled.module,
         RuntimeConfig::new(cfg.pinned, cfg.cache),
@@ -258,6 +362,173 @@ pub fn observe(m: &Module, cfg: &RunConfig) -> Observation {
         cfg.k,
     );
     observe_run(vm)
+}
+
+/// Resilience counters harvested from one chaos run (plus its clean twin's
+/// cycle count, for the degraded-vs-healthy comparison).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosRunStats {
+    /// Transport retries the chaos run needed.
+    pub retries: u64,
+    /// Operations that timed out (partitions, crash windows).
+    pub timeouts: u64,
+    /// Fetches that failed envelope verification.
+    pub corrupt_fetches: u64,
+    /// Server crash/restarts detected via generation bumps.
+    pub crashes_detected: u64,
+    /// Journaled writebacks replayed after a crash.
+    pub journal_replays: u64,
+    /// Circuit-breaker trips summed over all data structures.
+    pub breaker_trips: u64,
+    /// Modeled cycles of the chaos run.
+    pub chaos_cycles: u64,
+    /// Modeled cycles of the same cell with a clean transport.
+    pub clean_cycles: u64,
+}
+
+/// Run one chaos cell and harvest both the observation and the resilience
+/// counters, plus a clean-transport twin of the same cell for the cycle
+/// baseline. Panics if `cfg.chaos` is `ChaosSpec::None`.
+pub fn observe_chaos(m: &Module, cfg: &RunConfig) -> (Observation, ChaosRunStats) {
+    let sched = cfg
+        .chaos
+        .schedule()
+        .expect("observe_chaos requires a chaos cell");
+    let mut module = m.clone();
+    optimize(&mut module);
+    let opts = match cfg.pipeline {
+        Pipeline::OptOnly => panic!("chaos cells are far-memory cells"),
+        Pipeline::TrackFm => CompileOptions::trackfm(),
+        Pipeline::Cards => CompileOptions::cards(),
+    };
+    let compiled = match compile(module, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            return (
+                Observation {
+                    ret: None,
+                    digest: None,
+                    error: Some(format!("compile failed: {e}")),
+                },
+                ChaosRunStats::default(),
+            )
+        }
+    };
+    let mut vm = Vm::new(
+        compiled.module.clone(),
+        RuntimeConfig::new(cfg.pinned, cfg.cache).with_max_retries(32),
+        ChaosTransport::new(sched),
+        cfg.policy,
+        cfg.k,
+    );
+    let obs = match vm.run("main", &[]) {
+        Ok(ret) => Observation {
+            ret,
+            digest: vm.global_u64("digest"),
+            error: None,
+        },
+        Err(e) => Observation {
+            ret: None,
+            digest: None,
+            error: Some(e.to_string()),
+        },
+    };
+    let rt = vm.runtime();
+    let g = rt.stats();
+    let mut stats = ChaosRunStats {
+        retries: g.retries,
+        timeouts: g.timeouts,
+        corrupt_fetches: g.corrupt_fetches,
+        crashes_detected: g.crashes_detected,
+        journal_replays: g.journal_replays,
+        breaker_trips: (0..rt.ds_count() as u16)
+            .filter_map(|h| rt.ds_stats(h))
+            .map(|s| s.breaker_trips)
+            .sum(),
+        chaos_cycles: g.cycles,
+        clean_cycles: 0,
+    };
+    let mut clean_vm = Vm::new(
+        compiled.module,
+        RuntimeConfig::new(cfg.pinned, cfg.cache),
+        SimTransport::default(),
+        cfg.policy,
+        cfg.k,
+    );
+    let _ = clean_vm.run("main", &[]);
+    stats.clean_cycles = clean_vm.runtime().stats().cycles;
+    (obs, stats)
+}
+
+/// Aggregated outcome of one chaos-matrix cell across a whole campaign.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosCellReport {
+    /// The cell's [`RunConfig::label`].
+    pub label: String,
+    /// Seeds that diverged from the all-local oracle in this cell.
+    pub divergent: Vec<u64>,
+    /// Summed resilience counters over every seed.
+    pub stats: ChaosRunStats,
+}
+
+/// Outcome of [`run_chaos_campaign`].
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// Per-cell aggregates, in [`chaos_matrix`] order.
+    pub cells: Vec<ChaosCellReport>,
+    /// Seeds with at least one diverging cell.
+    pub divergent: Vec<u64>,
+    /// One human-readable line per divergence.
+    pub log: Vec<String>,
+}
+
+/// Fuzz `seeds` generated programs through [`chaos_matrix`]: every cell
+/// must match the all-local oracle even through loss bursts, partitions,
+/// corruption, and server crash/restarts.
+pub fn run_chaos_campaign(seeds: u64, start_seed: u64, gen: GenConfig) -> ChaosReport {
+    let matrix = chaos_matrix();
+    let mut report = ChaosReport {
+        cells: matrix
+            .iter()
+            .map(|c| ChaosCellReport {
+                label: c.label(),
+                ..Default::default()
+            })
+            .collect(),
+        ..Default::default()
+    };
+    for seed in start_seed..start_seed + seeds {
+        let module = generate(seed, gen);
+        let oracle = observe_oracle(&module);
+        report.seeds_run += 1;
+        let mut seed_diverged = false;
+        for (i, cfg) in matrix.iter().enumerate() {
+            let (got, stats) = observe_chaos(&module, cfg);
+            let cell = &mut report.cells[i];
+            cell.stats.retries += stats.retries;
+            cell.stats.timeouts += stats.timeouts;
+            cell.stats.corrupt_fetches += stats.corrupt_fetches;
+            cell.stats.crashes_detected += stats.crashes_detected;
+            cell.stats.journal_replays += stats.journal_replays;
+            cell.stats.breaker_trips += stats.breaker_trips;
+            cell.stats.chaos_cycles += stats.chaos_cycles;
+            cell.stats.clean_cycles += stats.clean_cycles;
+            if got != oracle {
+                cell.divergent.push(seed);
+                seed_diverged = true;
+                report.log.push(format!(
+                    "seed {seed} [{}]: oracle {oracle} vs {got}",
+                    cfg.label()
+                ));
+            }
+        }
+        if seed_diverged {
+            report.divergent.push(seed);
+        }
+    }
+    report
 }
 
 /// One configuration disagreeing with the oracle.
@@ -439,7 +710,7 @@ mod tests {
     #[test]
     fn matrix_covers_policies_pipelines_and_fault_schedules() {
         let m = config_matrix();
-        assert_eq!(m.len(), 17);
+        assert_eq!(m.len(), 21);
         let far: Vec<&RunConfig> = m
             .iter()
             .filter(|c| c.pipeline != Pipeline::OptOnly)
@@ -448,12 +719,34 @@ mod tests {
             assert!(far.iter().any(|c| c.policy == p), "missing policy {p:?}");
         }
         let faulty = far.iter().filter(|c| c.fault.rate > 0.0).count();
-        let clean = far.iter().filter(|c| c.fault.rate == 0.0).count();
+        let clean = far
+            .iter()
+            .filter(|c| c.fault.rate == 0.0 && c.chaos == ChaosSpec::None)
+            .count();
+        let chaos = far.iter().filter(|c| c.chaos != ChaosSpec::None).count();
         assert_eq!(faulty, 8, "each far cell pairs with a faulty twin");
         assert_eq!(clean, 8);
+        assert_eq!(chaos, 4, "both pipelines see storm and crash chaos");
+        for pipeline in [Pipeline::TrackFm, Pipeline::Cards] {
+            assert!(far
+                .iter()
+                .any(|c| c.pipeline == pipeline && matches!(c.chaos, ChaosSpec::Storm(_))));
+            assert!(far
+                .iter()
+                .any(|c| c.pipeline == pipeline && matches!(c.chaos, ChaosSpec::Crash(_))));
+        }
         assert!(m.iter().any(|c| c.pipeline == Pipeline::OptOnly));
         assert!(m.iter().any(|c| c.pipeline == Pipeline::TrackFm));
         assert!(m.iter().any(|c| c.pipeline == Pipeline::Cards));
+    }
+
+    #[test]
+    fn chaos_matrix_is_the_full_cross_product() {
+        let m = chaos_matrix();
+        assert_eq!(m.len(), 16, "2 pipelines x 4 policies x 2 chaos kinds");
+        assert!(m.iter().all(|c| c.chaos != ChaosSpec::None));
+        let labels: std::collections::HashSet<String> = m.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), m.len());
     }
 
     #[test]
@@ -579,6 +872,33 @@ mod tests {
         let report = fs::read_to_string(dir.join("seed_2.report.txt")).unwrap();
         assert!(report.contains(&config_matrix()[3].label()));
         assert!(report.contains("divergences: 1"));
+    }
+
+    /// A slice of the acceptance bar (the CI campaign runs the full seed
+    /// range): chaos — including mid-run server crash/restart — must never
+    /// change observable behaviour, and the crash phases must actually
+    /// fire so the journal recovery path is exercised, not skipped.
+    #[test]
+    fn chaos_campaign_sample_matches_oracle() {
+        let r = run_chaos_campaign(3, 1, GenConfig::chaos());
+        assert_eq!(r.seeds_run, 3);
+        assert!(
+            r.divergent.is_empty(),
+            "chaos must not change results: {:?}\n{}",
+            r.divergent,
+            r.log.join("\n")
+        );
+        let crashes: u64 = r.cells.iter().map(|c| c.stats.crashes_detected).sum();
+        let retries: u64 = r.cells.iter().map(|c| c.stats.retries).sum();
+        assert!(crashes > 0, "crash phases must fire across the campaign");
+        assert!(retries > 0, "chaos must force retries");
+        for c in &r.cells {
+            assert!(
+                c.stats.chaos_cycles >= c.stats.clean_cycles,
+                "{}: chaos may cost cycles, never save them",
+                c.label
+            );
+        }
     }
 
     #[test]

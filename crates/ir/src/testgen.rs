@@ -108,6 +108,24 @@ impl GenConfig {
             with_frees: true,
         }
     }
+
+    /// Sized for chaos/recovery campaigns: a working set several times the
+    /// harness cache (multi-object arrays), so data continually churns
+    /// through the transport and every schedule phase — loss bursts,
+    /// partitions, corruption, crash windows — actually sees traffic.
+    pub fn chaos() -> Self {
+        GenConfig {
+            arrays: 3,
+            elems: 2048,
+            loops: 3,
+            body_ops: 3,
+            with_calls: true,
+            chain_len: 24,
+            const_branches: true,
+            narrow_ops: true,
+            with_frees: true,
+        }
+    }
 }
 
 /// Pick a narrow-or-wide constant binary op over corner operands

@@ -1,8 +1,9 @@
 //! Fault-injecting transport wrapper for failure testing.
 //!
-//! Wraps any [`Transport`] and makes `fetch`/`put` fail transiently with a
-//! configured probability (seeded, deterministic). The CaRDS runtime must
-//! retry transient faults and remain correct — integration tests drive this.
+//! Wraps any [`Transport`] and makes `fetch`/`put`/`remove`/`flush` fail
+//! transiently with a configured probability (seeded, deterministic). The
+//! CaRDS runtime must retry transient faults and remain correct —
+//! integration tests drive this.
 
 use crate::prng::SplitMix64;
 use crate::stats::NetStats;
@@ -67,8 +68,17 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
-        // Frees are idempotent bookkeeping; never faulted.
+        self.maybe_fault()?;
         self.inner.remove(key)
+    }
+
+    fn flush(&mut self) -> Result<u64, NetError> {
+        self.maybe_fault()?;
+        self.inner.flush()
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
     }
 
     fn contains(&self, key: ObjKey) -> bool {
@@ -120,6 +130,16 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn remove_is_faultable() {
+        let mut t = FaultyTransport::new(SimTransport::default(), 1.0, 3);
+        assert_eq!(
+            t.remove(ObjKey { ds: 0, index: 0 }),
+            Err(NetError::Transient)
+        );
+        assert_eq!(t.injected, 1);
     }
 
     #[test]

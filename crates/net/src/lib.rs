@@ -13,7 +13,12 @@
 //!   bounded std channels (the "two machines" configuration), used in tests
 //!   that exercise a real cross-thread path.
 //! - [`FaultyTransport`] — deterministic fault injection for failure tests.
+//! - [`ChaosTransport`] — a server driven through a deterministic schedule
+//!   of failure phases (loss bursts, latency spikes, partitions, payload
+//!   corruption, crash/restart) storing checksummed [`envelope`]s.
 
+pub mod chaos;
+pub mod envelope;
 pub mod fault;
 pub mod model;
 pub mod prng;
@@ -21,6 +26,7 @@ pub mod stats;
 pub mod threaded;
 pub mod transport;
 
+pub use chaos::{ChaosPhase, ChaosSchedule, ChaosStats, ChaosTransport, ScheduledPhase};
 pub use fault::FaultyTransport;
 pub use model::NetworkModel;
 pub use prng::SplitMix64;

@@ -61,6 +61,17 @@ impl ThreadedTransport {
         self.tx.send(req).map_err(|_| NetError::Disconnected)?;
         self.rx.recv().map_err(|_| NetError::Disconnected)
     }
+
+    /// Kill the server thread, as if the remote machine died mid-run. The
+    /// worker exits its loop without replying; every subsequent operation
+    /// (and any operation already in flight) surfaces
+    /// [`NetError::Disconnected`] instead of hanging.
+    pub fn kill_server(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 fn server_loop(rx: Receiver<Request>, tx: SyncSender<Response>) {
@@ -140,7 +151,12 @@ impl Transport for ThreadedTransport {
 
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
         match self.call(Request::Remove(key))? {
-            Response::Ok => Ok(self.model.per_msg_cpu),
+            Response::Ok => {
+                // Same accounting as SimTransport: the free's CPU cost lands
+                // in the traffic stats, not just the return value.
+                self.stats.cycles += self.model.per_msg_cpu;
+                Ok(self.model.per_msg_cpu)
+            }
             _ => Err(NetError::Disconnected),
         }
     }
@@ -205,5 +221,53 @@ mod tests {
     fn shutdown_on_drop_is_clean() {
         let t = ThreadedTransport::spawn(NetworkModel::free());
         drop(t); // must not hang or panic
+    }
+
+    #[test]
+    fn worker_death_surfaces_disconnected_not_hang() {
+        let mut t = ThreadedTransport::spawn(NetworkModel::default());
+        let k = ObjKey { ds: 1, index: 0 };
+        t.put(k, &[7u8; 64]).unwrap();
+        t.kill_server();
+        assert_eq!(t.fetch(k), Err(NetError::Disconnected));
+        assert_eq!(t.put(k, &[1]), Err(NetError::Disconnected));
+        assert_eq!(t.remove(k), Err(NetError::Disconnected));
+        assert!(!t.contains(k));
+        assert_eq!(t.remote_bytes(), 0);
+    }
+
+    #[test]
+    fn worker_death_is_deterministic_across_repeats() {
+        // The failure mode must not depend on scheduling: every repeat sees
+        // the same error on the first post-death operation.
+        for _ in 0..16 {
+            let mut t = ThreadedTransport::spawn(NetworkModel::free());
+            t.kill_server();
+            assert_eq!(
+                t.fetch(ObjKey { ds: 0, index: 0 }),
+                Err(NetError::Disconnected)
+            );
+        }
+    }
+
+    #[test]
+    fn drop_after_worker_death_is_clean() {
+        let mut t = ThreadedTransport::spawn(NetworkModel::free());
+        t.kill_server();
+        drop(t); // Drop must tolerate the already-dead server
+    }
+
+    #[test]
+    fn remove_accounting_matches_sim() {
+        use crate::transport::SimTransport;
+        let model = NetworkModel::default();
+        let mut a = ThreadedTransport::spawn(model);
+        let mut b = SimTransport::new(model);
+        let k = ObjKey { ds: 0, index: 0 };
+        a.put(k, &[2u8; 32]).unwrap();
+        b.put(k, &[2u8; 32]).unwrap();
+        a.remove(k).unwrap();
+        b.remove(k).unwrap();
+        assert_eq!(a.stats(), b.stats());
     }
 }

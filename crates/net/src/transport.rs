@@ -23,7 +23,14 @@ pub enum NetError {
     NotFound(ObjKey),
     /// Transient fault (injected or simulated loss); the caller may retry.
     Transient,
-    /// The remote side is gone (channel closed).
+    /// The operation timed out (partition or server-down window); the caller
+    /// may retry — the link itself is still up.
+    Timeout,
+    /// The fetched envelope failed checksum/shape verification (torn read or
+    /// in-flight bit flip); the caller may retry.
+    Corrupt,
+    /// The remote side is gone (channel closed). Terminal: retrying cannot
+    /// help.
     Disconnected,
 }
 
@@ -34,6 +41,8 @@ impl fmt::Display for NetError {
                 write!(f, "object ds{}:{} not on remote server", k.ds, k.index)
             }
             NetError::Transient => write!(f, "transient network fault"),
+            NetError::Timeout => write!(f, "remote operation timed out"),
+            NetError::Corrupt => write!(f, "fetched object failed verification"),
             NetError::Disconnected => write!(f, "remote server disconnected"),
         }
     }
@@ -76,6 +85,20 @@ pub trait Transport {
     /// Drop the object under `key` (freed by the application). Returns
     /// modeled cycles.
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError>;
+
+    /// Acknowledge all puts since the last flush, making them durable across
+    /// a server crash/restart. Transports without crash semantics acknowledge
+    /// implicitly and report zero cost. Returns modeled cycles.
+    fn flush(&mut self) -> Result<u64, NetError> {
+        Ok(0)
+    }
+
+    /// Server incarnation number. Bumps on every crash/restart; transports
+    /// that never crash stay at 0. The runtime compares this across
+    /// operations to detect restarts and trigger journal replay.
+    fn generation(&self) -> u64 {
+        0
+    }
 
     /// Whether the server currently holds `key`.
     fn contains(&self, key: ObjKey) -> bool;
@@ -178,6 +201,7 @@ impl Transport for SimTransport {
             self.resident_bytes -= old.len() as u64;
         }
         // Frees piggyback on other traffic; charge one message's CPU cost.
+        self.stats.cycles += self.model.per_msg_cpu;
         Ok(self.model.per_msg_cpu)
     }
 
@@ -250,5 +274,22 @@ mod tests {
     fn remove_missing_is_ok() {
         let mut t = SimTransport::default();
         assert!(t.remove(key(9, 9)).is_ok());
+    }
+
+    #[test]
+    fn remove_cost_lands_in_stats_cycles() {
+        let mut t = SimTransport::default();
+        t.put(key(0, 0), &[1u8; 64]).unwrap();
+        let before = t.stats().cycles;
+        let cost = t.remove(key(0, 0)).unwrap();
+        assert!(cost > 0);
+        assert_eq!(t.stats().cycles, before + cost);
+    }
+
+    #[test]
+    fn default_flush_and_generation_are_inert() {
+        let mut t = SimTransport::default();
+        assert_eq!(t.flush(), Ok(0));
+        assert_eq!(t.generation(), 0);
     }
 }

@@ -67,6 +67,22 @@ pub struct RuntimeConfig {
     pub strict_guards: bool,
     /// Max retries for transient transport faults before giving up.
     pub max_retries: u32,
+    /// First-retry backoff in modeled cycles; doubles per attempt
+    /// (equal-jitter exponential backoff, deterministic).
+    pub backoff_base: u64,
+    /// Backoff ceiling in modeled cycles.
+    pub backoff_cap: u64,
+    /// Consecutive failed attempts on one DS before its circuit breaker
+    /// opens (the DS is demoted to pinned-local until a cooldown re-probe
+    /// succeeds). 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// Modeled cycles an open breaker waits before letting one half-open
+    /// probe through.
+    pub breaker_cooldown: u64,
+    /// Flush (acknowledge) writebacks to the server every N journaled puts;
+    /// journal entries are only dropped once a flush succeeds. 0 disables
+    /// journaling (and flushes) entirely.
+    pub journal_flush_every: u32,
     /// Max objects a single prefetch batch may pull.
     pub prefetch_batch: usize,
     /// Telemetry collection knobs (event ring, histograms, epochs).
@@ -82,6 +98,11 @@ impl RuntimeConfig {
             costs: CostModel::cards(),
             strict_guards: true,
             max_retries: 16,
+            backoff_base: 1_000,
+            backoff_cap: 128_000,
+            breaker_threshold: 8,
+            breaker_cooldown: 2_000_000,
+            journal_flush_every: 16,
             prefetch_batch: 8,
             telemetry: TelemetryConfig::default(),
         }
@@ -108,6 +129,32 @@ impl RuntimeConfig {
     /// Builder-style: telemetry knobs.
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Builder-style: retry budget for transient transport faults.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Builder-style: exponential backoff base and cap (modeled cycles).
+    pub fn with_backoff(mut self, base: u64, cap: u64) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Builder-style: circuit-breaker trip threshold and cooldown.
+    pub fn with_breaker(mut self, threshold: u32, cooldown: u64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Builder-style: writeback-journal flush interval (0 disables).
+    pub fn with_journal(mut self, flush_every: u32) -> Self {
+        self.journal_flush_every = flush_every;
         self
     }
 

@@ -398,4 +398,261 @@ mod tests {
         assert_eq!(align_up(16, 16), 16);
         assert_eq!(align_up(17, 8), 24);
     }
+
+    #[test]
+    fn breaker_trail_closed_open_half_open_closed() {
+        use cards_net::{ChaosPhase, ChaosSchedule, ChaosTransport, ScheduledPhase};
+        // Two healthy ops (the evacuation puts), a 5-op partition that trips
+        // the breaker mid-fetch, then healthy forever.
+        let sched = ChaosSchedule {
+            phases: vec![
+                ScheduledPhase {
+                    phase: ChaosPhase::Healthy,
+                    ops: 2,
+                },
+                ScheduledPhase {
+                    phase: ChaosPhase::Partition,
+                    ops: 5,
+                },
+                ScheduledPhase {
+                    phase: ChaosPhase::Healthy,
+                    ops: 1000,
+                },
+            ],
+            repeat: false,
+            seed: 1,
+        };
+        let cfg = RuntimeConfig::new(0, 1 << 20)
+            .with_breaker(3, 50_000)
+            .with_max_retries(16)
+            .with_journal(0);
+        let mut r = FarMemRuntime::new(cfg, ChaosTransport::new(sched));
+        let h = r.register_ds(DsSpec::simple("d"), StaticHint::Remotable);
+        let (p, _) = r.ds_alloc(h, 2 * 4096).unwrap();
+        let (p0, p1) = (p, p.add(4096));
+        r.evacuate(p0).unwrap(); // op 0
+        r.evacuate(p1).unwrap(); // op 1
+        assert_eq!(r.breaker_state(h), Some("closed"));
+
+        // Fetch of p0 rides out the partition; failures 1..=3 trip the
+        // breaker, so the localized object lands pinned (degraded mode).
+        r.guard(p0, Access::Read, 8).unwrap();
+        assert_eq!(r.breaker_state(h), Some("open"));
+        assert_eq!(r.ds_stats(h).unwrap().breaker_trips, 1);
+        assert_eq!(r.pinned_used(), 4096, "degraded DS pins what it fetches");
+
+        // By now the retry pricing has pushed the clock past the cooldown:
+        // the next remote op is the half-open probe, it succeeds, and the
+        // breaker closes and releases its pins.
+        assert!(r.now() >= 50_000);
+        r.guard(p1, Access::Read, 8).unwrap();
+        assert_eq!(r.breaker_state(h), Some("closed"));
+        assert_eq!(r.pinned_used(), 0, "breaker pins released on close");
+
+        let trail: Vec<(String, String)> = r
+            .telemetry()
+            .events()
+            .filter_map(|e| match &e.kind {
+                EventKind::Breaker { from, to, .. } => Some((from.to_string(), to.to_string())),
+                _ => None,
+            })
+            .collect();
+        let want = [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ];
+        assert_eq!(
+            trail,
+            want.iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn crash_restart_loses_no_data_via_journal() {
+        use cards_net::{ChaosPhase, ChaosSchedule, ChaosTransport, ScheduledPhase};
+        // One healthy op (the evacuation put), then a crash window that
+        // drops the unacknowledged object, then healthy.
+        let sched = ChaosSchedule {
+            phases: vec![
+                ScheduledPhase {
+                    phase: ChaosPhase::Healthy,
+                    ops: 1,
+                },
+                ScheduledPhase {
+                    phase: ChaosPhase::CrashRestart,
+                    ops: 3,
+                },
+                ScheduledPhase {
+                    phase: ChaosPhase::Healthy,
+                    ops: 1000,
+                },
+            ],
+            repeat: false,
+            seed: 2,
+        };
+        let cfg = RuntimeConfig::new(0, 1 << 20)
+            .with_max_retries(16)
+            .with_journal(100); // journaled, but never auto-flushed
+        let mut r = FarMemRuntime::new(cfg, ChaosTransport::new(sched));
+        let h = r.register_ds(DsSpec::simple("d"), StaticHint::Remotable);
+        let (p, _) = r.ds_alloc(h, 4096).unwrap();
+        r.write_u64(p, 0xdead_beef).unwrap();
+        r.evacuate(p).unwrap(); // op 0: put, journaled, unacked
+        assert_eq!(r.journal_len(), 1);
+
+        // The crash drops the object server-side; the fetch times out
+        // through the window, then hits NotFound and replays the journal.
+        r.guard(p, Access::Read, 8).unwrap();
+        let (v, _) = r.read_u64(p).unwrap();
+        assert_eq!(v, 0xdead_beef, "crash/restart must lose no data");
+        let g = r.stats();
+        assert!(g.journal_replays >= 1, "journal must have replayed");
+        assert_eq!(g.crashes_detected, 1);
+        assert!(g.timeouts > 0, "crash window presents as timeouts");
+        assert!(r
+            .telemetry()
+            .events()
+            .any(|e| matches!(e.kind, EventKind::JournalReplay { .. })));
+        assert!(r
+            .telemetry()
+            .events()
+            .any(|e| matches!(e.kind, EventKind::CrashDetected { .. })));
+    }
+
+    #[test]
+    fn flushed_writebacks_survive_crash_without_replay() {
+        use cards_net::{ChaosPhase, ChaosSchedule, ChaosTransport, ScheduledPhase};
+        let sched = ChaosSchedule {
+            phases: vec![
+                ScheduledPhase {
+                    phase: ChaosPhase::Healthy,
+                    ops: 2,
+                },
+                ScheduledPhase {
+                    phase: ChaosPhase::CrashRestart,
+                    ops: 2,
+                },
+                ScheduledPhase {
+                    phase: ChaosPhase::Healthy,
+                    ops: 1000,
+                },
+            ],
+            repeat: false,
+            seed: 3,
+        };
+        let cfg = RuntimeConfig::new(0, 1 << 20)
+            .with_max_retries(16)
+            .with_journal(1); // flush after every put
+        let mut r = FarMemRuntime::new(cfg, ChaosTransport::new(sched));
+        let h = r.register_ds(DsSpec::simple("d"), StaticHint::Remotable);
+        let (p, _) = r.ds_alloc(h, 4096).unwrap();
+        r.write_u64(p, 77).unwrap();
+        r.evacuate(p).unwrap(); // op 0: put; op 1: flush → acked, journal empty
+        assert_eq!(r.journal_len(), 0);
+        r.guard(p, Access::Read, 8).unwrap(); // rides out the crash window
+        let (v, _) = r.read_u64(p).unwrap();
+        assert_eq!(v, 77);
+        assert_eq!(r.stats().journal_replays, 0, "acked data needs no replay");
+    }
+
+    #[test]
+    fn disconnected_emits_terminal_failure_event() {
+        use cards_net::{NetError, ThreadedTransport};
+        // Kill the worker out from under the runtime: the write-back must
+        // surface Disconnected (not retry forever) and emit a net_abort
+        // carrying the attempt count.
+        let mut t = ThreadedTransport::spawn(NetworkModel::default());
+        t.kill_server();
+        let mut r = FarMemRuntime::new(RuntimeConfig::new(0, 1 << 20), t);
+        let h = r.register_ds(DsSpec::simple("d"), StaticHint::Remotable);
+        let (p, _) = r.ds_alloc(h, 4096).unwrap();
+        let err = r.evacuate(p).unwrap_err();
+        assert_eq!(err, RtError::Net(NetError::Disconnected));
+        let aborts: Vec<u32> = r
+            .telemetry()
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::NetAbort {
+                    attempts, write, ..
+                } => {
+                    assert!(write);
+                    Some(attempts)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(aborts, vec![1], "terminal failure on first attempt");
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        use cards_net::FaultyTransport;
+        let run = || {
+            let mut r = FarMemRuntime::new(
+                RuntimeConfig::new(0, 1 << 20).with_max_retries(64),
+                FaultyTransport::new(SimTransport::default(), 0.5, 99),
+            );
+            let h = r.register_ds(DsSpec::simple("d"), StaticHint::Remotable);
+            let (p, _) = r.ds_alloc(h, 16 * 4096).unwrap();
+            for i in 0..16u64 {
+                r.guard(p.add(i * 4096), Access::Write, 8).unwrap();
+                r.evacuate(p.add(i * 4096)).unwrap();
+            }
+            for i in 0..16u64 {
+                r.guard(p.add(i * 4096), Access::Read, 8).unwrap();
+            }
+            (r.stats().retries, r.stats().backoff_cycles, r.now())
+        };
+        let (retries, backoff, now) = run();
+        assert!(retries > 0);
+        assert!(backoff > 0, "retries must accrue backoff wait");
+        assert_eq!(run(), (retries, backoff, now), "fully deterministic");
+        // Per-retry backoff is visible in telemetry.
+        let mut r = FarMemRuntime::new(
+            RuntimeConfig::new(0, 1 << 20).with_max_retries(64),
+            FaultyTransport::new(SimTransport::default(), 0.9, 5),
+        );
+        let h = r.register_ds(DsSpec::simple("d"), StaticHint::Remotable);
+        let (p, _) = r.ds_alloc(h, 4096).unwrap();
+        r.evacuate(p).unwrap();
+        r.guard(p, Access::Read, 8).unwrap();
+        let backoffs: Vec<(u32, u64)> = r
+            .telemetry()
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::Retry {
+                    attempt, backoff, ..
+                } => Some((attempt, backoff)),
+                _ => None,
+            })
+            .collect();
+        assert!(!backoffs.is_empty());
+        for (attempt, b) in &backoffs {
+            let cap = r.config().backoff_cap;
+            assert!(*b <= cap, "attempt {attempt}: backoff {b} over cap");
+            assert!(*b >= r.config().backoff_base / 2, "equal-jitter floor");
+        }
+    }
+
+    #[test]
+    fn faulted_free_retries_and_succeeds() {
+        use cards_net::FaultyTransport;
+        // remove is now faultable: frees must retry through transient
+        // faults instead of surfacing them.
+        let mut r = FarMemRuntime::new(
+            RuntimeConfig::new(0, 1 << 20).with_max_retries(64),
+            FaultyTransport::new(SimTransport::default(), 0.5, 1234),
+        );
+        let h = r.register_ds(DsSpec::simple("d"), StaticHint::Remotable);
+        for i in 0..8 {
+            let (p, _) = r.ds_alloc(h, 4096).unwrap();
+            r.write_u64(p, i).unwrap();
+            r.evacuate(p).unwrap();
+            r.free(p).unwrap();
+        }
+        assert_eq!(r.journal_len(), 0, "freed objects leave no journal entry");
+    }
 }

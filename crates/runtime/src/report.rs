@@ -104,6 +104,45 @@ pub fn render_report<T: Transport>(rt: &FarMemRuntime<T>) -> String {
             );
         }
     }
+    // Resilience: only rendered once the run saw degraded conditions, so
+    // healthy-path reports are unchanged.
+    let degraded = g.retries > 0
+        || g.timeouts > 0
+        || g.corrupt_fetches > 0
+        || g.crashes_detected > 0
+        || g.journal_replays > 0
+        || g.flush_failures > 0
+        || (0..rt.ds_count() as u16).any(|h| rt.ds_stats(h).is_some_and(|st| st.breaker_trips > 0));
+    if degraded {
+        let _ = writeln!(
+            s,
+            "resilience: {} retries ({} timeouts, {} corrupt fetches), {} backoff cycles",
+            g.retries, g.timeouts, g.corrupt_fetches, g.backoff_cycles
+        );
+        let _ = writeln!(
+            s,
+            "recovery: {} crashes detected, {} journal replays, {} flush failures, {} entries journaled",
+            g.crashes_detected,
+            g.journal_replays,
+            g.flush_failures,
+            rt.journal_len()
+        );
+        for h in 0..rt.ds_count() as u16 {
+            let Some(st) = rt.ds_stats(h) else { continue };
+            let state = rt.breaker_state(h).unwrap_or("closed");
+            if st.breaker_trips > 0 || state != "closed" {
+                let spec_name = rt.ds_spec(h).map(|sp| sp.name.clone()).unwrap_or_default();
+                let _ = writeln!(
+                    s,
+                    "  breaker ds{:<3} {:<18} {:>2} trips, now {}",
+                    h,
+                    truncate(&spec_name, 18),
+                    st.breaker_trips,
+                    state,
+                );
+            }
+        }
+    }
     s
 }
 

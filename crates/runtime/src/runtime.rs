@@ -11,9 +11,9 @@
 //!   demoted to remotable and its instrumented path is used from then on).
 //! - per-DS prefetchers fed on the miss path, with batched fetches.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use cards_net::{NetError, ObjKey, Transport};
+use cards_net::{NetError, ObjKey, SplitMix64, Transport};
 
 use crate::config::RuntimeConfig;
 use crate::farptr::FarPtr;
@@ -87,8 +87,38 @@ enum ObjState {
         prefetched: bool,
         /// A (possibly stale) copy exists on the remote server.
         remote_copy: bool,
+        /// Pinned by the circuit breaker (degraded mode), not by policy;
+        /// released when the breaker closes again.
+        breaker_pinned: bool,
     },
     Remote,
+}
+
+/// Per-DS circuit breaker: repeated remote failures demote the DS to
+/// pinned-local operation until a cooldown re-probe succeeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Tripped: localized objects are pinned, prefetch is off, until the
+    /// cycle clock passes `until` and a half-open probe runs.
+    Open {
+        /// Cycle at which the next remote op becomes a half-open probe.
+        until: u64,
+    },
+    /// Cooldown expired: the next remote op's outcome decides
+    /// (success → closed, failure → open again).
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
 }
 
 struct DsState {
@@ -105,6 +135,10 @@ struct DsState {
     stats: DsStats,
     /// Counter for accuracy-throttled probe prefetches.
     probe_counter: u32,
+    /// Circuit-breaker state for this DS.
+    breaker: BreakerState,
+    /// Consecutive failed transport attempts (resets on any success).
+    breaker_failures: u32,
 }
 
 impl DsState {
@@ -143,6 +177,16 @@ pub struct FarMemRuntime<T: Transport> {
     scopes: Vec<Vec<(u16, u64)>>,
     stats: RuntimeStats,
     telemetry: Telemetry,
+    /// Writeback journal: payloads put to the server but not yet
+    /// acknowledged by a successful flush. Invariant: every `Remote` object
+    /// is either durable on the server or present here, so a server
+    /// crash/restart loses no data. BTreeMap for deterministic replay order.
+    journal: BTreeMap<ObjKey, Vec<u8>>,
+    /// Journaled puts since the last successful flush.
+    puts_since_flush: u32,
+    /// Last server generation observed; a bump means a crash/restart
+    /// happened and the journal must be replayed.
+    last_generation: u64,
 }
 
 /// How many recently-guarded objects are pinned against eviction. The
@@ -154,6 +198,7 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Create a runtime with `cfg` budgets over `transport`.
     pub fn new(cfg: RuntimeConfig, transport: T) -> Self {
         let telemetry = Telemetry::new(cfg.telemetry);
+        let last_generation = transport.generation();
         FarMemRuntime {
             cfg,
             transport,
@@ -165,6 +210,9 @@ impl<T: Transport> FarMemRuntime<T> {
             scopes: Vec::new(),
             stats: RuntimeStats::default(),
             telemetry,
+            journal: BTreeMap::new(),
+            puts_since_flush: 0,
+            last_generation,
         }
     }
 
@@ -237,6 +285,8 @@ impl<T: Transport> FarMemRuntime<T> {
             prefetcher,
             stats: DsStats::default(),
             probe_counter: 0,
+            breaker: BreakerState::Closed,
+            breaker_failures: 0,
         });
         let cycle = self.stats.cycles;
         self.telemetry
@@ -307,6 +357,7 @@ impl<T: Transport> FarMemRuntime<T> {
                     ref_bit: true,
                     prefetched: false,
                     remote_copy: false,
+                    breaker_pinned: false,
                 },
             );
             return Ok(0);
@@ -322,7 +373,25 @@ impl<T: Transport> FarMemRuntime<T> {
                     .emit(cycle, EventKind::Demotion { ds: handle });
             }
         }
-        // Remotable placement: make room, then insert locally.
+        // Remotable placement: make room, then insert locally. While the
+        // DS's breaker is tripped, new objects are pinned instead so the
+        // degraded DS generates no further remote traffic.
+        if self.breaker_degraded(dsi) {
+            self.pinned_used += obj_bytes;
+            self.ds[dsi].objects.insert(
+                idx,
+                ObjState::Local {
+                    data: vec![0u8; obj_bytes as usize].into_boxed_slice(),
+                    dirty: true,
+                    pinned: true,
+                    ref_bit: true,
+                    prefetched: false,
+                    remote_copy: false,
+                    breaker_pinned: true,
+                },
+            );
+            return Ok(0);
+        }
         let cycles = self.ensure_room(obj_bytes)?;
         self.remotable_used += obj_bytes;
         self.ds[dsi].objects.insert(
@@ -334,6 +403,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 ref_bit: true,
                 prefetched: false,
                 remote_copy: false,
+                breaker_pinned: false,
             },
         );
         self.clock.push_back((handle, idx));
@@ -359,6 +429,13 @@ impl<T: Transport> FarMemRuntime<T> {
         let end = (offset + size) / obj_bytes; // exclusive frontier of fully-covered objs
         let mut cycles = 10;
         for idx in first..end {
+            let key = ObjKey {
+                ds: handle as u32,
+                index: idx,
+            };
+            // The object no longer exists; whatever the journal held for it
+            // must never be replayed.
+            self.journal.remove(&key);
             if let Some(state) = self.ds[dsi].objects.remove(&idx) {
                 match state {
                     ObjState::Local { pinned, data, .. } => {
@@ -369,13 +446,7 @@ impl<T: Transport> FarMemRuntime<T> {
                         }
                     }
                     ObjState::Remote => {
-                        cycles += self
-                            .transport
-                            .remove(ObjKey {
-                                ds: handle as u32,
-                                index: idx,
-                            })
-                            .map_err(RtError::Net)?;
+                        self.remove_with_retry(key, &mut cycles)?;
                     }
                 }
             }
@@ -567,19 +638,29 @@ impl<T: Transport> FarMemRuntime<T> {
         cycles += self.cfg.costs.remote_extra;
         // Greedy-recursive prefetchers inspect the payload for pointers.
         let chased = self.ds[dsi].prefetcher.observe_bytes(idx, &fetched.bytes);
-        self.remotable_used += obj_bytes;
+        // Re-check the breaker *after* the fetch: it may have tripped during
+        // the retries. Degraded DSs keep what they localize pinned.
+        let degraded = self.breaker_degraded(dsi);
+        if degraded {
+            self.pinned_used += obj_bytes;
+        } else {
+            self.remotable_used += obj_bytes;
+        }
         self.ds[dsi].objects.insert(
             idx,
             ObjState::Local {
                 data: fetched.bytes.into_boxed_slice(),
                 dirty: false,
-                pinned: false,
+                pinned: degraded,
                 ref_bit: true,
                 prefetched: false,
                 remote_copy: true,
+                breaker_pinned: degraded,
             },
         );
-        self.clock.push_back((handle, idx));
+        if !degraded {
+            self.clock.push_back((handle, idx));
+        }
         cycles += self.chase_targets(handle, chased)?;
         Ok(cycles)
     }
@@ -593,6 +674,10 @@ impl<T: Transport> FarMemRuntime<T> {
 
     fn run_prefetch_depth(&mut self, handle: u16, idx: u64, cap: usize) -> Result<u64, RtError> {
         let dsi = handle as usize;
+        // A degraded DS issues no speculative traffic.
+        if self.breaker_degraded(dsi) {
+            return Ok(0);
+        }
         let max = self.prefetch_budget(dsi).min(cap);
         if max == 0 {
             return Ok(0);
@@ -682,6 +767,9 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Fetch one object speculatively (no demand access yet).
     fn prefetch_object(&mut self, handle: u16, idx: u64) -> Result<u64, RtError> {
         let dsi = handle as usize;
+        if self.breaker_degraded(dsi) {
+            return Ok(0);
+        }
         if matches!(self.ds[dsi].objects.get(&idx), Some(ObjState::Local { .. })) {
             return Ok(0);
         }
@@ -704,6 +792,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 ref_bit: false,
                 prefetched: true,
                 remote_copy: true,
+                breaker_pinned: false,
             },
         );
         self.clock.push_back((handle, idx));
@@ -731,14 +820,102 @@ impl<T: Transport> FarMemRuntime<T> {
         Ok(cycles)
     }
 
+    // ---- hardened transport paths: backoff, breaker, journal ----
+
+    /// Whether retrying this error can help.
+    fn retryable(e: &NetError) -> bool {
+        matches!(
+            e,
+            NetError::Transient | NetError::Timeout | NetError::Corrupt
+        )
+    }
+
+    /// Count the error class in the runtime stats.
+    fn classify_failure(&mut self, e: &NetError) {
+        match e {
+            NetError::Timeout => self.stats.timeouts += 1,
+            NetError::Corrupt => self.stats.corrupt_fetches += 1,
+            _ => {}
+        }
+    }
+
+    /// Equal-jitter exponential backoff for retry `attempt` (1-based), in
+    /// modeled cycles. Deterministic: the jitter is seeded by the op
+    /// identity, so identical runs back off identically.
+    fn backoff_for(&self, key: ObjKey, attempt: u32, write: bool) -> u64 {
+        if self.cfg.backoff_base == 0 {
+            return 0;
+        }
+        let exp = attempt.saturating_sub(1).min(32);
+        let capped = self
+            .cfg
+            .backoff_base
+            .checked_mul(1u64 << exp)
+            .map_or(self.cfg.backoff_cap, |v| v.min(self.cfg.backoff_cap));
+        let seed = (key.ds as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ key.index.rotate_left(17)
+            ^ ((attempt as u64) << 1)
+            ^ (write as u64);
+        let mut rng = SplitMix64::new(seed);
+        capped / 2 + rng.next_below(capped / 2 + 1)
+    }
+
+    /// Book-keep one failed attempt: error classification, breaker feed,
+    /// retry pricing (wasted RTT + backoff wait), and the Retry event.
+    fn account_retry(
+        &mut self,
+        key: ObjKey,
+        e: &NetError,
+        attempt: u32,
+        write: bool,
+        cycles: &mut u64,
+    ) {
+        self.classify_failure(e);
+        self.breaker_on_failure(key.ds as u16);
+        self.stats.retries += 1;
+        *cycles += self.transport.rtt_cost();
+        let backoff = self.backoff_for(key, attempt, write);
+        *cycles += backoff;
+        self.stats.backoff_cycles += backoff;
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::Retry {
+                ds: key.ds as u16,
+                index: key.index,
+                attempt,
+                write,
+                backoff,
+            },
+        );
+    }
+
+    /// A remote op gave up (retries exhausted or terminal error): emit the
+    /// terminal-failure event before surfacing `RtError::Net`.
+    fn emit_net_abort(&mut self, key: ObjKey, attempts: u32, write: bool) {
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::NetAbort {
+                ds: key.ds as u16,
+                index: key.index,
+                attempts,
+                write,
+            },
+        );
+    }
+
     fn fetch_with_retry(
         &mut self,
         key: ObjKey,
         batched: bool,
         cycles: &mut u64,
     ) -> Result<cards_net::Fetched, RtError> {
-        let mut attempts = 0;
+        let ds = key.ds as u16;
+        let mut attempts: u32 = 0;
         loop {
+            attempts += 1;
+            self.breaker_pre_op(ds);
             let r = if batched {
                 self.transport.fetch_batched(key)
             } else {
@@ -747,24 +924,86 @@ impl<T: Transport> FarMemRuntime<T> {
             match r {
                 Ok(f) => {
                     *cycles += f.cycles;
+                    self.breaker_on_success(ds);
+                    self.check_generation(cycles)?;
                     return Ok(f);
                 }
-                Err(NetError::Transient) if attempts < self.cfg.max_retries => {
-                    attempts += 1;
-                    self.stats.retries += 1;
-                    *cycles += self.transport.rtt_cost();
-                    let cycle = self.stats.cycles;
-                    self.telemetry.emit(
-                        cycle,
-                        EventKind::Retry {
-                            ds: key.ds as u16,
-                            index: key.index,
-                            attempt: attempts,
-                            write: false,
-                        },
-                    );
+                Err(NetError::NotFound(_)) => {
+                    // Crash recovery: the server lost the object (dropped
+                    // as unacknowledged in a restart) but the journal still
+                    // has the bytes — re-put them and serve from the
+                    // journal.
+                    if let Some(data) = self.journal.get(&key).cloned() {
+                        self.raw_put_with_retry(key, &data, cycles)?;
+                        self.stats.journal_replays += 1;
+                        let cycle = self.stats.cycles;
+                        self.telemetry.emit(
+                            cycle,
+                            EventKind::JournalReplay {
+                                ds,
+                                index: key.index,
+                                bytes: data.len() as u64,
+                            },
+                        );
+                        self.breaker_on_success(ds);
+                        // A lost-but-journaled object usually means the
+                        // server restarted; record the crash and replay the
+                        // rest of the journal now rather than lazily.
+                        self.check_generation(cycles)?;
+                        return Ok(cards_net::Fetched {
+                            bytes: data,
+                            cycles: 0,
+                        });
+                    }
+                    self.emit_net_abort(key, attempts, false);
+                    return Err(RtError::Net(NetError::NotFound(key)));
                 }
-                Err(e) => return Err(RtError::Net(e)),
+                Err(e) if Self::retryable(&e) && attempts <= self.cfg.max_retries => {
+                    self.account_retry(key, &e, attempts, false, cycles);
+                }
+                Err(e) => {
+                    if Self::retryable(&e) {
+                        self.classify_failure(&e);
+                        self.breaker_on_failure(ds);
+                    }
+                    self.emit_net_abort(key, attempts, false);
+                    return Err(RtError::Net(e));
+                }
+            }
+        }
+    }
+
+    /// The bare put retry loop: no journaling, no generation check. Used
+    /// both by [`Self::put_with_retry`] and by journal replay itself (which
+    /// must not recurse into the journal).
+    fn raw_put_with_retry(
+        &mut self,
+        key: ObjKey,
+        data: &[u8],
+        cycles: &mut u64,
+    ) -> Result<(), RtError> {
+        let ds = key.ds as u16;
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            self.breaker_pre_op(ds);
+            match self.transport.put(key, data) {
+                Ok(c) => {
+                    *cycles += c;
+                    self.breaker_on_success(ds);
+                    return Ok(());
+                }
+                Err(e) if Self::retryable(&e) && attempts <= self.cfg.max_retries => {
+                    self.account_retry(key, &e, attempts, true, cycles);
+                }
+                Err(e) => {
+                    if Self::retryable(&e) {
+                        self.classify_failure(&e);
+                        self.breaker_on_failure(ds);
+                    }
+                    self.emit_net_abort(key, attempts, true);
+                    return Err(RtError::Net(e));
+                }
             }
         }
     }
@@ -775,30 +1014,255 @@ impl<T: Transport> FarMemRuntime<T> {
         data: &[u8],
         cycles: &mut u64,
     ) -> Result<(), RtError> {
-        let mut attempts = 0;
+        self.raw_put_with_retry(key, data, cycles)?;
+        self.check_generation(cycles)?;
+        // Journal the payload until a flush acknowledges it as durable.
+        if self.cfg.journal_flush_every > 0 {
+            self.journal.insert(key, data.to_vec());
+            self.puts_since_flush += 1;
+            if self.puts_since_flush >= self.cfg.journal_flush_every {
+                self.flush_journal(cycles);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush (acknowledge) outstanding writebacks. On success the journal
+    /// is cleared — everything it held is durable. Failure is non-fatal:
+    /// the journal is retained and recovery falls to generation detection.
+    fn flush_journal(&mut self, cycles: &mut u64) {
+        let mut attempts: u32 = 0;
         loop {
-            match self.transport.put(key, data) {
+            attempts += 1;
+            match self.transport.flush() {
                 Ok(c) => {
                     *cycles += c;
-                    return Ok(());
+                    self.journal.clear();
+                    self.puts_since_flush = 0;
+                    return;
                 }
-                Err(NetError::Transient) if attempts < self.cfg.max_retries => {
-                    attempts += 1;
+                Err(e) if Self::retryable(&e) && attempts <= self.cfg.max_retries => {
+                    self.classify_failure(&e);
                     self.stats.retries += 1;
                     *cycles += self.transport.rtt_cost();
+                    let backoff = self.backoff_for(ObjKey { ds: 0, index: 0 }, attempts, true);
+                    *cycles += backoff;
+                    self.stats.backoff_cycles += backoff;
+                }
+                Err(e) => {
+                    self.classify_failure(&e);
+                    self.stats.flush_failures += 1;
+                    self.puts_since_flush = 0;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Retry-tolerant server-side free.
+    fn remove_with_retry(&mut self, key: ObjKey, cycles: &mut u64) -> Result<(), RtError> {
+        let ds = key.ds as u16;
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            self.breaker_pre_op(ds);
+            match self.transport.remove(key) {
+                Ok(c) => {
+                    *cycles += c;
+                    self.breaker_on_success(ds);
+                    self.check_generation(cycles)?;
+                    return Ok(());
+                }
+                Err(e) if Self::retryable(&e) && attempts <= self.cfg.max_retries => {
+                    self.account_retry(key, &e, attempts, true, cycles);
+                }
+                Err(e) => {
+                    if Self::retryable(&e) {
+                        self.classify_failure(&e);
+                        self.breaker_on_failure(ds);
+                    }
+                    self.emit_net_abort(key, attempts, true);
+                    return Err(RtError::Net(e));
+                }
+            }
+        }
+    }
+
+    /// Detect a server crash/restart (generation bump) and replay every
+    /// journaled writeback the crash may have dropped.
+    fn check_generation(&mut self, cycles: &mut u64) -> Result<(), RtError> {
+        let g = self.transport.generation();
+        if g == self.last_generation {
+            return Ok(());
+        }
+        self.last_generation = g;
+        self.stats.crashes_detected += 1;
+        let cycle = self.stats.cycles;
+        self.telemetry
+            .emit(cycle, EventKind::CrashDetected { generation: g });
+        let entries: Vec<(ObjKey, Vec<u8>)> =
+            self.journal.iter().map(|(k, v)| (*k, v.clone())).collect();
+        for (k, data) in entries {
+            self.raw_put_with_retry(k, &data, cycles)?;
+            self.stats.journal_replays += 1;
+            let cycle = self.stats.cycles;
+            self.telemetry.emit(
+                cycle,
+                EventKind::JournalReplay {
+                    ds: k.ds as u16,
+                    index: k.index,
+                    bytes: data.len() as u64,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    // ---- circuit breaker ----
+
+    fn breaker_degraded(&self, dsi: usize) -> bool {
+        self.ds
+            .get(dsi)
+            .is_some_and(|d| d.breaker != BreakerState::Closed)
+    }
+
+    /// Before each remote attempt: an expired open breaker becomes a
+    /// half-open probe (this attempt decides its fate).
+    fn breaker_pre_op(&mut self, handle: u16) {
+        let dsi = handle as usize;
+        if self.cfg.breaker_threshold == 0 || dsi >= self.ds.len() {
+            return;
+        }
+        if let BreakerState::Open { until } = self.ds[dsi].breaker {
+            if self.stats.cycles >= until {
+                self.ds[dsi].breaker = BreakerState::HalfOpen;
+                let cycle = self.stats.cycles;
+                self.telemetry.emit(
+                    cycle,
+                    EventKind::Breaker {
+                        ds: handle,
+                        from: "open",
+                        to: "half_open",
+                    },
+                );
+            }
+        }
+    }
+
+    fn breaker_on_success(&mut self, handle: u16) {
+        let dsi = handle as usize;
+        if self.cfg.breaker_threshold == 0 || dsi >= self.ds.len() {
+            return;
+        }
+        self.ds[dsi].breaker_failures = 0;
+        if self.ds[dsi].breaker == BreakerState::HalfOpen {
+            self.ds[dsi].breaker = BreakerState::Closed;
+            let cycle = self.stats.cycles;
+            self.telemetry.emit(
+                cycle,
+                EventKind::Breaker {
+                    ds: handle,
+                    from: "half_open",
+                    to: "closed",
+                },
+            );
+            self.breaker_unpin(handle);
+        }
+    }
+
+    fn breaker_on_failure(&mut self, handle: u16) {
+        let dsi = handle as usize;
+        if self.cfg.breaker_threshold == 0 || dsi >= self.ds.len() {
+            return;
+        }
+        match self.ds[dsi].breaker {
+            BreakerState::Closed => {
+                self.ds[dsi].breaker_failures += 1;
+                if self.ds[dsi].breaker_failures >= self.cfg.breaker_threshold {
+                    self.ds[dsi].breaker = BreakerState::Open {
+                        until: self.stats.cycles + self.cfg.breaker_cooldown,
+                    };
+                    self.ds[dsi].stats.breaker_trips += 1;
                     let cycle = self.stats.cycles;
                     self.telemetry.emit(
                         cycle,
-                        EventKind::Retry {
-                            ds: key.ds as u16,
-                            index: key.index,
-                            attempt: attempts,
-                            write: true,
+                        EventKind::Breaker {
+                            ds: handle,
+                            from: "closed",
+                            to: "open",
                         },
                     );
+                    self.breaker_pin_resident(handle);
                 }
-                Err(e) => return Err(RtError::Net(e)),
             }
+            BreakerState::HalfOpen => {
+                // The probe failed: back to open for another cooldown.
+                self.ds[dsi].breaker = BreakerState::Open {
+                    until: self.stats.cycles + self.cfg.breaker_cooldown,
+                };
+                let cycle = self.stats.cycles;
+                self.telemetry.emit(
+                    cycle,
+                    EventKind::Breaker {
+                        ds: handle,
+                        from: "half_open",
+                        to: "open",
+                    },
+                );
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Open transition: pin every resident remotable object of the DS so
+    /// the degraded structure stops generating writeback traffic. Clock
+    /// entries go stale and are dropped on pop.
+    fn breaker_pin_resident(&mut self, handle: u16) {
+        let dsi = handle as usize;
+        let mut moved = 0u64;
+        for st in self.ds[dsi].objects.values_mut() {
+            if let ObjState::Local {
+                pinned: pinned @ false,
+                breaker_pinned,
+                data,
+                ..
+            } = st
+            {
+                *pinned = true;
+                *breaker_pinned = true;
+                moved += data.len() as u64;
+            }
+        }
+        self.remotable_used -= moved;
+        self.pinned_used += moved;
+    }
+
+    /// Close transition: release breaker pins and hand the objects back to
+    /// the clock (sorted for determinism — HashMap order must not leak into
+    /// eviction order).
+    fn breaker_unpin(&mut self, handle: u16) {
+        let dsi = handle as usize;
+        let mut moved = 0u64;
+        let mut indices = Vec::new();
+        for (idx, st) in self.ds[dsi].objects.iter_mut() {
+            if let ObjState::Local {
+                pinned,
+                breaker_pinned: bp @ true,
+                data,
+                ..
+            } = st
+            {
+                *pinned = false;
+                *bp = false;
+                moved += data.len() as u64;
+                indices.push(*idx);
+            }
+        }
+        indices.sort_unstable();
+        self.pinned_used -= moved;
+        self.remotable_used += moved;
+        for idx in indices {
+            self.clock.push_back((handle, idx));
         }
     }
 
@@ -1054,6 +1518,28 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Whether DS `handle` is currently remotable.
     pub fn is_remotable(&self, handle: u16) -> bool {
         self.ds.get(handle as usize).is_none_or(|d| d.remotable)
+    }
+
+    /// Current circuit-breaker state of DS `handle` as a stable name
+    /// (`"closed"`, `"open"`, `"half_open"`).
+    pub fn breaker_state(&self, handle: u16) -> Option<&'static str> {
+        self.ds.get(handle as usize).map(|d| d.breaker.name())
+    }
+
+    /// Number of writebacks journaled but not yet acknowledged by a flush.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Force a journal flush now (acknowledge outstanding writebacks).
+    /// Failure is non-fatal — entries are retained. Returns cycles charged.
+    pub fn flush_writebacks(&mut self) -> u64 {
+        let mut cycles = 0;
+        if !self.journal.is_empty() {
+            self.flush_journal(&mut cycles);
+            self.stats.cycles += cycles;
+        }
+        cycles
     }
 
     // ---- introspection ----

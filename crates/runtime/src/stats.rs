@@ -26,6 +26,8 @@ pub struct DsStats {
     pub guard_checks: u64,
     /// Times the runtime overrode this DS's static pinning hint.
     pub demotions: u64,
+    /// Times this DS's circuit breaker opened (degraded to pinned-local).
+    pub breaker_trips: u64,
     /// Decaying window of recent prefetches issued (throttling input).
     pub window_issued: u64,
     /// Decaying window of recent useful prefetches (throttling input).
@@ -93,6 +95,18 @@ pub struct RuntimeStats {
     /// Objects currently resident that exceeded the remotable budget
     /// because eviction could not make room (oversize objects).
     pub overcommits: u64,
+    /// Operations that timed out (partition / server-down window).
+    pub timeouts: u64,
+    /// Fetches whose envelope failed verification (retried).
+    pub corrupt_fetches: u64,
+    /// Modeled cycles spent waiting in retry backoff.
+    pub backoff_cycles: u64,
+    /// Journal entries replayed to the server after loss or restart.
+    pub journal_replays: u64,
+    /// Server crash/restarts detected via generation bumps.
+    pub crashes_detected: u64,
+    /// Journal flushes that failed after retries (entries retained).
+    pub flush_failures: u64,
 }
 
 #[cfg(test)]

@@ -137,6 +137,45 @@ pub enum EventKind {
         attempt: u32,
         /// True for write-back retries, false for fetch retries.
         write: bool,
+        /// Modeled cycles spent backing off before this retry.
+        backoff: u64,
+    },
+    /// A remote operation exhausted its retries (or hit a terminal error)
+    /// and surfaced to the application.
+    NetAbort {
+        /// DS handle.
+        ds: u16,
+        /// Object index within the DS.
+        index: u64,
+        /// Attempts made before giving up (1-based; 1 = no retries).
+        attempts: u32,
+        /// True for write-backs, false for fetches.
+        write: bool,
+    },
+    /// A DS circuit breaker changed state
+    /// (closed → open → half_open → closed).
+    Breaker {
+        /// DS handle.
+        ds: u16,
+        /// State before the transition.
+        from: &'static str,
+        /// State after the transition.
+        to: &'static str,
+    },
+    /// A server crash/restart was detected (generation bump).
+    CrashDetected {
+        /// The server generation observed after the restart.
+        generation: u64,
+    },
+    /// A journaled writeback was replayed to the server after loss or a
+    /// detected restart.
+    JournalReplay {
+        /// DS handle.
+        ds: u16,
+        /// Object index within the DS.
+        index: u64,
+        /// Payload bytes replayed.
+        bytes: u64,
     },
     /// A remoting policy pinned (or declined to pin) a data structure.
     PolicyDecision {
@@ -207,6 +246,10 @@ impl EventKind {
             EventKind::PrefetchIssue { .. } => "prefetch_issue",
             EventKind::PrefetchConfirm { .. } => "prefetch_confirm",
             EventKind::Retry { .. } => "retry",
+            EventKind::NetAbort { .. } => "net_abort",
+            EventKind::Breaker { .. } => "breaker",
+            EventKind::CrashDetected { .. } => "crash_detected",
+            EventKind::JournalReplay { .. } => "journal_replay",
             EventKind::PolicyDecision { .. } => "policy_decision",
             EventKind::Demotion { .. } => "demotion",
             EventKind::DsRegister { .. } => "ds_register",
@@ -626,11 +669,32 @@ fn event_fields(out: &mut String, kind: &EventKind) {
             index,
             attempt,
             write,
+            backoff,
         } => {
             let _ = write!(
                 out,
-                "\"ds\":{ds},\"index\":{index},\"attempt\":{attempt},\"write\":{write}"
+                "\"ds\":{ds},\"index\":{index},\"attempt\":{attempt},\"write\":{write},\"backoff\":{backoff}"
             );
+        }
+        EventKind::NetAbort {
+            ds,
+            index,
+            attempts,
+            write,
+        } => {
+            let _ = write!(
+                out,
+                "\"ds\":{ds},\"index\":{index},\"attempts\":{attempts},\"write\":{write}"
+            );
+        }
+        EventKind::Breaker { ds, from, to } => {
+            let _ = write!(out, "\"ds\":{ds},\"from\":\"{from}\",\"to\":\"{to}\"");
+        }
+        EventKind::CrashDetected { generation } => {
+            let _ = write!(out, "\"generation\":{generation}");
+        }
+        EventKind::JournalReplay { ds, index, bytes } => {
+            let _ = write!(out, "\"ds\":{ds},\"index\":{index},\"bytes\":{bytes}");
         }
         EventKind::PolicyDecision { ds, pinned, why } => {
             let _ = write!(out, "\"ds\":{ds},\"pinned\":{pinned},\"why\":");
@@ -748,7 +812,7 @@ pub fn export_json<T: Transport>(rt: &FarMemRuntime<T>) -> String {
         json_str(&mut s, &spec.name);
         let _ = write!(
             s,
-            ",\"remotable\":{},\"hits\":{},\"misses\":{},\"miss_ratio\":{:.4},\"evictions\":{},\"writebacks\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\"demotions\":{},\"bytes_allocated\":{}}}",
+            ",\"remotable\":{},\"hits\":{},\"misses\":{},\"miss_ratio\":{:.4},\"evictions\":{},\"writebacks\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\"demotions\":{},\"breaker_trips\":{},\"bytes_allocated\":{}}}",
             rt.is_remotable(h),
             st.hits,
             st.misses,
@@ -758,18 +822,25 @@ pub fn export_json<T: Transport>(rt: &FarMemRuntime<T>) -> String {
             st.prefetch_issued,
             st.prefetch_useful,
             st.demotions,
+            st.breaker_trips,
             st.bytes_allocated
         );
     }
     let _ = write!(
         s,
-        "],\"totals\":{{\"custody_checks\":{},\"derefs_local\":{},\"derefs_remote\":{},\"remotable_checks\":{},\"retries\":{},\"overcommits\":{},\"cycles\":{}}},\"net\":",
+        "],\"totals\":{{\"custody_checks\":{},\"derefs_local\":{},\"derefs_remote\":{},\"remotable_checks\":{},\"retries\":{},\"overcommits\":{},\"timeouts\":{},\"corrupt_fetches\":{},\"backoff_cycles\":{},\"journal_replays\":{},\"crashes_detected\":{},\"flush_failures\":{},\"cycles\":{}}},\"net\":",
         g.custody_checks,
         g.derefs_local,
         g.derefs_remote,
         g.remotable_checks,
         g.retries,
         g.overcommits,
+        g.timeouts,
+        g.corrupt_fetches,
+        g.backoff_cycles,
+        g.journal_replays,
+        g.crashes_detected,
+        g.flush_failures,
         g.cycles
     );
     net_json(&mut s, &rt.net_stats());
@@ -820,6 +891,9 @@ pub fn export_chrome_trace<T: Transport>(rt: &FarMemRuntime<T>) -> String {
             | EventKind::PrefetchIssue { ds, .. }
             | EventKind::PrefetchConfirm { ds, .. }
             | EventKind::Retry { ds, .. }
+            | EventKind::NetAbort { ds, .. }
+            | EventKind::Breaker { ds, .. }
+            | EventKind::JournalReplay { ds, .. }
             | EventKind::Demotion { ds }
             | EventKind::DsRegister { ds, .. }
             | EventKind::DsAlloc { ds, .. }

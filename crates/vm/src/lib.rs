@@ -297,6 +297,65 @@ mod tests {
         assert!(hi.guard_checks > 2 * lo.guard_checks.max(1));
     }
 
+    /// End-to-end robustness: the transformed program still computes the
+    /// native answer when the transport is running a chaos schedule —
+    /// loss bursts, latency spikes, partitions, payload corruption, and a
+    /// mid-run server crash/restart.
+    #[test]
+    fn transformed_survives_chaos_schedules() {
+        use cards_net::{ChaosSchedule, ChaosTransport};
+        let build = || {
+            let mut m = Module::new("k");
+            let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+            // 64 objects of 4 KiB against a 2-object cache: enough remote
+            // churn to run well past the storm schedule's crash window.
+            let n = 32 * 1024i64;
+            let arr = b.alloc(b.iconst(n * 8), Type::I64);
+            let (z, one) = (b.iconst(0), b.iconst(1));
+            b.counted_loop(z, b.iconst(n), one, |b, i| {
+                let p = b.gep_index(arr, Type::I64, i);
+                let v = b.mul(i, b.iconst(7));
+                b.store(p, v, Type::I64);
+            });
+            let acc = b.alloca(Type::I64);
+            b.store(acc, b.iconst(0), Type::I64);
+            b.counted_loop(z, b.iconst(n), one, |b, i| {
+                let p = b.gep_index(arr, Type::I64, i);
+                let v = b.load(p, Type::I64);
+                let cur = b.load(acc, Type::I64);
+                let nx = b.add(cur, v);
+                b.store(acc, nx, Type::I64);
+            });
+            let out = b.load(acc, Type::I64);
+            b.ret(out);
+            m.add_function(b.finish());
+            m
+        };
+        let expected = {
+            let mut vm = vm_for(build());
+            vm.run("main", &[]).unwrap().unwrap()
+        };
+        for sched in [ChaosSchedule::storm(7), ChaosSchedule::crash_loop(7)] {
+            let c = compile(build(), CompileOptions::cards()).unwrap();
+            // The retry budget must cover the longest all-fail window of
+            // the schedule (bounded by a cards-net test at <= 12 ops).
+            let mut vm = Vm::new(
+                c.module,
+                RuntimeConfig::new(0, 2 * 4096).with_max_retries(32),
+                ChaosTransport::new(sched),
+                RemotingPolicy::AllRemotable,
+                0,
+            );
+            let got = vm.run("main", &[]).unwrap().unwrap();
+            assert_eq!(got, expected, "chaos must not change results");
+            let rt = vm.runtime();
+            let g = rt.stats();
+            assert!(g.retries > 0, "chaos run should have retried");
+            let t = rt.transport();
+            assert!(t.chaos_stats().crashes >= 1, "crash phase must fire");
+        }
+    }
+
     /// hash64 intrinsic is the documented splitmix64.
     #[test]
     fn hash_intrinsic_matches_reference() {

@@ -1,0 +1,139 @@
+//! Chaos-transport integration: a workload driven through phase-scripted
+//! failure schedules (loss bursts, latency spikes, partitions, payload
+//! corruption, server crash/restart) must still compute the clean-run
+//! answer, replay to byte-identical telemetry, and leave a coherent
+//! resilience trail in the exports.
+
+use std::collections::BTreeSet;
+
+use cards_core::net::{ChaosSchedule, ChaosTransport};
+use cards_core::passes::{compile, CompileOptions};
+use cards_core::runtime::telemetry::{export_chrome_trace, export_json, TelemetryConfig};
+use cards_core::runtime::{render_report, RemotingPolicy, RuntimeConfig};
+use cards_core::vm::Vm;
+use cards_core::workloads::kvstore::{self, KvParams};
+
+/// Cache-starved kvstore over a chaos schedule: plenty of transport churn,
+/// so every phase kind sees traffic.
+fn run_chaos(sched: ChaosSchedule) -> Vm<ChaosTransport> {
+    let (m, _) = kvstore::build(KvParams {
+        keys: 128,
+        ops: 600,
+    });
+    let c = compile(m, CompileOptions::cards()).expect("compile");
+    let cfg = RuntimeConfig::new(0, 8192)
+        // Budget must cover the longest all-fail window of the schedules
+        // (bounded at <= 12 ops by a cards-net test).
+        .with_max_retries(32)
+        .with_telemetry(TelemetryConfig {
+            enabled: true,
+            ring_capacity: 1 << 16,
+            epoch_every: 64,
+        });
+    let mut vm = Vm::new(
+        c.module,
+        cfg,
+        ChaosTransport::new(sched),
+        RemotingPolicy::AllRemotable,
+        0,
+    );
+    vm.run("main", &[]).expect("run under chaos");
+    vm
+}
+
+fn run_clean() -> u64 {
+    let (m, _) = kvstore::build(KvParams {
+        keys: 128,
+        ops: 600,
+    });
+    let c = compile(m, CompileOptions::cards()).expect("compile");
+    let mut vm = Vm::new(
+        c.module,
+        RuntimeConfig::new(0, 8192),
+        cards_core::net::SimTransport::default(),
+        RemotingPolicy::AllRemotable,
+        0,
+    );
+    vm.run("main", &[]).expect("clean run").expect("checksum")
+}
+
+/// The regression the telemetry layer promises: replaying the same chaos
+/// run twice — crashes, corrupt fetches, breaker trips and all — exports
+/// byte-identical traces in both formats.
+#[test]
+fn chaos_replay_exports_identical_bytes() {
+    for sched in [ChaosSchedule::storm(3), ChaosSchedule::crash_loop(3)] {
+        let (a, b) = (run_chaos(sched.clone()), run_chaos(sched));
+        let (ja, jb) = (export_json(a.runtime()), export_json(b.runtime()));
+        assert_eq!(ja, jb, "JSON export must be byte-reproducible");
+        let (ca, cb) = (
+            export_chrome_trace(a.runtime()),
+            export_chrome_trace(b.runtime()),
+        );
+        assert_eq!(ca, cb, "chrome trace must be byte-reproducible");
+    }
+}
+
+/// Chaos may cost cycles but never correctness: the crash-restart schedule
+/// computes the same checksum as a clean transport, with the recovery
+/// machinery visibly engaged.
+#[test]
+fn crash_restart_matches_clean_run() {
+    let expected = run_clean();
+    let vm = run_chaos(ChaosSchedule::crash_loop(11));
+    let rt = vm.runtime();
+    let got = rt.transport();
+    assert!(got.chaos_stats().crashes >= 1, "crash phases must fire");
+    let g = rt.stats();
+    assert!(g.timeouts > 0, "crash windows present as timeouts");
+    assert!(g.crashes_detected >= 1, "generation bumps must be noticed");
+    // The same program under chaos computes the same answer.
+    let (m, _) = kvstore::build(KvParams {
+        keys: 128,
+        ops: 600,
+    });
+    let c = compile(m, CompileOptions::cards()).expect("compile");
+    let mut vm2 = Vm::new(
+        c.module,
+        RuntimeConfig::new(0, 8192).with_max_retries(32),
+        ChaosTransport::new(ChaosSchedule::crash_loop(11)),
+        RemotingPolicy::AllRemotable,
+        0,
+    );
+    let got = vm2.run("main", &[]).expect("run").expect("checksum");
+    assert_eq!(got, expected, "crash/restart must not change the result");
+}
+
+/// The degraded-run trail shows up in every export surface: typed events
+/// in the JSON trace, ds-scoped tracks in the chrome trace, and the
+/// resilience section of the human report.
+#[test]
+fn chaos_trail_reaches_every_export_surface() {
+    let vm = run_chaos(ChaosSchedule::storm(5));
+    let rt = vm.runtime();
+    let json = export_json(rt);
+    let kinds: BTreeSet<&str> = [
+        "retry",
+        "net_abort",
+        "breaker",
+        "crash_detected",
+        "journal_replay",
+    ]
+    .into_iter()
+    .filter(|k| json.contains(&format!("\"kind\":\"{k}\"")))
+    .collect();
+    assert!(
+        kinds.contains("retry"),
+        "storm run must log retries: saw {kinds:?}"
+    );
+    assert!(
+        json.contains("\"timeouts\""),
+        "totals must carry the resilience counters"
+    );
+    let report = render_report(rt);
+    assert!(
+        report.contains("resilience:"),
+        "degraded run must render the resilience section:\n{report}"
+    );
+    assert!(report.contains("recovery:"), "{report}");
+}
