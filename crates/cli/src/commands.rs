@@ -35,6 +35,11 @@ usage:
                 partitions, corruption, server crash/restart; prints a
                 degraded-vs-healthy summary and exits non-zero on any
                 divergence from the all-local oracle)
+  cards pressure [--seeds N] [--start-seed N]
+                (fuzz the memory-pressure matrix: squeeze, cliff and
+                sawtooth budget schedules under the governor; prints a
+                per-cell governor summary and exits non-zero on any
+                divergence from the all-local oracle)
 ";
 
 /// Dispatch a parsed command line.
@@ -48,6 +53,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "demo" => cmd_demo(a),
         "difftest" => cmd_difftest(a),
         "chaos" => cmd_chaos(a),
+        "pressure" => cmd_pressure(a),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -392,6 +398,68 @@ fn cmd_chaos(a: &Args) -> Result<(), String> {
     ))
 }
 
+fn cmd_pressure(a: &Args) -> Result<(), String> {
+    let seeds: u64 = a.opt_num("seeds", 50u64)?;
+    let start_seed: u64 = a.opt_num("start-seed", 1u64)?;
+    let r = cards_difftest::run_pressure_campaign(
+        seeds,
+        start_seed,
+        cards_ir::testgen::GenConfig::chaos(),
+    );
+    println!(
+        "pressure: {} seed(s) x {} cell(s): {} divergent",
+        r.seeds_run,
+        r.cells.len(),
+        r.divergent.len()
+    );
+    println!(
+        "{:<38} {:>6} {:>7} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}",
+        "cell",
+        "p_high",
+        "proact",
+        "phases",
+        "resolve",
+        "demoted",
+        "promote",
+        "spills",
+        "starved",
+        "overhead"
+    );
+    for c in &r.cells {
+        let s = &c.stats;
+        let overhead = if s.clean_cycles > 0 {
+            s.pressured_cycles as f64 / s.clean_cycles as f64
+        } else {
+            1.0
+        };
+        println!(
+            "{:<38} {:>6} {:>7} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8.2}x",
+            c.label,
+            s.pressure_high_crossings,
+            s.proactive_evictions,
+            s.phase_changes,
+            s.resolves,
+            s.hint_demotions,
+            s.hint_promotions,
+            s.spills,
+            s.pin_starvations,
+            overhead,
+        );
+    }
+    if r.divergent.is_empty() {
+        println!("pressured runs matched the all-local oracle on every seed");
+        return Ok(());
+    }
+    for line in &r.log {
+        eprintln!("{line}");
+    }
+    Err(format!(
+        "{} diverging seed(s) under pressure: {:?}",
+        r.divergent.len(),
+        r.divergent
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +529,12 @@ mod tests {
     fn chaos_smoke_is_clean() {
         dispatch(&args("chaos --seeds 1")).expect("chaos campaign");
         assert!(dispatch(&args("chaos --seeds nope")).is_err());
+    }
+
+    #[test]
+    fn pressure_smoke_is_clean() {
+        dispatch(&args("pressure --seeds 1")).expect("pressure campaign");
+        assert!(dispatch(&args("pressure --seeds nope")).is_err());
     }
 
     #[test]

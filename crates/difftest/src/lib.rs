@@ -32,7 +32,7 @@ use cards_ir::testgen::{generate, GenConfig};
 use cards_ir::{print_module, verify_module, Module};
 use cards_net::{ChaosSchedule, ChaosTransport, FaultyTransport, SimTransport};
 use cards_passes::{compile, optimize, CompileOptions};
-use cards_runtime::{RemotingPolicy, RuntimeConfig};
+use cards_runtime::{PressureConfig, PressureSchedule, RemotingPolicy, RuntimeConfig};
 use cards_vm::Vm;
 
 /// What one execution of a program looks like from the outside. Two runs of
@@ -113,6 +113,44 @@ impl ChaosSpec {
     }
 }
 
+/// A deterministic memory-pressure schedule on the runtime's local tier
+/// (the third fault axis, symmetric to [`ChaosSpec`] on the transport):
+/// budgets shrink and recover mid-run, the governor evicts, spills, and
+/// re-solves — and none of it may change observable behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PressureSpec {
+    /// Full budgets throughout, governor off.
+    None,
+    /// [`PressureSchedule::squeeze`]: staircase down to 25% pinned, then
+    /// recovery.
+    Squeeze,
+    /// [`PressureSchedule::cliff`]: one sudden collapse to 10%, then
+    /// recovery.
+    Cliff,
+    /// [`PressureSchedule::sawtooth`]: repeating shrink/restore ramps.
+    Sawtooth,
+}
+
+impl PressureSpec {
+    fn schedule(self) -> Option<PressureSchedule> {
+        match self {
+            PressureSpec::None => None,
+            PressureSpec::Squeeze => Some(PressureSchedule::squeeze()),
+            PressureSpec::Cliff => Some(PressureSchedule::cliff()),
+            PressureSpec::Sawtooth => Some(PressureSchedule::sawtooth()),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            PressureSpec::None => "none",
+            PressureSpec::Squeeze => "squeeze",
+            PressureSpec::Cliff => "cliff",
+            PressureSpec::Sawtooth => "sawtooth",
+        }
+    }
+}
+
 /// One cell of the differential matrix.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunConfig {
@@ -124,6 +162,8 @@ pub struct RunConfig {
     pub fault: FaultSpec,
     /// Phase-scripted chaos schedule (supersedes `fault` when set).
     pub chaos: ChaosSpec,
+    /// Memory-pressure schedule (enables the governor when set).
+    pub pressure: PressureSpec,
     /// Pinned-memory budget in bytes.
     pub pinned: u64,
     /// Remotable cache budget in bytes (small, to force eviction churn).
@@ -147,7 +187,7 @@ impl RunConfig {
             RemotingPolicy::MaxReach => "max-reach".to_string(),
             RemotingPolicy::MaxUse => "max-use".to_string(),
         };
-        match self.chaos {
+        let base = match self.chaos {
             ChaosSpec::Storm(seed) => format!("{pipe}/{pol}/chaos-storm@{seed}"),
             ChaosSpec::Crash(seed) => format!("{pipe}/{pol}/chaos-crash@{seed}"),
             ChaosSpec::None if self.fault.rate > 0.0 => format!(
@@ -155,6 +195,11 @@ impl RunConfig {
                 self.fault.rate, self.fault.seed
             ),
             ChaosSpec::None => format!("{pipe}/{pol}"),
+        };
+        if self.pressure != PressureSpec::None {
+            format!("{base}/pressure-{}", self.pressure.name())
+        } else {
+            base
         }
     }
 }
@@ -192,6 +237,7 @@ pub fn config_matrix() -> Vec<RunConfig> {
         policy: RemotingPolicy::Linear,
         fault: FaultSpec::none(),
         chaos: ChaosSpec::None,
+        pressure: PressureSpec::None,
         pinned: 1 << 30,
         cache: 1 << 30,
         k: 100,
@@ -204,6 +250,7 @@ pub fn config_matrix() -> Vec<RunConfig> {
                     policy,
                     fault,
                     chaos: ChaosSpec::None,
+                    pressure: PressureSpec::None,
                     pinned: 0,
                     cache: 6 * 4096,
                     k: 50,
@@ -241,11 +288,51 @@ pub fn config_matrix() -> Vec<RunConfig> {
             policy,
             fault: FaultSpec::none(),
             chaos,
+            pressure: PressureSpec::None,
             pinned: 0,
             // Tighter than the fault cells: the chaos phases only matter
             // if data actually moves, so force churn even on small
             // programs.
             cache: 2 * 4096,
+            k: 50,
+        });
+    }
+    // Pressure cells: the local tier starves mid-run while the governor
+    // evicts, spills, and re-solves. A sample, not the full cross product —
+    // `pressure_matrix` widens this for the dedicated `cards pressure`
+    // campaign.
+    for (pipeline, pressure, policy) in [
+        (
+            Pipeline::Cards,
+            PressureSpec::Squeeze,
+            RemotingPolicy::MaxUse,
+        ),
+        (
+            Pipeline::Cards,
+            PressureSpec::Sawtooth,
+            RemotingPolicy::Linear,
+        ),
+        (
+            Pipeline::Cards,
+            PressureSpec::Cliff,
+            RemotingPolicy::Random { seed: 9 },
+        ),
+        (
+            Pipeline::TrackFm,
+            PressureSpec::Squeeze,
+            RemotingPolicy::MaxReach,
+        ),
+    ] {
+        v.push(RunConfig {
+            pipeline,
+            policy,
+            fault: FaultSpec::none(),
+            chaos: ChaosSpec::None,
+            pressure,
+            // A real pinned budget so schedules have something to shrink,
+            // and a small cache so watermark sweeps actually fire.
+            pinned: 4 * 4096,
+            cache: 4 * 4096,
             k: 50,
         });
     }
@@ -265,8 +352,38 @@ pub fn chaos_matrix() -> Vec<RunConfig> {
                     policy,
                     fault: FaultSpec::none(),
                     chaos,
+                    pressure: PressureSpec::None,
                     pinned: 0,
                     cache: 2 * 4096,
+                    k: 50,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// The widened pressure matrix behind `cards pressure`: {TrackFM, CaRDS} ×
+/// the four policies × {squeeze, cliff, sawtooth}. Every cell must still
+/// match the all-local oracle — pressure may cost cycles, never
+/// correctness.
+pub fn pressure_matrix() -> Vec<RunConfig> {
+    let mut v = Vec::new();
+    for pipeline in [Pipeline::TrackFm, Pipeline::Cards] {
+        for policy in policies() {
+            for pressure in [
+                PressureSpec::Squeeze,
+                PressureSpec::Cliff,
+                PressureSpec::Sawtooth,
+            ] {
+                v.push(RunConfig {
+                    pipeline,
+                    policy,
+                    fault: FaultSpec::none(),
+                    chaos: ChaosSpec::None,
+                    pressure,
+                    pinned: 4 * 4096,
+                    cache: 4 * 4096,
                     k: 50,
                 });
             }
@@ -354,13 +471,20 @@ pub fn observe(m: &Module, cfg: &RunConfig) -> Observation {
         );
         return observe_run(vm);
     }
-    let vm = Vm::new(
+    let mut rt_cfg = RuntimeConfig::new(cfg.pinned, cfg.cache);
+    if cfg.pressure != PressureSpec::None {
+        rt_cfg = rt_cfg.with_pressure(PressureConfig::governed());
+    }
+    let mut vm = Vm::new(
         compiled.module,
-        RuntimeConfig::new(cfg.pinned, cfg.cache),
+        rt_cfg,
         FaultyTransport::new(SimTransport::default(), cfg.fault.rate, cfg.fault.seed),
         cfg.policy,
         cfg.k,
     );
+    if let Some(sched) = cfg.pressure.schedule() {
+        vm.runtime_mut().set_pressure_schedule(sched);
+    }
     observe_run(vm)
 }
 
@@ -514,6 +638,178 @@ pub fn run_chaos_campaign(seeds: u64, start_seed: u64, gen: GenConfig) -> ChaosR
             cell.stats.journal_replays += stats.journal_replays;
             cell.stats.breaker_trips += stats.breaker_trips;
             cell.stats.chaos_cycles += stats.chaos_cycles;
+            cell.stats.clean_cycles += stats.clean_cycles;
+            if got != oracle {
+                cell.divergent.push(seed);
+                seed_diverged = true;
+                report.log.push(format!(
+                    "seed {seed} [{}]: oracle {oracle} vs {got}",
+                    cfg.label()
+                ));
+            }
+        }
+        if seed_diverged {
+            report.divergent.push(seed);
+        }
+    }
+    report
+}
+
+/// Pressure counters harvested from one governed run (plus its unpressured
+/// twin's cycle count, for the degraded-vs-healthy comparison).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PressureRunStats {
+    /// High-watermark crossings.
+    pub pressure_high_crossings: u64,
+    /// Objects evicted by proactive watermark sweeps.
+    pub proactive_evictions: u64,
+    /// Pressure-schedule phase changes that fired.
+    pub phase_changes: u64,
+    /// Online policy re-solves applied.
+    pub resolves: u64,
+    /// Hint demotions applied by re-solves.
+    pub hint_demotions: u64,
+    /// Hint promotions applied by re-solves.
+    pub hint_promotions: u64,
+    /// Reads + writes served directly from the remote tier (spills).
+    pub spills: u64,
+    /// Pin-starvation reliefs (guard window shrunk under pressure).
+    pub pin_starvations: u64,
+    /// Modeled cycles of the pressured run.
+    pub pressured_cycles: u64,
+    /// Modeled cycles of the same cell with full budgets and no governor.
+    pub clean_cycles: u64,
+}
+
+/// Run one pressure cell and harvest both the observation and the governor
+/// counters, plus an unpressured twin of the same cell for the cycle
+/// baseline. Panics if `cfg.pressure` is `PressureSpec::None`.
+pub fn observe_pressure(m: &Module, cfg: &RunConfig) -> (Observation, PressureRunStats) {
+    let sched = cfg
+        .pressure
+        .schedule()
+        .expect("observe_pressure requires a pressure cell");
+    let mut module = m.clone();
+    optimize(&mut module);
+    let opts = match cfg.pipeline {
+        Pipeline::OptOnly => panic!("pressure cells are far-memory cells"),
+        Pipeline::TrackFm => CompileOptions::trackfm(),
+        Pipeline::Cards => CompileOptions::cards(),
+    };
+    let compiled = match compile(module, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            return (
+                Observation {
+                    ret: None,
+                    digest: None,
+                    error: Some(format!("compile failed: {e}")),
+                },
+                PressureRunStats::default(),
+            )
+        }
+    };
+    let mut vm = Vm::new(
+        compiled.module.clone(),
+        RuntimeConfig::new(cfg.pinned, cfg.cache).with_pressure(PressureConfig::governed()),
+        SimTransport::default(),
+        cfg.policy,
+        cfg.k,
+    );
+    vm.runtime_mut().set_pressure_schedule(sched);
+    let obs = match vm.run("main", &[]) {
+        Ok(ret) => Observation {
+            ret,
+            digest: vm.global_u64("digest"),
+            error: None,
+        },
+        Err(e) => Observation {
+            ret: None,
+            digest: None,
+            error: Some(e.to_string()),
+        },
+    };
+    let g = vm.runtime().stats();
+    let mut stats = PressureRunStats {
+        pressure_high_crossings: g.pressure_high_crossings,
+        proactive_evictions: g.proactive_evictions,
+        phase_changes: g.pressure_phase_changes,
+        resolves: g.resolves,
+        hint_demotions: g.hint_demotions,
+        hint_promotions: g.hint_promotions,
+        spills: g.spill_reads + g.spill_writes,
+        pin_starvations: g.pin_starvations,
+        pressured_cycles: g.cycles,
+        clean_cycles: 0,
+    };
+    let mut clean_vm = Vm::new(
+        compiled.module,
+        RuntimeConfig::new(cfg.pinned, cfg.cache),
+        SimTransport::default(),
+        cfg.policy,
+        cfg.k,
+    );
+    let _ = clean_vm.run("main", &[]);
+    stats.clean_cycles = clean_vm.runtime().stats().cycles;
+    (obs, stats)
+}
+
+/// Aggregated outcome of one pressure-matrix cell across a whole campaign.
+#[derive(Clone, Debug, Default)]
+pub struct PressureCellReport {
+    /// The cell's [`RunConfig::label`].
+    pub label: String,
+    /// Seeds that diverged from the all-local oracle in this cell.
+    pub divergent: Vec<u64>,
+    /// Summed governor counters over every seed.
+    pub stats: PressureRunStats,
+}
+
+/// Outcome of [`run_pressure_campaign`].
+#[derive(Clone, Debug, Default)]
+pub struct PressureReport {
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// Per-cell aggregates, in [`pressure_matrix`] order.
+    pub cells: Vec<PressureCellReport>,
+    /// Seeds with at least one diverging cell.
+    pub divergent: Vec<u64>,
+    /// One human-readable line per divergence.
+    pub log: Vec<String>,
+}
+
+/// Fuzz `seeds` generated programs through [`pressure_matrix`]: every cell
+/// must match the all-local oracle even while the local tier starves and
+/// recovers mid-run.
+pub fn run_pressure_campaign(seeds: u64, start_seed: u64, gen: GenConfig) -> PressureReport {
+    let matrix = pressure_matrix();
+    let mut report = PressureReport {
+        cells: matrix
+            .iter()
+            .map(|c| PressureCellReport {
+                label: c.label(),
+                ..Default::default()
+            })
+            .collect(),
+        ..Default::default()
+    };
+    for seed in start_seed..start_seed + seeds {
+        let module = generate(seed, gen);
+        let oracle = observe_oracle(&module);
+        report.seeds_run += 1;
+        let mut seed_diverged = false;
+        for (i, cfg) in matrix.iter().enumerate() {
+            let (got, stats) = observe_pressure(&module, cfg);
+            let cell = &mut report.cells[i];
+            cell.stats.pressure_high_crossings += stats.pressure_high_crossings;
+            cell.stats.proactive_evictions += stats.proactive_evictions;
+            cell.stats.phase_changes += stats.phase_changes;
+            cell.stats.resolves += stats.resolves;
+            cell.stats.hint_demotions += stats.hint_demotions;
+            cell.stats.hint_promotions += stats.hint_promotions;
+            cell.stats.spills += stats.spills;
+            cell.stats.pin_starvations += stats.pin_starvations;
+            cell.stats.pressured_cycles += stats.pressured_cycles;
             cell.stats.clean_cycles += stats.clean_cycles;
             if got != oracle {
                 cell.divergent.push(seed);
@@ -710,7 +1006,7 @@ mod tests {
     #[test]
     fn matrix_covers_policies_pipelines_and_fault_schedules() {
         let m = config_matrix();
-        assert_eq!(m.len(), 21);
+        assert_eq!(m.len(), 25);
         let far: Vec<&RunConfig> = m
             .iter()
             .filter(|c| c.pipeline != Pipeline::OptOnly)
@@ -721,12 +1017,21 @@ mod tests {
         let faulty = far.iter().filter(|c| c.fault.rate > 0.0).count();
         let clean = far
             .iter()
-            .filter(|c| c.fault.rate == 0.0 && c.chaos == ChaosSpec::None)
+            .filter(|c| {
+                c.fault.rate == 0.0
+                    && c.chaos == ChaosSpec::None
+                    && c.pressure == PressureSpec::None
+            })
             .count();
         let chaos = far.iter().filter(|c| c.chaos != ChaosSpec::None).count();
+        let pressure = far
+            .iter()
+            .filter(|c| c.pressure != PressureSpec::None)
+            .count();
         assert_eq!(faulty, 8, "each far cell pairs with a faulty twin");
         assert_eq!(clean, 8);
         assert_eq!(chaos, 4, "both pipelines see storm and crash chaos");
+        assert_eq!(pressure, 4, "both pipelines see pressure schedules");
         for pipeline in [Pipeline::TrackFm, Pipeline::Cards] {
             assert!(far
                 .iter()
@@ -734,6 +1039,17 @@ mod tests {
             assert!(far
                 .iter()
                 .any(|c| c.pipeline == pipeline && matches!(c.chaos, ChaosSpec::Crash(_))));
+            assert!(far
+                .iter()
+                .any(|c| c.pipeline == pipeline && c.pressure != PressureSpec::None));
+        }
+        // Every pressure schedule kind appears somewhere in the sample.
+        for spec in [
+            PressureSpec::Squeeze,
+            PressureSpec::Cliff,
+            PressureSpec::Sawtooth,
+        ] {
+            assert!(far.iter().any(|c| c.pressure == spec), "missing {spec:?}");
         }
         assert!(m.iter().any(|c| c.pipeline == Pipeline::OptOnly));
         assert!(m.iter().any(|c| c.pipeline == Pipeline::TrackFm));
@@ -747,6 +1063,50 @@ mod tests {
         assert!(m.iter().all(|c| c.chaos != ChaosSpec::None));
         let labels: std::collections::HashSet<String> = m.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), m.len());
+    }
+
+    #[test]
+    fn pressure_matrix_is_the_full_cross_product() {
+        let m = pressure_matrix();
+        assert_eq!(m.len(), 24, "2 pipelines x 4 policies x 3 schedules");
+        assert!(m.iter().all(|c| c.pressure != PressureSpec::None));
+        assert!(m.iter().all(|c| c.chaos == ChaosSpec::None));
+        assert!(
+            m.iter().all(|c| c.pinned > 0),
+            "schedules need a pinned budget to shrink"
+        );
+        let labels: std::collections::HashSet<String> = m.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), m.len());
+    }
+
+    /// A slice of the acceptance bar (the CI campaign runs the full seed
+    /// range): a starving, recovering local tier — watermark sweeps,
+    /// spills, forced re-solves — must never change observable behaviour,
+    /// and the schedules must actually fire so the governor is exercised,
+    /// not skipped.
+    #[test]
+    fn pressure_campaign_sample_matches_oracle() {
+        let r = run_pressure_campaign(3, 1, GenConfig::chaos());
+        assert_eq!(r.seeds_run, 3);
+        assert!(
+            r.divergent.is_empty(),
+            "pressure must not change results: {:?}\n{}",
+            r.divergent,
+            r.log.join("\n")
+        );
+        let phases: u64 = r.cells.iter().map(|c| c.stats.phase_changes).sum();
+        assert!(phases > 0, "pressure phases must fire across the campaign");
+        let activity: u64 = r
+            .cells
+            .iter()
+            .map(|c| {
+                c.stats.pressure_high_crossings
+                    + c.stats.proactive_evictions
+                    + c.stats.spills
+                    + c.stats.resolves
+            })
+            .sum();
+        assert!(activity > 0, "the governor must actually do something");
     }
 
     #[test]

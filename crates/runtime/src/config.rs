@@ -1,5 +1,6 @@
 //! Runtime configuration: local-memory budgets and primitive cycle costs.
 
+use crate::pressure::PressureConfig;
 use crate::telemetry::TelemetryConfig;
 
 /// Cycle costs of the runtime's CPU-side primitives, matching the shape of
@@ -87,6 +88,9 @@ pub struct RuntimeConfig {
     pub prefetch_batch: usize,
     /// Telemetry collection knobs (event ring, histograms, epochs).
     pub telemetry: TelemetryConfig,
+    /// Memory-pressure governor knobs (watermark sweeps, thrashing
+    /// detector, re-solve hysteresis). Disabled by default.
+    pub pressure: PressureConfig,
 }
 
 impl RuntimeConfig {
@@ -105,6 +109,7 @@ impl RuntimeConfig {
             journal_flush_every: 16,
             prefetch_batch: 8,
             telemetry: TelemetryConfig::default(),
+            pressure: PressureConfig::default(),
         }
     }
 
@@ -155,6 +160,12 @@ impl RuntimeConfig {
     /// Builder-style: writeback-journal flush interval (0 disables).
     pub fn with_journal(mut self, flush_every: u32) -> Self {
         self.journal_flush_every = flush_every;
+        self
+    }
+
+    /// Builder-style: memory-pressure governor knobs.
+    pub fn with_pressure(mut self, pressure: PressureConfig) -> Self {
+        self.pressure = pressure;
         self
     }
 

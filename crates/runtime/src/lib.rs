@@ -24,6 +24,7 @@ pub mod config;
 pub mod farptr;
 pub mod policy;
 pub mod prefetch;
+pub mod pressure;
 pub mod report;
 pub mod runtime;
 pub mod spec;
@@ -32,8 +33,12 @@ pub mod telemetry;
 
 pub use config::{CostModel, RuntimeConfig};
 pub use farptr::{FarPtr, MAX_HANDLE, OFFSET_MASK, TAG_SHIFT};
-pub use policy::{assign_hints, assign_hints_explained, PolicyDecision, RemotingPolicy};
+pub use policy::{
+    assign_hints, assign_hints_explained, reassign_hints_online, DsLoad, HintChange,
+    PolicyDecision, RemotingPolicy,
+};
 pub use prefetch::{build_prefetcher, PrefetchTarget, Prefetcher};
+pub use pressure::{PressureConfig, PressurePhase, PressureSchedule};
 pub use report::render_report;
 pub use runtime::{Access, FarMemRuntime, RtError};
 pub use spec::{DsPriority, DsSpec, PrefetchKind, StaticHint};

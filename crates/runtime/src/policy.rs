@@ -143,6 +143,168 @@ pub fn assign_hints_explained(
     (hints, decisions)
 }
 
+/// A per-DS load sample fed to the online re-solver: how much pinned and
+/// remotable residency the DS holds right now, and its recent per-epoch
+/// velocities from the telemetry epoch deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DsLoad {
+    /// Runtime handle of the DS.
+    pub handle: u16,
+    /// Pinned bytes the governor may reclaim by demoting this DS
+    /// (breaker-pinned bytes excluded — degraded mode wins).
+    pub pinned_bytes: u64,
+    /// Unpinned resident bytes a promotion would soft-pin.
+    pub resident_bytes: u64,
+    /// Decayed misses per epoch.
+    pub miss_velocity: u64,
+    /// Decayed evictions per epoch.
+    pub eviction_velocity: u64,
+    /// Decayed hits per epoch (the "how hot is the pinned set" signal).
+    pub hit_velocity: u64,
+    /// Compiler use score (re-solve tie-breaker, same as MaxUse).
+    pub use_score: u32,
+    /// False while the DS is inside its post-change cooldown window; the
+    /// hysteresis guard that keeps the governor from flapping.
+    pub eligible: bool,
+}
+
+/// One hint change decided by [`reassign_hints_online`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum HintChange {
+    /// Release the DS's pinned residency to the remotable tier.
+    Demote {
+        /// Runtime handle of the DS.
+        handle: u16,
+        /// Human-readable explanation (mirrors [`PolicyDecision::why`]).
+        why: String,
+    },
+    /// Soft-pin the DS's resident set (it stays remotable for dispatch
+    /// purposes, but its objects are held in pinned memory).
+    Promote {
+        /// Runtime handle of the DS.
+        handle: u16,
+        /// Human-readable explanation.
+        why: String,
+    },
+}
+
+impl HintChange {
+    /// The handle the change applies to.
+    pub fn handle(&self) -> u16 {
+        match self {
+            HintChange::Demote { handle, .. } | HintChange::Promote { handle, .. } => *handle,
+        }
+    }
+}
+
+/// Online policy re-solve under memory pressure: given live per-DS load
+/// samples, decide which hints to change *now*, without recompiling.
+///
+/// Two rules, applied in order:
+///
+/// 1. **Forced demotions** — if the pinned tier holds more than
+///    `pinned_budget` (a pressure schedule shrank it), demote the coldest
+///    pinned tenants (lowest hit velocity, then use score, then handle)
+///    until the tier fits. Budget correctness overrides the hysteresis
+///    guard, so `eligible` is ignored here.
+/// 2. **Thrash-driven promotion** — the hottest thrashing DS (miss +
+///    eviction velocity ≥ `thrash_threshold`, eligible, not already
+///    pinned, with resident bytes to pin) is promoted if its resident set
+///    fits the pinned budget, demoting strictly-colder eligible pinned
+///    tenants to make room. "Strictly colder" uses a 2× velocity margin,
+///    so a promote/demote pair can never trade places back and forth.
+///    At most one promotion per re-solve keeps the governor gentle.
+///
+/// Deterministic: every ordering is a total order over the input values
+/// and handles. Returns demotions before promotions (free, then spend).
+pub fn reassign_hints_online(
+    loads: &[DsLoad],
+    pinned_budget: u64,
+    thrash_threshold: u64,
+) -> Vec<HintChange> {
+    let mut changes: Vec<HintChange> = Vec::new();
+    let mut pinned_used: u64 = loads.iter().map(|l| l.pinned_bytes).sum();
+    let mut demoted: Vec<u16> = Vec::new();
+
+    // Rule 1: the pinned tier shrank under its tenants.
+    if pinned_used > pinned_budget {
+        let mut order: Vec<&DsLoad> = loads.iter().filter(|l| l.pinned_bytes > 0).collect();
+        order.sort_by_key(|l| (l.hit_velocity, l.use_score, l.handle));
+        for l in order {
+            if pinned_used <= pinned_budget {
+                break;
+            }
+            pinned_used = pinned_used.saturating_sub(l.pinned_bytes);
+            demoted.push(l.handle);
+            changes.push(HintChange::Demote {
+                handle: l.handle,
+                why: format!(
+                    "pressure: pinned tier over budget ({}B > {}B), coldest tenant (hit velocity {}/epoch)",
+                    pinned_used.saturating_add(l.pinned_bytes),
+                    pinned_budget,
+                    l.hit_velocity
+                ),
+            });
+        }
+    }
+
+    // Rule 2: promote the hottest thrasher, if the hysteresis guard and
+    // the budget allow it.
+    let mut thrashers: Vec<&DsLoad> = loads
+        .iter()
+        .filter(|l| {
+            l.eligible
+                && l.pinned_bytes == 0
+                && l.resident_bytes > 0
+                && l.miss_velocity.saturating_add(l.eviction_velocity) >= thrash_threshold.max(1)
+        })
+        .collect();
+    thrashers.sort_by_key(|l| {
+        (
+            std::cmp::Reverse(l.miss_velocity.saturating_add(l.eviction_velocity)),
+            l.handle,
+        )
+    });
+    if let Some(t) = thrashers.first() {
+        let vel = t.miss_velocity.saturating_add(t.eviction_velocity);
+        let mut victims: Vec<&DsLoad> = loads
+            .iter()
+            .filter(|l| {
+                l.eligible
+                    && l.pinned_bytes > 0
+                    && !demoted.contains(&l.handle)
+                    && l.hit_velocity.saturating_mul(2) <= vel
+            })
+            .collect();
+        victims.sort_by_key(|l| (l.hit_velocity, l.use_score, l.handle));
+        let mut vi = victims.into_iter();
+        while pinned_used.saturating_add(t.resident_bytes) > pinned_budget {
+            let Some(v) = vi.next() else { break };
+            pinned_used = pinned_used.saturating_sub(v.pinned_bytes);
+            demoted.push(v.handle);
+            changes.push(HintChange::Demote {
+                handle: v.handle,
+                why: format!(
+                    "pressure: ceding pinned residency (hit velocity {}/epoch) to a thrashing structure ({}/epoch)",
+                    v.hit_velocity, vel
+                ),
+            });
+        }
+        if pinned_used.saturating_add(t.resident_bytes) <= pinned_budget {
+            changes.push(HintChange::Promote {
+                handle: t.handle,
+                why: format!(
+                    "thrash: miss+eviction velocity {}/epoch >= {}, soft-pinning {}B resident",
+                    vel,
+                    thrash_threshold.max(1),
+                    t.resident_bytes
+                ),
+            });
+        }
+    }
+    changes
+}
+
 /// Pin the `k` DSes with the highest `score`; ties broken by program order
 /// (earlier allocation wins, mirroring the paper's program-order default).
 fn top_k_by(specs: &[DsSpec], k: usize, score: impl Fn(&DsSpec) -> u32) -> Vec<StaticHint> {
@@ -242,6 +404,100 @@ mod tests {
             .collect();
         assert_eq!(pinned.len(), 2);
         assert!(pinned.iter().all(|d| d.why.contains("top 2")));
+    }
+
+    fn load(handle: u16, pinned: u64, resident: u64, miss: u64, evict: u64, hit: u64) -> DsLoad {
+        DsLoad {
+            handle,
+            pinned_bytes: pinned,
+            resident_bytes: resident,
+            miss_velocity: miss,
+            eviction_velocity: evict,
+            hit_velocity: hit,
+            use_score: 0,
+            eligible: true,
+        }
+    }
+
+    #[test]
+    fn resolve_is_a_no_op_when_nothing_is_wrong() {
+        let loads = [load(0, 4096, 0, 0, 0, 50), load(1, 0, 4096, 1, 0, 10)];
+        assert!(reassign_hints_online(&loads, 1 << 20, 8).is_empty());
+    }
+
+    #[test]
+    fn forced_demotions_evict_coldest_first_until_budget_fits() {
+        // Budget shrank to 4096; three pinned tenants, warmest last.
+        let loads = [
+            load(0, 4096, 0, 0, 0, 100),
+            load(1, 4096, 0, 0, 0, 1),
+            load(2, 4096, 0, 0, 0, 50),
+        ];
+        let ch = reassign_hints_online(&loads, 4096, 8);
+        let handles: Vec<u16> = ch.iter().map(|c| c.handle()).collect();
+        assert_eq!(handles, vec![1, 2], "coldest (ds1) then ds2; ds0 stays");
+        assert!(ch
+            .iter()
+            .all(|c| matches!(c, HintChange::Demote { why, .. } if why.contains("over budget"))));
+    }
+
+    #[test]
+    fn forced_demotions_ignore_the_cooldown_guard() {
+        let mut l = load(0, 8192, 0, 0, 0, 9);
+        l.eligible = false;
+        let ch = reassign_hints_online(&[l], 0, 8);
+        assert_eq!(ch.len(), 1, "budget correctness beats hysteresis");
+    }
+
+    #[test]
+    fn thrasher_is_promoted_when_it_fits() {
+        let loads = [load(0, 0, 8192, 10, 5, 2)];
+        let ch = reassign_hints_online(&loads, 1 << 20, 8);
+        assert_eq!(ch.len(), 1);
+        assert!(
+            matches!(&ch[0], HintChange::Promote { handle: 0, why } if why.contains("thrash")),
+            "{ch:?}"
+        );
+    }
+
+    #[test]
+    fn promotion_respects_cooldown_and_threshold() {
+        // Below threshold: nothing.
+        assert!(reassign_hints_online(&[load(0, 0, 8192, 3, 2, 0)], 1 << 20, 8).is_empty());
+        // Hot but inside cooldown: nothing (the anti-flap guard).
+        let mut l = load(0, 0, 8192, 10, 10, 0);
+        l.eligible = false;
+        assert!(reassign_hints_online(&[l], 1 << 20, 8).is_empty());
+    }
+
+    #[test]
+    fn promotion_demotes_only_strictly_colder_victims() {
+        // Thrasher at velocity 20; pinned tenant at hit velocity 15 is
+        // inside the 2x margin, so it must NOT be sacrificed.
+        let warm = [load(0, 4096, 0, 0, 0, 15), load(1, 0, 4096, 12, 8, 0)];
+        let ch = reassign_hints_online(&warm, 4096, 8);
+        assert!(
+            ch.is_empty(),
+            "no strictly-colder victim -> no change: {ch:?}"
+        );
+        // Same shape with a cold tenant (2*5 <= 20): swap happens.
+        let cold = [load(0, 4096, 0, 0, 0, 5), load(1, 0, 4096, 12, 8, 0)];
+        let ch = reassign_hints_online(&cold, 4096, 8);
+        assert_eq!(ch.len(), 2);
+        assert!(matches!(&ch[0], HintChange::Demote { handle: 0, .. }));
+        assert!(matches!(&ch[1], HintChange::Promote { handle: 1, .. }));
+    }
+
+    #[test]
+    fn at_most_one_promotion_per_resolve() {
+        let loads = [
+            load(0, 0, 4096, 30, 0, 0),
+            load(1, 0, 4096, 20, 0, 0),
+            load(2, 0, 4096, 10, 0, 0),
+        ];
+        let ch = reassign_hints_online(&loads, 1 << 20, 8);
+        assert_eq!(ch.len(), 1, "gentle governor: one promotion per pass");
+        assert_eq!(ch[0].handle(), 0, "hottest thrasher wins");
     }
 
     #[test]

@@ -143,6 +143,87 @@ pub fn render_report<T: Transport>(rt: &FarMemRuntime<T>) -> String {
             }
         }
     }
+    // Memory pressure: only rendered once the governor (or a pressure
+    // schedule) actually did something, so healthy-path reports are
+    // unchanged.
+    let pressured = g.pressure_high_crossings > 0
+        || g.proactive_evictions > 0
+        || g.pressure_phase_changes > 0
+        || g.resolves > 0
+        || g.hint_demotions > 0
+        || g.hint_promotions > 0
+        || g.spill_reads > 0
+        || g.spill_writes > 0
+        || g.pin_starvations > 0;
+    if pressured {
+        let _ = writeln!(
+            s,
+            "pressure: {} high-watermark crossings, {} proactive evictions, {} phase changes, {} pin starvations",
+            g.pressure_high_crossings,
+            g.proactive_evictions,
+            g.pressure_phase_changes,
+            g.pin_starvations,
+        );
+        let _ = writeln!(
+            s,
+            "spills: {} reads, {} writes served directly from the remote tier",
+            g.spill_reads, g.spill_writes,
+        );
+        let _ = writeln!(
+            s,
+            "re-solve: {} resolves, {} hint demotions, {} hint promotions",
+            g.resolves, g.hint_demotions, g.hint_promotions,
+        );
+        // Re-solve trail: the governor's decisions in timeline order.
+        use crate::telemetry::EventKind;
+        let tel = rt.telemetry();
+        if tel.enabled() {
+            for ev in tel.events() {
+                match &ev.kind {
+                    EventKind::Resolve {
+                        epoch,
+                        demoted,
+                        promoted,
+                    } => {
+                        let _ = writeln!(
+                            s,
+                            "  @{:<12} resolve (epoch {}): {} demoted, {} promoted",
+                            ev.cycle, epoch, demoted, promoted
+                        );
+                    }
+                    EventKind::HintDemoted { ds, why } => {
+                        let name = rt
+                            .ds_spec(*ds)
+                            .map(|sp| sp.name.clone())
+                            .unwrap_or_default();
+                        let _ = writeln!(
+                            s,
+                            "  @{:<12} demote ds{} {}: {}",
+                            ev.cycle,
+                            ds,
+                            truncate(&name, 18),
+                            why
+                        );
+                    }
+                    EventKind::HintPromoted { ds, why } => {
+                        let name = rt
+                            .ds_spec(*ds)
+                            .map(|sp| sp.name.clone())
+                            .unwrap_or_default();
+                        let _ = writeln!(
+                            s,
+                            "  @{:<12} promote ds{} {}: {}",
+                            ev.cycle,
+                            ds,
+                            truncate(&name, 18),
+                            why
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
     s
 }
 

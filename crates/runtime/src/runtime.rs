@@ -11,13 +11,15 @@
 //!   demoted to remotable and its instrumented path is used from then on).
 //! - per-DS prefetchers fed on the miss path, with batched fetches.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use cards_net::{NetError, ObjKey, SplitMix64, Transport};
 
 use crate::config::RuntimeConfig;
 use crate::farptr::FarPtr;
+use crate::policy::{reassign_hints_online, DsLoad, HintChange};
 use crate::prefetch::{build_prefetcher, PrefetchTarget, Prefetcher};
+use crate::pressure::PressureSchedule;
 use crate::spec::{DsSpec, StaticHint};
 use crate::stats::{DsStats, RuntimeStats};
 use crate::telemetry::{EventKind, HistPath, Telemetry};
@@ -139,6 +141,14 @@ struct DsState {
     breaker: BreakerState,
     /// Consecutive failed transport attempts (resets on any success).
     breaker_failures: u32,
+    /// Soft-pinned by the pressure governor (promotion): objects it
+    /// localizes are held in pinned memory while room remains, but the DS
+    /// stays `remotable` so guard dispatch is unchanged.
+    pressure_pinned: bool,
+    /// Demoted by the pressure governor: evictions of this DS's objects
+    /// enter the spill set, so accesses whose guards were compiled away
+    /// while the DS looked non-remotable stay sound (served remotely).
+    pressure_demoted: bool,
 }
 
 impl DsState {
@@ -187,6 +197,43 @@ pub struct FarMemRuntime<T: Transport> {
     /// Last server generation observed; a bump means a crash/restart
     /// happened and the journal must be replayed.
     last_generation: u64,
+    /// The last [`GUARD_PIN_WINDOW`] guarded objects, independent of any
+    /// pressure-driven shrink of `recent_guards`. When one of these is
+    /// evicted anyway (starvation relief, proactive sweep), it enters
+    /// `spill_ok` so elided guards stay sound.
+    guard_history: VecDeque<(u16, u64)>,
+    /// Objects that may be accessed directly against the remote tier even
+    /// in strict mode: a guard ran but localization could not fit them, or
+    /// their DS was governor-demoted after guards were compiled away.
+    /// Only membership is queried (never iterated), so HashSet order
+    /// cannot leak into behaviour.
+    spill_ok: HashSet<(u16, u64)>,
+    /// Active pressure fault-injection schedule, if any.
+    pressure_sched: Option<PressureSchedule>,
+    /// Guard events since the schedule was installed.
+    pressure_tick: u64,
+    /// Current schedule phase instance (`u64::MAX` = none applied yet).
+    pressure_phase: u64,
+    /// Budgets captured when the schedule was installed; phases rescale
+    /// these, not the live (already rescaled) values.
+    base_pinned: u64,
+    base_remotable: u64,
+    /// Governor pressure level: true between a high-watermark crossing and
+    /// the drain back below the low watermark (hysteresis).
+    pressure_high: bool,
+    /// Governor epochs elapsed (ticks with the telemetry epoch clock).
+    gov_epochs: u64,
+    /// Per-DS cumulative stats at the previous governor epoch (for deltas).
+    prev_epoch_stats: Vec<DsStats>,
+    /// Per-DS decayed per-epoch velocities (miss / eviction / hit).
+    miss_vel: Vec<u64>,
+    evict_vel: Vec<u64>,
+    hit_vel: Vec<u64>,
+    /// Governor epoch of each DS's last hint change (`u64::MAX` = never);
+    /// drives the per-DS re-solve cooldown.
+    last_change_epoch: Vec<u64>,
+    /// Governor epoch of the last applied re-solve.
+    last_resolve_epoch: u64,
 }
 
 /// How many recently-guarded objects are pinned against eviction. The
@@ -213,6 +260,21 @@ impl<T: Transport> FarMemRuntime<T> {
             journal: BTreeMap::new(),
             puts_since_flush: 0,
             last_generation,
+            guard_history: VecDeque::new(),
+            spill_ok: HashSet::new(),
+            pressure_sched: None,
+            pressure_tick: 0,
+            pressure_phase: u64::MAX,
+            base_pinned: cfg.pinned_bytes,
+            base_remotable: cfg.remotable_bytes,
+            pressure_high: false,
+            gov_epochs: 0,
+            prev_epoch_stats: Vec::new(),
+            miss_vel: Vec::new(),
+            evict_vel: Vec::new(),
+            hit_vel: Vec::new(),
+            last_change_epoch: Vec::new(),
+            last_resolve_epoch: 0,
         }
     }
 
@@ -261,6 +323,19 @@ impl<T: Transport> FarMemRuntime<T> {
         if self.recent_guards.len() > GUARD_PIN_WINDOW {
             self.recent_guards.pop_front();
         }
+        // Shadow history that never shrinks under pressure: the soundness
+        // record of "a guard ran recently", consulted on eviction.
+        if let Some(pos) = self
+            .guard_history
+            .iter()
+            .position(|&(h, i)| h == handle && i == idx)
+        {
+            self.guard_history.remove(pos);
+        }
+        self.guard_history.push_back((handle, idx));
+        if self.guard_history.len() > GUARD_PIN_WINDOW {
+            self.guard_history.pop_front();
+        }
         if let Some(scope) = self.scopes.last_mut() {
             if !scope.contains(&(handle, idx)) {
                 scope.push((handle, idx));
@@ -287,7 +362,14 @@ impl<T: Transport> FarMemRuntime<T> {
             probe_counter: 0,
             breaker: BreakerState::Closed,
             breaker_failures: 0,
+            pressure_pinned: false,
+            pressure_demoted: false,
         });
+        self.prev_epoch_stats.push(DsStats::default());
+        self.miss_vel.push(0);
+        self.evict_vel.push(0);
+        self.hit_vel.push(0);
+        self.last_change_epoch.push(u64::MAX);
         let cycle = self.stats.cycles;
         self.telemetry
             .emit(cycle, EventKind::DsRegister { ds: handle, hint });
@@ -341,12 +423,18 @@ impl<T: Transport> FarMemRuntime<T> {
     /// applying the runtime-override rule when pinned memory is exhausted.
     fn place_new_object(&mut self, handle: u16, idx: u64, obj_bytes: u64) -> Result<u64, RtError> {
         let dsi = handle as usize;
+        self.spill_ok.remove(&(handle, idx));
         let hint = self.ds[dsi].hint;
-        let want_pinned = matches!(hint, StaticHint::Pinned | StaticHint::PinnedIfRoom);
+        let want_pinned = (matches!(hint, StaticHint::Pinned | StaticHint::PinnedIfRoom)
+            && !self.ds[dsi].pressure_demoted)
+            || self.ds[dsi].pressure_pinned;
         if want_pinned && self.pinned_used + obj_bytes <= self.cfg.pinned_bytes {
             self.pinned_used += obj_bytes;
             // The cache may have borrowed this headroom; shrink it back.
-            let cycles = self.ensure_room(0)?;
+            let (cycles, fits) = self.ensure_room(0, false)?;
+            if !fits {
+                self.stats.overcommits += 1;
+            }
             self.stats.cycles += cycles;
             self.ds[dsi].objects.insert(
                 idx,
@@ -362,7 +450,7 @@ impl<T: Transport> FarMemRuntime<T> {
             );
             return Ok(0);
         }
-        if want_pinned {
+        if want_pinned && !self.ds[dsi].pressure_pinned {
             // Runtime override: the DS no longer fits in pinned memory.
             let ds = &mut self.ds[dsi];
             if !ds.remotable {
@@ -392,7 +480,12 @@ impl<T: Transport> FarMemRuntime<T> {
             );
             return Ok(0);
         }
-        let cycles = self.ensure_room(obj_bytes)?;
+        // Fresh data exists nowhere else, so a full cache must overcommit
+        // rather than spill: there is nothing remote to spill against yet.
+        let (cycles, fits) = self.ensure_room(obj_bytes, false)?;
+        if !fits {
+            self.stats.overcommits += 1;
+        }
         self.remotable_used += obj_bytes;
         self.ds[dsi].objects.insert(
             idx,
@@ -434,8 +527,9 @@ impl<T: Transport> FarMemRuntime<T> {
                 index: idx,
             };
             // The object no longer exists; whatever the journal held for it
-            // must never be replayed.
+            // must never be replayed (or spill-accessed).
             self.journal.remove(&key);
+            self.spill_ok.remove(&(handle, idx));
             if let Some(state) = self.ds[dsi].objects.remove(&idx) {
                 match state {
                     ObjState::Local { pinned, data, .. } => {
@@ -500,6 +594,7 @@ impl<T: Transport> FarMemRuntime<T> {
 
     /// The per-object body of `cards_deref` (Listing 4).
     fn deref_object(&mut self, handle: u16, idx: u64, access: Access) -> Result<u64, RtError> {
+        self.pressure_pulse()?;
         let dsi = handle as usize;
         self.ds[dsi].stats.guard_checks += 1;
         self.note_guarded(handle, idx);
@@ -560,10 +655,14 @@ impl<T: Transport> FarMemRuntime<T> {
                 index: idx,
             },
         );
-        let mut cycles = self.localize(handle, idx)?;
-        self.touch(dsi, idx, access);
+        let (mut cycles, resident) = self.localize(handle, idx)?;
         self.ds[dsi].prefetcher.record(idx);
-        cycles += self.run_prefetch(handle, idx)?;
+        if resident {
+            self.touch(dsi, idx, access);
+            cycles += self.run_prefetch(handle, idx)?;
+        }
+        // Non-resident after localize = spill: the access itself will move
+        // the bytes; speculation into a cache with no room is pointless.
         self.telemetry.record(HistPath::DerefRemote, cycles);
         if self.telemetry.guard_tick() {
             self.snapshot_epoch();
@@ -578,6 +677,7 @@ impl<T: Transport> FarMemRuntime<T> {
         let net = self.transport.stats();
         let cycle = self.stats.cycles;
         self.telemetry.snapshot(cycle, &ds_stats, net);
+        self.governor_epoch(&ds_stats);
     }
 
     /// Mark a resident object referenced (clock bit), dirty on writes, and
@@ -611,15 +711,37 @@ impl<T: Transport> FarMemRuntime<T> {
     }
 
     /// Fetch object `idx` of DS `handle` from the remote server into local
-    /// remotable memory (`LocalizeObject` in Listing 4).
-    fn localize(&mut self, handle: u16, idx: u64) -> Result<u64, RtError> {
+    /// remotable memory (`LocalizeObject` in Listing 4). Returns
+    /// `(cycles, resident)`: when eviction cannot make room (oversize
+    /// object, pin starvation) and the access is neither scope-pinned nor
+    /// breaker-degraded, the object is *not* fetched — it joins the spill
+    /// set and `resident` comes back false, so the caller serves the access
+    /// directly against the remote tier instead of overcommitting memory.
+    fn localize(&mut self, handle: u16, idx: u64) -> Result<(u64, bool), RtError> {
         let dsi = handle as usize;
         let obj_bytes = self.ds[dsi].spec.object_bytes;
         let key = ObjKey {
             ds: handle as u32,
             index: idx,
         };
-        let mut cycles = self.ensure_room(obj_bytes)?;
+        let (mut cycles, fits) = self.ensure_room(obj_bytes, true)?;
+        if !fits
+            && !self.breaker_degraded(dsi)
+            && !self.scope_pinned(handle, idx)
+            && (self.cfg.pressure.enabled || obj_bytes > self.effective_remotable_budget())
+        {
+            // With the governor on, any unfixable shortfall spills; with it
+            // off, only objects that could never fit (oversize) do — a
+            // merely pin-wedged cache overcommits as it always has.
+            self.spill_ok.insert((handle, idx));
+            cycles += self.cfg.costs.remote_extra;
+            return Ok((cycles, false));
+        }
+        if !fits {
+            // Scope-pinned, degraded, or legacy pin-wedged accesses end up
+            // resident: overshoot the budget rather than break guarantees.
+            self.stats.overcommits += 1;
+        }
         let before_fetch = cycles;
         let fetched = self.fetch_with_retry(key, false, &mut cycles)?;
         let fetch_cycles = cycles - before_fetch;
@@ -639,9 +761,14 @@ impl<T: Transport> FarMemRuntime<T> {
         // Greedy-recursive prefetchers inspect the payload for pointers.
         let chased = self.ds[dsi].prefetcher.observe_bytes(idx, &fetched.bytes);
         // Re-check the breaker *after* the fetch: it may have tripped during
-        // the retries. Degraded DSs keep what they localize pinned.
+        // the retries. Degraded DSs keep what they localize pinned; a
+        // governor-promoted DS gets a soft pin while pinned room remains.
         let degraded = self.breaker_degraded(dsi);
-        if degraded {
+        let soft_pin = !degraded
+            && self.ds[dsi].pressure_pinned
+            && self.pinned_used + obj_bytes <= self.cfg.pinned_bytes;
+        let pinned = degraded || soft_pin;
+        if pinned {
             self.pinned_used += obj_bytes;
         } else {
             self.remotable_used += obj_bytes;
@@ -651,18 +778,19 @@ impl<T: Transport> FarMemRuntime<T> {
             ObjState::Local {
                 data: fetched.bytes.into_boxed_slice(),
                 dirty: false,
-                pinned: degraded,
+                pinned,
                 ref_bit: true,
                 prefetched: false,
                 remote_copy: true,
                 breaker_pinned: degraded,
             },
         );
-        if !degraded {
+        if !pinned {
             self.clock.push_back((handle, idx));
         }
+        self.spill_ok.remove(&(handle, idx));
         cycles += self.chase_targets(handle, chased)?;
-        Ok(cycles)
+        Ok((cycles, true))
     }
 
     /// Issue prefetches predicted by the DS's prefetcher after a miss on
@@ -778,11 +906,18 @@ impl<T: Transport> FarMemRuntime<T> {
             ds: handle as u32,
             index: idx,
         };
-        let mut cycles = self.ensure_room(obj_bytes)?;
+        // Speculative fetches keep the historical overcommit behaviour: a
+        // prefetcher riding a fully-pinned cache is a tuning problem, not a
+        // correctness one, and spilling speculation would defeat its point.
+        let (mut cycles, fits) = self.ensure_room(obj_bytes, false)?;
+        if !fits {
+            self.stats.overcommits += 1;
+        }
         let before_fetch = cycles;
         let fetched = self.fetch_with_retry(key, true, &mut cycles)?;
         let fetch_cycles = cycles - before_fetch;
         self.remotable_used += obj_bytes;
+        self.spill_ok.remove(&(handle, idx));
         self.ds[dsi].objects.insert(
             idx,
             ObjState::Local {
@@ -1276,58 +1411,113 @@ impl<T: Transport> FarMemRuntime<T> {
     }
 
     /// Evict remotable objects (clock algorithm) until `need` more bytes
-    /// fit in the remotable budget.
-    fn ensure_room(&mut self, need: u64) -> Result<u64, RtError> {
+    /// fit in the remotable budget. Returns `(cycles, fits)`: `fits` is
+    /// false when eviction could not free enough room (oversize object, or
+    /// every resident object pinned). With `relief` set, a pin-blocked
+    /// sweep may shrink the recent-guard window once (pin-starvation
+    /// relief) before giving up; callers decide between overcommitting and
+    /// spilling when `fits` comes back false.
+    fn ensure_room(&mut self, need: u64, relief: bool) -> Result<(u64, bool), RtError> {
         let mut cycles = 0;
         let mut scanned = 0usize;
+        // Relief (and its starvation telemetry) belongs to the governor;
+        // with it disabled a wedged sweep reports !fits and the caller
+        // overcommits exactly as the pre-governor runtime did.
+        let relief = relief && self.cfg.pressure.enabled;
+        let mut relieved = false;
+        let mut starved_emitted = false;
         while self.remotable_used + need > self.effective_remotable_budget() {
-            let Some((h, idx)) = self.clock.pop_front() else {
-                // Nothing evictable: permit overshoot (oversize object).
-                self.stats.overcommits += 1;
-                break;
-            };
-            let dsi = h as usize;
-            // Recently guarded and scope-pinned objects are untouchable.
-            if self
-                .recent_guards
-                .iter()
-                .any(|&(rh, ri)| rh == h && ri == idx)
-                || self.scope_pinned(h, idx)
-            {
-                self.clock.push_back((h, idx));
-                scanned += 1;
-                if scanned > 2 * self.clock.len() + 4 {
-                    self.stats.overcommits += 1;
-                    break;
-                }
-                continue;
-            }
-            // Validate: entry may be stale.
-            let second_chance = match self.ds[dsi].objects.get_mut(&idx) {
-                Some(ObjState::Local {
-                    pinned: false,
-                    ref_bit,
-                    ..
-                }) => {
-                    // Give one round of second chances, then force-evict to
-                    // guarantee progress.
-                    if *ref_bit && scanned < self.clock.len() + 1 {
-                        *ref_bit = false;
-                        true
+            let mut stuck = false;
+            match self.clock.pop_front() {
+                None => stuck = true, // nothing evictable at all
+                Some((h, idx)) => {
+                    let dsi = h as usize;
+                    // Recently guarded and scope-pinned objects are
+                    // untouchable.
+                    if self
+                        .recent_guards
+                        .iter()
+                        .any(|&(rh, ri)| rh == h && ri == idx)
+                        || self.scope_pinned(h, idx)
+                    {
+                        self.clock.push_back((h, idx));
+                        scanned += 1;
+                        if scanned > 2 * self.clock.len() + 4 {
+                            stuck = true;
+                        }
                     } else {
-                        false
+                        // Validate: entry may be stale.
+                        let second_chance = match self.ds[dsi].objects.get_mut(&idx) {
+                            Some(ObjState::Local {
+                                pinned: false,
+                                ref_bit,
+                                ..
+                            }) => {
+                                // Give one round of second chances, then
+                                // force-evict to guarantee progress.
+                                if *ref_bit && scanned < self.clock.len() + 1 {
+                                    *ref_bit = false;
+                                    true
+                                } else {
+                                    false
+                                }
+                            }
+                            _ => continue, // stale entry (evicted, freed, pinned)
+                        };
+                        scanned += 1;
+                        if second_chance {
+                            self.clock.push_back((h, idx));
+                        } else {
+                            cycles += self.evict(h, idx)?;
+                        }
                     }
                 }
-                _ => continue, // stale entry (evicted, freed, or pinned)
-            };
-            scanned += 1;
-            if second_chance {
-                self.clock.push_back((h, idx));
+            }
+            if !stuck {
                 continue;
             }
-            cycles += self.evict(h, idx)?;
+            // Eviction is wedged. A guard-pin-saturated clock under real
+            // pressure gets one round of relief: shrink the recent-guard
+            // window (never below the soundness floor; evicted guards fall
+            // into the spill set via the shadow history) and retry.
+            let pin_blocked = !self.clock.is_empty();
+            if relief
+                && !relieved
+                && pin_blocked
+                && self.recent_guards.len() > self.cfg.pressure.min_guard_window
+            {
+                let floor = self.cfg.pressure.min_guard_window;
+                while self.recent_guards.len() > floor {
+                    self.recent_guards.pop_front();
+                }
+                self.stats.pin_starvations = self.stats.pin_starvations.saturating_add(1);
+                let (cycle, used) = (self.stats.cycles, self.remotable_used);
+                self.telemetry.emit(
+                    cycle,
+                    EventKind::PinStarvation {
+                        used,
+                        window: floor,
+                    },
+                );
+                relieved = true;
+                starved_emitted = true;
+                scanned = 0;
+                continue;
+            }
+            if self.cfg.pressure.enabled && pin_blocked && !starved_emitted {
+                self.stats.pin_starvations = self.stats.pin_starvations.saturating_add(1);
+                let (cycle, used) = (self.stats.cycles, self.remotable_used);
+                self.telemetry.emit(
+                    cycle,
+                    EventKind::PinStarvation {
+                        used,
+                        window: self.recent_guards.len(),
+                    },
+                );
+            }
+            return Ok((cycles, false));
         }
-        Ok(cycles)
+        Ok((cycles, true))
     }
 
     /// Write back (if needed) and drop one resident remotable object.
@@ -1369,6 +1559,18 @@ impl<T: Transport> FarMemRuntime<T> {
         }
         self.ds[dsi].stats.evictions += 1;
         self.ds[dsi].objects.insert(idx, ObjState::Remote);
+        // Soundness shield: if a guard ran for this object recently (it may
+        // have been elided downstream) or its DS was governor-demoted after
+        // guards were compiled away, direct accesses must keep working —
+        // route them to the remote tier instead of MissingGuard.
+        if self.ds[dsi].pressure_demoted
+            || self
+                .guard_history
+                .iter()
+                .any(|&(h2, i2)| h2 == handle && i2 == idx)
+        {
+            self.spill_ok.insert((handle, idx));
+        }
         let cycle = self.stats.cycles;
         self.telemetry.emit(
             cycle,
@@ -1393,10 +1595,15 @@ impl<T: Transport> FarMemRuntime<T> {
             return Err(RtError::UnknownHandle(handle));
         }
         let idx = ptr.offset() >> self.ds[dsi].spec.obj_shift();
-        // Remove any pin so the eviction is allowed.
+        // Remove any pin so the eviction is allowed. Explicit evacuation
+        // also forgets the guard history and spill permit: callers asked
+        // for the object to be strictly non-resident.
         self.recent_guards
             .retain(|&(h, i)| !(h == handle && i == idx));
+        self.guard_history
+            .retain(|&(h, i)| !(h == handle && i == idx));
         let cycles = self.evict(handle, idx)?;
+        self.spill_ok.remove(&(handle, idx));
         self.stats.cycles += cycles;
         Ok(cycles)
     }
@@ -1464,24 +1671,64 @@ impl<T: Transport> FarMemRuntime<T> {
             let idx = cur >> shift;
             let within = cur & (obj_bytes - 1);
             let chunk = (obj_bytes - within).min(len - done);
-            // Residency check.
+            // Residency check. Non-resident objects with a spill permit
+            // (oversize, pin-starved, or governor-demoted after guard
+            // elision) are served directly against the remote tier — legal
+            // even in strict mode, because a guard did run for them.
+            let mut spill = false;
             if !matches!(self.ds[dsi].objects.get(&idx), Some(ObjState::Local { .. })) {
-                if self.cfg.strict_guards {
+                if self.spill_ok.contains(&(handle, idx)) {
+                    spill = true;
+                } else if self.cfg.strict_guards {
                     return Err(RtError::MissingGuard {
                         ds: handle,
                         index: idx,
                     });
+                } else {
+                    self.ds[dsi].stats.misses += 1;
+                    self.stats.derefs_remote += 1;
+                    let (c, resident) = self.localize(handle, idx)?;
+                    cycles += c;
+                    spill = !resident;
                 }
-                self.ds[dsi].stats.misses += 1;
-                self.stats.derefs_remote += 1;
-                cycles += self.localize(handle, idx)?;
+            }
+            let r = within as usize..(within + chunk) as usize;
+            let b = done as usize..(done + chunk) as usize;
+            if spill {
+                let key = ObjKey {
+                    ds: handle as u32,
+                    index: idx,
+                };
+                let write = access == Access::Write;
+                let before = cycles;
+                let mut fetched = self.fetch_with_retry(key, false, &mut cycles)?;
+                cycles += self.cfg.costs.remote_extra;
+                copy(&mut fetched.bytes, r, &mut buf[b]);
+                if write {
+                    self.put_with_retry(key, &fetched.bytes, &mut cycles)?;
+                    self.stats.spill_writes = self.stats.spill_writes.saturating_add(1);
+                } else {
+                    self.stats.spill_reads = self.stats.spill_reads.saturating_add(1);
+                }
+                self.ds[dsi].stats.spills = self.ds[dsi].stats.spills.saturating_add(1);
+                let cycle = self.stats.cycles;
+                self.telemetry
+                    .record(HistPath::DerefRemote, cycles - before);
+                self.telemetry.emit(
+                    cycle,
+                    EventKind::Spill {
+                        ds: handle,
+                        index: idx,
+                        write,
+                    },
+                );
+                done += chunk;
+                continue;
             }
             self.touch(dsi, idx, access);
             let Some(ObjState::Local { data, .. }) = self.ds[dsi].objects.get_mut(&idx) else {
                 unreachable!("object localized above");
             };
-            let r = within as usize..(within + chunk) as usize;
-            let b = done as usize..(done + chunk) as usize;
             copy(data, r, &mut buf[b]);
             done += chunk;
         }
@@ -1540,6 +1787,364 @@ impl<T: Transport> FarMemRuntime<T> {
             self.stats.cycles += cycles;
         }
         cycles
+    }
+
+    // ---- memory-pressure governor ----
+
+    /// Install a pressure fault-injection schedule. Phases rescale the
+    /// budgets captured *now*; ticks advance once per guard event, so
+    /// replays of the same workload see identical pressure timelines.
+    pub fn set_pressure_schedule(&mut self, sched: PressureSchedule) {
+        self.base_pinned = self.cfg.pinned_bytes;
+        self.base_remotable = self.cfg.remotable_bytes;
+        self.pressure_phase = u64::MAX;
+        self.pressure_tick = 0;
+        self.pressure_sched = Some(sched);
+    }
+
+    /// Per-guard governor pulse: advance the fault-injection schedule (if
+    /// any) and run the watermark logic (if the governor is enabled).
+    fn pressure_pulse(&mut self) -> Result<(), RtError> {
+        let at = self
+            .pressure_sched
+            .as_ref()
+            .map(|s| s.at(self.pressure_tick));
+        if let Some((instance, pinned_pct, remotable_pct)) = at {
+            self.pressure_tick += 1;
+            if instance != self.pressure_phase {
+                self.pressure_phase = instance;
+                self.cfg.pinned_bytes = self.base_pinned.saturating_mul(pinned_pct as u64) / 100;
+                self.cfg.remotable_bytes =
+                    self.base_remotable.saturating_mul(remotable_pct as u64) / 100;
+                self.stats.pressure_phase_changes =
+                    self.stats.pressure_phase_changes.saturating_add(1);
+                let cycle = self.stats.cycles;
+                self.telemetry.emit(
+                    cycle,
+                    EventKind::PressurePhase {
+                        phase: instance,
+                        pinned_pct,
+                        remotable_pct,
+                    },
+                );
+                if self.pinned_used > self.cfg.pinned_bytes {
+                    // The pinned tier no longer fits its budget: a re-solve
+                    // is a correctness matter, not a tuning one, so it runs
+                    // even with the governor disabled.
+                    self.run_resolve();
+                }
+                if self.cfg.pressure.enabled {
+                    self.proactive_sweep()?;
+                }
+            }
+        }
+        if !self.cfg.pressure.enabled {
+            return Ok(());
+        }
+        let budget = self.effective_remotable_budget();
+        let high = budget.saturating_mul(self.cfg.pressure.high_watermark_pct as u64) / 100;
+        let low = budget.saturating_mul(self.cfg.pressure.low_watermark_pct as u64) / 100;
+        if !self.pressure_high && self.remotable_used > high {
+            self.pressure_high = true;
+            self.stats.pressure_high_crossings =
+                self.stats.pressure_high_crossings.saturating_add(1);
+            let (cycle, used) = (self.stats.cycles, self.remotable_used);
+            self.telemetry
+                .emit(cycle, EventKind::PressureHigh { used, budget });
+            self.proactive_sweep()?;
+        } else if self.pressure_high && self.remotable_used <= low {
+            self.pressure_high = false;
+        } else if self.pressure_high {
+            self.proactive_sweep()?;
+        }
+        Ok(())
+    }
+
+    /// Batched proactive eviction: drain the remotable tier toward the low
+    /// watermark, at most `evict_batch` evictions per sweep, using the same
+    /// skip/second-chance rules as demand eviction.
+    fn proactive_sweep(&mut self) -> Result<(), RtError> {
+        let budget = self.effective_remotable_budget();
+        let low = budget.saturating_mul(self.cfg.pressure.low_watermark_pct as u64) / 100;
+        let mut cycles = 0u64;
+        let mut evicted = 0u64;
+        let mut freed = 0u64;
+        let mut scanned = 0usize;
+        while self.remotable_used > low && evicted < self.cfg.pressure.evict_batch as u64 {
+            let Some((h, idx)) = self.clock.pop_front() else {
+                break;
+            };
+            let dsi = h as usize;
+            if self
+                .recent_guards
+                .iter()
+                .any(|&(rh, ri)| rh == h && ri == idx)
+                || self.scope_pinned(h, idx)
+            {
+                self.clock.push_back((h, idx));
+                scanned += 1;
+                if scanned > 2 * self.clock.len() + 4 {
+                    break;
+                }
+                continue;
+            }
+            let second_chance = match self.ds[dsi].objects.get_mut(&idx) {
+                Some(ObjState::Local {
+                    pinned: false,
+                    ref_bit,
+                    ..
+                }) => {
+                    if *ref_bit && scanned < self.clock.len() + 1 {
+                        *ref_bit = false;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => continue, // stale entry
+            };
+            scanned += 1;
+            if second_chance {
+                self.clock.push_back((h, idx));
+                continue;
+            }
+            let before = self.remotable_used;
+            cycles += self.evict(h, idx)?;
+            evicted += 1;
+            freed += before.saturating_sub(self.remotable_used);
+        }
+        if evicted > 0 {
+            self.stats.proactive_evictions = self.stats.proactive_evictions.saturating_add(evicted);
+            self.stats.cycles += cycles;
+            let cycle = self.stats.cycles;
+            self.telemetry.emit(
+                cycle,
+                EventKind::ProactiveEvict {
+                    evicted,
+                    bytes: freed,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// One governor epoch: refresh per-DS velocities from the epoch deltas
+    /// and re-solve the placement policy if something is thrashing (and the
+    /// global cooldown has expired). Rides the telemetry epoch clock, so it
+    /// costs nothing when telemetry epochs are off.
+    fn governor_epoch(&mut self, ds_stats: &[DsStats]) {
+        if !self.cfg.pressure.enabled {
+            return;
+        }
+        self.gov_epochs += 1;
+        for (dsi, s) in ds_stats.iter().enumerate() {
+            let prev = self.prev_epoch_stats[dsi];
+            let dm = s.misses.saturating_sub(prev.misses);
+            let de = s.evictions.saturating_sub(prev.evictions);
+            let dh = s.hits.saturating_sub(prev.hits);
+            // EWMA with alpha = 1/2: integer-only, decays in a few epochs.
+            self.miss_vel[dsi] = (self.miss_vel[dsi] + dm) / 2;
+            self.evict_vel[dsi] = (self.evict_vel[dsi] + de) / 2;
+            self.hit_vel[dsi] = (self.hit_vel[dsi] + dh) / 2;
+            self.prev_epoch_stats[dsi] = *s;
+        }
+        let cooldown = self.cfg.pressure.resolve_cooldown_epochs;
+        if self.gov_epochs.saturating_sub(self.last_resolve_epoch) < cooldown {
+            return;
+        }
+        let threshold = self.cfg.pressure.thrash_threshold.max(1);
+        let thrashing = (0..self.ds.len())
+            .any(|i| self.miss_vel[i].saturating_add(self.evict_vel[i]) >= threshold);
+        if thrashing {
+            self.run_resolve();
+        }
+    }
+
+    /// Re-solve the placement policy against live load samples and apply
+    /// whatever hint changes come back.
+    fn run_resolve(&mut self) {
+        let loads = self.build_loads();
+        let changes = reassign_hints_online(
+            &loads,
+            self.cfg.pinned_bytes,
+            self.cfg.pressure.thrash_threshold,
+        );
+        let (mut demoted, mut promoted) = (0u64, 0u64);
+        for ch in changes {
+            match ch {
+                HintChange::Demote { handle, why } => {
+                    if self.apply_demotion(handle, &why) {
+                        demoted += 1;
+                    }
+                }
+                HintChange::Promote { handle, why } => {
+                    if self.apply_promotion(handle, &why) {
+                        promoted += 1;
+                    }
+                }
+            }
+        }
+        if demoted + promoted > 0 {
+            self.stats.resolves = self.stats.resolves.saturating_add(1);
+            self.last_resolve_epoch = self.gov_epochs;
+            let (cycle, epoch) = (self.stats.cycles, self.gov_epochs);
+            self.telemetry.emit(
+                cycle,
+                EventKind::Resolve {
+                    epoch,
+                    demoted,
+                    promoted,
+                },
+            );
+        }
+    }
+
+    /// Sample every DS's live load for the online solver. Byte sums iterate
+    /// a HashMap, but addition is order-independent, so determinism holds.
+    fn build_loads(&self) -> Vec<DsLoad> {
+        let mut loads = Vec::with_capacity(self.ds.len());
+        for (dsi, ds) in self.ds.iter().enumerate() {
+            let mut pinned_bytes = 0u64;
+            let mut resident_bytes = 0u64;
+            for st in ds.objects.values() {
+                if let ObjState::Local {
+                    pinned,
+                    breaker_pinned,
+                    data,
+                    ..
+                } = st
+                {
+                    if *pinned && !*breaker_pinned {
+                        pinned_bytes += data.len() as u64;
+                    } else if !*pinned {
+                        resident_bytes += data.len() as u64;
+                    }
+                }
+            }
+            loads.push(DsLoad {
+                handle: dsi as u16,
+                pinned_bytes,
+                resident_bytes,
+                miss_velocity: self.miss_vel[dsi],
+                eviction_velocity: self.evict_vel[dsi],
+                hit_velocity: self.hit_vel[dsi],
+                use_score: ds.spec.priority.use_score,
+                eligible: self.last_change_epoch[dsi] == u64::MAX
+                    || self.gov_epochs.saturating_sub(self.last_change_epoch[dsi])
+                        >= self.cfg.pressure.resolve_cooldown_epochs,
+            });
+        }
+        loads
+    }
+
+    /// Apply a demotion: unpin the DS's policy-pinned residency onto the
+    /// clock, flip it remotable, and mark it governor-demoted (future
+    /// evictions of its objects enter the spill set). Breaker pins are
+    /// untouched — degraded mode wins. Returns whether anything changed.
+    fn apply_demotion(&mut self, handle: u16, why: &str) -> bool {
+        let dsi = handle as usize;
+        if dsi >= self.ds.len() {
+            return false;
+        }
+        let changed_flags = !self.ds[dsi].remotable
+            || self.ds[dsi].pressure_pinned
+            || !self.ds[dsi].pressure_demoted;
+        let mut moved = 0u64;
+        let mut indices = Vec::new();
+        for (idx, st) in self.ds[dsi].objects.iter_mut() {
+            if let ObjState::Local {
+                pinned: pinned @ true,
+                breaker_pinned: false,
+                data,
+                ..
+            } = st
+            {
+                *pinned = false;
+                moved += data.len() as u64;
+                indices.push(*idx);
+            }
+        }
+        if moved == 0 && !changed_flags {
+            return false;
+        }
+        // Sorted hand-back: HashMap order must not leak into the clock.
+        indices.sort_unstable();
+        self.pinned_used -= moved;
+        self.remotable_used += moved;
+        for idx in indices {
+            self.clock.push_back((handle, idx));
+        }
+        let ds = &mut self.ds[dsi];
+        ds.remotable = true;
+        ds.pressure_pinned = false;
+        ds.pressure_demoted = true;
+        ds.stats.hint_demotions = ds.stats.hint_demotions.saturating_add(1);
+        self.stats.hint_demotions = self.stats.hint_demotions.saturating_add(1);
+        self.last_change_epoch[dsi] = self.gov_epochs;
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::HintDemoted {
+                ds: handle,
+                why: why.to_string(),
+            },
+        );
+        true
+    }
+
+    /// Apply a promotion: soft-pin the DS's unpinned resident set (it stays
+    /// `remotable` for dispatch, so no guard becomes unsound) if it fits
+    /// the pinned budget. Returns whether anything changed.
+    fn apply_promotion(&mut self, handle: u16, why: &str) -> bool {
+        let dsi = handle as usize;
+        if dsi >= self.ds.len() || self.breaker_degraded(dsi) {
+            return false;
+        }
+        let mut bytes = 0u64;
+        for st in self.ds[dsi].objects.values() {
+            if let ObjState::Local {
+                pinned: false,
+                data,
+                ..
+            } = st
+            {
+                bytes += data.len() as u64;
+            }
+        }
+        if self.pinned_used.saturating_add(bytes) > self.cfg.pinned_bytes {
+            return false;
+        }
+        let changed_flags = !self.ds[dsi].pressure_pinned || self.ds[dsi].pressure_demoted;
+        if bytes == 0 && !changed_flags {
+            return false;
+        }
+        for st in self.ds[dsi].objects.values_mut() {
+            if let ObjState::Local {
+                pinned: pinned @ false,
+                ..
+            } = st
+            {
+                *pinned = true;
+            }
+        }
+        // Their clock entries go stale and are dropped on pop.
+        self.remotable_used -= bytes;
+        self.pinned_used += bytes;
+        let ds = &mut self.ds[dsi];
+        ds.pressure_pinned = true;
+        ds.pressure_demoted = false;
+        ds.stats.hint_promotions = ds.stats.hint_promotions.saturating_add(1);
+        self.stats.hint_promotions = self.stats.hint_promotions.saturating_add(1);
+        self.last_change_epoch[dsi] = self.gov_epochs;
+        let cycle = self.stats.cycles;
+        self.telemetry.emit(
+            cycle,
+            EventKind::HintPromoted {
+                ds: handle,
+                why: why.to_string(),
+            },
+        );
+        true
     }
 
     // ---- introspection ----

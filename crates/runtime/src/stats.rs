@@ -32,6 +32,13 @@ pub struct DsStats {
     pub window_issued: u64,
     /// Decaying window of recent useful prefetches (throttling input).
     pub window_useful: u64,
+    /// Accesses served directly from the remote tier because the object
+    /// could not be localized (oversize or starved cache).
+    pub spills: u64,
+    /// Times the governor demoted this DS's hint under pressure.
+    pub hint_demotions: u64,
+    /// Times the governor soft-pinned this DS as a thrashing hot set.
+    pub hint_promotions: u64,
 }
 
 impl DsStats {
@@ -107,6 +114,26 @@ pub struct RuntimeStats {
     pub crashes_detected: u64,
     /// Journal flushes that failed after retries (entries retained).
     pub flush_failures: u64,
+    /// Times remotable residency crossed the high watermark (pressure
+    /// level Normal -> High transitions).
+    pub pressure_high_crossings: u64,
+    /// Objects evicted by batched watermark sweeps (vs. demand eviction).
+    pub proactive_evictions: u64,
+    /// Budget changes applied by a pressure schedule.
+    pub pressure_phase_changes: u64,
+    /// Online policy re-solves that changed at least one hint.
+    pub resolves: u64,
+    /// Hints demoted (pinned -> remotable) by the governor.
+    pub hint_demotions: u64,
+    /// Structures soft-pinned (promoted) by the governor.
+    pub hint_promotions: u64,
+    /// Reads served directly from the remote tier (spill path).
+    pub spill_reads: u64,
+    /// Writes applied directly to the remote tier (spill path).
+    pub spill_writes: u64,
+    /// Times guard/scope pins covered the whole budget and eviction could
+    /// make no progress (recent-guard window shrunk or overcommitted).
+    pub pin_starvations: u64,
 }
 
 #[cfg(test)]

@@ -232,6 +232,70 @@ pub enum EventKind {
         /// Epoch sequence number.
         seq: u64,
     },
+    /// A pressure schedule moved to a new phase (budgets rescaled).
+    PressurePhase {
+        /// Phase instance id (unique across schedule laps).
+        phase: u64,
+        /// New pinned budget as a percent of the base budget.
+        pinned_pct: u32,
+        /// New remotable budget as a percent of the base budget.
+        remotable_pct: u32,
+    },
+    /// Remotable residency crossed the high watermark.
+    PressureHigh {
+        /// Remotable bytes resident at the crossing.
+        used: u64,
+        /// Effective remotable budget at the crossing.
+        budget: u64,
+    },
+    /// A batched watermark sweep evicted objects proactively.
+    ProactiveEvict {
+        /// Objects evicted by this sweep.
+        evicted: u64,
+        /// Bytes freed by this sweep.
+        bytes: u64,
+    },
+    /// Guard/scope pins covered the whole budget; the recent-guard window
+    /// was shrunk (or the runtime fell back to overcommit/spill).
+    PinStarvation {
+        /// Remotable bytes resident when starvation was detected.
+        used: u64,
+        /// Recent-guard window size after relief.
+        window: usize,
+    },
+    /// An access was served directly from the remote tier because the
+    /// object could not be localized.
+    Spill {
+        /// DS handle.
+        ds: u16,
+        /// Object index within the DS.
+        index: u64,
+        /// True for writes (read-modify-write-back), false for reads.
+        write: bool,
+    },
+    /// The governor demoted a DS's hint (pinned residency released).
+    HintDemoted {
+        /// DS handle.
+        ds: u16,
+        /// Human-readable explanation from the re-solver.
+        why: String,
+    },
+    /// The governor soft-pinned a thrashing DS's resident set.
+    HintPromoted {
+        /// DS handle.
+        ds: u16,
+        /// Human-readable explanation from the re-solver.
+        why: String,
+    },
+    /// An online policy re-solve changed at least one hint.
+    Resolve {
+        /// Governor epoch the re-solve ran in.
+        epoch: u64,
+        /// Hints demoted by this pass.
+        demoted: u64,
+        /// Hints promoted by this pass.
+        promoted: u64,
+    },
 }
 
 impl EventKind {
@@ -259,6 +323,14 @@ impl EventKind {
             EventKind::ScopeEnd { .. } => "scope_end",
             EventKind::Dispatch { .. } => "dispatch",
             EventKind::Epoch { .. } => "epoch",
+            EventKind::PressurePhase { .. } => "pressure_phase",
+            EventKind::PressureHigh { .. } => "pressure_high",
+            EventKind::ProactiveEvict { .. } => "proactive_evict",
+            EventKind::PinStarvation { .. } => "pin_starvation",
+            EventKind::Spill { .. } => "spill",
+            EventKind::HintDemoted { .. } => "hint_demoted",
+            EventKind::HintPromoted { .. } => "hint_promoted",
+            EventKind::Resolve { .. } => "resolve",
         }
     }
 }
@@ -719,6 +791,42 @@ fn event_fields(out: &mut String, kind: &EventKind) {
         EventKind::Epoch { seq } => {
             let _ = write!(out, "\"seq\":{seq}");
         }
+        EventKind::PressurePhase {
+            phase,
+            pinned_pct,
+            remotable_pct,
+        } => {
+            let _ = write!(
+                out,
+                "\"phase\":{phase},\"pinned_pct\":{pinned_pct},\"remotable_pct\":{remotable_pct}"
+            );
+        }
+        EventKind::PressureHigh { used, budget } => {
+            let _ = write!(out, "\"used\":{used},\"budget\":{budget}");
+        }
+        EventKind::ProactiveEvict { evicted, bytes } => {
+            let _ = write!(out, "\"evicted\":{evicted},\"bytes\":{bytes}");
+        }
+        EventKind::PinStarvation { used, window } => {
+            let _ = write!(out, "\"used\":{used},\"window\":{window}");
+        }
+        EventKind::Spill { ds, index, write } => {
+            let _ = write!(out, "\"ds\":{ds},\"index\":{index},\"write\":{write}");
+        }
+        EventKind::HintDemoted { ds, why } | EventKind::HintPromoted { ds, why } => {
+            let _ = write!(out, "\"ds\":{ds},\"why\":");
+            json_str(out, why);
+        }
+        EventKind::Resolve {
+            epoch,
+            demoted,
+            promoted,
+        } => {
+            let _ = write!(
+                out,
+                "\"epoch\":{epoch},\"demoted\":{demoted},\"promoted\":{promoted}"
+            );
+        }
     }
 }
 
@@ -812,7 +920,7 @@ pub fn export_json<T: Transport>(rt: &FarMemRuntime<T>) -> String {
         json_str(&mut s, &spec.name);
         let _ = write!(
             s,
-            ",\"remotable\":{},\"hits\":{},\"misses\":{},\"miss_ratio\":{:.4},\"evictions\":{},\"writebacks\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\"demotions\":{},\"breaker_trips\":{},\"bytes_allocated\":{}}}",
+            ",\"remotable\":{},\"hits\":{},\"misses\":{},\"miss_ratio\":{:.4},\"evictions\":{},\"writebacks\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\"demotions\":{},\"breaker_trips\":{},\"spills\":{},\"hint_demotions\":{},\"hint_promotions\":{},\"bytes_allocated\":{}}}",
             rt.is_remotable(h),
             st.hits,
             st.misses,
@@ -823,12 +931,15 @@ pub fn export_json<T: Transport>(rt: &FarMemRuntime<T>) -> String {
             st.prefetch_useful,
             st.demotions,
             st.breaker_trips,
+            st.spills,
+            st.hint_demotions,
+            st.hint_promotions,
             st.bytes_allocated
         );
     }
     let _ = write!(
         s,
-        "],\"totals\":{{\"custody_checks\":{},\"derefs_local\":{},\"derefs_remote\":{},\"remotable_checks\":{},\"retries\":{},\"overcommits\":{},\"timeouts\":{},\"corrupt_fetches\":{},\"backoff_cycles\":{},\"journal_replays\":{},\"crashes_detected\":{},\"flush_failures\":{},\"cycles\":{}}},\"net\":",
+        "],\"totals\":{{\"custody_checks\":{},\"derefs_local\":{},\"derefs_remote\":{},\"remotable_checks\":{},\"retries\":{},\"overcommits\":{},\"timeouts\":{},\"corrupt_fetches\":{},\"backoff_cycles\":{},\"journal_replays\":{},\"crashes_detected\":{},\"flush_failures\":{},\"pressure_high_crossings\":{},\"proactive_evictions\":{},\"pressure_phase_changes\":{},\"resolves\":{},\"hint_demotions\":{},\"hint_promotions\":{},\"spill_reads\":{},\"spill_writes\":{},\"pin_starvations\":{},\"cycles\":{}}},\"net\":",
         g.custody_checks,
         g.derefs_local,
         g.derefs_remote,
@@ -841,6 +952,15 @@ pub fn export_json<T: Transport>(rt: &FarMemRuntime<T>) -> String {
         g.journal_replays,
         g.crashes_detected,
         g.flush_failures,
+        g.pressure_high_crossings,
+        g.proactive_evictions,
+        g.pressure_phase_changes,
+        g.resolves,
+        g.hint_demotions,
+        g.hint_promotions,
+        g.spill_reads,
+        g.spill_writes,
+        g.pin_starvations,
         g.cycles
     );
     net_json(&mut s, &rt.net_stats());
@@ -898,7 +1018,10 @@ pub fn export_chrome_trace<T: Transport>(rt: &FarMemRuntime<T>) -> String {
             | EventKind::DsRegister { ds, .. }
             | EventKind::DsAlloc { ds, .. }
             | EventKind::Free { ds, .. }
-            | EventKind::PolicyDecision { ds, .. } => (*ds as u32 + 1, 0),
+            | EventKind::PolicyDecision { ds, .. }
+            | EventKind::Spill { ds, .. }
+            | EventKind::HintDemoted { ds, .. }
+            | EventKind::HintPromoted { ds, .. } => (*ds as u32 + 1, 0),
             EventKind::Fetch { ds, cycles, .. } | EventKind::Writeback { ds, cycles, .. } => {
                 (*ds as u32 + 1, *cycles)
             }

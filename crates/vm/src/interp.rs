@@ -196,6 +196,12 @@ impl<T: Transport> Vm<T> {
         &self.runtime
     }
 
+    /// Mutable runtime access — lets harnesses install pressure schedules
+    /// or force flushes between (not during) executions.
+    pub fn runtime_mut(&mut self) -> &mut FarMemRuntime<T> {
+        &mut self.runtime
+    }
+
     /// The module being executed.
     pub fn module(&self) -> &Module {
         &self.module
