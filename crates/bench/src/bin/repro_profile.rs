@@ -1,0 +1,24 @@
+//! Emit the stable-schema bench profile (`BENCH_profile.json`).
+//!
+//! ```text
+//! cargo run --release -p cards-bench --bin repro_profile -- [--quick] [--out PATH]
+//! ```
+//!
+//! CI runs this with `--quick` and uploads the artifact, so every commit
+//! carries a comparable per-workload cycles / miss-rate / hot-site record.
+
+use cards_bench::profile::bench_profile_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
+    let json = bench_profile_json(quick);
+    std::fs::write(&out, &json).expect("write profile");
+    println!("bench profile written to {out} ({} bytes)", json.len());
+}

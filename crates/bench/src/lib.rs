@@ -143,4 +143,5 @@ mod tests {
 
 pub mod figures;
 pub mod microbench;
+pub mod profile;
 pub mod telemetry;

@@ -26,6 +26,17 @@ usage:
                 [--fault RATE] [--seed N] [--epoch N] [--ring N]
   cards stats   <in.ir> [--json] [--policy P] [--k N] [--pinned BYTES]
                 [--cache BYTES] [--fault RATE] [--seed N] [--epoch N]
+  cards profile <in.ir> [--top N] [--folded FILE] [--json FILE] [--out FILE]
+                [--policy P] [--k N] [--pinned BYTES] [--cache BYTES]
+                [--fault RATE] [--seed N] [--epoch N] [--ring N]
+                (hot-site attribution: top sites by remote cycles, guard-
+                elision audit, versioned-loop dispatch accounting, and
+                per-DS prefetcher precision/recall; --folded writes
+                flamegraph-ready folded stacks)
+  cards bench   [--quick] [--out FILE]
+                (run the bench workloads and write the stable-schema
+                BENCH_profile.json: per-workload cycles, miss rates and
+                top attribution sites)
   cards demo    listing1|analytics|bfs|fdtd|pagerank|kvstore|\n                micro-array|micro-vector|micro-list|micro-map
   cards difftest [--seeds N] [--start-seed N] [--minimize] [--out DIR]
                 (seed count falls back to $DIFFTEST_SEEDS, then 50; exits
@@ -50,6 +61,8 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "run" => cmd_run(a),
         "trace" => cmd_trace(a),
         "stats" => cmd_stats(a),
+        "profile" => cmd_profile(a),
+        "bench" => cmd_bench(a),
         "demo" => cmd_demo(a),
         "difftest" => cmd_difftest(a),
         "chaos" => cmd_chaos(a),
@@ -259,6 +272,36 @@ fn cmd_stats(a: &Args) -> Result<(), String> {
         Some(path) => fs::write(path, out).map_err(|e| format!("{path}: {e}"))?,
         None => println!("{out}"),
     }
+    Ok(())
+}
+
+fn cmd_profile(a: &Args) -> Result<(), String> {
+    let vm = run_instrumented(a)?;
+    let top: usize = a.opt_num("top", 10usize)?;
+    if let Some(path) = a.options.get("folded") {
+        let folded = cards_vm::profile_folded(&vm);
+        fs::write(path, folded).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("folded stacks written to {path}");
+    }
+    if let Some(path) = a.options.get("json") {
+        let json = cards_vm::profile_json(&vm);
+        fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("profile json written to {path}");
+    }
+    let report = cards_vm::render_profile_report(&vm, top);
+    match a.options.get("out") {
+        Some(path) => fs::write(path, report).map_err(|e| format!("{path}: {e}"))?,
+        None => println!("{report}"),
+    }
+    Ok(())
+}
+
+fn cmd_bench(a: &Args) -> Result<(), String> {
+    let quick = a.has_flag("quick");
+    let json = cards_bench::profile::bench_profile_json(quick);
+    let path = a.opt_or("out", "BENCH_profile.json");
+    fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+    println!("bench profile written to {path} ({} bytes)", json.len());
     Ok(())
 }
 

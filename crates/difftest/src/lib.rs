@@ -847,7 +847,52 @@ pub struct SeedReport {
     pub divergences: Vec<Divergence>,
 }
 
-/// Compare `m` against the oracle under every cell of [`config_matrix`].
+/// The profile-determinism cell: compiling the same program twice must
+/// yield an identical attribution-site table (site IDs are a function of
+/// the program, not of compile order), and running the two compiles under
+/// the same seed + config must emit byte-identical profile JSON. Any
+/// instability here poisons cross-run profile diffs, so it is checked for
+/// every fuzzed seed alongside the behavioural matrix.
+pub fn check_profile_determinism(m: &Module) -> Result<(), String> {
+    let prep = |m: &Module| {
+        let mut m = m.clone();
+        optimize(&mut m);
+        m
+    };
+    let c1 = match compile(prep(m), CompileOptions::cards()) {
+        Ok(c) => c,
+        // Uncompilable programs have no profile to destabilize.
+        Err(_) => return Ok(()),
+    };
+    let c2 = compile(prep(m), CompileOptions::cards()).map_err(|e| format!("recompile: {e}"))?;
+    if c1.module.sites != c2.module.sites {
+        return Err(format!(
+            "site table unstable across recompiles: {} vs {} sites",
+            c1.module.sites.len(),
+            c2.module.sites.len()
+        ));
+    }
+    let run = |module: Module| {
+        let mut vm = Vm::new(
+            module,
+            RuntimeConfig::new(0, 6 * 4096),
+            FaultyTransport::new(SimTransport::default(), 0.2, 0xfa17),
+            RemotingPolicy::MaxUse,
+            50,
+        );
+        // A trapping program must trap (and profile) identically too.
+        let _ = vm.run("main", &[]);
+        cards_vm::profile_json(&vm)
+    };
+    let (p1, p2) = (run(c1.module), run(c2.module));
+    if p1 != p2 {
+        return Err("profile output not byte-identical under same-seed replay".into());
+    }
+    Ok(())
+}
+
+/// Compare `m` against the oracle under every cell of [`config_matrix`],
+/// plus the profile-determinism cell.
 pub fn check_module(m: &Module, seed: u64) -> SeedReport {
     let oracle = observe_oracle(m);
     let mut divergences = Vec::new();
@@ -856,6 +901,25 @@ pub fn check_module(m: &Module, seed: u64) -> SeedReport {
         if got != oracle {
             divergences.push(Divergence { config: cfg, got });
         }
+    }
+    if let Err(e) = check_profile_determinism(m) {
+        divergences.push(Divergence {
+            config: RunConfig {
+                pipeline: Pipeline::Cards,
+                policy: RemotingPolicy::MaxUse,
+                fault: fault_schedules()[1],
+                chaos: ChaosSpec::None,
+                pressure: PressureSpec::None,
+                pinned: 0,
+                cache: 6 * 4096,
+                k: 50,
+            },
+            got: Observation {
+                ret: None,
+                digest: None,
+                error: Some(format!("profile determinism: {e}")),
+            },
+        });
     }
     SeedReport {
         seed,

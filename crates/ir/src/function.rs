@@ -146,6 +146,9 @@ pub struct Module {
     pub functions: Vec<Function>,
     /// Data-structure descriptors referenced by `Inst::DsInit`.
     pub ds_metas: Vec<DsMeta>,
+    /// Attribution sites recorded by the pass pipeline (in-process only:
+    /// anchored to arena ids, so not serialized by the printer/parser).
+    pub sites: crate::sites::SiteTable,
 }
 
 impl Module {

@@ -48,6 +48,7 @@ pub mod function;
 pub mod inst;
 pub mod parser;
 pub mod printer;
+pub mod sites;
 pub mod testgen;
 pub mod types;
 pub mod verify;
@@ -60,5 +61,6 @@ pub use inst::{
 };
 pub use parser::{parse_module, ParseError};
 pub use printer::print_module;
+pub use sites::{Site, SiteId, SiteKind, SiteTable};
 pub use types::{ArrayId, ArrayTy, StructId, StructTy, Type, TypeTable};
 pub use verify::{result_type, verify_module, VerifyError};

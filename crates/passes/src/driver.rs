@@ -125,6 +125,7 @@ pub fn compile(mut module: Module, options: CompileOptions) -> Result<Compiled, 
     } else {
         0
     };
+    annotate_sites(&mut module, &dsa, &pool, &prefetch);
     let errs = cards_ir::verify_module(&module);
     if !errs.is_empty() {
         return Err(CompileError::PostVerify(errs));
@@ -137,6 +138,71 @@ pub fn compile(mut module: Module, options: CompileOptions) -> Result<Compiled, 
         guard_stats,
         versioned_loops,
     })
+}
+
+/// Fill in the display/DS context of every attribution site the passes
+/// registered, and append one `PrefetchPoint` site per DS instance that got
+/// a prefetcher. Runs last so elision reclassification is already settled.
+fn annotate_sites(
+    module: &mut Module,
+    dsa: &ModuleDsa,
+    pool: &PoolAllocResult,
+    prefetch: &[PrefetchChoice],
+) {
+    use cards_ir::{PrefetchKind, SiteKind};
+
+    // Prefetch issue points first gathered, appended after guard/dispatch
+    // sites so guard ids keep their insertion order.
+    for n in 0..module.sites.len() {
+        let id = cards_ir::SiteId(n as u32);
+        let (fid, inst, kind) = {
+            let s = module.sites.site(id);
+            (s.func, s.inst, s.kind)
+        };
+        // DS context: resolve the guarded pointer through DSA to the
+        // instance(s) it may address, then to the pool's descriptor.
+        let ds = match (kind, inst) {
+            (SiteKind::Guard | SiteKind::ElidedGuard, Some(iid)) => {
+                match module.func(fid).inst(iid) {
+                    cards_ir::Inst::Guard { ptr, .. } => dsa
+                        .func(fid)
+                        .cell_of(*ptr)
+                        .map(|c| dsa.instances_of_node(fid, c.node))
+                        .and_then(|ids| ids.first().copied())
+                        .map(|i| pool.meta_of_instance[i as usize]),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let (fname, bname) = {
+            let f = module.func(fid);
+            let bname = module.sites.site(id).block.map(|b| {
+                f.blocks[b.0 as usize]
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("bb{}", b.0))
+            });
+            (f.name.clone(), bname)
+        };
+        let s = module.sites.site_mut(id);
+        s.func_name = fname;
+        s.block_name = bname.unwrap_or_default();
+        if s.ds.is_none() {
+            s.ds = ds;
+        }
+    }
+    for (i, choice) in prefetch.iter().enumerate() {
+        if choice.kind == PrefetchKind::None {
+            continue;
+        }
+        let fid = dsa.instances[i].owner;
+        let sid = module.sites.add(SiteKind::PrefetchPoint, fid, None);
+        let fname = module.func(fid).name.clone();
+        let s = module.sites.site_mut(sid);
+        s.func_name = fname;
+        s.ds = Some(pool.meta_of_instance[i]);
+    }
 }
 
 #[cfg(test)]

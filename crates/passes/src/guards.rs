@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use cards_dsa::{ModuleDsa, NodeFlags};
-use cards_ir::{AccessKind, FuncId, Inst, InstId, Module, Value};
+use cards_ir::{AccessKind, BlockId, FuncId, Inst, InstId, Module, SiteKind, Value};
 
 /// Maximum distinct objects a block may guard before the elimination map is
 /// reset (must stay below `cards_runtime`'s pin window of 8).
@@ -87,18 +87,27 @@ fn insert_in_function(
                 stats.skipped_nonheap += 1;
             }
             if guard {
-                let f = module.func_mut(fid);
-                let gid = InstId(f.insts.len() as u32);
-                f.insts.push(Inst::Guard {
-                    ptr,
-                    access,
-                    bytes: bytes.max(1),
-                });
-                // Rewrite the access to use the localized pointer.
-                match &mut f.insts[iid.0 as usize] {
-                    Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => *ptr = Value::Inst(gid),
-                    _ => unreachable!(),
-                }
+                let gid = {
+                    let f = module.func_mut(fid);
+                    let gid = InstId(f.insts.len() as u32);
+                    f.insts.push(Inst::Guard {
+                        ptr,
+                        access,
+                        bytes: bytes.max(1),
+                    });
+                    // Rewrite the access to use the localized pointer.
+                    match &mut f.insts[iid.0 as usize] {
+                        Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => *ptr = Value::Inst(gid),
+                        _ => unreachable!(),
+                    }
+                    gid
+                };
+                // Attribution site: (function, block, instruction) order
+                // makes the id assignment deterministic across recompiles.
+                let sid = module.sites.add(SiteKind::Guard, fid, Some(gid));
+                let s = module.sites.site_mut(sid);
+                s.block = Some(BlockId(b as u32));
+                s.access = Some(access);
                 new_list.push(gid);
                 stats.inserted += 1;
             }
@@ -221,9 +230,17 @@ pub fn eliminate_redundant_guards(
                             _ => None,
                         };
                         if let Some(key) = key {
-                            if seen.contains_key(&key) {
+                            if let Some(&survivor) = seen.get(&key) {
                                 replace.insert(iid, ptr);
                                 elided_total += 1;
+                                // The surviving guard's site now carries
+                                // this one's checks (elision audit).
+                                if let (Some(dead), Some(live)) = (
+                                    module.sites.lookup(fid, iid),
+                                    module.sites.lookup(fid, survivor),
+                                ) {
+                                    module.sites.mark_elided(dead, live);
+                                }
                                 continue; // drop this guard
                             }
                             if order.len() >= ELIM_WINDOW {

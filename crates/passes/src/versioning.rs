@@ -253,8 +253,12 @@ fn clone_and_dispatch(
         f.insts[new.0 as usize] = inst;
     }
 
-    // --- Step 3: fill the check blocks. ---
-    for (&_p, &c) in &check_of {
+    // --- Step 3: fill the check blocks. Iterate in preheader order, not
+    // HashMap order: the check instructions' arena ids (and therefore the
+    // dispatch sites' ids) must be deterministic across recompiles. ---
+    let mut dispatches: Vec<(InstId, BlockId)> = Vec::new();
+    for &p in &outside_preds {
+        let c = check_of[&p];
         let chk = InstId(f.insts.len() as u32);
         f.insts.push(Inst::RemotableCheck {
             handles: handles.clone(),
@@ -266,6 +270,15 @@ fn clone_and_dispatch(
             else_b: cloned_header, // all local: fast path
         });
         f.blocks[c.0 as usize].insts = vec![chk, br];
+        dispatches.push((chk, c));
+    }
+    // Attribution sites for the dispatch decision (instrumented vs. clean
+    // entry accounting); registered after the function borrow ends.
+    for (chk, c) in dispatches {
+        let sid = module
+            .sites
+            .add(cards_ir::SiteKind::VersionedDispatch, fid, Some(chk));
+        module.sites.site_mut(sid).block = Some(c);
     }
 }
 

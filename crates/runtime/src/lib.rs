@@ -25,6 +25,7 @@ pub mod farptr;
 pub mod policy;
 pub mod prefetch;
 pub mod pressure;
+pub mod profile;
 pub mod report;
 pub mod runtime;
 pub mod spec;
@@ -39,6 +40,7 @@ pub use policy::{
 };
 pub use prefetch::{build_prefetcher, PrefetchTarget, Prefetcher};
 pub use pressure::{PressureConfig, PressurePhase, PressureSchedule};
+pub use profile::{SiteCounters, SiteProfiler};
 pub use report::render_report;
 pub use runtime::{Access, FarMemRuntime, RtError};
 pub use spec::{DsPriority, DsSpec, PrefetchKind, StaticHint};

@@ -75,6 +75,19 @@ pub fn render_report<T: Transport>(rt: &FarMemRuntime<T>) -> String {
                 h.p99()
             );
         }
+        if tel.dropped() > 0 {
+            let by_kind: Vec<String> = tel
+                .dropped_by_kind()
+                .iter()
+                .map(|(k, n)| format!("{k} {n}"))
+                .collect();
+            let _ = writeln!(
+                s,
+                "dropped events: {} ({})",
+                tel.dropped(),
+                by_kind.join(", ")
+            );
+        }
     }
     // Top-K thrashing structures: most misses first, ties by evictions.
     let mut thrashers: Vec<u16> = (0..rt.ds_count() as u16)

@@ -20,6 +20,7 @@ use crate::farptr::FarPtr;
 use crate::policy::{reassign_hints_online, DsLoad, HintChange};
 use crate::prefetch::{build_prefetcher, PrefetchTarget, Prefetcher};
 use crate::pressure::PressureSchedule;
+use crate::profile::SiteProfiler;
 use crate::spec::{DsSpec, StaticHint};
 use crate::stats::{DsStats, RuntimeStats};
 use crate::telemetry::{EventKind, HistPath, Telemetry};
@@ -187,6 +188,8 @@ pub struct FarMemRuntime<T: Transport> {
     scopes: Vec<Vec<(u16, u64)>>,
     stats: RuntimeStats,
     telemetry: Telemetry,
+    /// Per-site attribution counters (the `cards profile` data source).
+    profiler: SiteProfiler,
     /// Writeback journal: payloads put to the server but not yet
     /// acknowledged by a successful flush. Invariant: every `Remote` object
     /// is either durable on the server or present here, so a server
@@ -257,6 +260,7 @@ impl<T: Transport> FarMemRuntime<T> {
             scopes: Vec::new(),
             stats: RuntimeStats::default(),
             telemetry,
+            profiler: SiteProfiler::default(),
             journal: BTreeMap::new(),
             puts_since_flush: 0,
             last_generation,
@@ -601,6 +605,7 @@ impl<T: Transport> FarMemRuntime<T> {
         let is_local = matches!(self.ds[dsi].objects.get(&idx), Some(ObjState::Local { .. }));
         if is_local {
             self.ds[dsi].stats.hits += 1;
+            self.profiler.on_hit();
             self.stats.derefs_local += 1;
             let was_prefetched = matches!(
                 self.ds[dsi].objects.get(&idx),
@@ -663,6 +668,7 @@ impl<T: Transport> FarMemRuntime<T> {
         }
         // Non-resident after localize = spill: the access itself will move
         // the bytes; speculation into a cache with no room is pointless.
+        self.profiler.on_miss(cycles);
         self.telemetry.record(HistPath::DerefRemote, cycles);
         if self.telemetry.guard_tick() {
             self.snapshot_epoch();
@@ -698,6 +704,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 *prefetched = false;
                 self.ds[dsi].stats.prefetch_useful += 1;
                 self.ds[dsi].stats.window_useful += 1;
+                self.profiler.on_prefetch_useful();
                 let cycle = self.stats.cycles;
                 self.telemetry.emit(
                     cycle,
@@ -933,6 +940,7 @@ impl<T: Transport> FarMemRuntime<T> {
         self.clock.push_back((handle, idx));
         self.ds[dsi].stats.prefetch_issued += 1;
         self.ds[dsi].stats.window_issued += 1;
+        self.profiler.on_prefetch_issued();
         let cycle = self.stats.cycles;
         self.telemetry.record(HistPath::Fetch, fetch_cycles);
         self.telemetry.emit(
@@ -1558,6 +1566,7 @@ impl<T: Transport> FarMemRuntime<T> {
             );
         }
         self.ds[dsi].stats.evictions += 1;
+        self.profiler.on_eviction();
         self.ds[dsi].objects.insert(idx, ObjState::Remote);
         // Soundness shield: if a guard ran for this object recently (it may
         // have been elided downstream) or its DS was governor-demoted after
@@ -1688,6 +1697,9 @@ impl<T: Transport> FarMemRuntime<T> {
                     self.ds[dsi].stats.misses += 1;
                     self.stats.derefs_remote += 1;
                     let (c, resident) = self.localize(handle, idx)?;
+                    // Usually unattributed (no guard ran); the profiler's
+                    // catch-all bucket keeps site sums == DS sums.
+                    self.profiler.on_miss(c);
                     cycles += c;
                     spill = !resident;
                 }
@@ -1711,6 +1723,7 @@ impl<T: Transport> FarMemRuntime<T> {
                     self.stats.spill_reads = self.stats.spill_reads.saturating_add(1);
                 }
                 self.ds[dsi].stats.spills = self.ds[dsi].stats.spills.saturating_add(1);
+                self.profiler.on_spill();
                 let cycle = self.stats.cycles;
                 self.telemetry
                     .record(HistPath::DerefRemote, cycles - before);
@@ -2203,6 +2216,16 @@ impl<T: Transport> FarMemRuntime<T> {
     /// own events onto the same timeline.
     pub fn telemetry_mut(&mut self) -> &mut Telemetry {
         &mut self.telemetry
+    }
+
+    /// The per-site attribution profiler.
+    pub fn profiler(&self) -> &SiteProfiler {
+        &self.profiler
+    }
+
+    /// Mutable profiler — the VM sets the executing site through this.
+    pub fn profiler_mut(&mut self) -> &mut SiteProfiler {
+        &mut self.profiler
     }
 
     /// Current modeled cycle clock (the stamp used for telemetry events).

@@ -22,7 +22,7 @@
 //! state as deterministic JSON — the Chrome variant loads directly into
 //! `chrome://tracing` / Perfetto with one track per data structure.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 
 use cards_net::{NetStats, Transport};
@@ -468,6 +468,11 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
+        if q >= 1.0 {
+            // The q=1 quantile is the observed maximum, exactly; the
+            // bucket-walk below would round it down to a bucket floor.
+            return self.max;
+        }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
@@ -545,6 +550,10 @@ pub struct Telemetry {
     cfg: TelemetryConfig,
     ring: VecDeque<Event>,
     dropped: u64,
+    /// Drops broken down by the *dropped* event's kind name (BTreeMap for
+    /// deterministic export order). A saturated ring skews profiles
+    /// non-uniformly; this shows which signal was lost.
+    dropped_by_kind: BTreeMap<&'static str, u64>,
     hists: [Histogram; 4],
     epochs: Vec<EpochSnapshot>,
     guard_events: u64,
@@ -560,6 +569,7 @@ impl Telemetry {
             cfg,
             ring: VecDeque::new(),
             dropped: 0,
+            dropped_by_kind: BTreeMap::new(),
             hists: Default::default(),
             epochs: Vec::new(),
             guard_events: 0,
@@ -586,7 +596,9 @@ impl Telemetry {
             return;
         }
         if self.ring.len() >= self.cfg.ring_capacity {
-            self.ring.pop_front();
+            if let Some(old) = self.ring.pop_front() {
+                *self.dropped_by_kind.entry(old.kind.name()).or_insert(0) += 1;
+            }
             self.dropped += 1;
         }
         self.ring.push_back(Event { cycle, kind });
@@ -662,6 +674,11 @@ impl Telemetry {
     /// Events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Drops broken down by the dropped event's kind, in name order.
+    pub fn dropped_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.dropped_by_kind
     }
 
     /// The histogram for one latency path.
@@ -867,11 +884,18 @@ pub fn export_json<T: Transport>(rt: &FarMemRuntime<T>) -> String {
     let g = rt.stats();
     let _ = write!(
         s,
-        "{{\"clock_cycles\":{},\"guard_events\":{},\"dropped_events\":{},\"events\":[",
+        "{{\"clock_cycles\":{},\"guard_events\":{},\"dropped_events\":{},\"dropped_by_kind\":{{",
         g.cycles,
         tel.guard_events(),
         tel.dropped()
     );
+    for (i, (k, n)) in tel.dropped_by_kind().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{k}\":{n}");
+    }
+    s.push_str("},\"events\":[");
     for (i, e) in tel.events().enumerate() {
         if i > 0 {
             s.push(',');
@@ -964,8 +988,48 @@ pub fn export_json<T: Transport>(rt: &FarMemRuntime<T>) -> String {
         g.cycles
     );
     net_json(&mut s, &rt.net_stats());
+    s.push_str(",\"profile\":");
+    profile_json_fragment(&mut s, rt.profiler());
     s.push('}');
     s
+}
+
+/// Append one site's counters as a JSON object (shared with the VM's
+/// site-joined profile exporter).
+pub fn site_counters_json(out: &mut String, c: &crate::profile::SiteCounters) {
+    let _ = write!(
+        out,
+        "{{\"hits\":{},\"misses\":{},\"remote_cycles\":{},\"evictions\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\"spills\":{},\"slow_entries\":{},\"fast_entries\":{},\"remote_hist\":",
+        c.hits,
+        c.misses,
+        c.remote_cycles,
+        c.evictions,
+        c.prefetch_issued,
+        c.prefetch_useful,
+        c.spills,
+        c.slow_entries,
+        c.fast_entries
+    );
+    hist_json(out, &c.remote_hist);
+    out.push('}');
+}
+
+/// Append the profiler's per-site counters as a JSON object. Shared by
+/// [`export_json`] and `cards_vm`'s site-joined profile exporter (which
+/// adds the static site context the runtime cannot see).
+pub fn profile_json_fragment(out: &mut String, p: &crate::profile::SiteProfiler) {
+    out.push_str("{\"unattributed\":");
+    site_counters_json(out, p.unattributed());
+    out.push_str(",\"sites\":[");
+    for (i, sid) in p.active_sites().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"site\":{sid},\"counters\":");
+        site_counters_json(out, &p.site(sid));
+        out.push('}');
+    }
+    out.push_str("]}");
 }
 
 /// Export the event ring in Chrome `trace_event` JSON (array-of-events
@@ -1093,6 +1157,46 @@ mod tests {
         assert_eq!(h.sum, u64::MAX); // saturated, not wrapped
                                      // single-value histogram: clamping to observed min makes p50 exact
         assert_eq!(h.p50(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_q1_returns_exact_max() {
+        // q=1.0 used to return the max *bucket floor* (32768 here) instead
+        // of the observed maximum.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(60_000);
+        }
+        assert_eq!(h.percentile(1.0), 60_000);
+        assert_eq!(h.percentile(1.5), 60_000); // clamped, not garbage
+        assert_eq!(h.percentile(0.99), 32_768); // sub-1 quantiles unchanged
+    }
+
+    #[test]
+    fn histogram_empty_q1_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn ring_drop_counts_are_per_kind() {
+        let mut t = Telemetry::new(TelemetryConfig {
+            enabled: true,
+            ring_capacity: 2,
+            epoch_every: 0,
+        });
+        t.emit(1, EventKind::Dispatch { slow: false });
+        t.emit(2, EventKind::Epoch { seq: 0 });
+        t.emit(3, EventKind::Epoch { seq: 1 }); // drops the dispatch
+        t.emit(4, EventKind::Epoch { seq: 2 }); // drops epoch 0
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.dropped_by_kind().get("dispatch"), Some(&1));
+        assert_eq!(t.dropped_by_kind().get("epoch"), Some(&1));
+        assert_eq!(t.dropped_by_kind().values().sum::<u64>(), t.dropped());
     }
 
     #[test]

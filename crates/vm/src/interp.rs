@@ -416,6 +416,9 @@ impl<T: Transport> Vm<T> {
                                 self.runtime
                                     .telemetry_mut()
                                     .emit(cycle, EventKind::Dispatch { slow: c != 0 });
+                                if let Some(site) = self.module.sites.lookup(fid, ci) {
+                                    self.runtime.profiler_mut().on_dispatch(site.0, c != 0);
+                                }
                             }
                         }
                         prev = Some(block);
@@ -448,7 +451,13 @@ impl<T: Transport> Vm<T> {
                             AccessKind::Read => Access::Read,
                             AccessKind::Write => Access::Write,
                         };
-                        let c = self.runtime.guard(FarPtr(p), acc, bytes)?;
+                        // Surface the executing site to the profiler so the
+                        // runtime charges this check's cost to it.
+                        let site = self.module.sites.lookup(fid, iid).map(|s| s.0);
+                        self.runtime.profiler_mut().set_current(site);
+                        let r = self.runtime.guard(FarPtr(p), acc, bytes);
+                        self.runtime.profiler_mut().set_current(None);
+                        let c = r?;
                         self.charge(c);
                         regs[iid.0 as usize] = p; // localized ptr == same bits
                     }

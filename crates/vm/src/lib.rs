@@ -9,9 +9,11 @@
 
 pub mod interp;
 pub mod metrics;
+pub mod profile;
 
 pub use interp::{spec_from_meta, splitmix64, Vm, VmError};
 pub use metrics::{CpuModel, VmMetrics};
+pub use profile::{check_attribution, profile_folded, profile_json, render_profile_report};
 
 #[cfg(test)]
 mod tests {
