@@ -1,0 +1,136 @@
+//! Stable-schema core benchmark numbers (`BENCH_core.json`).
+//!
+//! Companion to [`crate::profile`]'s `BENCH_profile.json`: where the
+//! profile document answers *which compiler decision moved*, this one
+//! tracks the headline numbers CI charts across commits — per-workload
+//! modeled instruction throughput, remote cycles, and guard-latency
+//! percentiles. The schema is versioned (`cards-bench-core-v1`) and the
+//! runs are fully deterministic: same build, same bytes.
+
+use std::fmt::Write as _;
+
+use cards_net::SimTransport;
+use cards_passes::{compile, CompileOptions};
+use cards_runtime::telemetry::HistPath;
+use cards_runtime::{RemotingPolicy, RuntimeConfig};
+use cards_vm::Vm;
+use cards_workloads::{bfs, kvstore, listing1};
+
+/// Schema tag embedded in the document; bump when the layout changes.
+pub const SCHEMA: &str = "cards-bench-core-v1";
+
+/// The modeled CPU frequency used to express cycle counts as
+/// instructions/sec (DESIGN.md §5.6: 3 GHz nominal clock).
+pub const MODELED_HZ: u64 = 3_000_000_000;
+
+fn workload_modules(quick: bool) -> Vec<(&'static str, cards_ir::Module)> {
+    let (kv_keys, kv_ops) = if quick { (128, 600) } else { (1_024, 10_000) };
+    let (bfs_nodes, bfs_deg) = if quick { (256, 4) } else { (4_096, 8) };
+    let (l1_elems, l1_ntimes) = if quick { (512, 2) } else { (8_192, 4) };
+    vec![
+        (
+            "kvstore",
+            kvstore::build(kvstore::KvParams {
+                keys: kv_keys,
+                ops: kv_ops,
+            })
+            .0,
+        ),
+        (
+            "bfs",
+            bfs::build(bfs::BfsParams {
+                nodes: bfs_nodes,
+                degree: bfs_deg,
+            })
+            .0,
+        ),
+        (
+            "listing1",
+            listing1::build(listing1::Listing1Params {
+                elems: l1_elems,
+                ntimes: l1_ntimes,
+            })
+            .0,
+        ),
+    ]
+}
+
+/// Modeled instructions/sec: `instructions * MODELED_HZ / cycles`,
+/// computed in u128 so large runs cannot overflow.
+fn instructions_per_sec(instructions: u64, cycles: u64) -> u64 {
+    (instructions as u128 * MODELED_HZ as u128 / cycles.max(1) as u128) as u64
+}
+
+/// Build the core document. `quick` shrinks workload sizes (CI smoke).
+pub fn bench_core_json(quick: bool) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"schema\":\"{SCHEMA}\",\"modeled_hz\":{MODELED_HZ},\"workloads\":["
+    );
+    for (i, (name, m)) in workload_modules(quick).into_iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let c = compile(m, CompileOptions::cards()).expect("compile");
+        // Same cache-starved, all-remotable setup as the profile document,
+        // so the two artifacts describe the same runs.
+        let cfg = RuntimeConfig::new(0, 2 * 4096);
+        let mut vm = Vm::new(
+            c.module,
+            cfg,
+            SimTransport::default(),
+            RemotingPolicy::AllRemotable,
+            100,
+        );
+        vm.run("main", &[]).expect("run");
+        let metrics = vm.metrics();
+        let rt = vm.runtime();
+        let prof = rt.profiler();
+        let remote_cycles: u64 = prof.sites().iter().map(|c| c.remote_cycles).sum::<u64>()
+            + prof.unattributed().remote_cycles;
+        let tel = rt.telemetry();
+        let (hit, miss) = (
+            tel.hist(HistPath::DerefLocal),
+            tel.hist(HistPath::DerefRemote),
+        );
+        let _ = write!(
+            s,
+            "{{\"name\":\"{name}\",\"instructions\":{},\"cycles\":{},\"instructions_per_sec\":{},\"remote_cycles\":{remote_cycles},\"guard_latency\":{{\"hit_p50\":{},\"hit_p99\":{},\"miss_p50\":{},\"miss_p99\":{}}}}}",
+            metrics.instructions,
+            metrics.cycles,
+            instructions_per_sec(metrics.instructions, metrics.cycles),
+            hit.p50(),
+            hit.p99(),
+            miss.p50(),
+            miss.p99(),
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_core_is_deterministic_and_schema_tagged() {
+        let a = bench_core_json(true);
+        let b = bench_core_json(true);
+        assert_eq!(a, b, "same build must emit identical bytes");
+        assert!(a.contains("\"schema\":\"cards-bench-core-v1\""));
+        assert!(a.contains("\"name\":\"kvstore\""));
+        assert!(a.contains("\"instructions_per_sec\":"));
+        assert!(a.contains("\"miss_p99\":"));
+    }
+
+    #[test]
+    fn throughput_math_uses_wide_arithmetic() {
+        // A run big enough to overflow u64 multiplication must not panic.
+        let ips = instructions_per_sec(u64::MAX / 2, u64::MAX / 3);
+        assert!(ips > 0);
+        assert_eq!(instructions_per_sec(300, 600), MODELED_HZ / 2);
+        assert_eq!(instructions_per_sec(1, 0), MODELED_HZ);
+    }
+}

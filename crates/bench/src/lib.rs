@@ -141,6 +141,7 @@ mod tests {
     }
 }
 
+pub mod core;
 pub mod figures;
 pub mod microbench;
 pub mod profile;

@@ -33,10 +33,25 @@ usage:
                 elision audit, versioned-loop dispatch accounting, and
                 per-DS prefetcher precision/recall; --folded writes
                 flamegraph-ready folded stacks)
-  cards bench   [--quick] [--out FILE]
+  cards ttrace  <in.ir> [--top N] [--json FILE] [--out FILE]
+                [--chaos storm|crash-loop] [--fault RATE] [--seed N]
+                [--policy P] [--k N] [--pinned BYTES] [--cache BYTES]
+                [--retries N] [--ring N] [--storm-threshold N]
+                [--flight-dir DIR]
+                (causal request tracing: span trees from guard to wire
+                with per-phase cycle breakdowns and critical paths; any
+                anomaly trigger — retry storm, breaker open, thrash
+                resolve, cross-sum violation, p99 spike — dumps the
+                flight-recorder ring to FLIGHT_<n>.json)
+  cards ttrace diff <a.json> <b.json> [--out FILE]
+                (compare two cards-ttrace-v1 exports and localize which
+                phase and guard site regressed)
+  cards bench   [--quick] [--out FILE] [--core FILE]
                 (run the bench workloads and write the stable-schema
                 BENCH_profile.json: per-workload cycles, miss rates and
-                top attribution sites)
+                top attribution sites; also writes BENCH_core.json with
+                per-workload instructions/sec, remote cycles and p50/p99
+                guard latency)
   cards demo    listing1|analytics|bfs|fdtd|pagerank|kvstore|\n                micro-array|micro-vector|micro-list|micro-map
   cards difftest [--seeds N] [--start-seed N] [--minimize] [--out DIR]
                 (seed count falls back to $DIFFTEST_SEEDS, then 50; exits
@@ -62,6 +77,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "trace" => cmd_trace(a),
         "stats" => cmd_stats(a),
         "profile" => cmd_profile(a),
+        "ttrace" => crate::ttrace_cmd::cmd_ttrace(a),
         "bench" => cmd_bench(a),
         "demo" => cmd_demo(a),
         "difftest" => cmd_difftest(a),
@@ -75,7 +91,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
     }
 }
 
-fn load_module(a: &Args) -> Result<Module, String> {
+pub(crate) fn load_module(a: &Args) -> Result<Module, String> {
     let path = a
         .positional
         .first()
@@ -152,7 +168,7 @@ fn cmd_dsa(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_policy(s: &str) -> Result<RemotingPolicy, String> {
+pub(crate) fn parse_policy(s: &str) -> Result<RemotingPolicy, String> {
     Ok(match s {
         "all-remotable" => RemotingPolicy::AllRemotable,
         "linear" => RemotingPolicy::Linear,
@@ -302,6 +318,10 @@ fn cmd_bench(a: &Args) -> Result<(), String> {
     let path = a.opt_or("out", "BENCH_profile.json");
     fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
     println!("bench profile written to {path} ({} bytes)", json.len());
+    let core = cards_bench::core::bench_core_json(quick);
+    let core_path = a.opt_or("core", "BENCH_core.json");
+    fs::write(&core_path, &core).map_err(|e| format!("{core_path}: {e}"))?;
+    println!("bench core written to {core_path} ({} bytes)", core.len());
     Ok(())
 }
 

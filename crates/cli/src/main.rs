@@ -13,6 +13,8 @@
 
 mod args;
 mod commands;
+mod jsonx;
+mod ttrace_cmd;
 
 use args::Args;
 

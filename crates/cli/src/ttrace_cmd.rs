@@ -1,0 +1,348 @@
+//! `cards ttrace` — causal request tracing, flight-recorder dumps, and
+//! `cards ttrace diff` regression localization.
+//!
+//! `cards ttrace <in.ir>` compiles the input through the CaRDS pipeline,
+//! runs it on a traced VM (optionally under a chaos schedule or i.i.d.
+//! fault injection), and renders the span-tree report: per-phase cycle
+//! breakdown, per-site totals, the slowest retained operations with
+//! critical paths, and the anomaly-trigger log. Every flight-recorder
+//! snapshot captured by an anomaly trigger is written to
+//! `FLIGHT_<n>.json` under `--flight-dir`.
+//!
+//! `cards ttrace diff <a.json> <b.json>` compares two `cards-ttrace-v1`
+//! exports and localizes which phase and which guard site regressed.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use cards_net::{ChaosSchedule, ChaosTransport, FaultyTransport, SimTransport, Transport};
+use cards_passes::{compile, CompileOptions};
+use cards_runtime::{RuntimeConfig, TraceConfig};
+use cards_vm::Vm;
+
+use crate::args::Args;
+use crate::commands::{load_module, parse_policy};
+use crate::jsonx::{self, Json};
+
+/// Entry point for the `ttrace` subcommand (run or diff).
+pub fn cmd_ttrace(a: &Args) -> Result<(), String> {
+    if a.positional.first().map(String::as_str) == Some("diff") {
+        return cmd_diff(a);
+    }
+    let m = load_module(a)?;
+    if m.func_by_name("main").is_none() {
+        return Err("program has no @main".into());
+    }
+    let k: u32 = a.opt_num("k", 100u32)?;
+    let pinned: u64 = a.opt_num("pinned", 64u64 << 20)?;
+    let cache: u64 = a.opt_num("cache", 16u64 << 20)?;
+    let policy = parse_policy(&a.opt_or("policy", "max-use"))?;
+    let trace = TraceConfig {
+        ring_capacity: a.opt_num("ring", 64usize)?,
+        retry_storm_threshold: a.opt_num("storm-threshold", 8u32)?,
+        ..TraceConfig::default()
+    };
+    let cfg = RuntimeConfig::new(pinned, cache)
+        .with_trace(trace)
+        .with_max_retries(a.opt_num("retries", 32u32)?);
+    let c = compile(m, CompileOptions::cards()).map_err(|e| e.to_string())?;
+
+    match a.opt_or("chaos", "none").as_str() {
+        "none" => {
+            let fault: f64 = a.opt_num("fault", 0.0f64)?;
+            let seed: u64 = a.opt_num("seed", 42u64)?;
+            let transport = FaultyTransport::new(SimTransport::default(), fault, seed);
+            let mut vm = Vm::new(c.module, cfg, transport, policy, k);
+            vm.run("main", &[]).map_err(|e| e.to_string())?;
+            emit(a, &vm)
+        }
+        sched => {
+            let seed: u64 = a.opt_num("seed", 42u64)?;
+            let schedule = match sched {
+                "storm" => ChaosSchedule::storm(seed),
+                "crash-loop" => ChaosSchedule::crash_loop(seed),
+                other => return Err(format!("unknown chaos schedule {other:?}")),
+            };
+            let mut vm = Vm::new(c.module, cfg, ChaosTransport::new(schedule), policy, k);
+            vm.run("main", &[]).map_err(|e| e.to_string())?;
+            emit(a, &vm)
+        }
+    }
+}
+
+/// Render the report, write the JSON export and flight-recorder dumps.
+fn emit<T: Transport>(a: &Args, vm: &Vm<T>) -> Result<(), String> {
+    let top: usize = a.opt_num("top", 5usize)?;
+    if let Some(path) = a.options.get("json") {
+        let json = cards_vm::ttrace_json(vm);
+        fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace export written to {path}");
+    }
+    let flight_dir = a.opt_or("flight-dir", ".");
+    let snapshots = vm.runtime().tracer().snapshots().len();
+    for i in 0..snapshots {
+        let json = cards_vm::flight_json(vm, i).expect("index in range");
+        let path = format!("{flight_dir}/FLIGHT_{i}.json");
+        fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("flight snapshot written to {path}");
+    }
+    let report = cards_vm::render_ttrace_report(vm, top);
+    match a.options.get("out") {
+        Some(path) => fs::write(path, report).map_err(|e| format!("{path}: {e}"))?,
+        None => println!("{report}"),
+    }
+    cards_vm::check_traces(vm)
+}
+
+/// Load and schema-check one `cards-ttrace-v1` export.
+fn load_export(path: &str) -> Result<Json, String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let j = jsonx::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    match j.str_of("schema") {
+        "cards-ttrace-v1" => Ok(j),
+        other => Err(format!("{path}: expected cards-ttrace-v1, got {other:?}")),
+    }
+}
+
+/// Signed delta with percentage, e.g. `+7000 (+7.6%)`.
+fn delta_str(a: u64, b: u64) -> String {
+    let d = b as i128 - a as i128;
+    if a == 0 {
+        return format!("{d:+}");
+    }
+    format!("{:+} ({:+.1}%)", d, 100.0 * d as f64 / a as f64)
+}
+
+/// `cards ttrace diff <a.json> <b.json>`: field-by-field comparison of two
+/// trace exports, localizing the phase and guard site that regressed most
+/// (by absolute cycle growth).
+fn cmd_diff(a: &Args) -> Result<(), String> {
+    let (pa, pb) = match (a.positional.get(1), a.positional.get(2)) {
+        (Some(x), Some(y)) => (x.clone(), y.clone()),
+        _ => return Err("usage: cards ttrace diff <a.json> <b.json>".into()),
+    };
+    let ja = load_export(&pa)?;
+    let jb = load_export(&pb)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "ttrace diff: {pa} -> {pb}");
+    let _ = writeln!(
+        s,
+        "module: {} -> {}",
+        ja.str_of("module"),
+        jb.str_of("module")
+    );
+    let _ = writeln!(
+        s,
+        "cycles: {} -> {} {}",
+        ja.u64_of("cycles"),
+        jb.u64_of("cycles"),
+        delta_str(ja.u64_of("cycles"), jb.u64_of("cycles"))
+    );
+    let (oa, ob) = (ja.get("ops"), jb.get("ops"));
+    if let (Some(oa), Some(ob)) = (oa, ob) {
+        let _ = writeln!(
+            s,
+            "remote ops: {} -> {} {}",
+            oa.u64_of("remote"),
+            ob.u64_of("remote"),
+            delta_str(oa.u64_of("remote"), ob.u64_of("remote"))
+        );
+    }
+    if let (Some(ba), Some(bb)) = (ja.get("baseline"), jb.get("baseline")) {
+        let _ = writeln!(
+            s,
+            "guard latency: p50 {} -> {} {}, p99 {} -> {} {}",
+            ba.u64_of("p50"),
+            bb.u64_of("p50"),
+            delta_str(ba.u64_of("p50"), bb.u64_of("p50")),
+            ba.u64_of("p99"),
+            bb.u64_of("p99"),
+            delta_str(ba.u64_of("p99"), bb.u64_of("p99"))
+        );
+    }
+
+    // ---- per-phase comparison (exports list every kind, same order) ----
+    let _ = writeln!(s, "phase breakdown (cumulative self-cycles):");
+    let _ = writeln!(s, "  {:<16} {:>14} {:>14}  delta", "phase", "a", "b");
+    let mut worst_phase: Option<(String, i128, u64, u64)> = None;
+    for (k, va) in ja.obj_of("phases") {
+        let av = match va {
+            Json::Num(n) => *n as u64,
+            _ => 0,
+        };
+        let bv = jb.get("phases").map(|p| p.u64_of(k)).unwrap_or(0);
+        if av == 0 && bv == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {:<16} {:>14} {:>14}  {}",
+            k,
+            av,
+            bv,
+            delta_str(av, bv)
+        );
+        let d = bv as i128 - av as i128;
+        if d > 0 && worst_phase.as_ref().is_none_or(|w| d > w.1) {
+            worst_phase = Some((k.clone(), d, av, bv));
+        }
+    }
+    match &worst_phase {
+        Some((k, d, av, bv)) => {
+            let _ = writeln!(
+                s,
+                "regressed phase: {} (+{} cycles, {} -> {})",
+                k, d, av, bv
+            );
+        }
+        None => {
+            let _ = writeln!(s, "regressed phase: none (no phase grew)");
+        }
+    }
+
+    // ---- per-site comparison ----
+    let site_of = |j: &Json, sid: u64| -> (u64, u64) {
+        for e in j.arr_of("sites") {
+            if e.u64_of("site") == sid {
+                return (e.u64_of("ops"), e.u64_of("cycles"));
+            }
+        }
+        (0, 0)
+    };
+    let mut sids: Vec<u64> = Vec::new();
+    for j in [&ja, &jb] {
+        for e in j.arr_of("sites") {
+            let sid = e.u64_of("site");
+            if !sids.contains(&sid) {
+                sids.push(sid);
+            }
+        }
+    }
+    sids.sort_unstable();
+    if !sids.is_empty() {
+        let _ = writeln!(s, "per-site totals (cycles):");
+        let _ = writeln!(
+            s,
+            "  {:<6} {:<24} {:>14} {:>14}  delta",
+            "site", "location", "a", "b"
+        );
+        let mut worst_site: Option<(u64, i128)> = None;
+        for sid in &sids {
+            let (_, ca) = site_of(&ja, *sid);
+            let (_, cb) = site_of(&jb, *sid);
+            let loc = [&jb, &ja]
+                .iter()
+                .flat_map(|j| j.arr_of("sites"))
+                .find(|e| e.u64_of("site") == *sid)
+                .map(|e| {
+                    let (f, bl) = (e.str_of("func"), e.str_of("block"));
+                    if bl.is_empty() {
+                        f.to_string()
+                    } else {
+                        format!("{f}/{bl}")
+                    }
+                })
+                .unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "  #{:<5} {:<24} {:>14} {:>14}  {}",
+                sid,
+                loc,
+                ca,
+                cb,
+                delta_str(ca, cb)
+            );
+            let d = cb as i128 - ca as i128;
+            if d > 0 && worst_site.as_ref().is_none_or(|w| d > w.1) {
+                worst_site = Some((*sid, d));
+            }
+        }
+        match worst_site {
+            Some((sid, d)) => {
+                let _ = writeln!(s, "regressed site: #{sid} (+{d} cycles)");
+            }
+            None => {
+                let _ = writeln!(s, "regressed site: none (no site grew)");
+            }
+        }
+    }
+    match a.options.get("out") {
+        Some(path) => fs::write(path, s).map_err(|e| format!("{path}: {e}"))?,
+        None => println!("{s}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn kv_ir(dir: &std::path::Path) -> String {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("kv.ir");
+        let (m, _) = cards_workloads::kvstore::build(cards_workloads::kvstore::KvParams {
+            keys: 128,
+            ops: 600,
+        });
+        std::fs::write(&path, cards_ir::print_module(&m)).unwrap();
+        path.to_string_lossy().to_string()
+    }
+
+    #[test]
+    fn ttrace_chaos_run_dumps_flight_and_diff_localizes() {
+        let dir = std::env::temp_dir().join("cards_cli_ttrace_test");
+        let p = kv_ir(&dir);
+        let d = dir.to_string_lossy().to_string();
+
+        // Healthy run: JSON export A.
+        let ja = dir.join("a.json").to_string_lossy().to_string();
+        cmd_ttrace(&args(&format!(
+            "ttrace {p} --json {ja} --out {d}/a.txt --cache 8192 --pinned 0 \
+             --policy all-remotable --flight-dir {d}"
+        )))
+        .expect("healthy ttrace");
+        let report = std::fs::read_to_string(dir.join("a.txt")).unwrap();
+        assert!(report.contains("phase breakdown"));
+        assert!(report.contains("critical path:"));
+
+        // Storm run: JSON export B plus flight-recorder dumps.
+        let jb = dir.join("b.json").to_string_lossy().to_string();
+        cmd_ttrace(&args(&format!(
+            "ttrace {p} --json {jb} --out {d}/b.txt --cache 8192 --pinned 0 \
+             --policy all-remotable --chaos storm --seed 7 \
+             --storm-threshold 4 --flight-dir {d}"
+        )))
+        .expect("storm ttrace");
+        let flight = dir.join("FLIGHT_0.json");
+        assert!(flight.exists(), "storm run must dump a flight snapshot");
+        let fj = jsonx::parse(&std::fs::read_to_string(&flight).unwrap()).unwrap();
+        assert_eq!(fj.str_of("schema"), "cards-flight-v1");
+        assert!(!fj.arr_of("trees").is_empty());
+
+        // Diff localizes the regressed phase (wire/backoff under chaos).
+        let out = dir.join("diff.txt").to_string_lossy().to_string();
+        cmd_ttrace(&args(&format!("ttrace diff {ja} {jb} --out {out}"))).expect("diff");
+        let diff = std::fs::read_to_string(dir.join("diff.txt")).unwrap();
+        assert!(diff.contains("regressed phase:"));
+        assert!(diff.contains("regressed site:"));
+        assert!(
+            !diff.contains("regressed phase: none"),
+            "storm must regress a phase"
+        );
+    }
+
+    #[test]
+    fn diff_rejects_wrong_schema() {
+        let dir = std::env::temp_dir().join("cards_cli_ttrace_schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"schema":"other"}"#).unwrap();
+        let b = bad.to_string_lossy().to_string();
+        assert!(cmd_ttrace(&args(&format!("ttrace diff {b} {b}"))).is_err());
+        assert!(cmd_ttrace(&args("ttrace diff onlyone")).is_err());
+    }
+}

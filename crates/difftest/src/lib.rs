@@ -891,8 +891,46 @@ pub fn check_profile_determinism(m: &Module) -> Result<(), String> {
     Ok(())
 }
 
+/// The trace-determinism cell: the causal-trace export (span trees, phase
+/// totals, anomaly triggers — schema `cards-ttrace-v1`) must be
+/// byte-identical across a recompile and a same-seed faulty replay, just
+/// like the profile. Spans are timestamped off the modeled clock and keyed
+/// by deterministic ids, so any wall-clock or iteration-order leak in the
+/// tracer shows up here as a byte diff.
+pub fn check_trace_determinism(m: &Module) -> Result<(), String> {
+    let prep = |m: &Module| {
+        let mut m = m.clone();
+        optimize(&mut m);
+        m
+    };
+    let c1 = match compile(prep(m), CompileOptions::cards()) {
+        Ok(c) => c,
+        // Uncompilable programs have no trace to destabilize.
+        Err(_) => return Ok(()),
+    };
+    let c2 = compile(prep(m), CompileOptions::cards()).map_err(|e| format!("recompile: {e}"))?;
+    let run = |module: Module| {
+        let mut vm = Vm::new(
+            module,
+            RuntimeConfig::new(0, 6 * 4096),
+            FaultyTransport::new(SimTransport::default(), 0.2, 0xfa17),
+            RemotingPolicy::MaxUse,
+            50,
+        );
+        // A trapping program must trace identically too.
+        let _ = vm.run("main", &[]);
+        cards_vm::check_traces(&vm)?;
+        Ok::<String, String>(cards_vm::ttrace_json(&vm))
+    };
+    let (t1, t2) = (run(c1.module)?, run(c2.module)?);
+    if t1 != t2 {
+        return Err("trace export not byte-identical under same-seed replay".into());
+    }
+    Ok(())
+}
+
 /// Compare `m` against the oracle under every cell of [`config_matrix`],
-/// plus the profile-determinism cell.
+/// plus the profile- and trace-determinism cells.
 pub fn check_module(m: &Module, seed: u64) -> SeedReport {
     let oracle = observe_oracle(m);
     let mut divergences = Vec::new();
@@ -918,6 +956,25 @@ pub fn check_module(m: &Module, seed: u64) -> SeedReport {
                 ret: None,
                 digest: None,
                 error: Some(format!("profile determinism: {e}")),
+            },
+        });
+    }
+    if let Err(e) = check_trace_determinism(m) {
+        divergences.push(Divergence {
+            config: RunConfig {
+                pipeline: Pipeline::Cards,
+                policy: RemotingPolicy::MaxUse,
+                fault: fault_schedules()[1],
+                chaos: ChaosSpec::None,
+                pressure: PressureSpec::None,
+                pinned: 0,
+                cache: 6 * 4096,
+                k: 50,
+            },
+            got: Observation {
+                ret: None,
+                digest: None,
+                error: Some(format!("trace determinism: {e}")),
             },
         });
     }
@@ -1188,6 +1245,17 @@ mod tests {
         let a = check_seed(5, GenConfig::adversarial());
         let b = check_seed(5, GenConfig::adversarial());
         assert_eq!(a, b);
+    }
+
+    /// The trace-determinism cell holds on fuzzed programs: recompiling and
+    /// replaying under the same fault seed emits byte-identical
+    /// cards-ttrace-v1 exports.
+    #[test]
+    fn trace_exports_are_replay_deterministic() {
+        for seed in [1, 2, 3] {
+            let m = generate(seed, GenConfig::adversarial());
+            check_trace_determinism(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
     }
 
     /// A semantic corruption of the program (swapped branch targets) must be

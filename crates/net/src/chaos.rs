@@ -36,6 +36,7 @@ use crate::model::NetworkModel;
 use crate::prng::SplitMix64;
 use crate::stats::NetStats;
 use crate::transport::{Fetched, NetError, ObjKey, Transport};
+use crate::wiretap::{TraceContext, WireDir, WireOp, WireTap};
 
 /// One failure regime.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -254,6 +255,8 @@ pub struct ChaosTransport {
     generation: u64,
     stats: NetStats,
     chaos: ChaosStats,
+    ctx: TraceContext,
+    tap: WireTap,
 }
 
 impl ChaosTransport {
@@ -277,6 +280,8 @@ impl ChaosTransport {
             generation: 0,
             stats: NetStats::default(),
             chaos: ChaosStats::default(),
+            ctx: TraceContext::NONE,
+            tap: WireTap::default(),
         }
     }
 
@@ -356,6 +361,32 @@ impl ChaosTransport {
     }
 
     fn fetch_inner(&mut self, key: ObjKey, batched: bool) -> Result<Fetched, NetError> {
+        let op = if batched {
+            WireOp::FetchBatched
+        } else {
+            WireOp::Fetch
+        };
+        self.tap
+            .record(WireDir::Send, op, key.ds, key.index, 0, true, self.ctx);
+        let r = self.fetch_gated(key, batched);
+        match &r {
+            Ok(f) => self.tap.record(
+                WireDir::Recv,
+                op,
+                key.ds,
+                key.index,
+                f.bytes.len() as u64,
+                true,
+                self.ctx,
+            ),
+            Err(_) => self
+                .tap
+                .record(WireDir::Recv, op, key.ds, key.index, 0, false, self.ctx),
+        }
+        r
+    }
+
+    fn fetch_gated(&mut self, key: ObjKey, batched: bool) -> Result<Fetched, NetError> {
         let mult = self.gate()?;
         let Some(env) = self.store.get(&key) else {
             return Err(NetError::NotFound(key));
@@ -369,7 +400,7 @@ impl ChaosTransport {
             env[(bit / 8) as usize] ^= 1 << (bit % 8);
         }
         let payload = match envelope::decode(key, &env) {
-            Ok((_generation, payload)) => payload,
+            Ok((_generation, _ctx, payload)) => payload,
             Err(_) => {
                 self.chaos.injected_corrupt += 1;
                 return Err(NetError::Corrupt);
@@ -406,37 +437,86 @@ impl Transport for ChaosTransport {
     }
 
     fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError> {
-        let mult = self.gate()?;
-        let env = envelope::encode(self.generation, key, data);
-        let cycles = mult * self.model.writeback_cost(env.len() as u64);
-        self.stats.writebacks += 1;
-        self.stats.bytes_written += data.len() as u64;
-        self.stats.cycles += cycles;
-        if let Some(old) = self.store.insert(key, env) {
-            self.resident_bytes -= (old.len() - envelope::HEADER_LEN) as u64;
-        }
-        self.resident_bytes += data.len() as u64;
-        self.unacked.insert(key);
-        Ok(cycles)
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Put,
+            key.ds,
+            key.index,
+            data.len() as u64,
+            true,
+            self.ctx,
+        );
+        let r = (|| {
+            let mult = self.gate()?;
+            let env = envelope::encode(self.generation, key, self.ctx, data);
+            let cycles = mult * self.model.writeback_cost(env.len() as u64);
+            self.stats.writebacks += 1;
+            self.stats.bytes_written += data.len() as u64;
+            self.stats.cycles += cycles;
+            if let Some(old) = self.store.insert(key, env) {
+                self.resident_bytes -= (old.len() - envelope::HEADER_LEN) as u64;
+            }
+            self.resident_bytes += data.len() as u64;
+            self.unacked.insert(key);
+            Ok(cycles)
+        })();
+        self.tap.record(
+            WireDir::Recv,
+            WireOp::Put,
+            key.ds,
+            key.index,
+            0,
+            r.is_ok(),
+            self.ctx,
+        );
+        r
     }
 
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
-        let mult = self.gate()?;
-        if let Some(old) = self.store.remove(&key) {
-            self.resident_bytes -= (old.len() - envelope::HEADER_LEN) as u64;
-        }
-        self.unacked.remove(&key);
-        let cycles = mult * self.model.per_msg_cpu;
-        self.stats.cycles += cycles;
-        Ok(cycles)
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Remove,
+            key.ds,
+            key.index,
+            0,
+            true,
+            self.ctx,
+        );
+        let r = (|| {
+            let mult = self.gate()?;
+            if let Some(old) = self.store.remove(&key) {
+                self.resident_bytes -= (old.len() - envelope::HEADER_LEN) as u64;
+            }
+            self.unacked.remove(&key);
+            let cycles = mult * self.model.per_msg_cpu;
+            self.stats.cycles += cycles;
+            Ok(cycles)
+        })();
+        self.tap.record(
+            WireDir::Recv,
+            WireOp::Remove,
+            key.ds,
+            key.index,
+            0,
+            r.is_ok(),
+            self.ctx,
+        );
+        r
     }
 
     fn flush(&mut self) -> Result<u64, NetError> {
-        let mult = self.gate()?;
-        self.unacked.clear();
-        let cycles = mult * (self.model.base_latency + self.model.per_msg_cpu);
-        self.stats.cycles += cycles;
-        Ok(cycles)
+        self.tap
+            .record(WireDir::Send, WireOp::Flush, 0, 0, 0, true, self.ctx);
+        let r = (|| {
+            let mult = self.gate()?;
+            self.unacked.clear();
+            let cycles = mult * (self.model.base_latency + self.model.per_msg_cpu);
+            self.stats.cycles += cycles;
+            Ok(cycles)
+        })();
+        self.tap
+            .record(WireDir::Recv, WireOp::Flush, 0, 0, 0, r.is_ok(), self.ctx);
+        r
     }
 
     fn generation(&self) -> u64 {
@@ -453,6 +533,18 @@ impl Transport for ChaosTransport {
 
     fn remote_bytes(&self) -> u64 {
         self.resident_bytes
+    }
+
+    fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.ctx = ctx;
+    }
+
+    fn trace_context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    fn wire_tap(&self) -> Option<&WireTap> {
+        Some(&self.tap)
     }
 }
 

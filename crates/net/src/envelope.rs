@@ -14,18 +14,26 @@
 //! generation u64   server incarnation at store time
 //! ds         u32   key: data-structure id
 //! index      u64   key: object index
+//! trace      u64   causal trace id of the storing operation (0 = untraced)
+//! span       u32   issuing span within that trace
 //! len        u32   payload length
-//! checksum   u64   fnv1a64(generation ‖ ds ‖ index ‖ payload)
+//! checksum   u64   fnv1a64(generation ‖ ds ‖ index ‖ trace ‖ span ‖ payload)
 //! payload    [u8; len]
 //! ```
+//!
+//! The trace fields carry the [`TraceContext`] of the operation that stored
+//! the object, so a fetched envelope names the span tree that last wrote it
+//! (write provenance). They sit inside the checksum: a flipped trace id is
+//! a detected corruption, never a silently wrong attribution.
 
 use crate::transport::ObjKey;
+use crate::wiretap::TraceContext;
 
 /// Envelope magic ("CARD" little-endian).
 pub const ENVELOPE_MAGIC: u32 = 0x4352_4144;
 
 /// Bytes of header preceding the payload.
-pub const HEADER_LEN: usize = 4 + 8 + 4 + 8 + 4 + 8;
+pub const HEADER_LEN: usize = 4 + 8 + 4 + 8 + 8 + 4 + 4 + 8;
 
 /// FNV-1a 64-bit over `bytes`, continuing from `state` (seed with
 /// [`fnv1a_init`]). Dependency-free and byte-order independent.
@@ -43,23 +51,28 @@ pub fn fnv1a_init() -> u64 {
     0xcbf2_9ce4_8422_2325
 }
 
-fn checksum(generation: u64, key: ObjKey, payload: &[u8]) -> u64 {
+fn checksum(generation: u64, key: ObjKey, ctx: TraceContext, payload: &[u8]) -> u64 {
     let mut h = fnv1a_init();
     h = fnv1a(h, &generation.to_le_bytes());
     h = fnv1a(h, &key.ds.to_le_bytes());
     h = fnv1a(h, &key.index.to_le_bytes());
+    h = fnv1a(h, &ctx.trace.to_le_bytes());
+    h = fnv1a(h, &ctx.span.to_le_bytes());
     fnv1a(h, payload)
 }
 
-/// Wrap `payload` in an envelope stamped with `generation` and `key`.
-pub fn encode(generation: u64, key: ObjKey, payload: &[u8]) -> Vec<u8> {
+/// Wrap `payload` in an envelope stamped with `generation`, `key` and the
+/// causal context of the storing operation.
+pub fn encode(generation: u64, key: ObjKey, ctx: TraceContext, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&ENVELOPE_MAGIC.to_le_bytes());
     out.extend_from_slice(&generation.to_le_bytes());
     out.extend_from_slice(&key.ds.to_le_bytes());
     out.extend_from_slice(&key.index.to_le_bytes());
+    out.extend_from_slice(&ctx.trace.to_le_bytes());
+    out.extend_from_slice(&ctx.span.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&checksum(generation, key, payload).to_le_bytes());
+    out.extend_from_slice(&checksum(generation, key, ctx, payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
@@ -88,16 +101,20 @@ fn read_u64(b: &[u8], at: usize) -> u64 {
 }
 
 /// Verify and unwrap an envelope fetched under `key`. Returns the stored
-/// generation and the payload.
-pub fn decode(key: ObjKey, bytes: &[u8]) -> Result<(u64, Vec<u8>), EnvelopeError> {
+/// generation, the storing operation's trace context, and the payload.
+pub fn decode(key: ObjKey, bytes: &[u8]) -> Result<(u64, TraceContext, Vec<u8>), EnvelopeError> {
     if bytes.len() < HEADER_LEN || read_u32(bytes, 0) != ENVELOPE_MAGIC {
         return Err(EnvelopeError::Malformed);
     }
     let generation = read_u64(bytes, 4);
     let ds = read_u32(bytes, 12);
     let index = read_u64(bytes, 16);
-    let len = read_u32(bytes, 24) as usize;
-    let sum = read_u64(bytes, 28);
+    let ctx = TraceContext {
+        trace: read_u64(bytes, 24),
+        span: read_u32(bytes, 32),
+    };
+    let len = read_u32(bytes, 36) as usize;
+    let sum = read_u64(bytes, 40);
     if bytes.len() != HEADER_LEN + len {
         return Err(EnvelopeError::Torn);
     }
@@ -105,10 +122,10 @@ pub fn decode(key: ObjKey, bytes: &[u8]) -> Result<(u64, Vec<u8>), EnvelopeError
         return Err(EnvelopeError::KeyMismatch);
     }
     let payload = &bytes[HEADER_LEN..];
-    if checksum(generation, key, payload) != sum {
+    if checksum(generation, key, ctx, payload) != sum {
         return Err(EnvelopeError::BadChecksum);
     }
-    Ok((generation, payload.to_vec()))
+    Ok((generation, ctx, payload.to_vec()))
 }
 
 #[cfg(test)]
@@ -119,25 +136,30 @@ mod tests {
         ObjKey { ds: 7, index: 42 }
     }
 
+    fn ctx() -> TraceContext {
+        TraceContext { trace: 11, span: 2 }
+    }
+
     #[test]
     fn round_trip() {
         let payload = vec![0xabu8; 4096];
-        let env = encode(3, key(), &payload);
+        let env = encode(3, key(), ctx(), &payload);
         assert_eq!(env.len(), HEADER_LEN + 4096);
-        let (generation, got) = decode(key(), &env).unwrap();
+        let (generation, got_ctx, got) = decode(key(), &env).unwrap();
         assert_eq!(generation, 3);
+        assert_eq!(got_ctx, ctx());
         assert_eq!(got, payload);
     }
 
     #[test]
     fn empty_payload_round_trips() {
-        let env = encode(0, key(), &[]);
-        assert_eq!(decode(key(), &env), Ok((0, Vec::new())));
+        let env = encode(0, key(), TraceContext::NONE, &[]);
+        assert_eq!(decode(key(), &env), Ok((0, TraceContext::NONE, Vec::new())));
     }
 
     #[test]
     fn single_bit_flip_is_detected_anywhere() {
-        let env = encode(9, key(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let env = encode(9, key(), ctx(), &[1, 2, 3, 4, 5, 6, 7, 8]);
         for byte in 0..env.len() {
             for bit in 0..8 {
                 let mut bad = env.clone();
@@ -152,7 +174,7 @@ mod tests {
 
     #[test]
     fn torn_reads_are_detected() {
-        let env = encode(1, key(), &[9u8; 128]);
+        let env = encode(1, key(), ctx(), &[9u8; 128]);
         assert_eq!(
             decode(key(), &env[..env.len() - 1]),
             Err(EnvelopeError::Torn)
@@ -165,7 +187,7 @@ mod tests {
 
     #[test]
     fn wrong_key_is_detected() {
-        let env = encode(1, key(), &[5u8; 16]);
+        let env = encode(1, key(), ctx(), &[5u8; 16]);
         assert_eq!(
             decode(ObjKey { ds: 7, index: 43 }, &env),
             Err(EnvelopeError::KeyMismatch)
@@ -174,8 +196,18 @@ mod tests {
 
     #[test]
     fn generation_is_covered_by_checksum() {
-        let mut env = encode(1, key(), &[5u8; 16]);
+        let mut env = encode(1, key(), ctx(), &[5u8; 16]);
         env[4] = 2; // patch the generation field
+        assert_eq!(decode(key(), &env), Err(EnvelopeError::BadChecksum));
+    }
+
+    #[test]
+    fn trace_fields_are_covered_by_checksum() {
+        let mut env = encode(1, key(), ctx(), &[5u8; 16]);
+        env[24] ^= 1; // patch the trace id field
+        assert_eq!(decode(key(), &env), Err(EnvelopeError::BadChecksum));
+        let mut env = encode(1, key(), ctx(), &[5u8; 16]);
+        env[32] ^= 1; // patch the span field
         assert_eq!(decode(key(), &env), Err(EnvelopeError::BadChecksum));
     }
 }

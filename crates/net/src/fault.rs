@@ -8,6 +8,7 @@
 use crate::prng::SplitMix64;
 use crate::stats::NetStats;
 use crate::transport::{Fetched, NetError, ObjKey, Transport};
+use crate::wiretap::{TraceContext, WireTap};
 
 /// Deterministic fault injector around an inner transport.
 pub struct FaultyTransport<T: Transport> {
@@ -91,6 +92,18 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
     fn remote_bytes(&self) -> u64 {
         self.inner.remote_bytes()
+    }
+
+    fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.inner.set_trace_context(ctx);
+    }
+
+    fn trace_context(&self) -> TraceContext {
+        self.inner.trace_context()
+    }
+
+    fn wire_tap(&self) -> Option<&WireTap> {
+        self.inner.wire_tap()
     }
 }
 

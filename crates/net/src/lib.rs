@@ -25,6 +25,7 @@ pub mod prng;
 pub mod stats;
 pub mod threaded;
 pub mod transport;
+pub mod wiretap;
 
 pub use chaos::{ChaosPhase, ChaosSchedule, ChaosStats, ChaosTransport, ScheduledPhase};
 pub use fault::FaultyTransport;
@@ -33,3 +34,4 @@ pub use prng::SplitMix64;
 pub use stats::NetStats;
 pub use threaded::ThreadedTransport;
 pub use transport::{Fetched, NetError, ObjKey, SimTransport, Transport};
+pub use wiretap::{TraceContext, WireDir, WireOp, WireRecord, WireTap};

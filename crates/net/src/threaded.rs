@@ -13,6 +13,7 @@ use std::thread::JoinHandle;
 use crate::model::NetworkModel;
 use crate::stats::NetStats;
 use crate::transport::{Fetched, NetError, ObjKey, Transport};
+use crate::wiretap::{TraceContext, WireDir, WireOp, WireTap};
 
 enum Request {
     Fetch(ObjKey),
@@ -37,6 +38,11 @@ pub struct ThreadedTransport {
     model: NetworkModel,
     stats: NetStats,
     handle: Option<JoinHandle<()>>,
+    /// Trace context and wire tap live on the client side so recording is
+    /// sequenced by the (single) caller, keeping it deterministic and
+    /// byte-identical with `SimTransport` under the same workload.
+    ctx: TraceContext,
+    tap: WireTap,
 }
 
 impl ThreadedTransport {
@@ -54,6 +60,8 @@ impl ThreadedTransport {
             model,
             stats: NetStats::default(),
             handle: Some(handle),
+            ctx: TraceContext::NONE,
+            tap: WireTap::default(),
         }
     }
 
@@ -103,33 +111,54 @@ fn server_loop(rx: Receiver<Request>, tx: SyncSender<Response>) {
     }
 }
 
-impl Transport for ThreadedTransport {
-    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
-        match self.call(Request::Fetch(key))? {
-            Response::Data(Some(bytes)) => {
-                let cycles = self.model.fetch_cost(bytes.len() as u64);
+impl ThreadedTransport {
+    fn fetch_inner(&mut self, key: ObjKey, op: WireOp) -> Result<Fetched, NetError> {
+        self.tap
+            .record(WireDir::Send, op, key.ds, key.index, 0, true, self.ctx);
+        let r = self.call(Request::Fetch(key));
+        match r {
+            Ok(Response::Data(Some(bytes))) => {
+                let cycles = match op {
+                    WireOp::FetchBatched => {
+                        self.model.per_msg_cpu + self.model.wire_cycles(bytes.len() as u64)
+                    }
+                    _ => self.model.fetch_cost(bytes.len() as u64),
+                };
                 self.stats.fetches += 1;
                 self.stats.bytes_fetched += bytes.len() as u64;
                 self.stats.cycles += cycles;
+                self.tap.record(
+                    WireDir::Recv,
+                    op,
+                    key.ds,
+                    key.index,
+                    bytes.len() as u64,
+                    true,
+                    self.ctx,
+                );
                 Ok(Fetched { bytes, cycles })
             }
-            Response::Data(None) => Err(NetError::NotFound(key)),
-            _ => Err(NetError::Disconnected),
+            Ok(Response::Data(None)) => {
+                self.tap
+                    .record(WireDir::Recv, op, key.ds, key.index, 0, false, self.ctx);
+                Err(NetError::NotFound(key))
+            }
+            _ => {
+                self.tap
+                    .record(WireDir::Recv, op, key.ds, key.index, 0, false, self.ctx);
+                Err(NetError::Disconnected)
+            }
         }
+    }
+}
+
+impl Transport for ThreadedTransport {
+    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        self.fetch_inner(key, WireOp::Fetch)
     }
 
     fn fetch_batched(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
-        match self.call(Request::Fetch(key))? {
-            Response::Data(Some(bytes)) => {
-                let cycles = self.model.per_msg_cpu + self.model.wire_cycles(bytes.len() as u64);
-                self.stats.fetches += 1;
-                self.stats.bytes_fetched += bytes.len() as u64;
-                self.stats.cycles += cycles;
-                Ok(Fetched { bytes, cycles })
-            }
-            Response::Data(None) => Err(NetError::NotFound(key)),
-            _ => Err(NetError::Disconnected),
-        }
+        self.fetch_inner(key, WireOp::FetchBatched)
     }
 
     fn rtt_cost(&self) -> u64 {
@@ -137,27 +166,87 @@ impl Transport for ThreadedTransport {
     }
 
     fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError> {
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Put,
+            key.ds,
+            key.index,
+            data.len() as u64,
+            true,
+            self.ctx,
+        );
         let cycles = self.model.writeback_cost(data.len() as u64);
-        match self.call(Request::Put(key, data.to_vec()))? {
-            Response::Ok => {
+        let r = self.call(Request::Put(key, data.to_vec()));
+        match r {
+            Ok(Response::Ok) => {
                 self.stats.writebacks += 1;
                 self.stats.bytes_written += data.len() as u64;
                 self.stats.cycles += cycles;
+                self.tap.record(
+                    WireDir::Recv,
+                    WireOp::Put,
+                    key.ds,
+                    key.index,
+                    0,
+                    true,
+                    self.ctx,
+                );
                 Ok(cycles)
             }
-            _ => Err(NetError::Disconnected),
+            _ => {
+                self.tap.record(
+                    WireDir::Recv,
+                    WireOp::Put,
+                    key.ds,
+                    key.index,
+                    0,
+                    false,
+                    self.ctx,
+                );
+                Err(NetError::Disconnected)
+            }
         }
     }
 
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
-        match self.call(Request::Remove(key))? {
-            Response::Ok => {
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Remove,
+            key.ds,
+            key.index,
+            0,
+            true,
+            self.ctx,
+        );
+        let r = self.call(Request::Remove(key));
+        match r {
+            Ok(Response::Ok) => {
                 // Same accounting as SimTransport: the free's CPU cost lands
                 // in the traffic stats, not just the return value.
                 self.stats.cycles += self.model.per_msg_cpu;
+                self.tap.record(
+                    WireDir::Recv,
+                    WireOp::Remove,
+                    key.ds,
+                    key.index,
+                    0,
+                    true,
+                    self.ctx,
+                );
                 Ok(self.model.per_msg_cpu)
             }
-            _ => Err(NetError::Disconnected),
+            _ => {
+                self.tap.record(
+                    WireDir::Recv,
+                    WireOp::Remove,
+                    key.ds,
+                    key.index,
+                    0,
+                    false,
+                    self.ctx,
+                );
+                Err(NetError::Disconnected)
+            }
         }
     }
 
@@ -174,6 +263,18 @@ impl Transport for ThreadedTransport {
             Ok(Response::Bytes(b)) => b,
             _ => 0,
         }
+    }
+
+    fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.ctx = ctx;
+    }
+
+    fn trace_context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    fn wire_tap(&self) -> Option<&WireTap> {
+        Some(&self.tap)
     }
 }
 
@@ -255,6 +356,27 @@ mod tests {
         let mut t = ThreadedTransport::spawn(NetworkModel::free());
         t.kill_server();
         drop(t); // Drop must tolerate the already-dead server
+    }
+
+    #[test]
+    fn wire_tap_matches_sim_record_for_record() {
+        use crate::transport::SimTransport;
+        let model = NetworkModel::default();
+        let mut a = ThreadedTransport::spawn(model);
+        let mut b = SimTransport::new(model);
+        let ctx = TraceContext { trace: 4, span: 2 };
+        for t in [&mut a as &mut dyn Transport, &mut b as &mut dyn Transport] {
+            t.set_trace_context(ctx);
+            let k = ObjKey { ds: 2, index: 7 };
+            t.put(k, &[3u8; 128]).unwrap();
+            t.fetch(k).unwrap();
+            let _ = t.fetch(ObjKey { ds: 2, index: 8 });
+            t.remove(k).unwrap();
+        }
+        let ta: Vec<_> = a.wire_tap().unwrap().records().cloned().collect();
+        let tb: Vec<_> = b.wire_tap().unwrap().records().cloned().collect();
+        assert_eq!(ta, tb, "taps must be byte-identical across transports");
+        assert!(ta.iter().all(|r| r.ctx == ctx));
     }
 
     #[test]

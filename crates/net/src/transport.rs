@@ -6,6 +6,7 @@ use std::fmt;
 
 use crate::model::NetworkModel;
 use crate::stats::NetStats;
+use crate::wiretap::{TraceContext, WireDir, WireOp, WireTap};
 
 /// Key identifying one far-memory object: (data-structure id, object index).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -108,6 +109,21 @@ pub trait Transport {
 
     /// Total bytes currently resident on the remote server.
     fn remote_bytes(&self) -> u64;
+
+    /// Set the causal context stamped on subsequent operations (envelopes
+    /// and wire-tap records). Transports without tracing ignore it.
+    fn set_trace_context(&mut self, _ctx: TraceContext) {}
+
+    /// The causal context currently in force.
+    fn trace_context(&self) -> TraceContext {
+        TraceContext::NONE
+    }
+
+    /// The wire tap recording every send/recv at the client edge, if this
+    /// transport keeps one.
+    fn wire_tap(&self) -> Option<&WireTap> {
+        None
+    }
 }
 
 /// In-process simulated transport: a hash map "server" plus the cycle model.
@@ -117,6 +133,8 @@ pub struct SimTransport {
     store: HashMap<ObjKey, Vec<u8>>,
     stats: NetStats,
     resident_bytes: u64,
+    ctx: TraceContext,
+    tap: WireTap,
 }
 
 impl SimTransport {
@@ -127,6 +145,8 @@ impl SimTransport {
             store: HashMap::new(),
             stats: NetStats::default(),
             resident_bytes: 0,
+            ctx: TraceContext::NONE,
+            tap: WireTap::default(),
         }
     }
 
@@ -147,37 +167,49 @@ impl Default for SimTransport {
     }
 }
 
-impl Transport for SimTransport {
-    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+impl SimTransport {
+    fn fetch_inner(&mut self, key: ObjKey, op: WireOp) -> Result<Fetched, NetError> {
+        self.tap
+            .record(WireDir::Send, op, key.ds, key.index, 0, true, self.ctx);
         match self.store.get(&key) {
             Some(data) => {
-                let cycles = self.model.fetch_cost(data.len() as u64);
+                let cycles = match op {
+                    WireOp::FetchBatched => {
+                        self.model.per_msg_cpu + self.model.wire_cycles(data.len() as u64)
+                    }
+                    _ => self.model.fetch_cost(data.len() as u64),
+                };
                 self.stats.fetches += 1;
                 self.stats.bytes_fetched += data.len() as u64;
                 self.stats.cycles += cycles;
-                Ok(Fetched {
-                    bytes: data.clone(),
-                    cycles,
-                })
+                let bytes = data.clone();
+                self.tap.record(
+                    WireDir::Recv,
+                    op,
+                    key.ds,
+                    key.index,
+                    bytes.len() as u64,
+                    true,
+                    self.ctx,
+                );
+                Ok(Fetched { bytes, cycles })
             }
-            None => Err(NetError::NotFound(key)),
+            None => {
+                self.tap
+                    .record(WireDir::Recv, op, key.ds, key.index, 0, false, self.ctx);
+                Err(NetError::NotFound(key))
+            }
         }
+    }
+}
+
+impl Transport for SimTransport {
+    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        self.fetch_inner(key, WireOp::Fetch)
     }
 
     fn fetch_batched(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
-        match self.store.get(&key) {
-            Some(data) => {
-                let cycles = self.model.per_msg_cpu + self.model.wire_cycles(data.len() as u64);
-                self.stats.fetches += 1;
-                self.stats.bytes_fetched += data.len() as u64;
-                self.stats.cycles += cycles;
-                Ok(Fetched {
-                    bytes: data.clone(),
-                    cycles,
-                })
-            }
-            None => Err(NetError::NotFound(key)),
-        }
+        self.fetch_inner(key, WireOp::FetchBatched)
     }
 
     fn rtt_cost(&self) -> u64 {
@@ -185,6 +217,15 @@ impl Transport for SimTransport {
     }
 
     fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError> {
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Put,
+            key.ds,
+            key.index,
+            data.len() as u64,
+            true,
+            self.ctx,
+        );
         let cycles = self.model.writeback_cost(data.len() as u64);
         self.stats.writebacks += 1;
         self.stats.bytes_written += data.len() as u64;
@@ -193,15 +234,42 @@ impl Transport for SimTransport {
             self.resident_bytes -= old.len() as u64;
         }
         self.resident_bytes += data.len() as u64;
+        self.tap.record(
+            WireDir::Recv,
+            WireOp::Put,
+            key.ds,
+            key.index,
+            0,
+            true,
+            self.ctx,
+        );
         Ok(cycles)
     }
 
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Remove,
+            key.ds,
+            key.index,
+            0,
+            true,
+            self.ctx,
+        );
         if let Some(old) = self.store.remove(&key) {
             self.resident_bytes -= old.len() as u64;
         }
         // Frees piggyback on other traffic; charge one message's CPU cost.
         self.stats.cycles += self.model.per_msg_cpu;
+        self.tap.record(
+            WireDir::Recv,
+            WireOp::Remove,
+            key.ds,
+            key.index,
+            0,
+            true,
+            self.ctx,
+        );
         Ok(self.model.per_msg_cpu)
     }
 
@@ -215,6 +283,18 @@ impl Transport for SimTransport {
 
     fn remote_bytes(&self) -> u64 {
         self.resident_bytes
+    }
+
+    fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.ctx = ctx;
+    }
+
+    fn trace_context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    fn wire_tap(&self) -> Option<&WireTap> {
+        Some(&self.tap)
     }
 }
 
@@ -291,5 +371,29 @@ mod tests {
         let mut t = SimTransport::default();
         assert_eq!(t.flush(), Ok(0));
         assert_eq!(t.generation(), 0);
+    }
+
+    #[test]
+    fn wire_tap_records_send_and_recv_with_context() {
+        let mut t = SimTransport::default();
+        let ctx = TraceContext { trace: 9, span: 1 };
+        t.set_trace_context(ctx);
+        assert_eq!(t.trace_context(), ctx);
+        t.put(key(1, 4), &[7u8; 64]).unwrap();
+        t.fetch(key(1, 4)).unwrap();
+        assert_eq!(t.fetch(key(1, 5)), Err(NetError::NotFound(key(1, 5))));
+        let recs: Vec<_> = t.wire_tap().unwrap().records().cloned().collect();
+        assert_eq!(recs.len(), 6, "send+recv per operation");
+        assert!(recs.iter().all(|r| r.ctx == ctx));
+        assert_eq!(recs[0].dir, WireDir::Send);
+        assert_eq!(recs[0].op, WireOp::Put);
+        assert_eq!(recs[0].bytes, 64);
+        assert_eq!(recs[3].dir, WireDir::Recv);
+        assert_eq!(recs[3].op, WireOp::Fetch);
+        assert_eq!(recs[3].bytes, 64);
+        assert!(recs[3].ok);
+        assert!(!recs[5].ok, "failed fetch records a failed recv");
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
     }
 }

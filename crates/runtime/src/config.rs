@@ -2,6 +2,7 @@
 
 use crate::pressure::PressureConfig;
 use crate::telemetry::TelemetryConfig;
+use crate::ttrace::TraceConfig;
 
 /// Cycle costs of the runtime's CPU-side primitives, matching the shape of
 /// the paper's Table 1. The remote transfer itself is priced by
@@ -91,6 +92,9 @@ pub struct RuntimeConfig {
     /// Memory-pressure governor knobs (watermark sweeps, thrashing
     /// detector, re-solve hysteresis). Disabled by default.
     pub pressure: PressureConfig,
+    /// Causal tracing knobs (span trees, flight recorder, anomaly
+    /// triggers). Enabled by default; costs nothing on the hit path.
+    pub trace: TraceConfig,
 }
 
 impl RuntimeConfig {
@@ -110,6 +114,7 @@ impl RuntimeConfig {
             prefetch_batch: 8,
             telemetry: TelemetryConfig::default(),
             pressure: PressureConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -166,6 +171,12 @@ impl RuntimeConfig {
     /// Builder-style: memory-pressure governor knobs.
     pub fn with_pressure(mut self, pressure: PressureConfig) -> Self {
         self.pressure = pressure;
+        self
+    }
+
+    /// Builder-style: causal-tracing knobs.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 

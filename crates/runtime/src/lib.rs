@@ -31,6 +31,7 @@ pub mod runtime;
 pub mod spec;
 pub mod stats;
 pub mod telemetry;
+pub mod ttrace;
 
 pub use config::{CostModel, RuntimeConfig};
 pub use farptr::{FarPtr, MAX_HANDLE, OFFSET_MASK, TAG_SHIFT};
@@ -49,6 +50,7 @@ pub use telemetry::{
     export_chrome_trace, export_json, Event, EventKind, HistPath, Histogram, Telemetry,
     TelemetryConfig,
 };
+pub use ttrace::{FlightSnapshot, Span, SpanKind, TraceConfig, TraceTree, TraceTrigger, Tracer};
 
 /// Round `v` up to a multiple of `align` (power of two).
 pub(crate) fn align_up(v: u64, align: u64) -> u64 {

@@ -140,6 +140,29 @@ pub fn render_report<T: Transport>(rt: &FarMemRuntime<T>) -> String {
             g.flush_failures,
             rt.journal_len()
         );
+        // Per-DS retry attribution: which structures paid for the retries.
+        let attempters: Vec<u16> = (0..rt.ds_count() as u16)
+            .filter(|&h| rt.ds_stats(h).is_some_and(|st| st.retry_attempts > 0))
+            .collect();
+        if !attempters.is_empty() {
+            let _ = writeln!(
+                s,
+                "  {:<5} {:<18} {:>9} {:>12}",
+                "ds", "name", "attempts", "retried_ops"
+            );
+            for h in attempters {
+                let st = rt.ds_stats(h).unwrap();
+                let name = rt.ds_spec(h).map(|sp| sp.name.clone()).unwrap_or_default();
+                let _ = writeln!(
+                    s,
+                    "  ds{:<3} {:<18} {:>9} {:>12}",
+                    h,
+                    truncate(&name, 18),
+                    st.retry_attempts,
+                    st.retried_ops,
+                );
+            }
+        }
         for h in 0..rt.ds_count() as u16 {
             let Some(st) = rt.ds_stats(h) else { continue };
             let state = rt.breaker_state(h).unwrap_or("closed");

@@ -24,6 +24,7 @@ use crate::profile::SiteProfiler;
 use crate::spec::{DsSpec, StaticHint};
 use crate::stats::{DsStats, RuntimeStats};
 use crate::telemetry::{EventKind, HistPath, Telemetry};
+use crate::ttrace::{SpanKind, Tracer};
 
 /// Read or write access, for fault-cost selection and dirty tracking.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -190,6 +191,9 @@ pub struct FarMemRuntime<T: Transport> {
     telemetry: Telemetry,
     /// Per-site attribution counters (the `cards profile` data source).
     profiler: SiteProfiler,
+    /// Causal tracer: span trees per remote operation, flight recorder,
+    /// anomaly triggers (`cards ttrace`). Charges zero modeled cycles.
+    tracer: Tracer,
     /// Writeback journal: payloads put to the server but not yet
     /// acknowledged by a successful flush. Invariant: every `Remote` object
     /// is either durable on the server or present here, so a server
@@ -261,6 +265,7 @@ impl<T: Transport> FarMemRuntime<T> {
             stats: RuntimeStats::default(),
             telemetry,
             profiler: SiteProfiler::default(),
+            tracer: Tracer::new(cfg.trace),
             journal: BTreeMap::new(),
             puts_since_flush: 0,
             last_generation,
@@ -404,6 +409,8 @@ impl<T: Transport> FarMemRuntime<T> {
         };
 
         let mut cycles = 0u64;
+        self.tracer
+            .op_begin(SpanKind::Alloc, handle, first_new, None, self.stats.cycles);
         for idx in first_new..=last_new {
             if self.ds[dsi].objects.contains_key(&idx) {
                 continue;
@@ -412,6 +419,7 @@ impl<T: Transport> FarMemRuntime<T> {
             cycles += self.place_new_object(handle, idx, obj_bytes)?;
         }
         self.stats.cycles += cycles;
+        self.tracer.op_end(cycles, self.stats.cycles);
         let cycle = self.stats.cycles;
         self.telemetry.emit(
             cycle,
@@ -435,7 +443,13 @@ impl<T: Transport> FarMemRuntime<T> {
         if want_pinned && self.pinned_used + obj_bytes <= self.cfg.pinned_bytes {
             self.pinned_used += obj_bytes;
             // The cache may have borrowed this headroom; shrink it back.
-            let (cycles, fits) = self.ensure_room(0, false)?;
+            // The shrink is charged out-of-band (straight to the global
+            // clock, not this allocation's total), so its eviction spans
+            // must not land in the Alloc tree.
+            self.tracer.pause();
+            let room = self.ensure_room(0, false);
+            self.tracer.unpause();
+            let (cycles, fits) = room?;
             if !fits {
                 self.stats.overcommits += 1;
             }
@@ -525,6 +539,8 @@ impl<T: Transport> FarMemRuntime<T> {
         let first = crate::align_up(offset, obj_bytes) >> self.ds[dsi].spec.obj_shift();
         let end = (offset + size) / obj_bytes; // exclusive frontier of fully-covered objs
         let mut cycles = 10;
+        self.tracer
+            .op_begin(SpanKind::Free, handle, first, None, self.stats.cycles);
         for idx in first..end {
             let key = ObjKey {
                 ds: handle as u32,
@@ -550,6 +566,7 @@ impl<T: Transport> FarMemRuntime<T> {
             }
         }
         self.stats.cycles += cycles;
+        self.tracer.op_end(cycles, self.stats.cycles);
         let cycle = self.stats.cycles;
         self.telemetry.emit(
             cycle,
@@ -598,7 +615,12 @@ impl<T: Transport> FarMemRuntime<T> {
 
     /// The per-object body of `cards_deref` (Listing 4).
     fn deref_object(&mut self, handle: u16, idx: u64, access: Access) -> Result<u64, RtError> {
+        // The pulse runs before the operation root: proactive-sweep work is
+        // charged straight to the global clock, outside this guard's total.
         self.pressure_pulse()?;
+        let site = self.profiler.current();
+        self.tracer
+            .op_begin(SpanKind::Guard, handle, idx, site, self.stats.cycles);
         let dsi = handle as usize;
         self.ds[dsi].stats.guard_checks += 1;
         self.note_guarded(handle, idx);
@@ -641,6 +663,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 },
             );
             self.telemetry.record(HistPath::DerefLocal, c);
+            self.tracer.op_end(c, self.stats.cycles);
             if self.telemetry.guard_tick() {
                 self.snapshot_epoch();
             }
@@ -670,6 +693,7 @@ impl<T: Transport> FarMemRuntime<T> {
         // the bytes; speculation into a cache with no room is pointless.
         self.profiler.on_miss(cycles);
         self.telemetry.record(HistPath::DerefRemote, cycles);
+        self.tracer.op_end(cycles, self.stats.cycles);
         if self.telemetry.guard_tick() {
             self.snapshot_epoch();
         }
@@ -731,6 +755,7 @@ impl<T: Transport> FarMemRuntime<T> {
             ds: handle as u32,
             index: idx,
         };
+        self.tracer.begin(SpanKind::Localize, handle, idx);
         let (mut cycles, fits) = self.ensure_room(obj_bytes, true)?;
         if !fits
             && !self.breaker_degraded(dsi)
@@ -742,6 +767,7 @@ impl<T: Transport> FarMemRuntime<T> {
             // merely pin-wedged cache overcommits as it always has.
             self.spill_ok.insert((handle, idx));
             cycles += self.cfg.costs.remote_extra;
+            self.tracer.end(cycles);
             return Ok((cycles, false));
         }
         if !fits {
@@ -797,6 +823,7 @@ impl<T: Transport> FarMemRuntime<T> {
         }
         self.spill_ok.remove(&(handle, idx));
         cycles += self.chase_targets(handle, chased)?;
+        self.tracer.end(cycles);
         Ok((cycles, true))
     }
 
@@ -916,6 +943,7 @@ impl<T: Transport> FarMemRuntime<T> {
         // Speculative fetches keep the historical overcommit behaviour: a
         // prefetcher riding a fully-pinned cache is a tuning problem, not a
         // correctness one, and spilling speculation would defeat its point.
+        self.tracer.begin(SpanKind::Prefetch, handle, idx);
         let (mut cycles, fits) = self.ensure_room(obj_bytes, false)?;
         if !fits {
             self.stats.overcommits += 1;
@@ -960,6 +988,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 prefetch: true,
             },
         );
+        self.tracer.end(cycles);
         Ok(cycles)
     }
 
@@ -1016,10 +1045,25 @@ impl<T: Transport> FarMemRuntime<T> {
         self.classify_failure(e);
         self.breaker_on_failure(key.ds as u16);
         self.stats.retries += 1;
-        *cycles += self.transport.rtt_cost();
+        let rtt = self.transport.rtt_cost();
+        *cycles += rtt;
         let backoff = self.backoff_for(key, attempt, write);
         *cycles += backoff;
         self.stats.backoff_cycles += backoff;
+        self.telemetry.record(HistPath::RetryAttempt, rtt);
+        self.telemetry.record(HistPath::BackoffSleep, backoff);
+        if let Some(d) = self.ds.get_mut(key.ds as usize) {
+            d.stats.retry_attempts += 1;
+        }
+        self.tracer
+            .leaf(SpanKind::Retry, key.ds as u16, key.index, rtt, attempt);
+        self.tracer.leaf(
+            SpanKind::Backoff,
+            key.ds as u16,
+            key.index,
+            backoff,
+            attempt,
+        );
         let cycle = self.stats.cycles;
         self.telemetry.emit(
             cycle,
@@ -1031,6 +1075,16 @@ impl<T: Transport> FarMemRuntime<T> {
                 backoff,
             },
         );
+    }
+
+    /// A remote op that succeeded after `attempts` tries: count it as
+    /// retried when more than one attempt was needed.
+    fn note_retried_op(&mut self, ds: u16, attempts: u32) {
+        if attempts > 1 {
+            if let Some(d) = self.ds.get_mut(ds as usize) {
+                d.stats.retried_ops += 1;
+            }
+        }
     }
 
     /// A remote op gave up (retries exhausted or terminal error): emit the
@@ -1055,6 +1109,8 @@ impl<T: Transport> FarMemRuntime<T> {
         cycles: &mut u64,
     ) -> Result<cards_net::Fetched, RtError> {
         let ds = key.ds as u16;
+        let ctx = self.tracer.context();
+        self.transport.set_trace_context(ctx);
         let mut attempts: u32 = 0;
         loop {
             attempts += 1;
@@ -1067,6 +1123,8 @@ impl<T: Transport> FarMemRuntime<T> {
             match r {
                 Ok(f) => {
                     *cycles += f.cycles;
+                    self.tracer.leaf(SpanKind::Wire, ds, key.index, f.cycles, 0);
+                    self.note_retried_op(ds, attempts);
                     self.breaker_on_success(ds);
                     self.check_generation(cycles)?;
                     return Ok(f);
@@ -1077,7 +1135,16 @@ impl<T: Transport> FarMemRuntime<T> {
                     // has the bytes — re-put them and serve from the
                     // journal.
                     if let Some(data) = self.journal.get(&key).cloned() {
-                        self.raw_put_with_retry(key, &data, cycles)?;
+                        let before = *cycles;
+                        // The replay span absorbs the recovery put's wire
+                        // cost (paused: no child Wire leaf), so the
+                        // journal-replay phase owns these cycles.
+                        self.tracer.begin(SpanKind::JournalReplay, ds, key.index);
+                        self.tracer.pause();
+                        let put = self.raw_put_with_retry(key, &data, cycles);
+                        self.tracer.unpause();
+                        self.tracer.end(*cycles - before);
+                        put?;
                         self.stats.journal_replays += 1;
                         let cycle = self.stats.cycles;
                         self.telemetry.emit(
@@ -1126,6 +1193,8 @@ impl<T: Transport> FarMemRuntime<T> {
         cycles: &mut u64,
     ) -> Result<(), RtError> {
         let ds = key.ds as u16;
+        let ctx = self.tracer.context();
+        self.transport.set_trace_context(ctx);
         let mut attempts: u32 = 0;
         loop {
             attempts += 1;
@@ -1133,6 +1202,8 @@ impl<T: Transport> FarMemRuntime<T> {
             match self.transport.put(key, data) {
                 Ok(c) => {
                     *cycles += c;
+                    self.tracer.leaf(SpanKind::Wire, ds, key.index, c, 0);
+                    self.note_retried_op(ds, attempts);
                     self.breaker_on_success(ds);
                     return Ok(());
                 }
@@ -1174,12 +1245,15 @@ impl<T: Transport> FarMemRuntime<T> {
     /// is cleared — everything it held is durable. Failure is non-fatal:
     /// the journal is retained and recovery falls to generation detection.
     fn flush_journal(&mut self, cycles: &mut u64) {
+        let ctx = self.tracer.context();
+        self.transport.set_trace_context(ctx);
         let mut attempts: u32 = 0;
         loop {
             attempts += 1;
             match self.transport.flush() {
                 Ok(c) => {
                     *cycles += c;
+                    self.tracer.leaf(SpanKind::Flush, 0, 0, c, 0);
                     self.journal.clear();
                     self.puts_since_flush = 0;
                     return;
@@ -1187,10 +1261,15 @@ impl<T: Transport> FarMemRuntime<T> {
                 Err(e) if Self::retryable(&e) && attempts <= self.cfg.max_retries => {
                     self.classify_failure(&e);
                     self.stats.retries += 1;
-                    *cycles += self.transport.rtt_cost();
+                    let rtt = self.transport.rtt_cost();
+                    *cycles += rtt;
                     let backoff = self.backoff_for(ObjKey { ds: 0, index: 0 }, attempts, true);
                     *cycles += backoff;
                     self.stats.backoff_cycles += backoff;
+                    self.telemetry.record(HistPath::RetryAttempt, rtt);
+                    self.telemetry.record(HistPath::BackoffSleep, backoff);
+                    self.tracer.leaf(SpanKind::Retry, 0, 0, rtt, attempts);
+                    self.tracer.leaf(SpanKind::Backoff, 0, 0, backoff, attempts);
                 }
                 Err(e) => {
                     self.classify_failure(&e);
@@ -1205,6 +1284,8 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Retry-tolerant server-side free.
     fn remove_with_retry(&mut self, key: ObjKey, cycles: &mut u64) -> Result<(), RtError> {
         let ds = key.ds as u16;
+        let ctx = self.tracer.context();
+        self.transport.set_trace_context(ctx);
         let mut attempts: u32 = 0;
         loop {
             attempts += 1;
@@ -1212,6 +1293,8 @@ impl<T: Transport> FarMemRuntime<T> {
             match self.transport.remove(key) {
                 Ok(c) => {
                     *cycles += c;
+                    self.tracer.leaf(SpanKind::Wire, ds, key.index, c, 0);
+                    self.note_retried_op(ds, attempts);
                     self.breaker_on_success(ds);
                     self.check_generation(cycles)?;
                     return Ok(());
@@ -1246,7 +1329,16 @@ impl<T: Transport> FarMemRuntime<T> {
         let entries: Vec<(ObjKey, Vec<u8>)> =
             self.journal.iter().map(|(k, v)| (*k, v.clone())).collect();
         for (k, data) in entries {
-            self.raw_put_with_retry(k, &data, cycles)?;
+            let before = *cycles;
+            // As in the NotFound path: the replay span absorbs the wire
+            // cost so journal-replay cycles are separately accounted.
+            self.tracer
+                .begin(SpanKind::JournalReplay, k.ds as u16, k.index);
+            self.tracer.pause();
+            let put = self.raw_put_with_retry(k, &data, cycles);
+            self.tracer.unpause();
+            self.tracer.end(*cycles - before);
+            put?;
             self.stats.journal_replays += 1;
             let cycle = self.stats.cycles;
             self.telemetry.emit(
@@ -1279,6 +1371,8 @@ impl<T: Transport> FarMemRuntime<T> {
         if let BreakerState::Open { until } = self.ds[dsi].breaker {
             if self.stats.cycles >= until {
                 self.ds[dsi].breaker = BreakerState::HalfOpen;
+                self.tracer
+                    .leaf_detail(SpanKind::Breaker, handle, 0, 0, 0, "open->half_open");
                 let cycle = self.stats.cycles;
                 self.telemetry.emit(
                     cycle,
@@ -1300,6 +1394,8 @@ impl<T: Transport> FarMemRuntime<T> {
         self.ds[dsi].breaker_failures = 0;
         if self.ds[dsi].breaker == BreakerState::HalfOpen {
             self.ds[dsi].breaker = BreakerState::Closed;
+            self.tracer
+                .leaf_detail(SpanKind::Breaker, handle, 0, 0, 0, "half_open->closed");
             let cycle = self.stats.cycles;
             self.telemetry.emit(
                 cycle,
@@ -1326,6 +1422,9 @@ impl<T: Transport> FarMemRuntime<T> {
                         until: self.stats.cycles + self.cfg.breaker_cooldown,
                     };
                     self.ds[dsi].stats.breaker_trips += 1;
+                    self.tracer
+                        .leaf_detail(SpanKind::Breaker, handle, 0, 0, 0, "closed->open");
+                    self.tracer.trigger("breaker_open", self.stats.cycles);
                     let cycle = self.stats.cycles;
                     self.telemetry.emit(
                         cycle,
@@ -1343,6 +1442,8 @@ impl<T: Transport> FarMemRuntime<T> {
                 self.ds[dsi].breaker = BreakerState::Open {
                     until: self.stats.cycles + self.cfg.breaker_cooldown,
                 };
+                self.tracer
+                    .leaf_detail(SpanKind::Breaker, handle, 0, 0, 0, "half_open->open");
                 let cycle = self.stats.cycles;
                 self.telemetry.emit(
                     cycle,
@@ -1542,6 +1643,7 @@ impl<T: Transport> FarMemRuntime<T> {
             return Ok(0);
         };
         let mut cycles = 50; // eviction bookkeeping
+        self.tracer.begin(SpanKind::Evict, handle, idx);
         self.remotable_used -= data.len() as u64;
         let needs_writeback = dirty || !remote_copy;
         if needs_writeback {
@@ -1550,8 +1652,10 @@ impl<T: Transport> FarMemRuntime<T> {
                 index: idx,
             };
             let before_put = cycles;
+            self.tracer.begin(SpanKind::Writeback, handle, idx);
             self.put_with_retry(key, &data, &mut cycles)?;
             let wb_cycles = cycles - before_put;
+            self.tracer.end(wb_cycles);
             self.ds[dsi].stats.writebacks += 1;
             let cycle = self.stats.cycles;
             self.telemetry.record(HistPath::Writeback, wb_cycles);
@@ -1589,6 +1693,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 dirty: needs_writeback,
             },
         );
+        self.tracer.end(cycles);
         Ok(cycles)
     }
 
@@ -1611,9 +1716,12 @@ impl<T: Transport> FarMemRuntime<T> {
             .retain(|&(h, i)| !(h == handle && i == idx));
         self.guard_history
             .retain(|&(h, i)| !(h == handle && i == idx));
+        self.tracer
+            .op_begin(SpanKind::Evacuate, handle, idx, None, self.stats.cycles);
         let cycles = self.evict(handle, idx)?;
         self.spill_ok.remove(&(handle, idx));
         self.stats.cycles += cycles;
+        self.tracer.op_end(cycles, self.stats.cycles);
         Ok(cycles)
     }
 
@@ -1675,6 +1783,13 @@ impl<T: Transport> FarMemRuntime<T> {
         let shift = self.ds[dsi].spec.obj_shift();
         let mut cycles = 0;
         let mut done = 0u64;
+        self.tracer.op_begin(
+            SpanKind::Access,
+            handle,
+            offset >> shift,
+            self.profiler.current(),
+            self.stats.cycles,
+        );
         while done < len {
             let cur = offset + done;
             let idx = cur >> shift;
@@ -1713,6 +1828,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 };
                 let write = access == Access::Write;
                 let before = cycles;
+                self.tracer.begin(SpanKind::Spill, handle, idx);
                 let mut fetched = self.fetch_with_retry(key, false, &mut cycles)?;
                 cycles += self.cfg.costs.remote_extra;
                 copy(&mut fetched.bytes, r, &mut buf[b]);
@@ -1724,6 +1840,7 @@ impl<T: Transport> FarMemRuntime<T> {
                 }
                 self.ds[dsi].stats.spills = self.ds[dsi].stats.spills.saturating_add(1);
                 self.profiler.on_spill();
+                self.tracer.end(cycles - before);
                 let cycle = self.stats.cycles;
                 self.telemetry
                     .record(HistPath::DerefRemote, cycles - before);
@@ -1746,6 +1863,7 @@ impl<T: Transport> FarMemRuntime<T> {
             done += chunk;
         }
         self.stats.cycles += cycles;
+        self.tracer.op_end(cycles, self.stats.cycles);
         Ok(cycles)
     }
 
@@ -1796,8 +1914,11 @@ impl<T: Transport> FarMemRuntime<T> {
     pub fn flush_writebacks(&mut self) -> u64 {
         let mut cycles = 0;
         if !self.journal.is_empty() {
+            self.tracer
+                .op_begin(SpanKind::FlushWritebacks, 0, 0, None, self.stats.cycles);
             self.flush_journal(&mut cycles);
             self.stats.cycles += cycles;
+            self.tracer.op_end(cycles, self.stats.cycles);
         }
         cycles
     }
@@ -2000,6 +2121,7 @@ impl<T: Transport> FarMemRuntime<T> {
         if demoted + promoted > 0 {
             self.stats.resolves = self.stats.resolves.saturating_add(1);
             self.last_resolve_epoch = self.gov_epochs;
+            self.tracer.trigger("thrash_resolve", self.stats.cycles);
             let (cycle, epoch) = (self.stats.cycles, self.gov_epochs);
             self.telemetry.emit(
                 cycle,
@@ -2226,6 +2348,17 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Mutable profiler — the VM sets the executing site through this.
     pub fn profiler_mut(&mut self) -> &mut SiteProfiler {
         &mut self.profiler
+    }
+
+    /// The causal tracer: recent span trees, anomaly triggers, flight
+    /// snapshots (the `cards ttrace` data source).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer — embedders fire their own anomaly triggers.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Current modeled cycle clock (the stamp used for telemetry events).

@@ -39,6 +39,11 @@ pub struct DsStats {
     pub hint_demotions: u64,
     /// Times the governor soft-pinned this DS as a thrashing hot set.
     pub hint_promotions: u64,
+    /// Failed transport attempts against this DS (each one retried).
+    pub retry_attempts: u64,
+    /// Remote operations against this DS that needed more than one
+    /// attempt to complete.
+    pub retried_ops: u64,
 }
 
 impl DsStats {

@@ -10,9 +10,10 @@
 //!    retry, policy decision, demotion, scope begin/end, …), each stamped
 //!    with the runtime's modeled cycle clock at emission. When the ring is
 //!    full the oldest event is dropped and counted, never silently.
-//! 2. **Latency histograms** — log2-bucketed cycle histograms for the four
-//!    hot paths ([`HistPath`]): local deref, remote deref, fetch, and
-//!    writeback, with p50/p95/p99 accessors.
+//! 2. **Latency histograms** — log2-bucketed cycle histograms for the hot
+//!    paths ([`HistPath`]): local deref, remote deref, fetch, writeback,
+//!    plus per-attempt retry cost and backoff sleeps, with p50/p95/p99
+//!    accessors.
 //! 3. **Epoch time-series** — every `epoch_every` guard events the runtime
 //!    snapshots the *delta* of every [`DsStats`] and the transport's
 //!    [`NetStats`] since the previous epoch, yielding a time-series of
@@ -344,7 +345,7 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-/// The four latency paths tracked with histograms.
+/// The latency paths tracked with histograms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HistPath {
     /// Guarded deref that hit locally.
@@ -355,15 +356,22 @@ pub enum HistPath {
     Fetch,
     /// Network write-back, including retries.
     Writeback,
+    /// One failed transport attempt (the wasted RTT it cost), recorded
+    /// per attempt rather than folded into the whole-op latency.
+    RetryAttempt,
+    /// One backoff sleep between retry attempts, in modeled cycles.
+    BackoffSleep,
 }
 
 impl HistPath {
     /// All paths, in export order.
-    pub const ALL: [HistPath; 4] = [
+    pub const ALL: [HistPath; 6] = [
         HistPath::DerefLocal,
         HistPath::DerefRemote,
         HistPath::Fetch,
         HistPath::Writeback,
+        HistPath::RetryAttempt,
+        HistPath::BackoffSleep,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -373,6 +381,8 @@ impl HistPath {
             HistPath::DerefRemote => "deref_remote",
             HistPath::Fetch => "fetch",
             HistPath::Writeback => "writeback",
+            HistPath::RetryAttempt => "retry_attempt",
+            HistPath::BackoffSleep => "backoff_sleep",
         }
     }
 
@@ -382,6 +392,8 @@ impl HistPath {
             HistPath::DerefRemote => 1,
             HistPath::Fetch => 2,
             HistPath::Writeback => 3,
+            HistPath::RetryAttempt => 4,
+            HistPath::BackoffSleep => 5,
         }
     }
 }
@@ -554,7 +566,7 @@ pub struct Telemetry {
     /// deterministic export order). A saturated ring skews profiles
     /// non-uniformly; this shows which signal was lost.
     dropped_by_kind: BTreeMap<&'static str, u64>,
-    hists: [Histogram; 4],
+    hists: [Histogram; 6],
     epochs: Vec<EpochSnapshot>,
     guard_events: u64,
     epoch_seq: u64,

@@ -10,10 +10,12 @@
 pub mod interp;
 pub mod metrics;
 pub mod profile;
+pub mod ttrace;
 
 pub use interp::{spec_from_meta, splitmix64, Vm, VmError};
 pub use metrics::{CpuModel, VmMetrics};
 pub use profile::{check_attribution, profile_folded, profile_json, render_profile_report};
+pub use ttrace::{check_traces, flight_json, render_ttrace_report, ttrace_json};
 
 #[cfg(test)]
 mod tests {
@@ -356,6 +358,108 @@ mod tests {
             let t = rt.transport();
             assert!(t.chaos_stats().crashes >= 1, "crash phase must fire");
         }
+    }
+
+    /// Causal traces survive the chaos kvstore-style kernel: every retained
+    /// tree validates, phases sum to operation totals, and the retry storm
+    /// shows up as wire/backoff phases plus anomaly triggers.
+    #[test]
+    fn ttrace_report_and_invariants_under_chaos() {
+        use cards_net::{ChaosSchedule, ChaosTransport};
+        use cards_runtime::TraceConfig;
+        let build = || {
+            let mut m = Module::new("k");
+            let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+            let n = 32 * 1024i64;
+            let arr = b.alloc(b.iconst(n * 8), Type::I64);
+            let (z, one) = (b.iconst(0), b.iconst(1));
+            b.counted_loop(z, b.iconst(n), one, |b, i| {
+                let p = b.gep_index(arr, Type::I64, i);
+                b.store(p, i, Type::I64);
+            });
+            let acc = b.alloca(Type::I64);
+            b.store(acc, b.iconst(0), Type::I64);
+            b.counted_loop(z, b.iconst(n), one, |b, i| {
+                let p = b.gep_index(arr, Type::I64, i);
+                let v = b.load(p, Type::I64);
+                let cur = b.load(acc, Type::I64);
+                let nx = b.add(cur, v);
+                b.store(acc, nx, Type::I64);
+            });
+            let out = b.load(acc, Type::I64);
+            b.ret(out);
+            m.add_function(b.finish());
+            m
+        };
+        let c = compile(build(), CompileOptions::cards()).unwrap();
+        let mut vm = Vm::new(
+            c.module,
+            RuntimeConfig::new(0, 2 * 4096)
+                .with_max_retries(32)
+                .with_trace(TraceConfig {
+                    retry_storm_threshold: 4,
+                    ..TraceConfig::default()
+                }),
+            ChaosTransport::new(ChaosSchedule::storm(7)),
+            RemotingPolicy::AllRemotable,
+            0,
+        );
+        vm.run("main", &[]).unwrap();
+        let tr = vm.runtime().tracer();
+        assert!(tr.remote_ops() > 0, "chaos run must trace remote ops");
+        assert!(tr.trees().count() > 0, "ring must retain trees");
+        check_traces(&vm).unwrap();
+        let report = render_ttrace_report(&vm, 5);
+        assert!(report.contains("phase breakdown"));
+        assert!(report.contains("wire"), "wire phase must be accounted");
+        assert!(report.contains("backoff"), "chaos run must show backoff");
+        assert!(report.contains("critical path:"));
+        // The storm schedule reliably trips at least one anomaly trigger
+        // (breaker_open or retry_storm), capturing a flight snapshot.
+        assert!(!tr.triggers().is_empty(), "storm must fire a trigger");
+        assert!(!tr.snapshots().is_empty());
+        assert!(flight_json(&vm, 0)
+            .unwrap()
+            .starts_with("{\"schema\":\"cards-flight-v1\""));
+    }
+
+    /// Identical runs export byte-identical trace JSON (the difftest
+    /// oracle), and the export carries the versioned schema tag.
+    #[test]
+    fn ttrace_json_is_deterministic() {
+        let build = || {
+            let mut m = Module::new("k");
+            let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+            let n = 1024i64;
+            let arr = b.alloc(b.iconst(n * 8), Type::I64);
+            let (z, one) = (b.iconst(0), b.iconst(1));
+            b.counted_loop(z, b.iconst(n), one, |b, i| {
+                let p = b.gep_index(arr, Type::I64, i);
+                b.store(p, i, Type::I64);
+            });
+            let out = b.iconst(0);
+            b.ret(out);
+            m.add_function(b.finish());
+            m
+        };
+        let run = || {
+            let c = compile(build(), CompileOptions::cards()).unwrap();
+            let mut vm = Vm::new(
+                c.module,
+                RuntimeConfig::new(0, 2 * 4096),
+                SimTransport::default(),
+                RemotingPolicy::AllRemotable,
+                0,
+            );
+            vm.run("main", &[]).unwrap();
+            ttrace_json(&vm)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "trace export must be byte-identical across runs");
+        assert!(a.starts_with("{\"schema\":\"cards-ttrace-v1\""));
+        assert!(a.contains("\"phases\":{"));
+        assert!(a.contains("\"trees\":["));
     }
 
     /// hash64 intrinsic is the documented splitmix64.
