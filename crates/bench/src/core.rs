@@ -9,12 +9,12 @@
 
 use std::fmt::Write as _;
 
-use cards_net::SimTransport;
+use cards_net::{NetworkModel, ShardedConfig, SimTransport};
 use cards_passes::{compile, CompileOptions};
 use cards_runtime::telemetry::HistPath;
 use cards_runtime::{RemotingPolicy, RuntimeConfig};
-use cards_vm::Vm;
-use cards_workloads::{bfs, kvstore, listing1};
+use cards_vm::{run_serving, ServeSpec, Vm};
+use cards_workloads::{bfs, kvstore, listing1, serving};
 
 /// Schema tag embedded in the document; bump when the layout changes.
 pub const SCHEMA: &str = "cards-bench-core-v1";
@@ -106,8 +106,62 @@ pub fn bench_core_json(quick: bool) -> String {
             miss.p99(),
         );
     }
-    s.push_str("]}");
+    s.push_str("],");
+    s.push_str(&serving_json(quick));
+    s.push('}');
     s
+}
+
+/// The concurrent serving section: N worker VMs over the sharded tier,
+/// reporting aggregate modeled instruction throughput and per-request
+/// latency percentiles. Only the deterministic fields of the
+/// [`cards_vm::ServeReport`] are emitted — interleaving-dependent counters
+/// (coalesced hits, wire fetches) would break the byte-reproducibility
+/// contract of this document.
+fn serving_json(quick: bool) -> String {
+    let (p, workers) = if quick {
+        (
+            serving::ServingParams {
+                keys: 128,
+                tenants: 200,
+                ops_per_tenant: 10,
+            },
+            4usize,
+        )
+    } else {
+        (
+            serving::ServingParams {
+                keys: 1_024,
+                tenants: 2_000,
+                ops_per_tenant: 20,
+            },
+            8usize,
+        )
+    };
+    let m = serving::build_split(p);
+    let c = compile(m, CompileOptions::cards()).expect("compile serving");
+    let spec = ServeSpec {
+        workers,
+        tenants: p.tenants as u64,
+        ops_per_tenant: p.ops_per_tenant as u64,
+        net: ShardedConfig::default(),
+        model: NetworkModel::default(),
+    };
+    let ws = p.working_set_bytes();
+    let cfg = RuntimeConfig::new(0, ws / 4);
+    let r = run_serving(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50).expect("serve");
+    format!(
+        "\"serving\":{{\"workers\":{},\"shards\":{},\"tenants\":{},\"requests\":{},\"instructions\":{},\"makespan_cycles\":{},\"instructions_per_sec\":{},\"request_p50\":{},\"request_p99\":{}}}",
+        r.workers,
+        spec.net.shards,
+        spec.tenants,
+        r.requests,
+        r.instructions,
+        r.makespan_cycles,
+        instructions_per_sec(r.instructions, r.makespan_cycles),
+        r.p50_cycles,
+        r.p99_cycles,
+    )
 }
 
 #[cfg(test)]
@@ -123,6 +177,9 @@ mod tests {
         assert!(a.contains("\"name\":\"kvstore\""));
         assert!(a.contains("\"instructions_per_sec\":"));
         assert!(a.contains("\"miss_p99\":"));
+        assert!(a.contains("\"serving\":{\"workers\":4"));
+        assert!(a.contains("\"request_p50\":"));
+        assert!(a.contains("\"request_p99\":"));
     }
 
     #[test]

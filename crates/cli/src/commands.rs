@@ -66,6 +66,14 @@ usage:
                 sawtooth budget schedules under the governor; prints a
                 per-cell governor summary and exits non-zero on any
                 divergence from the all-local oracle)
+  cards serve   [--workers N] [--shards N] [--keys N] [--tenants N]
+                [--ops N] [--train N] [--window N]
+                (concurrent serving tier: N worker VMs over the sharded
+                remote server run the Zipfian serving workload, then the
+                checksum-quiescence oracle compares the drained tier
+                against a serial replay; prints aggregate instructions/sec,
+                per-request p50/p99 modeled latency, and coalescing/train
+                counters; exits non-zero on any oracle mismatch)
 ";
 
 /// Dispatch a parsed command line.
@@ -83,6 +91,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "difftest" => cmd_difftest(a),
         "chaos" => cmd_chaos(a),
         "pressure" => cmd_pressure(a),
+        "serve" => cmd_serve(a),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -523,6 +532,71 @@ fn cmd_pressure(a: &Args) -> Result<(), String> {
     ))
 }
 
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    use cards_net::{NetworkModel, ShardedConfig};
+    use cards_vm::{run_serial_replay, run_serving, ServeSpec};
+    use cards_workloads::serving;
+
+    let workers: usize = a.opt_num("workers", 4usize)?;
+    let p = serving::ServingParams {
+        keys: a.opt_num("keys", 1_024i64)?,
+        tenants: a.opt_num("tenants", 500i64)?,
+        ops_per_tenant: a.opt_num("ops", 10i64)?,
+    };
+    let spec = ServeSpec {
+        workers,
+        tenants: p.tenants as u64,
+        ops_per_tenant: p.ops_per_tenant as u64,
+        net: ShardedConfig {
+            shards: a.opt_num("shards", 4usize)?,
+            train_len: a.opt_num("train", 8usize)?,
+            window: a.opt_num("window", 4usize)?,
+        },
+        model: NetworkModel::default(),
+    };
+    let m = serving::build_split(p);
+    let c = compile(m, CompileOptions::cards()).map_err(|e| format!("compile: {e:?}"))?;
+    let cfg = RuntimeConfig::new(0, p.working_set_bytes() / 4);
+    let r = run_serving(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50)?;
+    let ips = (r.instructions as u128 * cards_bench::core::MODELED_HZ as u128
+        / r.makespan_cycles.max(1) as u128) as u64;
+    println!(
+        "serve: {} worker(s) x {} tenant(s) x {} op(s) over {} shard(s)",
+        r.workers, spec.tenants, spec.ops_per_tenant, spec.net.shards
+    );
+    println!(
+        "  throughput: {} requests, {} instructions / {} makespan cycles = {} instr/sec",
+        r.requests, r.instructions, r.makespan_cycles, ips
+    );
+    println!(
+        "  latency:    p50 {} cycles, p99 {} cycles per request",
+        r.p50_cycles, r.p99_cycles
+    );
+    println!(
+        "  tier:       {} wire fetches, {} coalesced hits, {} trains ({} objects), {} crashes",
+        r.net.wire_fetches, r.net.coalesced_hits, r.net.trains, r.net.train_objects, r.net.crashes
+    );
+    let serial = run_serial_replay(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50)?;
+    if r.checksum != serial.checksum {
+        return Err(format!(
+            "quiescence oracle FAILED: concurrent checksum {} != serial {}",
+            r.checksum, serial.checksum
+        ));
+    }
+    if r.digest != serial.digest {
+        return Err(format!(
+            "quiescence oracle FAILED: drained digests diverge\n concurrent: {:?}\n serial:     {:?}",
+            r.digest, serial.digest
+        ));
+    }
+    println!(
+        "  oracle:     quiesced digest matches serial replay ({} DS(s), checksum {})",
+        r.digest.len(),
+        r.checksum
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +615,14 @@ mod tests {
     #[test]
     fn dispatch_rejects_unknown() {
         assert!(dispatch(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn serve_runs_and_passes_the_quiescence_oracle() {
+        dispatch(&args(
+            "serve --workers 3 --shards 2 --keys 128 --tenants 20 --ops 6 --train 4 --window 2",
+        ))
+        .expect("serve oracle");
     }
 
     #[test]

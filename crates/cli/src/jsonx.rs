@@ -59,11 +59,16 @@ impl Json {
     }
 }
 
+/// Maximum container nesting. The emitters stay under a dozen levels;
+/// anything deeper is hostile or corrupt input, and recursing on it would
+/// overflow the stack before the parser hit end-of-input.
+const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document; trailing content is an error.
 pub fn parse(src: &str) -> Result<Json, String> {
     let b = src.as_bytes();
     let mut i = 0usize;
-    let v = value(b, &mut i)?;
+    let v = value(b, &mut i, 0)?;
     skip_ws(b, &mut i);
     if i != b.len() {
         return Err(format!("trailing content at byte {i}"));
@@ -77,11 +82,14 @@ fn skip_ws(b: &[u8], i: &mut usize) {
     }
 }
 
-fn value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+fn value(b: &[u8], i: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {i}"));
+    }
     skip_ws(b, i);
     match b.get(*i) {
-        Some(b'{') => obj(b, i),
-        Some(b'[') => arr(b, i),
+        Some(b'{') => obj(b, i, depth),
+        Some(b'[') => arr(b, i, depth),
         Some(b'"') => Ok(Json::Str(string(b, i)?)),
         Some(b't') => lit(b, i, "true", Json::Bool(true)),
         Some(b'f') => lit(b, i, "false", Json::Bool(false)),
@@ -146,7 +154,7 @@ fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
     Err("unterminated string".into())
 }
 
-fn obj(b: &[u8], i: &mut usize) -> Result<Json, String> {
+fn obj(b: &[u8], i: &mut usize, depth: usize) -> Result<Json, String> {
     *i += 1; // '{'
     let mut kv = Vec::new();
     skip_ws(b, i);
@@ -165,7 +173,7 @@ fn obj(b: &[u8], i: &mut usize) -> Result<Json, String> {
             return Err(format!("expected ':' at byte {}", *i));
         }
         *i += 1;
-        let v = value(b, i)?;
+        let v = value(b, i, depth + 1)?;
         kv.push((k, v));
         skip_ws(b, i);
         match b.get(*i) {
@@ -179,7 +187,7 @@ fn obj(b: &[u8], i: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn arr(b: &[u8], i: &mut usize) -> Result<Json, String> {
+fn arr(b: &[u8], i: &mut usize, depth: usize) -> Result<Json, String> {
     *i += 1; // '['
     let mut out = Vec::new();
     skip_ws(b, i);
@@ -188,7 +196,7 @@ fn arr(b: &[u8], i: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(out));
     }
     loop {
-        out.push(value(b, i)?);
+        out.push(value(b, i, depth + 1)?);
         skip_ws(b, i);
         match b.get(*i) {
             Some(b',') => *i += 1,
@@ -230,6 +238,26 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{}x").is_err());
         assert!(parse(r#"{"k" 1}"#).is_err());
+    }
+
+    #[test]
+    fn depth_cap_rejects_hostile_nesting_without_overflow() {
+        // Before the cap, 100k unclosed brackets would recurse once per
+        // byte and blow the stack; now it must be a parse error.
+        for open in ["[", "{\"k\":"] {
+            let hostile = open.repeat(100_000);
+            let err = parse(&hostile).unwrap_err();
+            assert!(err.contains("nesting deeper than"), "got: {err}");
+        }
+        // Nesting at the cap still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]

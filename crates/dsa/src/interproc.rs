@@ -380,6 +380,43 @@ fn extract_instances(
                 }
             }
         }
+        // Propagate through shared globals: if this node is stored behind
+        // global `g` here, every function that loads `g` sees the same
+        // structure — even with no call path between them. This is what
+        // lets two disconnected entry points (a host-driven `setup` /
+        // `request` split) agree on the instance, so the consumer's
+        // accesses still get guards. Sorted iteration keeps instance-id
+        // assignment deterministic.
+        let mut shared: Vec<cards_ir::GlobalId> = Vec::new();
+        for (&g, &gn) in &funcs[f.0 as usize].global_nodes {
+            let gd = funcs[f.0 as usize]
+                .graph
+                .node(funcs[f.0 as usize].graph.find(gn));
+            if gd
+                .edges
+                .values()
+                .any(|&t| funcs[f.0 as usize].graph.find(t) == root)
+            {
+                shared.push(g);
+            }
+        }
+        shared.sort_by_key(|g| g.0);
+        for g in shared {
+            for fd2 in funcs {
+                if fd2.func == f {
+                    continue;
+                }
+                let Some(&gn2) = fd2.global_nodes.get(&g) else {
+                    continue;
+                };
+                let gd2 = fd2.graph.node(fd2.graph.find(gn2));
+                let mut targets: Vec<NodeId> = gd2.edges.values().copied().collect();
+                targets.sort_by_key(|n| n.0);
+                for t in targets {
+                    work.push((fd2.func, fd2.graph.find(t), id));
+                }
+            }
+        }
     }
 
     (instances, node_instances)

@@ -433,7 +433,15 @@ impl Transport for ChaosTransport {
     }
 
     fn rtt_cost(&self) -> u64 {
-        self.model.base_latency + self.model.per_msg_cpu
+        // Phase-aware: a failed round trip during a latency spike wastes
+        // `mult` times the healthy RTT. `rtt_cost` is consulted *between*
+        // ops (when pricing a retry), so the governing phase is the one the
+        // next op runs under — `phase_at(self.op)` without ticking.
+        let base = self.model.base_latency + self.model.per_msg_cpu;
+        match self.schedule.phase_at(self.op).1 {
+            ChaosPhase::LatencySpike { mult } => mult.max(1) * base,
+            _ => base,
+        }
     }
 
     fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError> {
@@ -610,6 +618,30 @@ mod tests {
         let spiked = t.fetch(key(0)).unwrap().cycles;
         let normal = t.fetch(key(0)).unwrap().cycles;
         assert_eq!(spiked, 8 * normal);
+    }
+
+    #[test]
+    fn rtt_cost_tracks_latency_phase() {
+        let sched = phases(
+            vec![
+                (ChaosPhase::Healthy, 1),
+                (ChaosPhase::LatencySpike { mult: 8 }, 2),
+                (ChaosPhase::Healthy, 1),
+            ],
+            false,
+        );
+        let mut t = ChaosTransport::new(sched);
+        let base = NetworkModel::default().base_latency + NetworkModel::default().per_msg_cpu;
+        assert_eq!(t.rtt_cost(), base, "healthy phase: plain RTT");
+        t.put(key(0), &[1]).unwrap(); // consumes the healthy op
+        assert_eq!(
+            t.rtt_cost(),
+            8 * base,
+            "a retry priced inside the spike must cost the spiked RTT"
+        );
+        t.put(key(0), &[1]).unwrap();
+        t.put(key(0), &[1]).unwrap(); // consumes the spike window
+        assert_eq!(t.rtt_cost(), base, "recovery: plain RTT again");
     }
 
     #[test]

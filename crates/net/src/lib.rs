@@ -16,12 +16,16 @@
 //! - [`ChaosTransport`] — a server driven through a deterministic schedule
 //!   of failure phases (loss bursts, latency spikes, partitions, payload
 //!   corruption, crash/restart) storing checksummed [`envelope`]s.
+//! - [`ShardedServer`]/[`ShardedClient`] — N shard threads behind one
+//!   transport facade serving many concurrent worker VMs, with fetch
+//!   coalescing and batched, windowed writeback trains.
 
 pub mod chaos;
 pub mod envelope;
 pub mod fault;
 pub mod model;
 pub mod prng;
+pub mod sharded;
 pub mod stats;
 pub mod threaded;
 pub mod transport;
@@ -31,6 +35,7 @@ pub use chaos::{ChaosPhase, ChaosSchedule, ChaosStats, ChaosTransport, Scheduled
 pub use fault::FaultyTransport;
 pub use model::NetworkModel;
 pub use prng::SplitMix64;
+pub use sharded::{ShardedClient, ShardedConfig, ShardedServer, ShardedStats, StallGuard};
 pub use stats::NetStats;
 pub use threaded::ThreadedTransport;
 pub use transport::{Fetched, NetError, ObjKey, SimTransport, Transport};

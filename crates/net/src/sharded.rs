@@ -1,0 +1,840 @@
+//! Sharded remote tier: N shard server threads behind one [`Transport`]
+//! facade, serving many concurrent worker VMs.
+//!
+//! Grown from the [`crate::threaded`] seam ("two machines" over bounded
+//! channels), this module adds the concurrent data plane of the serving
+//! story:
+//!
+//! - **Sharding** — objects hash to one of N shard threads, each owning an
+//!   independent store, generation counter and unacked set (the crash
+//!   semantics of [`crate::chaos::ChaosTransport`], per shard).
+//! - **Fetch coalescing** — concurrent misses on the same [`ObjKey`] from
+//!   different clients dedup into one wire transfer; followers wait on the
+//!   leader's result and bump a `coalesced_hits` counter.
+//! - **Batched writebacks** — dirty objects buffer client-side per shard
+//!   and depart in one envelope *train* instead of one message per object;
+//!   a bounded window of unacknowledged trains keeps the pipeline async
+//!   without unbounded queueing.
+//!
+//! ## Determinism contract
+//!
+//! Each client's *modeled* cycle accounting depends only on its own
+//! operation sequence: a coalesced follower is charged the same modeled
+//! cost as the leader (the modeled clock is per-worker virtual time), and
+//! the writeback buffer/window state is client-local. Per-client
+//! [`NetStats`] are therefore reproducible run to run even though thread
+//! interleaving is not. What *is* interleaving-dependent — which fetch won
+//! the race, how many transfers were saved — lives in the shared
+//! [`ShardedStats`] counters and is reported, never asserted byte-exactly.
+//! Final server state is order-independent for the workloads this tier
+//! serves (identical load phases, read-only serve phases), which the
+//! checksum-quiescence oracle in `cards-vm::worker` verifies.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::model::NetworkModel;
+use crate::stats::NetStats;
+use crate::transport::{Fetched, NetError, ObjKey, Transport};
+use crate::wiretap::TraceContext;
+
+/// Tuning knobs for the sharded tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Number of shard server threads.
+    pub shards: usize,
+    /// Objects per writeback train (a full buffer departs).
+    pub train_len: usize,
+    /// Max unacknowledged trains per shard before a put blocks on the
+    /// oldest ack (the outstanding-request window).
+    pub window: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            train_len: 8,
+            window: 4,
+        }
+    }
+}
+
+enum ShardRequest {
+    Fetch(ObjKey, SyncSender<ShardResponse>),
+    /// One writeback train: applied atomically in arrival order.
+    Train(Vec<(ObjKey, Vec<u8>)>, SyncSender<ShardResponse>),
+    Remove(ObjKey, SyncSender<ShardResponse>),
+    Contains(ObjKey, SyncSender<ShardResponse>),
+    ResidentBytes(SyncSender<ShardResponse>),
+    /// Durability barrier: acknowledge every buffered put on this shard.
+    FlushAck(SyncSender<ShardResponse>),
+    /// Per-object digests for the quiescence oracle.
+    Digest(SyncSender<ShardResponse>),
+    /// Crash/restart: drop unacked objects, bump the generation.
+    Crash(SyncSender<ShardResponse>),
+    /// Hold the shard unresponsive until the paired sender drops — fault
+    /// injection used to force request overlap deterministically in tests.
+    Stall(Receiver<()>),
+    Shutdown,
+}
+
+enum ShardResponse {
+    Data(Option<Vec<u8>>),
+    Done,
+    Bool(bool),
+    Bytes(u64),
+    Digest(Vec<(ObjKey, u64)>),
+}
+
+/// Cross-client counters (shared, atomic): the interleaving-dependent
+/// truth about what actually crossed the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Fetches that piggybacked on another client's in-flight transfer.
+    pub coalesced_hits: u64,
+    /// Fetches that actually crossed the wire (coalescing leaders).
+    pub wire_fetches: u64,
+    /// Writeback trains sent.
+    pub trains: u64,
+    /// Objects carried by those trains.
+    pub train_objects: u64,
+    /// Shard crashes injected.
+    pub crashes: u64,
+    /// Unacked objects dropped by crashes.
+    pub dropped_objects: u64,
+}
+
+#[derive(Default)]
+struct SharedCounters {
+    coalesced_hits: AtomicU64,
+    wire_fetches: AtomicU64,
+    trains: AtomicU64,
+    train_objects: AtomicU64,
+    crashes: AtomicU64,
+    dropped_objects: AtomicU64,
+}
+
+impl SharedCounters {
+    fn snapshot(&self) -> ShardedStats {
+        ShardedStats {
+            coalesced_hits: self.coalesced_hits.load(Ordering::Relaxed),
+            wire_fetches: self.wire_fetches.load(Ordering::Relaxed),
+            trains: self.trains.load(Ordering::Relaxed),
+            train_objects: self.train_objects.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            dropped_objects: self.dropped_objects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One in-flight fetch the coalescer tracks: followers block on the
+/// condvar until the leader publishes the result.
+#[derive(Default)]
+struct Inflight {
+    done: Mutex<Option<Result<Vec<u8>, NetError>>>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct Coalescer {
+    inflight: Mutex<HashMap<ObjKey, Arc<Inflight>>>,
+}
+
+struct ShardHandle {
+    tx: SyncSender<ShardRequest>,
+    generation: Arc<AtomicU64>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Owner of the shard threads. Clients connect via
+/// [`ShardedServer::client`]; dropping the server shuts every shard down.
+pub struct ShardedServer {
+    shards: Vec<ShardHandle>,
+    counters: Arc<SharedCounters>,
+    coalescer: Arc<Coalescer>,
+    model: NetworkModel,
+    cfg: ShardedConfig,
+}
+
+/// RAII handle returned by [`ShardedServer::stall_shard`]: the shard stays
+/// unresponsive until this is dropped (or [`StallGuard::release`] is
+/// called).
+pub struct StallGuard {
+    _tx: SyncSender<()>,
+}
+
+impl StallGuard {
+    /// Unblock the stalled shard.
+    pub fn release(self) {}
+}
+
+impl ShardedServer {
+    /// Spawn `cfg.shards` shard threads with the given cost model.
+    pub fn spawn(cfg: ShardedConfig, model: NetworkModel) -> Self {
+        let counters = Arc::new(SharedCounters::default());
+        let shards = (0..cfg.shards.max(1))
+            .map(|i| {
+                let (tx, rx) = sync_channel::<ShardRequest>(256);
+                let generation = Arc::new(AtomicU64::new(0));
+                let gen_clone = Arc::clone(&generation);
+                let counters = Arc::clone(&counters);
+                let join = std::thread::Builder::new()
+                    .name(format!("cards-shard-{i}"))
+                    .spawn(move || shard_loop(rx, gen_clone, counters))
+                    .expect("spawn shard server");
+                ShardHandle {
+                    tx,
+                    generation,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ShardedServer {
+            shards,
+            counters,
+            coalescer: Arc::new(Coalescer::default()),
+            model,
+            cfg,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Connect a new client. Each worker VM owns one.
+    pub fn client(&self) -> ShardedClient {
+        ShardedClient {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ClientShard {
+                    tx: s.tx.clone(),
+                    generation: Arc::clone(&s.generation),
+                    buf: BTreeMap::new(),
+                    window: VecDeque::new(),
+                })
+                .collect(),
+            coalescer: Arc::clone(&self.coalescer),
+            counters: Arc::clone(&self.counters),
+            model: self.model,
+            cfg: self.cfg,
+            stats: NetStats::default(),
+            ctx: TraceContext::NONE,
+        }
+    }
+
+    /// Shared cross-client counters.
+    pub fn sharded_stats(&self) -> ShardedStats {
+        self.counters.snapshot()
+    }
+
+    fn control(&self, shard: usize, make: impl FnOnce(SyncSender<ShardResponse>) -> ShardRequest) {
+        let (tx, rx) = sync_channel(1);
+        if self.shards[shard].tx.send(make(tx)).is_ok() {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Crash shard `i`: its unacked objects are dropped and its generation
+    /// bumps, exactly as [`crate::chaos::ChaosTransport`]'s crash/restart
+    /// phase — but shard-scoped and caller-triggered.
+    pub fn crash_shard(&self, i: usize) {
+        self.control(i, ShardRequest::Crash);
+    }
+
+    /// Kill shard `i` outright, as if that server machine died. Every
+    /// subsequent operation touching it surfaces
+    /// [`NetError::Disconnected`] deterministically.
+    pub fn kill_shard(&mut self, i: usize) {
+        let _ = self.shards[i].tx.send(ShardRequest::Shutdown);
+        if let Some(h) = self.shards[i].join.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Hold shard `i` unresponsive until the returned guard is dropped.
+    /// Requests queue behind the stall; used to force deterministic
+    /// request overlap (e.g. to exercise the coalescer) in tests.
+    pub fn stall_shard(&self, i: usize) -> StallGuard {
+        let (tx, rx) = sync_channel::<()>(1);
+        let _ = self.shards[i].tx.send(ShardRequest::Stall(rx));
+        StallGuard { _tx: tx }
+    }
+
+    /// Per-DS checksums over the full sharded store: the quiescence
+    /// oracle's observable. Digests are folded in global key order, so the
+    /// result is independent of shard count and arrival interleaving.
+    pub fn digest(&self) -> BTreeMap<u32, u64> {
+        let mut all: Vec<(ObjKey, u64)> = Vec::new();
+        for i in 0..self.shards.len() {
+            let (tx, rx) = sync_channel(1);
+            if self.shards[i].tx.send(ShardRequest::Digest(tx)).is_err() {
+                continue;
+            }
+            if let Ok(ShardResponse::Digest(v)) = rx.recv() {
+                all.extend(v);
+            }
+        }
+        all.sort_unstable_by_key(|(k, _)| *k);
+        let mut per_ds: BTreeMap<u32, u64> = BTreeMap::new();
+        for (key, h) in all {
+            let acc = per_ds.entry(key.ds).or_insert(0xcbf2_9ce4_8422_2325);
+            *acc = mix64(*acc ^ key.index ^ h);
+        }
+        per_ds
+    }
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        for s in &mut self.shards {
+            let _ = s.tx.send(ShardRequest::Shutdown);
+            if let Some(h) = s.join.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// FNV-1a over the payload: cheap, deterministic per-object digest.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer (shard selection, digest folding).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn shard_loop(
+    rx: Receiver<ShardRequest>,
+    generation: Arc<AtomicU64>,
+    counters: Arc<SharedCounters>,
+) {
+    let mut store: HashMap<ObjKey, Vec<u8>> = HashMap::new();
+    let mut resident = 0u64;
+    // Keys put since the last durability barrier (BTreeSet: deterministic
+    // drop order on crash, mirroring ChaosTransport).
+    let mut unacked: BTreeSet<ObjKey> = BTreeSet::new();
+    while let Ok(req) = rx.recv() {
+        match req {
+            ShardRequest::Fetch(k, reply) => {
+                let _ = reply.send(ShardResponse::Data(store.get(&k).cloned()));
+            }
+            ShardRequest::Train(objs, reply) => {
+                counters.trains.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .train_objects
+                    .fetch_add(objs.len() as u64, Ordering::Relaxed);
+                for (k, data) in objs {
+                    resident += data.len() as u64;
+                    if let Some(old) = store.insert(k, data) {
+                        resident -= old.len() as u64;
+                    }
+                    unacked.insert(k);
+                }
+                let _ = reply.send(ShardResponse::Done);
+            }
+            ShardRequest::Remove(k, reply) => {
+                if let Some(old) = store.remove(&k) {
+                    resident -= old.len() as u64;
+                }
+                unacked.remove(&k);
+                let _ = reply.send(ShardResponse::Done);
+            }
+            ShardRequest::Contains(k, reply) => {
+                let _ = reply.send(ShardResponse::Bool(store.contains_key(&k)));
+            }
+            ShardRequest::ResidentBytes(reply) => {
+                let _ = reply.send(ShardResponse::Bytes(resident));
+            }
+            ShardRequest::FlushAck(reply) => {
+                unacked.clear();
+                let _ = reply.send(ShardResponse::Done);
+            }
+            ShardRequest::Digest(reply) => {
+                let v: Vec<(ObjKey, u64)> = store.iter().map(|(k, b)| (*k, fnv64(b))).collect();
+                let _ = reply.send(ShardResponse::Digest(v));
+            }
+            ShardRequest::Crash(reply) => {
+                counters.crashes.fetch_add(1, Ordering::Relaxed);
+                generation.fetch_add(1, Ordering::Relaxed);
+                for k in std::mem::take(&mut unacked) {
+                    if let Some(old) = store.remove(&k) {
+                        resident -= old.len() as u64;
+                        counters.dropped_objects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let _ = reply.send(ShardResponse::Done);
+            }
+            ShardRequest::Stall(gate) => {
+                // Blocks until every sender for the gate is dropped.
+                let _ = gate.recv();
+            }
+            ShardRequest::Shutdown => break,
+        }
+    }
+}
+
+struct ClientShard {
+    tx: SyncSender<ShardRequest>,
+    generation: Arc<AtomicU64>,
+    /// Pending writeback buffer: read-your-writes store for keys whose
+    /// train has not departed yet (BTreeMap: deterministic departure
+    /// order).
+    buf: BTreeMap<ObjKey, Vec<u8>>,
+    /// Acks of departed-but-unacknowledged trains, oldest first.
+    window: VecDeque<Receiver<ShardResponse>>,
+}
+
+/// Client half of the sharded tier: one per worker VM. Implements
+/// [`Transport`] with coalesced fetches and batched, windowed writebacks.
+pub struct ShardedClient {
+    shards: Vec<ClientShard>,
+    coalescer: Arc<Coalescer>,
+    counters: Arc<SharedCounters>,
+    model: NetworkModel,
+    cfg: ShardedConfig,
+    stats: NetStats,
+    ctx: TraceContext,
+}
+
+impl ShardedClient {
+    fn shard_of(&self, key: ObjKey) -> usize {
+        (mix64(key.index ^ (key.ds as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) as usize)
+            % self.shards.len()
+    }
+
+    /// Cross-client counters (coalescing, trains, crashes).
+    pub fn sharded_stats(&self) -> ShardedStats {
+        self.counters.snapshot()
+    }
+
+    fn call(
+        &self,
+        shard: usize,
+        make: impl FnOnce(SyncSender<ShardResponse>) -> ShardRequest,
+    ) -> Result<ShardResponse, NetError> {
+        let (tx, rx) = sync_channel(1);
+        self.shards[shard]
+            .tx
+            .send(make(tx))
+            .map_err(|_| NetError::Disconnected)?;
+        rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// One wire fetch (the coalescing leader's transfer).
+    fn wire_fetch(&self, key: ObjKey) -> Result<Vec<u8>, NetError> {
+        self.counters.wire_fetches.fetch_add(1, Ordering::Relaxed);
+        match self.call(self.shard_of(key), |tx| ShardRequest::Fetch(key, tx))? {
+            ShardResponse::Data(Some(bytes)) => Ok(bytes),
+            ShardResponse::Data(None) => Err(NetError::NotFound(key)),
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Fetch through the coalescer: first-comer leads the transfer,
+    /// concurrent callers for the same key follow its result.
+    fn coalesced_fetch(&self, key: ObjKey) -> Result<Vec<u8>, NetError> {
+        let (entry, leader) = {
+            let mut map = self.coalescer.inflight.lock().expect("coalescer lock");
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let e = Arc::new(Inflight::default());
+                    v.insert(Arc::clone(&e));
+                    (e, true)
+                }
+            }
+        };
+        if leader {
+            let result = self.wire_fetch(key);
+            {
+                let mut done = entry.done.lock().expect("inflight lock");
+                *done = Some(result.clone());
+                entry.cv.notify_all();
+            }
+            self.coalescer
+                .inflight
+                .lock()
+                .expect("coalescer lock")
+                .remove(&key);
+            result
+        } else {
+            self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+            let mut done = entry.done.lock().expect("inflight lock");
+            while done.is_none() {
+                done = entry.cv.wait(done).expect("inflight wait");
+            }
+            done.clone().expect("published above")
+        }
+    }
+
+    fn fetch_inner(&mut self, key: ObjKey, batched: bool) -> Result<Fetched, NetError> {
+        let shard = self.shard_of(key);
+        // Read-your-writes: a buffered put not yet departed must serve
+        // fetches (the runtime refetches objects it just evicted).
+        if let Some(bytes) = self.shards[shard].buf.get(&key) {
+            let bytes = bytes.clone();
+            let cycles = self.model.per_msg_cpu;
+            self.stats.fetches += 1;
+            self.stats.bytes_fetched += bytes.len() as u64;
+            self.stats.cycles += cycles;
+            return Ok(Fetched { bytes, cycles });
+        }
+        let bytes = self.coalesced_fetch(key)?;
+        // Leader or follower, the modeled charge is identical: the modeled
+        // clock is per-worker virtual time, so accounting must not depend
+        // on which thread won the race (see module docs).
+        let cycles = if batched {
+            self.model.per_msg_cpu + self.model.wire_cycles(bytes.len() as u64)
+        } else {
+            self.model.fetch_cost(bytes.len() as u64)
+        };
+        self.stats.fetches += 1;
+        self.stats.bytes_fetched += bytes.len() as u64;
+        self.stats.cycles += cycles;
+        Ok(Fetched { bytes, cycles })
+    }
+
+    /// Seal the shard's pending buffer into a train and send it without
+    /// waiting for the ack (the window bounds how far ahead we run).
+    /// Returns the modeled cycles of the departure.
+    fn depart_train(&mut self, shard: usize) -> Result<u64, NetError> {
+        if self.shards[shard].buf.is_empty() {
+            return Ok(0);
+        }
+        let objs: Vec<(ObjKey, Vec<u8>)> = std::mem::take(&mut self.shards[shard].buf)
+            .into_iter()
+            .collect();
+        let (tx, rx) = sync_channel(1);
+        self.shards[shard]
+            .tx
+            .send(ShardRequest::Train(objs, tx))
+            .map_err(|_| NetError::Disconnected)?;
+        self.shards[shard].window.push_back(rx);
+        // One message's CPU cost per train; the per-object wire cycles
+        // were charged when each object was buffered.
+        let cycles = self.model.per_msg_cpu;
+        self.stats.cycles += cycles;
+        while self.shards[shard].window.len() > self.cfg.window.max(1) {
+            let oldest = self.shards[shard].window.pop_front().expect("nonempty");
+            oldest.recv().map_err(|_| NetError::Disconnected)?;
+        }
+        Ok(cycles)
+    }
+
+    /// Drain every outstanding train ack on every shard.
+    fn drain_window(&mut self) -> Result<(), NetError> {
+        let mut dead = false;
+        for s in &mut self.shards {
+            while let Some(rx) = s.window.pop_front() {
+                dead |= rx.recv().is_err();
+            }
+        }
+        if dead {
+            Err(NetError::Disconnected)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Transport for ShardedClient {
+    fn fetch(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        self.fetch_inner(key, false)
+    }
+
+    fn fetch_batched(&mut self, key: ObjKey) -> Result<Fetched, NetError> {
+        self.fetch_inner(key, true)
+    }
+
+    fn rtt_cost(&self) -> u64 {
+        self.model.base_latency + self.model.per_msg_cpu
+    }
+
+    fn put(&mut self, key: ObjKey, data: &[u8]) -> Result<u64, NetError> {
+        let shard = self.shard_of(key);
+        // Serialization cost per object; the train charges one message CPU
+        // for the whole batch on departure.
+        let mut cycles = self.model.wire_cycles(data.len() as u64);
+        self.stats.writebacks += 1;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.cycles += cycles;
+        self.shards[shard].buf.insert(key, data.to_vec());
+        if self.shards[shard].buf.len() >= self.cfg.train_len.max(1) {
+            cycles += self.depart_train(shard)?;
+        }
+        Ok(cycles)
+    }
+
+    fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
+        let shard = self.shard_of(key);
+        self.shards[shard].buf.remove(&key);
+        match self.call(shard, |tx| ShardRequest::Remove(key, tx))? {
+            ShardResponse::Done => {
+                self.stats.cycles += self.model.per_msg_cpu;
+                Ok(self.model.per_msg_cpu)
+            }
+            _ => Err(NetError::Disconnected),
+        }
+    }
+
+    fn flush(&mut self) -> Result<u64, NetError> {
+        let mut cycles = 0;
+        for shard in 0..self.shards.len() {
+            cycles += self.depart_train(shard)?;
+        }
+        self.drain_window()?;
+        for shard in 0..self.shards.len() {
+            match self.call(shard, ShardRequest::FlushAck)? {
+                ShardResponse::Done => {}
+                _ => return Err(NetError::Disconnected),
+            }
+        }
+        // One logical barrier round trip (shards are flushed in parallel).
+        cycles += self.model.base_latency + self.model.per_msg_cpu;
+        self.stats.cycles += self.model.base_latency + self.model.per_msg_cpu;
+        Ok(cycles)
+    }
+
+    fn generation(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.generation.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn contains(&self, key: ObjKey) -> bool {
+        let shard = self.shard_of(key);
+        if self.shards[shard].buf.contains_key(&key) {
+            return true;
+        }
+        matches!(
+            self.call(shard, |tx| ShardRequest::Contains(key, tx)),
+            Ok(ShardResponse::Bool(true))
+        )
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn remote_bytes(&self) -> u64 {
+        let mut total = 0;
+        for shard in 0..self.shards.len() {
+            if let Ok(ShardResponse::Bytes(b)) = self.call(shard, ShardRequest::ResidentBytes) {
+                total += b;
+            }
+        }
+        total
+    }
+
+    fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.ctx = ctx;
+    }
+
+    fn trace_context(&self) -> TraceContext {
+        self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ds: u32, index: u64) -> ObjKey {
+        ObjKey { ds, index }
+    }
+
+    fn server(shards: usize) -> ShardedServer {
+        ShardedServer::spawn(
+            ShardedConfig {
+                shards,
+                ..ShardedConfig::default()
+            },
+            NetworkModel::default(),
+        )
+    }
+
+    #[test]
+    fn round_trip_across_shards() {
+        let srv = server(4);
+        let mut c = srv.client();
+        for i in 0..64u64 {
+            c.put(key(1, i), &[i as u8; 128]).unwrap();
+        }
+        c.flush().unwrap();
+        for i in 0..64u64 {
+            let f = c.fetch(key(1, i)).unwrap();
+            assert_eq!(f.bytes, vec![i as u8; 128]);
+        }
+        assert_eq!(c.remote_bytes(), 64 * 128);
+        let s = srv.sharded_stats();
+        assert!(s.trains >= 8, "64 puts at train_len=8 must form trains");
+        assert_eq!(s.train_objects, 64);
+    }
+
+    #[test]
+    fn pending_buffer_serves_read_your_writes() {
+        let srv = server(2);
+        let mut c = srv.client();
+        // One put: below train_len, so it only lives in the client buffer.
+        c.put(key(0, 7), &[9u8; 64]).unwrap();
+        assert!(c.contains(key(0, 7)));
+        let f = c.fetch(key(0, 7)).unwrap();
+        assert_eq!(f.bytes, vec![9u8; 64]);
+        // Nothing crossed the wire for it yet.
+        assert_eq!(srv.sharded_stats().train_objects, 0);
+        c.flush().unwrap();
+        assert_eq!(srv.sharded_stats().train_objects, 1);
+    }
+
+    #[test]
+    fn modeled_costs_are_deterministic_per_client() {
+        let run = || {
+            let srv = server(3);
+            let mut c = srv.client();
+            for i in 0..40u64 {
+                c.put(key(2, i), &[1u8; 256]).unwrap();
+            }
+            c.flush().unwrap();
+            for i in 0..40u64 {
+                c.fetch(key(2, i)).unwrap();
+            }
+            c.stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batched_writeback_is_cheaper_than_per_object_puts() {
+        // Train: N * wire + per-train CPU  vs  N * (CPU + wire).
+        let srv = server(1);
+        let mut c = srv.client();
+        let n = 8u64;
+        let mut batched = 0;
+        for i in 0..n {
+            batched += c.put(key(0, i), &[5u8; 4096]).unwrap();
+        }
+        let per_object = n * NetworkModel::default().writeback_cost(4096);
+        assert!(
+            batched < per_object,
+            "train cost {batched} must undercut {per_object}"
+        );
+    }
+
+    #[test]
+    fn stalled_shard_forces_coalescing() {
+        let srv = server(1);
+        let mut setup = srv.client();
+        setup.put(key(0, 0), &[3u8; 512]).unwrap();
+        setup.flush().unwrap();
+        let gate = srv.stall_shard(0);
+        let (mut a, mut b) = (srv.client(), srv.client());
+        let ta = std::thread::spawn(move || a.fetch(key(0, 0)).unwrap().bytes);
+        // Wait until A is committed as the coalescing leader (its wire
+        // fetch is queued behind the stall), then start B.
+        while srv.sharded_stats().wire_fetches == 0 {
+            std::thread::yield_now();
+        }
+        let tb = std::thread::spawn(move || b.fetch(key(0, 0)).unwrap().bytes);
+        // B must reach the follower path before we release the shard.
+        while srv.sharded_stats().coalesced_hits == 0 {
+            std::thread::yield_now();
+        }
+        gate.release();
+        assert_eq!(ta.join().unwrap(), vec![3u8; 512]);
+        assert_eq!(tb.join().unwrap(), vec![3u8; 512]);
+        let s = srv.sharded_stats();
+        assert_eq!(s.coalesced_hits, 1, "second miss must coalesce");
+        assert_eq!(s.wire_fetches, 1, "only one transfer crosses the wire");
+    }
+
+    #[test]
+    fn crash_drops_unacked_and_bumps_generation() {
+        let srv = server(2);
+        let mut c = srv.client();
+        c.put(key(0, 1), &[1u8; 64]).unwrap();
+        c.flush().unwrap(); // durable
+        c.put(key(0, 2), &[2u8; 64]).unwrap();
+        // Force the buffered put onto the server without acknowledging it.
+        for shard in 0..2 {
+            c.depart_train(shard).unwrap();
+        }
+        c.drain_window().unwrap();
+        let g0 = c.generation();
+        for i in 0..2 {
+            srv.crash_shard(i);
+        }
+        assert_eq!(c.generation(), g0 + 2, "every crash bumps a generation");
+        assert_eq!(c.fetch(key(0, 1)).unwrap().bytes, vec![1u8; 64]);
+        assert_eq!(c.fetch(key(0, 2)), Err(NetError::NotFound(key(0, 2))));
+        assert_eq!(srv.sharded_stats().dropped_objects, 1);
+    }
+
+    #[test]
+    fn dead_shard_surfaces_disconnected_deterministically() {
+        for _ in 0..8 {
+            let mut srv = server(1);
+            let mut c = srv.client();
+            c.put(key(0, 0), &[1u8; 32]).unwrap();
+            srv.kill_shard(0);
+            assert_eq!(c.fetch(key(9, 9)), Err(NetError::Disconnected));
+            assert_eq!(c.flush(), Err(NetError::Disconnected));
+            assert_eq!(c.remove(key(9, 9)), Err(NetError::Disconnected));
+        }
+    }
+
+    #[test]
+    fn window_bounds_outstanding_trains() {
+        let srv = ShardedServer::spawn(
+            ShardedConfig {
+                shards: 1,
+                train_len: 1,
+                window: 2,
+            },
+            NetworkModel::free(),
+        );
+        let mut c = srv.client();
+        for i in 0..64u64 {
+            c.put(key(0, i), &[0u8; 16]).unwrap();
+            assert!(c.shards[0].window.len() <= 2, "window must stay bounded");
+        }
+        c.flush().unwrap();
+        assert_eq!(srv.sharded_stats().train_objects, 64);
+    }
+
+    #[test]
+    fn digest_is_shard_count_independent() {
+        let fill = |shards: usize| {
+            let srv = server(shards);
+            let mut c = srv.client();
+            for ds in 0..3u32 {
+                for i in 0..50u64 {
+                    c.put(key(ds, i), &[(ds as u8) ^ (i as u8); 96]).unwrap();
+                }
+            }
+            c.flush().unwrap();
+            srv.digest()
+        };
+        let a = fill(1);
+        let b = fill(4);
+        assert_eq!(a, b, "digest must not depend on sharding");
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1923,6 +1923,56 @@ impl<T: Transport> FarMemRuntime<T> {
         cycles
     }
 
+    /// Quiescence drain: push every locally resident object whose bytes
+    /// are not known-current on the server, then flush. Afterward the
+    /// server holds the complete current state of every data structure,
+    /// so its per-DS checksums are a pure function of the program's
+    /// logical state — independent of cache pressure, eviction history,
+    /// or worker interleaving. The concurrent serving oracle calls this
+    /// on each drained worker before comparing server digests against a
+    /// serial replay (DESIGN.md §13). Objects stay resident (and clean);
+    /// this is a push, not an eviction. Returns cycles charged.
+    pub fn quiesce(&mut self) -> Result<u64, RtError> {
+        let mut cycles = 0;
+        for dsi in 0..self.ds.len() {
+            // HashMap iteration order is nondeterministic; the wire order
+            // (and thus modeled cost attribution) must not be.
+            let mut idxs: Vec<u64> = self.ds[dsi]
+                .objects
+                .iter()
+                .filter_map(|(&i, o)| match o {
+                    ObjState::Local {
+                        dirty, remote_copy, ..
+                    } if *dirty || !*remote_copy => Some(i),
+                    _ => None,
+                })
+                .collect();
+            idxs.sort_unstable();
+            for idx in idxs {
+                let data = match self.ds[dsi].objects.get(&idx) {
+                    Some(ObjState::Local { data, .. }) => data.to_vec(),
+                    _ => continue,
+                };
+                let key = ObjKey {
+                    ds: dsi as u32,
+                    index: idx,
+                };
+                self.put_with_retry(key, &data, &mut cycles)?;
+                self.ds[dsi].stats.writebacks += 1;
+                if let Some(ObjState::Local {
+                    dirty, remote_copy, ..
+                }) = self.ds[dsi].objects.get_mut(&idx)
+                {
+                    *dirty = false;
+                    *remote_copy = true;
+                }
+            }
+        }
+        self.flush_journal(&mut cycles);
+        self.stats.cycles += cycles;
+        Ok(cycles)
+    }
+
     // ---- memory-pressure governor ----
 
     /// Install a pressure fault-injection schedule. Phases rescale the
@@ -2327,6 +2377,12 @@ impl<T: Transport> FarMemRuntime<T> {
     /// Borrow the transport (tests/diagnostics).
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    /// Mutable transport access — fault injection (e.g. killing a
+    /// [`cards_net::ThreadedTransport`] server mid-run) in tests.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     /// The telemetry sink: event ring, latency histograms, epoch series.

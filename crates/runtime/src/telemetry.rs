@@ -609,9 +609,13 @@ impl Telemetry {
         }
         if self.ring.len() >= self.cfg.ring_capacity {
             if let Some(old) = self.ring.pop_front() {
-                *self.dropped_by_kind.entry(old.kind.name()).or_insert(0) += 1;
+                // Saturating: long-lived serving workers tick these for
+                // the whole process lifetime; pin at the ceiling rather
+                // than wrapping back past zero.
+                let e = self.dropped_by_kind.entry(old.kind.name()).or_insert(0);
+                *e = e.saturating_add(1);
             }
-            self.dropped += 1;
+            self.dropped = self.dropped.saturating_add(1);
         }
         self.ring.push_back(Event { cycle, kind });
     }

@@ -57,6 +57,11 @@ pub struct TraceConfig {
     /// Max flight snapshots retained (first-N; later triggers are counted
     /// but not snapshotted, keeping memory bounded under a trigger storm).
     pub max_snapshots: usize,
+    /// Max spans recorded in one operation's tree. Spans past the cap are
+    /// counted ([`Tracer::dropped_spans`]) and swallowed with their `end`s,
+    /// bounding per-operation memory under a retry storm and keeping the
+    /// `u32` span ids from ever truncating.
+    pub max_spans_per_tree: usize,
 }
 
 impl Default for TraceConfig {
@@ -68,6 +73,7 @@ impl Default for TraceConfig {
             p99_spike_mult: 8,
             p99_window: 64,
             max_snapshots: 4,
+            max_spans_per_tree: 4096,
         }
     }
 }
@@ -379,6 +385,8 @@ pub struct Tracer {
     triggers: Vec<TraceTrigger>,
     /// Snapshots taken for the first `max_snapshots` triggers.
     snapshots: Vec<FlightSnapshot>,
+    /// Spans swallowed because a tree hit `max_spans_per_tree`.
+    dropped_spans: u64,
 }
 
 impl Tracer {
@@ -444,18 +452,21 @@ impl Tracer {
         tree.spans[0].cycles = total_cycles;
         self.remote_ops += 1;
         // Cumulative aggregates survive ring eviction (diff/export input).
+        // Saturating: a long-lived serving worker must degrade to a pinned
+        // ceiling, never wrap and corrupt the diff baseline.
         for i in 0..tree.spans.len() as u32 {
-            self.phase_totals[tree.spans[i as usize].kind.idx()] += tree.self_cycles(i);
+            let slot = &mut self.phase_totals[tree.spans[i as usize].kind.idx()];
+            *slot = slot.saturating_add(tree.self_cycles(i));
         }
         match tree.site {
             Some(s) => {
                 let e = self.site_totals.entry(s).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += total_cycles;
+                e.0 = e.0.saturating_add(1);
+                e.1 = e.1.saturating_add(total_cycles);
             }
             None => {
-                self.unsited.0 += 1;
-                self.unsited.1 += total_cycles;
+                self.unsited.0 = self.unsited.0.saturating_add(1);
+                self.unsited.1 = self.unsited.1.saturating_add(total_cycles);
             }
         }
         // Anomaly checks, then fold the total into the rolling baseline.
@@ -491,6 +502,13 @@ impl Tracer {
         }
         self.materialize();
         let tree = self.cur.as_mut().expect("materialized above");
+        if tree.spans.len() >= self.cfg.max_spans_per_tree {
+            // Swallow this span and its matching `end` — same mechanism as
+            // an out-of-operation begin.
+            self.dropped_spans = self.dropped_spans.saturating_add(1);
+            self.skip_depth += 1;
+            return;
+        }
         let parent = self.stack.last().copied().unwrap_or(0);
         let id = tree.spans.len() as u32;
         tree.spans.push(Span {
@@ -540,6 +558,10 @@ impl Tracer {
         }
         self.materialize();
         let tree = self.cur.as_mut().expect("materialized above");
+        if tree.spans.len() >= self.cfg.max_spans_per_tree {
+            self.dropped_spans = self.dropped_spans.saturating_add(1);
+            return;
+        }
         let parent = self.stack.last().copied().unwrap_or(0);
         tree.spans.push(Span {
             parent: Some(parent),
@@ -672,6 +694,12 @@ impl Tracer {
     /// Operations abandoned mid-flight by error unwinding.
     pub fn abandoned_ops(&self) -> u64 {
         self.abandoned
+    }
+
+    /// Spans swallowed because a tree hit
+    /// [`TraceConfig::max_spans_per_tree`].
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
     }
 
     /// All fired anomaly triggers, in firing order.
@@ -847,6 +875,34 @@ mod tests {
         assert_eq!(t.remote_ops(), 5);
         let ids: Vec<u64> = t.trees().map(|tr| tr.trace).collect();
         assert_eq!(ids, vec![4, 5], "oldest trees dropped first");
+    }
+
+    #[test]
+    fn span_cap_swallows_overflow_and_counts_drops() {
+        let mut t = Tracer::new(TraceConfig {
+            max_spans_per_tree: 4,
+            ..Default::default()
+        });
+        t.op_begin(SpanKind::Guard, 0, 0, None, 0);
+        // Root + 3 children fill the tree; everything past is dropped.
+        t.begin(SpanKind::Localize, 0, 0);
+        t.leaf(SpanKind::Wire, 0, 0, 10, 0);
+        t.leaf(SpanKind::Retry, 0, 0, 5, 1); // 4th span: at cap
+        for a in 0..20 {
+            t.leaf(SpanKind::Retry, 0, 0, 5, a); // dropped
+        }
+        t.begin(SpanKind::Evict, 0, 1); // dropped, with its end
+        t.end(3);
+        t.end(40);
+        t.op_end(50, 50);
+        assert_eq!(t.dropped_spans(), 21);
+        let tree = t.trees().next().unwrap();
+        assert_eq!(tree.spans.len(), 4);
+        // The swallowed Evict's `end` must not have closed Localize early:
+        // Localize keeps the cycles from its own `end`.
+        assert_eq!(tree.spans[1].kind, SpanKind::Localize);
+        assert_eq!(tree.spans[1].cycles, 40);
+        tree.validate().unwrap();
     }
 
     #[test]

@@ -11,11 +11,13 @@ pub mod interp;
 pub mod metrics;
 pub mod profile;
 pub mod ttrace;
+pub mod worker;
 
 pub use interp::{spec_from_meta, splitmix64, Vm, VmError};
 pub use metrics::{CpuModel, VmMetrics};
 pub use profile::{check_attribution, profile_folded, profile_json, render_profile_report};
 pub use ttrace::{check_traces, flight_json, render_ttrace_report, ttrace_json};
+pub use worker::{run_serial_replay, run_serving, SerialReport, ServeReport, ServeSpec};
 
 #[cfg(test)]
 mod tests {

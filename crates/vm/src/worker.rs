@@ -1,0 +1,390 @@
+//! Concurrent serving harness: N worker VMs over one sharded remote tier.
+//!
+//! Each worker runs its own deterministic [`Vm`] (own address space, own
+//! modeled clock) against a [`ShardedClient`] of one shared
+//! [`ShardedServer`]. Tenants are partitioned round-robin across workers;
+//! every worker executes the workload's `setup` entry *serialized* (a
+//! cache-starved setup evicts byte-different intermediate states, so
+//! racing load phases could leak a half-built object to another worker;
+//! each runs setup + quiesce under a lock, leaving the server holding the
+//! final, byte-identical content) and then — past a barrier — serves its
+//! tenants' sessions through the GET-only `request` entry, recording a
+//! modeled cycle latency per request.
+//!
+//! Determinism contract (DESIGN.md §13): everything derived from the
+//! modeled clocks — per-request latencies, percentiles, makespan, the
+//! checksum, the quiescence digest — is a pure function of the program and
+//! is asserted byte-identical across runs. Interleaving-dependent truth
+//! (coalesced hits, wire fetch counts, train counts) lives only in the
+//! server's shared atomic counters and is reported, never asserted equal.
+
+use std::collections::BTreeMap;
+use std::sync::{Barrier, Mutex};
+use std::thread;
+
+use cards_ir::Module;
+use cards_net::{NetworkModel, ShardedConfig, ShardedServer, ShardedStats};
+use cards_runtime::{RemotingPolicy, RuntimeConfig};
+
+use crate::interp::Vm;
+
+/// Shape of a concurrent serving run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSpec {
+    /// Worker VM count (threads).
+    pub workers: usize,
+    /// Total simulated sessions, partitioned round-robin across workers.
+    pub tenants: u64,
+    /// Operations per session.
+    pub ops_per_tenant: u64,
+    /// Sharded-tier shape (shards, train length, request window).
+    pub net: ShardedConfig,
+    /// Cycle-cost model shared by every client and shard.
+    pub model: NetworkModel,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            workers: 4,
+            tenants: 2_000,
+            ops_per_tenant: 20,
+            net: ShardedConfig::default(),
+            model: NetworkModel::default(),
+        }
+    }
+}
+
+/// One worker's deterministic slice of a serving run.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Tenants this worker served.
+    pub tenants: u64,
+    /// Requests this worker served.
+    pub requests: u64,
+    /// Serve-phase instructions (setup excluded).
+    pub serve_instructions: u64,
+    /// Serve-phase modeled cycles (setup excluded).
+    pub serve_cycles: u64,
+    /// Wrapping sum of this worker's request return values.
+    pub checksum: i64,
+    /// Modeled cycle latency of each request, in issue order.
+    pub request_cycles: Vec<u64>,
+}
+
+/// Aggregate result of a concurrent serving run. All fields except `net`
+/// are deterministic across runs.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Worker VM count.
+    pub workers: usize,
+    /// Total requests served.
+    pub requests: u64,
+    /// Serve-phase instructions summed across workers.
+    pub instructions: u64,
+    /// Slowest worker's serve-phase modeled cycles (the modeled
+    /// wall-clock of the run; aggregate throughput divides by this).
+    pub makespan_cycles: u64,
+    /// Wrapping sum of every request's return value; equals the serial
+    /// `main` checksum when the partition covers every tenant once.
+    pub checksum: i64,
+    /// Median modeled request latency (exact, over all requests).
+    pub p50_cycles: u64,
+    /// 99th-percentile modeled request latency (exact nearest-rank).
+    pub p99_cycles: u64,
+    /// Per-DS server digest after drain + quiesce + flush.
+    pub digest: BTreeMap<u32, u64>,
+    /// Shared server counters (interleaving-dependent; never asserted).
+    pub net: ShardedStats,
+    /// Per-worker breakdowns.
+    pub per_worker: Vec<WorkerReport>,
+}
+
+/// Result of the serial replay the quiescence oracle compares against.
+#[derive(Clone, Debug)]
+pub struct SerialReport {
+    /// `main`'s checksum.
+    pub checksum: i64,
+    /// Per-DS server digest after quiesce + flush.
+    pub digest: BTreeMap<u32, u64>,
+}
+
+/// Exact nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p * (sorted.len() as u64 - 1)) / 100;
+    sorted[idx as usize]
+}
+
+/// Run the serving workload concurrently: spawn `spec.workers` VMs over
+/// one sharded server, serve every tenant's session, then drain, quiesce,
+/// and digest. `module` must be a *split* build (host-callable `setup` and
+/// `request` entries with no internal caller, e.g.
+/// `cards_workloads::serving::build_split`) — functions with callers grow
+/// threaded DS-handle parameters under pool allocation and cannot be
+/// driven from the host. `base_cfg.remotable_bytes` is the *total*
+/// serving budget — each worker gets an equal slice (the per-tenant
+/// budget of DESIGN.md §13), so N workers contend for the same aggregate
+/// cache a single VM would get.
+pub fn run_serving(
+    module: &Module,
+    spec: ServeSpec,
+    base_cfg: RuntimeConfig,
+    policy: RemotingPolicy,
+    k_percent: u32,
+) -> Result<ServeReport, String> {
+    let workers = spec.workers.max(1);
+    let server = ShardedServer::spawn(spec.net, spec.model);
+    // Clients are handed out before spawning so worker i always gets
+    // client i (deterministic construction order).
+    let clients: Vec<_> = (0..workers).map(|_| server.client()).collect();
+    // Load phases are serialized: setup writes objects through *evolving*
+    // intermediate states (hash-table construction is multi-pass), and a
+    // cache-starved worker evicts those intermediates to the shared tier.
+    // Two racing setups could therefore serve one worker another's older
+    // intermediate bytes. Holding the lock through setup + quiesce means
+    // every worker leaves the server holding final (byte-identical)
+    // content; the barrier then keeps the GET-only serve phase from
+    // reading the tier while a later setup is rewriting it.
+    let setup_lock = Mutex::new(());
+    let serve_gate = Barrier::new(workers);
+
+    let mut reports: Vec<WorkerReport> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, client) in clients.into_iter().enumerate() {
+            let module = module.clone();
+            let mut cfg = base_cfg;
+            // Per-worker budget slice: the governor inside each runtime
+            // manages its share; the sum never exceeds the total budget.
+            cfg.remotable_bytes = (base_cfg.remotable_bytes / workers as u64).max(4096);
+            let (setup_lock, serve_gate) = (&setup_lock, &serve_gate);
+            handles.push(scope.spawn(move || -> Result<WorkerReport, String> {
+                let mut vm = Vm::new(module, cfg, client, policy, k_percent);
+                let loaded = (|| {
+                    let _load = setup_lock.lock().expect("setup lock");
+                    vm.run("setup", &[])
+                        .map_err(|e| format!("worker {w} setup: {e:?}"))?;
+                    vm.runtime_mut()
+                        .quiesce()
+                        .map_err(|e| format!("worker {w} setup quiesce: {e:?}"))
+                })();
+                // Reach the gate even on a failed load — an early return
+                // here would strand every other worker on the barrier.
+                serve_gate.wait();
+                loaded?;
+                let mut request_cycles = Vec::new();
+                let mut checksum = 0i64;
+                let mut tenants = 0u64;
+                let serve_i0 = vm.metrics().instructions;
+                let serve_c0 = vm.metrics().cycles;
+                for t in (w as u64..spec.tenants).step_by(workers) {
+                    tenants += 1;
+                    for i in 0..spec.ops_per_tenant {
+                        let c0 = vm.metrics().cycles;
+                        let v = vm
+                            .run("request", &[t, i])
+                            .map_err(|e| format!("worker {w} request({t},{i}): {e:?}"))?
+                            .unwrap_or(0);
+                        checksum = checksum.wrapping_add(v as i64);
+                        request_cycles.push(vm.metrics().cycles - c0);
+                    }
+                }
+                let serve_instructions = vm.metrics().instructions - serve_i0;
+                let serve_cycles = vm.metrics().cycles - serve_c0;
+                // Drain: push all resident state so the server digest is
+                // independent of this worker's eviction history.
+                vm.runtime_mut()
+                    .quiesce()
+                    .map_err(|e| format!("worker {w} quiesce: {e:?}"))?;
+                Ok(WorkerReport {
+                    worker: w,
+                    tenants,
+                    requests: request_cycles.len() as u64,
+                    serve_instructions,
+                    serve_cycles,
+                    checksum,
+                    request_cycles,
+                })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "worker panicked".to_string())?)
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    reports.sort_by_key(|r| r.worker);
+
+    let digest = server.digest();
+    let net = server.sharded_stats();
+    let mut all: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.request_cycles.iter().copied())
+        .collect();
+    all.sort_unstable();
+    Ok(ServeReport {
+        workers,
+        requests: all.len() as u64,
+        instructions: reports.iter().map(|r| r.serve_instructions).sum(),
+        makespan_cycles: reports.iter().map(|r| r.serve_cycles).max().unwrap_or(0),
+        checksum: reports.iter().fold(0i64, |a, r| a.wrapping_add(r.checksum)),
+        p50_cycles: percentile(&all, 50),
+        p99_cycles: percentile(&all, 99),
+        digest,
+        net,
+        per_worker: reports,
+    })
+}
+
+/// Serial replay for the quiescence oracle: one VM over a fresh sharded
+/// server runs `setup` plus every session in tenant order (the same
+/// host-driven loop `run_serving` partitions across workers), then
+/// quiesces. Shard count may differ from the concurrent run — the digest
+/// is shard-count independent. The serial VM gets the whole
+/// `base_cfg.remotable_bytes` budget (it is the N=1 baseline).
+pub fn run_serial_replay(
+    module: &Module,
+    spec: ServeSpec,
+    base_cfg: RuntimeConfig,
+    policy: RemotingPolicy,
+    k_percent: u32,
+) -> Result<SerialReport, String> {
+    let server = ShardedServer::spawn(spec.net, spec.model);
+    let mut vm = Vm::new(module.clone(), base_cfg, server.client(), policy, k_percent);
+    vm.run("setup", &[])
+        .map_err(|e| format!("serial setup: {e:?}"))?;
+    let mut checksum = 0i64;
+    for t in 0..spec.tenants {
+        for i in 0..spec.ops_per_tenant {
+            let v = vm
+                .run("request", &[t, i])
+                .map_err(|e| format!("serial request({t},{i}): {e:?}"))?
+                .unwrap_or(0);
+            checksum = checksum.wrapping_add(v as i64);
+        }
+    }
+    vm.runtime_mut()
+        .quiesce()
+        .map_err(|e| format!("serial quiesce: {e:?}"))?;
+    drop(vm);
+    Ok(SerialReport {
+        checksum,
+        digest: server.digest(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A tiny split serving workload (the workloads crate would be a
+    // dependency cycle): `setup` fills one shared array and publishes it
+    // through a global; `request` hashes (tenant, op) into a slot. Both
+    // are DSA entries (no internal caller), so neither grows handle
+    // params and the host can drive them.
+    fn serving_module() -> Module {
+        use cards_ir::{FunctionBuilder, Type, Value};
+        let n = 512i64;
+        let mut m = Module::new("mini-serve");
+        let g = m.add_global("arr", Type::Ptr, None);
+        let setup_f = {
+            let mut b = FunctionBuilder::new("setup", vec![], Type::I64);
+            let total = b.iconst(n * 8);
+            let arr = b.alloc(total, Type::I64);
+            let (z, one) = (b.iconst(0), b.iconst(1));
+            b.counted_loop(z, b.iconst(n), one, |b, i| {
+                let p = b.gep_index(arr, Type::I64, i);
+                let v = b.mul(i, b.iconst(7));
+                b.store(p, v, Type::I64);
+            });
+            b.store(Value::Global(g), arr, Type::Ptr);
+            b.ret(b.iconst(n));
+            m.add_function(b.finish())
+        };
+        let _ = setup_f;
+        {
+            let mut b = FunctionBuilder::new("request", vec![Type::I64, Type::I64], Type::I64);
+            let arr = b.load(Value::Global(g), Type::Ptr);
+            let (t, i) = (b.arg(0), b.arg(1));
+            let x = b.bin(cards_ir::BinOp::Xor, t, i, Type::I64);
+            let h = b.intrin(cards_ir::Intrinsic::Hash64, vec![x]);
+            let mask = b.iconst(n - 1);
+            let k = b.bin(cards_ir::BinOp::And, h, mask, Type::I64);
+            let p = b.gep_index(arr, Type::I64, k);
+            let v = b.load(p, Type::I64);
+            b.ret(v);
+            m.add_function(b.finish());
+        }
+        m
+    }
+
+    fn compiled() -> Module {
+        let m = serving_module();
+        assert!(cards_ir::verify_module(&m).is_empty());
+        cards_passes::compile(m, cards_passes::CompileOptions::cards())
+            .unwrap()
+            .module
+    }
+
+    fn spec(workers: usize) -> ServeSpec {
+        ServeSpec {
+            workers,
+            tenants: 8,
+            ops_per_tenant: 16,
+            net: ShardedConfig {
+                shards: 2,
+                train_len: 4,
+                window: 2,
+            },
+            model: NetworkModel::default(),
+        }
+    }
+
+    fn cfg() -> RuntimeConfig {
+        RuntimeConfig::new(1 << 20, 1 << 20)
+    }
+
+    #[test]
+    fn concurrent_matches_serial_replay() {
+        let m = compiled();
+        let r = run_serving(&m, spec(4), cfg(), RemotingPolicy::AllRemotable, 0).unwrap();
+        // Different shard count on the serial side: the digest is
+        // shard-count independent, so the oracle still compares.
+        let mut serial_spec = spec(1);
+        serial_spec.net = ShardedConfig::default();
+        let s = run_serial_replay(&m, serial_spec, cfg(), RemotingPolicy::AllRemotable, 0).unwrap();
+        assert_eq!(r.checksum, s.checksum, "partitioned sessions must sum");
+        assert_eq!(r.digest, s.digest, "quiesced server state must match");
+        assert_eq!(r.requests, 8 * 16);
+        assert!(r.p99_cycles >= r.p50_cycles);
+    }
+
+    #[test]
+    fn serving_report_is_deterministic() {
+        let m = compiled();
+        let run = || run_serving(&m, spec(3), cfg(), RemotingPolicy::AllRemotable, 0).unwrap();
+        let (a, b) = (run(), run());
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.p50_cycles, b.p50_cycles);
+        assert_eq!(a.p99_cycles, b.p99_cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.digest, b.digest);
+        for (x, y) in a.per_worker.iter().zip(b.per_worker.iter()) {
+            assert_eq!(x.request_cycles, y.request_cycles);
+        }
+    }
+
+    #[test]
+    fn percentile_is_exact_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 0), 1);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+}

@@ -27,6 +27,7 @@ pub mod kvstore;
 pub mod listing1;
 pub mod micro;
 pub mod pagerank;
+pub mod serving;
 pub mod taxi;
 pub mod util;
 
@@ -187,6 +188,85 @@ mod tests {
             run_cards(m, p.working_set_bytes()),
             crate::kvstore::reference(p)
         );
+    }
+
+    #[test]
+    fn serving_native_matches_reference() {
+        let p = crate::serving::ServingParams::test();
+        let (m, _) = crate::serving::build(p);
+        assert_eq!(run_native(m), crate::serving::reference(p));
+    }
+
+    #[test]
+    fn serving_cards_matches_reference() {
+        let p = crate::serving::ServingParams::test();
+        let (m, _) = crate::serving::build(p);
+        assert_eq!(
+            run_cards(m, p.working_set_bytes()),
+            crate::serving::reference(p)
+        );
+    }
+
+    #[test]
+    fn serving_tenant_references_sum_to_main() {
+        let p = crate::serving::ServingParams::test();
+        let total: i64 = (0..p.tenants as u64)
+            .map(|t| crate::serving::reference_tenant(p, t))
+            .fold(0i64, |a, v| a.wrapping_add(v));
+        assert_eq!(total, crate::serving::reference(p));
+    }
+
+    #[test]
+    fn serving_request_entry_matches_reference_per_tenant() {
+        // The split entry points must agree with the serial main: run
+        // setup once, then one tenant's session through `request`.
+        let p = crate::serving::ServingParams::test();
+        let (m, _) = crate::serving::build(p);
+        assert!(cards_ir::verify_module(&m).is_empty());
+        let mut vm = Vm::new(
+            m,
+            RuntimeConfig::new(1 << 30, 1 << 30),
+            SimTransport::default(),
+            RemotingPolicy::Linear,
+            100,
+        );
+        vm.run("setup", &[]).unwrap();
+        for tenant in [0u64, 3, 7] {
+            let mut acc = 0i64;
+            for i in 0..p.ops_per_tenant as u64 {
+                let v = vm.run("request", &[tenant, i]).unwrap().unwrap() as i64;
+                acc = acc.wrapping_add(v);
+            }
+            assert_eq!(acc, crate::serving::reference_tenant(p, tenant));
+        }
+    }
+
+    #[test]
+    fn serving_split_compiles_and_serves_from_host() {
+        // The split build (no `main`) leaves `setup`/`request` as DSA
+        // entries, so the CaRDS-compiled module can be driven request by
+        // request from the host — the concurrent harness contract.
+        let p = crate::serving::ServingParams::test();
+        let m = crate::serving::build_split(p);
+        assert!(cards_ir::verify_module(&m).is_empty());
+        let c = compile(m, CompileOptions::cards()).unwrap();
+        let mut vm = Vm::new(
+            c.module,
+            RuntimeConfig::new(p.working_set_bytes() / 4, p.working_set_bytes() / 4),
+            SimTransport::default(),
+            RemotingPolicy::MaxUse,
+            50,
+        );
+        vm.run("setup", &[]).unwrap();
+        let mut total = 0i64;
+        for t in 0..p.tenants as u64 {
+            for i in 0..p.ops_per_tenant as u64 {
+                let v = vm.run("request", &[t, i]).unwrap().unwrap() as i64;
+                total = total.wrapping_add(v);
+            }
+        }
+        assert_eq!(total, crate::serving::reference(p));
+        assert!(vm.metrics().guards > 0, "split build must stay guarded");
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Serving-tier workload: the kvstore split into a shared load phase and a
+//! per-request GET path, so N worker VMs can run thousands of Zipfian
+//! sessions against one sharded remote tier.
+//!
+//! Three entry points instead of kvstore's single `main`:
+//!
+//! - `setup()` — builds the hash index + value log. Every worker's setup
+//!   produces identical *final* bytes, but a cache-starved load phase
+//!   evicts byte-different intermediate states, so the concurrent harness
+//!   serializes setup + quiesce per worker (see `cards_vm::worker`);
+//! - `request(tenant, i)` — one session operation: a salted Zipf-ish key
+//!   pick, an index probe, and a value-log read. **GET-only**: the serve
+//!   phase never mutates shared structures, which is what makes the
+//!   concurrent final state deterministic (see DESIGN.md §13);
+//! - `main()` — setup plus every tenant's whole session serially; the
+//!   serial-replay oracle and the native reference both use it.
+//!
+//! DS pointers cross the function boundary through globals (the Listing-1
+//! idiom), which the DSA pass resolves interprocedurally.
+
+use cards_ir::{CmpOp, FuncId, FunctionBuilder, Module, Type, Value};
+
+use crate::util::*;
+
+/// Tenant salt folded into every session hash.
+const TENANT_SALT: i64 = 0x5E55;
+
+/// Serving workload parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServingParams {
+    /// Distinct keys (table capacity is the next power of two above 2×).
+    pub keys: i64,
+    /// Concurrent sessions simulated (split across workers).
+    pub tenants: i64,
+    /// Operations per session.
+    pub ops_per_tenant: i64,
+}
+
+impl Default for ServingParams {
+    fn default() -> Self {
+        ServingParams {
+            keys: 4_096,
+            tenants: 2_000,
+            ops_per_tenant: 20,
+        }
+    }
+}
+
+impl ServingParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        ServingParams {
+            keys: 256,
+            tenants: 16,
+            ops_per_tenant: 40,
+        }
+    }
+
+    fn cap(&self) -> i64 {
+        (2 * self.keys.max(1) as u64).next_power_of_two() as i64
+    }
+
+    /// Approximate working-set bytes (index + value log).
+    pub fn working_set_bytes(&self) -> u64 {
+        (2 * self.cap() as u64 + self.keys as u64) * 8
+    }
+
+    /// Total request count across all tenants.
+    pub fn total_requests(&self) -> u64 {
+        (self.tenants.max(0) as u64) * (self.ops_per_tenant.max(0) as u64)
+    }
+}
+
+/// Zipf-ish skew shared with kvstore: 80% of ops hit the bottom 20%.
+fn skewed_key(h: u64, keys: u64) -> u64 {
+    let hot = keys / 5;
+    if h % 10 < 8 {
+        (h >> 8) % hot.max(1)
+    } else {
+        (h >> 8) % keys
+    }
+}
+
+/// Session hash for operation `i` of `tenant`.
+fn session_hash(tenant: u64, i: u64) -> u64 {
+    splitmix64(i ^ splitmix64(tenant ^ TENANT_SALT as u64))
+}
+
+/// Build the serving program; returns the module and `main`'s id.
+pub fn build(p: ServingParams) -> (Module, FuncId) {
+    let (m, main_f) = emit(p, true);
+    (m, main_f.expect("emit(with_main) returns main"))
+}
+
+/// Build the *split* serving program: `setup` and `request` only, with no
+/// internal caller. Both become DSA entry points, so neither grows
+/// threaded handle parameters and a host (the concurrent worker harness)
+/// can invoke them directly. `setup` owns every DS instance and runs its
+/// `DsInit`s; `request` reaches the structures through globals, whose
+/// FarPtrs carry the DS identity.
+pub fn build_split(p: ServingParams) -> Module {
+    emit(p, false).0
+}
+
+fn emit(p: ServingParams, with_main: bool) -> (Module, Option<FuncId>) {
+    let keys = p.keys;
+    let cap = p.cap();
+    let mask = cap - 1;
+    let mut m = Module::new("serving");
+    let g_index_keys = m.add_global("index_keys", Type::Ptr, None);
+    let g_index_vptr = m.add_global("index_vptr", Type::Ptr, None);
+    let g_vlog = m.add_global("vlog", Type::Ptr, None);
+
+    // --- setup(): allocate + load every key once, publish via globals ---
+    let setup_f = {
+        let mut b = FunctionBuilder::new("setup", vec![], Type::I64);
+        let index_keys = alloc_i64(&mut b, cap);
+        let index_vptr = alloc_i64(&mut b, cap);
+        let vlog = alloc_i64(&mut b, keys);
+        let (z, one) = (ic(0), ic(1));
+        b.counted_loop(z, ic(cap), one, |b, s| set_i64(b, index_keys, s, ic(-1)));
+        b.counted_loop(z, ic(keys), one, |b, k| {
+            let hh = b.intrin(cards_ir::Intrinsic::Hash64, vec![k]);
+            let start = b.bin(cards_ir::BinOp::And, hh, ic(mask), Type::I64);
+            let slot = b.alloca(Type::I64);
+            b.store(slot, start, Type::I64);
+            while_loop(
+                b,
+                |b| {
+                    let s = b.load(slot, Type::I64);
+                    let cur = get_i64(b, index_keys, s);
+                    b.cmp(CmpOp::Ne, cur, ic(-1))
+                },
+                |b| {
+                    let s = b.load(slot, Type::I64);
+                    let s1 = b.add(s, one);
+                    let s2 = b.bin(cards_ir::BinOp::And, s1, ic(mask), Type::I64);
+                    b.store(slot, s2, Type::I64);
+                },
+            );
+            let s = b.load(slot, Type::I64);
+            set_i64(b, index_keys, s, k);
+            let v = hash_salted(b, k, 0x71);
+            let v = urem_const(b, v, 1_000_000);
+            set_i64(b, vlog, k, v);
+            set_i64(b, index_vptr, s, k);
+        });
+        b.store(Value::Global(g_index_keys), index_keys, Type::Ptr);
+        b.store(Value::Global(g_index_vptr), index_vptr, Type::Ptr);
+        b.store(Value::Global(g_vlog), vlog, Type::Ptr);
+        b.ret(ic(keys));
+        m.add_function(b.finish())
+    };
+
+    // --- request(tenant, i): salted Zipfian GET ---
+    let request_f = {
+        let mut b = FunctionBuilder::new("request", vec![Type::I64, Type::I64], Type::I64);
+        let index_keys = b.load(Value::Global(g_index_keys), Type::Ptr);
+        let index_vptr = b.load(Value::Global(g_index_vptr), Type::Ptr);
+        let vlog = b.load(Value::Global(g_vlog), Type::Ptr);
+        let (tenant, op) = (b.arg(0), b.arg(1));
+        let th = hash_salted(&mut b, tenant, TENANT_SALT);
+        let x = b.bin(cards_ir::BinOp::Xor, op, th, Type::I64);
+        let h = b.intrin(cards_ir::Intrinsic::Hash64, vec![x]);
+        // key = skewed_key(h, keys)
+        let hot = ic((keys / 5).max(1));
+        let hsel = urem_const(&mut b, h, 10);
+        let hshift = b.bin(cards_ir::BinOp::LShr, h, ic(8), Type::I64);
+        let khot = b.bin(cards_ir::BinOp::URem, hshift, hot, Type::I64);
+        let kall = urem_const(&mut b, hshift, keys);
+        let is_hot = b.cmp(CmpOp::Ult, hsel, ic(8));
+        let k = b.select(is_hot, khot, kall, Type::I64);
+        // probe (every key is present after setup)
+        let hh = b.intrin(cards_ir::Intrinsic::Hash64, vec![k]);
+        let start = b.bin(cards_ir::BinOp::And, hh, ic(mask), Type::I64);
+        let slot = b.alloca(Type::I64);
+        b.store(slot, start, Type::I64);
+        while_loop(
+            &mut b,
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let cur = get_i64(b, index_keys, s);
+                b.cmp(CmpOp::Ne, cur, k)
+            },
+            |b| {
+                let s = b.load(slot, Type::I64);
+                let s1 = b.add(s, ic(1));
+                let s2 = b.bin(cards_ir::BinOp::And, s1, ic(mask), Type::I64);
+                b.store(slot, s2, Type::I64);
+            },
+        );
+        let s = b.load(slot, Type::I64);
+        let off = get_i64(&mut b, index_vptr, s);
+        let v = get_i64(&mut b, vlog, off);
+        b.ret(v);
+        m.add_function(b.finish())
+    };
+
+    if !with_main {
+        let _ = request_f;
+        return (m, None);
+    }
+
+    // --- main(): setup + every session serially (oracle + reference) ---
+    let main_f = {
+        let mut b = FunctionBuilder::new("main", vec![], Type::I64);
+        b.call(setup_f, vec![]);
+        let acc = AccI64::new(&mut b, 0);
+        let (z, one) = (ic(0), ic(1));
+        b.counted_loop(z, ic(p.tenants), one, |b, t| {
+            b.counted_loop(z, ic(p.ops_per_tenant), one, |b, i| {
+                let v = b.call(request_f, vec![t, i]);
+                acc.add(b, v);
+            });
+        });
+        let out = acc.get(&mut b);
+        b.ret(out);
+        m.add_function(b.finish())
+    };
+    (m, Some(main_f))
+}
+
+/// Native value stored for `key` by the load phase.
+fn stored_value(key: u64) -> i64 {
+    (splitmix64(key ^ 0x71) % 1_000_000) as i64
+}
+
+/// Native reference for one request.
+fn request_reference(p: ServingParams, tenant: u64, i: u64) -> i64 {
+    let h = session_hash(tenant, i);
+    let k = skewed_key(h, p.keys as u64);
+    stored_value(k)
+}
+
+/// Native checksum of one tenant's whole session.
+pub fn reference_tenant(p: ServingParams, tenant: u64) -> i64 {
+    let mut acc = 0i64;
+    for i in 0..p.ops_per_tenant.max(0) as u64 {
+        acc = acc.wrapping_add(request_reference(p, tenant, i));
+    }
+    acc
+}
+
+/// Native reference for `main` (all sessions, serially).
+pub fn reference(p: ServingParams) -> i64 {
+    let mut acc = 0i64;
+    for t in 0..p.tenants.max(0) as u64 {
+        acc = acc.wrapping_add(reference_tenant(p, t));
+    }
+    acc
+}

@@ -6,9 +6,9 @@
 
 use std::collections::BTreeSet;
 
-use cards_core::net::{ChaosSchedule, ChaosTransport};
+use cards_core::net::{ChaosPhase, ChaosSchedule, ChaosTransport, NetworkModel, ScheduledPhase};
 use cards_core::passes::{compile, CompileOptions};
-use cards_core::runtime::telemetry::{export_chrome_trace, export_json, TelemetryConfig};
+use cards_core::runtime::telemetry::{export_chrome_trace, export_json, HistPath, TelemetryConfig};
 use cards_core::runtime::{render_report, RemotingPolicy, RuntimeConfig};
 use cards_core::vm::Vm;
 use cards_core::workloads::kvstore::{self, KvParams};
@@ -136,4 +136,65 @@ fn chaos_trail_reaches_every_export_surface() {
         "degraded run must render the resilience section:\n{report}"
     );
     assert!(report.contains("recovery:"), "{report}");
+}
+
+/// Regression for the phase-blind `ChaosTransport::rtt_cost`: a retry
+/// priced while a latency spike is in force must charge the spiked RTT,
+/// and that price has to reach the runtime's resilience trail (the
+/// retry-attempt histogram), not just the transport's internal costing.
+#[test]
+fn resilience_trail_prices_retries_at_spiked_rtt() {
+    // Two guaranteed losses, then a long latency spike. The retry of the
+    // second loss is priced under the spike (the op counter has moved into
+    // the spike window), so the histogram must record `mult * base`; the
+    // first loss's retry is still priced inside the lossy window at `base`.
+    const MULT: u64 = 6;
+    let spiked = ChaosSchedule {
+        phases: vec![
+            ScheduledPhase {
+                phase: ChaosPhase::LossyBurst { rate: 1.0 },
+                ops: 2,
+            },
+            ScheduledPhase {
+                phase: ChaosPhase::LatencySpike { mult: MULT },
+                ops: 1 << 30,
+            },
+        ],
+        repeat: false,
+        seed: 7,
+    };
+    let model = NetworkModel::default();
+    let base = model.base_latency + model.per_msg_cpu;
+    let vm = run_chaos(spiked);
+    let rt = vm.runtime();
+    assert!(rt.stats().retries >= 2, "both losses must retry");
+    let h = rt.telemetry().hist(HistPath::RetryAttempt);
+    assert_eq!(
+        h.max(),
+        MULT * base,
+        "a retry priced inside the spike must charge the spiked RTT"
+    );
+    assert_eq!(h.min(), base, "pre-spike retry stays at the plain RTT");
+    let report = render_report(rt);
+    assert!(report.contains("resilience:"), "{report}");
+
+    // Control: the same losses followed by a healthy window never price a
+    // retry above the plain RTT.
+    let control = ChaosSchedule {
+        phases: vec![
+            ScheduledPhase {
+                phase: ChaosPhase::LossyBurst { rate: 1.0 },
+                ops: 2,
+            },
+            ScheduledPhase {
+                phase: ChaosPhase::Healthy,
+                ops: 1 << 30,
+            },
+        ],
+        repeat: false,
+        seed: 7,
+    };
+    let vm = run_chaos(control);
+    let h = vm.runtime().telemetry().hist(HistPath::RetryAttempt);
+    assert_eq!(h.max(), base, "healthy-phase retries are never spiked");
 }
