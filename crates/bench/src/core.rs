@@ -13,7 +13,7 @@ use cards_net::{NetworkModel, ShardedConfig, SimTransport};
 use cards_passes::{compile, CompileOptions};
 use cards_runtime::telemetry::HistPath;
 use cards_runtime::{RemotingPolicy, RuntimeConfig};
-use cards_vm::{run_serving, ServeSpec, Vm};
+use cards_vm::{run_failover_campaign, run_serving, ServeSpec, Vm};
 use cards_workloads::{bfs, kvstore, listing1, serving};
 
 /// Schema tag embedded in the document; bump when the layout changes.
@@ -108,6 +108,8 @@ pub fn bench_core_json(quick: bool) -> String {
     }
     s.push_str("],");
     s.push_str(&serving_json(quick));
+    s.push(',');
+    s.push_str(&availability_json(quick));
     s.push('}');
     s
 }
@@ -150,10 +152,14 @@ fn serving_json(quick: bool) -> String {
     let ws = p.working_set_bytes();
     let cfg = RuntimeConfig::new(0, ws / 4);
     let r = run_serving(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50).expect("serve");
+    // The trailing "counters" subobject is the one interleaving-dependent
+    // region of the document (shared atomic tier counters); consumers —
+    // and the determinism test — strip it before byte-comparing.
     format!(
-        "\"serving\":{{\"workers\":{},\"shards\":{},\"tenants\":{},\"requests\":{},\"instructions\":{},\"makespan_cycles\":{},\"instructions_per_sec\":{},\"request_p50\":{},\"request_p99\":{}}}",
+        "\"serving\":{{\"workers\":{},\"shards\":{},\"replicas\":{},\"tenants\":{},\"requests\":{},\"instructions\":{},\"makespan_cycles\":{},\"instructions_per_sec\":{},\"request_p50\":{},\"request_p99\":{},\"counters\":{{\"coalesced_hits\":{},\"wire_fetches\":{},\"trains\":{},\"failovers\":{},\"hedged_fetches\":{},\"hedge_wasted\":{},\"fenced_writes\":{}}}}}",
         r.workers,
         spec.net.shards,
+        spec.net.replica.replica_count(),
         spec.tenants,
         r.requests,
         r.instructions,
@@ -161,18 +167,142 @@ fn serving_json(quick: bool) -> String {
         instructions_per_sec(r.instructions, r.makespan_cycles),
         r.p50_cycles,
         r.p99_cycles,
+        r.net.coalesced_hits,
+        r.net.wire_fetches,
+        r.net.trains,
+        r.net.failovers,
+        r.net.hedged_fetches,
+        r.net.hedge_wasted,
+        r.net.fenced_writes,
     )
+}
+
+/// The availability section: the deterministic fault-space campaign
+/// (healthy + 5 fault kinds x 3 injection phases) with availability
+/// (`ok / issued`) and the digest-oracle verdict per cell. Cell verdicts
+/// are deterministic; the raw failover/hedge tallies inside each cell are
+/// interleaving-dependent and live under the same strip-before-compare
+/// convention as the serving counters.
+fn availability_json(quick: bool) -> String {
+    let (p, workers) = if quick {
+        (
+            serving::ServingParams {
+                keys: 128,
+                tenants: 8,
+                ops_per_tenant: 10,
+            },
+            4usize,
+        )
+    } else {
+        (
+            serving::ServingParams {
+                keys: 256,
+                tenants: 24,
+                ops_per_tenant: 12,
+            },
+            8usize,
+        )
+    };
+    let m = serving::build_split(p);
+    let c = compile(m, CompileOptions::cards()).expect("compile serving");
+    let spec = ServeSpec {
+        workers,
+        tenants: p.tenants as u64,
+        ops_per_tenant: p.ops_per_tenant as u64,
+        net: ShardedConfig {
+            shards: 3,
+            train_len: 4,
+            window: 2,
+            ..ShardedConfig::default()
+        },
+        model: NetworkModel::default(),
+    };
+    let ws = p.working_set_bytes();
+    let cfg = RuntimeConfig::new(0, ws / 4)
+        .with_journal(8)
+        .with_max_retries(8);
+    let rep = run_failover_campaign(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50)
+        .expect("failover campaign");
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "\"availability\":{{\"cells\":{},\"passed\":{},\"pass\":{},\"results\":[",
+        rep.cells.len(),
+        rep.passed(),
+        rep.pass,
+    );
+    for (i, cell) in rep.cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"issued\":{},\"ok\":{},\"availability\":{:.6},\"failovers\":{},\"digest_match\":{},\"pass\":{}}}",
+            cell.name,
+            cell.issued,
+            cell.ok,
+            cell.availability(),
+            cell.failovers,
+            cell.digest_match,
+            cell.pass,
+        );
+    }
+    s.push_str("]}");
+    s
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Remove one `"key":...` span (object or array valued) from the
+    /// document, brace-matched, so byte-comparison can skip the
+    /// interleaving-dependent regions.
+    fn strip_span(s: &str, key: &str) -> String {
+        let start = match s.find(key) {
+            Some(i) => i,
+            None => return s.to_string(),
+        };
+        let bytes = s.as_bytes();
+        let open = start + key.len();
+        let (close_of, open_of) = match bytes[open] {
+            b'{' => (b'}', b'{'),
+            b'[' => (b']', b'['),
+            _ => return s.to_string(),
+        };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (i, &b) in bytes.iter().enumerate().skip(open) {
+            if b == open_of {
+                depth += 1;
+            } else if b == close_of {
+                depth -= 1;
+                if depth == 0 {
+                    end = i + 1;
+                    break;
+                }
+            }
+        }
+        format!("{}{}", &s[..start], &s[end..])
+    }
+
+    /// Everything outside the shared-counter regions must be
+    /// byte-identical across runs (the document's reproducibility
+    /// contract; the stripped spans are interleaving-dependent tallies).
+    fn strip_volatile(s: &str) -> String {
+        let s = strip_span(s, "\"counters\":");
+        strip_span(&s, "\"results\":")
+    }
+
     #[test]
     fn bench_core_is_deterministic_and_schema_tagged() {
         let a = bench_core_json(true);
         let b = bench_core_json(true);
-        assert_eq!(a, b, "same build must emit identical bytes");
+        assert_eq!(
+            strip_volatile(&a),
+            strip_volatile(&b),
+            "same build must emit identical bytes outside shared counters"
+        );
         assert!(a.contains("\"schema\":\"cards-bench-core-v1\""));
         assert!(a.contains("\"name\":\"kvstore\""));
         assert!(a.contains("\"instructions_per_sec\":"));
@@ -180,6 +310,14 @@ mod tests {
         assert!(a.contains("\"serving\":{\"workers\":4"));
         assert!(a.contains("\"request_p50\":"));
         assert!(a.contains("\"request_p99\":"));
+        assert!(a.contains("\"counters\":{\"coalesced_hits\":"));
+        assert!(a.contains("\"availability\":{\"cells\":16"));
+        assert!(a.contains("\"name\":\"kill-primary/early\""));
+        assert!(
+            a.contains("\"pass\":true}]}"),
+            "campaign must end green: {}",
+            &a[a.find("\"availability\"").unwrap()..]
+        );
     }
 
     #[test]

@@ -66,14 +66,24 @@ usage:
                 sawtooth budget schedules under the governor; prints a
                 per-cell governor summary and exits non-zero on any
                 divergence from the all-local oracle)
-  cards serve   [--workers N] [--shards N] [--keys N] [--tenants N]
-                [--ops N] [--train N] [--window N]
+  cards serve   [--workers N] [--shards N] [--replicas N] [--keys N]
+                [--tenants N] [--ops N] [--train N] [--window N]
                 (concurrent serving tier: N worker VMs over the sharded
                 remote server run the Zipfian serving workload, then the
                 checksum-quiescence oracle compares the drained tier
                 against a serial replay; prints aggregate instructions/sec,
-                per-request p50/p99 modeled latency, and coalescing/train
-                counters; exits non-zero on any oracle mismatch)
+                per-request p50/p99 modeled latency, coalescing/train
+                counters, and failover/hedge resilience counters; exits
+                non-zero on any oracle mismatch)
+  cards failover [--workers N] [--shards N] [--keys N] [--tenants N]
+                [--ops N] [--train N] [--window N]
+                (deterministic fault-space campaign over the replicated
+                serving tier: healthy baseline plus {kill primary, kill
+                backup, crash/restart, stall, kill during failover} x
+                {early, mid, late} injection phases, every cell held to
+                the serial-replay digest oracle; prints availability and
+                failover/hedge counters per cell and exits non-zero if
+                any cell diverges)
 ";
 
 /// Dispatch a parsed command line.
@@ -92,6 +102,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "chaos" => cmd_chaos(a),
         "pressure" => cmd_pressure(a),
         "serve" => cmd_serve(a),
+        "failover" => cmd_failover(a),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -543,15 +554,18 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         tenants: a.opt_num("tenants", 500i64)?,
         ops_per_tenant: a.opt_num("ops", 10i64)?,
     };
+    let mut net = ShardedConfig {
+        shards: a.opt_num("shards", 4usize)?,
+        train_len: a.opt_num("train", 8usize)?,
+        window: a.opt_num("window", 4usize)?,
+        ..ShardedConfig::default()
+    };
+    net.replica.replicas = a.opt_num("replicas", 2usize)?;
     let spec = ServeSpec {
         workers,
         tenants: p.tenants as u64,
         ops_per_tenant: p.ops_per_tenant as u64,
-        net: ShardedConfig {
-            shards: a.opt_num("shards", 4usize)?,
-            train_len: a.opt_num("train", 8usize)?,
-            window: a.opt_num("window", 4usize)?,
-        },
+        net,
         model: NetworkModel::default(),
     };
     let m = serving::build_split(p);
@@ -576,6 +590,27 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         "  tier:       {} wire fetches, {} coalesced hits, {} trains ({} objects), {} crashes",
         r.net.wire_fetches, r.net.coalesced_hits, r.net.trains, r.net.train_objects, r.net.crashes
     );
+    println!(
+        "  resilience: {} replica(s)/shard, {} failover(s) ({} attempted), \
+         {} hedged fetch(es) ({} wasted), {} fenced write(s), {} shipped epoch(s)",
+        spec.net.replica.replica_count(),
+        r.net.failovers,
+        r.net.failover_attempts,
+        r.net.hedged_fetches,
+        r.net.hedge_wasted,
+        r.net.fenced_writes,
+        r.net.shipped_epochs,
+    );
+    println!(
+        "  availability: {}/{} requests ok ({:.4})",
+        r.ok,
+        r.issued,
+        if r.issued == 0 {
+            1.0
+        } else {
+            r.ok as f64 / r.issued as f64
+        }
+    );
     let serial = run_serial_replay(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50)?;
     if r.checksum != serial.checksum {
         return Err(format!(
@@ -595,6 +630,85 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         r.checksum
     );
     Ok(())
+}
+
+fn cmd_failover(a: &Args) -> Result<(), String> {
+    use cards_net::{NetworkModel, ShardedConfig};
+    use cards_vm::{run_failover_campaign, ServeSpec};
+    use cards_workloads::serving;
+
+    let p = serving::ServingParams {
+        keys: a.opt_num("keys", 256i64)?,
+        tenants: a.opt_num("tenants", 24i64)?,
+        ops_per_tenant: a.opt_num("ops", 12i64)?,
+    };
+    let spec = ServeSpec {
+        workers: a.opt_num("workers", 8usize)?,
+        tenants: p.tenants as u64,
+        ops_per_tenant: p.ops_per_tenant as u64,
+        net: ShardedConfig {
+            shards: a.opt_num("shards", 3usize)?,
+            train_len: a.opt_num("train", 4usize)?,
+            window: a.opt_num("window", 2usize)?,
+            ..ShardedConfig::default()
+        },
+        model: NetworkModel::default(),
+    };
+    let m = serving::build_split(p);
+    let c = compile(m, CompileOptions::cards()).map_err(|e| format!("compile: {e:?}"))?;
+    let cfg = RuntimeConfig::new(0, p.working_set_bytes() / 4)
+        .with_journal(8)
+        .with_max_retries(8);
+    let rep = run_failover_campaign(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50)?;
+    println!(
+        "failover campaign: {} worker(s) x {} tenant(s) x {} op(s) over {} shard(s) x {} replica(s)",
+        spec.workers,
+        spec.tenants,
+        spec.ops_per_tenant,
+        spec.net.shards,
+        spec.net.replica.replica_count(),
+    );
+    println!(
+        "  {:<26} {:>9} {:>6} {:>9} {:>7} {:>7} {:>7}  verdict",
+        "cell", "ok/issued", "avail", "failovers", "hedged", "fenced", "digest"
+    );
+    for cell in &rep.cells {
+        println!(
+            "  {:<26} {:>4}/{:<4} {:>6.4} {:>9} {:>7} {:>7} {:>7}  {}",
+            cell.name,
+            cell.ok,
+            cell.issued,
+            cell.availability(),
+            cell.failovers,
+            cell.hedged,
+            cell.fenced_writes,
+            if cell.digest_match {
+                "match"
+            } else {
+                "DIVERGE"
+            },
+            match (&cell.error, cell.pass) {
+                (Some(e), _) => format!("ERROR: {e}"),
+                (None, true) => "pass".into(),
+                (None, false) => "FAIL".into(),
+            }
+        );
+    }
+    println!(
+        "  oracle: serial checksum {}, {} DS digest(s)",
+        rep.serial_checksum,
+        rep.serial_digest.len()
+    );
+    if rep.pass {
+        println!("  {}/{} cells green", rep.passed(), rep.cells.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "failover campaign FAILED: {}/{} cells green",
+            rep.passed(),
+            rep.cells.len()
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -623,6 +737,22 @@ mod tests {
             "serve --workers 3 --shards 2 --keys 128 --tenants 20 --ops 6 --train 4 --window 2",
         ))
         .expect("serve oracle");
+    }
+
+    #[test]
+    fn serve_runs_unreplicated() {
+        dispatch(&args(
+            "serve --workers 2 --shards 2 --replicas 1 --keys 128 --tenants 10 --ops 4",
+        ))
+        .expect("unreplicated serve oracle");
+    }
+
+    #[test]
+    fn failover_campaign_goes_green_through_the_cli() {
+        dispatch(&args(
+            "failover --workers 3 --shards 2 --keys 128 --tenants 8 --ops 6",
+        ))
+        .expect("failover campaign");
     }
 
     #[test]

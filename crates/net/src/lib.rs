@@ -16,15 +16,17 @@
 //! - [`ChaosTransport`] — a server driven through a deterministic schedule
 //!   of failure phases (loss bursts, latency spikes, partitions, payload
 //!   corruption, crash/restart) storing checksummed [`envelope`]s.
-//! - [`ShardedServer`]/[`ShardedClient`] — N shard threads behind one
+//! - [`ShardedServer`]/[`ShardedClient`] — N shard replica sets behind one
 //!   transport facade serving many concurrent worker VMs, with fetch
-//!   coalescing and batched, windowed writeback trains.
+//!   coalescing, batched windowed writeback trains, primary→backup journal
+//!   shipping, epoch-fenced failover and hedged reads ([`replica`]).
 
 pub mod chaos;
 pub mod envelope;
 pub mod fault;
 pub mod model;
 pub mod prng;
+pub mod replica;
 pub mod sharded;
 pub mod stats;
 pub mod threaded;
@@ -35,8 +37,9 @@ pub use chaos::{ChaosPhase, ChaosSchedule, ChaosStats, ChaosTransport, Scheduled
 pub use fault::FaultyTransport;
 pub use model::NetworkModel;
 pub use prng::SplitMix64;
+pub use replica::ReplicaConfig;
 pub use sharded::{ShardedClient, ShardedConfig, ShardedServer, ShardedStats, StallGuard};
 pub use stats::NetStats;
 pub use threaded::ThreadedTransport;
-pub use transport::{Fetched, NetError, ObjKey, SimTransport, Transport};
+pub use transport::{FaultEvents, Fetched, NetError, ObjKey, SimTransport, Transport};
 pub use wiretap::{TraceContext, WireDir, WireOp, WireRecord, WireTap};

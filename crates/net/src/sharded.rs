@@ -5,52 +5,70 @@
 //! channels), this module adds the concurrent data plane of the serving
 //! story:
 //!
-//! - **Sharding** — objects hash to one of N shard threads, each owning an
+//! - **Sharding** — objects hash to one of N shards, each owning an
 //!   independent store, generation counter and unacked set (the crash
 //!   semantics of [`crate::chaos::ChaosTransport`], per shard).
+//! - **Replication** — each shard is a replica set (primary + backup by
+//!   default, see [`crate::replica`]): the primary ships its writeback
+//!   journal to the backup in bounded-lag epochs, and clients perform
+//!   epoch-fenced failover when the primary dies or times out. Stalled
+//!   primaries can additionally be raced with **hedged reads** against
+//!   the backup, first response wins.
 //! - **Fetch coalescing** — concurrent misses on the same [`ObjKey`] from
 //!   different clients dedup into one wire transfer; followers wait on the
 //!   leader's result and bump a `coalesced_hits` counter.
 //! - **Batched writebacks** — dirty objects buffer client-side per shard
 //!   and depart in one envelope *train* instead of one message per object;
 //!   a bounded window of unacknowledged trains keeps the pipeline async
-//!   without unbounded queueing.
+//!   without unbounded queueing. A train is retained until acked so a
+//!   failover mid-flight can replay it against the new primary.
 //!
 //! ## Determinism contract
 //!
 //! Each client's *modeled* cycle accounting depends only on its own
 //! operation sequence: a coalesced follower is charged the same modeled
-//! cost as the leader (the modeled clock is per-worker virtual time), and
-//! the writeback buffer/window state is client-local. Per-client
+//! cost as the leader (the modeled clock is per-worker virtual time), a
+//! hedged fetch is charged identically whichever replica won the race,
+//! and the writeback buffer/window state is client-local. Per-client
 //! [`NetStats`] are therefore reproducible run to run even though thread
 //! interleaving is not. What *is* interleaving-dependent — which fetch won
-//! the race, how many transfers were saved — lives in the shared
-//! [`ShardedStats`] counters and is reported, never asserted byte-exactly.
-//! Final server state is order-independent for the workloads this tier
-//! serves (identical load phases, read-only serve phases), which the
-//! checksum-quiescence oracle in `cards-vm::worker` verifies.
+//! the race, how many transfers were saved, who initiated a failover —
+//! lives in the shared [`ShardedStats`] counters and is reported, never
+//! asserted byte-exactly. Final server state is order-independent for the
+//! workloads this tier serves (identical load phases, single-writer serve
+//! phases), which the checksum-quiescence oracle in `cards-vm::worker`
+//! verifies — including across every fault cell of the failover campaign.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 use crate::model::NetworkModel;
+use crate::replica::{
+    replica_loop, ReplicaConfig, ReplicaRequest, ReplicaResponse, ReplicaSet, SharedCounters,
+};
 use crate::stats::NetStats;
-use crate::transport::{Fetched, NetError, ObjKey, Transport};
+use crate::transport::{FaultEvents, Fetched, NetError, ObjKey, Transport};
 use crate::wiretap::TraceContext;
+
+/// Upper bound on fence/failover retries per logical operation before the
+/// client gives up with [`NetError::Disconnected`].
+const FAILOVER_RETRY_CAP: usize = 32;
 
 /// Tuning knobs for the sharded tier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardedConfig {
-    /// Number of shard server threads.
+    /// Number of shard replica sets.
     pub shards: usize,
     /// Objects per writeback train (a full buffer departs).
     pub train_len: usize,
     /// Max unacknowledged trains per shard before a put blocks on the
     /// oldest ack (the outstanding-request window).
     pub window: usize,
+    /// Replication / failover / hedging knobs.
+    pub replica: ReplicaConfig,
 }
 
 impl Default for ShardedConfig {
@@ -59,35 +77,9 @@ impl Default for ShardedConfig {
             shards: 4,
             train_len: 8,
             window: 4,
+            replica: ReplicaConfig::default(),
         }
     }
-}
-
-enum ShardRequest {
-    Fetch(ObjKey, SyncSender<ShardResponse>),
-    /// One writeback train: applied atomically in arrival order.
-    Train(Vec<(ObjKey, Vec<u8>)>, SyncSender<ShardResponse>),
-    Remove(ObjKey, SyncSender<ShardResponse>),
-    Contains(ObjKey, SyncSender<ShardResponse>),
-    ResidentBytes(SyncSender<ShardResponse>),
-    /// Durability barrier: acknowledge every buffered put on this shard.
-    FlushAck(SyncSender<ShardResponse>),
-    /// Per-object digests for the quiescence oracle.
-    Digest(SyncSender<ShardResponse>),
-    /// Crash/restart: drop unacked objects, bump the generation.
-    Crash(SyncSender<ShardResponse>),
-    /// Hold the shard unresponsive until the paired sender drops — fault
-    /// injection used to force request overlap deterministically in tests.
-    Stall(Receiver<()>),
-    Shutdown,
-}
-
-enum ShardResponse {
-    Data(Option<Vec<u8>>),
-    Done,
-    Bool(bool),
-    Bytes(u64),
-    Digest(Vec<(ObjKey, u64)>),
 }
 
 /// Cross-client counters (shared, atomic): the interleaving-dependent
@@ -106,16 +98,22 @@ pub struct ShardedStats {
     pub crashes: u64,
     /// Unacked objects dropped by crashes.
     pub dropped_objects: u64,
-}
-
-#[derive(Default)]
-struct SharedCounters {
-    coalesced_hits: AtomicU64,
-    wire_fetches: AtomicU64,
-    trains: AtomicU64,
-    train_objects: AtomicU64,
-    crashes: AtomicU64,
-    dropped_objects: AtomicU64,
+    /// Completed takeovers (backup promoted to primary).
+    pub failovers: u64,
+    /// Failover entries, including ones that lost the race to another
+    /// client and found the shard already healthy.
+    pub failover_attempts: u64,
+    /// Writes bounced for carrying a stale fencing epoch or landing on a
+    /// deposed replica.
+    pub fenced_writes: u64,
+    /// Journal ships discarded because the sender was deposed mid-flight.
+    pub fenced_ships: u64,
+    /// Fetches that sent a hedge to the backup.
+    pub hedged_fetches: u64,
+    /// Hedged fetches where the primary answered first anyway.
+    pub hedge_wasted: u64,
+    /// Journal epochs shipped primary → backup.
+    pub shipped_epochs: u64,
 }
 
 impl SharedCounters {
@@ -127,6 +125,13 @@ impl SharedCounters {
             train_objects: self.train_objects.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             dropped_objects: self.dropped_objects.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            failover_attempts: self.failover_attempts.load(Ordering::Relaxed),
+            fenced_writes: self.fenced_writes.load(Ordering::Relaxed),
+            fenced_ships: self.fenced_ships.load(Ordering::Relaxed),
+            hedged_fetches: self.hedged_fetches.load(Ordering::Relaxed),
+            hedge_wasted: self.hedge_wasted.load(Ordering::Relaxed),
+            shipped_epochs: self.shipped_epochs.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,57 +149,65 @@ struct Coalescer {
     inflight: Mutex<HashMap<ObjKey, Arc<Inflight>>>,
 }
 
-struct ShardHandle {
-    tx: SyncSender<ShardRequest>,
-    generation: Arc<AtomicU64>,
-    join: Option<JoinHandle<()>>,
-}
-
-/// Owner of the shard threads. Clients connect via
-/// [`ShardedServer::client`]; dropping the server shuts every shard down.
+/// Owner of the shard replica sets. Clients connect via
+/// [`ShardedServer::client`]; dropping the server shuts every replica down.
 pub struct ShardedServer {
-    shards: Vec<ShardHandle>,
+    sets: Vec<ReplicaSet>,
     counters: Arc<SharedCounters>,
     coalescer: Arc<Coalescer>,
     model: NetworkModel,
     cfg: ShardedConfig,
 }
 
-/// RAII handle returned by [`ShardedServer::stall_shard`]: the shard stays
-/// unresponsive until this is dropped (or [`StallGuard::release`] is
+/// RAII handle returned by [`ShardedServer::stall_shard`]: the replica
+/// stays unresponsive until this is dropped (or [`StallGuard::release`] is
 /// called).
 pub struct StallGuard {
     _tx: SyncSender<()>,
 }
 
 impl StallGuard {
-    /// Unblock the stalled shard.
+    /// Unblock the stalled replica.
     pub fn release(self) {}
 }
 
 impl ShardedServer {
-    /// Spawn `cfg.shards` shard threads with the given cost model.
+    /// Spawn `cfg.shards` replica sets with the given cost model.
     pub fn spawn(cfg: ShardedConfig, model: NetworkModel) -> Self {
         let counters = Arc::new(SharedCounters::default());
-        let shards = (0..cfg.shards.max(1))
-            .map(|i| {
-                let (tx, rx) = sync_channel::<ShardRequest>(256);
-                let generation = Arc::new(AtomicU64::new(0));
-                let gen_clone = Arc::clone(&generation);
-                let counters = Arc::clone(&counters);
-                let join = std::thread::Builder::new()
-                    .name(format!("cards-shard-{i}"))
-                    .spawn(move || shard_loop(rx, gen_clone, counters))
-                    .expect("spawn shard server");
-                ShardHandle {
-                    tx,
-                    generation,
-                    join: Some(join),
-                }
+        let replicas = cfg.replica.replica_count();
+        let sets = (0..cfg.shards.max(1))
+            .map(|shard| {
+                let shared = Arc::new(crate::replica::ReplicaShared::new(replicas));
+                let channels: Vec<(SyncSender<ReplicaRequest>, Receiver<ReplicaRequest>)> =
+                    (0..replicas).map(|_| sync_channel(256)).collect();
+                let txs: Vec<SyncSender<ReplicaRequest>> =
+                    channels.iter().map(|(tx, _)| tx.clone()).collect();
+                let joins = channels
+                    .into_iter()
+                    .enumerate()
+                    .map(|(r, (_, rx))| {
+                        let peer = if replicas > 1 {
+                            let p = (r + 1) % replicas;
+                            Some((p, txs[p].clone()))
+                        } else {
+                            None
+                        };
+                        let shared = Arc::clone(&shared);
+                        let counters = Arc::clone(&counters);
+                        let replica_cfg = cfg.replica;
+                        let join = std::thread::Builder::new()
+                            .name(format!("cards-shard-{shard}-r{r}"))
+                            .spawn(move || replica_loop(r, rx, peer, shared, counters, replica_cfg))
+                            .expect("spawn shard replica");
+                        Mutex::new(Some(join))
+                    })
+                    .collect();
+                ReplicaSet { txs, shared, joins }
             })
             .collect();
         ShardedServer {
-            shards,
+            sets,
             counters,
             coalescer: Arc::new(Coalescer::default()),
             model,
@@ -204,18 +217,23 @@ impl ShardedServer {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.sets.len()
+    }
+
+    /// Replicas per shard.
+    pub fn replica_count(&self) -> usize {
+        self.cfg.replica.replica_count()
     }
 
     /// Connect a new client. Each worker VM owns one.
     pub fn client(&self) -> ShardedClient {
         ShardedClient {
             shards: self
-                .shards
+                .sets
                 .iter()
                 .map(|s| ClientShard {
-                    tx: s.tx.clone(),
-                    generation: Arc::clone(&s.generation),
+                    txs: s.txs.clone(),
+                    shared: Arc::clone(&s.shared),
                     buf: BTreeMap::new(),
                     window: VecDeque::new(),
                 })
@@ -225,6 +243,7 @@ impl ShardedServer {
             model: self.model,
             cfg: self.cfg,
             stats: NetStats::default(),
+            pending_faults: Cell::new(FaultEvents::default()),
             ctx: TraceContext::NONE,
         }
     }
@@ -234,51 +253,105 @@ impl ShardedServer {
         self.counters.snapshot()
     }
 
-    fn control(&self, shard: usize, make: impl FnOnce(SyncSender<ShardResponse>) -> ShardRequest) {
+    fn control(
+        &self,
+        shard: usize,
+        replica: usize,
+        make: impl FnOnce(SyncSender<ReplicaResponse>) -> ReplicaRequest,
+    ) {
         let (tx, rx) = sync_channel(1);
-        if self.shards[shard].tx.send(make(tx)).is_ok() {
+        if self.sets[shard].txs[replica].send(make(tx)).is_ok() {
             let _ = rx.recv();
         }
     }
 
-    /// Crash shard `i`: its unacked objects are dropped and its generation
-    /// bumps, exactly as [`crate::chaos::ChaosTransport`]'s crash/restart
-    /// phase — but shard-scoped and caller-triggered.
+    /// Index of the replica currently serving shard `i`.
+    pub fn active_replica(&self, i: usize) -> usize {
+        self.sets[i].shared.active_idx()
+    }
+
+    /// Crash the active replica of shard `i`: its unacked objects are
+    /// dropped and its generation bumps, exactly as
+    /// [`crate::chaos::ChaosTransport`]'s crash/restart phase — but
+    /// shard-scoped and caller-triggered.
     pub fn crash_shard(&self, i: usize) {
-        self.control(i, ShardRequest::Crash);
+        let active = self.sets[i].shared.active_idx();
+        self.control(i, active, ReplicaRequest::Crash);
     }
 
-    /// Kill shard `i` outright, as if that server machine died. Every
-    /// subsequent operation touching it surfaces
+    /// Kill the **active** replica of shard `i`, as if that server machine
+    /// died. With a live backup, clients fail over (epoch-fenced takeover);
+    /// once every replica is dead, operations surface
     /// [`NetError::Disconnected`] deterministically.
-    pub fn kill_shard(&mut self, i: usize) {
-        let _ = self.shards[i].tx.send(ShardRequest::Shutdown);
-        if let Some(h) = self.shards[i].join.take() {
-            let _ = h.join();
-        }
+    pub fn kill_shard(&self, i: usize) {
+        let active = self.sets[i].shared.active_idx();
+        self.sets[i].kill(active);
     }
 
-    /// Hold shard `i` unresponsive until the returned guard is dropped.
-    /// Requests queue behind the stall; used to force deterministic
-    /// request overlap (e.g. to exercise the coalescer) in tests.
+    /// Kill the current standby replica of shard `i` (no-op when the shard
+    /// is unreplicated).
+    pub fn kill_backup(&self, i: usize) {
+        let set = &self.sets[i];
+        if set.txs.len() < 2 {
+            return;
+        }
+        let backup = (set.shared.active_idx() + 1) % set.txs.len();
+        set.kill(backup);
+    }
+
+    /// Kill one specific replica of shard `i`.
+    pub fn kill_replica(&self, i: usize, r: usize) {
+        self.sets[i].kill(r);
+    }
+
+    /// Hold the active replica of shard `i` unresponsive until the returned
+    /// guard is dropped. Requests queue behind the stall; used to force
+    /// deterministic request overlap (coalescer, hedging, health-timeout
+    /// failover) in tests and fault campaigns.
     pub fn stall_shard(&self, i: usize) -> StallGuard {
+        let active = self.sets[i].shared.active_idx();
+        self.stall_replica(i, active)
+    }
+
+    /// Stall the current standby replica of shard `i`.
+    pub fn stall_backup(&self, i: usize) -> StallGuard {
+        let set = &self.sets[i];
+        let r = if set.txs.len() < 2 {
+            set.shared.active_idx()
+        } else {
+            (set.shared.active_idx() + 1) % set.txs.len()
+        };
+        self.stall_replica(i, r)
+    }
+
+    /// Stall one specific replica of shard `i`.
+    pub fn stall_replica(&self, i: usize, r: usize) -> StallGuard {
         let (tx, rx) = sync_channel::<()>(1);
-        let _ = self.shards[i].tx.send(ShardRequest::Stall(rx));
+        let _ = self.sets[i].txs[r].send(ReplicaRequest::Stall(rx));
         StallGuard { _tx: tx }
     }
 
-    /// Per-DS checksums over the full sharded store: the quiescence
-    /// oracle's observable. Digests are folded in global key order, so the
-    /// result is independent of shard count and arrival interleaving.
+    /// Per-DS checksums over the full sharded store (active replicas): the
+    /// quiescence oracle's observable. Digests are folded in global key
+    /// order, so the result is independent of shard count, replica count
+    /// and arrival interleaving.
     pub fn digest(&self) -> BTreeMap<u32, u64> {
         let mut all: Vec<(ObjKey, u64)> = Vec::new();
-        for i in 0..self.shards.len() {
-            let (tx, rx) = sync_channel(1);
-            if self.shards[i].tx.send(ShardRequest::Digest(tx)).is_err() {
-                continue;
-            }
-            if let Ok(ShardResponse::Digest(v)) = rx.recv() {
-                all.extend(v);
+        for set in &self.sets {
+            // Prefer the active replica; if its channel is already gone
+            // (killed before any client op forced a takeover), any
+            // surviving replica holds the flushed state.
+            let active = set.shared.active_idx();
+            let order = (0..set.txs.len()).map(|off| (active + off) % set.txs.len());
+            for r in order {
+                let (tx, rx) = sync_channel(1);
+                if set.txs[r].send(ReplicaRequest::Digest(tx)).is_err() {
+                    continue;
+                }
+                if let Ok(ReplicaResponse::Digest(v)) = rx.recv() {
+                    all.extend(v);
+                    break;
+                }
             }
         }
         all.sort_unstable_by_key(|(k, _)| *k);
@@ -293,17 +366,23 @@ impl ShardedServer {
 
 impl Drop for ShardedServer {
     fn drop(&mut self) {
-        for s in &mut self.shards {
-            let _ = s.tx.send(ShardRequest::Shutdown);
-            if let Some(h) = s.join.take() {
-                let _ = h.join();
+        for set in &self.sets {
+            for tx in &set.txs {
+                let _ = tx.send(ReplicaRequest::Shutdown);
+            }
+            for j in &set.joins {
+                if let Ok(mut slot) = j.lock() {
+                    if let Some(h) = slot.take() {
+                        let _ = h.join();
+                    }
+                }
             }
         }
     }
 }
 
 /// FNV-1a over the payload: cheap, deterministic per-object digest.
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -320,89 +399,28 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn shard_loop(
-    rx: Receiver<ShardRequest>,
-    generation: Arc<AtomicU64>,
-    counters: Arc<SharedCounters>,
-) {
-    let mut store: HashMap<ObjKey, Vec<u8>> = HashMap::new();
-    let mut resident = 0u64;
-    // Keys put since the last durability barrier (BTreeSet: deterministic
-    // drop order on crash, mirroring ChaosTransport).
-    let mut unacked: BTreeSet<ObjKey> = BTreeSet::new();
-    while let Ok(req) = rx.recv() {
-        match req {
-            ShardRequest::Fetch(k, reply) => {
-                let _ = reply.send(ShardResponse::Data(store.get(&k).cloned()));
-            }
-            ShardRequest::Train(objs, reply) => {
-                counters.trains.fetch_add(1, Ordering::Relaxed);
-                counters
-                    .train_objects
-                    .fetch_add(objs.len() as u64, Ordering::Relaxed);
-                for (k, data) in objs {
-                    resident += data.len() as u64;
-                    if let Some(old) = store.insert(k, data) {
-                        resident -= old.len() as u64;
-                    }
-                    unacked.insert(k);
-                }
-                let _ = reply.send(ShardResponse::Done);
-            }
-            ShardRequest::Remove(k, reply) => {
-                if let Some(old) = store.remove(&k) {
-                    resident -= old.len() as u64;
-                }
-                unacked.remove(&k);
-                let _ = reply.send(ShardResponse::Done);
-            }
-            ShardRequest::Contains(k, reply) => {
-                let _ = reply.send(ShardResponse::Bool(store.contains_key(&k)));
-            }
-            ShardRequest::ResidentBytes(reply) => {
-                let _ = reply.send(ShardResponse::Bytes(resident));
-            }
-            ShardRequest::FlushAck(reply) => {
-                unacked.clear();
-                let _ = reply.send(ShardResponse::Done);
-            }
-            ShardRequest::Digest(reply) => {
-                let v: Vec<(ObjKey, u64)> = store.iter().map(|(k, b)| (*k, fnv64(b))).collect();
-                let _ = reply.send(ShardResponse::Digest(v));
-            }
-            ShardRequest::Crash(reply) => {
-                counters.crashes.fetch_add(1, Ordering::Relaxed);
-                generation.fetch_add(1, Ordering::Relaxed);
-                for k in std::mem::take(&mut unacked) {
-                    if let Some(old) = store.remove(&k) {
-                        resident -= old.len() as u64;
-                        counters.dropped_objects.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                let _ = reply.send(ShardResponse::Done);
-            }
-            ShardRequest::Stall(gate) => {
-                // Blocks until every sender for the gate is dropped.
-                let _ = gate.recv();
-            }
-            ShardRequest::Shutdown => break,
-        }
-    }
+/// One departed-but-unacknowledged train. The payload is retained until
+/// the ack arrives so a failover mid-flight can replay it against the new
+/// primary (train application is idempotent: same keys, same bytes).
+struct PendingTrain {
+    rx: Receiver<ReplicaResponse>,
+    objs: Vec<(ObjKey, Vec<u8>)>,
 }
 
 struct ClientShard {
-    tx: SyncSender<ShardRequest>,
-    generation: Arc<AtomicU64>,
+    txs: Vec<SyncSender<ReplicaRequest>>,
+    shared: Arc<crate::replica::ReplicaShared>,
     /// Pending writeback buffer: read-your-writes store for keys whose
     /// train has not departed yet (BTreeMap: deterministic departure
     /// order).
     buf: BTreeMap<ObjKey, Vec<u8>>,
-    /// Acks of departed-but-unacknowledged trains, oldest first.
-    window: VecDeque<Receiver<ShardResponse>>,
+    /// Departed-but-unacknowledged trains, oldest first.
+    window: VecDeque<PendingTrain>,
 }
 
 /// Client half of the sharded tier: one per worker VM. Implements
-/// [`Transport`] with coalesced fetches and batched, windowed writebacks.
+/// [`Transport`] with coalesced fetches, batched windowed writebacks, and
+/// epoch-fenced failover across each shard's replica set.
 pub struct ShardedClient {
     shards: Vec<ClientShard>,
     coalescer: Arc<Coalescer>,
@@ -410,6 +428,9 @@ pub struct ShardedClient {
     model: NetworkModel,
     cfg: ShardedConfig,
     stats: NetStats,
+    /// Fault events this client produced since the runtime last drained
+    /// them (failovers it initiated, hedges it sent, fences it hit).
+    pending_faults: Cell<FaultEvents>,
     ctx: TraceContext,
 }
 
@@ -419,32 +440,206 @@ impl ShardedClient {
             % self.shards.len()
     }
 
-    /// Cross-client counters (coalescing, trains, crashes).
+    /// Cross-client counters (coalescing, trains, crashes, failovers).
     pub fn sharded_stats(&self) -> ShardedStats {
         self.counters.snapshot()
     }
 
+    fn note_fault(&self, f: impl FnOnce(&mut FaultEvents)) {
+        let mut ev = self.pending_faults.get();
+        f(&mut ev);
+        self.pending_faults.set(ev);
+    }
+
+    /// Epoch-fenced takeover, serialized per shard. Returns Ok once the
+    /// shard has a live active replica again (whether this client or a
+    /// racing one performed the promotion), Err when no standby is left.
+    fn failover(&self, shard: usize) -> Result<(), NetError> {
+        let set = &self.shards[shard];
+        self.counters
+            .failover_attempts
+            .fetch_add(1, Ordering::Relaxed);
+        let _guard = set.shared.failover_lock.lock().expect("failover lock");
+        let cur = set.shared.active_idx();
+        if set.shared.alive[cur].load(Ordering::SeqCst) {
+            // A racing client already promoted a standby (or the suspicion
+            // was resolved); nothing to do under the lock.
+            return Ok(());
+        }
+        let n = set.txs.len();
+        let standby = (1..n)
+            .map(|off| (cur + off) % n)
+            .find(|&r| set.shared.alive[r].load(Ordering::SeqCst));
+        let Some(target) = standby else {
+            return Err(NetError::Disconnected);
+        };
+        // Fence first: writes stamped with the old epoch bounce from every
+        // replica before the standby even learns of the takeover.
+        set.shared.fencing_epoch.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = sync_channel(1);
+        if set.txs[target]
+            .send(ReplicaRequest::TakeOver { reply: tx })
+            .is_err()
+        {
+            set.shared.alive[target].store(false, Ordering::SeqCst);
+            return Err(NetError::Disconnected);
+        }
+        // FIFO drain: by the time this ack arrives the standby has applied
+        // every delta the old primary shipped (its journal is replayed).
+        if rx.recv().is_err() {
+            set.shared.alive[target].store(false, Ordering::SeqCst);
+            return Err(NetError::Disconnected);
+        }
+        set.shared.active.store(target as u64, Ordering::SeqCst);
+        // Bump the shard generation: the runtime's crash watch replays its
+        // client-side journal, covering any bounded replication lag.
+        set.shared.generation.fetch_add(1, Ordering::SeqCst);
+        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+        self.note_fault(|ev| ev.failovers += 1);
+        Ok(())
+    }
+
+    /// Route one request to the shard's active replica, retrying through
+    /// fences and failovers until it sticks or no replica is left.
     fn call(
         &self,
         shard: usize,
-        make: impl FnOnce(SyncSender<ShardResponse>) -> ShardRequest,
-    ) -> Result<ShardResponse, NetError> {
-        let (tx, rx) = sync_channel(1);
-        self.shards[shard]
-            .tx
-            .send(make(tx))
-            .map_err(|_| NetError::Disconnected)?;
-        rx.recv().map_err(|_| NetError::Disconnected)
+        mut make: impl FnMut(u64, SyncSender<ReplicaResponse>) -> ReplicaRequest,
+    ) -> Result<ReplicaResponse, NetError> {
+        let set = &self.shards[shard];
+        for _ in 0..FAILOVER_RETRY_CAP {
+            let active = set.shared.active_idx();
+            if !set.shared.alive[active].load(Ordering::SeqCst) {
+                self.failover(shard)?;
+                continue;
+            }
+            let fence = set.shared.fencing_epoch.load(Ordering::SeqCst);
+            let (tx, rx) = sync_channel(1);
+            if set.txs[active].send(make(fence, tx)).is_err() {
+                set.shared.alive[active].store(false, Ordering::SeqCst);
+                self.failover(shard)?;
+                continue;
+            }
+            let resp = match self.cfg.replica.health_timeout {
+                Some(t) => rx.recv_timeout(t).map_err(|_| ()),
+                None => rx.recv().map_err(|_| ()),
+            };
+            match resp {
+                Ok(ReplicaResponse::Fenced) => {
+                    self.note_fault(|ev| ev.fenced += 1);
+                    // Re-read fence/active and retry; if the shard is mid
+                    // takeover the failover lock below synchronizes us.
+                    self.failover(shard)?;
+                }
+                Ok(r) => return Ok(r),
+                Err(()) => {
+                    // Disconnect or health timeout: declare the active
+                    // replica suspect and promote a standby.
+                    set.shared.alive[active].store(false, Ordering::SeqCst);
+                    self.failover(shard)?;
+                }
+            }
+        }
+        Err(NetError::Disconnected)
     }
 
-    /// One wire fetch (the coalescing leader's transfer).
+    /// One wire fetch (the coalescing leader's transfer), with optional
+    /// hedging against the backup when the primary is slow.
     fn wire_fetch(&self, key: ObjKey) -> Result<Vec<u8>, NetError> {
         self.counters.wire_fetches.fetch_add(1, Ordering::Relaxed);
-        match self.call(self.shard_of(key), |tx| ShardRequest::Fetch(key, tx))? {
-            ShardResponse::Data(Some(bytes)) => Ok(bytes),
-            ShardResponse::Data(None) => Err(NetError::NotFound(key)),
-            _ => Err(NetError::Disconnected),
+        let shard = self.shard_of(key);
+        let set = &self.shards[shard];
+        for _ in 0..FAILOVER_RETRY_CAP {
+            let active = set.shared.active_idx();
+            if !set.shared.alive[active].load(Ordering::SeqCst) {
+                self.failover(shard)?;
+                continue;
+            }
+            let (tx, rx) = sync_channel::<ReplicaResponse>(2);
+            if set.txs[active]
+                .send(ReplicaRequest::Fetch(key, tx.clone()))
+                .is_err()
+            {
+                drop(tx);
+                set.shared.alive[active].store(false, Ordering::SeqCst);
+                self.failover(shard)?;
+                continue;
+            }
+            let resp: Result<ReplicaResponse, ()> = match self.cfg.replica.hedge_after {
+                Some(hedge_after) if set.txs.len() > 1 => {
+                    match rx.recv_timeout(hedge_after) {
+                        Ok(r) => {
+                            drop(tx);
+                            Ok(r)
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            drop(tx);
+                            Err(())
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            // Hedge gate: only race the backup while no
+                            // failover has ever fenced the shard and the
+                            // backup has consumed every shipped epoch —
+                            // then its answer cannot be stale for a
+                            // single-writer keyspace.
+                            let backup = (active + 1) % set.txs.len();
+                            let safe = set.shared.fencing_epoch.load(Ordering::SeqCst) == 0
+                                && set.shared.backup_caught_up()
+                                && set.shared.alive[backup].load(Ordering::SeqCst);
+                            let hedged = safe
+                                && set.txs[backup]
+                                    .send(ReplicaRequest::Fetch(key, tx.clone()))
+                                    .is_ok();
+                            drop(tx);
+                            if hedged {
+                                self.counters.hedged_fetches.fetch_add(1, Ordering::Relaxed);
+                                self.note_fault(|ev| ev.hedged += 1);
+                                match rx.recv() {
+                                    Ok(r) => {
+                                        if let ReplicaResponse::Data { from, .. } = &r {
+                                            if *from == active {
+                                                self.counters
+                                                    .hedge_wasted
+                                                    .fetch_add(1, Ordering::Relaxed);
+                                                self.note_fault(|ev| ev.hedge_wasted += 1);
+                                            }
+                                        }
+                                        Ok(r)
+                                    }
+                                    Err(_) => Err(()),
+                                }
+                            } else {
+                                // No safe hedge: fall back to the plain
+                                // wait (health timeout if configured).
+                                match self.cfg.replica.health_timeout {
+                                    Some(t) => rx.recv_timeout(t).map_err(|_| ()),
+                                    None => rx.recv().map_err(|_| ()),
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    drop(tx);
+                    match self.cfg.replica.health_timeout {
+                        Some(t) => rx.recv_timeout(t).map_err(|_| ()),
+                        None => rx.recv().map_err(|_| ()),
+                    }
+                }
+            };
+            match resp {
+                Ok(ReplicaResponse::Data { bytes: Some(b), .. }) => return Ok(b),
+                Ok(ReplicaResponse::Data { bytes: None, .. }) => {
+                    return Err(NetError::NotFound(key))
+                }
+                Ok(_) => return Err(NetError::Disconnected),
+                Err(()) => {
+                    set.shared.alive[active].store(false, Ordering::SeqCst);
+                    self.failover(shard)?;
+                }
+            }
         }
+        Err(NetError::Disconnected)
     }
 
     /// Fetch through the coalescer: first-comer leads the transfer,
@@ -497,9 +692,10 @@ impl ShardedClient {
             return Ok(Fetched { bytes, cycles });
         }
         let bytes = self.coalesced_fetch(key)?;
-        // Leader or follower, the modeled charge is identical: the modeled
-        // clock is per-worker virtual time, so accounting must not depend
-        // on which thread won the race (see module docs).
+        // Leader or follower, hedged or not, the modeled charge is
+        // identical: the modeled clock is per-worker virtual time, so
+        // accounting must not depend on which thread or replica won the
+        // race (see module docs).
         let cycles = if batched {
             self.model.per_msg_cpu + self.model.wire_cycles(bytes.len() as u64)
         } else {
@@ -509,6 +705,72 @@ impl ShardedClient {
         self.stats.bytes_fetched += bytes.len() as u64;
         self.stats.cycles += cycles;
         Ok(Fetched { bytes, cycles })
+    }
+
+    /// Send one train to the shard's active replica without waiting for
+    /// the ack; the payload is retained in the returned handle for replay.
+    fn send_train(
+        &self,
+        shard: usize,
+        mut objs: Vec<(ObjKey, Vec<u8>)>,
+    ) -> Result<PendingTrain, NetError> {
+        let set = &self.shards[shard];
+        for _ in 0..FAILOVER_RETRY_CAP {
+            let active = set.shared.active_idx();
+            if !set.shared.alive[active].load(Ordering::SeqCst) {
+                self.failover(shard)?;
+                continue;
+            }
+            let fence = set.shared.fencing_epoch.load(Ordering::SeqCst);
+            let (tx, rx) = sync_channel(1);
+            let retained = objs.clone();
+            match set.txs[active].send(ReplicaRequest::Train {
+                objs,
+                fence,
+                reply: tx,
+            }) {
+                Ok(()) => return Ok(PendingTrain { rx, objs: retained }),
+                Err(std::sync::mpsc::SendError(msg)) => {
+                    // The channel hands the message back: recover the
+                    // payload and fail over.
+                    if let ReplicaRequest::Train { objs: o, .. } = msg {
+                        objs = o;
+                    } else {
+                        unreachable!("train send returns a train");
+                    }
+                    set.shared.alive[active].store(false, Ordering::SeqCst);
+                    self.failover(shard)?;
+                }
+            }
+        }
+        Err(NetError::Disconnected)
+    }
+
+    /// Wait for one train's ack, replaying it through failovers/fences
+    /// until the (idempotent) train sticks on a live active replica.
+    fn await_train(&self, shard: usize, mut train: PendingTrain) -> Result<(), NetError> {
+        let set = &self.shards[shard];
+        for _ in 0..FAILOVER_RETRY_CAP {
+            let resp = match self.cfg.replica.health_timeout {
+                Some(t) => train.rx.recv_timeout(t).map_err(|_| ()),
+                None => train.rx.recv().map_err(|_| ()),
+            };
+            match resp {
+                Ok(ReplicaResponse::Done) => return Ok(()),
+                Ok(ReplicaResponse::Fenced) => {
+                    self.note_fault(|ev| ev.fenced += 1);
+                    self.failover(shard)?;
+                }
+                Ok(_) => return Err(NetError::Disconnected),
+                Err(()) => {
+                    let active = set.shared.active_idx();
+                    set.shared.alive[active].store(false, Ordering::SeqCst);
+                    self.failover(shard)?;
+                }
+            }
+            train = self.send_train(shard, std::mem::take(&mut train.objs))?;
+        }
+        Err(NetError::Disconnected)
     }
 
     /// Seal the shard's pending buffer into a train and send it without
@@ -521,36 +783,27 @@ impl ShardedClient {
         let objs: Vec<(ObjKey, Vec<u8>)> = std::mem::take(&mut self.shards[shard].buf)
             .into_iter()
             .collect();
-        let (tx, rx) = sync_channel(1);
-        self.shards[shard]
-            .tx
-            .send(ShardRequest::Train(objs, tx))
-            .map_err(|_| NetError::Disconnected)?;
-        self.shards[shard].window.push_back(rx);
+        let pending = self.send_train(shard, objs)?;
+        self.shards[shard].window.push_back(pending);
         // One message's CPU cost per train; the per-object wire cycles
         // were charged when each object was buffered.
         let cycles = self.model.per_msg_cpu;
         self.stats.cycles += cycles;
         while self.shards[shard].window.len() > self.cfg.window.max(1) {
             let oldest = self.shards[shard].window.pop_front().expect("nonempty");
-            oldest.recv().map_err(|_| NetError::Disconnected)?;
+            self.await_train(shard, oldest)?;
         }
         Ok(cycles)
     }
 
     /// Drain every outstanding train ack on every shard.
     fn drain_window(&mut self) -> Result<(), NetError> {
-        let mut dead = false;
-        for s in &mut self.shards {
-            while let Some(rx) = s.window.pop_front() {
-                dead |= rx.recv().is_err();
+        for shard in 0..self.shards.len() {
+            while let Some(pending) = self.shards[shard].window.pop_front() {
+                self.await_train(shard, pending)?;
             }
         }
-        if dead {
-            Err(NetError::Disconnected)
-        } else {
-            Ok(())
-        }
+        Ok(())
     }
 }
 
@@ -585,8 +838,12 @@ impl Transport for ShardedClient {
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
         let shard = self.shard_of(key);
         self.shards[shard].buf.remove(&key);
-        match self.call(shard, |tx| ShardRequest::Remove(key, tx))? {
-            ShardResponse::Done => {
+        match self.call(shard, |fence, tx| ReplicaRequest::Remove {
+            key,
+            fence,
+            reply: tx,
+        })? {
+            ReplicaResponse::Done => {
                 self.stats.cycles += self.model.per_msg_cpu;
                 Ok(self.model.per_msg_cpu)
             }
@@ -601,8 +858,11 @@ impl Transport for ShardedClient {
         }
         self.drain_window()?;
         for shard in 0..self.shards.len() {
-            match self.call(shard, ShardRequest::FlushAck)? {
-                ShardResponse::Done => {}
+            match self.call(shard, |fence, tx| ReplicaRequest::FlushAck {
+                fence,
+                reply: tx,
+            })? {
+                ReplicaResponse::Done => {}
                 _ => return Err(NetError::Disconnected),
             }
         }
@@ -615,7 +875,7 @@ impl Transport for ShardedClient {
     fn generation(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.generation.load(Ordering::Relaxed))
+            .map(|s| s.shared.generation.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -625,8 +885,8 @@ impl Transport for ShardedClient {
             return true;
         }
         matches!(
-            self.call(shard, |tx| ShardRequest::Contains(key, tx)),
-            Ok(ShardResponse::Bool(true))
+            self.call(shard, |_, tx| ReplicaRequest::Contains(key, tx)),
+            Ok(ReplicaResponse::Bool(true))
         )
     }
 
@@ -637,11 +897,17 @@ impl Transport for ShardedClient {
     fn remote_bytes(&self) -> u64 {
         let mut total = 0;
         for shard in 0..self.shards.len() {
-            if let Ok(ShardResponse::Bytes(b)) = self.call(shard, ShardRequest::ResidentBytes) {
+            if let Ok(ReplicaResponse::Bytes(b)) =
+                self.call(shard, |_, tx| ReplicaRequest::ResidentBytes(tx))
+            {
                 total += b;
             }
         }
         total
+    }
+
+    fn take_fault_events(&mut self) -> FaultEvents {
+        self.pending_faults.take()
     }
 
     fn set_trace_context(&mut self, ctx: TraceContext) {
@@ -656,6 +922,7 @@ impl Transport for ShardedClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn key(ds: u32, index: u64) -> ObjKey {
         ObjKey { ds, index }
@@ -665,6 +932,17 @@ mod tests {
         ShardedServer::spawn(
             ShardedConfig {
                 shards,
+                ..ShardedConfig::default()
+            },
+            NetworkModel::default(),
+        )
+    }
+
+    fn server_with(shards: usize, replica: ReplicaConfig) -> ShardedServer {
+        ShardedServer::spawn(
+            ShardedConfig {
+                shards,
+                replica,
                 ..ShardedConfig::default()
             },
             NetworkModel::default(),
@@ -788,16 +1066,126 @@ mod tests {
     }
 
     #[test]
-    fn dead_shard_surfaces_disconnected_deterministically() {
+    fn dead_replica_set_surfaces_disconnected_deterministically() {
         for _ in 0..8 {
-            let mut srv = server(1);
+            let srv = server(1);
             let mut c = srv.client();
             c.put(key(0, 0), &[1u8; 32]).unwrap();
+            // Kill the whole replica set: backup first, then the active
+            // primary, so no standby is left to fail over to.
+            srv.kill_backup(0);
             srv.kill_shard(0);
             assert_eq!(c.fetch(key(9, 9)), Err(NetError::Disconnected));
             assert_eq!(c.flush(), Err(NetError::Disconnected));
             assert_eq!(c.remove(key(9, 9)), Err(NetError::Disconnected));
         }
+    }
+
+    #[test]
+    fn killed_primary_fails_over_to_backup_with_journal_intact() {
+        for _ in 0..4 {
+            let srv = server(1);
+            let mut c = srv.client();
+            for i in 0..32u64 {
+                c.put(key(0, i), &[i as u8; 64]).unwrap();
+            }
+            c.flush().unwrap();
+            let g0 = c.generation();
+            srv.kill_shard(0);
+            // Every durable object survives on the promoted backup.
+            for i in 0..32u64 {
+                assert_eq!(c.fetch(key(0, i)).unwrap().bytes, vec![i as u8; 64]);
+            }
+            // Writes keep working against the new primary.
+            c.put(key(1, 0), &[7u8; 16]).unwrap();
+            c.flush().unwrap();
+            assert_eq!(c.fetch(key(1, 0)).unwrap().bytes, vec![7u8; 16]);
+            let s = srv.sharded_stats();
+            assert_eq!(s.failovers, 1, "exactly one takeover");
+            assert!(
+                c.generation() > g0,
+                "failover must bump the generation for the runtime's crash watch"
+            );
+            assert_eq!(srv.active_replica(0), 1);
+        }
+    }
+
+    #[test]
+    fn killed_backup_is_invisible_to_clients() {
+        let srv = server(2);
+        let mut c = srv.client();
+        for i in 0..16u64 {
+            c.put(key(0, i), &[i as u8; 32]).unwrap();
+        }
+        c.flush().unwrap();
+        for i in 0..2 {
+            srv.kill_backup(i);
+        }
+        for i in 0..16u64 {
+            assert_eq!(c.fetch(key(0, i)).unwrap().bytes, vec![i as u8; 32]);
+        }
+        c.put(key(2, 0), &[9u8; 32]).unwrap();
+        c.flush().unwrap();
+        let s = srv.sharded_stats();
+        assert_eq!(s.failovers, 0, "losing a standby must not fail over");
+    }
+
+    #[test]
+    fn stalled_primary_with_health_timeout_is_demoted_and_fenced() {
+        let srv = server_with(
+            1,
+            ReplicaConfig {
+                health_timeout: Some(Duration::from_millis(25)),
+                ..ReplicaConfig::default()
+            },
+        );
+        let mut setup = srv.client();
+        for i in 0..8u64 {
+            setup.put(key(0, i), &[1u8; 32]).unwrap();
+        }
+        setup.flush().unwrap();
+        let gate = srv.stall_shard(0);
+        let mut c = srv.client();
+        // The read times out on the stalled primary, demotes it, and the
+        // promoted backup serves the (fully shipped) object.
+        assert_eq!(c.fetch(key(0, 3)).unwrap().bytes, vec![1u8; 32]);
+        assert_eq!(srv.active_replica(0), 1);
+        // A write lands on the new primary under the bumped fence.
+        c.put(key(3, 0), &[8u8; 32]).unwrap();
+        c.flush().unwrap();
+        // Wake the deposed primary: anything it still drains is fenced by
+        // sender, and it must not corrupt the promoted store.
+        gate.release();
+        assert_eq!(c.fetch(key(3, 0)).unwrap().bytes, vec![8u8; 32]);
+        let s = srv.sharded_stats();
+        assert_eq!(s.failovers, 1);
+        assert!(s.failover_attempts >= 1);
+    }
+
+    #[test]
+    fn hedged_read_races_a_stalled_primary() {
+        let srv = server_with(
+            1,
+            ReplicaConfig {
+                hedge_after: Some(Duration::from_millis(5)),
+                ..ReplicaConfig::default()
+            },
+        );
+        let mut setup = srv.client();
+        setup.put(key(0, 0), &[4u8; 128]).unwrap();
+        setup.flush().unwrap();
+        let gate = srv.stall_shard(0);
+        let mut c = srv.client();
+        // The primary is stalled, so only the hedge can answer — and the
+        // request completes without releasing the stall.
+        assert_eq!(c.fetch(key(0, 0)).unwrap().bytes, vec![4u8; 128]);
+        let s = srv.sharded_stats();
+        assert!(
+            s.hedged_fetches >= 1,
+            "stalled primary must trigger a hedge"
+        );
+        assert_eq!(s.failovers, 0, "hedging must not fail over");
+        gate.release();
     }
 
     #[test]
@@ -807,6 +1195,7 @@ mod tests {
                 shards: 1,
                 train_len: 1,
                 window: 2,
+                ..ShardedConfig::default()
             },
             NetworkModel::free(),
         );
@@ -820,9 +1209,15 @@ mod tests {
     }
 
     #[test]
-    fn digest_is_shard_count_independent() {
-        let fill = |shards: usize| {
-            let srv = server(shards);
+    fn digest_is_shard_and_replica_count_independent() {
+        let fill = |shards: usize, replicas: usize| {
+            let srv = server_with(
+                shards,
+                ReplicaConfig {
+                    replicas,
+                    ..ReplicaConfig::default()
+                },
+            );
             let mut c = srv.client();
             for ds in 0..3u32 {
                 for i in 0..50u64 {
@@ -832,9 +1227,36 @@ mod tests {
             c.flush().unwrap();
             srv.digest()
         };
-        let a = fill(1);
-        let b = fill(4);
+        let a = fill(1, 2);
+        let b = fill(4, 2);
+        let c = fill(4, 1);
         assert_eq!(a, b, "digest must not depend on sharding");
+        assert_eq!(b, c, "digest must not depend on replication");
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn digest_survives_failover_byte_identically() {
+        let fill = |kill: bool| {
+            let srv = server(2);
+            let mut c = srv.client();
+            for ds in 0..2u32 {
+                for i in 0..40u64 {
+                    c.put(key(ds, i), &[(ds as u8).wrapping_add(i as u8); 64])
+                        .unwrap();
+                }
+            }
+            c.flush().unwrap();
+            if kill {
+                for s in 0..2 {
+                    srv.kill_shard(s);
+                }
+                // Touch each shard so the takeover actually happens.
+                c.fetch(key(0, 0)).unwrap();
+                c.fetch(key(1, 1)).unwrap();
+            }
+            srv.digest()
+        };
+        assert_eq!(fill(false), fill(true));
     }
 }

@@ -51,6 +51,39 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// Fault-handling events a transport accumulated since the last drain:
+/// failovers it initiated, hedges it sent, fences it bounced off. The
+/// runtime drains these after each operation to attribute them to spans
+/// ([`SpanKind::Failover`]/[`SpanKind::Hedge`] in `cards-runtime`) and
+/// stats. Counts are per-client (this transport's own actions), not the
+/// cluster-wide totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultEvents {
+    /// Takeovers this client performed (backup promoted to primary).
+    pub failovers: u64,
+    /// Hedged fetches this client sent to a backup.
+    pub hedged: u64,
+    /// Hedges where the primary answered first anyway.
+    pub hedge_wasted: u64,
+    /// Writes bounced by a fencing epoch and retried.
+    pub fenced: u64,
+}
+
+impl FaultEvents {
+    /// True when nothing happened since the last drain.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultEvents::default()
+    }
+
+    /// Accumulate another batch of events.
+    pub fn merge(&mut self, other: &FaultEvents) {
+        self.failovers += other.failovers;
+        self.hedged += other.hedged;
+        self.hedge_wasted += other.hedge_wasted;
+        self.fenced += other.fenced;
+    }
+}
+
 /// Result of a successful fetch: payload plus modeled cycle cost.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fetched {
@@ -109,6 +142,13 @@ pub trait Transport {
 
     /// Total bytes currently resident on the remote server.
     fn remote_bytes(&self) -> u64;
+
+    /// Drain fault-handling events (failovers, hedges, fence bounces)
+    /// accumulated since the last call. Transports without replication
+    /// report nothing.
+    fn take_fault_events(&mut self) -> FaultEvents {
+        FaultEvents::default()
+    }
 
     /// Set the causal context stamped on subsequent operations (envelopes
     /// and wire-tap records). Transports without tracing ignore it.

@@ -1077,6 +1077,27 @@ impl<T: Transport> FarMemRuntime<T> {
         );
     }
 
+    /// Drain fault-handling events the transport accumulated (failovers it
+    /// performed, hedges it sent, fences it bounced off) into stats and
+    /// zero-cycle trace leaves attributed to the operation in flight — the
+    /// failover-storm anomaly and `ttrace diff` read these.
+    fn drain_fault_events(&mut self, ds: u16, index: u64) {
+        let ev = self.transport.take_fault_events();
+        if ev.is_empty() {
+            return;
+        }
+        self.stats.failovers += ev.failovers;
+        self.stats.hedged_fetches += ev.hedged;
+        self.stats.hedge_wasted += ev.hedge_wasted;
+        self.stats.fenced_retries += ev.fenced;
+        for _ in 0..ev.failovers {
+            self.tracer.leaf(SpanKind::Failover, ds, index, 0, 0);
+        }
+        for _ in 0..ev.hedged {
+            self.tracer.leaf(SpanKind::Hedge, ds, index, 0, 0);
+        }
+    }
+
     /// A remote op that succeeded after `attempts` tries: count it as
     /// retried when more than one attempt was needed.
     fn note_retried_op(&mut self, ds: u16, attempts: u32) {
@@ -1120,6 +1141,7 @@ impl<T: Transport> FarMemRuntime<T> {
             } else {
                 self.transport.fetch(key)
             };
+            self.drain_fault_events(ds, key.index);
             match r {
                 Ok(f) => {
                     *cycles += f.cycles;
@@ -1199,7 +1221,9 @@ impl<T: Transport> FarMemRuntime<T> {
         loop {
             attempts += 1;
             self.breaker_pre_op(ds);
-            match self.transport.put(key, data) {
+            let r = self.transport.put(key, data);
+            self.drain_fault_events(ds, key.index);
+            match r {
                 Ok(c) => {
                     *cycles += c;
                     self.tracer.leaf(SpanKind::Wire, ds, key.index, c, 0);
@@ -1250,7 +1274,9 @@ impl<T: Transport> FarMemRuntime<T> {
         let mut attempts: u32 = 0;
         loop {
             attempts += 1;
-            match self.transport.flush() {
+            let r = self.transport.flush();
+            self.drain_fault_events(0, 0);
+            match r {
                 Ok(c) => {
                     *cycles += c;
                     self.tracer.leaf(SpanKind::Flush, 0, 0, c, 0);
@@ -1290,7 +1316,9 @@ impl<T: Transport> FarMemRuntime<T> {
         loop {
             attempts += 1;
             self.breaker_pre_op(ds);
-            match self.transport.remove(key) {
+            let r = self.transport.remove(key);
+            self.drain_fault_events(ds, key.index);
+            match r {
                 Ok(c) => {
                     *cycles += c;
                     self.tracer.leaf(SpanKind::Wire, ds, key.index, c, 0);

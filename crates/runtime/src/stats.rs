@@ -139,6 +139,15 @@ pub struct RuntimeStats {
     /// Times guard/scope pins covered the whole budget and eviction could
     /// make no progress (recent-guard window shrunk or overcommitted).
     pub pin_starvations: u64,
+    /// Epoch-fenced takeovers this client performed (backup promoted to
+    /// primary on a replicated shard).
+    pub failovers: u64,
+    /// Hedged fetches raced against a backup replica.
+    pub hedged_fetches: u64,
+    /// Hedges the primary won anyway (the extra request bought nothing).
+    pub hedge_wasted: u64,
+    /// Writes bounced by a fencing epoch and transparently retried.
+    pub fenced_retries: u64,
 }
 
 #[cfg(test)]

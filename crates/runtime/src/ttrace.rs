@@ -51,6 +51,13 @@ pub struct TraceConfig {
     /// An operation whose total is at least this multiple of the rolling
     /// p99 baseline fires the `p99_spike` anomaly.
     pub p99_spike_mult: u64,
+    /// Failover leaves across the last [`TraceConfig::failover_storm_window`]
+    /// completed remote operations at (or above) which the `failover_storm`
+    /// anomaly fires — a shard ping-ponging through takeovers.
+    pub failover_storm_threshold: u32,
+    /// Rolling window (in completed remote operations) over which failover
+    /// leaves are summed for storm detection.
+    pub failover_storm_window: u64,
     /// Minimum completed remote operations before the p99 baseline is
     /// considered meaningful (no spike detection below this).
     pub p99_window: u64,
@@ -71,6 +78,8 @@ impl Default for TraceConfig {
             ring_capacity: 64,
             retry_storm_threshold: 8,
             p99_spike_mult: 8,
+            failover_storm_threshold: 3,
+            failover_storm_window: 32,
             p99_window: 64,
             max_snapshots: 4,
             max_spans_per_tree: 4096,
@@ -126,11 +135,16 @@ pub enum SpanKind {
     Backoff,
     /// Leaf: a circuit-breaker state transition observed mid-operation.
     Breaker,
+    /// Leaf: an epoch-fenced takeover (backup promoted to primary) this
+    /// client performed while the operation was in flight.
+    Failover,
+    /// Leaf: a hedged fetch raced against the backup replica.
+    Hedge,
 }
 
 impl SpanKind {
     /// All kinds, in stable export/breakdown order.
-    pub const ALL: [SpanKind; 17] = [
+    pub const ALL: [SpanKind; 19] = [
         SpanKind::Guard,
         SpanKind::Access,
         SpanKind::Alloc,
@@ -148,6 +162,8 @@ impl SpanKind {
         SpanKind::Retry,
         SpanKind::Backoff,
         SpanKind::Breaker,
+        SpanKind::Failover,
+        SpanKind::Hedge,
     ];
 
     /// Stable snake_case name used by exporters and phase tables.
@@ -170,6 +186,8 @@ impl SpanKind {
             SpanKind::Retry => "retry",
             SpanKind::Backoff => "backoff",
             SpanKind::Breaker => "breaker",
+            SpanKind::Failover => "failover",
+            SpanKind::Hedge => "hedge",
         }
     }
 
@@ -310,7 +328,8 @@ impl TraceTree {
 /// One fired anomaly trigger.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceTrigger {
-    /// Stable reason name (`retry_storm`, `breaker_open`, `thrash_resolve`,
+    /// Stable reason name (`retry_storm`, `failover_storm`, `breaker_open`,
+    /// `thrash_resolve`,
     /// `cross_sum_violation`, `p99_spike`).
     pub reason: &'static str,
     /// Modeled cycle clock when the trigger fired.
@@ -374,6 +393,10 @@ pub struct Tracer {
     abandoned: u64,
     /// Rolling baseline of root totals for p99-spike detection.
     root_hist: Histogram,
+    /// Failover-leaf counts of the last `failover_storm_window` completed
+    /// remote operations (storm detection), plus their running sum.
+    recent_failovers: VecDeque<u32>,
+    recent_failover_sum: u64,
     /// Cumulative self-cycles by span kind across ALL completed remote
     /// operations (not just the retained ring) — the `ttrace diff` input.
     phase_totals: [u64; SpanKind::ALL.len()],
@@ -472,6 +495,7 @@ impl Tracer {
         // Anomaly checks, then fold the total into the rolling baseline.
         let trace = tree.trace;
         let retries = tree.count_kind(SpanKind::Retry) as u32;
+        let failovers = tree.count_kind(SpanKind::Failover) as u32;
         let cross_sum_ok = tree.validate().is_ok();
         let spike = self.root_hist.count() >= self.cfg.p99_window
             && self.cfg.p99_spike_mult > 0
@@ -486,6 +510,21 @@ impl Tracer {
         }
         if spike {
             self.fire("p99_spike", now, trace);
+        }
+        // Failover storm: takeovers summed over a rolling window of recent
+        // operations — one failover is recovery, repeated failovers are a
+        // shard ping-ponging and worth a flight snapshot.
+        if self.cfg.failover_storm_threshold > 0 && self.cfg.failover_storm_window > 0 {
+            self.recent_failovers.push_back(failovers);
+            self.recent_failover_sum += failovers as u64;
+            while self.recent_failovers.len() as u64 > self.cfg.failover_storm_window {
+                let old = self.recent_failovers.pop_front().expect("nonempty");
+                self.recent_failover_sum -= old as u64;
+            }
+            if failovers > 0 && self.recent_failover_sum >= self.cfg.failover_storm_threshold as u64
+            {
+                self.fire("failover_storm", now, trace);
+            }
         }
     }
 
@@ -925,6 +964,42 @@ mod tests {
             1,
             "snapshot sees the tree that fired it"
         );
+    }
+
+    #[test]
+    fn failover_storm_fires_over_a_rolling_window() {
+        let mut t = Tracer::new(TraceConfig {
+            failover_storm_threshold: 3,
+            failover_storm_window: 8,
+            ..Default::default()
+        });
+        // One failover per op: recovery, not a storm — until the rolling
+        // sum reaches the threshold.
+        for i in 0..2u64 {
+            t.op_begin(SpanKind::Guard, 0, i, None, 0);
+            t.leaf(SpanKind::Failover, 0, i, 0, 0);
+            t.leaf(SpanKind::Wire, 0, i, 100, 0);
+            t.op_end(100, 0);
+        }
+        assert!(t.triggers().is_empty(), "two takeovers in-window: no storm");
+        t.op_begin(SpanKind::Guard, 0, 2, None, 0);
+        t.leaf(SpanKind::Failover, 0, 2, 0, 0);
+        t.leaf(SpanKind::Wire, 0, 2, 100, 0);
+        t.op_end(100, 0);
+        assert_eq!(t.triggers().len(), 1);
+        assert_eq!(t.triggers()[0].reason, "failover_storm");
+        // Quiet ops slide the window until the storm clears; the next
+        // lone failover must not re-fire.
+        for i in 3..12u64 {
+            t.op_begin(SpanKind::Guard, 0, i, None, 0);
+            t.leaf(SpanKind::Wire, 0, i, 100, 0);
+            t.op_end(100, 0);
+        }
+        t.op_begin(SpanKind::Guard, 0, 12, None, 0);
+        t.leaf(SpanKind::Failover, 0, 12, 0, 0);
+        t.leaf(SpanKind::Wire, 0, 12, 100, 0);
+        t.op_end(100, 0);
+        assert_eq!(t.triggers().len(), 1, "window slid past the old storm");
     }
 
     #[test]

@@ -7,17 +7,22 @@
 //! and correctness oracle) and *transformed* ones (pool-allocated, guarded,
 //! versioned), so pipeline effects are measured end to end.
 
+pub mod failover;
 pub mod interp;
 pub mod metrics;
 pub mod profile;
 pub mod ttrace;
 pub mod worker;
 
+pub use failover::{run_failover_campaign, CampaignReport, CellReport, Phase};
 pub use interp::{spec_from_meta, splitmix64, Vm, VmError};
 pub use metrics::{CpuModel, VmMetrics};
 pub use profile::{check_attribution, profile_folded, profile_json, render_profile_report};
 pub use ttrace::{check_traces, flight_json, render_ttrace_report, ttrace_json};
-pub use worker::{run_serial_replay, run_serving, SerialReport, ServeReport, ServeSpec};
+pub use worker::{
+    run_serial_replay, run_serving, run_serving_with_faults, FaultKind, FaultScript, ScriptedFault,
+    SerialReport, ServeReport, ServeSpec, WorkerReport,
+};
 
 #[cfg(test)]
 mod tests {

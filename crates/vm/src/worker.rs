@@ -19,8 +19,10 @@
 //! server's shared atomic counters and is reported, never asserted equal.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use cards_ir::Module;
 use cards_net::{NetworkModel, ShardedConfig, ShardedServer, ShardedStats};
@@ -55,6 +57,49 @@ impl Default for ServeSpec {
     }
 }
 
+/// A fault the campaign controller injects into the live tier while
+/// workers are serving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill the shard's active (primary) replica. Clients detect the dead
+    /// channel and perform an epoch-fenced failover to the backup.
+    KillPrimary,
+    /// Kill the shard's standby replica. Invisible to clients; journal
+    /// shipping to the dead peer is dropped.
+    KillBackup,
+    /// Crash/restart the active replica: unacked train objects drop, the
+    /// generation bumps, and runtimes replay their write journals.
+    CrashRestart,
+    /// Stall the active replica until `hold_requests` further requests
+    /// have been issued tier-wide, then release it. With a health timeout
+    /// configured, clients demote the zombie and fail over under the
+    /// stall; with `hedge_after`, reads race the backup meanwhile.
+    Stall {
+        /// Requests to hold the stall across before releasing.
+        hold_requests: u64,
+    },
+    /// Stall the active replica until some client *begins* a takeover,
+    /// then release the stall and kill the demoted primary — the kill
+    /// lands in the middle of the epoch handshake, and the zombie's
+    /// queued writes must bounce off the fencing epoch.
+    KillDuringFailover,
+}
+
+/// One scheduled fault: fires once `after_requests` requests have been
+/// issued tier-wide (phase 0 = before the first serve-phase request).
+#[derive(Clone, Copy, Debug)]
+pub struct ScriptedFault {
+    /// Tier-wide issued-request threshold that triggers the fault.
+    pub after_requests: u64,
+    /// Shard the fault targets.
+    pub shard: usize,
+    /// What to do to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic-phase fault schedule, applied in order.
+pub type FaultScript = Vec<ScriptedFault>;
+
 /// One worker's deterministic slice of a serving run.
 #[derive(Clone, Debug)]
 pub struct WorkerReport {
@@ -64,6 +109,8 @@ pub struct WorkerReport {
     pub tenants: u64,
     /// Requests this worker served.
     pub requests: u64,
+    /// Requests this worker issued (attempted), including failures.
+    pub issued: u64,
     /// Serve-phase instructions (setup excluded).
     pub serve_instructions: u64,
     /// Serve-phase modeled cycles (setup excluded).
@@ -82,6 +129,11 @@ pub struct ServeReport {
     pub workers: usize,
     /// Total requests served.
     pub requests: u64,
+    /// Total requests issued (attempted), including failures. Equal to
+    /// `ok` on fault-free runs; availability is `ok / issued`.
+    pub issued: u64,
+    /// Requests that completed successfully (== `requests`).
+    pub ok: u64,
     /// Serve-phase instructions summed across workers.
     pub instructions: u64,
     /// Slowest worker's serve-phase modeled cycles (the modeled
@@ -137,7 +189,128 @@ pub fn run_serving(
     policy: RemotingPolicy,
     k_percent: u32,
 ) -> Result<ServeReport, String> {
+    run_serving_with_faults(module, spec, base_cfg, policy, k_percent, &[])
+}
+
+/// Bumps a shared counter when dropped — workers signal completion to the
+/// fault controller even on an error or panic path, so the controller can
+/// never strand the scope.
+struct CountOnDrop<'a>(&'a AtomicUsize);
+
+impl Drop for CountOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Spin until `served` reaches `target`, every worker is done, or the
+/// optional real-time `deadline` passes. Returns whether the target was
+/// actually reached (vs. bailed out).
+fn wait_served(
+    served: &AtomicU64,
+    finished: &AtomicUsize,
+    workers: usize,
+    target: u64,
+    deadline: Option<Instant>,
+) -> bool {
+    let mut spins = 0u32;
+    loop {
+        if served.load(Ordering::SeqCst) >= target {
+            return true;
+        }
+        if finished.load(Ordering::SeqCst) >= workers {
+            return false;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return false;
+            }
+        }
+        spins = spins.wrapping_add(1);
+        if spins > 1 << 12 {
+            thread::sleep(Duration::from_micros(50));
+        } else {
+            thread::yield_now();
+        }
+    }
+}
+
+/// The fault controller: applies each scripted fault once the tier-wide
+/// issued-request counter crosses its threshold. Stalls are held for
+/// their scripted span (with a real-time escape hatch so a fully blocked
+/// tier can never deadlock the harness) and always released here.
+fn drive_faults(
+    server: &ShardedServer,
+    script: &[ScriptedFault],
+    served: &AtomicU64,
+    finished: &AtomicUsize,
+    workers: usize,
+) {
+    // A stalled tier with no health timeout stops issuing requests, so
+    // every hold also carries a wall-clock bound.
+    const STALL_ESCAPE: Duration = Duration::from_secs(5);
+    for f in script {
+        wait_served(served, finished, workers, f.after_requests, None);
+        match f.kind {
+            FaultKind::KillPrimary => server.kill_shard(f.shard),
+            FaultKind::KillBackup => server.kill_backup(f.shard),
+            FaultKind::CrashRestart => server.crash_shard(f.shard),
+            FaultKind::Stall { hold_requests } => {
+                let gate = server.stall_shard(f.shard);
+                let base = served.load(Ordering::SeqCst);
+                wait_served(
+                    served,
+                    finished,
+                    workers,
+                    base.saturating_add(hold_requests),
+                    Some(Instant::now() + STALL_ESCAPE),
+                );
+                gate.release();
+            }
+            FaultKind::KillDuringFailover => {
+                let old = server.active_replica(f.shard);
+                let gate = server.stall_replica(f.shard, old);
+                let base = server.sharded_stats().failover_attempts;
+                // Wait for some client to *begin* the takeover (needs a
+                // health timeout in the replica config to ever happen).
+                let t0 = Instant::now();
+                while server.sharded_stats().failover_attempts == base
+                    && finished.load(Ordering::SeqCst) < workers
+                    && t0.elapsed() < STALL_ESCAPE
+                {
+                    thread::yield_now();
+                }
+                let attempted = server.sharded_stats().failover_attempts > base;
+                // Release first: a stalled replica cannot drain its
+                // queue, and kill() joins the serve thread.
+                gate.release();
+                if attempted {
+                    server.kill_replica(f.shard, old);
+                }
+            }
+        }
+    }
+}
+
+/// [`run_serving`] plus a scripted fault campaign: a controller thread
+/// watches the tier-wide issued-request counter and injects each
+/// [`ScriptedFault`] at its phase. With a non-empty script, request
+/// failures are tolerated and counted (`issued` vs `ok`) instead of
+/// aborting the worker — availability under faults is part of the report.
+/// Quiescence failures stay fatal: the digest oracle requires a fully
+/// drained tier.
+pub fn run_serving_with_faults(
+    module: &Module,
+    spec: ServeSpec,
+    base_cfg: RuntimeConfig,
+    policy: RemotingPolicy,
+    k_percent: u32,
+    script: &[ScriptedFault],
+) -> Result<ServeReport, String> {
     let workers = spec.workers.max(1);
+    let tolerate = !script.is_empty();
+    let served = AtomicU64::new(0);
+    let finished = AtomicUsize::new(0);
     let server = ShardedServer::spawn(spec.net, spec.model);
     // Clients are handed out before spawning so worker i always gets
     // client i (deterministic construction order).
@@ -154,6 +327,10 @@ pub fn run_serving(
     let serve_gate = Barrier::new(workers);
 
     let mut reports: Vec<WorkerReport> = thread::scope(|scope| {
+        if tolerate {
+            let (server, served, finished) = (&server, &served, &finished);
+            scope.spawn(move || drive_faults(server, script, served, finished, workers));
+        }
         let mut handles = Vec::with_capacity(workers);
         for (w, client) in clients.into_iter().enumerate() {
             let module = module.clone();
@@ -162,7 +339,10 @@ pub fn run_serving(
             // manages its share; the sum never exceeds the total budget.
             cfg.remotable_bytes = (base_cfg.remotable_bytes / workers as u64).max(4096);
             let (setup_lock, serve_gate) = (&setup_lock, &serve_gate);
+            let (served, finished) = (&served, &finished);
             handles.push(scope.spawn(move || -> Result<WorkerReport, String> {
+                // Signals the fault controller even on error or panic.
+                let _done = CountOnDrop(finished);
                 let mut vm = Vm::new(module, cfg, client, policy, k_percent);
                 let loaded = (|| {
                     let _load = setup_lock.lock().expect("setup lock");
@@ -179,18 +359,26 @@ pub fn run_serving(
                 let mut request_cycles = Vec::new();
                 let mut checksum = 0i64;
                 let mut tenants = 0u64;
+                let mut issued = 0u64;
                 let serve_i0 = vm.metrics().instructions;
                 let serve_c0 = vm.metrics().cycles;
                 for t in (w as u64..spec.tenants).step_by(workers) {
                     tenants += 1;
                     for i in 0..spec.ops_per_tenant {
+                        issued += 1;
                         let c0 = vm.metrics().cycles;
-                        let v = vm
-                            .run("request", &[t, i])
-                            .map_err(|e| format!("worker {w} request({t},{i}): {e:?}"))?
-                            .unwrap_or(0);
-                        checksum = checksum.wrapping_add(v as i64);
-                        request_cycles.push(vm.metrics().cycles - c0);
+                        let r = vm.run("request", &[t, i]);
+                        served.fetch_add(1, Ordering::SeqCst);
+                        match r {
+                            Ok(v) => {
+                                checksum = checksum.wrapping_add(v.unwrap_or(0) as i64);
+                                request_cycles.push(vm.metrics().cycles - c0);
+                            }
+                            // Under a fault script a lost request is an
+                            // availability data point, not a run failure.
+                            Err(_) if tolerate => {}
+                            Err(e) => return Err(format!("worker {w} request({t},{i}): {e:?}")),
+                        }
                     }
                 }
                 let serve_instructions = vm.metrics().instructions - serve_i0;
@@ -204,6 +392,7 @@ pub fn run_serving(
                     worker: w,
                     tenants,
                     requests: request_cycles.len() as u64,
+                    issued,
                     serve_instructions,
                     serve_cycles,
                     checksum,
@@ -225,9 +414,12 @@ pub fn run_serving(
         .flat_map(|r| r.request_cycles.iter().copied())
         .collect();
     all.sort_unstable();
+    let ok = all.len() as u64;
     Ok(ServeReport {
         workers,
-        requests: all.len() as u64,
+        requests: ok,
+        issued: reports.iter().map(|r| r.issued).sum(),
+        ok,
         instructions: reports.iter().map(|r| r.serve_instructions).sum(),
         makespan_cycles: reports.iter().map(|r| r.serve_cycles).max().unwrap_or(0),
         checksum: reports.iter().fold(0i64, |a, r| a.wrapping_add(r.checksum)),
@@ -338,6 +530,7 @@ mod tests {
                 shards: 2,
                 train_len: 4,
                 window: 2,
+                ..ShardedConfig::default()
             },
             model: NetworkModel::default(),
         }

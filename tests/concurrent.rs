@@ -35,6 +35,7 @@ fn duplicate_inflight_misses_coalesce_across_worker_vms() {
             // Huge window: queued writeback trains behind the stall must
             // never block a worker before it reaches the follower path.
             window: 1 << 20,
+            ..ShardedConfig::default()
         },
         NetworkModel::default(),
     );
@@ -121,6 +122,7 @@ fn batched_writeback_survives_crash_restart_via_journal() {
                 shards: 2,
                 train_len: 4,
                 window: 4,
+                ..ShardedConfig::default()
             },
             NetworkModel::default(),
         );
@@ -217,6 +219,7 @@ fn quiescence_oracle_matches_serial_replay_across_seeds_and_shards() {
                     shards,
                     train_len: 4,
                     window: 2,
+                    ..ShardedConfig::default()
                 },
                 ..serial_spec
             };
@@ -301,17 +304,21 @@ fn server_death_yields_deterministic_disconnected() {
 
     let sharded_run = || {
         let module = split_module(p);
-        let mut server = ShardedServer::spawn(
+        let server = ShardedServer::spawn(
             ShardedConfig {
                 shards: 1,
                 train_len: 4,
                 window: 2,
+                ..ShardedConfig::default()
             },
             NetworkModel::default(),
         );
         let cfg = RuntimeConfig::new(ws / 16, ws / 16).with_max_retries(8);
         let mut vm = Vm::new(module, cfg, server.client(), RemotingPolicy::MaxUse, 50);
         vm.run("setup", &[]).expect("setup");
+        // Killing only the primary would fail over to the backup; this
+        // test wants total shard death, so take out both replicas.
+        server.kill_backup(0);
         server.kill_shard(0);
         let (served, err) = until_error(&mut vm, p);
         // Quiescing against the dead tier fails the same way.
