@@ -116,10 +116,11 @@ pub fn bench_core_json(quick: bool) -> String {
 
 /// The concurrent serving section: N worker VMs over the sharded tier,
 /// reporting aggregate modeled instruction throughput and per-request
-/// latency percentiles. Only the deterministic fields of the
-/// [`cards_vm::ServeReport`] are emitted — interleaving-dependent counters
-/// (coalesced hits, wire fetches) would break the byte-reproducibility
-/// contract of this document.
+/// latency percentiles, followed by the fleet SLO section (availability
+/// plus per-request-class p50/p99/p999). Only the deterministic fields of
+/// the [`cards_vm::ServeReport`] are emitted — interleaving-dependent
+/// counters (coalesced hits, wire fetches) would break the
+/// byte-reproducibility contract of this document.
 fn serving_json(quick: bool) -> String {
     let (p, workers) = if quick {
         (
@@ -174,7 +175,7 @@ fn serving_json(quick: bool) -> String {
         r.net.hedged_fetches,
         r.net.hedge_wasted,
         r.net.fenced_writes,
-    )
+    ) + &format!(",\"slo\":{}", cards_vm::slo_json(&r))
 }
 
 /// The availability section: the deterministic fault-space campaign
@@ -311,6 +312,9 @@ mod tests {
         assert!(a.contains("\"request_p50\":"));
         assert!(a.contains("\"request_p99\":"));
         assert!(a.contains("\"counters\":{\"coalesced_hits\":"));
+        assert!(a.contains("\"slo\":{\"availability\":"));
+        assert!(a.contains("\"class\":\"remote\""));
+        assert!(a.contains("\"p999\":"));
         assert!(a.contains("\"availability\":{\"cells\":16"));
         assert!(a.contains("\"name\":\"kill-primary/early\""));
         assert!(

@@ -45,7 +45,9 @@ usage:
                 flight-recorder ring to FLIGHT_<n>.json)
   cards ttrace diff <a.json> <b.json> [--out FILE]
                 (compare two cards-ttrace-v1 exports and localize which
-                phase and guard site regressed)
+                phase and guard site regressed; also diffs two
+                cards-fleet-v1 exports, naming the regressed shard and
+                phase across the cluster)
   cards bench   [--quick] [--out FILE] [--core FILE]
                 (run the bench workloads and write the stable-schema
                 BENCH_profile.json: per-workload cycles, miss rates and
@@ -73,8 +75,19 @@ usage:
                 checksum-quiescence oracle compares the drained tier
                 against a serial replay; prints aggregate instructions/sec,
                 per-request p50/p99 modeled latency, coalescing/train
-                counters, and failover/hedge resilience counters; exits
-                non-zero on any oracle mismatch)
+                counters, and a per-worker resilience table (failovers,
+                hedged/wasted fetches, fenced retries); exits non-zero on
+                any oracle mismatch)
+  cards fleet   [--workers N] [--shards N] [--replicas N] [--keys N]
+                [--tenants N] [--ops N] [--train N] [--window N]
+                [--kill SHARD] [--json FILE] [--out FILE]
+                (fleet observability plane: run the serving storm, join
+                client trace trees with server-side spans into end-to-end
+                timelines, report per-shard gauges and per-request-class
+                SLO percentiles, reconstruct failover incident timelines;
+                --kill injects a primary kill at the quarter mark; --json
+                writes the stable-schema cards-fleet-v1 export; exits
+                non-zero on any cross-sum or wire-bracket violation)
   cards failover [--workers N] [--shards N] [--keys N] [--tenants N]
                 [--ops N] [--train N] [--window N]
                 (deterministic fault-space campaign over the replicated
@@ -103,6 +116,7 @@ pub fn dispatch(a: &Args) -> Result<(), String> {
         "pressure" => cmd_pressure(a),
         "serve" => cmd_serve(a),
         "failover" => cmd_failover(a),
+        "fleet" => crate::fleet_cmd::cmd_fleet(a),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -611,6 +625,22 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
             r.ok as f64 / r.issued as f64
         }
     );
+    println!(
+        "  {:<8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>13}",
+        "worker", "requests", "failovers", "hedged", "wasted", "fenced", "serve cycles"
+    );
+    for w in &r.per_worker {
+        println!(
+            "  w{:<7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>13}",
+            w.worker,
+            w.requests,
+            w.failovers,
+            w.hedged_fetches,
+            w.hedge_wasted,
+            w.fenced_retries,
+            w.serve_cycles,
+        );
+    }
     let serial = run_serial_replay(&c.module, spec, cfg, RemotingPolicy::MaxUse, 50)?;
     if r.checksum != serial.checksum {
         return Err(format!(

@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod fleet_cmd;
 mod jsonx;
 mod ttrace_cmd;
 

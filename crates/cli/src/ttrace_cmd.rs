@@ -94,13 +94,16 @@ fn emit<T: Transport>(a: &Args, vm: &Vm<T>) -> Result<(), String> {
     cards_vm::check_traces(vm)
 }
 
-/// Load and schema-check one `cards-ttrace-v1` export.
+/// Load and schema-check one export; accepts the single-VM trace schema
+/// (`cards-ttrace-v1`) and the fleet export (`cards-fleet-v1`).
 fn load_export(path: &str) -> Result<Json, String> {
     let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let j = jsonx::parse(&src).map_err(|e| format!("{path}: {e}"))?;
     match j.str_of("schema") {
-        "cards-ttrace-v1" => Ok(j),
-        other => Err(format!("{path}: expected cards-ttrace-v1, got {other:?}")),
+        "cards-ttrace-v1" | "cards-fleet-v1" => Ok(j),
+        other => Err(format!(
+            "{path}: expected cards-ttrace-v1 or cards-fleet-v1, got {other:?}"
+        )),
     }
 }
 
@@ -123,6 +126,16 @@ fn cmd_diff(a: &Args) -> Result<(), String> {
     };
     let ja = load_export(&pa)?;
     let jb = load_export(&pb)?;
+    if ja.str_of("schema") != jb.str_of("schema") {
+        return Err(format!(
+            "schema mismatch: {pa} is {:?}, {pb} is {:?}",
+            ja.str_of("schema"),
+            jb.str_of("schema")
+        ));
+    }
+    if ja.str_of("schema") == "cards-fleet-v1" {
+        return diff_fleet(a, &pa, &pb, &ja, &jb);
+    }
     let mut s = String::new();
     let _ = writeln!(s, "ttrace diff: {pa} -> {pb}");
     let _ = writeln!(
@@ -273,6 +286,177 @@ fn cmd_diff(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cards ttrace diff` over two `cards-fleet-v1` exports: compare the SLO
+/// section, per-shard server cycles, and cluster-wide phase totals, and
+/// name the shard and phase that regressed most (by absolute cycle
+/// growth).
+fn diff_fleet(a: &Args, pa: &str, pb: &str, ja: &Json, jb: &Json) -> Result<(), String> {
+    let mut s = String::new();
+    let _ = writeln!(s, "fleet diff: {pa} -> {pb}");
+    let _ = writeln!(
+        s,
+        "module: {} -> {} ({} workers, {} shards x {} replicas)",
+        ja.str_of("module"),
+        jb.str_of("module"),
+        jb.u64_of("workers"),
+        jb.u64_of("shards"),
+        jb.u64_of("replicas")
+    );
+    let _ = writeln!(
+        s,
+        "requests: {}/{} -> {}/{}",
+        ja.u64_of("requests"),
+        ja.u64_of("issued"),
+        jb.u64_of("requests"),
+        jb.u64_of("issued")
+    );
+
+    // ---- SLO comparison, per request class ----
+    if let (Some(sa), Some(sb)) = (ja.get("slo"), jb.get("slo")) {
+        let avail = |j: &Json| match j.get("availability") {
+            Some(Json::Num(n)) => *n,
+            _ => 1.0,
+        };
+        let _ = writeln!(s, "availability: {:.6} -> {:.6}", avail(sa), avail(sb));
+        fn class_of<'j>(j: &'j Json, name: &str) -> Option<&'j Json> {
+            j.arr_of("classes")
+                .iter()
+                .find(|c| c.str_of("class") == name)
+        }
+        for ca in sa.arr_of("classes") {
+            let name = ca.str_of("class");
+            let Some(cb) = class_of(sb, name) else {
+                continue;
+            };
+            let _ = writeln!(
+                s,
+                "slo {:<7} p50 {} -> {} {}, p99 {} -> {} {}, p999 {} -> {} {}",
+                name,
+                ca.u64_of("p50"),
+                cb.u64_of("p50"),
+                delta_str(ca.u64_of("p50"), cb.u64_of("p50")),
+                ca.u64_of("p99"),
+                cb.u64_of("p99"),
+                delta_str(ca.u64_of("p99"), cb.u64_of("p99")),
+                ca.u64_of("p999"),
+                cb.u64_of("p999"),
+                delta_str(ca.u64_of("p999"), cb.u64_of("p999"))
+            );
+        }
+    }
+
+    // ---- per-shard server cycles ----
+    let shard_cycles = |j: &Json, sid: u64| -> u64 {
+        j.arr_of("per_shard")
+            .iter()
+            .find(|e| e.u64_of("shard") == sid)
+            .map(|e| e.u64_of("server_cycles"))
+            .unwrap_or(0)
+    };
+    let mut sids: Vec<u64> = Vec::new();
+    for j in [ja, jb] {
+        for e in j.arr_of("per_shard") {
+            let sid = e.u64_of("shard");
+            if !sids.contains(&sid) {
+                sids.push(sid);
+            }
+        }
+    }
+    sids.sort_unstable();
+    let _ = writeln!(s, "per-shard server cycles:");
+    let _ = writeln!(s, "  {:<6} {:>14} {:>14}  delta", "shard", "a", "b");
+    let mut worst_shard: Option<(u64, i128)> = None;
+    for sid in &sids {
+        let (ca, cb) = (shard_cycles(ja, *sid), shard_cycles(jb, *sid));
+        let _ = writeln!(
+            s,
+            "  #{:<5} {:>14} {:>14}  {}",
+            sid,
+            ca,
+            cb,
+            delta_str(ca, cb)
+        );
+        let d = cb as i128 - ca as i128;
+        if d > 0 && worst_shard.as_ref().is_none_or(|w| d > w.1) {
+            worst_shard = Some((*sid, d));
+        }
+    }
+    match worst_shard {
+        Some((sid, d)) => {
+            let _ = writeln!(s, "regressed shard: #{sid} (+{d} server cycles)");
+        }
+        None => {
+            let _ = writeln!(s, "regressed shard: none (no shard grew)");
+        }
+    }
+
+    // ---- cluster-wide phase totals (summed over workers) ----
+    let phase_totals = |j: &Json| -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for w in j.arr_of("per_worker") {
+            for (k, v) in w.obj_of("phases") {
+                let c = match v {
+                    Json::Num(n) if *n >= 0.0 => *n as u64,
+                    _ => 0,
+                };
+                match out.iter_mut().find(|(name, _)| name == k) {
+                    Some((_, total)) => *total += c,
+                    None => out.push((k.clone(), c)),
+                }
+            }
+        }
+        out
+    };
+    let (ta, tb) = (phase_totals(ja), phase_totals(jb));
+    let total_of = |t: &[(String, u64)], k: &str| -> u64 {
+        t.iter().find(|(n, _)| n == k).map(|(_, c)| *c).unwrap_or(0)
+    };
+    let mut names: Vec<String> = ta.iter().map(|(n, _)| n.clone()).collect();
+    for (n, _) in &tb {
+        if !names.contains(n) {
+            names.push(n.clone());
+        }
+    }
+    let _ = writeln!(s, "cluster phase totals (cycles, summed over workers):");
+    let _ = writeln!(s, "  {:<16} {:>14} {:>14}  delta", "phase", "a", "b");
+    let mut worst_phase: Option<(String, i128, u64, u64)> = None;
+    for k in &names {
+        let (av, bv) = (total_of(&ta, k), total_of(&tb, k));
+        if av == 0 && bv == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {:<16} {:>14} {:>14}  {}",
+            k,
+            av,
+            bv,
+            delta_str(av, bv)
+        );
+        let d = bv as i128 - av as i128;
+        if d > 0 && worst_phase.as_ref().is_none_or(|w| d > w.1) {
+            worst_phase = Some((k.clone(), d, av, bv));
+        }
+    }
+    match &worst_phase {
+        Some((k, d, av, bv)) => {
+            let _ = writeln!(
+                s,
+                "regressed phase: {} (+{} cycles, {} -> {})",
+                k, d, av, bv
+            );
+        }
+        None => {
+            let _ = writeln!(s, "regressed phase: none (no phase grew)");
+        }
+    }
+    match a.options.get("out") {
+        Some(path) => fs::write(path, s).map_err(|e| format!("{path}: {e}"))?,
+        None => println!("{s}"),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +517,46 @@ mod tests {
             !diff.contains("regressed phase: none"),
             "storm must regress a phase"
         );
+    }
+
+    #[test]
+    fn fleet_diff_names_regressed_shard_and_phase() {
+        let dir = std::env::temp_dir().join("cards_cli_fleet_diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-built minimal fleet exports: run B's shard 1 and wire phase
+        // grew, everything else is flat.
+        let base = |shard1: u64, wire: u64| {
+            format!(
+                "{{\"schema\":\"cards-fleet-v1\",\"module\":\"serving\",\"workers\":1,\
+                 \"shards\":2,\"replicas\":2,\"requests\":10,\"issued\":10,\
+                 \"slo\":{{\"availability\":1.000000,\"classes\":[{{\"class\":\"all\",\
+                 \"count\":10,\"p50\":100,\"p99\":200,\"p999\":200}}]}},\
+                 \"per_worker\":[{{\"worker\":0,\"phases\":{{\"guard\":100,\"wire\":{wire}}}}}],\
+                 \"per_shard\":[{{\"shard\":0,\"ops\":5,\"server_cycles\":1000}},\
+                 {{\"shard\":1,\"ops\":5,\"server_cycles\":{shard1}}}]}}"
+            )
+        };
+        let fa = dir.join("fa.json");
+        let fb = dir.join("fb.json");
+        std::fs::write(&fa, base(1000, 400)).unwrap();
+        std::fs::write(&fb, base(5000, 900)).unwrap();
+        let (pa, pb) = (
+            fa.to_string_lossy().to_string(),
+            fb.to_string_lossy().to_string(),
+        );
+        let out = dir.join("diff.txt").to_string_lossy().to_string();
+        cmd_ttrace(&args(&format!("ttrace diff {pa} {pb} --out {out}"))).expect("fleet diff");
+        let diff = std::fs::read_to_string(dir.join("diff.txt")).unwrap();
+        assert!(diff.contains("fleet diff:"));
+        assert!(diff.contains("regressed shard: #1"), "got: {diff}");
+        assert!(diff.contains("regressed phase: wire"), "got: {diff}");
+        assert!(diff.contains("slo all"));
+
+        // Mixed schemas are rejected rather than mis-diffed.
+        let t = dir.join("t.json");
+        std::fs::write(&t, r#"{"schema":"cards-ttrace-v1"}"#).unwrap();
+        let pt = t.to_string_lossy().to_string();
+        assert!(cmd_ttrace(&args(&format!("ttrace diff {pa} {pt}"))).is_err());
     }
 
     #[test]

@@ -929,6 +929,133 @@ pub fn check_trace_determinism(m: &Module) -> Result<(), String> {
     Ok(())
 }
 
+/// Remove the `"counters":{...}` span (the single interleaving-dependent
+/// region of the fleet export), brace-matched, so two runs can be
+/// byte-compared.
+fn strip_fleet_counters(s: &str) -> String {
+    let key = "\"counters\":";
+    let start = match s.find(key) {
+        Some(i) => i,
+        None => return s.to_string(),
+    };
+    let bytes = s.as_bytes();
+    let open = start + key.len();
+    if bytes.get(open) != Some(&b'{') {
+        return s.to_string();
+    }
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == b'{' {
+            depth += 1;
+        } else if b == b'}' {
+            depth -= 1;
+            if depth == 0 {
+                end = i + 1;
+                break;
+            }
+        }
+    }
+    format!("{}{}", &s[..start], &s[end..])
+}
+
+/// The fleet-determinism cell: two identical fault-free replicated serving
+/// runs must emit byte-identical `cards-fleet-v1` exports once the
+/// trailing `"counters"` subobject (shared tier tallies, the one
+/// interleaving-dependent region) is stripped. Any wall-clock timestamp,
+/// thread-id, or map-iteration-order leak in the fleet collector shows up
+/// here as a byte diff.
+pub fn check_fleet_determinism() -> Result<(), String> {
+    use cards_ir::{BinOp, FunctionBuilder, Intrinsic, Type, Value};
+    use cards_net::{NetworkModel, ShardedConfig};
+    use cards_vm::{fleet_json, run_serving, ServeSpec};
+
+    // A tiny split serving workload (the workloads crate would be a
+    // dependency cycle): `setup` fills two 4 KiB arrays; `request` reads a
+    // hashed slot of both. Starved of cache, the serve phase
+    // localize-thrashes and produces the traced wire traffic the fleet
+    // plane joins.
+    let n = 512i64;
+    let mut m = Module::new("fleet-mini");
+    let ga = m.add_global("arr_a", Type::Ptr, None);
+    let gb = m.add_global("arr_b", Type::Ptr, None);
+    {
+        let mut b = FunctionBuilder::new("setup", vec![], Type::I64);
+        let total = b.iconst(n * 8);
+        let a = b.alloc(total, Type::I64);
+        let c = b.alloc(total, Type::I64);
+        let (z, one) = (b.iconst(0), b.iconst(1));
+        b.counted_loop(z, b.iconst(n), one, |b, i| {
+            let pa = b.gep_index(a, Type::I64, i);
+            let va = b.mul(i, b.iconst(7));
+            b.store(pa, va, Type::I64);
+            let pb = b.gep_index(c, Type::I64, i);
+            let vb = b.mul(i, b.iconst(11));
+            b.store(pb, vb, Type::I64);
+        });
+        b.store(Value::Global(ga), a, Type::Ptr);
+        b.store(Value::Global(gb), c, Type::Ptr);
+        b.ret(b.iconst(n));
+        m.add_function(b.finish());
+    }
+    {
+        let mut b = FunctionBuilder::new("request", vec![Type::I64, Type::I64], Type::I64);
+        let a = b.load(Value::Global(ga), Type::Ptr);
+        let c = b.load(Value::Global(gb), Type::Ptr);
+        let (t, i) = (b.arg(0), b.arg(1));
+        let x = b.bin(BinOp::Xor, t, i, Type::I64);
+        let h = b.intrin(Intrinsic::Hash64, vec![x]);
+        let mask = b.iconst(n - 1);
+        let k = b.bin(BinOp::And, h, mask, Type::I64);
+        let pa = b.gep_index(a, Type::I64, k);
+        let va = b.load(pa, Type::I64);
+        let pb = b.gep_index(c, Type::I64, k);
+        let vb = b.load(pb, Type::I64);
+        let v = b.add(va, vb);
+        b.ret(v);
+        m.add_function(b.finish());
+    }
+    if !verify_module(&m).is_empty() {
+        return Err("fleet-mini module fails verification".into());
+    }
+    let c = compile(m, CompileOptions::cards()).map_err(|e| format!("compile: {e}"))?;
+    let mut net = ShardedConfig {
+        shards: 2,
+        train_len: 4,
+        window: 2,
+        ..ShardedConfig::default()
+    };
+    net.replica.replicas = 2;
+    let spec = ServeSpec {
+        workers: 2,
+        tenants: 8,
+        ops_per_tenant: 16,
+        net,
+        model: NetworkModel::default(),
+    };
+    let cfg = RuntimeConfig::new(0, 4096);
+    let mut exports = Vec::new();
+    for run in 0..2 {
+        let r = run_serving(&c.module, spec, cfg, RemotingPolicy::AllRemotable, 0)
+            .map_err(|e| format!("serving run {run}: {e}"))?;
+        cards_vm::check_fleet(&r).map_err(|e| format!("fleet invariants (run {run}): {e}"))?;
+        exports.push(fleet_json("fleet-mini", &spec, &r));
+    }
+    let (a, b) = (
+        strip_fleet_counters(&exports[0]),
+        strip_fleet_counters(&exports[1]),
+    );
+    if a.len() >= exports[0].len() {
+        return Err("fleet export carries no counters region to strip".into());
+    }
+    if a != b {
+        return Err(
+            "fleet export not byte-identical across identical runs outside counters".into(),
+        );
+    }
+    Ok(())
+}
+
 /// Compare `m` against the oracle under every cell of [`config_matrix`],
 /// plus the profile- and trace-determinism cells.
 pub fn check_module(m: &Module, seed: u64) -> SeedReport {
@@ -1256,6 +1383,21 @@ mod tests {
             let m = generate(seed, GenConfig::adversarial());
             check_trace_determinism(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
+    }
+
+    /// The fleet-determinism cell holds: two identical replicated serving
+    /// runs emit byte-identical cards-fleet-v1 exports outside the stripped
+    /// counters region.
+    #[test]
+    fn fleet_exports_are_replay_deterministic() {
+        check_fleet_determinism().expect("fleet determinism");
+    }
+
+    #[test]
+    fn fleet_counter_strip_is_brace_matched() {
+        let doc = r#"{"a":1,"counters":{"x":{"y":[1,2]},"z":3},"b":2}"#;
+        assert_eq!(strip_fleet_counters(doc), r#"{"a":1,,"b":2}"#);
+        assert_eq!(strip_fleet_counters("{}"), "{}");
     }
 
     /// A semantic corruption of the program (swapped branch targets) must be

@@ -1,0 +1,601 @@
+//! Fleet observability plane: server-side span log, per-shard gauges,
+//! failover incidents, and the shared replica-lifecycle event log.
+//!
+//! The serving tier of [`crate::sharded`] charges every client a fully
+//! deterministic modeled cost per operation (see the determinism contract
+//! in that module's docs). This module *decomposes* those charges into
+//! server-side spans — queue wait, apply, wire transfer, writeback-train
+//! flush, durability barrier — keyed by the [`TraceContext`] in force when
+//! the client issued the operation, so a per-worker `Tracer` export can be
+//! joined with the tier's own accounting into end-to-end timelines.
+//!
+//! ## Determinism contract
+//!
+//! Two kinds of truth live here, mirroring DESIGN.md §13:
+//!
+//! - [`ServerSpanLog`] (one per client) is **deterministic**: every span
+//!   is an exact decomposition of the modeled charge the client assessed
+//!   for its own operation, independent of which thread led a coalesced
+//!   fetch or which replica won a hedge race. The log maintains the
+//!   cross-sum invariant `remote_cycles == span cycles + residue`
+//!   *exactly*, where `residue` is the modeled link latency (and
+//!   read-your-writes buffer hits) that no server-side phase accounts
+//!   for. On fault-free runs the log is byte-identical across replays.
+//! - [`FleetEventLog`] (shared across clients and replica threads) is
+//!   **interleaving-dependent**: coalesce joins (who piggybacked on whose
+//!   fetch), hedge wins/wastes, journal ships, flush barriers, fence
+//!   rejects and TakeOver handshake phases as they actually happened.
+//!   Its contents are only ever exported under the strippable
+//!   `"counters"` region of `cards-fleet-v1` documents.
+//!
+//! [`FailoverIncident`]s sit in between: they are recorded client-side on
+//! the modeled clock and are empty on fault-free runs (so byte-identity
+//! holds exactly where it is asserted), while under fault injection they
+//! reconstruct the takeover timeline demote → fence bump → handshake →
+//! drain → resume.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::wiretap::TraceContext;
+
+/// Which server-side phase a [`ServerSpan`] covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServerSpanKind {
+    /// Time spent queued at the shard. The cost model charges no queue
+    /// wait, so these spans carry zero cycles but record the client's
+    /// outstanding-train depth at issue time (the queue-depth gauge).
+    Queue,
+    /// Per-message CPU on the serving replica (demarshalling + store op).
+    Apply,
+    /// Wire serialization of the payload (bytes / bandwidth).
+    Transfer,
+    /// Writeback-train departure: one message CPU for the whole batch;
+    /// `depth` is the train's member count.
+    TrainFlush,
+    /// Durability/replication barrier CPU at flush.
+    Barrier,
+}
+
+impl ServerSpanKind {
+    /// Every kind, in export order.
+    pub const ALL: [ServerSpanKind; 5] = [
+        ServerSpanKind::Queue,
+        ServerSpanKind::Apply,
+        ServerSpanKind::Transfer,
+        ServerSpanKind::TrainFlush,
+        ServerSpanKind::Barrier,
+    ];
+
+    /// Stable snake_case name for exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerSpanKind::Queue => "queue",
+            ServerSpanKind::Apply => "apply",
+            ServerSpanKind::Transfer => "transfer",
+            ServerSpanKind::TrainFlush => "train_flush",
+            ServerSpanKind::Barrier => "barrier",
+        }
+    }
+}
+
+/// One server-side span: a deterministic slice of the modeled charge one
+/// client operation carried, keyed by the causal context that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerSpan {
+    /// Causal context in force when the client issued the operation
+    /// (joins against the worker's `Tracer` trees on trace/span id).
+    pub ctx: TraceContext,
+    /// Shard that served (or buffered) the operation.
+    pub shard: u32,
+    /// Which server-side phase.
+    pub kind: ServerSpanKind,
+    /// Modeled cycles of this phase.
+    pub cycles: u64,
+    /// Payload bytes involved (transfers and train flushes).
+    pub bytes: u64,
+    /// Phase-specific depth: outstanding trains for `Queue`, member count
+    /// for `TrainFlush`, 0 otherwise.
+    pub depth: u64,
+}
+
+/// Log2 histogram with 16 buckets (value 0 → bucket 0, else
+/// `min(15, floor(log2(v)) + 1)`), used for the per-shard queue-depth and
+/// train-size distributions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DepthHist {
+    /// Bucket counts.
+    pub buckets: [u64; 16],
+}
+
+impl DepthHist {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        let b = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(15)
+        };
+        self.buckets[b] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Approximate quantile: lower bound of the bucket holding rank
+    /// `q_permille/1000` (0 when empty).
+    pub fn quantile(&self, q_permille: u64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q_permille * (total - 1)) / 1000;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return if b == 0 { 0 } else { 1u64 << (b - 1) };
+            }
+        }
+        0
+    }
+
+    /// Merge another histogram in.
+    pub fn merge(&mut self, other: &DepthHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Deterministic per-shard gauges kept by each client's span log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardGauges {
+    /// Operations this client charged against the shard (wire fetches,
+    /// buffered puts, removes, train departures).
+    pub ops: u64,
+    /// Server-side span cycles attributed to the shard.
+    pub server_cycles: u64,
+    /// Outstanding-train (request window) depth observed per operation.
+    pub queue_depth: DepthHist,
+    /// Writeback-train sizes at departure.
+    pub train_size: DepthHist,
+}
+
+impl ShardGauges {
+    /// Merge another shard's gauges (cross-worker aggregation).
+    pub fn merge(&mut self, other: &ShardGauges) {
+        self.ops += other.ops;
+        self.server_cycles += other.server_cycles;
+        self.queue_depth.merge(&other.queue_depth);
+        self.train_size.merge(&other.train_size);
+    }
+}
+
+/// One reconstructed epoch-fenced takeover, recorded by the client that
+/// performed it on its own modeled clock. The phase sequence is fixed by
+/// the handshake protocol (DESIGN.md §14): demote (suspect marked dead) →
+/// fence bump → handshake (TakeOver sent) → drain (FIFO journal replayed
+/// by ack time) → resume (active flipped, generation bumped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverIncident {
+    /// Shard that failed over.
+    pub shard: u32,
+    /// Fencing epoch after the bump (old writes below this bounce).
+    pub fence: u64,
+    /// Replica demoted.
+    pub from: u32,
+    /// Replica promoted.
+    pub to: u32,
+    /// Client modeled clock (its `NetStats::cycles`) at detection.
+    pub at_cycles: u64,
+    /// Trace id in force when the failover ran (0 = untraced).
+    pub trace: u64,
+}
+
+/// The canonical phase names of a takeover incident, in protocol order.
+pub const INCIDENT_PHASES: [&str; 5] = ["demote", "fence_bump", "handshake", "drain", "resume"];
+
+/// Bounded, deterministic (per client) server span log. At capacity the
+/// overflowing span's cycles fold into `residue` — the cross-sum
+/// invariant survives truncation exactly.
+#[derive(Clone, Debug, Default)]
+pub struct ServerSpanLog {
+    spans: Vec<ServerSpan>,
+    capacity: usize,
+    dropped: u64,
+    remote_cycles: u64,
+    residue: u64,
+    shards: BTreeMap<u32, ShardGauges>,
+}
+
+/// Default server-span-log capacity (spans retained per client).
+pub const DEFAULT_SPAN_LOG_CAPACITY: usize = 1 << 16;
+
+impl ServerSpanLog {
+    /// Create a log retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        ServerSpanLog {
+            capacity,
+            ..ServerSpanLog::default()
+        }
+    }
+
+    /// Account one modeled charge the client assessed (mirror of every
+    /// `NetStats::cycles` increment).
+    pub fn charge(&mut self, cycles: u64) {
+        self.remote_cycles += cycles;
+    }
+
+    /// Account modeled cycles no server-side phase covers (link latency,
+    /// read-your-writes buffer hits).
+    pub fn add_residue(&mut self, cycles: u64) {
+        self.residue += cycles;
+    }
+
+    /// Append one span; at capacity its cycles fold into the residue so
+    /// the cross-sum stays exact.
+    pub fn record(&mut self, span: ServerSpan) {
+        if self.spans.len() >= self.capacity {
+            self.dropped += 1;
+            self.residue += span.cycles;
+            return;
+        }
+        self.spans.push(span);
+    }
+
+    /// Deterministic per-shard gauges (created on first touch).
+    pub fn gauges(&mut self, shard: u32) -> &mut ShardGauges {
+        self.shards.entry(shard).or_default()
+    }
+
+    /// Retained spans, in issue order.
+    pub fn spans(&self) -> &[ServerSpan] {
+        &self.spans
+    }
+
+    /// Spans dropped at capacity (their cycles live in the residue).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total modeled cycles charged to this client by the tier.
+    pub fn remote_cycles(&self) -> u64 {
+        self.remote_cycles
+    }
+
+    /// Modeled cycles not attributed to any server-side span.
+    pub fn residue(&self) -> u64 {
+        self.residue
+    }
+
+    /// Per-shard gauge map.
+    pub fn shards(&self) -> &BTreeMap<u32, ShardGauges> {
+        &self.shards
+    }
+
+    /// Sum of retained span cycles.
+    pub fn span_cycles(&self) -> u64 {
+        self.spans.iter().map(|s| s.cycles).sum()
+    }
+
+    /// The cross-sum invariant: every charged cycle is either a server
+    /// span or residue.
+    pub fn check(&self) -> Result<(), String> {
+        let sum = self.span_cycles() + self.residue;
+        if sum != self.remote_cycles {
+            return Err(format!(
+                "server span log cross-sum: spans+residue {} != remote cycles {}",
+                sum, self.remote_cycles
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One interleaving-dependent event observed by the tier as it actually
+/// ran: replica lifecycle (journal ship, barrier, fence reject, takeover
+/// phases) plus cross-client request outcomes (coalesce joins, hedge
+/// wins/wastes). Exported only under the strippable counters region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// The active replica shipped one journal epoch to its standby.
+    JournalShip {
+        /// Shard shipping.
+        shard: u32,
+        /// Shipping replica.
+        from: u32,
+        /// Ship epoch (cumulative `shipped` after the send).
+        epoch: u64,
+    },
+    /// A flush barrier completed on the serving replica.
+    FlushBarrier {
+        /// Shard flushed.
+        shard: u32,
+        /// Serving replica.
+        replica: u32,
+        /// Fence the flush carried.
+        fence: u64,
+    },
+    /// A write bounced off the fencing epoch (or a deposed replica).
+    FenceReject {
+        /// Shard rejecting.
+        shard: u32,
+        /// Rejecting replica.
+        replica: u32,
+        /// Fence the write carried.
+        stamped: u64,
+    },
+    /// A standby began the TakeOver handshake (request dequeued; by FIFO
+    /// order its shipped journal is already drained).
+    TakeOverDrained {
+        /// Shard taken over.
+        shard: u32,
+        /// Promoted replica.
+        replica: u32,
+    },
+    /// A fetch piggybacked on another client's in-flight wire transfer.
+    CoalesceJoin {
+        /// Shard of the coalesced key.
+        shard: u32,
+        /// Context of the leader whose transfer was joined.
+        leader: TraceContext,
+        /// Context of the follower that piggybacked.
+        follower: TraceContext,
+    },
+    /// A hedged read was answered by the backup first.
+    HedgeWin {
+        /// Shard hedged.
+        shard: u32,
+        /// Replica that answered.
+        from: u32,
+    },
+    /// A hedged read the primary answered first anyway (wasted).
+    HedgeWaste {
+        /// Shard hedged.
+        shard: u32,
+    },
+}
+
+impl FleetEvent {
+    /// Stable snake_case name for exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetEvent::JournalShip { .. } => "journal_ship",
+            FleetEvent::FlushBarrier { .. } => "flush_barrier",
+            FleetEvent::FenceReject { .. } => "fence_reject",
+            FleetEvent::TakeOverDrained { .. } => "takeover_drained",
+            FleetEvent::CoalesceJoin { .. } => "coalesce_join",
+            FleetEvent::HedgeWin { .. } => "hedge_win",
+            FleetEvent::HedgeWaste { .. } => "hedge_waste",
+        }
+    }
+
+    /// The shard the event concerns.
+    pub fn shard(&self) -> u32 {
+        match *self {
+            FleetEvent::JournalShip { shard, .. }
+            | FleetEvent::FlushBarrier { shard, .. }
+            | FleetEvent::FenceReject { shard, .. }
+            | FleetEvent::TakeOverDrained { shard, .. }
+            | FleetEvent::CoalesceJoin { shard, .. }
+            | FleetEvent::HedgeWin { shard, .. }
+            | FleetEvent::HedgeWaste { shard } => shard,
+        }
+    }
+}
+
+struct FleetEventRing {
+    ring: VecDeque<(u64, FleetEvent)>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// Bounded shared ring of [`FleetEvent`]s, written by replica threads and
+/// clients alike. A full ring drops the oldest event (counted), mirroring
+/// the telemetry event-ring and [`crate::wiretap::WireTap`] accounting.
+pub struct FleetEventLog {
+    inner: Mutex<FleetEventRing>,
+    capacity: usize,
+}
+
+/// Default fleet-event ring capacity.
+pub const DEFAULT_EVENT_LOG_CAPACITY: usize = 4096;
+
+impl Default for FleetEventLog {
+    fn default() -> Self {
+        FleetEventLog::new(DEFAULT_EVENT_LOG_CAPACITY)
+    }
+}
+
+impl FleetEventLog {
+    /// Create a ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FleetEventLog {
+            inner: Mutex::new(FleetEventRing {
+                ring: VecDeque::new(),
+                seq: 0,
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Append one event (stamping its arrival sequence number).
+    pub fn push(&self, ev: FleetEvent) {
+        let mut g = self.inner.lock().expect("fleet event lock");
+        let seq = g.seq;
+        g.seq += 1;
+        if self.capacity == 0 {
+            g.dropped += 1;
+            return;
+        }
+        if g.ring.len() >= self.capacity {
+            g.ring.pop_front();
+            g.dropped += 1;
+        }
+        g.ring.push_back((seq, ev));
+    }
+
+    /// Snapshot the retained events, oldest first.
+    pub fn recent(&self) -> Vec<(u64, FleetEvent)> {
+        self.inner
+            .lock()
+            .expect("fleet event lock")
+            .ring
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Aggregate retained events into per-shard per-kind counts.
+    pub fn summary(&self) -> FleetEventSummary {
+        let g = self.inner.lock().expect("fleet event lock");
+        let mut per_shard: BTreeMap<u32, ShardEvents> = BTreeMap::new();
+        for (_, ev) in &g.ring {
+            let e = per_shard.entry(ev.shard()).or_default();
+            match ev {
+                FleetEvent::JournalShip { .. } => e.journal_ships += 1,
+                FleetEvent::FlushBarrier { .. } => e.flush_barriers += 1,
+                FleetEvent::FenceReject { .. } => e.fence_rejects += 1,
+                FleetEvent::TakeOverDrained { .. } => e.takeover_drains += 1,
+                FleetEvent::CoalesceJoin { .. } => e.coalesce_joins += 1,
+                FleetEvent::HedgeWin { .. } => e.hedge_wins += 1,
+                FleetEvent::HedgeWaste { .. } => e.hedge_wastes += 1,
+            }
+        }
+        FleetEventSummary {
+            total: g.seq,
+            dropped: g.dropped,
+            per_shard,
+        }
+    }
+}
+
+/// Per-shard event tallies (interleaving-dependent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardEvents {
+    /// Journal epochs shipped primary → backup.
+    pub journal_ships: u64,
+    /// Flush barriers completed.
+    pub flush_barriers: u64,
+    /// Writes bounced off the fencing epoch.
+    pub fence_rejects: u64,
+    /// TakeOver handshakes drained on a standby.
+    pub takeover_drains: u64,
+    /// Fetches that piggybacked on another client's transfer.
+    pub coalesce_joins: u64,
+    /// Hedged reads the backup won.
+    pub hedge_wins: u64,
+    /// Hedged reads the primary won anyway.
+    pub hedge_wastes: u64,
+}
+
+/// Aggregated view of the event ring, carried in serving reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetEventSummary {
+    /// Events ever pushed (including dropped ones).
+    pub total: u64,
+    /// Events dropped because the ring was full.
+    pub dropped: u64,
+    /// Per-shard per-kind tallies over the retained window.
+    pub per_shard: BTreeMap<u32, ShardEvents>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_log_cross_sum_holds_through_truncation() {
+        let mut log = ServerSpanLog::new(2);
+        for i in 0..5u64 {
+            log.charge(10);
+            log.record(ServerSpan {
+                ctx: TraceContext { trace: i, span: 0 },
+                shard: 0,
+                kind: ServerSpanKind::Apply,
+                cycles: 7,
+                bytes: 0,
+                depth: 0,
+            });
+            log.add_residue(3);
+        }
+        assert_eq!(log.spans().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.remote_cycles(), 50);
+        // 2 retained spans x 7 + residue (5x3 + 3 folded spans x 7).
+        assert_eq!(log.span_cycles(), 14);
+        assert_eq!(log.residue(), 15 + 21);
+        log.check().unwrap();
+    }
+
+    #[test]
+    fn span_log_detects_unbalanced_charge() {
+        let mut log = ServerSpanLog::new(16);
+        log.charge(100);
+        log.add_residue(10);
+        assert!(log.check().is_err());
+        log.add_residue(90);
+        log.check().unwrap();
+    }
+
+    #[test]
+    fn depth_hist_buckets_and_quantiles() {
+        let mut h = DepthHist::default();
+        for v in [0u64, 1, 1, 2, 3, 4, 8, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(h.buckets[1], 2, "ones in bucket 1");
+        assert!(h.quantile(500) >= 1);
+        assert!(h.quantile(999) >= 8);
+        assert!(h.quantile(1000) >= 64, "max rank sees the 100");
+        assert_eq!(DepthHist::default().quantile(500), 0);
+    }
+
+    #[test]
+    fn event_ring_bounds_and_summarizes() {
+        let log = FleetEventLog::new(3);
+        for i in 0..5 {
+            log.push(FleetEvent::JournalShip {
+                shard: (i % 2) as u32,
+                from: 0,
+                epoch: i,
+            });
+        }
+        log.push(FleetEvent::HedgeWaste { shard: 1 });
+        let s = log.summary();
+        assert_eq!(s.total, 6);
+        assert_eq!(s.dropped, 3);
+        let ships: u64 = s.per_shard.values().map(|e| e.journal_ships).sum();
+        assert_eq!(ships, 2, "only the retained window is tallied");
+        assert_eq!(s.per_shard[&1].hedge_wastes, 1);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].0, 3, "oldest retained seq");
+    }
+
+    #[test]
+    fn gauges_merge_across_workers() {
+        let mut a = ShardGauges {
+            ops: 3,
+            server_cycles: 10,
+            ..ShardGauges::default()
+        };
+        a.queue_depth.observe(2);
+        let mut b = ShardGauges {
+            ops: 5,
+            server_cycles: 7,
+            ..ShardGauges::default()
+        };
+        b.queue_depth.observe(2);
+        a.merge(&b);
+        assert_eq!(a.ops, 8);
+        assert_eq!(a.server_cycles, 17);
+        assert_eq!(a.queue_depth.count(), 2);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod chaos;
 pub mod envelope;
 pub mod fault;
+pub mod fleet;
 pub mod model;
 pub mod prng;
 pub mod replica;
@@ -35,6 +36,10 @@ pub mod wiretap;
 
 pub use chaos::{ChaosPhase, ChaosSchedule, ChaosStats, ChaosTransport, ScheduledPhase};
 pub use fault::FaultyTransport;
+pub use fleet::{
+    DepthHist, FailoverIncident, FleetEvent, FleetEventLog, FleetEventSummary, ServerSpan,
+    ServerSpanKind, ServerSpanLog, ShardEvents, ShardGauges, INCIDENT_PHASES,
+};
 pub use model::NetworkModel;
 pub use prng::SplitMix64;
 pub use replica::ReplicaConfig;

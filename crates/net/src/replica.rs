@@ -50,6 +50,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::fleet::{FleetEvent, FleetEventLog};
 use crate::transport::ObjKey;
 
 /// Replication knobs for the sharded tier.
@@ -241,12 +242,15 @@ impl ReplicaSet {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn replica_loop(
+    shard: u32,
     my_idx: usize,
     rx: Receiver<ReplicaRequest>,
     mut peer: Option<(usize, SyncSender<ReplicaRequest>)>,
     shared: Arc<ReplicaShared>,
     counters: Arc<SharedCounters>,
+    events: Arc<FleetEventLog>,
     cfg: ReplicaConfig,
 ) {
     let mut store: HashMap<ObjKey, Vec<u8>> = HashMap::new();
@@ -272,7 +276,7 @@ pub(crate) fn replica_loop(
             *peer = None;
             return;
         }
-        shared.shipped.fetch_add(1, Ordering::SeqCst);
+        let epoch = shared.shipped.fetch_add(1, Ordering::SeqCst) + 1;
         if tx
             .send(ReplicaRequest::Replicate {
                 from: my_idx,
@@ -285,6 +289,11 @@ pub(crate) fn replica_loop(
             return;
         }
         counters.shipped_epochs.fetch_add(1, Ordering::Relaxed);
+        events.push(FleetEvent::JournalShip {
+            shard,
+            from: my_idx as u32,
+            epoch,
+        });
         while shared.shipped.load(Ordering::SeqCst) - shared.applied.load(Ordering::SeqCst)
             > cfg.max_ship_lag
         {
@@ -324,6 +333,11 @@ pub(crate) fn replica_loop(
             ReplicaRequest::Train { objs, fence, reply } => {
                 if fenced(fence) {
                     counters.fenced_writes.fetch_add(1, Ordering::Relaxed);
+                    events.push(FleetEvent::FenceReject {
+                        shard,
+                        replica: my_idx as u32,
+                        stamped: fence,
+                    });
                     let _ = reply.send(ReplicaResponse::Fenced);
                     continue;
                 }
@@ -338,6 +352,11 @@ pub(crate) fn replica_loop(
             ReplicaRequest::Remove { key, fence, reply } => {
                 if fenced(fence) {
                     counters.fenced_writes.fetch_add(1, Ordering::Relaxed);
+                    events.push(FleetEvent::FenceReject {
+                        shard,
+                        replica: my_idx as u32,
+                        stamped: fence,
+                    });
                     let _ = reply.send(ReplicaResponse::Fenced);
                     continue;
                 }
@@ -357,6 +376,11 @@ pub(crate) fn replica_loop(
             ReplicaRequest::FlushAck { fence, reply } => {
                 if fenced(fence) {
                     counters.fenced_writes.fetch_add(1, Ordering::Relaxed);
+                    events.push(FleetEvent::FenceReject {
+                        shard,
+                        replica: my_idx as u32,
+                        stamped: fence,
+                    });
                     let _ = reply.send(ReplicaResponse::Fenced);
                     continue;
                 }
@@ -375,6 +399,11 @@ pub(crate) fn replica_loop(
                         std::thread::yield_now();
                     }
                 }
+                events.push(FleetEvent::FlushBarrier {
+                    shard,
+                    replica: my_idx as u32,
+                    fence,
+                });
                 let _ = reply.send(ReplicaResponse::Done);
             }
             ReplicaRequest::Digest(reply) => {
@@ -426,6 +455,10 @@ pub(crate) fn replica_loop(
                 // FIFO order means every ship the old primary enqueued
                 // before dying has already been applied above — the shipped
                 // journal is replayed by the time this ack leaves.
+                events.push(FleetEvent::TakeOverDrained {
+                    shard,
+                    replica: my_idx as u32,
+                });
                 let _ = reply.send(ReplicaResponse::Done);
             }
             ReplicaRequest::Shutdown => break,

@@ -39,19 +39,23 @@
 //! phases), which the checksum-quiescence oracle in `cards-vm::worker`
 //! verifies — including across every fault cell of the failover campaign.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::fleet::{
+    FailoverIncident, FleetEvent, FleetEventLog, ServerSpan, ServerSpanKind, ServerSpanLog,
+    DEFAULT_SPAN_LOG_CAPACITY,
+};
 use crate::model::NetworkModel;
 use crate::replica::{
     replica_loop, ReplicaConfig, ReplicaRequest, ReplicaResponse, ReplicaSet, SharedCounters,
 };
 use crate::stats::NetStats;
 use crate::transport::{FaultEvents, Fetched, NetError, ObjKey, Transport};
-use crate::wiretap::TraceContext;
+use crate::wiretap::{TraceContext, WireDir, WireOp, WireTap, DEFAULT_TAP_CAPACITY};
 
 /// Upper bound on fence/failover retries per logical operation before the
 /// client gives up with [`NetError::Disconnected`].
@@ -67,6 +71,12 @@ pub struct ShardedConfig {
     /// Max unacknowledged trains per shard before a put blocks on the
     /// oldest ack (the outstanding-request window).
     pub window: usize,
+    /// Per-client [`WireTap`] ring capacity (0 disables retention; drops
+    /// are still counted per op).
+    pub tap_capacity: usize,
+    /// Per-client [`ServerSpanLog`] capacity (overflowing spans fold
+    /// their cycles into the residue).
+    pub span_log_capacity: usize,
     /// Replication / failover / hedging knobs.
     pub replica: ReplicaConfig,
 }
@@ -77,6 +87,8 @@ impl Default for ShardedConfig {
             shards: 4,
             train_len: 8,
             window: 4,
+            tap_capacity: DEFAULT_TAP_CAPACITY,
+            span_log_capacity: DEFAULT_SPAN_LOG_CAPACITY,
             replica: ReplicaConfig::default(),
         }
     }
@@ -137,11 +149,23 @@ impl SharedCounters {
 }
 
 /// One in-flight fetch the coalescer tracks: followers block on the
-/// condvar until the leader publishes the result.
-#[derive(Default)]
+/// condvar until the leader publishes the result. The leader's causal
+/// context is retained so a joining follower can record who it
+/// piggybacked on (interleaving-dependent: event-log only).
 struct Inflight {
     done: Mutex<Option<Result<Vec<u8>, NetError>>>,
     cv: Condvar,
+    leader_ctx: TraceContext,
+}
+
+impl Inflight {
+    fn new(leader_ctx: TraceContext) -> Self {
+        Inflight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+            leader_ctx,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -155,6 +179,7 @@ pub struct ShardedServer {
     sets: Vec<ReplicaSet>,
     counters: Arc<SharedCounters>,
     coalescer: Arc<Coalescer>,
+    events: Arc<FleetEventLog>,
     model: NetworkModel,
     cfg: ShardedConfig,
 }
@@ -175,6 +200,7 @@ impl ShardedServer {
     /// Spawn `cfg.shards` replica sets with the given cost model.
     pub fn spawn(cfg: ShardedConfig, model: NetworkModel) -> Self {
         let counters = Arc::new(SharedCounters::default());
+        let events = Arc::new(FleetEventLog::default());
         let replicas = cfg.replica.replica_count();
         let sets = (0..cfg.shards.max(1))
             .map(|shard| {
@@ -195,10 +221,22 @@ impl ShardedServer {
                         };
                         let shared = Arc::clone(&shared);
                         let counters = Arc::clone(&counters);
+                        let events = Arc::clone(&events);
                         let replica_cfg = cfg.replica;
                         let join = std::thread::Builder::new()
                             .name(format!("cards-shard-{shard}-r{r}"))
-                            .spawn(move || replica_loop(r, rx, peer, shared, counters, replica_cfg))
+                            .spawn(move || {
+                                replica_loop(
+                                    shard as u32,
+                                    r,
+                                    rx,
+                                    peer,
+                                    shared,
+                                    counters,
+                                    events,
+                                    replica_cfg,
+                                )
+                            })
                             .expect("spawn shard replica");
                         Mutex::new(Some(join))
                     })
@@ -210,6 +248,7 @@ impl ShardedServer {
             sets,
             counters,
             coalescer: Arc::new(Coalescer::default()),
+            events,
             model,
             cfg,
         }
@@ -240,17 +279,27 @@ impl ShardedServer {
                 .collect(),
             coalescer: Arc::clone(&self.coalescer),
             counters: Arc::clone(&self.counters),
+            events: Arc::clone(&self.events),
             model: self.model,
             cfg: self.cfg,
             stats: NetStats::default(),
             pending_faults: Cell::new(FaultEvents::default()),
             ctx: TraceContext::NONE,
+            tap: WireTap::new(self.cfg.tap_capacity),
+            slog: ServerSpanLog::new(self.cfg.span_log_capacity),
+            incidents: RefCell::new(Vec::new()),
         }
     }
 
     /// Shared cross-client counters.
     pub fn sharded_stats(&self) -> ShardedStats {
         self.counters.snapshot()
+    }
+
+    /// The shared replica-lifecycle / cross-client event log
+    /// (interleaving-dependent; counters-region truth only).
+    pub fn fleet_events(&self) -> &FleetEventLog {
+        &self.events
     }
 
     fn control(
@@ -425,6 +474,7 @@ pub struct ShardedClient {
     shards: Vec<ClientShard>,
     coalescer: Arc<Coalescer>,
     counters: Arc<SharedCounters>,
+    events: Arc<FleetEventLog>,
     model: NetworkModel,
     cfg: ShardedConfig,
     stats: NetStats,
@@ -432,6 +482,14 @@ pub struct ShardedClient {
     /// them (failovers it initiated, hedges it sent, fences it hit).
     pending_faults: Cell<FaultEvents>,
     ctx: TraceContext,
+    /// Client-edge wire tap (deterministic per client, like the modeled
+    /// stats: one send/recv pair per facade operation).
+    tap: WireTap,
+    /// Deterministic server-side decomposition of every modeled charge.
+    slog: ServerSpanLog,
+    /// Takeovers this client performed, on its modeled clock (interior
+    /// mutability: `failover` runs behind `&self`).
+    incidents: RefCell<Vec<FailoverIncident>>,
 }
 
 impl ShardedClient {
@@ -443,6 +501,35 @@ impl ShardedClient {
     /// Cross-client counters (coalescing, trains, crashes, failovers).
     pub fn sharded_stats(&self) -> ShardedStats {
         self.counters.snapshot()
+    }
+
+    /// This client's deterministic server-side span log.
+    pub fn server_span_log(&self) -> &ServerSpanLog {
+        &self.slog
+    }
+
+    /// Takeovers this client performed, in the order it performed them.
+    pub fn incidents(&self) -> Vec<FailoverIncident> {
+        self.incidents.borrow().clone()
+    }
+
+    /// The shared fleet event log this client reports joins/hedges into.
+    pub fn fleet_events(&self) -> &FleetEventLog {
+        &self.events
+    }
+
+    /// Record one server-side span under the current context and fold it
+    /// into the shard's gauges.
+    fn span(&mut self, shard: usize, kind: ServerSpanKind, cycles: u64, bytes: u64, depth: u64) {
+        self.slog.record(ServerSpan {
+            ctx: self.ctx,
+            shard: shard as u32,
+            kind,
+            cycles,
+            bytes,
+            depth,
+        });
+        self.slog.gauges(shard as u32).server_cycles += cycles;
     }
 
     fn note_fault(&self, f: impl FnOnce(&mut FaultEvents)) {
@@ -475,7 +562,7 @@ impl ShardedClient {
         };
         // Fence first: writes stamped with the old epoch bounce from every
         // replica before the standby even learns of the takeover.
-        set.shared.fencing_epoch.fetch_add(1, Ordering::SeqCst);
+        let fence = set.shared.fencing_epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let (tx, rx) = sync_channel(1);
         if set.txs[target]
             .send(ReplicaRequest::TakeOver { reply: tx })
@@ -496,6 +583,17 @@ impl ShardedClient {
         set.shared.generation.fetch_add(1, Ordering::SeqCst);
         self.counters.failovers.fetch_add(1, Ordering::Relaxed);
         self.note_fault(|ev| ev.failovers += 1);
+        // The whole handshake runs at one modeled instant (failover costs
+        // no modeled cycles); the incident's phase sequence is the
+        // protocol order demote → fence bump → handshake → drain → resume.
+        self.incidents.borrow_mut().push(FailoverIncident {
+            shard: shard as u32,
+            fence,
+            from: cur as u32,
+            to: target as u32,
+            at_cycles: self.stats.cycles,
+            trace: self.ctx.trace,
+        });
         Ok(())
     }
 
@@ -602,6 +700,14 @@ impl ShardedClient {
                                                     .hedge_wasted
                                                     .fetch_add(1, Ordering::Relaxed);
                                                 self.note_fault(|ev| ev.hedge_wasted += 1);
+                                                self.events.push(FleetEvent::HedgeWaste {
+                                                    shard: shard as u32,
+                                                });
+                                            } else {
+                                                self.events.push(FleetEvent::HedgeWin {
+                                                    shard: shard as u32,
+                                                    from: *from as u32,
+                                                });
                                             }
                                         }
                                         Ok(r)
@@ -650,7 +756,7 @@ impl ShardedClient {
             match map.entry(key) {
                 std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
                 std::collections::hash_map::Entry::Vacant(v) => {
-                    let e = Arc::new(Inflight::default());
+                    let e = Arc::new(Inflight::new(self.ctx));
                     v.insert(Arc::clone(&e));
                     (e, true)
                 }
@@ -671,6 +777,14 @@ impl ShardedClient {
             result
         } else {
             self.counters.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+            // Who led vs who joined is interleaving truth: record it in
+            // the shared event log only, never in the per-client span log
+            // (whose decomposition must be identical either way).
+            self.events.push(FleetEvent::CoalesceJoin {
+                shard: self.shard_of(key) as u32,
+                leader: entry.leader_ctx,
+                follower: self.ctx,
+            });
             let mut done = entry.done.lock().expect("inflight lock");
             while done.is_none() {
                 done = entry.cv.wait(done).expect("inflight wait");
@@ -681,6 +795,11 @@ impl ShardedClient {
 
     fn fetch_inner(&mut self, key: ObjKey, batched: bool) -> Result<Fetched, NetError> {
         let shard = self.shard_of(key);
+        let op = if batched {
+            WireOp::FetchBatched
+        } else {
+            WireOp::Fetch
+        };
         // Read-your-writes: a buffered put not yet departed must serve
         // fetches (the runtime refetches objects it just evicted).
         if let Some(bytes) = self.shards[shard].buf.get(&key) {
@@ -689,9 +808,23 @@ impl ShardedClient {
             self.stats.fetches += 1;
             self.stats.bytes_fetched += bytes.len() as u64;
             self.stats.cycles += cycles;
+            // Served from the pending buffer: no server phase ran, the
+            // whole charge is residue.
+            self.slog.charge(cycles);
+            self.slog.add_residue(cycles);
+            self.slog.gauges(shard as u32).ops += 1;
             return Ok(Fetched { bytes, cycles });
         }
-        let bytes = self.coalesced_fetch(key)?;
+        self.tap
+            .record(WireDir::Send, op, key.ds, key.index, 0, true, self.ctx);
+        let bytes = match self.coalesced_fetch(key) {
+            Ok(b) => b,
+            Err(e) => {
+                self.tap
+                    .record(WireDir::Recv, op, key.ds, key.index, 0, false, self.ctx);
+                return Err(e);
+            }
+        };
         // Leader or follower, hedged or not, the modeled charge is
         // identical: the modeled clock is per-worker virtual time, so
         // accounting must not depend on which thread or replica won the
@@ -704,6 +837,31 @@ impl ShardedClient {
         self.stats.fetches += 1;
         self.stats.bytes_fetched += bytes.len() as u64;
         self.stats.cycles += cycles;
+        self.tap.record(
+            WireDir::Recv,
+            op,
+            key.ds,
+            key.index,
+            bytes.len() as u64,
+            true,
+            self.ctx,
+        );
+        // Decompose the charge into server-side phases: queue wait (zero
+        // modeled cycles; depth = this client's outstanding trains),
+        // replica apply CPU, and wire serialization. Demand fetches also
+        // carry one link latency, which no server phase accounts for —
+        // that is the residue.
+        let wire = self.model.wire_cycles(bytes.len() as u64);
+        let depth = self.shards[shard].window.len() as u64;
+        self.slog.charge(cycles);
+        self.span(shard, ServerSpanKind::Queue, 0, 0, depth);
+        self.span(shard, ServerSpanKind::Apply, self.model.per_msg_cpu, 0, 0);
+        self.span(shard, ServerSpanKind::Transfer, wire, bytes.len() as u64, 0);
+        self.slog
+            .add_residue(cycles - self.model.per_msg_cpu - wire);
+        let g = self.slog.gauges(shard as u32);
+        g.ops += 1;
+        g.queue_depth.observe(depth);
         Ok(Fetched { bytes, cycles })
     }
 
@@ -783,12 +941,37 @@ impl ShardedClient {
         let objs: Vec<(ObjKey, Vec<u8>)> = std::mem::take(&mut self.shards[shard].buf)
             .into_iter()
             .collect();
+        let members = objs.len() as u64;
+        let train_bytes: u64 = objs.iter().map(|(_, b)| b.len() as u64).sum();
         let pending = self.send_train(shard, objs)?;
         self.shards[shard].window.push_back(pending);
         // One message's CPU cost per train; the per-object wire cycles
         // were charged when each object was buffered.
         let cycles = self.model.per_msg_cpu;
         self.stats.cycles += cycles;
+        self.slog.charge(cycles);
+        self.span(
+            shard,
+            ServerSpanKind::TrainFlush,
+            cycles,
+            train_bytes,
+            members,
+        );
+        let g = self.slog.gauges(shard as u32);
+        g.ops += 1;
+        g.train_size.observe(members);
+        if self.shards[shard].window.len() > self.cfg.window.max(1) {
+            // This departure will stall on the oldest outstanding ack:
+            // the request window is saturated (anomaly trigger fodder).
+            self.note_fault(|ev| ev.queue_buildup += 1);
+        }
+        let shipped = self.shards[shard].shared.shipped.load(Ordering::SeqCst);
+        let applied = self.shards[shard].shared.applied.load(Ordering::SeqCst);
+        if shipped.saturating_sub(applied) > self.cfg.replica.max_ship_lag {
+            // Interleaving-dependent observation (feeds stats/triggers,
+            // never asserted): replication is at or past its lag bound.
+            self.note_fault(|ev| ev.lag_breach += 1);
+        }
         while self.shards[shard].window.len() > self.cfg.window.max(1) {
             let oldest = self.shards[shard].window.pop_front().expect("nonempty");
             self.await_train(shard, oldest)?;
@@ -828,30 +1011,96 @@ impl Transport for ShardedClient {
         self.stats.writebacks += 1;
         self.stats.bytes_written += data.len() as u64;
         self.stats.cycles += cycles;
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Put,
+            key.ds,
+            key.index,
+            data.len() as u64,
+            true,
+            self.ctx,
+        );
+        // Train membership: the put's wire serialization is its share of
+        // the train it will ride, attributed to the issuing context now.
+        self.slog.charge(cycles);
+        self.span(
+            shard,
+            ServerSpanKind::Transfer,
+            cycles,
+            data.len() as u64,
+            0,
+        );
+        self.slog.gauges(shard as u32).ops += 1;
         self.shards[shard].buf.insert(key, data.to_vec());
         if self.shards[shard].buf.len() >= self.cfg.train_len.max(1) {
             cycles += self.depart_train(shard)?;
         }
+        self.tap.record(
+            WireDir::Recv,
+            WireOp::Put,
+            key.ds,
+            key.index,
+            0,
+            true,
+            self.ctx,
+        );
         Ok(cycles)
     }
 
     fn remove(&mut self, key: ObjKey) -> Result<u64, NetError> {
         let shard = self.shard_of(key);
         self.shards[shard].buf.remove(&key);
+        self.tap.record(
+            WireDir::Send,
+            WireOp::Remove,
+            key.ds,
+            key.index,
+            0,
+            true,
+            self.ctx,
+        );
         match self.call(shard, |fence, tx| ReplicaRequest::Remove {
             key,
             fence,
             reply: tx,
-        })? {
-            ReplicaResponse::Done => {
+        }) {
+            Ok(ReplicaResponse::Done) => {
                 self.stats.cycles += self.model.per_msg_cpu;
+                self.slog.charge(self.model.per_msg_cpu);
+                self.span(shard, ServerSpanKind::Apply, self.model.per_msg_cpu, 0, 0);
+                self.slog.gauges(shard as u32).ops += 1;
+                self.tap.record(
+                    WireDir::Recv,
+                    WireOp::Remove,
+                    key.ds,
+                    key.index,
+                    0,
+                    true,
+                    self.ctx,
+                );
                 Ok(self.model.per_msg_cpu)
             }
-            _ => Err(NetError::Disconnected),
+            other => {
+                self.tap.record(
+                    WireDir::Recv,
+                    WireOp::Remove,
+                    key.ds,
+                    key.index,
+                    0,
+                    false,
+                    self.ctx,
+                );
+                match other {
+                    Err(e) => Err(e),
+                    _ => Err(NetError::Disconnected),
+                }
+            }
         }
     }
 
     fn flush(&mut self) -> Result<u64, NetError> {
+        self.tap
+            .record(WireDir::Send, WireOp::Flush, 0, 0, 0, true, self.ctx);
         let mut cycles = 0;
         for shard in 0..self.shards.len() {
             cycles += self.depart_train(shard)?;
@@ -869,6 +1118,20 @@ impl Transport for ShardedClient {
         // One logical barrier round trip (shards are flushed in parallel).
         cycles += self.model.base_latency + self.model.per_msg_cpu;
         self.stats.cycles += self.model.base_latency + self.model.per_msg_cpu;
+        self.slog
+            .charge(self.model.base_latency + self.model.per_msg_cpu);
+        // The barrier is cluster-wide: one span, attributed to shard 0
+        // with depth = shard count; its link latency is residue.
+        self.span(
+            0,
+            ServerSpanKind::Barrier,
+            self.model.per_msg_cpu,
+            0,
+            self.shards.len() as u64,
+        );
+        self.slog.add_residue(self.model.base_latency);
+        self.tap
+            .record(WireDir::Recv, WireOp::Flush, 0, 0, 0, true, self.ctx);
         Ok(cycles)
     }
 
@@ -916,6 +1179,10 @@ impl Transport for ShardedClient {
 
     fn trace_context(&self) -> TraceContext {
         self.ctx
+    }
+
+    fn wire_tap(&self) -> Option<&WireTap> {
+        Some(&self.tap)
     }
 }
 
@@ -1233,6 +1500,124 @@ mod tests {
         assert_eq!(a, b, "digest must not depend on sharding");
         assert_eq!(b, c, "digest must not depend on replication");
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn server_span_log_cross_sum_matches_modeled_cycles() {
+        let srv = server(3);
+        let mut c = srv.client();
+        for i in 0..40u64 {
+            c.put(key(2, i), &[1u8; 256]).unwrap();
+        }
+        c.flush().unwrap();
+        for i in 0..40u64 {
+            c.fetch(key(2, i)).unwrap();
+        }
+        c.remove(key(2, 0)).unwrap();
+        c.flush().unwrap();
+        let log = c.server_span_log();
+        log.check().unwrap();
+        assert_eq!(
+            log.remote_cycles(),
+            c.stats().cycles,
+            "every modeled cycle must be charged to the span log"
+        );
+        assert!(log.spans().iter().any(|s| s.kind == ServerSpanKind::Apply));
+        assert!(log
+            .spans()
+            .iter()
+            .any(|s| s.kind == ServerSpanKind::TrainFlush && s.depth > 0));
+        assert!(log
+            .spans()
+            .iter()
+            .any(|s| s.kind == ServerSpanKind::Barrier));
+        assert!(log.residue() > 0, "link latency is unattributed residue");
+        // Gauges cover every shard the client touched.
+        assert!(!log.shards().is_empty());
+        assert!(log.shards().values().all(|g| g.ops > 0));
+    }
+
+    #[test]
+    fn span_log_is_deterministic_per_client() {
+        let run = || {
+            let srv = server(2);
+            let mut c = srv.client();
+            for i in 0..24u64 {
+                c.put(key(1, i), &[3u8; 128]).unwrap();
+            }
+            c.flush().unwrap();
+            for i in 0..24u64 {
+                c.fetch(key(1, i)).unwrap();
+            }
+            (
+                c.server_span_log().spans().to_vec(),
+                c.server_span_log().residue(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn failover_records_an_incident_with_trace_identity() {
+        let srv = server(1);
+        let mut c = srv.client();
+        c.put(key(0, 0), &[5u8; 64]).unwrap();
+        c.flush().unwrap();
+        c.set_trace_context(TraceContext { trace: 77, span: 2 });
+        srv.kill_shard(0);
+        assert_eq!(c.fetch(key(0, 0)).unwrap().bytes, vec![5u8; 64]);
+        let incidents = c.incidents();
+        assert_eq!(incidents.len(), 1);
+        let inc = &incidents[0];
+        assert_eq!(inc.shard, 0);
+        assert_eq!(inc.fence, 1);
+        assert_eq!((inc.from, inc.to), (0, 1));
+        assert_eq!(inc.trace, 77, "incident carries the in-force trace id");
+        // The takeover handshake drained on the standby and was logged.
+        let summary = srv.fleet_events().summary();
+        assert_eq!(summary.per_shard[&0].takeover_drains, 1);
+    }
+
+    #[test]
+    fn client_tap_records_facade_operations() {
+        let srv = ShardedServer::spawn(
+            ShardedConfig {
+                shards: 1,
+                tap_capacity: 4,
+                ..ShardedConfig::default()
+            },
+            NetworkModel::default(),
+        );
+        let mut c = srv.client();
+        let ctx = TraceContext { trace: 5, span: 1 };
+        c.set_trace_context(ctx);
+        for i in 0..8u64 {
+            c.put(key(0, i), &[1u8; 32]).unwrap();
+        }
+        c.flush().unwrap();
+        let tap = c.wire_tap().unwrap();
+        assert_eq!(tap.len(), 4, "ring stays at its configured cap");
+        assert!(tap.dropped() > 0);
+        assert!(
+            tap.dropped_of(WireOp::Put) > 0,
+            "drops are attributed per op"
+        );
+        assert!(tap.records().all(|r| r.ctx == ctx));
+    }
+
+    #[test]
+    fn journal_ships_and_flush_barriers_land_in_the_event_log() {
+        let srv = server(1);
+        let mut c = srv.client();
+        for i in 0..16u64 {
+            c.put(key(0, i), &[2u8; 64]).unwrap();
+        }
+        c.flush().unwrap();
+        let summary = srv.fleet_events().summary();
+        let e = &summary.per_shard[&0];
+        assert!(e.journal_ships >= 2, "trains + barrier ship to the backup");
+        assert_eq!(e.flush_barriers, 1);
+        assert_eq!(summary.dropped, 0);
     }
 
     #[test]

@@ -67,6 +67,12 @@ pub struct FaultEvents {
     pub hedge_wasted: u64,
     /// Writes bounced by a fencing epoch and retried.
     pub fenced: u64,
+    /// Train departures that found the request window already over its
+    /// configured bound (back-pressure stalls on an outstanding train).
+    pub queue_buildup: u64,
+    /// Train departures that observed the primary→backup journal lag over
+    /// the configured `max_ship_lag` (replication falling behind).
+    pub lag_breach: u64,
 }
 
 impl FaultEvents {
@@ -81,6 +87,8 @@ impl FaultEvents {
         self.hedged += other.hedged;
         self.hedge_wasted += other.hedge_wasted;
         self.fenced += other.fenced;
+        self.queue_buildup += other.queue_buildup;
+        self.lag_breach += other.lag_breach;
     }
 }
 

@@ -69,6 +69,15 @@ pub enum WireOp {
 }
 
 impl WireOp {
+    /// Every operation, in export order.
+    pub const ALL: [WireOp; 5] = [
+        WireOp::Fetch,
+        WireOp::FetchBatched,
+        WireOp::Put,
+        WireOp::Remove,
+        WireOp::Flush,
+    ];
+
     /// Stable snake_case name for exports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -77,6 +86,17 @@ impl WireOp {
             WireOp::Put => "put",
             WireOp::Remove => "remove",
             WireOp::Flush => "flush",
+        }
+    }
+
+    /// Position in [`WireOp::ALL`] (indexes per-op counter arrays).
+    pub fn idx(&self) -> usize {
+        match self {
+            WireOp::Fetch => 0,
+            WireOp::FetchBatched => 1,
+            WireOp::Put => 2,
+            WireOp::Remove => 3,
+            WireOp::Flush => 4,
         }
     }
 }
@@ -111,6 +131,7 @@ pub struct WireTap {
     capacity: usize,
     seq: u64,
     dropped: u64,
+    dropped_by_op: [u64; 5],
 }
 
 /// Default tap capacity (records, i.e. sends + receives).
@@ -130,6 +151,7 @@ impl WireTap {
             capacity,
             seq: 0,
             dropped: 0,
+            dropped_by_op: [0; 5],
         }
     }
 
@@ -149,10 +171,13 @@ impl WireTap {
         self.seq += 1;
         if self.capacity == 0 {
             self.dropped += 1;
+            self.dropped_by_op[op.idx()] += 1;
             return;
         }
         if self.ring.len() >= self.capacity {
-            self.ring.pop_front();
+            if let Some(evicted) = self.ring.pop_front() {
+                self.dropped_by_op[evicted.op.idx()] += 1;
+            }
             self.dropped += 1;
         }
         self.ring.push_back(WireRecord {
@@ -180,6 +205,17 @@ impl WireTap {
     /// Records dropped because the ring was full (or capacity was 0).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Drops attributed to one operation (the evicted record's op for
+    /// ring overflow, the incoming record's op when capacity is 0).
+    pub fn dropped_of(&self, op: WireOp) -> u64 {
+        self.dropped_by_op[op.idx()]
+    }
+
+    /// Per-op drop counters, indexed as [`WireOp::ALL`].
+    pub fn dropped_by_op(&self) -> [u64; 5] {
+        self.dropped_by_op
     }
 
     /// Number of retained records.
@@ -214,8 +250,37 @@ mod tests {
         assert_eq!(tap.len(), 2);
         assert_eq!(tap.dropped(), 3);
         assert_eq!(tap.total(), 5);
+        assert_eq!(tap.dropped_of(WireOp::Fetch), 3);
+        assert_eq!(tap.dropped_of(WireOp::Put), 0);
         let seqs: Vec<u64> = tap.records().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![3, 4], "oldest dropped first");
+    }
+
+    #[test]
+    fn per_op_drop_attribution_follows_the_evicted_record() {
+        let mut tap = WireTap::new(1);
+        tap.record(
+            WireDir::Send,
+            WireOp::Put,
+            1,
+            0,
+            64,
+            true,
+            TraceContext::NONE,
+        );
+        tap.record(
+            WireDir::Send,
+            WireOp::Fetch,
+            1,
+            1,
+            0,
+            true,
+            TraceContext::NONE,
+        );
+        // The Put was evicted to admit the Fetch: the drop is a Put drop.
+        assert_eq!(tap.dropped(), 1);
+        assert_eq!(tap.dropped_of(WireOp::Put), 1);
+        assert_eq!(tap.dropped_of(WireOp::Fetch), 0);
     }
 
     #[test]
@@ -233,6 +298,7 @@ mod tests {
         assert!(tap.is_empty());
         assert_eq!(tap.total(), 1);
         assert_eq!(tap.dropped(), 1);
+        assert_eq!(tap.dropped_of(WireOp::Put), 1);
     }
 
     #[test]

@@ -1090,11 +1090,22 @@ impl<T: Transport> FarMemRuntime<T> {
         self.stats.hedged_fetches += ev.hedged;
         self.stats.hedge_wasted += ev.hedge_wasted;
         self.stats.fenced_retries += ev.fenced;
+        self.stats.queue_buildup_events += ev.queue_buildup;
+        self.stats.lag_breaches += ev.lag_breach;
         for _ in 0..ev.failovers {
             self.tracer.leaf(SpanKind::Failover, ds, index, 0, 0);
         }
         for _ in 0..ev.hedged {
             self.tracer.leaf(SpanKind::Hedge, ds, index, 0, 0);
+        }
+        // Serving-tier anomalies arm the flight recorder: a saturated
+        // writeback window or a replication-lag breach snapshots the
+        // trace ring just like retry storms and p99 spikes do.
+        if ev.queue_buildup > 0 {
+            self.tracer.trigger("queue_buildup", self.stats.cycles);
+        }
+        if ev.lag_breach > 0 {
+            self.tracer.trigger("lag_breach", self.stats.cycles);
         }
     }
 

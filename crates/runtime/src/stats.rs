@@ -148,6 +148,12 @@ pub struct RuntimeStats {
     pub hedge_wasted: u64,
     /// Writes bounced by a fencing epoch and transparently retried.
     pub fenced_retries: u64,
+    /// Writeback-train departures that found the outstanding-request
+    /// window saturated (the put stalled on an unacked train).
+    pub queue_buildup_events: u64,
+    /// Train departures that observed primary→backup replication lag at
+    /// or past its configured bound (interleaving-dependent observation).
+    pub lag_breaches: u64,
 }
 
 #[cfg(test)]

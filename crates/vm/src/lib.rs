@@ -8,6 +8,7 @@
 //! versioned), so pipeline effects are measured end to end.
 
 pub mod failover;
+pub mod fleet;
 pub mod interp;
 pub mod metrics;
 pub mod profile;
@@ -15,6 +16,10 @@ pub mod ttrace;
 pub mod worker;
 
 pub use failover::{run_failover_campaign, CampaignReport, CellReport, Phase};
+pub use fleet::{
+    check_fleet, check_worker, extract_fleet, fleet_json, join_worker, render_fleet_report,
+    slo_json, JoinGroup, Timeline, WorkerFleet,
+};
 pub use interp::{spec_from_meta, splitmix64, Vm, VmError};
 pub use metrics::{CpuModel, VmMetrics};
 pub use profile::{check_attribution, profile_folded, profile_json, render_profile_report};

@@ -25,9 +25,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use cards_ir::Module;
-use cards_net::{NetworkModel, ShardedConfig, ShardedServer, ShardedStats};
+use cards_net::{FleetEventSummary, NetworkModel, ShardedConfig, ShardedServer, ShardedStats};
 use cards_runtime::{RemotingPolicy, RuntimeConfig};
 
+use crate::fleet::{extract_fleet, WorkerFleet};
 use crate::interp::Vm;
 
 /// Shape of a concurrent serving run.
@@ -119,6 +120,25 @@ pub struct WorkerReport {
     pub checksum: i64,
     /// Modeled cycle latency of each request, in issue order.
     pub request_cycles: Vec<u64>,
+    /// Whether each request touched the remote tier (any completed fetch,
+    /// writeback, or flush), aligned with `request_cycles`. Drives the
+    /// per-request-class SLO split; deterministic per worker.
+    pub request_remote: Vec<bool>,
+    /// Epoch-fenced takeovers this worker's runtime performed.
+    pub failovers: u64,
+    /// Hedged fetches raced against a backup replica.
+    pub hedged_fetches: u64,
+    /// Hedges the primary won anyway.
+    pub hedge_wasted: u64,
+    /// Fence-bounced writes transparently retried.
+    pub fenced_retries: u64,
+    /// Train departures that found the request window saturated.
+    pub queue_buildup_events: u64,
+    /// Replication-lag bound breaches observed (interleaving-dependent;
+    /// reported, never asserted).
+    pub lag_breaches: u64,
+    /// Fleet-plane extraction: trace trees, server span log, incidents.
+    pub fleet: WorkerFleet,
 }
 
 /// Aggregate result of a concurrent serving run. All fields except `net`
@@ -150,6 +170,9 @@ pub struct ServeReport {
     pub digest: BTreeMap<u32, u64>,
     /// Shared server counters (interleaving-dependent; never asserted).
     pub net: ShardedStats,
+    /// Replica-lifecycle event tallies from the tier's shared event ring
+    /// (interleaving-dependent; never asserted).
+    pub fleet_events: FleetEventSummary,
     /// Per-worker breakdowns.
     pub per_worker: Vec<WorkerReport>,
 }
@@ -357,6 +380,7 @@ pub fn run_serving_with_faults(
                 serve_gate.wait();
                 loaded?;
                 let mut request_cycles = Vec::new();
+                let mut request_remote = Vec::new();
                 let mut checksum = 0i64;
                 let mut tenants = 0u64;
                 let mut issued = 0u64;
@@ -367,12 +391,16 @@ pub fn run_serving_with_faults(
                     for i in 0..spec.ops_per_tenant {
                         issued += 1;
                         let c0 = vm.metrics().cycles;
+                        let n0 = vm.runtime().net_stats();
                         let r = vm.run("request", &[t, i]);
                         served.fetch_add(1, Ordering::SeqCst);
                         match r {
                             Ok(v) => {
                                 checksum = checksum.wrapping_add(v.unwrap_or(0) as i64);
                                 request_cycles.push(vm.metrics().cycles - c0);
+                                let n1 = vm.runtime().net_stats();
+                                request_remote
+                                    .push(n1.fetches + n1.writebacks > n0.fetches + n0.writebacks);
                             }
                             // Under a fault script a lost request is an
                             // availability data point, not a run failure.
@@ -388,6 +416,10 @@ pub fn run_serving_with_faults(
                 vm.runtime_mut()
                     .quiesce()
                     .map_err(|e| format!("worker {w} quiesce: {e:?}"))?;
+                // Fleet-plane extraction happens here, while the VM still
+                // owns its traced runtime and sharded client.
+                let rt = vm.runtime().stats();
+                let fleet = extract_fleet(&vm);
                 Ok(WorkerReport {
                     worker: w,
                     tenants,
@@ -397,6 +429,14 @@ pub fn run_serving_with_faults(
                     serve_cycles,
                     checksum,
                     request_cycles,
+                    request_remote,
+                    failovers: rt.failovers,
+                    hedged_fetches: rt.hedged_fetches,
+                    hedge_wasted: rt.hedge_wasted,
+                    fenced_retries: rt.fenced_retries,
+                    queue_buildup_events: rt.queue_buildup_events,
+                    lag_breaches: rt.lag_breaches,
+                    fleet,
                 })
             }));
         }
@@ -409,6 +449,7 @@ pub fn run_serving_with_faults(
 
     let digest = server.digest();
     let net = server.sharded_stats();
+    let fleet_events = server.fleet_events().summary();
     let mut all: Vec<u64> = reports
         .iter()
         .flat_map(|r| r.request_cycles.iter().copied())
@@ -427,6 +468,7 @@ pub fn run_serving_with_faults(
         p99_cycles: percentile(&all, 99),
         digest,
         net,
+        fleet_events,
         per_worker: reports,
     })
 }
@@ -521,6 +563,57 @@ mod tests {
             .module
     }
 
+    // Two 4 KiB arrays that cannot both fit a starved per-worker budget:
+    // every request touches both, so the serve phase localize-thrashes and
+    // generates traced wire traffic for the fleet join to assemble.
+    fn fleet_module() -> Module {
+        use cards_ir::{FunctionBuilder, Type, Value};
+        let n = 512i64;
+        let mut m = Module::new("fleet-serve");
+        let ga = m.add_global("arr_a", Type::Ptr, None);
+        let gb = m.add_global("arr_b", Type::Ptr, None);
+        {
+            let mut b = FunctionBuilder::new("setup", vec![], Type::I64);
+            let total = b.iconst(n * 8);
+            let a = b.alloc(total, Type::I64);
+            let c = b.alloc(total, Type::I64);
+            let (z, one) = (b.iconst(0), b.iconst(1));
+            b.counted_loop(z, b.iconst(n), one, |b, i| {
+                let pa = b.gep_index(a, Type::I64, i);
+                let va = b.mul(i, b.iconst(7));
+                b.store(pa, va, Type::I64);
+                let pb = b.gep_index(c, Type::I64, i);
+                let vb = b.mul(i, b.iconst(11));
+                b.store(pb, vb, Type::I64);
+            });
+            b.store(Value::Global(ga), a, Type::Ptr);
+            b.store(Value::Global(gb), c, Type::Ptr);
+            b.ret(b.iconst(n));
+            m.add_function(b.finish());
+        }
+        {
+            let mut b = FunctionBuilder::new("request", vec![Type::I64, Type::I64], Type::I64);
+            let a = b.load(Value::Global(ga), Type::Ptr);
+            let c = b.load(Value::Global(gb), Type::Ptr);
+            let (t, i) = (b.arg(0), b.arg(1));
+            let x = b.bin(cards_ir::BinOp::Xor, t, i, Type::I64);
+            let h = b.intrin(cards_ir::Intrinsic::Hash64, vec![x]);
+            let mask = b.iconst(n - 1);
+            let k = b.bin(cards_ir::BinOp::And, h, mask, Type::I64);
+            let pa = b.gep_index(a, Type::I64, k);
+            let va = b.load(pa, Type::I64);
+            let pb = b.gep_index(c, Type::I64, k);
+            let vb = b.load(pb, Type::I64);
+            let v = b.add(va, vb);
+            b.ret(v);
+            m.add_function(b.finish());
+        }
+        assert!(cards_ir::verify_module(&m).is_empty());
+        cards_passes::compile(m, cards_passes::CompileOptions::cards())
+            .unwrap()
+            .module
+    }
+
     fn spec(workers: usize) -> ServeSpec {
         ServeSpec {
             workers,
@@ -569,6 +662,30 @@ mod tests {
         for (x, y) in a.per_worker.iter().zip(b.per_worker.iter()) {
             assert_eq!(x.request_cycles, y.request_cycles);
         }
+    }
+
+    #[test]
+    fn fleet_plane_joins_and_checks() {
+        let m = fleet_module();
+        let starved = RuntimeConfig::new(0, 4096);
+        let r = run_serving(&m, spec(2), starved, RemotingPolicy::AllRemotable, 0).unwrap();
+        crate::fleet::check_fleet(&r).expect("fleet invariants");
+        for w in &r.per_worker {
+            assert_eq!(w.request_cycles.len(), w.request_remote.len());
+            assert!(w.fleet.net_cycles > 0, "serving must touch the tier");
+            assert!(!w.fleet.trees.is_empty(), "tracer must retain trees");
+        }
+        let json = crate::fleet::fleet_json("fleet-serve", &spec(2), &r);
+        assert!(json.contains("\"schema\":\"cards-fleet-v1\""));
+        assert!(
+            json.contains("\"joined\":true"),
+            "at least one fully joined end-to-end timeline: {json}"
+        );
+        assert!(json.contains("\"incidents\":[]"), "fault-free run");
+        assert!(json.ends_with("]}}"), "counters must be the last key");
+        let txt = crate::fleet::render_fleet_report("fleet-serve", &spec(2), &r);
+        assert!(txt.contains("== fleet: fleet-serve"));
+        assert!(txt.contains("slo all"));
     }
 
     #[test]
